@@ -1,0 +1,108 @@
+//! Table 3: top external embedded-document sites.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crawler::CrawlDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// One Table 3 row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbedRow {
+    /// Embedded document site (registrable domain).
+    pub site: String,
+    /// Number of websites including it at least once.
+    pub websites: u64,
+}
+
+/// Table 3 result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EmbedStats {
+    /// Rows sorted by website count, descending.
+    pub rows: Vec<EmbedRow>,
+    /// Websites including *any* external embedded document.
+    pub total_any: u64,
+}
+
+/// Computes the external-embed census.
+pub fn top_external_embeds(dataset: &CrawlDataset) -> EmbedStats {
+    let mut per_site: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_any = 0u64;
+    for record in dataset.successes() {
+        let Some(visit) = &record.visit else { continue };
+        let own_site = visit.top_frame().and_then(|f| f.site.clone());
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for frame in visit.embedded_frames() {
+            if frame.is_local_document {
+                continue;
+            }
+            if let Some(site) = &frame.site {
+                if Some(site) != own_site.as_ref() {
+                    seen.insert(site);
+                }
+            }
+        }
+        if !seen.is_empty() {
+            total_any += 1;
+        }
+        for site in seen {
+            *per_site.entry(site.to_string()).or_default() += 1;
+        }
+    }
+    let mut rows: Vec<EmbedRow> = per_site
+        .into_iter()
+        .map(|(site, websites)| EmbedRow { site, websites })
+        .collect();
+    rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.site.cmp(&b.site)));
+    EmbedStats { rows, total_any }
+}
+
+impl EmbedStats {
+    /// Renders the top `n` rows as Table 3.
+    pub fn table(&self, n: usize) -> TextTable {
+        let mut t = TextTable::new(
+            "Table 3: Top External Embedded Documents Site",
+            &["Embedded Document Site", "# Websites including"],
+        );
+        for row in self.rows.iter().take(n) {
+            t.row(vec![row.site.clone(), row.websites.to_string()]);
+        }
+        t.row(vec!["Total (any site)".to_string(), self.total_any.to_string()]);
+        t
+    }
+
+    /// Website count for one site.
+    pub fn count(&self, site: &str) -> u64 {
+        self.rows
+            .iter()
+            .find(|r| r.site == site)
+            .map(|r| r.websites)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawler::{CrawlConfig, Crawler};
+    use webgen::{PopulationConfig, WebPopulation};
+
+    #[test]
+    fn table3_shape() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 4_000 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let stats = top_external_embeds(&dataset);
+        // Google dominates; youtube / ads / facebook / livechat all rank.
+        assert_eq!(stats.rows[0].site, "google.com");
+        let top: Vec<&str> = stats.rows.iter().take(10).map(|r| r.site.as_str()).collect();
+        for expected in ["youtube.com", "facebook.com", "livechatinc.com"] {
+            assert!(top.contains(&expected), "top10 = {top:?}");
+        }
+        // The ratio google:livechat should resemble 53,227:13,776 ≈ 3.9.
+        let ratio = stats.count("google.com") as f64 / stats.count("livechatinc.com") as f64;
+        assert!((2.0..7.0).contains(&ratio), "ratio = {ratio}");
+        assert!(stats.total_any > 0);
+        assert!(stats.table(10).render().contains("google.com"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Analysis: regenerates every table and figure of the paper from a
+//! [`crawler::CrawlDataset`].
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | §4 crawl funnel + frame census | [`census::frame_census`] |
+//! | Table 3 (top external embeds) | [`embeds::top_external_embeds`] |
+//! | Table 4 (invoked permissions, 1p/3p) | [`usage::invocation_table`] |
+//! | Table 5 (status checks) | [`usage::status_check_table`] |
+//! | Table 6 (static detections) | [`usage::static_table`] |
+//! | §4.1.4 summary (48.52% / 40.65% / …) | [`usage::usage_summary`] |
+//! | Table 7 (embeds with delegation) | [`delegation::delegated_embeds`] |
+//! | Table 8 (delegated permissions) | [`delegation::delegated_permissions`] |
+//! | §4.2.2 directive mix | [`delegation::directive_mix`] |
+//! | Figure 2 (header adoption) | [`headers::header_adoption`] |
+//! | Table 9 (top-level directives) | [`headers::top_level_directives`] |
+//! | §4.3.2 embedded directive mix | [`headers::embedded_directive_mix`] |
+//! | §4.3.3 misconfigurations | [`headers::misconfigurations`] |
+//! | Tables 10/13 (over-permissioned embeds) | [`overpermission::unused_delegations`] |
+//! | Table 12 (interaction study) | [`validation::interaction_study`] |
+//! | §6.2 exposure (extension) | [`vulnerability::local_scheme_exposure`] |
+//!
+//! All counters follow the paper's counting rules: first occurrence per
+//! permission per frame, first-party = script site equals frame site
+//! (inline scripts are first-party), and local documents are excluded
+//! from header statistics.
+
+pub mod census;
+pub mod delegation;
+pub mod embeds;
+pub mod headers;
+pub mod overpermission;
+pub mod paper;
+pub mod prompts;
+pub mod report;
+pub mod table;
+pub mod usage;
+pub mod validation;
+pub mod vulnerability;
+
+use browser::FrameRecord;
+
+/// The registrable domain of a script URL, for first/third-party
+/// attribution. `None` = inline script (attributed first-party).
+pub(crate) fn script_site(url: &str) -> Option<String> {
+    weburl::Url::parse(url)
+        .ok()
+        .and_then(|u| u.site())
+        .map(|s| s.registrable_domain().to_string())
+}
+
+/// Whether an invocation's calling script is third-party to its frame
+/// (the paper: "the site of the script differs from the site of the
+/// frame"; calls with no script URL in the trace are first-party).
+pub(crate) fn is_third_party(frame: &FrameRecord, script_url: Option<&str>) -> bool {
+    match script_url {
+        None => false,
+        Some(url) => match (script_site(url), &frame.site) {
+            (Some(script), Some(frame_site)) => &script != frame_site,
+            // Frames with no site (local docs): any external script is 3p.
+            (Some(_), None) => true,
+            (None, _) => false,
+        },
+    }
+}

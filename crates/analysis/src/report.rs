@@ -1,0 +1,112 @@
+//! Consolidated reporting: every table and figure in one pass.
+//!
+//! Shared by the `measurement_campaign` example and the CLI's `analyze`
+//! command so the full paper reproduction is one function call.
+
+use crawler::CrawlDataset;
+
+/// Which artifacts to include.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// Rows per ranked table.
+    pub top_n: usize,
+    /// Include the extension analyses (purpose groups, exposure, prompts).
+    pub extensions: bool,
+}
+
+impl Default for ReportConfig {
+    fn default() -> ReportConfig {
+        ReportConfig {
+            top_n: 10,
+            extensions: true,
+        }
+    }
+}
+
+/// Renders the complete evaluation report from a dataset.
+pub fn full_report(dataset: &CrawlDataset, config: &ReportConfig) -> String {
+    let n = config.top_n;
+    let delegation = crate::delegation::delegated_permissions(dataset);
+    let mut sections: Vec<String> = vec![
+        format!("== Crawl funnel (§4) ==\n{}\n", dataset.funnel().report()),
+        crate::census::frame_census(dataset).table().render(),
+        crate::embeds::top_external_embeds(dataset).table(n).render(),
+        crate::usage::invocation_table(dataset).table(n).render(),
+        crate::usage::status_check_table(dataset).table(n).render(),
+        crate::usage::static_table(dataset).table(n).render(),
+        crate::usage::usage_summary(dataset).table().render(),
+        crate::delegation::delegated_embeds(dataset).table(n).render(),
+        delegation.table(n).render(),
+        delegation.directive_table().render(),
+        {
+            let adoption = crate::headers::header_adoption(dataset);
+            format!("{}\n{}", adoption.figure(), adoption.table().render())
+        },
+        crate::headers::top_level_directives(dataset).table(n).render(),
+        crate::headers::misconfigurations(dataset).table().render(),
+        crate::overpermission::unused_delegations(dataset)
+            .table(n.max(30))
+            .render(),
+    ];
+    if config.extensions {
+        sections.push(crate::delegation::purpose_groups(dataset).table().render());
+        sections.push(
+            crate::vulnerability::local_scheme_exposure(dataset)
+                .table()
+                .render(),
+        );
+        sections.push(crate::prompts::prompt_census(dataset).table().render());
+        sections.push(crate::paper::comparison_table(dataset).render());
+    }
+    sections.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawler::{CrawlConfig, Crawler};
+    use webgen::{PopulationConfig, WebPopulation};
+
+    #[test]
+    fn full_report_contains_every_artifact() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 1_200 });
+        let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let report = full_report(&ds, &ReportConfig::default());
+        for needle in [
+            "Crawl funnel",
+            "Frame census",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "usage summary",
+            "Table 7",
+            "Table 8",
+            "delegation directives",
+            "Figure 2",
+            "Table 9",
+            "misconfigurations",
+            "Table 10/13",
+            "purpose groups",
+            "exposure",
+            "Prompt attribution",
+        ] {
+            assert!(report.contains(needle), "missing section: {needle}");
+        }
+    }
+
+    #[test]
+    fn extensions_can_be_disabled() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 400 });
+        let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let report = full_report(
+            &ds,
+            &ReportConfig {
+                top_n: 5,
+                extensions: false,
+            },
+        );
+        assert!(!report.contains("purpose groups"));
+        assert!(report.contains("Table 9"));
+    }
+}

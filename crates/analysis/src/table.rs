@@ -1,0 +1,118 @@
+//! Plain-text table rendering for reports and benches.
+
+use std::fmt::Write as _;
+
+/// A rendered table: header + rows of cells.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Table title (e.g. "Table 4: Top 10 Permissions Used …").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table.
+    pub fn new(title: &str, columns: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, cell) in cells.iter().enumerate() {
+                parts.push(format!("{cell:<width$}", width = widths[i]));
+            }
+            let _ = writeln!(out, "  {}", parts.join("  "));
+        };
+        line(&mut out, &self.columns);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &rule);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a labelled ASCII bar chart (for the paper's Figure 2).
+pub fn bar_chart(title: &str, series: &[(&str, f64)], max_width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let peak = series.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-9);
+    let label_width = series.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, value) in series {
+        let width = ((value / peak) * max_width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {label:<label_width$}  {} {value:.2}%",
+            "█".repeat(width.max(if *value > 0.0 { 1 } else { 0 })),
+        );
+    }
+    out
+}
+
+/// Formats a percentage with two decimals, like the paper.
+pub fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "0.00%".to_string();
+    }
+    format!("{:.2}%", part as f64 / whole as f64 * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo", &["Name", "Count"]);
+        t.row(vec!["youtube.com".to_string(), "28024".to_string()]);
+        t.row(vec!["x".to_string(), "1".to_string()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn bar_chart_scales_to_peak() {
+        let chart = bar_chart("Demo", &[("a", 10.0), ("b", 5.0), ("c", 0.0)], 20);
+        let bars: Vec<usize> = chart
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('█').count())
+            .collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+        assert_eq!(bars[2], 0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(4852, 10_000), "48.52%");
+        assert_eq!(pct(1, 0), "0.00%");
+    }
+}

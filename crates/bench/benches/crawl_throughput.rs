@@ -1,0 +1,71 @@
+//! Crawl throughput: single-visit latency and worker-pool scaling (the
+//! paper ran 40 parallel crawlers; here workers only change wall-clock,
+//! never results — a property the `crawler` tests pin down).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use crawler::{CrawlConfig, Crawler};
+use webgen::{PopulationConfig, WebPopulation};
+
+fn single_visit(c: &mut Criterion) {
+    let population = WebPopulation::new(PopulationConfig { seed: 7, size: 512 });
+    let crawler = Crawler::new(CrawlConfig::default());
+    c.bench_function("single_site_visit", |b| {
+        let mut rank = 0u64;
+        b.iter(|| {
+            rank = rank % 512 + 1;
+            black_box(crawler.visit_one(&population, rank))
+        })
+    });
+}
+
+fn worker_scaling(c: &mut Criterion) {
+    let population = WebPopulation::new(PopulationConfig { seed: 7, size: 256 });
+    let mut group = c.benchmark_group("crawl_worker_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(256));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let crawler = Crawler::new(CrawlConfig {
+                workers: w,
+                ..CrawlConfig::default()
+            });
+            b.iter(|| black_box(crawler.crawl(&population)))
+        });
+    }
+    group.finish();
+}
+
+fn interaction_overhead(c: &mut Criterion) {
+    let population = WebPopulation::new(PopulationConfig { seed: 7, size: 128 });
+    let mut group = c.benchmark_group("interaction_mode_overhead");
+    group.sample_size(10);
+    let plain = Crawler::new(CrawlConfig::default());
+    let interactive = Crawler::new(CrawlConfig {
+        navigate_links: 2,
+        browser: browser::BrowserConfig {
+            interaction: true,
+            ..browser::BrowserConfig::default()
+        },
+        ..CrawlConfig::default()
+    });
+    group.bench_function("no_interaction", |b| {
+        let mut rank = 0u64;
+        b.iter(|| {
+            rank = rank % 128 + 1;
+            black_box(plain.visit_one(&population, rank))
+        })
+    });
+    group.bench_function("interaction", |b| {
+        let mut rank = 0u64;
+        b.iter(|| {
+            rank = rank % 128 + 1;
+            black_box(interactive.visit_one(&population, rank))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(crawl, single_visit, worker_scaling, interaction_overhead);
+criterion_main!(crawl);

@@ -1,0 +1,187 @@
+//! One benchmark per paper table/figure: each target regenerates the
+//! artifact from the shared crawl dataset (printing it once) and measures
+//! the analysis pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::{dataset, population, print_once};
+
+fn t0_crawl_funnel(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("funnel", || ds.funnel().report());
+    c.bench_function("t0_crawl_funnel", |b| b.iter(|| black_box(ds.funnel())));
+}
+
+fn t1_delegation_matrix(c: &mut Criterion) {
+    print_once("table1", tools::poc::render_delegation_matrix);
+    c.bench_function("t1_delegation_matrix", |b| {
+        b.iter(|| black_box(tools::poc::delegation_matrix()))
+    });
+}
+
+fn t2_characteristics(c: &mut Criterion) {
+    print_once("table2", || {
+        tools::support_matrix::render()
+            .lines()
+            .take(12)
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    c.bench_function("t2_characteristics", |b| {
+        b.iter(|| black_box(tools::support_matrix::matrix()))
+    });
+}
+
+fn t3_top_embeds(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table3", || {
+        analysis::embeds::top_external_embeds(ds).table(10).render()
+    });
+    c.bench_function("t3_top_embeds", |b| {
+        b.iter(|| black_box(analysis::embeds::top_external_embeds(ds)))
+    });
+}
+
+fn t4_invocations(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table4", || {
+        analysis::usage::invocation_table(ds).table(10).render()
+    });
+    c.bench_function("t4_invocations", |b| {
+        b.iter(|| black_box(analysis::usage::invocation_table(ds)))
+    });
+}
+
+fn t5_status_checks(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table5", || {
+        analysis::usage::status_check_table(ds).table(10).render()
+    });
+    c.bench_function("t5_status_checks", |b| {
+        b.iter(|| black_box(analysis::usage::status_check_table(ds)))
+    });
+}
+
+fn t6_static(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table6", || analysis::usage::static_table(ds).table(10).render());
+    let mut group = c.benchmark_group("t6_static");
+    group.sample_size(10); // scans every script in the dataset
+    group.bench_function("static_table", |b| {
+        b.iter(|| black_box(analysis::usage::static_table(ds)))
+    });
+    group.finish();
+}
+
+fn t7_delegated_embeds(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table7", || {
+        analysis::delegation::delegated_embeds(ds).table(10).render()
+    });
+    c.bench_function("t7_delegated_embeds", |b| {
+        b.iter(|| black_box(analysis::delegation::delegated_embeds(ds)))
+    });
+}
+
+fn t8_delegated_perms(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table8", || {
+        let stats = analysis::delegation::delegated_permissions(ds);
+        format!("{}\n{}", stats.table(10).render(), stats.directive_table().render())
+    });
+    c.bench_function("t8_delegated_perms", |b| {
+        b.iter(|| black_box(analysis::delegation::delegated_permissions(ds)))
+    });
+}
+
+fn f2_header_adoption(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("figure2", || analysis::headers::header_adoption(ds).table().render());
+    c.bench_function("f2_header_adoption", |b| {
+        b.iter(|| black_box(analysis::headers::header_adoption(ds)))
+    });
+}
+
+fn t9_header_directives(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table9", || {
+        let stats = analysis::headers::top_level_directives(ds);
+        format!(
+            "{}\navg directives/header: {:.2} (paper 10.01)",
+            stats.table(10).render(),
+            stats.avg_directives
+        )
+    });
+    c.bench_function("t9_header_directives", |b| {
+        b.iter(|| black_box(analysis::headers::top_level_directives(ds)))
+    });
+}
+
+fn t_misconfig(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("misconfig", || analysis::headers::misconfigurations(ds).table().render());
+    c.bench_function("t_misconfig", |b| {
+        b.iter(|| black_box(analysis::headers::misconfigurations(ds)))
+    });
+}
+
+fn t10_overpermissioned(c: &mut Criterion) {
+    let ds = dataset();
+    print_once("table10", || {
+        analysis::overpermission::unused_delegations(ds).table(30).render()
+    });
+    let mut group = c.benchmark_group("t10_overpermissioned");
+    group.sample_size(10);
+    group.bench_function("unused_delegations", |b| {
+        b.iter(|| black_box(analysis::overpermission::unused_delegations(ds)))
+    });
+    group.finish();
+}
+
+fn t11_spec_issue(c: &mut Criterion) {
+    print_once("table11", tools::poc::render_local_scheme_issue);
+    c.bench_function("t11_spec_issue", |b| {
+        b.iter(|| black_box(tools::poc::local_scheme_issue()))
+    });
+}
+
+fn t12_interaction_study(c: &mut Criterion) {
+    let pop = population();
+    print_once("table12", || {
+        let ranks: Vec<u64> = (1..=40).collect();
+        let static_only = analysis::validation::select_static_only_sites(&pop, 25, 1_500);
+        let experiments = vec![
+            analysis::validation::interaction_study(&pop, "Static-Only", &static_only),
+            analysis::validation::interaction_study(&pop, "Random", &ranks),
+        ];
+        analysis::validation::table12(&experiments).render()
+    });
+    let mut group = c.benchmark_group("t12_interaction_study");
+    group.sample_size(10);
+    let ranks: Vec<u64> = (1..=10).collect();
+    group.bench_function("interaction_study_10_sites", |b| {
+        b.iter(|| black_box(analysis::validation::interaction_study(&pop, "bench", &ranks)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    tables,
+    t0_crawl_funnel,
+    t1_delegation_matrix,
+    t2_characteristics,
+    t3_top_embeds,
+    t4_invocations,
+    t5_status_checks,
+    t6_static,
+    t7_delegated_embeds,
+    t8_delegated_perms,
+    f2_header_adoption,
+    t9_header_directives,
+    t_misconfig,
+    t10_overpermissioned,
+    t11_spec_issue,
+    t12_interaction_study,
+);
+criterion_main!(tables);

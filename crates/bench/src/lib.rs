@@ -1,0 +1,48 @@
+//! Shared benchmark fixtures.
+//!
+//! The paper-table benches all consume the same crawled dataset; building
+//! it once and sharing it keeps `cargo bench` wall-clock sane while every
+//! bench still measures its own analysis pass.
+
+use std::sync::OnceLock;
+
+use crawler::{CrawlConfig, CrawlDataset, Crawler};
+use webgen::{PopulationConfig, WebPopulation};
+
+/// Origin count used by the table benches. Large enough that every paper
+/// table has populated rows (long-tail widgets included), small enough
+/// for iteration.
+pub const BENCH_POPULATION: u64 = 6_000;
+
+static DATASET: OnceLock<CrawlDataset> = OnceLock::new();
+
+/// The shared benchmark dataset (crawled once per process).
+pub fn dataset() -> &'static CrawlDataset {
+    DATASET.get_or_init(|| {
+        let population = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: BENCH_POPULATION,
+        });
+        Crawler::new(CrawlConfig::default()).crawl(&population)
+    })
+}
+
+/// The population matching [`dataset`].
+pub fn population() -> WebPopulation {
+    WebPopulation::new(PopulationConfig {
+        seed: 7,
+        size: BENCH_POPULATION,
+    })
+}
+
+/// Prints a rendered table once per process (so `cargo bench` output
+/// contains the regenerated rows the paper reports).
+pub fn print_once(key: &'static str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let printed = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
+    if printed.lock().unwrap().insert(key) {
+        println!("\n{}", render());
+    }
+}

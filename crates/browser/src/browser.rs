@@ -1,0 +1,632 @@
+//! The engine: navigation, frame tree construction, script execution.
+
+use jsland::{Interpreter, ScriptSource};
+use netsim::{FetchError, Network, SimClock};
+use policy::engine::{DocumentPolicy, FramingContext, LocalSchemeBehavior, PolicyEngine};
+use policy::header::{parse_permissions_policy, DeclaredPolicy};
+use policy::{feature_policy, parse_allow_attribute, Csp};
+use weburl::{Origin, Url};
+
+use crate::hooks::BrowserHooks;
+use crate::records::{
+    FrameRecord, IframeAttrs, InvocationKind, PageVisit, PromptRecord, ScriptRecord, VisitError,
+    VisitOutcome,
+};
+
+/// Browser / crawl-visit configuration. Defaults match the paper's
+/// instantiation (§3.2): 60 s load timeout, 20 s settle, 90 s page budget,
+/// scrolling to lazy iframes, no interaction.
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// Maximum time for the top-level load event.
+    pub load_timeout_ms: u64,
+    /// Idle time after load before final collection.
+    pub settle_ms: u64,
+    /// Overall page budget; exceeding it marks the visit
+    /// [`VisitOutcome::PageTimeout`].
+    pub page_budget_ms: u64,
+    /// Maximum iframe nesting depth to load.
+    pub max_frame_depth: u32,
+    /// Hard cap on loaded frames per page.
+    pub max_frames: usize,
+    /// Whether the crawler scrolls to trigger lazy iframes (§3.2: yes).
+    pub scroll_lazy_iframes: bool,
+    /// Interaction mode (Appendix A.3): fire click handlers after load.
+    pub interaction: bool,
+    /// Local-scheme policy inheritance behaviour (the Table 11 switch).
+    pub local_scheme_behavior: LocalSchemeBehavior,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> BrowserConfig {
+        BrowserConfig {
+            load_timeout_ms: 60_000,
+            settle_ms: 20_000,
+            page_budget_ms: 90_000,
+            max_frame_depth: 3,
+            max_frames: 48,
+            scroll_lazy_iframes: true,
+            interaction: false,
+            local_scheme_behavior: LocalSchemeBehavior::FreshPolicy,
+        }
+    }
+}
+
+/// The simulated browser.
+pub struct Browser<N> {
+    network: N,
+    engine: PolicyEngine,
+    config: BrowserConfig,
+}
+
+struct LoadCtx {
+    deadline: u64,
+    frames: Vec<FrameRecord>,
+    outcome: VisitOutcome,
+}
+
+impl<N: Network> Browser<N> {
+    /// A browser over `network` with `config`.
+    pub fn new(network: N, config: BrowserConfig) -> Browser<N> {
+        Browser {
+            engine: PolicyEngine::new(config.local_scheme_behavior),
+            network,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BrowserConfig {
+        &self.config
+    }
+
+    /// Gives back the network (for provider queries after crawling).
+    pub fn into_network(self) -> N {
+        self.network
+    }
+
+    /// Visits a page: navigates, loads frames, runs scripts under
+    /// instrumentation, and returns everything collected.
+    pub fn visit(&mut self, url: &Url, clock: &mut SimClock) -> Result<PageVisit, VisitError> {
+        let start = clock.now_ms();
+        let load_deadline = clock.deadline(self.config.load_timeout_ms);
+        let page_deadline = clock.deadline(self.config.page_budget_ms);
+
+        let response = match self.network.fetch(url, clock) {
+            Ok(r) => r,
+            Err(FetchError::DnsFailure | FetchError::ConnectionFailure) => {
+                return Err(VisitError::Unreachable)
+            }
+            Err(_) => return Err(VisitError::Unreachable),
+        };
+        if clock.expired(load_deadline) {
+            return Err(VisitError::LoadTimeout);
+        }
+
+        let mut ctx = LoadCtx {
+            deadline: page_deadline,
+            frames: Vec::new(),
+            outcome: VisitOutcome::Success,
+        };
+
+        // Post-fetch failures surface during collection.
+        match self.network.post_fetch_failure(&response.final_url) {
+            Some(FetchError::EphemeralContext) => ctx.outcome = VisitOutcome::EphemeralContext,
+            Some(FetchError::CrawlerCrash) => ctx.outcome = VisitOutcome::CrawlerCrash,
+            _ => {}
+        }
+
+        let final_url = response.final_url.clone();
+        let origin = final_url.origin();
+        let declared = effective_declared(
+            response.header("permissions-policy"),
+            response.header("feature-policy"),
+        );
+        let policy = self.engine.document_for_top_level(origin.clone(), declared);
+        let pp_header = response.header("permissions-policy").map(str::to_string);
+        let fp_header = response.header("feature-policy").map(str::to_string);
+        let csp_header = response.header("content-security-policy").map(str::to_string);
+
+        if ctx.outcome != VisitOutcome::CrawlerCrash && ctx.outcome != VisitOutcome::EphemeralContext
+        {
+            self.load_document(
+                &mut ctx,
+                clock,
+                LoadDoc {
+                    html: response.body_text(),
+                    url: Some(final_url),
+                    origin,
+                    policy,
+                    pp_header,
+                    fp_header,
+                    csp_header,
+                    parent: None,
+                    depth: 0,
+                    is_top_level: true,
+                    is_local: false,
+                    scripts_enabled: true,
+                    iframe_attrs: None,
+                },
+            );
+            // Settle window (§3.2: 20 s without interaction).
+            clock.advance(self.config.settle_ms);
+        }
+
+        let prompts = derive_prompts(&ctx.frames);
+        Ok(PageVisit {
+            requested_url: url.to_string(),
+            frames: ctx.frames,
+            prompts,
+            outcome: ctx.outcome,
+            elapsed_ms: clock.now_ms() - start,
+        })
+    }
+
+    fn load_document(&mut self, ctx: &mut LoadCtx, clock: &mut SimClock, doc: LoadDoc) {
+        if ctx.frames.len() >= self.config.max_frames {
+            ctx.outcome = VisitOutcome::PageTimeout;
+            return;
+        }
+        let frame_id = ctx.frames.len();
+        let scanned = html::scan(&doc.html);
+
+        // Collect scripts: external ones are fetched, inline ones taken as
+        // written; HTML event-handler attributes count as inline script
+        // material for the static analysis.
+        let mut scripts: Vec<ScriptRecord> = Vec::new();
+        let mut external_sources: Vec<(Option<String>, String)> = Vec::new();
+        for script in &scanned.scripts {
+            if !script.is_javascript() {
+                continue;
+            }
+            if let Some(src) = &script.src {
+                if let Ok(script_url) =
+                    Url::parse_with_base(src, doc.url.as_ref())
+                {
+                    if let Ok(resp) = self.network.fetch(&script_url, clock) {
+                        let source = resp.body_text();
+                        let url_string = script_url.to_string();
+                        scripts.push(ScriptRecord {
+                            url: Some(url_string.clone()),
+                            source: source.clone(),
+                        });
+                        external_sources.push((Some(url_string), source));
+                    }
+                }
+            } else if let Some(inline) = &script.inline {
+                scripts.push(ScriptRecord {
+                    url: None,
+                    source: inline.clone(),
+                });
+                external_sources.push((None, inline.clone()));
+            }
+        }
+        for handler in &scanned.handlers {
+            scripts.push(ScriptRecord {
+                url: None,
+                source: handler.code.clone(),
+            });
+        }
+
+        // Execute scripts under instrumentation (sandboxed frames without
+        // allow-scripts still have their sources collected, but run nothing).
+        let mut hooks = BrowserHooks::new(&doc.policy);
+        let mut interp = Interpreter::new();
+        let executable: &[(Option<String>, String)] = if doc.scripts_enabled {
+            &external_sources
+        } else {
+            &[]
+        };
+        for (url, source) in executable {
+            let script_source = match url {
+                Some(u) => ScriptSource::external(u.clone()),
+                None => ScriptSource::inline(),
+            };
+            // Parse/runtime failures are per-script, like a real page.
+            let _ = interp.run(source, script_source, &mut hooks);
+            clock.advance(2);
+        }
+        interp.drain_timers(&mut hooks);
+
+        // Interaction mode (Appendix A.3): the manual tester clicks,
+        // hovers and submits — fire every registered listener event and
+        // every inline handler attribute, whatever its event name.
+        if self.config.interaction && doc.scripts_enabled {
+            let events: Vec<String> = interp
+                .handlers
+                .iter()
+                .map(|h| h.event.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            for event in events {
+                interp.fire_event(&event, &mut hooks);
+            }
+            for handler in &scanned.handlers {
+                let _ = interp.run(&handler.code, ScriptSource::inline(), &mut hooks);
+            }
+            interp.drain_timers(&mut hooks);
+        }
+
+        let allowed_features = doc
+            .policy
+            .allowed_features()
+            .into_iter()
+            .map(|p| p.token().to_string())
+            .collect();
+
+        ctx.frames.push(FrameRecord {
+            frame_id,
+            parent: doc.parent,
+            depth: doc.depth,
+            url: doc.url.as_ref().map(Url::to_string),
+            origin: doc.origin.to_string(),
+            site: doc
+                .url
+                .as_ref()
+                .and_then(Url::site)
+                .map(|s| s.registrable_domain().to_string()),
+            is_top_level: doc.is_top_level,
+            is_local_document: doc.is_local,
+            iframe_attrs: doc.iframe_attrs,
+            permissions_policy_header: doc.pp_header,
+            feature_policy_header: doc.fp_header,
+            csp_header: doc.csp_header.clone(),
+            invocations: hooks.invocations,
+            scripts,
+            allowed_features,
+        });
+
+        // Load child frames, gated by the document's CSP frame policy.
+        if doc.depth >= self.config.max_frame_depth {
+            return;
+        }
+        let csp = doc.csp_header.as_deref().map(Csp::parse);
+        for iframe in &scanned.iframes {
+            if clock.expired(ctx.deadline) {
+                ctx.outcome = VisitOutcome::PageTimeout;
+                return;
+            }
+            if iframe.lazy() && !self.config.scroll_lazy_iframes {
+                continue;
+            }
+            if iframe.lazy() {
+                // Scrolling to the frame costs a little simulated time.
+                clock.advance(250);
+            }
+            self.load_iframe(
+                ctx,
+                clock,
+                &doc.policy,
+                doc.url.as_ref(),
+                csp.as_ref(),
+                frame_id,
+                doc.depth,
+                iframe,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn load_iframe(
+        &mut self,
+        ctx: &mut LoadCtx,
+        clock: &mut SimClock,
+        parent_policy: &DocumentPolicy,
+        parent_url: Option<&Url>,
+        parent_csp: Option<&Csp>,
+        parent_id: usize,
+        parent_depth: u32,
+        iframe: &html::IframeElement,
+    ) {
+        let attrs = IframeAttrs {
+            id: iframe.id.clone(),
+            name: iframe.name.clone(),
+            class: iframe.class.clone(),
+            src: iframe.src.clone(),
+            allow: iframe.allow.clone(),
+            sandbox: iframe.sandbox.clone(),
+            has_srcdoc: iframe.srcdoc.is_some(),
+            loading: iframe.loading.clone(),
+        };
+        let allow = iframe.allow.as_deref().map(parse_allow_attribute);
+        let depth = parent_depth + 1;
+
+        // srcdoc documents: same-origin local documents with inline HTML
+        // (opaque-origin when sandboxed without allow-same-origin).
+        if let Some(srcdoc) = &iframe.srcdoc {
+            let (scripts_enabled, same_origin) = sandbox_flags(iframe.sandbox.as_deref());
+            let origin = if same_origin {
+                parent_policy.origin().clone()
+            } else {
+                Origin::opaque()
+            };
+            let framing = FramingContext {
+                allow: allow.as_ref(),
+                src_origin: Some(origin.clone()),
+            };
+            let policy = self.engine.document_for_frame(
+                parent_policy,
+                &framing,
+                origin.clone(),
+                DeclaredPolicy::default(),
+                true,
+            );
+            self.load_document(
+                ctx,
+                clock,
+                LoadDoc {
+                    html: srcdoc.clone(),
+                    url: None,
+                    origin,
+                    policy,
+                    pp_header: None,
+                    fp_header: None,
+                    csp_header: None,
+                    parent: Some(parent_id),
+                    depth,
+                    is_top_level: false,
+                    is_local: true,
+                    scripts_enabled,
+                    iframe_attrs: Some(attrs),
+                },
+            );
+            return;
+        }
+
+        let Some(src) = iframe.src.as_deref().filter(|s| !s.is_empty()) else {
+            // src-less iframe: an empty local document.
+            self.push_empty_local_frame(ctx, parent_policy, parent_id, depth, attrs, allow);
+            return;
+        };
+        let Ok(src_url) = Url::parse_with_base(src, parent_url) else {
+            return;
+        };
+        // CSP frame gate: a frame-src/child-src/default-src directive can
+        // refuse the load outright (the §6.2 injection-vector mitigation).
+        if let (Some(csp), Some(doc_url)) = (parent_csp, parent_url) {
+            if !csp.allows_frame(&src_url, doc_url) {
+                return;
+            }
+        }
+
+        match src_url.scheme() {
+            "about" | "javascript" => {
+                self.push_empty_local_frame(ctx, parent_policy, parent_id, depth, attrs, allow);
+            }
+            "data" | "blob" => {
+                // Opaque-origin local document; payload HTML for data: URLs.
+                let origin = Origin::opaque();
+                let framing = FramingContext {
+                    allow: allow.as_ref(),
+                    src_origin: Some(origin.clone()),
+                };
+                let policy = self.engine.document_for_frame(
+                    parent_policy,
+                    &framing,
+                    origin.clone(),
+                    DeclaredPolicy::default(),
+                    true,
+                );
+                let html_payload = if src_url.scheme() == "data" {
+                    src_url
+                        .path()
+                        .split_once(',')
+                        .map(|(_, body)| body.to_string())
+                        .unwrap_or_default()
+                } else {
+                    String::new()
+                };
+                let (scripts_enabled, _) = sandbox_flags(iframe.sandbox.as_deref());
+                self.load_document(
+                    ctx,
+                    clock,
+                    LoadDoc {
+                        html: html_payload,
+                        url: Some(src_url),
+                        origin,
+                        policy,
+                        pp_header: None,
+                        fp_header: None,
+                        csp_header: None,
+                        parent: Some(parent_id),
+                        depth,
+                        is_top_level: false,
+                        is_local: true,
+                        scripts_enabled,
+                        iframe_attrs: Some(attrs),
+                    },
+                );
+            }
+            _ => {
+                // Network document.
+                let Ok(response) = self.network.fetch(&src_url, clock) else {
+                    return;
+                };
+                let final_url = response.final_url.clone();
+                let (scripts_enabled, same_origin) = sandbox_flags(iframe.sandbox.as_deref());
+                // Sandboxing without allow-same-origin forces an opaque
+                // origin for everything, including policy matching.
+                let origin = if same_origin {
+                    final_url.origin()
+                } else {
+                    Origin::opaque()
+                };
+                let framing = FramingContext {
+                    allow: allow.as_ref(),
+                    // 'src' refers to the *declared* src URL, which is how
+                    // wildcard delegations survive redirects (§5.2).
+                    src_origin: Some(src_url.origin()),
+                };
+                let declared = effective_declared(
+                    response.header("permissions-policy"),
+                    response.header("feature-policy"),
+                );
+                let policy = self.engine.document_for_frame(
+                    parent_policy,
+                    &framing,
+                    origin.clone(),
+                    declared,
+                    false,
+                );
+                let pp_header = response.header("permissions-policy").map(str::to_string);
+                let fp_header = response.header("feature-policy").map(str::to_string);
+                let csp_header = response
+                    .header("content-security-policy")
+                    .map(str::to_string);
+                self.load_document(
+                    ctx,
+                    clock,
+                    LoadDoc {
+                        html: response.body_text(),
+                        url: Some(final_url),
+                        origin,
+                        policy,
+                        pp_header,
+                        fp_header,
+                        csp_header,
+                        parent: Some(parent_id),
+                        depth,
+                        is_top_level: false,
+                        is_local: false,
+                        scripts_enabled,
+                        iframe_attrs: Some(attrs),
+                    },
+                );
+            }
+        }
+    }
+
+    fn push_empty_local_frame(
+        &mut self,
+        ctx: &mut LoadCtx,
+        parent_policy: &DocumentPolicy,
+        parent_id: usize,
+        depth: u32,
+        attrs: IframeAttrs,
+        allow: Option<policy::AllowAttribute>,
+    ) {
+        if ctx.frames.len() >= self.config.max_frames {
+            return;
+        }
+        let origin = parent_policy.origin().clone();
+        let framing = FramingContext {
+            allow: allow.as_ref(),
+            src_origin: Some(origin.clone()),
+        };
+        let policy = self.engine.document_for_frame(
+            parent_policy,
+            &framing,
+            origin.clone(),
+            DeclaredPolicy::default(),
+            true,
+        );
+        let frame_id = ctx.frames.len();
+        ctx.frames.push(FrameRecord {
+            frame_id,
+            parent: Some(parent_id),
+            depth,
+            url: attrs.src.clone(),
+            origin: origin.to_string(),
+            site: None,
+            is_top_level: false,
+            is_local_document: true,
+            iframe_attrs: Some(attrs),
+            permissions_policy_header: None,
+            feature_policy_header: None,
+            csp_header: None,
+            invocations: vec![],
+            scripts: vec![],
+            allowed_features: policy
+                .allowed_features()
+                .into_iter()
+                .map(|p| p.token().to_string())
+                .collect(),
+        });
+    }
+}
+
+struct LoadDoc {
+    html: String,
+    url: Option<Url>,
+    origin: Origin,
+    policy: DocumentPolicy,
+    pp_header: Option<String>,
+    fp_header: Option<String>,
+    csp_header: Option<String>,
+    parent: Option<usize>,
+    depth: u32,
+    is_top_level: bool,
+    is_local: bool,
+    /// False for frames sandboxed without `allow-scripts`.
+    scripts_enabled: bool,
+    iframe_attrs: Option<IframeAttrs>,
+}
+
+/// Sandbox semantics (the slice the measurement needs): whether scripts
+/// may run, and whether the document keeps its real origin.
+fn sandbox_flags(sandbox: Option<&str>) -> (bool, bool) {
+    match sandbox {
+        None => (true, true),
+        Some(value) => {
+            let has = |token: &str| value.split_ascii_whitespace().any(|t| t.eq_ignore_ascii_case(token));
+            (has("allow-scripts"), has("allow-same-origin"))
+        }
+    }
+}
+
+/// Derives the prompts a visit would have shown: the first
+/// policy-allowed invocation of each powerful permission per frame. The
+/// prompt is attributed to the top-level origin (§2.2.2) except for
+/// `storage-access`, the one permission whose prompt names the embedded
+/// document.
+fn derive_prompts(frames: &[FrameRecord]) -> Vec<PromptRecord> {
+    let Some(top_origin) = frames
+        .iter()
+        .find(|f| f.is_top_level)
+        .map(|f| f.origin.clone())
+    else {
+        return Vec::new();
+    };
+    let mut prompts = Vec::new();
+    for frame in frames {
+        let mut seen: Vec<registry::Permission> = Vec::new();
+        for inv in &frame.invocations {
+            if inv.kind != InvocationKind::Invocation || inv.policy_blocked {
+                continue;
+            }
+            for p in &inv.permissions {
+                if !p.info().powerful || seen.contains(p) {
+                    continue;
+                }
+                seen.push(*p);
+                let attributed_origin = if *p == registry::Permission::StorageAccess {
+                    frame.origin.clone()
+                } else {
+                    top_origin.clone()
+                };
+                prompts.push(PromptRecord {
+                    permission: *p,
+                    frame_id: frame.frame_id,
+                    from_embedded: !frame.is_top_level,
+                    attributed_origin,
+                });
+            }
+        }
+    }
+    prompts
+}
+
+/// Chromium's header precedence (§2.2.6): a syntactically valid
+/// `Permissions-Policy` header wins; an invalid one is dropped entirely;
+/// `Feature-Policy` applies only when no `Permissions-Policy` header is
+/// present.
+fn effective_declared(pp: Option<&str>, fp: Option<&str>) -> DeclaredPolicy {
+    if let Some(pp) = pp {
+        return parse_permissions_policy(pp).unwrap_or_default();
+    }
+    if let Some(fp) = fp {
+        return feature_policy::parse_feature_policy(fp);
+    }
+    DeclaredPolicy::default()
+}

@@ -1,0 +1,196 @@
+//! Data collected while visiting a page — the crawl database schema.
+
+use serde::{Deserialize, Serialize};
+
+use registry::Permission;
+
+/// How a permission-related API invocation relates to the permission
+/// system (mirrors `registry::apis::ApiKind`, plus resolution results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvocationKind {
+    /// Uses a capability (e.g. `getUserMedia`).
+    Invocation,
+    /// Queries the status of one specific permission.
+    StatusQuery,
+    /// General Permissions / (Feature|Permissions) Policy API use,
+    /// including full-allowlist retrieval.
+    General,
+}
+
+/// One recorded API invocation (the Figure 1 instrumentation output).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Canonical API path.
+    pub api_path: String,
+    /// Invocation kind.
+    pub kind: InvocationKind,
+    /// Permissions exercised (empty for general APIs; the queried
+    /// permission for status queries).
+    pub permissions: Vec<Permission>,
+    /// URL of the calling script from the stack trace; `None` for inline
+    /// scripts (classified first-party, §4.1.1).
+    pub script_url: Option<String>,
+    /// Whether the call came through `new`.
+    pub constructed: bool,
+    /// Whether the deprecated Feature Policy API surface was used.
+    pub via_feature_policy_api: bool,
+    /// Whether Permissions Policy blocked the feature in this context
+    /// (the instrumentation still logs the attempt).
+    pub policy_blocked: bool,
+}
+
+/// A script collected from a frame (for static analysis).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptRecord {
+    /// External URL; `None` for inline scripts and handler attributes.
+    pub url: Option<String>,
+    /// Source text.
+    pub source: String,
+}
+
+/// The iframe attributes collected for an embedded frame (§3.1.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IframeAttrs {
+    /// `id`.
+    pub id: Option<String>,
+    /// `name`.
+    pub name: Option<String>,
+    /// `class`.
+    pub class: Option<String>,
+    /// `src` as written.
+    pub src: Option<String>,
+    /// `allow` as written.
+    pub allow: Option<String>,
+    /// `sandbox`.
+    pub sandbox: Option<String>,
+    /// Whether `srcdoc` was present.
+    pub has_srcdoc: bool,
+    /// `loading`.
+    pub loading: Option<String>,
+}
+
+/// One document (frame) visited during a page load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Frame index within the visit (0 = the final top-level document).
+    pub frame_id: usize,
+    /// Parent frame index (`None` for top-level documents).
+    pub parent: Option<usize>,
+    /// Nesting depth (0 for top-level).
+    pub depth: u32,
+    /// Final document URL (`None` for srcdoc documents).
+    pub url: Option<String>,
+    /// Serialized origin (`"null"` for opaque origins).
+    pub origin: String,
+    /// Site (registrable domain), when the origin is a tuple origin.
+    pub site: Option<String>,
+    /// Whether this is a top-level document (initial load or redirect).
+    pub is_top_level: bool,
+    /// Whether this is a local document (srcdoc / local scheme /
+    /// `javascript:` — no network request, no headers).
+    pub is_local_document: bool,
+    /// Attributes of the embedding `<iframe>` element.
+    pub iframe_attrs: Option<IframeAttrs>,
+    /// Raw `Permissions-Policy` response header.
+    pub permissions_policy_header: Option<String>,
+    /// Raw `Feature-Policy` response header.
+    pub feature_policy_header: Option<String>,
+    /// Raw `Content-Security-Policy` response header (frame-relevant for
+    /// the §6.2 vulnerability analysis).
+    #[serde(default)]
+    pub csp_header: Option<String>,
+    /// Recorded API invocations, first occurrence per (api, script) pair.
+    pub invocations: Vec<InvocationRecord>,
+    /// Scripts loaded by this frame (for the static analysis).
+    pub scripts: Vec<ScriptRecord>,
+    /// Policy-controlled features enabled for this document's own origin,
+    /// as spec tokens.
+    pub allowed_features: Vec<String>,
+}
+
+impl FrameRecord {
+    /// Whether any permission-related invocation was recorded.
+    pub fn any_invocation(&self) -> bool {
+        !self.invocations.is_empty()
+    }
+}
+
+/// A permission prompt the browser would have shown (§2.2.2: prompts for
+/// delegated powerful features name the *top-level* site, not the
+/// embedded document requesting them — `storage-access` being the only
+/// exception).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PromptRecord {
+    /// The powerful permission that would prompt.
+    pub permission: Permission,
+    /// Frame index of the requesting document.
+    pub frame_id: usize,
+    /// Whether the request came from an embedded document (prompting "on
+    /// behalf of" the top-level site — the §5 hijack surface).
+    pub from_embedded: bool,
+    /// The origin shown in the prompt text.
+    pub attributed_origin: String,
+}
+
+/// Why a visit ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VisitOutcome {
+    /// Everything collected.
+    Success,
+    /// "Error collecting ephemeral content information" — content was
+    /// served but the execution context was destroyed mid-collection.
+    EphemeralContext,
+    /// The page exceeded the overall 90-second budget; data is partial
+    /// and the paper excludes such sites.
+    PageTimeout,
+    /// The crawler itself crashed on this page (Playwright edge cases).
+    CrawlerCrash,
+}
+
+/// A completed page visit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageVisit {
+    /// The URL the crawler was asked to visit.
+    pub requested_url: String,
+    /// All documents, top-level first.
+    pub frames: Vec<FrameRecord>,
+    /// Permission prompts the visit would have triggered.
+    #[serde(default)]
+    pub prompts: Vec<PromptRecord>,
+    /// Outcome classification.
+    pub outcome: VisitOutcome,
+    /// Simulated milliseconds the visit took.
+    pub elapsed_ms: u64,
+}
+
+impl PageVisit {
+    /// The top-level frame record.
+    pub fn top_frame(&self) -> Option<&FrameRecord> {
+        self.frames.iter().find(|f| f.is_top_level)
+    }
+
+    /// All embedded (non-top-level) frames.
+    pub fn embedded_frames(&self) -> impl Iterator<Item = &FrameRecord> {
+        self.frames.iter().filter(|f| !f.is_top_level)
+    }
+}
+
+/// Errors that prevent a visit from producing any data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VisitError {
+    /// DNS / connection failure ("major errors").
+    Unreachable,
+    /// The load event did not fire within the 60-second limit.
+    LoadTimeout,
+}
+
+impl std::fmt::Display for VisitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisitError::Unreachable => write!(f, "site unreachable"),
+            VisitError::LoadTimeout => write!(f, "load event timeout"),
+        }
+    }
+}
+
+impl std::error::Error for VisitError {}

@@ -1,0 +1,214 @@
+//! The `permissions-odyssey` command-line tool.
+//!
+//! ```text
+//! permissions-odyssey crawl    --size 20000 --seed 7 --out crawl.jsonl
+//! permissions-odyssey analyze  --db crawl.jsonl [--table t4]
+//! permissions-odyssey lint     "camera 'none'; microphone 'none'"
+//! permissions-odyssey generate --preset disable-powerful
+//! permissions-odyssey matrix
+//! permissions-odyssey poc
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use permissions_odyssey::prelude::*;
+use permissions_odyssey::tools;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "crawl" => cmd_crawl(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "matrix" => cmd_matrix(),
+        "poc" => cmd_poc(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+permissions-odyssey — browser permission ecosystem measurement
+
+USAGE:
+  permissions-odyssey crawl    [--size N] [--seed S] [--workers W] [--out FILE]
+  permissions-odyssey analyze  --db FILE [--table NAME] [--top N]
+  permissions-odyssey lint     <Permissions-Policy header value>
+  permissions-odyssey generate [--preset disable-all|disable-powerful]
+  permissions-odyssey matrix
+  permissions-odyssey poc
+
+TABLES (analyze --table): funnel census t3 t4 t5 t6 summary t7 t8
+  directives f2 t9 misconfig t10 groups exposure all (default)";
+
+/// Extracts `--name value` from an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {value}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_crawl(args: &[String]) -> Result<(), String> {
+    let size: u64 = parse_flag(args, "--size", 20_000)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let workers: usize = parse_flag(args, "--workers", 8)?;
+    let out: PathBuf = flag(args, "--out")
+        .unwrap_or_else(|| "crawl.jsonl".to_string())
+        .into();
+
+    let population = WebPopulation::new(PopulationConfig { seed, size });
+    eprintln!("crawling {size} origins (seed {seed}, {workers} workers)…");
+    let started = std::time::Instant::now();
+    // Stream records to disk as they complete (the paper's per-site
+    // persistence, Appendix A.2 C14).
+    let file = std::fs::File::create(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let mut writer = std::io::BufWriter::new(file);
+    let mut write_error: Option<String> = None;
+    let funnel = Crawler::new(CrawlConfig {
+        workers,
+        ..CrawlConfig::default()
+    })
+    .crawl_streaming(&population, |record| {
+        if write_error.is_some() {
+            return;
+        }
+        if let Err(e) = serde_json::to_writer(&mut writer, &record)
+            .map_err(|e| e.to_string())
+            .and_then(|()| writer.write_all(b"\n").map_err(|e| e.to_string()))
+        {
+            write_error = Some(e);
+        }
+    });
+    writer.flush().map_err(|e| e.to_string())?;
+    if let Some(e) = write_error {
+        return Err(format!("writing {}: {e}", out.display()));
+    }
+    eprintln!(
+        "{} in {:.1}s",
+        funnel.report(),
+        started.elapsed().as_secs_f64()
+    );
+    eprintln!("database written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let db: PathBuf = flag(args, "--db").ok_or("analyze requires --db FILE")?.into();
+    let table = flag(args, "--table").unwrap_or_else(|| "all".to_string());
+    let top: usize = parse_flag(args, "--top", 10)?;
+    let dataset =
+        crawler::read_jsonl(&db).map_err(|e| format!("reading {}: {e}", db.display()))?;
+    let all = table == "all";
+    let mut matched = false;
+    // Ignore write errors: piping into `head` must not panic the tool.
+    let mut emit = |name: &str, render: &dyn Fn() -> String| {
+        if all || table == name {
+            let _ = writeln!(std::io::stdout(), "{}", render());
+            matched = true;
+        }
+    };
+    emit("funnel", &|| dataset.funnel().report());
+    emit("census", &|| analysis::census::frame_census(&dataset).table().render());
+    emit("t3", &|| analysis::embeds::top_external_embeds(&dataset).table(top).render());
+    emit("t4", &|| analysis::usage::invocation_table(&dataset).table(top).render());
+    emit("t5", &|| analysis::usage::status_check_table(&dataset).table(top).render());
+    emit("t6", &|| analysis::usage::static_table(&dataset).table(top).render());
+    emit("summary", &|| analysis::usage::usage_summary(&dataset).table().render());
+    emit("t7", &|| analysis::delegation::delegated_embeds(&dataset).table(top).render());
+    // Both delegation tables come from one dataset pass.
+    if all || table == "t8" || table == "directives" {
+        let stats = analysis::delegation::delegated_permissions(&dataset);
+        emit("t8", &|| stats.table(top).render());
+        emit("directives", &|| stats.directive_table().render());
+    }
+    emit("f2", &|| analysis::headers::header_adoption(&dataset).table().render());
+    emit("t9", &|| analysis::headers::top_level_directives(&dataset).table(top).render());
+    emit("misconfig", &|| analysis::headers::misconfigurations(&dataset).table().render());
+    emit("t10", &|| {
+        analysis::overpermission::unused_delegations(&dataset)
+            .table(top.max(30))
+            .render()
+    });
+    emit("groups", &|| analysis::delegation::purpose_groups(&dataset).table().render());
+    emit("exposure", &|| {
+        analysis::vulnerability::local_scheme_exposure(&dataset)
+            .table()
+            .render()
+    });
+    if !matched {
+        return Err(format!("unknown table `{table}`\n{USAGE}"));
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let header = args.join(" ");
+    if header.trim().is_empty() {
+        return Err("lint requires a header value".to_string());
+    }
+    let findings = tools::linter::lint(&header);
+    if findings.is_empty() {
+        println!("✓ header is well-formed");
+        return Ok(());
+    }
+    for finding in findings {
+        println!("✗ {}", finding.problem);
+        println!("  fix: {}", finding.suggestion);
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let preset = match flag(args, "--preset").as_deref() {
+        None | Some("disable-powerful") => tools::generator::Preset::DisablePowerful,
+        Some("disable-all") => tools::generator::Preset::DisableAll,
+        Some(other) => return Err(format!("unknown preset `{other}`")),
+    };
+    println!(
+        "Permissions-Policy: {}",
+        tools::generator::permissions_policy_value(&preset)
+    );
+    println!(
+        "Feature-Policy:     {}",
+        tools::generator::feature_policy_value(&preset)
+    );
+    Ok(())
+}
+
+fn cmd_matrix() -> Result<(), String> {
+    let _ = write!(std::io::stdout(), "{}", tools::support_matrix::render());
+    Ok(())
+}
+
+fn cmd_poc() -> Result<(), String> {
+    println!("{}", tools::poc::render_delegation_matrix());
+    println!("{}", tools::poc::render_local_scheme_issue());
+    Ok(())
+}

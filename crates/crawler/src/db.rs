@@ -1,0 +1,80 @@
+//! JSONL record database.
+//!
+//! The paper's pipeline wrote each site's collected data to a database
+//! as soon as its visit finished (Appendix A.2, C14). We persist the
+//! same way: one JSON object per line, append-friendly, streamable.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::run::{CrawlDataset, SiteRecord};
+
+/// Writes a dataset as JSONL.
+pub fn write_jsonl(dataset: &CrawlDataset, path: &Path) -> std::io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for record in &dataset.records {
+        serde_json::to_writer(&mut out, record)?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Reads a dataset back from JSONL. Malformed lines are reported as
+/// errors (the database is machine-written; corruption should be loud).
+pub fn read_jsonl(path: &Path) -> std::io::Result<CrawlDataset> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records: Vec<SiteRecord> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", idx + 1),
+            )
+        })?;
+        records.push(record);
+    }
+    Ok(CrawlDataset { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{CrawlConfig, Crawler};
+    use webgen::{PopulationConfig, WebPopulation};
+
+    #[test]
+    fn jsonl_round_trip() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 30 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crawl.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+        let loaded = read_jsonl(&path).unwrap();
+        assert_eq!(dataset.records.len(), loaded.records.len());
+        for (a, b) in dataset.records.iter().zip(&loaded.records) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(
+                a.visit.as_ref().map(|v| v.frames.len()),
+                b.visit.as_ref().map(|v| v.frames.len())
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_loud() {
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        assert!(read_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

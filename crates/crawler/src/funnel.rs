@@ -1,0 +1,100 @@
+//! Crawl-funnel accounting (§4's visit-outcome breakdown).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of visit outcomes across a crawl, mirroring the numbers the
+/// paper reports at the top of §4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlFunnel {
+    /// Origins the crawler attempted.
+    pub attempted: u64,
+    /// Successful, complete visits (the paper's 817,800 minus exclusions).
+    pub succeeded: u64,
+    /// DNS / connection failures ("major errors", 27,733).
+    pub unreachable: u64,
+    /// Load-event timeouts (28,700).
+    pub load_timeouts: u64,
+    /// Ephemeral-content collection errors (60,183).
+    pub ephemeral: u64,
+    /// Crawler crashes / minor errors (315).
+    pub crawler_errors: u64,
+    /// Visits excluded for page-budget timeouts / incomplete iframes
+    /// (the 65,169 exclusions).
+    pub excluded: u64,
+}
+
+impl CrawlFunnel {
+    /// Success rate over attempts.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            return 0.0;
+        }
+        self.succeeded as f64 / self.attempted as f64
+    }
+
+    /// Share of data-producing visits that were excluded (the paper notes
+    /// ~20% excluded relative to total volume is in line with prior work).
+    pub fn exclusion_rate(&self) -> f64 {
+        let produced = self.succeeded + self.excluded;
+        if produced == 0 {
+            return 0.0;
+        }
+        self.excluded as f64 / produced as f64
+    }
+
+    /// Renders the funnel like the §4 prose.
+    pub fn report(&self) -> String {
+        format!(
+            "attempted {}: {} succeeded, {} ephemeral-content errors, {} load timeouts, \
+             {} unreachable, {} crawler errors, {} excluded (page budget)",
+            self.attempted,
+            self.succeeded,
+            self.ephemeral,
+            self.load_timeouts,
+            self.unreachable,
+            self.crawler_errors,
+            self.excluded
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let f = CrawlFunnel {
+            attempted: 100,
+            succeeded: 80,
+            excluded: 20,
+            ..CrawlFunnel::default()
+        };
+        assert!((f.success_rate() - 0.8).abs() < 1e-9);
+        assert!((f.exclusion_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_safe() {
+        let f = CrawlFunnel::default();
+        assert_eq!(f.success_rate(), 0.0);
+        assert_eq!(f.exclusion_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_mentions_all_classes() {
+        let f = CrawlFunnel {
+            attempted: 10,
+            succeeded: 5,
+            unreachable: 1,
+            load_timeouts: 1,
+            ephemeral: 1,
+            crawler_errors: 1,
+            excluded: 1,
+        };
+        let r = f.report();
+        for needle in ["succeeded", "ephemeral", "timeouts", "unreachable", "excluded"] {
+            assert!(r.contains(needle), "{r}");
+        }
+    }
+}

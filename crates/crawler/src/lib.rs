@@ -1,0 +1,35 @@
+//! The measurement pipeline.
+//!
+//! The Rust counterpart of the paper's Playwright wrapper (§3.2 /
+//! Appendix A.2): it walks the ranked origin list with a pool of parallel
+//! crawler workers (the paper used 40), visits each origin once through
+//! the simulated browser, classifies failures into the §4 crawl-funnel
+//! taxonomy, and stores one record per site in an in-memory dataset
+//! and/or a JSONL database — the same shape the paper's pipeline wrote to
+//! its database after each site.
+//!
+//! Because the population, network and browser are all deterministic, a
+//! crawl with the same seed and worker count always produces the same
+//! dataset (workers only affect wall-clock time, not results).
+//!
+//! # Example
+//!
+//! ```
+//! use crawler::{CrawlConfig, Crawler};
+//! use webgen::{PopulationConfig, WebPopulation};
+//!
+//! let population = WebPopulation::new(PopulationConfig { seed: 7, size: 50 });
+//! let dataset = Crawler::new(CrawlConfig::default()).crawl(&population);
+//! assert_eq!(dataset.records.len(), 50);
+//! let funnel = dataset.funnel();
+//! assert_eq!(funnel.attempted, 50);
+//! assert!(funnel.succeeded > 30);
+//! ```
+
+mod db;
+mod funnel;
+mod run;
+
+pub use db::{read_jsonl, write_jsonl};
+pub use funnel::CrawlFunnel;
+pub use run::{CrawlConfig, CrawlDataset, Crawler, SiteOutcome, SiteRecord};

@@ -1,0 +1,428 @@
+//! The crawl loop: work distribution, visiting, classification.
+
+use browser::{Browser, BrowserConfig, PageVisit, VisitError, VisitOutcome};
+use netsim::{SimClock, SimNetwork};
+use serde::{Deserialize, Serialize};
+use webgen::WebPopulation;
+
+use crate::funnel::CrawlFunnel;
+
+/// Crawl configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Parallel crawler workers (the paper used 40).
+    pub workers: usize,
+    /// Browser configuration for every visit.
+    pub browser: BrowserConfig,
+    /// Interaction-mode extras: also navigate up to this many same-origin
+    /// links per site (0 in the main measurement; Appendix A.3's manual
+    /// protocol visits multiple paths).
+    pub navigate_links: usize,
+    /// Per-visit response-cache capacity (0 = no caching). Browsers cache
+    /// shared tracker scripts; the crawl is stateless *across* sites like
+    /// the paper's (C11: headful stateless browser), so the cache lives
+    /// only within one visit.
+    pub cache_capacity: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> CrawlConfig {
+        CrawlConfig {
+            workers: 8,
+            browser: BrowserConfig::default(),
+            navigate_links: 0,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Final classification of one origin's visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteOutcome {
+    /// Complete visit; the record carries data.
+    Success,
+    /// DNS / connection failure.
+    Unreachable,
+    /// Load-event timeout.
+    LoadTimeout,
+    /// Ephemeral-content collection error.
+    Ephemeral,
+    /// Crawler crash.
+    CrawlerError,
+    /// Page-budget timeout — data partial, excluded from analysis.
+    Excluded,
+}
+
+/// One origin's crawl record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteRecord {
+    /// Rank in the origin list (1-based).
+    pub rank: u64,
+    /// The origin visited.
+    pub origin: String,
+    /// Outcome classification.
+    pub outcome: SiteOutcome,
+    /// Collected data for successful (and excluded-partial) visits.
+    pub visit: Option<PageVisit>,
+    /// Simulated milliseconds spent on this origin.
+    pub elapsed_ms: u64,
+}
+
+/// A completed crawl.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrawlDataset {
+    /// One record per attempted origin, rank order.
+    pub records: Vec<SiteRecord>,
+}
+
+impl CrawlDataset {
+    /// Funnel accounting over the records.
+    pub fn funnel(&self) -> CrawlFunnel {
+        let mut funnel = CrawlFunnel {
+            attempted: self.records.len() as u64,
+            ..CrawlFunnel::default()
+        };
+        for record in &self.records {
+            match record.outcome {
+                SiteOutcome::Success => funnel.succeeded += 1,
+                SiteOutcome::Unreachable => funnel.unreachable += 1,
+                SiteOutcome::LoadTimeout => funnel.load_timeouts += 1,
+                SiteOutcome::Ephemeral => funnel.ephemeral += 1,
+                SiteOutcome::CrawlerError => funnel.crawler_errors += 1,
+                SiteOutcome::Excluded => funnel.excluded += 1,
+            }
+        }
+        funnel
+    }
+
+    /// Successful visits only (the analysis population).
+    pub fn successes(&self) -> impl Iterator<Item = &SiteRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == SiteOutcome::Success)
+    }
+
+    /// Total simulated crawl time across all origins (single-worker
+    /// equivalent), in milliseconds.
+    pub fn total_simulated_ms(&self) -> u64 {
+        self.records.iter().map(|r| r.elapsed_ms).sum()
+    }
+}
+
+/// The crawler.
+pub struct Crawler {
+    config: CrawlConfig,
+}
+
+impl Crawler {
+    /// Creates a crawler.
+    pub fn new(config: CrawlConfig) -> Crawler {
+        Crawler { config }
+    }
+
+    /// Visits one origin and classifies the result.
+    pub fn visit_one(&self, population: &WebPopulation, rank: u64) -> SiteRecord {
+        let origin = population.origin(rank);
+        let network = netsim::CachingNetwork::new(
+            SimNetwork::new(population),
+            self.config.cache_capacity,
+        );
+        let mut browser = Browser::new(network, self.config.browser.clone());
+        let mut clock = SimClock::new();
+        let started = clock.now_ms();
+        let result = browser.visit(&origin, &mut clock);
+        let mut record = match result {
+            Ok(mut visit) => {
+                // Interaction-mode navigation: follow same-origin links and
+                // merge their frames (Appendix A.3 manual protocol).
+                if self.config.navigate_links > 0 {
+                    let links: Vec<String> = visit
+                        .top_frame()
+                        .map(|top| {
+                            let base = top.url.clone().unwrap_or_default();
+                            html_links(&base, self.config.navigate_links)
+                        })
+                        .unwrap_or_default();
+                    for link in links {
+                        if let Ok(link_url) = weburl::Url::parse(&link) {
+                            if let Ok(extra) = browser.visit(&link_url, &mut clock) {
+                                merge_visits(&mut visit, extra);
+                            }
+                        }
+                    }
+                }
+                let outcome = match visit.outcome {
+                    VisitOutcome::Success => SiteOutcome::Success,
+                    VisitOutcome::EphemeralContext => SiteOutcome::Ephemeral,
+                    VisitOutcome::CrawlerCrash => SiteOutcome::CrawlerError,
+                    VisitOutcome::PageTimeout => SiteOutcome::Excluded,
+                };
+                SiteRecord {
+                    rank,
+                    origin: origin.to_string(),
+                    outcome,
+                    visit: Some(visit),
+                    elapsed_ms: 0,
+                }
+            }
+            Err(VisitError::Unreachable) => SiteRecord {
+                rank,
+                origin: origin.to_string(),
+                outcome: SiteOutcome::Unreachable,
+                visit: None,
+                elapsed_ms: 0,
+            },
+            Err(VisitError::LoadTimeout) => SiteRecord {
+                rank,
+                origin: origin.to_string(),
+                outcome: SiteOutcome::LoadTimeout,
+                visit: None,
+                elapsed_ms: 0,
+            },
+        };
+        record.elapsed_ms = clock.now_ms() - started;
+        record
+    }
+
+    /// Crawls the whole population with the configured worker pool.
+    pub fn crawl(&self, population: &WebPopulation) -> CrawlDataset {
+        self.crawl_range(population, 1, population.config().size)
+    }
+
+    /// Crawls the population, invoking `sink` for every completed record
+    /// in rank order as soon as it (and all earlier ranks) finished —
+    /// the paper's C14 requirement: data is persisted per site, not at
+    /// the end of the run.
+    pub fn crawl_streaming<F>(&self, population: &WebPopulation, mut sink: F) -> CrawlFunnel
+    where
+        F: FnMut(SiteRecord) + Send,
+    {
+        let to = population.config().size;
+        let workers = self.config.workers.max(1);
+        let pending = parking_lot::Mutex::new(std::collections::BTreeMap::<u64, SiteRecord>::new());
+        let next_rank = std::sync::atomic::AtomicU64::new(1);
+        let mut funnel = CrawlFunnel {
+            attempted: to,
+            ..CrawlFunnel::default()
+        };
+        let sink_cell = parking_lot::Mutex::new((&mut sink, 1u64, &mut funnel));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let rank = next_rank.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if rank > to {
+                        break;
+                    }
+                    let record = self.visit_one(population, rank);
+                    let mut buffer = pending.lock();
+                    buffer.insert(rank, record);
+                    // Drain the in-order prefix.
+                    let mut out = sink_cell.lock();
+                    let (sink, cursor, funnel) = &mut *out;
+                    while let Some(record) = buffer.remove(cursor) {
+                        match record.outcome {
+                            SiteOutcome::Success => funnel.succeeded += 1,
+                            SiteOutcome::Unreachable => funnel.unreachable += 1,
+                            SiteOutcome::LoadTimeout => funnel.load_timeouts += 1,
+                            SiteOutcome::Ephemeral => funnel.ephemeral += 1,
+                            SiteOutcome::CrawlerError => funnel.crawler_errors += 1,
+                            SiteOutcome::Excluded => funnel.excluded += 1,
+                        }
+                        sink(record);
+                        *cursor += 1;
+                    }
+                });
+            }
+        })
+        .expect("crawl workers never panic");
+        funnel
+    }
+
+    /// Crawls ranks `from..=to` (1-based, inclusive).
+    pub fn crawl_range(&self, population: &WebPopulation, from: u64, to: u64) -> CrawlDataset {
+        let workers = self.config.workers.max(1);
+        let mut records: Vec<Option<SiteRecord>> = Vec::new();
+        records.resize_with((to - from + 1) as usize, || None);
+        let results = parking_lot::Mutex::new(records);
+        let next = std::sync::atomic::AtomicU64::new(from);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let rank = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if rank > to {
+                        break;
+                    }
+                    let record = self.visit_one(population, rank);
+                    results.lock()[(rank - from) as usize] = Some(record);
+                });
+            }
+        })
+        .expect("crawl workers never panic");
+
+        CrawlDataset {
+            records: results
+                .into_inner()
+                .into_iter()
+                .map(|r| r.expect("every rank visited"))
+                .collect(),
+        }
+    }
+}
+
+/// Same-origin inner links the interaction crawl follows. The synthetic
+/// sites expose `/about` and `/contact`.
+fn html_links(base: &str, max: usize) -> Vec<String> {
+    let base = base.trim_end_matches('/');
+    ["/about", "/contact"]
+        .iter()
+        .take(max)
+        .map(|p| format!("{base}{p}"))
+        .collect()
+}
+
+/// Merges an extra page visit's frames into the main visit (interaction
+/// mode aggregates per-site observations across paths).
+fn merge_visits(main: &mut PageVisit, extra: PageVisit) {
+    let offset = main.frames.len();
+    for mut prompt in extra.prompts {
+        prompt.frame_id += offset;
+        main.prompts.push(prompt);
+    }
+    for mut frame in extra.frames {
+        frame.frame_id += offset;
+        frame.parent = frame.parent.map(|p| p + offset);
+        // Only the original landing page is the site's top-level document.
+        if frame.is_top_level {
+            frame.is_top_level = false;
+            frame.parent = None;
+        }
+        main.frames.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webgen::PopulationConfig;
+
+    fn small_population() -> WebPopulation {
+        WebPopulation::new(PopulationConfig { seed: 7, size: 120 })
+    }
+
+    #[test]
+    fn crawl_visits_every_rank_once() {
+        let pop = small_population();
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        assert_eq!(dataset.records.len(), 120);
+        for (i, r) in dataset.records.iter().enumerate() {
+            assert_eq!(r.rank, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_crawls_agree() {
+        let pop = small_population();
+        let serial = Crawler::new(CrawlConfig {
+            workers: 1,
+            ..CrawlConfig::default()
+        })
+        .crawl(&pop);
+        let parallel = Crawler::new(CrawlConfig {
+            workers: 6,
+            ..CrawlConfig::default()
+        })
+        .crawl(&pop);
+        for (a, b) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(a.outcome, b.outcome, "rank {}", a.rank);
+            assert_eq!(
+                a.visit.as_ref().map(|v| v.frames.len()),
+                b.visit.as_ref().map(|v| v.frames.len()),
+                "rank {}",
+                a.rank
+            );
+        }
+    }
+
+    #[test]
+    fn funnel_covers_all_outcomes() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 800 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let funnel = dataset.funnel();
+        assert_eq!(funnel.attempted, 800);
+        let sum = funnel.succeeded
+            + funnel.unreachable
+            + funnel.load_timeouts
+            + funnel.ephemeral
+            + funnel.crawler_errors
+            + funnel.excluded;
+        assert_eq!(sum, 800);
+        // Shape: successes dominate; every major failure class present.
+        assert!(funnel.success_rate() > 0.7, "{}", funnel.report());
+        assert!(funnel.unreachable > 0);
+        assert!(funnel.ephemeral > funnel.unreachable / 4);
+    }
+
+    #[test]
+    fn interaction_mode_collects_more() {
+        let pop = small_population();
+        // Find a healthy rank.
+        let plain = Crawler::new(CrawlConfig::default());
+        let rank = (1..=120u64)
+            .find(|&r| plain.visit_one(&pop, r).outcome == SiteOutcome::Success)
+            .unwrap();
+        let without = plain.visit_one(&pop, rank);
+        let with = Crawler::new(CrawlConfig {
+            navigate_links: 2,
+            browser: BrowserConfig {
+                interaction: true,
+                ..BrowserConfig::default()
+            },
+            ..CrawlConfig::default()
+        })
+        .visit_one(&pop, rank);
+        let frames = |r: &SiteRecord| r.visit.as_ref().unwrap().frames.len();
+        assert!(frames(&with) >= frames(&without));
+    }
+
+    #[test]
+    fn average_visit_time_is_realistic() {
+        // §4: ~35 simulated seconds per website (load + 20 s settle).
+        let pop = small_population();
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let succeeded: Vec<_> = dataset.successes().collect();
+        let avg_ms =
+            succeeded.iter().map(|r| r.elapsed_ms).sum::<u64>() / succeeded.len().max(1) as u64;
+        assert!(
+            (20_000..60_000).contains(&avg_ms),
+            "avg visit time {avg_ms} ms"
+        );
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use webgen::PopulationConfig;
+
+    #[test]
+    fn streaming_delivers_in_rank_order_and_matches_batch() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 90 });
+        let crawler = Crawler::new(CrawlConfig {
+            workers: 4,
+            ..CrawlConfig::default()
+        });
+        let mut streamed: Vec<SiteRecord> = Vec::new();
+        let funnel = crawler.crawl_streaming(&pop, |record| streamed.push(record));
+        assert_eq!(streamed.len(), 90);
+        for (i, r) in streamed.iter().enumerate() {
+            assert_eq!(r.rank, i as u64 + 1, "in-order delivery");
+        }
+        let batch = crawler.crawl(&pop);
+        assert_eq!(funnel, batch.funnel());
+        for (a, b) in streamed.iter().zip(&batch.records) {
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Minimal HTML tokenizer and document scanner.
+//!
+//! The crawler does not need a full DOM — it needs exactly what the
+//! paper's pipeline extracted from each document:
+//!
+//! * every `<iframe>` with its attributes (`id`, `name`, `class`, `src`,
+//!   `allow`, `sandbox`, `srcdoc`, `loading` — §3.1.2),
+//! * every `<script>` (external `src` or inline body),
+//! * inline event handlers (`onclick="..."`) — the interaction-gated code
+//!   the paper's no-interaction crawl misses (§6.1, Appendix A.3),
+//! * anchors, for the interaction-mode crawler's same-origin navigation.
+//!
+//! [`tokenizer`] is a small state machine covering tags, attributes with
+//! all three quoting styles, comments, and raw-text elements
+//! (`<script>`/`<style>`); [`scan`] folds the token stream into a
+//! [`Document`].
+//!
+//! # Example
+//!
+//! ```
+//! let doc = html::scan(r#"
+//!     <iframe src="https://widget.example/chat" allow="camera; microphone *" loading="lazy">
+//!     </iframe>
+//!     <script src="/app.js"></script>
+//!     <script>navigator.getBattery();</script>
+//! "#);
+//! assert_eq!(doc.iframes.len(), 1);
+//! assert_eq!(doc.iframes[0].allow.as_deref(), Some("camera; microphone *"));
+//! assert!(doc.iframes[0].lazy());
+//! assert_eq!(doc.scripts.len(), 2);
+//! ```
+
+pub mod scanner;
+pub mod tokenizer;
+
+pub use scanner::{scan, Document, EventHandler, IframeElement, LinkElement, ScriptElement};
+pub use tokenizer::{tokenize, Attribute, Token};

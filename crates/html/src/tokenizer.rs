@@ -1,0 +1,359 @@
+//! HTML tokenizer.
+//!
+//! A pragmatic subset of the WHATWG tokenization algorithm: start/end
+//! tags with attributes (unquoted, single- and double-quoted), comments,
+//! doctype (skipped), character data, and raw-text handling for
+//! `<script>` and `<style>` whose content must not be re-tokenized.
+
+use serde::{Deserialize, Serialize};
+
+/// One attribute on a tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Lowercased attribute name.
+    pub name: String,
+    /// Attribute value (empty for value-less attributes).
+    pub value: String,
+}
+
+/// One token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// `<name attr=value ...>`; `self_closing` is true for `<br/>`.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ends with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// Text between tags. Raw-text element content (script bodies) is
+    /// emitted as a single `Text` token.
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+}
+
+impl Token {
+    /// Attribute lookup for start tags.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Token::StartTag { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Elements whose content is raw text (not re-tokenized).
+fn is_raw_text_element(name: &str) -> bool {
+    matches!(name, "script" | "style" | "textarea" | "title")
+}
+
+/// Tokenizes an HTML document.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    let mut text_start = 0;
+
+    macro_rules! flush_text {
+        ($upto:expr) => {
+            if text_start < $upto {
+                let text = &input[text_start..$upto];
+                if !text.is_empty() {
+                    tokens.push(Token::Text(text.to_string()));
+                }
+            }
+        };
+    }
+
+    while pos < bytes.len() {
+        if bytes[pos] != b'<' {
+            pos += 1;
+            continue;
+        }
+        // Comment?
+        if input[pos..].starts_with("<!--") {
+            flush_text!(pos);
+            let end = input[pos + 4..]
+                .find("-->")
+                .map(|i| pos + 4 + i)
+                .unwrap_or(bytes.len());
+            tokens.push(Token::Comment(input[pos + 4..end].to_string()));
+            pos = (end + 3).min(bytes.len());
+            text_start = pos;
+            continue;
+        }
+        // Doctype / processing instruction: skip to '>'.
+        if input[pos..].starts_with("<!") || input[pos..].starts_with("<?") {
+            flush_text!(pos);
+            let end = input[pos..].find('>').map(|i| pos + i).unwrap_or(bytes.len());
+            pos = (end + 1).min(bytes.len());
+            text_start = pos;
+            continue;
+        }
+        // End tag?
+        if input[pos..].starts_with("</") {
+            flush_text!(pos);
+            let end = input[pos..].find('>').map(|i| pos + i).unwrap_or(bytes.len());
+            let name = input[pos + 2..end]
+                .trim()
+                .to_ascii_lowercase();
+            if !name.is_empty() {
+                tokens.push(Token::EndTag { name });
+            }
+            pos = (end + 1).min(bytes.len());
+            text_start = pos;
+            continue;
+        }
+        // Start tag: next char must be a letter, otherwise literal '<'.
+        match bytes.get(pos + 1) {
+            Some(b) if b.is_ascii_alphabetic() => {}
+            _ => {
+                pos += 1;
+                continue;
+            }
+        }
+        flush_text!(pos);
+        let (token, next) = parse_start_tag(input, pos);
+        let raw_name = match &token {
+            Token::StartTag {
+                name,
+                self_closing: false,
+                ..
+            } if is_raw_text_element(name) => Some(name.clone()),
+            _ => None,
+        };
+        tokens.push(token);
+        pos = next;
+        text_start = pos;
+        // Raw-text content: scan for the matching close tag.
+        if let Some(name) = raw_name {
+            let close = format!("</{name}");
+            let lower = input[pos..].to_ascii_lowercase();
+            let end = lower.find(&close).map(|i| pos + i).unwrap_or(bytes.len());
+            if end > pos {
+                tokens.push(Token::Text(input[pos..end].to_string()));
+            }
+            if end < bytes.len() {
+                let tag_end = input[end..].find('>').map(|i| end + i).unwrap_or(bytes.len());
+                tokens.push(Token::EndTag { name });
+                pos = (tag_end + 1).min(bytes.len());
+            } else {
+                pos = bytes.len();
+            }
+            text_start = pos;
+        }
+    }
+    flush_text!(bytes.len());
+    tokens
+}
+
+/// Parses a start tag beginning at `start` (which points at `<`).
+/// Returns the token and the position after the closing `>`.
+fn parse_start_tag(input: &str, start: usize) -> (Token, usize) {
+    let bytes = input.as_bytes();
+    let mut pos = start + 1;
+    let name_start = pos;
+    while pos < bytes.len()
+        && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'-' || bytes[pos] == b':')
+    {
+        pos += 1;
+    }
+    let name = input[name_start..pos].to_ascii_lowercase();
+    let mut attrs: Vec<Attribute> = Vec::new();
+    let mut self_closing = false;
+
+    loop {
+        // Skip whitespace.
+        while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        match bytes.get(pos) {
+            None => break,
+            Some(b'>') => {
+                pos += 1;
+                break;
+            }
+            Some(b'/') => {
+                if bytes.get(pos + 1) == Some(&b'>') {
+                    self_closing = true;
+                    pos += 2;
+                    break;
+                }
+                pos += 1;
+            }
+            Some(_) => {
+                // Attribute name.
+                let attr_start = pos;
+                while pos < bytes.len()
+                    && !bytes[pos].is_ascii_whitespace()
+                    && !matches!(bytes[pos], b'=' | b'>' | b'/')
+                {
+                    pos += 1;
+                }
+                let attr_name = input[attr_start..pos].to_ascii_lowercase();
+                // Skip whitespace before '='.
+                while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                    pos += 1;
+                }
+                let value = if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                        pos += 1;
+                    }
+                    match bytes.get(pos) {
+                        Some(&q @ (b'"' | b'\'')) => {
+                            pos += 1;
+                            let val_start = pos;
+                            while pos < bytes.len() && bytes[pos] != q {
+                                pos += 1;
+                            }
+                            let value = input[val_start..pos].to_string();
+                            pos = (pos + 1).min(bytes.len());
+                            value
+                        }
+                        _ => {
+                            let val_start = pos;
+                            while pos < bytes.len()
+                                && !bytes[pos].is_ascii_whitespace()
+                                && bytes[pos] != b'>'
+                            {
+                                pos += 1;
+                            }
+                            input[val_start..pos].to_string()
+                        }
+                    }
+                } else {
+                    String::new()
+                };
+                if !attr_name.is_empty() && !attrs.iter().any(|a| a.name == attr_name) {
+                    attrs.push(Attribute {
+                        name: attr_name,
+                        value: decode_entities(&value),
+                    });
+                }
+            }
+        }
+    }
+    (
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        },
+        pos,
+    )
+}
+
+/// Decodes the handful of entities that occur in attribute values.
+fn decode_entities(value: &str) -> String {
+    if !value.contains('&') {
+        return value.to_string();
+    }
+    value
+        .replace("&amp;", "&")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tag() {
+        let t = tokenize("<div class=\"a\">x</div>");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].attr("class"), Some("a"));
+        assert_eq!(t[1], Token::Text("x".to_string()));
+        assert_eq!(t[2], Token::EndTag { name: "div".to_string() });
+    }
+
+    #[test]
+    fn attribute_quoting_styles() {
+        let t = tokenize("<iframe src=\"a\" name='b' loading=lazy allowfullscreen>");
+        assert_eq!(t[0].attr("src"), Some("a"));
+        assert_eq!(t[0].attr("name"), Some("b"));
+        assert_eq!(t[0].attr("loading"), Some("lazy"));
+        assert_eq!(t[0].attr("allowfullscreen"), Some(""));
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let t = tokenize("<script>if (a < b) { x(\"<div>\"); }</script>");
+        assert_eq!(t.len(), 3);
+        match &t[1] {
+            Token::Text(s) => assert!(s.contains("a < b") && s.contains("<div>")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments() {
+        let t = tokenize("a<!-- hidden <iframe src=x> -->b");
+        assert_eq!(t.len(), 3);
+        assert!(matches!(&t[1], Token::Comment(c) if c.contains("iframe")));
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let t = tokenize("<IFRAME SRC='x'></IFRAME>");
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "iframe"));
+        assert_eq!(t[0].attr("src"), Some("x"));
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let t = tokenize("<br/><img src=x />");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let t = tokenize("<!DOCTYPE html><p>x</p>");
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn unterminated_tag_does_not_panic() {
+        let t = tokenize("<iframe src=\"x");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_script_does_not_panic() {
+        let t = tokenize("<script>var x = 1;");
+        assert!(matches!(&t[1], Token::Text(s) if s.contains("var x")));
+    }
+
+    #[test]
+    fn literal_less_than_is_text() {
+        let t = tokenize("1 < 2");
+        assert_eq!(t, vec![Token::Text("1 < 2".to_string())]);
+    }
+
+    #[test]
+    fn entities_in_attributes_decoded() {
+        let t = tokenize("<a href=\"?a=1&amp;b=2\">x</a>");
+        assert_eq!(t[0].attr("href"), Some("?a=1&b=2"));
+    }
+
+    #[test]
+    fn duplicate_attributes_keep_first() {
+        let t = tokenize("<iframe allow=\"camera\" allow=\"microphone\">");
+        assert_eq!(t[0].attr("allow"), Some("camera"));
+    }
+}

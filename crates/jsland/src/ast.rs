@@ -1,0 +1,161 @@
+//! Abstract syntax tree.
+
+use std::rc::Rc;
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var|let|const name = init;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Initializer (None for bare declarations).
+        init: Option<Expr>,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// `if (cond) { then } else { otherwise }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `function name(params) { body }` — hoisted like a var declaration.
+    FuncDecl {
+        /// Function name.
+        name: String,
+        /// The function literal.
+        func: Rc<Function>,
+    },
+    /// `try { body } catch (e) { handler }`
+    Try {
+        /// Protected body.
+        body: Vec<Stmt>,
+        /// Catch parameter name.
+        param: Option<String>,
+        /// Handler body.
+        handler: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; update) { body }` — init is a statement, cond and
+    /// update are optional expressions.
+    For {
+        /// Initializer.
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = true).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A function literal (declaration, expression or arrow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String literal.
+    Str(String),
+    /// Number literal.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` (and `undefined` lowers to this at parse time? no —
+    /// `undefined` is just a global identifier resolving to Undefined).
+    Null,
+    /// Identifier reference.
+    Ident(String),
+    /// `obj.prop` and `obj[expr]` (the latter keeps the computed key).
+    Member {
+        /// Object expression.
+        object: Box<Expr>,
+        /// Property: a fixed name or a computed expression.
+        property: PropertyKey,
+    },
+    /// `callee(args)`.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new Ctor(args)`.
+    New {
+        /// Constructor expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `target = value` (target must be an identifier or member).
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// Binary operator (`+`, `-`, `*`, `/`, `==`, `===`, `!=`, `!==`,
+    /// `<`, `>`, `<=`, `>=`, `&&`, `||`).
+    Binary {
+        /// Operator text.
+        op: &'static str,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary `!expr` / `-expr` / `typeof expr`.
+    Unary {
+        /// Operator text.
+        op: &'static str,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `cond ? a : b`.
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-value.
+        then: Box<Expr>,
+        /// Else-value.
+        otherwise: Box<Expr>,
+    },
+    /// Object literal.
+    Object(Vec<(String, Expr)>),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Function expression or arrow function.
+    Func(Rc<Function>),
+}
+
+/// A member-access key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyKey {
+    /// `obj.name`.
+    Fixed(String),
+    /// `obj[expr]`.
+    Computed(Box<Expr>),
+}

@@ -1,0 +1,225 @@
+//! Lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+/// Lex error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset.
+    pub position: usize,
+    /// Reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.reason)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "===", "!==", "=>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "=", "+", "-", "*", "/", "<", ">", "!", ":",
+    "?",
+];
+
+/// Lexes a script into tokens. Comments and whitespace are skipped.
+pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    'outer: while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Comments.
+        if source[pos..].starts_with("//") {
+            match source[pos..].find('\n') {
+                Some(i) => {
+                    pos += i + 1;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        if source[pos..].starts_with("/*") {
+            match source[pos + 2..].find("*/") {
+                Some(i) => {
+                    pos += i + 4;
+                    continue;
+                }
+                None => {
+                    return Err(LexError {
+                        position: pos,
+                        reason: "unterminated block comment",
+                    })
+                }
+            }
+        }
+        // Strings: ', ", ` (no template interpolation — treated literally).
+        if matches!(b, b'\'' | b'"' | b'`') {
+            let quote = b;
+            let mut out = String::new();
+            let mut i = pos + 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        if i + 1 < bytes.len() {
+                            let esc = bytes[i + 1];
+                            out.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                other => other as char,
+                            });
+                            i += 2;
+                        } else {
+                            return Err(LexError {
+                                position: i,
+                                reason: "dangling escape",
+                            });
+                        }
+                    }
+                    c if c == quote => {
+                        tokens.push(Tok::Str(out));
+                        pos = i + 1;
+                        continue 'outer;
+                    }
+                    _ => {
+                        // Multibyte characters pass through untouched.
+                        let ch_len = utf8_len(bytes[i]);
+                        out.push_str(&source[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+            }
+            return Err(LexError {
+                position: pos,
+                reason: "unterminated string",
+            });
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.') {
+                pos += 1;
+            }
+            let text = &source[start..pos];
+            let num = text.parse::<f64>().map_err(|_| LexError {
+                position: start,
+                reason: "invalid number",
+            })?;
+            tokens.push(Tok::Num(num));
+            continue;
+        }
+        // Identifiers / keywords.
+        if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            let start = pos;
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'$')
+            {
+                pos += 1;
+            }
+            tokens.push(Tok::Ident(source[start..pos].to_string()));
+            continue;
+        }
+        // Punctuation (longest match).
+        for p in PUNCTS {
+            if source[pos..].starts_with(p) {
+                tokens.push(Tok::Punct(p));
+                pos += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            position: pos,
+            reason: "unexpected character",
+        });
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_member_call() {
+        let t = lex("navigator.permissions.query({name: 'camera'});").unwrap();
+        assert_eq!(t[0], Tok::Ident("navigator".to_string()));
+        assert_eq!(t[1], Tok::Punct("."));
+        assert!(t.contains(&Tok::Str("camera".to_string())));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let t = lex(r#"var s = "a\"b\n";"#).unwrap();
+        assert!(t.contains(&Tok::Str("a\"b\n".to_string())));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = lex("// line\nx /* block */ = 1;").unwrap();
+        assert_eq!(t[0], Tok::Ident("x".to_string()));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let t = lex("1 2.5 100").unwrap();
+        assert_eq!(
+            t,
+            vec![Tok::Num(1.0), Tok::Num(2.5), Tok::Num(100.0)]
+        );
+    }
+
+    #[test]
+    fn longest_punct_match() {
+        let t = lex("a === b => c == d").unwrap();
+        assert!(t.contains(&Tok::Punct("===")));
+        assert!(t.contains(&Tok::Punct("=>")));
+        assert!(t.contains(&Tok::Punct("==")));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("var x = 'abc").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let t = lex("var x = 'héllo→';").unwrap();
+        assert!(t.contains(&Tok::Str("héllo→".to_string())));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("var x = #;").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! `jsland` — a micro-JavaScript interpreter.
+//!
+//! The paper instruments a real browser (Figure 1): permission-related
+//! host functions are overwritten to log call, arguments and stack trace
+//! before delegating to the original. Reproducing that measurement needs a
+//! script engine whose *dynamic* behaviour can genuinely diverge from what
+//! *static* string matching sees. `jsland` interprets the JavaScript
+//! subset real sites use around permission APIs:
+//!
+//! * `var`/`let`/`const`, assignments, expression statements, `if`/`else`,
+//!   `return`, blocks,
+//! * member access with dots **and** brackets, string concatenation
+//!   (so `navigator["per" + "missions"].query(...)` works — obfuscation
+//!   the static analyzer misses),
+//! * calls, `new`, function expressions, arrow functions, closures,
+//! * object/array literals (`{name: "camera"}` arguments),
+//! * promise-style `.then(cb)` on host results (callbacks run
+//!   synchronously, which is fine for measurement purposes),
+//! * event-handler registration (`addEventListener`, `onclick = ...`)
+//!   that defers code until the embedder fires events — interaction-gated
+//!   behaviour a no-interaction crawl never sees.
+//!
+//! Host APIs are resolved by dotted path and dispatched to a
+//! [`host::HostHooks`] implementation supplied by the embedder (the
+//! `browser` crate records invocations there). Execution is bounded by a
+//! step budget, so hostile or runaway scripts cannot wedge the crawler.
+//!
+//! # Example
+//!
+//! ```
+//! use jsland::{Interpreter, RecordingHooks, ScriptSource};
+//!
+//! let mut hooks = RecordingHooks::default();
+//! let mut interp = Interpreter::new();
+//! interp
+//!     .run(
+//!         r#"
+//!         var q = navigator.permissions.query;     // alias
+//!         q({name: "camera"}).then(function (st) {});
+//!         navigator["media" + "Devices"].getUserMedia({video: true});
+//!         "#,
+//!         ScriptSource::inline(),
+//!         &mut hooks,
+//!     )
+//!     .unwrap();
+//! let paths: Vec<_> = hooks.calls.iter().map(|c| c.path.as_str()).collect();
+//! assert!(paths.contains(&"navigator.permissions.query"));
+//! assert!(paths.contains(&"navigator.mediaDevices.getUserMedia"));
+//! ```
+
+mod ast;
+pub mod host;
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use host::{ApiCall, HostHooks, RecordingHooks, ScriptSource};
+pub use interp::{Interpreter, PendingHandler, RunError};
+pub use value::Value;
+
+/// Parses a script and reports the first syntax error, if any. Used by the
+/// crawler to tell "script failed to parse" apart from "script ran".
+pub fn check_syntax(source: &str) -> Result<(), String> {
+    let tokens = lexer::lex(source).map_err(|e| e.to_string())?;
+    parser::parse(&tokens).map(|_| ()).map_err(|e| e.to_string())
+}

@@ -1,0 +1,759 @@
+//! Recursive-descent parser.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{Expr, Function, PropertyKey, Stmt};
+use crate::lexer::Tok;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token index where parsing failed.
+    pub at: usize,
+    /// Reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a token stream into a statement list.
+pub fn parse(tokens: &[Tok]) -> Result<Vec<Stmt>, ParseError> {
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmts = parser.parse_statements(None)?;
+    if parser.pos != tokens.len() {
+        return Err(parser.err("unexpected trailing tokens"));
+    }
+    Ok(stmts)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{p}`")))
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(name.clone()),
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    /// Parses statements until EOF or (when `until` is set) a closing `}`.
+    fn parse_statements(&mut self, until: Option<&str>) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            if let Some(close) = until {
+                if matches!(self.peek(), Some(Tok::Punct(p)) if *p == close) {
+                    return Ok(stmts);
+                }
+            }
+            if self.peek().is_none() {
+                return match until {
+                    None => Ok(stmts),
+                    Some(_) => Err(self.err("unexpected end of input in block")),
+                };
+            }
+            stmts.push(self.parse_statement()?);
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let stmts = self.parse_statements(Some("}"))?;
+        self.expect_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn parse_statement(&mut self) -> Result<Stmt, ParseError> {
+        // Empty statement.
+        if self.eat_punct(";") {
+            return Ok(Stmt::Expr(Expr::Null));
+        }
+        match self.peek() {
+            Some(Tok::Ident(word)) => match word.as_str() {
+                "var" | "let" | "const" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let init = if self.eat_punct("=") {
+                        Some(self.parse_expr()?)
+                    } else {
+                        None
+                    };
+                    self.eat_punct(";");
+                    Ok(Stmt::VarDecl { name, init })
+                }
+                "if" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let cond = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    let then = if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                        self.parse_block()?
+                    } else {
+                        vec![self.parse_statement()?]
+                    };
+                    let otherwise = if self.eat_ident("else") {
+                        if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                            self.parse_block()?
+                        } else {
+                            vec![self.parse_statement()?]
+                        }
+                    } else {
+                        vec![]
+                    };
+                    Ok(Stmt::If {
+                        cond,
+                        then,
+                        otherwise,
+                    })
+                }
+                "return" => {
+                    self.bump();
+                    let value = if matches!(self.peek(), Some(Tok::Punct(";" | "}"))) | self.peek().is_none()
+                    {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    self.eat_punct(";");
+                    Ok(Stmt::Return(value))
+                }
+                "function" if matches!(self.peek2(), Some(Tok::Ident(_))) => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let func = self.parse_function_rest()?;
+                    Ok(Stmt::FuncDecl { name, func })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let cond = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    let body = if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                        self.parse_block()?
+                    } else {
+                        vec![self.parse_statement()?]
+                    };
+                    Ok(Stmt::While { cond, body })
+                }
+                "for" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let init = if self.eat_punct(";") {
+                        None
+                    } else {
+                        let stmt = self.parse_statement()?; // consumes its ';'
+                        Some(Box::new(stmt))
+                    };
+                    let cond = if matches!(self.peek(), Some(Tok::Punct(";"))) {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    self.expect_punct(";")?;
+                    let update = if matches!(self.peek(), Some(Tok::Punct(")"))) {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    self.expect_punct(")")?;
+                    let body = if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                        self.parse_block()?
+                    } else {
+                        vec![self.parse_statement()?]
+                    };
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        update,
+                        body,
+                    })
+                }
+                "break" => {
+                    self.bump();
+                    self.eat_punct(";");
+                    Ok(Stmt::Break)
+                }
+                "continue" => {
+                    self.bump();
+                    self.eat_punct(";");
+                    Ok(Stmt::Continue)
+                }
+                "try" => {
+                    self.bump();
+                    let body = self.parse_block()?;
+                    let mut param = None;
+                    let mut handler = vec![];
+                    if self.eat_ident("catch") {
+                        if self.eat_punct("(") {
+                            param = Some(self.expect_ident()?);
+                            self.expect_punct(")")?;
+                        }
+                        handler = self.parse_block()?;
+                    }
+                    if self.eat_ident("finally") {
+                        // Run finally as part of the body (simplification).
+                        let fin = self.parse_block()?;
+                        return Ok(Stmt::Try {
+                            body: body.into_iter().chain(fin).collect(),
+                            param,
+                            handler,
+                        });
+                    }
+                    Ok(Stmt::Try {
+                        body,
+                        param,
+                        handler,
+                    })
+                }
+                _ => {
+                    let expr = self.parse_expr()?;
+                    self.eat_punct(";");
+                    Ok(Stmt::Expr(expr))
+                }
+            },
+            _ => {
+                let expr = self.parse_expr()?;
+                self.eat_punct(";");
+                Ok(Stmt::Expr(expr))
+            }
+        }
+    }
+
+    /// Parses `(params) { body }` after the `function` keyword (and
+    /// optional name) have been consumed.
+    fn parse_function_rest(&mut self) -> Result<Rc<Function>, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.parse_block()?;
+        Ok(Rc::new(Function { params, body }))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_assignment()
+    }
+
+    fn parse_assignment(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_conditional()?;
+        if matches!(left, Expr::Ident(_) | Expr::Member { .. }) {
+            if matches!(self.peek(), Some(Tok::Punct("="))) {
+                self.bump();
+                let value = self.parse_assignment()?;
+                return Ok(Expr::Assign {
+                    target: Box::new(left),
+                    value: Box::new(value),
+                });
+            }
+            // Compound assignment desugars to `target = target op value`.
+            if let Some(Tok::Punct(op @ ("+=" | "-=" | "*=" | "/="))) = self.peek() {
+                let binary_op: &'static str = &op[..1];
+                let binary_op = match binary_op {
+                    "+" => "+",
+                    "-" => "-",
+                    "*" => "*",
+                    _ => "/",
+                };
+                self.bump();
+                let value = self.parse_assignment()?;
+                return Ok(Expr::Assign {
+                    target: Box::new(left.clone()),
+                    value: Box::new(Expr::Binary {
+                        op: binary_op,
+                        left: Box::new(left),
+                        right: Box::new(value),
+                    }),
+                });
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.parse_assignment()?;
+            self.expect_punct(":")?;
+            let otherwise = self.parse_assignment()?;
+            return Ok(Expr::Conditional {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                otherwise: Box::new(otherwise),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binary_precedence(op: &str) -> Option<u8> {
+        match op {
+            "||" => Some(1),
+            "&&" => Some(2),
+            "==" | "!=" | "===" | "!==" => Some(3),
+            "<" | ">" | "<=" | ">=" => Some(4),
+            "+" | "-" => Some(5),
+            "*" | "/" => Some(6),
+            _ => None,
+        }
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        while let Some(Tok::Punct(op)) = self.peek() {
+            let op: &'static str = op;
+            match Self::binary_precedence(op) {
+                Some(prec) if prec >= min_prec => {
+                    self.bump();
+                    let right = self.parse_binary(prec + 1)?;
+                    left = Expr::Binary {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: "!",
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat_punct("-") {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: "-",
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat_ident("typeof") {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: "typeof",
+                operand: Box::new(operand),
+            });
+        }
+        if let Some(Tok::Punct(op @ ("++" | "--"))) = self.peek() {
+            let binary_op = if *op == "++" { "+" } else { "-" };
+            self.bump();
+            let operand = self.parse_unary()?;
+            if matches!(operand, Expr::Ident(_) | Expr::Member { .. }) {
+                return Ok(Expr::Assign {
+                    target: Box::new(operand.clone()),
+                    value: Box::new(Expr::Binary {
+                        op: binary_op,
+                        left: Box::new(operand),
+                        right: Box::new(Expr::Num(1.0)),
+                    }),
+                });
+            }
+            return Err(self.err("invalid increment target"));
+        }
+        if self.eat_ident("new") {
+            let callee = self.parse_member_chain_only()?;
+            let args = if matches!(self.peek(), Some(Tok::Punct("("))) {
+                self.parse_args()?
+            } else {
+                vec![]
+            };
+            let base = Expr::New {
+                callee: Box::new(callee),
+                args,
+            };
+            return self.parse_postfix(base);
+        }
+        let primary = self.parse_primary()?;
+        self.parse_postfix(primary)
+    }
+
+    /// Member chain without calls (for `new a.b.C(...)`).
+    fn parse_member_chain_only(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let name = self.expect_ident()?;
+                expr = Expr::Member {
+                    object: Box::new(expr),
+                    property: PropertyKey::Fixed(name),
+                };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr()?);
+            if self.eat_punct(")") {
+                return Ok(args);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    fn parse_postfix(&mut self, mut expr: Expr) -> Result<Expr, ParseError> {
+        loop {
+            if self.eat_punct(".") {
+                let name = self.expect_ident()?;
+                expr = Expr::Member {
+                    object: Box::new(expr),
+                    property: PropertyKey::Fixed(name),
+                };
+            } else if matches!(self.peek(), Some(Tok::Punct("["))) {
+                self.bump();
+                let key = self.parse_expr()?;
+                self.expect_punct("]")?;
+                expr = Expr::Member {
+                    object: Box::new(expr),
+                    property: PropertyKey::Computed(Box::new(key)),
+                };
+            } else if matches!(self.peek(), Some(Tok::Punct("("))) {
+                let args = self.parse_args()?;
+                expr = Expr::Call {
+                    callee: Box::new(expr),
+                    args,
+                };
+            } else if matches!(self.peek(), Some(Tok::Punct("++" | "--")))
+                && matches!(expr, Expr::Ident(_) | Expr::Member { .. })
+            {
+                // Postfix increment/decrement, desugared to an assignment.
+                // (Value semantics simplified: evaluates to the new value.)
+                let op = if matches!(self.peek(), Some(Tok::Punct("++"))) {
+                    "+"
+                } else {
+                    "-"
+                };
+                self.bump();
+                expr = Expr::Assign {
+                    target: Box::new(expr.clone()),
+                    value: Box::new(Expr::Binary {
+                        op,
+                        left: Box::new(expr),
+                        right: Box::new(Expr::Num(1.0)),
+                    }),
+                };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Num(n)) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Ident(word)) => match word.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "function" => {
+                    self.bump();
+                    // Optional name (ignored for expressions).
+                    if matches!(self.peek(), Some(Tok::Ident(_))) {
+                        self.bump();
+                    }
+                    let func = self.parse_function_rest()?;
+                    Ok(Expr::Func(func))
+                }
+                _ => {
+                    self.bump();
+                    // Arrow function with a single bare parameter: `x => ...`.
+                    if matches!(self.peek(), Some(Tok::Punct("=>"))) {
+                        self.bump();
+                        return self.parse_arrow_body(vec![word]);
+                    }
+                    Ok(Expr::Ident(word))
+                }
+            },
+            Some(Tok::Punct("(")) => {
+                // Either a parenthesized expression or an arrow parameter
+                // list. Scan ahead for `) =>`.
+                if let Some(params) = self.try_parse_arrow_params() {
+                    return self.parse_arrow_body(params);
+                }
+                self.bump();
+                let expr = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(expr)
+            }
+            Some(Tok::Punct("{")) => {
+                self.bump();
+                let mut props = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.bump() {
+                            Some(Tok::Ident(name)) => name.clone(),
+                            Some(Tok::Str(s)) => s.clone(),
+                            _ => return Err(self.err("expected property name")),
+                        };
+                        let value = if self.eat_punct(":") {
+                            self.parse_expr()?
+                        } else {
+                            // Shorthand `{name}`.
+                            Expr::Ident(key.clone())
+                        };
+                        props.push((key, value));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                        if self.eat_punct("}") {
+                            break; // trailing comma
+                        }
+                    }
+                }
+                Ok(Expr::Object(props))
+            }
+            Some(Tok::Punct("[")) => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    /// If the upcoming tokens are `( ident, ident, ... ) =>`, consumes
+    /// through `=>` and returns the parameter names.
+    fn try_parse_arrow_params(&mut self) -> Option<Vec<String>> {
+        let mut i = self.pos;
+        debug_assert!(matches!(self.tokens.get(i), Some(Tok::Punct("("))));
+        i += 1;
+        let mut params = Vec::new();
+        if !matches!(self.tokens.get(i), Some(Tok::Punct(")"))) {
+            loop {
+                match self.tokens.get(i) {
+                    Some(Tok::Ident(name)) => {
+                        params.push(name.clone());
+                        i += 1;
+                    }
+                    _ => return None,
+                }
+                match self.tokens.get(i) {
+                    Some(Tok::Punct(",")) => i += 1,
+                    Some(Tok::Punct(")")) => break,
+                    _ => return None,
+                }
+            }
+        }
+        i += 1; // ')'
+        if !matches!(self.tokens.get(i), Some(Tok::Punct("=>"))) {
+            return None;
+        }
+        self.pos = i + 1;
+        Some(params)
+    }
+
+    fn parse_arrow_body(&mut self, params: Vec<String>) -> Result<Expr, ParseError> {
+        let body = if matches!(self.peek(), Some(Tok::Punct("{"))) {
+            self.parse_block()?
+        } else {
+            let expr = self.parse_assignment()?;
+            vec![Stmt::Return(Some(expr))]
+        };
+        Ok(Expr::Func(Rc::new(Function { params, body })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Vec<Stmt> {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_var_and_call() {
+        let stmts = parse_ok("var q = navigator.permissions.query; q({name: 'camera'});");
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], Stmt::VarDecl { name, .. } if name == "q"));
+        assert!(matches!(&stmts[1], Stmt::Expr(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn parses_bracket_access_with_concat() {
+        let stmts = parse_ok("navigator['per' + 'missions']['query']();");
+        match &stmts[0] {
+            Stmt::Expr(Expr::Call { callee, .. }) => {
+                assert!(matches!(
+                    &**callee,
+                    Expr::Member {
+                        property: PropertyKey::Computed(_),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_expression_callback() {
+        parse_ok("p.then(function (st) { return st.state; });");
+        parse_ok("p.then(st => st.state);");
+        parse_ok("p.then((a, b) => { use(a); });");
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let stmts = parse_ok("if (false) { dead(); } else { live(); }");
+        assert!(matches!(&stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_new_expression() {
+        let stmts = parse_ok("var a = new Accelerometer({frequency: 60}); a.start();");
+        assert!(matches!(
+            &stmts[0],
+            Stmt::VarDecl {
+                init: Some(Expr::New { .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_function_declaration() {
+        let stmts = parse_ok("function go() { navigator.getBattery(); } go();");
+        assert!(matches!(&stmts[0], Stmt::FuncDecl { name, .. } if name == "go"));
+    }
+
+    #[test]
+    fn parses_try_catch() {
+        parse_ok("try { risky(); } catch (e) { console.log(e); }");
+        parse_ok("try { risky(); } catch (e) {} finally { done(); }");
+    }
+
+    #[test]
+    fn parses_object_and_array_literals() {
+        parse_ok("var cfg = {audio: true, video: {width: 640}, tags: ['a', 'b'],};");
+    }
+
+    #[test]
+    fn parses_ternary_and_logical() {
+        parse_ok("var x = a && b ? c + 1 : d || e;");
+    }
+
+    #[test]
+    fn parses_assignment_to_member() {
+        let stmts = parse_ok("button.onclick = function () { ask(); };");
+        assert!(matches!(&stmts[0], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&lex("var = ;").unwrap()).is_err());
+        assert!(parse(&lex("foo(").unwrap()).is_err());
+        assert!(parse(&lex("if (x {").unwrap()).is_err());
+    }
+
+    #[test]
+    fn parses_typeof_guard() {
+        parse_ok("if (typeof navigator !== 'undefined') { navigator.getBattery(); }");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the micro-JS interpreter.
+
+use jsland::{Interpreter, RecordingHooks, ScriptSource};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer+parser pipeline is total: arbitrary input either parses
+    /// or errors, never panics.
+    #[test]
+    fn check_syntax_total(input in "[ -~\\n]{0,200}") {
+        let _ = jsland::check_syntax(&input);
+    }
+
+    /// Running any syntactically valid generated expression statement
+    /// terminates within the budget.
+    #[test]
+    fn simple_programs_terminate(
+        raw_name in "[a-z]{1,8}",
+        number in -1000.0..1000.0f64,
+        text in "[a-z ]{0,20}",
+    ) {
+        // Keywords are not valid identifiers (the parser rightly rejects
+        // `var for = …`); prefix to keep the name an identifier.
+        let name = format!("v{raw_name}");
+        let program = format!(
+            "var {name} = {number};\n\
+             var s = '{text}' + {name};\n\
+             if ({name} > 0) {{ {name} = {name} - 1; }} else {{ {name} = 0 - {name}; }}\n"
+        );
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::new();
+        prop_assert!(interp.run(&program, ScriptSource::inline(), &mut hooks).is_ok());
+        prop_assert!(hooks.calls.is_empty());
+    }
+
+    /// Obfuscation invariance: splitting an API path into concatenated
+    /// bracket pieces produces the same recorded call as the direct form.
+    #[test]
+    fn concat_obfuscation_invariant(split in 1usize..11) {
+        let full = "permissions";
+        let split = split.min(full.len() - 1);
+        let (a, b) = full.split_at(split);
+        let direct = "navigator.permissions.query({name: 'camera'});";
+        let obfuscated = format!("navigator['{a}' + '{b}']['query']({{name: 'camera'}});");
+
+        let run = |src: &str| {
+            let mut hooks = RecordingHooks::default();
+            let mut interp = Interpreter::new();
+            interp.run(src, ScriptSource::inline(), &mut hooks).unwrap();
+            hooks.calls.iter().map(|c| c.path.clone()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(direct), run(&obfuscated));
+    }
+
+    /// Arithmetic and string semantics: `+` concatenates when either side
+    /// is a string, adds when both are numbers.
+    #[test]
+    fn plus_semantics(a in -100i32..100, b in -100i32..100, s in "[a-z]{0,6}") {
+        let program = format!(
+            "var n = {a} + {b};\n\
+             var t = '{s}' + {a};\n\
+             if (n === {sum}) {{ navigator.getBattery(); }}\n\
+             if (t === '{s}{a}') {{ navigator.canShare(); }}\n",
+            sum = a + b,
+        );
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::new();
+        interp.run(&program, ScriptSource::inline(), &mut hooks).unwrap();
+        let paths: Vec<&str> = hooks.calls.iter().map(|c| c.path.as_str()).collect();
+        prop_assert!(paths.contains(&"navigator.getBattery"), "{paths:?}");
+        prop_assert!(paths.contains(&"navigator.canShare"), "{paths:?}");
+    }
+
+    /// Dead-code wrapping silences any snippet dynamically.
+    #[test]
+    fn dead_code_is_silent(name in "(getBattery|share|canShare|getGamepads)") {
+        let program = format!("if (false) {{ navigator.{name}(); }}");
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::new();
+        interp.run(&program, ScriptSource::inline(), &mut hooks).unwrap();
+        prop_assert!(hooks.calls.is_empty());
+    }
+
+    /// Handler registration defers exactly until the matching event fires.
+    #[test]
+    fn handlers_fire_on_matching_event_only(event in "(click|scroll|focus)") {
+        let program = format!(
+            "button.addEventListener('{event}', function () {{ navigator.getBattery(); }});"
+        );
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::new();
+        interp.run(&program, ScriptSource::inline(), &mut hooks).unwrap();
+        interp.fire_event("other", &mut hooks);
+        prop_assert!(hooks.calls.is_empty());
+        interp.fire_event(&event, &mut hooks);
+        prop_assert_eq!(hooks.calls.len(), 1);
+    }
+}

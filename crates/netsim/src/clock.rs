@@ -1,0 +1,60 @@
+//! Simulated time.
+
+/// A simulated millisecond clock. All crawl timing (load timeouts, settle
+/// waits, the 90-second page budget) is measured against this clock, so
+/// crawls are deterministic and run at CPU speed.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock at t=0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the clock.
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+
+    /// A deadline `ms` from now.
+    pub fn deadline(&self, ms: u64) -> u64 {
+        self.now_ms.saturating_add(ms)
+    }
+
+    /// Whether `deadline` has passed.
+    pub fn expired(&self, deadline: u64) -> bool {
+        self.now_ms >= deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_deadlines() {
+        let mut c = SimClock::new();
+        let d = c.deadline(100);
+        assert!(!c.expired(d));
+        c.advance(99);
+        assert!(!c.expired(d));
+        c.advance(1);
+        assert!(c.expired(d));
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = SimClock::new();
+        c.advance(u64::MAX);
+        c.advance(10);
+        assert_eq!(c.now_ms(), u64::MAX);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fetch failures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a fetch failed — the error taxonomy behind the paper's crawl
+/// funnel (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchError {
+    /// DNS resolution failed (`ERR_NAME_NOT_RESOLVED`).
+    DnsFailure,
+    /// TCP/TLS connection refused or reset.
+    ConnectionFailure,
+    /// The server never completed the response within the caller's budget.
+    /// Carried implicitly by latency; surfaced by the crawler's timeout.
+    ResponseTimeout,
+    /// Too many redirects.
+    TooManyRedirects,
+    /// The document destroys its execution context mid-collection
+    /// ("Error collecting ephemeral content information").
+    EphemeralContext,
+    /// The response triggers a bug in the crawler itself (the paper's 315
+    /// "minor errors": unexpected Playwright values / crawler crashes).
+    CrawlerCrash,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::DnsFailure => write!(f, "ERR_NAME_NOT_RESOLVED"),
+            FetchError::ConnectionFailure => write!(f, "ERR_CONNECTION_REFUSED"),
+            FetchError::ResponseTimeout => write!(f, "response timeout"),
+            FetchError::TooManyRedirects => write!(f, "ERR_TOO_MANY_REDIRECTS"),
+            FetchError::EphemeralContext => {
+                write!(f, "Execution context was destroyed")
+            }
+            FetchError::CrawlerCrash => write!(f, "crawler crash"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}

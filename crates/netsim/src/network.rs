@@ -1,0 +1,157 @@
+//! The network: content resolution + failure injection + redirects.
+
+use weburl::Url;
+
+use crate::clock::SimClock;
+use crate::error::FetchError;
+use crate::response::{Response, SiteBehavior};
+
+/// What a [`ContentProvider`] returns for a URL.
+#[derive(Debug, Clone)]
+pub enum ProviderResult {
+    /// Serve this response with the given behaviour.
+    Content {
+        /// The response.
+        response: Response,
+        /// Latency / injected failures.
+        behavior: SiteBehavior,
+    },
+    /// Redirect to another URL.
+    Redirect(Url),
+    /// The host does not resolve.
+    DnsFailure,
+    /// The host resolves but the connection fails.
+    ConnectionFailure,
+}
+
+/// Supplies content for URLs (implemented by `webgen` over the synthetic
+/// population).
+pub trait ContentProvider {
+    /// Resolves one URL.
+    fn resolve(&self, url: &Url) -> ProviderResult;
+}
+
+impl<T: ContentProvider + ?Sized> ContentProvider for &T {
+    fn resolve(&self, url: &Url) -> ProviderResult {
+        (**self).resolve(url)
+    }
+}
+
+/// A network that can fetch URLs against a simulated clock.
+pub trait Network {
+    /// Fetches `url`, advancing `clock` by the simulated latency.
+    fn fetch(&mut self, url: &Url, clock: &mut SimClock) -> Result<Response, FetchError>;
+
+    /// Post-fetch failure scheduled for this document, if any (ephemeral
+    /// context destruction / crawler crash — consumed by the crawler
+    /// during collection).
+    fn post_fetch_failure(&self, url: &Url) -> Option<FetchError>;
+}
+
+/// The standard simulated network over a content provider.
+pub struct SimNetwork<P> {
+    provider: P,
+    max_redirects: u32,
+    /// Fixed per-request overhead (DNS + TCP + TLS handshakes).
+    connect_overhead_ms: u64,
+}
+
+impl<P: ContentProvider> SimNetwork<P> {
+    /// Creates a network over `provider`.
+    pub fn new(provider: P) -> SimNetwork<P> {
+        SimNetwork {
+            provider,
+            max_redirects: 5,
+            connect_overhead_ms: 35,
+        }
+    }
+
+    /// Access to the provider (for generators exposing extra queries).
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+}
+
+impl<P: ContentProvider> Network for SimNetwork<P> {
+    fn fetch(&mut self, url: &Url, clock: &mut SimClock) -> Result<Response, FetchError> {
+        let mut current = url.clone();
+        let mut redirects = 0;
+        loop {
+            clock.advance(self.connect_overhead_ms);
+            match self.provider.resolve(&current) {
+                ProviderResult::Content {
+                    mut response,
+                    behavior,
+                } => {
+                    clock.advance(behavior.latency_ms);
+                    response.final_url = current;
+                    response.redirects = redirects;
+                    return Ok(response);
+                }
+                ProviderResult::Redirect(next) => {
+                    redirects += 1;
+                    if redirects > self.max_redirects {
+                        return Err(FetchError::TooManyRedirects);
+                    }
+                    current = next;
+                }
+                ProviderResult::DnsFailure => return Err(FetchError::DnsFailure),
+                ProviderResult::ConnectionFailure => return Err(FetchError::ConnectionFailure),
+            }
+        }
+    }
+
+    fn post_fetch_failure(&self, url: &Url) -> Option<FetchError> {
+        match self.provider.resolve(url) {
+            ProviderResult::Content { behavior, .. } => behavior.post_fetch_failure,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Loop;
+
+    impl ContentProvider for Loop {
+        fn resolve(&self, url: &Url) -> ProviderResult {
+            // a -> b -> a -> ...
+            let next = if url.host() == Some("a.example") {
+                "https://b.example/"
+            } else {
+                "https://a.example/"
+            };
+            ProviderResult::Redirect(Url::parse(next).unwrap())
+        }
+    }
+
+    #[test]
+    fn redirect_loops_are_bounded() {
+        let mut net = SimNetwork::new(Loop);
+        let mut clock = SimClock::new();
+        let err = net
+            .fetch(&Url::parse("https://a.example/").unwrap(), &mut clock)
+            .unwrap_err();
+        assert_eq!(err, FetchError::TooManyRedirects);
+    }
+
+    struct Broken;
+
+    impl ContentProvider for Broken {
+        fn resolve(&self, _url: &Url) -> ProviderResult {
+            ProviderResult::ConnectionFailure
+        }
+    }
+
+    #[test]
+    fn connection_failures_propagate() {
+        let mut net = SimNetwork::new(Broken);
+        let mut clock = SimClock::new();
+        let err = net
+            .fetch(&Url::parse("https://x.example/").unwrap(), &mut clock)
+            .unwrap_err();
+        assert_eq!(err, FetchError::ConnectionFailure);
+    }
+}

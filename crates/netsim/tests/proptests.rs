@@ -1,0 +1,107 @@
+//! Property-based tests for the network simulator.
+
+use netsim::{
+    CachingNetwork, ContentProvider, FetchError, Network, ProviderResult, Response, SimClock,
+    SimNetwork, SiteBehavior,
+};
+use proptest::prelude::*;
+use weburl::Url;
+
+/// A provider that derives latency and failure deterministically from the
+/// host string.
+struct HashWeb;
+
+fn hash(s: &str) -> u64 {
+    s.bytes().fold(1469598103934665603u64, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(1099511628211)
+    })
+}
+
+impl ContentProvider for HashWeb {
+    fn resolve(&self, url: &Url) -> ProviderResult {
+        let host = url.host().unwrap_or("");
+        match hash(host) % 5 {
+            0 => ProviderResult::DnsFailure,
+            1 => ProviderResult::ConnectionFailure,
+            2 => ProviderResult::Redirect(
+                Url::parse(&format!("https://target-{}.example/", hash(host) % 97)).unwrap(),
+            ),
+            _ => ProviderResult::Content {
+                response: Response::html(url.clone(), format!("<p>{host}</p>")),
+                behavior: SiteBehavior {
+                    latency_ms: hash(host) % 2_000,
+                    post_fetch_failure: None,
+                },
+            },
+        }
+    }
+}
+
+fn host() -> impl Strategy<Value = String> {
+    "[a-z]{2,10}\\.example".prop_map(|s| s)
+}
+
+proptest! {
+    /// Fetching the same URL twice from fresh networks is fully
+    /// deterministic: same result, same elapsed time.
+    #[test]
+    fn fetch_is_deterministic(host in host()) {
+        let url = Url::parse(&format!("https://{host}/")).unwrap();
+        let run = || {
+            let mut net = SimNetwork::new(HashWeb);
+            let mut clock = SimClock::new();
+            let result = net.fetch(&url, &mut clock);
+            (result.map(|r| r.final_url.to_string()).map_err(|e| e as FetchError), clock.now_ms())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Time only moves forward, whatever happens.
+    #[test]
+    fn clock_is_monotone(hosts in prop::collection::vec(host(), 1..12)) {
+        let mut net = SimNetwork::new(HashWeb);
+        let mut clock = SimClock::new();
+        let mut last = 0;
+        for host in hosts {
+            let url = Url::parse(&format!("https://{host}/")).unwrap();
+            let _ = net.fetch(&url, &mut clock);
+            prop_assert!(clock.now_ms() >= last);
+            last = clock.now_ms();
+        }
+    }
+
+    /// A caching wrapper never changes *what* is fetched, only how fast:
+    /// responses bytes agree with the uncached network on any sequence.
+    #[test]
+    fn cache_is_transparent(hosts in prop::collection::vec(host(), 1..16)) {
+        let mut plain = SimNetwork::new(HashWeb);
+        let mut cached = CachingNetwork::new(SimNetwork::new(HashWeb), 4);
+        let mut clock_a = SimClock::new();
+        let mut clock_b = SimClock::new();
+        for host in hosts {
+            let url = Url::parse(&format!("https://{host}/")).unwrap();
+            let a = plain.fetch(&url, &mut clock_a);
+            let b = cached.fetch(&url, &mut clock_b);
+            match (a, b) {
+                (Ok(ra), Ok(rb)) => {
+                    prop_assert_eq!(ra.body, rb.body);
+                    prop_assert_eq!(ra.final_url, rb.final_url);
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+            }
+        }
+        // And caching never makes things slower.
+        prop_assert!(clock_b.now_ms() <= clock_a.now_ms());
+    }
+
+    /// Redirect chains terminate (either at content or TooManyRedirects).
+    #[test]
+    fn redirects_terminate(host in host()) {
+        let mut net = SimNetwork::new(HashWeb);
+        let mut clock = SimClock::new();
+        let url = Url::parse(&format!("https://{host}/")).unwrap();
+        let _ = net.fetch(&url, &mut clock); // must return, not loop
+        prop_assert!(clock.now_ms() < 60_000);
+    }
+}

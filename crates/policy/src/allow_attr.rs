@@ -1,0 +1,300 @@
+//! The `<iframe allow>` attribute.
+//!
+//! Syntax (Permissions Policy §"iframe allow attribute"):
+//!
+//! ```text
+//! allow="camera; microphone *; geolocation 'self' https://maps.example; gamepad 'none'"
+//! ```
+//!
+//! Each `;`-separated entry names a feature followed by optional allowlist
+//! entries. A feature with **no** entries defaults to `'src'` — only the
+//! origin the iframe's `src` attribute points to receives the delegation.
+//! That default is what 82.12% of delegations in the paper rely on
+//! (§4.2.2).
+
+use serde::{Deserialize, Serialize};
+
+use registry::Permission;
+
+use crate::allowlist::{Allowlist, AllowlistMember};
+
+/// Classification of how a delegation's directive was written — the
+/// categories of the paper's §4.2.2 directive analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DelegationDirective {
+    /// No explicit value: defaults to `'src'` (82.12% in the paper).
+    DefaultSrc,
+    /// Explicit `*` (17.17%).
+    Star,
+    /// Explicit `'src'` (0.40%).
+    ExplicitSrc,
+    /// Explicit `'none'` — opting out of the delegation (0.15%).
+    None,
+    /// Explicit `'self'` and/or specific origins (0.16% "single source").
+    Specific,
+}
+
+/// One feature delegation inside an `allow` attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delegation {
+    /// The feature token as written (lowercased).
+    pub feature: String,
+    /// The known permission, if recognized.
+    pub permission: Option<Permission>,
+    /// The effective allowlist.
+    pub allowlist: Allowlist,
+    /// Directive classification for the §4.2.2 analysis.
+    pub directive: DelegationDirective,
+}
+
+/// A parsed `allow` attribute.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllowAttribute {
+    delegations: Vec<Delegation>,
+}
+
+impl AllowAttribute {
+    /// All delegations, in attribute order.
+    pub fn delegations(&self) -> &[Delegation] {
+        &self.delegations
+    }
+
+    /// The delegation for `permission`, if present.
+    pub fn get(&self, permission: Permission) -> Option<&Delegation> {
+        self.delegations
+            .iter()
+            .find(|d| d.permission == Some(permission))
+    }
+
+    /// Whether the attribute delegates anything at all (an empty or
+    /// all-`'none'` attribute does not count as delegating).
+    pub fn delegates_anything(&self) -> bool {
+        self.delegations
+            .iter()
+            .any(|d| d.directive != DelegationDirective::None)
+    }
+
+    /// Number of delegation entries.
+    pub fn len(&self) -> usize {
+        self.delegations.len()
+    }
+
+    /// Whether the attribute is empty.
+    pub fn is_empty(&self) -> bool {
+        self.delegations.is_empty()
+    }
+
+    /// Serializes back to attribute syntax.
+    pub fn to_attribute_value(&self) -> String {
+        self.delegations
+            .iter()
+            .map(|d| {
+                let mut parts = vec![d.feature.clone()];
+                match d.directive {
+                    DelegationDirective::DefaultSrc => {}
+                    DelegationDirective::Star => parts.push("*".to_string()),
+                    DelegationDirective::ExplicitSrc => parts.push("'src'".to_string()),
+                    DelegationDirective::None => parts.push("'none'".to_string()),
+                    DelegationDirective::Specific => {
+                        for m in d.allowlist.members() {
+                            parts.push(match m {
+                                AllowlistMember::Star => "*".to_string(),
+                                AllowlistMember::SelfOrigin => "'self'".to_string(),
+                                AllowlistMember::Src => "'src'".to_string(),
+                                AllowlistMember::Origin(o) => o.clone(),
+                            });
+                        }
+                    }
+                }
+                parts.join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Parses an `allow` attribute value.
+///
+/// Parsing is forgiving like Feature-Policy: malformed entries are skipped
+/// individually.
+pub fn parse_allow_attribute(value: &str) -> AllowAttribute {
+    let mut delegations = Vec::new();
+    for part in value.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let mut tokens = part.split_ascii_whitespace();
+        let feature = match tokens.next() {
+            Some(f) => f.to_ascii_lowercase(),
+            None => continue,
+        };
+        if !feature
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            continue;
+        }
+        let mut allowlist = Allowlist::empty();
+        let mut saw_none = false;
+        let mut saw_star = false;
+        let mut saw_src = false;
+        let mut saw_specific = false;
+        let mut saw_any = false;
+        for token in tokens {
+            saw_any = true;
+            match token {
+                "*" => {
+                    saw_star = true;
+                    allowlist.push(AllowlistMember::Star);
+                }
+                "'self'" | "self" => {
+                    saw_specific = true;
+                    allowlist.push(AllowlistMember::SelfOrigin);
+                }
+                "'src'" | "src" => {
+                    saw_src = true;
+                    allowlist.push(AllowlistMember::Src);
+                }
+                "'none'" | "none" => saw_none = true,
+                origin => {
+                    if let Ok(url) = weburl::Url::parse(origin) {
+                        if url.host().is_some() {
+                            saw_specific = true;
+                            allowlist.push(AllowlistMember::Origin(url.origin().to_string()));
+                        }
+                    }
+                    // Unparseable tokens are silently skipped, as browsers do.
+                }
+            }
+        }
+        let directive = if saw_none {
+            allowlist = Allowlist::empty();
+            DelegationDirective::None
+        } else if !saw_any {
+            allowlist.push(AllowlistMember::Src);
+            DelegationDirective::DefaultSrc
+        } else if saw_star {
+            DelegationDirective::Star
+        } else if saw_src && !saw_specific {
+            DelegationDirective::ExplicitSrc
+        } else if saw_specific {
+            DelegationDirective::Specific
+        } else {
+            // Only unrecognized tokens: behaves like the default.
+            allowlist.push(AllowlistMember::Src);
+            DelegationDirective::DefaultSrc
+        };
+        let permission = Permission::from_token(&feature);
+        delegations.push(Delegation {
+            feature,
+            permission,
+            allowlist,
+            directive,
+        });
+    }
+    AllowAttribute { delegations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weburl::Url;
+
+    #[test]
+    fn bare_feature_defaults_to_src() {
+        let a = parse_allow_attribute("camera");
+        let d = a.get(Permission::Camera).unwrap();
+        assert_eq!(d.directive, DelegationDirective::DefaultSrc);
+        let me = Url::parse("https://example.org/").unwrap().origin();
+        let widget = Url::parse("https://widget.example/").unwrap().origin();
+        assert!(d.allowlist.matches(&widget, &me, Some(&widget)));
+        assert!(!d.allowlist.matches(&me, &me, Some(&widget)));
+    }
+
+    #[test]
+    fn star_directive() {
+        let a = parse_allow_attribute("microphone *");
+        let d = a.get(Permission::Microphone).unwrap();
+        assert_eq!(d.directive, DelegationDirective::Star);
+        assert!(d.allowlist.is_star());
+    }
+
+    #[test]
+    fn none_directive_blocks() {
+        let a = parse_allow_attribute("gamepad 'none'");
+        let d = a.get(Permission::Gamepad).unwrap();
+        assert_eq!(d.directive, DelegationDirective::None);
+        assert!(d.allowlist.is_empty());
+        assert!(!a.delegates_anything());
+    }
+
+    #[test]
+    fn livechat_template_parses() {
+        // The exact template from §5.2.
+        let a = parse_allow_attribute(
+            "clipboard-read; clipboard-write; autoplay; microphone *; camera *; \
+             display-capture *; picture-in-picture *; fullscreen *;",
+        );
+        assert_eq!(a.len(), 8);
+        assert_eq!(
+            a.get(Permission::ClipboardRead).unwrap().directive,
+            DelegationDirective::DefaultSrc
+        );
+        assert_eq!(
+            a.get(Permission::Camera).unwrap().directive,
+            DelegationDirective::Star
+        );
+        assert!(a.delegates_anything());
+    }
+
+    #[test]
+    fn specific_origin_directive() {
+        let a = parse_allow_attribute("geolocation 'self' https://maps.example");
+        let d = a.get(Permission::Geolocation).unwrap();
+        assert_eq!(d.directive, DelegationDirective::Specific);
+        let me = Url::parse("https://example.org/").unwrap().origin();
+        assert!(d.allowlist.matches(&me, &me, None));
+    }
+
+    #[test]
+    fn explicit_src_directive() {
+        let a = parse_allow_attribute("camera 'src'");
+        assert_eq!(
+            a.get(Permission::Camera).unwrap().directive,
+            DelegationDirective::ExplicitSrc
+        );
+    }
+
+    #[test]
+    fn unknown_feature_is_kept_unresolved() {
+        let a = parse_allow_attribute("jetpack");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.delegations()[0].permission, None);
+    }
+
+    #[test]
+    fn round_trip() {
+        let input = "camera; microphone *; geolocation 'self' https://maps.example; midi 'none'";
+        let a = parse_allow_attribute(input);
+        let b = parse_allow_attribute(&a.to_attribute_value());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_attribute() {
+        let a = parse_allow_attribute("");
+        assert!(a.is_empty());
+        assert!(!a.delegates_anything());
+    }
+
+    #[test]
+    fn unquoted_keywords_accepted_leniently() {
+        // Chromium accepts `self` without quotes in allow attributes.
+        let a = parse_allow_attribute("geolocation self");
+        assert_eq!(
+            a.get(Permission::Geolocation).unwrap().directive,
+            DelegationDirective::Specific
+        );
+    }
+}

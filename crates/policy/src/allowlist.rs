@@ -1,0 +1,238 @@
+//! Allowlists and origin matching.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use weburl::{Origin, Url};
+
+/// One member of an allowlist.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllowlistMember {
+    /// `*` — matches every origin.
+    Star,
+    /// `self` — matches the declaring document's origin.
+    SelfOrigin,
+    /// `src` — matches the origin of the iframe's `src` attribute. Only
+    /// meaningful in `allow` attributes; it is also the implicit default
+    /// when a feature is listed in `allow` without a value.
+    Src,
+    /// A specific origin, e.g. `"https://maps.example"`.
+    Origin(String),
+}
+
+impl AllowlistMember {
+    /// Whether this member matches `origin`, given the declaring document's
+    /// origin (`self_origin`) and, for `allow` attributes, the origin of the
+    /// frame's `src` URL.
+    pub fn matches(
+        &self,
+        origin: &Origin,
+        self_origin: &Origin,
+        src_origin: Option<&Origin>,
+    ) -> bool {
+        match self {
+            AllowlistMember::Star => true,
+            AllowlistMember::SelfOrigin => origin.same_origin(self_origin),
+            AllowlistMember::Src => src_origin.is_some_and(|src| origin.same_origin(src)),
+            AllowlistMember::Origin(serialized) => match Url::parse(serialized) {
+                Ok(url) => origin.same_origin(&url.origin()),
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for AllowlistMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllowlistMember::Star => write!(f, "*"),
+            AllowlistMember::SelfOrigin => write!(f, "self"),
+            AllowlistMember::Src => write!(f, "src"),
+            AllowlistMember::Origin(o) => write!(f, "\"{o}\""),
+        }
+    }
+}
+
+/// An allowlist: the set of origins a feature is allowed for.
+///
+/// The empty allowlist (`camera=()`) disables the feature everywhere.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allowlist {
+    members: Vec<AllowlistMember>,
+}
+
+impl Allowlist {
+    /// The empty allowlist (`()` — feature disabled everywhere).
+    pub fn empty() -> Allowlist {
+        Allowlist { members: vec![] }
+    }
+
+    /// An allowlist with the given members.
+    pub fn new(members: Vec<AllowlistMember>) -> Allowlist {
+        Allowlist { members }
+    }
+
+    /// `(*)`.
+    pub fn star() -> Allowlist {
+        Allowlist {
+            members: vec![AllowlistMember::Star],
+        }
+    }
+
+    /// `(self)`.
+    pub fn self_only() -> Allowlist {
+        Allowlist {
+            members: vec![AllowlistMember::SelfOrigin],
+        }
+    }
+
+    /// Whether the allowlist is empty (feature disabled).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether the allowlist contains `*`.
+    pub fn is_star(&self) -> bool {
+        self.members.contains(&AllowlistMember::Star)
+    }
+
+    /// Whether the allowlist contains `self`.
+    pub fn contains_self(&self) -> bool {
+        self.members.contains(&AllowlistMember::SelfOrigin)
+    }
+
+    /// The members of the allowlist.
+    pub fn members(&self) -> &[AllowlistMember] {
+        &self.members
+    }
+
+    /// Adds a member (deduplicated).
+    pub fn push(&mut self, member: AllowlistMember) {
+        if !self.members.contains(&member) {
+            self.members.push(member);
+        }
+    }
+
+    /// Whether `origin` is in the allowlist (spec: "matches an allowlist").
+    pub fn matches(
+        &self,
+        origin: &Origin,
+        self_origin: &Origin,
+        src_origin: Option<&Origin>,
+    ) -> bool {
+        self.members
+            .iter()
+            .any(|m| m.matches(origin, self_origin, src_origin))
+    }
+
+    /// Serializes in Permissions-Policy header form, e.g.
+    /// `(self "https://a.example")`, `*` for a lone star, `()` when empty.
+    pub fn to_header_value(&self) -> String {
+        if self.members == [AllowlistMember::Star] {
+            return "*".to_string();
+        }
+        let inner = self
+            .members
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!("({inner})")
+    }
+}
+
+impl fmt::Display for Allowlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_header_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin(s: &str) -> Origin {
+        Url::parse(s).unwrap().origin()
+    }
+
+    #[test]
+    fn star_matches_everything() {
+        let list = Allowlist::star();
+        let me = origin("https://example.org/");
+        let other = origin("https://attacker.example/");
+        assert!(list.matches(&other, &me, None));
+        assert!(list.matches(&me, &me, None));
+    }
+
+    #[test]
+    fn empty_matches_nothing() {
+        let list = Allowlist::empty();
+        let me = origin("https://example.org/");
+        assert!(!list.matches(&me, &me, None));
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn self_matches_only_declaring_origin() {
+        let list = Allowlist::self_only();
+        let me = origin("https://example.org/");
+        let sub = origin("https://sub.example.org/");
+        assert!(list.matches(&me, &me, None));
+        assert!(!list.matches(&sub, &me, None)); // same-site but cross-origin
+    }
+
+    #[test]
+    fn src_matches_frame_src_origin() {
+        let list = Allowlist::new(vec![AllowlistMember::Src]);
+        let me = origin("https://example.org/");
+        let widget = origin("https://widget.example/");
+        assert!(list.matches(&widget, &me, Some(&widget)));
+        assert!(!list.matches(&widget, &me, Some(&me)));
+        assert!(!list.matches(&widget, &me, None));
+    }
+
+    #[test]
+    fn explicit_origin_member() {
+        let list = Allowlist::new(vec![AllowlistMember::Origin(
+            "https://maps.example".to_string(),
+        )]);
+        let me = origin("https://example.org/");
+        assert!(list.matches(&origin("https://maps.example/x"), &me, None));
+        assert!(!list.matches(&origin("http://maps.example/"), &me, None)); // scheme matters
+        assert!(!list.matches(&origin("https://other.example/"), &me, None));
+    }
+
+    #[test]
+    fn opaque_origin_never_matches_self_or_origin() {
+        let list = Allowlist::new(vec![
+            AllowlistMember::SelfOrigin,
+            AllowlistMember::Origin("https://a.example".to_string()),
+        ]);
+        let me = origin("https://example.org/");
+        let opaque = Origin::opaque();
+        assert!(!list.matches(&opaque, &me, None));
+        // ... but * does match opaque origins (the §5.2 wildcard-delegation
+        // redirect risk).
+        assert!(Allowlist::star().matches(&opaque, &me, None));
+    }
+
+    #[test]
+    fn header_value_serialization() {
+        assert_eq!(Allowlist::star().to_header_value(), "*");
+        assert_eq!(Allowlist::empty().to_header_value(), "()");
+        assert_eq!(Allowlist::self_only().to_header_value(), "(self)");
+        let mixed = Allowlist::new(vec![
+            AllowlistMember::SelfOrigin,
+            AllowlistMember::Origin("https://a.example".to_string()),
+        ]);
+        assert_eq!(mixed.to_header_value(), "(self \"https://a.example\")");
+    }
+
+    #[test]
+    fn push_deduplicates() {
+        let mut list = Allowlist::empty();
+        list.push(AllowlistMember::SelfOrigin);
+        list.push(AllowlistMember::SelfOrigin);
+        assert_eq!(list.members().len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal Content-Security-Policy model: the `frame-src` family.
+//!
+//! §6.2's local-scheme attack needs an injection point for the hostile
+//! iframe; the paper notes the bypass works "if the CSP does not enforce
+//! frame restrictions" — i.e. no `frame-src` (or fallback `child-src` /
+//! `default-src`) directive. This module implements exactly that slice of
+//! CSP: parsing the three directives and deciding whether a frame URL may
+//! load, so the vulnerability analysis can separate protected sites from
+//! exposed ones.
+
+use serde::{Deserialize, Serialize};
+
+use weburl::Url;
+
+/// A single CSP source expression (the subset relevant to frames).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameSource {
+    /// `*` — any URL except data:/blob: (which need explicit schemes).
+    Star,
+    /// `'self'`.
+    SelfSource,
+    /// `'none'` (only valid alone).
+    None,
+    /// A scheme source like `data:` or `https:`.
+    Scheme(String),
+    /// A host source like `https://widget.example` or `*.example.com`.
+    Host(String),
+}
+
+/// The effective frame policy of a CSP header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FramePolicy {
+    /// Which directive supplied the sources (`frame-src`, `child-src` or
+    /// `default-src`), for reporting.
+    pub directive: String,
+    /// The source list.
+    pub sources: Vec<FrameSource>,
+}
+
+/// A parsed Content-Security-Policy header (frame-relevant slice).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csp {
+    frame_src: Option<Vec<FrameSource>>,
+    child_src: Option<Vec<FrameSource>>,
+    default_src: Option<Vec<FrameSource>>,
+}
+
+fn parse_sources(value: &str) -> Vec<FrameSource> {
+    value
+        .split_ascii_whitespace()
+        .filter_map(|token| match token.to_ascii_lowercase().as_str() {
+            "*" => Some(FrameSource::Star),
+            "'self'" => Some(FrameSource::SelfSource),
+            "'none'" => Some(FrameSource::None),
+            t if t.ends_with(':') && !t.contains('/') => {
+                Some(FrameSource::Scheme(t.trim_end_matches(':').to_string()))
+            }
+            t if !t.starts_with('\'') => Some(FrameSource::Host(t.to_string())),
+            _ => None, // nonces/hashes are irrelevant for frames
+        })
+        .collect()
+}
+
+impl Csp {
+    /// Parses a CSP header value, keeping only the frame-relevant
+    /// directives.
+    pub fn parse(value: &str) -> Csp {
+        let mut csp = Csp::default();
+        for directive in value.split(';') {
+            let directive = directive.trim();
+            let Some((name, rest)) = directive
+                .split_once(char::is_whitespace)
+                .or(Some((directive, "")))
+            else {
+                continue;
+            };
+            match name.to_ascii_lowercase().as_str() {
+                "frame-src" => csp.frame_src = Some(parse_sources(rest)),
+                "child-src" => csp.child_src = Some(parse_sources(rest)),
+                "default-src" => csp.default_src = Some(parse_sources(rest)),
+                _ => {}
+            }
+        }
+        csp
+    }
+
+    /// The directive that governs frames, per the CSP fallback chain:
+    /// `frame-src` → `child-src` → `default-src` → none.
+    pub fn frame_policy(&self) -> Option<FramePolicy> {
+        if let Some(sources) = &self.frame_src {
+            return Some(FramePolicy {
+                directive: "frame-src".to_string(),
+                sources: sources.clone(),
+            });
+        }
+        if let Some(sources) = &self.child_src {
+            return Some(FramePolicy {
+                directive: "child-src".to_string(),
+                sources: sources.clone(),
+            });
+        }
+        self.default_src.as_ref().map(|sources| FramePolicy {
+            directive: "default-src".to_string(),
+            sources: sources.clone(),
+        })
+    }
+
+    /// Whether the CSP restricts frames at all — the §6.2 precondition:
+    /// without this, HTML injection can place the local-scheme iframe.
+    pub fn restricts_frames(&self) -> bool {
+        self.frame_policy().is_some()
+    }
+
+    /// Whether a frame at `url` may load in a document at `document_url`
+    /// under this CSP.
+    pub fn allows_frame(&self, url: &Url, document_url: &Url) -> bool {
+        let Some(policy) = self.frame_policy() else {
+            return true; // no frame restrictions
+        };
+        policy.sources.iter().any(|source| match source {
+            FrameSource::None => false,
+            // `*` matches network schemes but not data:/blob:.
+            FrameSource::Star => !weburl::is_headerless_scheme(url.scheme()),
+            FrameSource::SelfSource => url.origin().same_origin(&document_url.origin()),
+            FrameSource::Scheme(scheme) => url.scheme() == scheme,
+            FrameSource::Host(pattern) => host_matches(pattern, url),
+        })
+    }
+}
+
+/// Matches a host-source pattern (`https://a.example`, `*.example.com`,
+/// `a.example`) against a URL.
+fn host_matches(pattern: &str, url: &Url) -> bool {
+    let (scheme_part, host_part) = match pattern.split_once("://") {
+        Some((scheme, host)) => (Some(scheme), host),
+        None => (None, pattern),
+    };
+    if let Some(scheme) = scheme_part {
+        if url.scheme() != scheme {
+            return false;
+        }
+    }
+    let host_part = host_part.split([':', '/']).next().unwrap_or(host_part);
+    let Some(host) = url.host() else { return false };
+    if let Some(suffix) = host_part.strip_prefix("*.") {
+        host.len() > suffix.len() && host.ends_with(suffix)
+            && host.as_bytes()[host.len() - suffix.len() - 1] == b'.'
+    } else {
+        host == host_part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn no_frame_directive_allows_everything() {
+        let csp = Csp::parse("script-src 'self'; object-src 'none'");
+        assert!(!csp.restricts_frames());
+        assert!(csp.allows_frame(
+            &url("data:text/html,x"),
+            &url("https://example.org/")
+        ));
+    }
+
+    #[test]
+    fn frame_src_none_blocks_all() {
+        let csp = Csp::parse("frame-src 'none'");
+        assert!(csp.restricts_frames());
+        assert!(!csp.allows_frame(&url("https://a.example/"), &url("https://example.org/")));
+        assert!(!csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
+    }
+
+    #[test]
+    fn frame_src_self_blocks_data_uris() {
+        // The §6.2 mitigation: frame-src 'self' stops the local-scheme
+        // injection vector.
+        let csp = Csp::parse("frame-src 'self'");
+        assert!(csp.allows_frame(&url("https://example.org/w"), &url("https://example.org/")));
+        assert!(!csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
+        assert!(!csp.allows_frame(&url("https://attacker.example/"), &url("https://example.org/")));
+    }
+
+    #[test]
+    fn star_does_not_cover_local_schemes() {
+        let csp = Csp::parse("frame-src *");
+        assert!(csp.allows_frame(&url("https://anything.example/"), &url("https://example.org/")));
+        assert!(!csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
+        // data: must be allowed explicitly.
+        let csp = Csp::parse("frame-src * data:");
+        assert!(csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
+    }
+
+    #[test]
+    fn fallback_chain() {
+        let csp = Csp::parse("default-src 'self'");
+        assert_eq!(csp.frame_policy().unwrap().directive, "default-src");
+        let csp = Csp::parse("default-src 'self'; child-src https://a.example");
+        assert_eq!(csp.frame_policy().unwrap().directive, "child-src");
+        let csp = Csp::parse("default-src 'self'; child-src https://a.example; frame-src 'none'");
+        assert_eq!(csp.frame_policy().unwrap().directive, "frame-src");
+    }
+
+    #[test]
+    fn host_sources_and_wildcards() {
+        let csp = Csp::parse("frame-src https://widget.example *.cdn.example");
+        let doc = url("https://example.org/");
+        assert!(csp.allows_frame(&url("https://widget.example/x"), &doc));
+        assert!(!csp.allows_frame(&url("http://widget.example/x"), &doc));
+        assert!(csp.allows_frame(&url("https://a.cdn.example/"), &doc));
+        assert!(!csp.allows_frame(&url("https://cdn.example/"), &doc));
+        assert!(!csp.allows_frame(&url("https://evilcdn.example/"), &doc));
+    }
+}

@@ -1,0 +1,170 @@
+//! The deprecated `Feature-Policy` header syntax.
+//!
+//! Chromium still enforces `Feature-Policy` when no `Permissions-Policy`
+//! header is present (§2.2.6), so the crawler must parse it too. Syntax:
+//!
+//! ```text
+//! Feature-Policy: camera 'none'; geolocation 'self' https://maps.example; fullscreen *
+//! ```
+//!
+//! Directives are `;`-separated; each is a feature name followed by
+//! whitespace-separated allowlist entries: `'self'`, `'none'`, `'src'`,
+//! `*`, or bare (unquoted) origins. Unlike structured fields, parsing is
+//! forgiving — malformed directives are skipped individually rather than
+//! dropping the header.
+
+use registry::Permission;
+
+use crate::allowlist::{Allowlist, AllowlistMember};
+use crate::header::{DeclaredPolicy, Directive, IgnoredMember};
+
+/// Parses a `Feature-Policy` header value into the same [`DeclaredPolicy`]
+/// representation used for `Permissions-Policy`.
+pub fn parse_feature_policy(value: &str) -> DeclaredPolicy {
+    let mut directives = Vec::new();
+    for part in value.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let mut tokens = part.split_ascii_whitespace();
+        let feature = match tokens.next() {
+            Some(f) => f.to_ascii_lowercase(),
+            None => continue,
+        };
+        if !feature
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            continue; // malformed feature name: skip directive
+        }
+        let mut allowlist = Allowlist::empty();
+        let mut ignored = Vec::new();
+        let mut saw_entry = false;
+        let mut saw_none = false;
+        for token in tokens {
+            saw_entry = true;
+            match token {
+                "*" => allowlist.push(AllowlistMember::Star),
+                "'self'" => allowlist.push(AllowlistMember::SelfOrigin),
+                "'src'" => allowlist.push(AllowlistMember::Src),
+                "'none'" => saw_none = true,
+                origin => match weburl::Url::parse(origin) {
+                    Ok(url) if url.host().is_some() => {
+                        allowlist.push(AllowlistMember::Origin(url.origin().to_string()));
+                    }
+                    _ => ignored.push(IgnoredMember::UnrecognizedToken(origin.to_string())),
+                },
+            }
+        }
+        // `'none'` wins over everything; no entries at all also means the
+        // default in Feature-Policy was 'self' for header context.
+        if saw_none {
+            allowlist = Allowlist::empty();
+        } else if !saw_entry {
+            allowlist.push(AllowlistMember::SelfOrigin);
+        }
+        let permission = Permission::from_token(&feature);
+        directives.push(Directive {
+            feature,
+            permission,
+            allowlist,
+            ignored,
+        });
+    }
+    DeclaredPolicy::from_directives(directives)
+}
+
+/// Serializes a [`DeclaredPolicy`] using Feature-Policy syntax (used by the
+/// tools crate to show developers both syntaxes).
+pub fn to_feature_policy_value(policy: &DeclaredPolicy) -> String {
+    policy
+        .directives()
+        .iter()
+        .map(|d| {
+            let mut parts = vec![d.feature.clone()];
+            if d.allowlist.is_empty() {
+                parts.push("'none'".to_string());
+            } else {
+                for member in d.allowlist.members() {
+                    parts.push(match member {
+                        AllowlistMember::Star => "*".to_string(),
+                        AllowlistMember::SelfOrigin => "'self'".to_string(),
+                        AllowlistMember::Src => "'src'".to_string(),
+                        AllowlistMember::Origin(o) => o.clone(),
+                    });
+                }
+            }
+            parts.join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weburl::Url;
+
+    #[test]
+    fn parses_none_directive() {
+        let p = parse_feature_policy("camera 'none'");
+        assert!(p.get(Permission::Camera).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_self_and_origin() {
+        let p = parse_feature_policy("geolocation 'self' https://maps.example");
+        let list = p.get(Permission::Geolocation).unwrap();
+        assert!(list.contains_self());
+        let me = Url::parse("https://example.org/").unwrap().origin();
+        let maps = Url::parse("https://maps.example/").unwrap().origin();
+        assert!(list.matches(&maps, &me, None));
+    }
+
+    #[test]
+    fn parses_star() {
+        let p = parse_feature_policy("fullscreen *");
+        assert!(p.get(Permission::Fullscreen).unwrap().is_star());
+    }
+
+    #[test]
+    fn multiple_directives() {
+        let p = parse_feature_policy("camera 'none'; microphone 'none'; fullscreen *");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn feature_without_entries_defaults_to_self() {
+        let p = parse_feature_policy("camera");
+        assert!(p.get(Permission::Camera).unwrap().contains_self());
+    }
+
+    #[test]
+    fn none_wins_over_other_entries() {
+        let p = parse_feature_policy("camera 'none' 'self'");
+        assert!(p.get(Permission::Camera).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_directives_are_skipped_individually() {
+        let p = parse_feature_policy("camera 'none'; Bad_Feature! x; microphone 'none'");
+        assert_eq!(p.len(), 2);
+        assert!(p.declares(Permission::Camera));
+        assert!(p.declares(Permission::Microphone));
+    }
+
+    #[test]
+    fn round_trip_via_feature_policy_syntax() {
+        let p = parse_feature_policy("camera 'none'; geolocation 'self' https://maps.example");
+        let serialized = to_feature_policy_value(&p);
+        let reparsed = parse_feature_policy(&serialized);
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn empty_header_yields_empty_policy() {
+        assert!(parse_feature_policy("").is_empty());
+        assert!(parse_feature_policy(" ; ; ").is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! RFC 8941 structured-field parsing (the subset Permissions-Policy uses).
+//!
+//! `Permissions-Policy` is defined as a structured-field *dictionary* whose
+//! values are tokens (`*`, `self`) or inner lists of tokens/strings. RFC
+//! 8941 parsing is strict: any malformed byte fails the whole field — which
+//! is exactly why the paper finds 3,244 frames whose header the browser
+//! discards entirely (§4.3.3).
+//!
+//! The parser below implements dictionaries, inner lists, tokens, strings,
+//! integers/decimals and booleans, with parameters attached to items and
+//! inner lists. Byte-ranges follow RFC 8941 §3.
+
+use std::fmt;
+
+/// A bare item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BareItem {
+    /// `?0` / `?1`.
+    Boolean(bool),
+    /// An RFC 8941 token, e.g. `self` or `*`.
+    Token(String),
+    /// A quoted string, e.g. `"https://example.org"`.
+    String(String),
+    /// An integer.
+    Integer(i64),
+    /// A decimal.
+    Decimal(f64),
+}
+
+impl fmt::Display for BareItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BareItem::Boolean(b) => write!(f, "?{}", if *b { 1 } else { 0 }),
+            BareItem::Token(t) => write!(f, "{t}"),
+            BareItem::String(s) => write!(f, "\"{s}\""),
+            BareItem::Integer(i) => write!(f, "{i}"),
+            BareItem::Decimal(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Parameters attached to an item or inner list (`;key=value`).
+pub type Parameters = Vec<(String, BareItem)>;
+
+/// A dictionary member value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberValue {
+    /// A single item with parameters.
+    Item(BareItem, Parameters),
+    /// An inner list `( item item ... )` with parameters.
+    InnerList(Vec<(BareItem, Parameters)>, Parameters),
+}
+
+/// A parsed dictionary: ordered `(key, value)` pairs; later duplicates win
+/// per RFC 8941 §4.2.2 (handled by the caller keeping the last entry).
+pub type Dictionary = Vec<(String, MemberValue)>;
+
+/// Structured-field parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfError {
+    /// Byte offset where parsing failed.
+    pub position: usize,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for SfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "structured-field error at byte {}: {}", self.position, self.reason)
+    }
+}
+
+impl std::error::Error for SfError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, reason: &'static str) -> SfError {
+        SfError {
+            position: self.pos,
+            reason,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_sp(&mut self) {
+        while self.peek() == Some(b' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ows(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_dictionary(&mut self) -> Result<Dictionary, SfError> {
+        let mut dict: Dictionary = Vec::new();
+        self.skip_sp();
+        if self.peek().is_none() {
+            return Ok(dict);
+        }
+        loop {
+            let key = self.parse_key()?;
+            let value = if self.peek() == Some(b'=') {
+                self.bump();
+                self.parse_member_value()?
+            } else {
+                // Bare key: implicit boolean true with parameters.
+                let params = self.parse_parameters()?;
+                MemberValue::Item(BareItem::Boolean(true), params)
+            };
+            // RFC 8941: later occurrence of a key overwrites the earlier.
+            if let Some(existing) = dict.iter_mut().find(|(k, _)| *k == key) {
+                existing.1 = value;
+            } else {
+                dict.push((key, value));
+            }
+            self.skip_ows();
+            match self.peek() {
+                None => return Ok(dict),
+                Some(b',') => {
+                    self.bump();
+                    self.skip_ows();
+                    if self.peek().is_none() {
+                        return Err(self.err("trailing comma"));
+                    }
+                }
+                Some(_) => return Err(self.err("expected ',' between dictionary members")),
+            }
+        }
+    }
+
+    fn parse_member_value(&mut self) -> Result<MemberValue, SfError> {
+        if self.peek() == Some(b'(') {
+            let (items, params) = self.parse_inner_list()?;
+            Ok(MemberValue::InnerList(items, params))
+        } else {
+            let item = self.parse_bare_item()?;
+            let params = self.parse_parameters()?;
+            Ok(MemberValue::Item(item, params))
+        }
+    }
+
+    fn parse_inner_list(&mut self) -> Result<(Vec<(BareItem, Parameters)>, Parameters), SfError> {
+        debug_assert_eq!(self.peek(), Some(b'('));
+        self.bump();
+        let mut items = Vec::new();
+        loop {
+            self.skip_sp();
+            match self.peek() {
+                Some(b')') => {
+                    self.bump();
+                    let params = self.parse_parameters()?;
+                    return Ok((items, params));
+                }
+                Some(_) => {
+                    let item = self.parse_bare_item()?;
+                    let params = self.parse_parameters()?;
+                    items.push((item, params));
+                    // After an item: SP or ')'.
+                    match self.peek() {
+                        Some(b' ') | Some(b')') => {}
+                        _ => return Err(self.err("expected space or ')' in inner list")),
+                    }
+                }
+                None => return Err(self.err("unterminated inner list")),
+            }
+        }
+    }
+
+    fn parse_parameters(&mut self) -> Result<Parameters, SfError> {
+        let mut params = Vec::new();
+        while self.peek() == Some(b';') {
+            self.bump();
+            self.skip_sp();
+            let key = self.parse_key()?;
+            let value = if self.peek() == Some(b'=') {
+                self.bump();
+                self.parse_bare_item()?
+            } else {
+                BareItem::Boolean(true)
+            };
+            params.push((key, value));
+        }
+        Ok(params)
+    }
+
+    fn parse_key(&mut self) -> Result<String, SfError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_lowercase() || b == b'*' => {}
+            _ => return Err(self.err("key must start with lcalpha or '*'")),
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'_' | b'-' | b'.' | b'*')
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_bare_item(&mut self) -> Result<BareItem, SfError> {
+        match self.peek() {
+            Some(b'"') => self.parse_string(),
+            Some(b'?') => self.parse_boolean(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) if b.is_ascii_alphabetic() || b == b'*' => self.parse_token(),
+            Some(_) => Err(self.err("invalid bare item")),
+            None => Err(self.err("expected bare item")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<BareItem, SfError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(BareItem::String(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(c @ (b'"' | b'\\')) => out.push(c as char),
+                    _ => return Err(self.err("invalid escape in string")),
+                },
+                Some(b) if (0x20..0x7f).contains(&b) => out.push(b as char),
+                Some(_) => return Err(self.err("invalid character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_boolean(&mut self) -> Result<BareItem, SfError> {
+        self.bump(); // '?'
+        match self.bump() {
+            Some(b'1') => Ok(BareItem::Boolean(true)),
+            Some(b'0') => Ok(BareItem::Boolean(false)),
+            _ => Err(self.err("invalid boolean")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<BareItem, SfError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut saw_digit = false;
+        let mut saw_dot = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    self.pos += 1;
+                }
+                b'.' if !saw_dot => {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("invalid number"));
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+        if saw_dot {
+            text.parse::<f64>()
+                .map(BareItem::Decimal)
+                .map_err(|_| self.err("invalid decimal"))
+        } else {
+            text.parse::<i64>()
+                .map(BareItem::Integer)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+
+    fn parse_token(&mut self) -> Result<BareItem, SfError> {
+        let start = self.pos;
+        self.bump(); // first char already validated
+        while let Some(b) = self.peek() {
+            // tchar / ':' / '/' per RFC 8941.
+            if b.is_ascii_alphanumeric()
+                || matches!(
+                    b,
+                    b'!' | b'#'
+                        | b'$'
+                        | b'%'
+                        | b'&'
+                        | b'\''
+                        | b'*'
+                        | b'+'
+                        | b'-'
+                        | b'.'
+                        | b'^'
+                        | b'_'
+                        | b'`'
+                        | b'|'
+                        | b'~'
+                        | b':'
+                        | b'/'
+                )
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(BareItem::Token(
+            String::from_utf8_lossy(&self.input[start..self.pos]).into_owned(),
+        ))
+    }
+}
+
+/// Parses a structured-field dictionary, strictly.
+pub fn parse_dictionary(input: &str) -> Result<Dictionary, SfError> {
+    let mut parser = Parser::new(input);
+    let dict = parser.parse_dictionary()?;
+    parser.skip_sp();
+    if parser.pos != parser.input.len() {
+        return Err(parser.err("trailing garbage"));
+    }
+    Ok(dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_dictionary() {
+        let d = parse_dictionary("camera=(), fullscreen=*").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, "camera");
+        assert!(matches!(&d[0].1, MemberValue::InnerList(items, _) if items.is_empty()));
+        assert!(
+            matches!(&d[1].1, MemberValue::Item(BareItem::Token(t), _) if t == "*")
+        );
+    }
+
+    #[test]
+    fn parses_inner_list_with_tokens_and_strings() {
+        let d = parse_dictionary(r#"geolocation=(self "https://maps.example")"#).unwrap();
+        match &d[0].1 {
+            MemberValue::InnerList(items, _) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].0, BareItem::Token("self".to_string()));
+                assert_eq!(
+                    items[1].0,
+                    BareItem::String("https://maps.example".to_string())
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_comma_is_an_error() {
+        // The paper explicitly lists this as a common real-world mistake
+        // that invalidates the whole header.
+        assert!(parse_dictionary("camera=(),").is_err());
+    }
+
+    #[test]
+    fn feature_policy_syntax_is_an_error() {
+        // `camera 'none'` — Feature-Policy syntax inside Permissions-Policy.
+        assert!(parse_dictionary("camera 'none'").is_err());
+    }
+
+    #[test]
+    fn missing_comma_is_an_error() {
+        assert!(parse_dictionary("camera=() geolocation=()").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_dictionary(r#"geolocation=("https://x"#).is_err());
+    }
+
+    #[test]
+    fn unterminated_inner_list_is_an_error() {
+        assert!(parse_dictionary("geolocation=(self").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let d = parse_dictionary("camera=(), camera=*").unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0].1, MemberValue::Item(BareItem::Token(t), _) if t == "*"));
+    }
+
+    #[test]
+    fn bare_key_is_boolean_true() {
+        let d = parse_dictionary("camera").unwrap();
+        assert!(matches!(
+            &d[0].1,
+            MemberValue::Item(BareItem::Boolean(true), _)
+        ));
+    }
+
+    #[test]
+    fn parameters_are_parsed_and_attached() {
+        let d = parse_dictionary("camera=(self);report-to=\"group\"").unwrap();
+        match &d[0].1 {
+            MemberValue::InnerList(_, params) => {
+                assert_eq!(params.len(), 1);
+                assert_eq!(params[0].0, "report-to");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_dictionary() {
+        assert!(parse_dictionary("").unwrap().is_empty());
+        assert!(parse_dictionary("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn numbers_and_booleans() {
+        let d = parse_dictionary("a=1, b=2.5, c=?0").unwrap();
+        assert!(matches!(&d[0].1, MemberValue::Item(BareItem::Integer(1), _)));
+        assert!(matches!(&d[1].1, MemberValue::Item(BareItem::Decimal(x), _) if *x == 2.5));
+        assert!(matches!(
+            &d[2].1,
+            MemberValue::Item(BareItem::Boolean(false), _)
+        ));
+    }
+
+    #[test]
+    fn uppercase_key_is_an_error() {
+        assert!(parse_dictionary("Camera=()").is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Header misconfiguration taxonomy (§4.3.3).
+//!
+//! Two severity classes, matching the paper's counting:
+//!
+//! * **syntax errors** — the structured-field parse fails and the browser
+//!   drops the complete header (3,244 frames in the paper). The two common
+//!   real-world shapes are Feature-Policy syntax inside the
+//!   Permissions-Policy header and misplaced/trailing commas;
+//! * **semantic issues** — the header parses, but directives contain
+//!   unrecognized tokens (`none`, `0`, `'self'`), origins missing double
+//!   quotes, contradictory members (`self` *and* `*`), origin lists
+//!   lacking `self` (not allowed per w3c issue #480), or unknown feature
+//!   names (6,408 sites in the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::allowlist::AllowlistMember;
+use crate::header::{parse_permissions_policy, DeclaredPolicy, IgnoredMember};
+
+/// Classified reason a header failed structured-field parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyntaxErrorKind {
+    /// The value looks like Feature-Policy syntax (`camera 'none'; ...`).
+    FeaturePolicySyntax,
+    /// A trailing or misplaced comma.
+    MisplacedComma,
+    /// Any other malformed structured field.
+    Other,
+}
+
+/// One semantic issue in a directive that parsed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeaderIssue {
+    /// Allowlist member token the browser ignores (e.g. `none`, `0`,
+    /// `'self'` written with quotes).
+    UnrecognizedToken {
+        /// Directive feature name.
+        feature: String,
+        /// The ignored token.
+        token: String,
+    },
+    /// A URL written without double quotes (parses as a token, ignored).
+    UnquotedUrl {
+        /// Directive feature name.
+        feature: String,
+        /// The raw URL-looking token.
+        token: String,
+    },
+    /// A quoted string that is not a valid origin.
+    InvalidOrigin {
+        /// Directive feature name.
+        feature: String,
+        /// The invalid value.
+        value: String,
+    },
+    /// Both `self` and `*` in one allowlist — contradictory: `*` makes the
+    /// rest redundant.
+    ContradictoryMembers {
+        /// Directive feature name.
+        feature: String,
+    },
+    /// Specific origins listed without `self`; disallowed by the spec
+    /// discussion (w3c issue #480) and a common source of confusion.
+    OriginsWithoutSelf {
+        /// Directive feature name.
+        feature: String,
+    },
+    /// Feature name not in the registry.
+    UnknownFeature {
+        /// The unknown name.
+        feature: String,
+    },
+}
+
+impl fmt::Display for HeaderIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderIssue::UnrecognizedToken { feature, token } => {
+                write!(f, "{feature}: unrecognized token `{token}`")
+            }
+            HeaderIssue::UnquotedUrl { feature, token } => {
+                write!(f, "{feature}: origin `{token}` must be double-quoted")
+            }
+            HeaderIssue::InvalidOrigin { feature, value } => {
+                write!(f, "{feature}: `{value}` is not a valid origin")
+            }
+            HeaderIssue::ContradictoryMembers { feature } => {
+                write!(f, "{feature}: contradictory `self` and `*` in one allowlist")
+            }
+            HeaderIssue::OriginsWithoutSelf { feature } => {
+                write!(f, "{feature}: origin allowlist without `self` is not allowed")
+            }
+            HeaderIssue::UnknownFeature { feature } => {
+                write!(f, "unknown feature `{feature}`")
+            }
+        }
+    }
+}
+
+/// Validation outcome for one `Permissions-Policy` header value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeaderReport {
+    /// `Some` if the header failed to parse and was dropped entirely.
+    pub syntax_error: Option<SyntaxErrorKind>,
+    /// Semantic issues in a header that parsed.
+    pub issues: Vec<HeaderIssue>,
+    /// The parsed policy, when parsing succeeded.
+    pub policy: Option<DeclaredPolicy>,
+}
+
+impl HeaderReport {
+    /// Whether the header is misconfigured in any way.
+    pub fn is_misconfigured(&self) -> bool {
+        self.syntax_error.is_some() || !self.issues.is_empty()
+    }
+
+    /// Whether the browser applies any policy at all from this header.
+    pub fn applies(&self) -> bool {
+        self.syntax_error.is_none()
+    }
+}
+
+fn looks_like_url(token: &str) -> bool {
+    token.contains("://") || token.starts_with("http") || token.contains('.')
+}
+
+fn classify_syntax_error(value: &str) -> SyntaxErrorKind {
+    let trimmed = value.trim_end();
+    if trimmed.ends_with(',') {
+        return SyntaxErrorKind::MisplacedComma;
+    }
+    if trimmed.contains(",,") {
+        return SyntaxErrorKind::MisplacedComma;
+    }
+    // Feature-Policy syntax heuristics: single-quoted keywords or
+    // `feature value` pairs separated by semicolons without `=`.
+    if trimmed.contains('\'') {
+        return SyntaxErrorKind::FeaturePolicySyntax;
+    }
+    if trimmed.contains(';') && !trimmed.contains('=') {
+        return SyntaxErrorKind::FeaturePolicySyntax;
+    }
+    SyntaxErrorKind::Other
+}
+
+/// Parses and validates a `Permissions-Policy` header value.
+pub fn validate_header(value: &str) -> HeaderReport {
+    let policy = match parse_permissions_policy(value) {
+        Ok(p) => p,
+        Err(_) => {
+            return HeaderReport {
+                syntax_error: Some(classify_syntax_error(value)),
+                issues: vec![],
+                policy: None,
+            }
+        }
+    };
+    let mut issues = Vec::new();
+    for directive in policy.directives() {
+        if directive.permission.is_none() {
+            issues.push(HeaderIssue::UnknownFeature {
+                feature: directive.feature.clone(),
+            });
+        }
+        for ignored in &directive.ignored {
+            match ignored {
+                IgnoredMember::UnrecognizedToken(token) if looks_like_url(token) => {
+                    issues.push(HeaderIssue::UnquotedUrl {
+                        feature: directive.feature.clone(),
+                        token: token.clone(),
+                    });
+                }
+                IgnoredMember::UnrecognizedToken(token) => {
+                    issues.push(HeaderIssue::UnrecognizedToken {
+                        feature: directive.feature.clone(),
+                        token: token.clone(),
+                    });
+                }
+                IgnoredMember::InvalidOrigin(value) => {
+                    issues.push(HeaderIssue::InvalidOrigin {
+                        feature: directive.feature.clone(),
+                        value: value.clone(),
+                    });
+                }
+                IgnoredMember::NonStringItem(value) => {
+                    issues.push(HeaderIssue::UnrecognizedToken {
+                        feature: directive.feature.clone(),
+                        token: value.clone(),
+                    });
+                }
+            }
+        }
+        let list = &directive.allowlist;
+        if list.is_star() && list.contains_self() {
+            issues.push(HeaderIssue::ContradictoryMembers {
+                feature: directive.feature.clone(),
+            });
+        }
+        let has_origin = list
+            .members()
+            .iter()
+            .any(|m| matches!(m, AllowlistMember::Origin(_)));
+        if has_origin && !list.contains_self() && !list.is_star() {
+            issues.push(HeaderIssue::OriginsWithoutSelf {
+                feature: directive.feature.clone(),
+            });
+        }
+    }
+    HeaderReport {
+        syntax_error: None,
+        issues,
+        policy: Some(policy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_header_has_no_issues() {
+        let r = validate_header(r#"camera=(), geolocation=(self "https://maps.example")"#);
+        assert!(!r.is_misconfigured());
+        assert!(r.applies());
+        assert!(r.policy.is_some());
+    }
+
+    #[test]
+    fn feature_policy_syntax_classified() {
+        let r = validate_header("camera 'none'; microphone 'none'");
+        assert_eq!(r.syntax_error, Some(SyntaxErrorKind::FeaturePolicySyntax));
+        assert!(!r.applies());
+        assert!(r.policy.is_none());
+    }
+
+    #[test]
+    fn trailing_comma_classified() {
+        let r = validate_header("camera=(),");
+        assert_eq!(r.syntax_error, Some(SyntaxErrorKind::MisplacedComma));
+    }
+
+    #[test]
+    fn none_token_flagged() {
+        let r = validate_header("camera=(none)");
+        assert_eq!(
+            r.issues,
+            vec![HeaderIssue::UnrecognizedToken {
+                feature: "camera".to_string(),
+                token: "none".to_string(),
+            }]
+        );
+        assert!(r.applies()); // header still applies, with camera=()
+    }
+
+    #[test]
+    fn zero_item_flagged() {
+        let r = validate_header("camera=(0)");
+        assert!(matches!(
+            &r.issues[0],
+            HeaderIssue::UnrecognizedToken { token, .. } if token == "0"
+        ));
+    }
+
+    #[test]
+    fn unquoted_url_flagged() {
+        let r = validate_header("geolocation=(self https://maps.example)");
+        assert_eq!(
+            r.issues,
+            vec![HeaderIssue::UnquotedUrl {
+                feature: "geolocation".to_string(),
+                token: "https://maps.example".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn contradictory_self_and_star_flagged() {
+        let r = validate_header("camera=(self *)");
+        assert!(r
+            .issues
+            .contains(&HeaderIssue::ContradictoryMembers {
+                feature: "camera".to_string()
+            }));
+    }
+
+    #[test]
+    fn origins_without_self_flagged() {
+        let r = validate_header(r#"camera=("https://iframe.com")"#);
+        assert!(r
+            .issues
+            .contains(&HeaderIssue::OriginsWithoutSelf {
+                feature: "camera".to_string()
+            }));
+    }
+
+    #[test]
+    fn origins_with_self_not_flagged() {
+        let r = validate_header(r#"camera=(self "https://iframe.com")"#);
+        assert!(!r.is_misconfigured());
+    }
+
+    #[test]
+    fn unknown_feature_flagged() {
+        let r = validate_header("hovercraft=()");
+        assert_eq!(
+            r.issues,
+            vec![HeaderIssue::UnknownFeature {
+                feature: "hovercraft".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn single_quoted_self_is_a_syntax_error() {
+        // `'self'` with single quotes is Feature-Policy habit; `'` cannot
+        // start an RFC 8941 item, so the whole header is dropped.
+        let r = validate_header("camera=('self')");
+        assert_eq!(r.syntax_error, Some(SyntaxErrorKind::FeaturePolicySyntax));
+    }
+
+    #[test]
+    fn issue_display_is_readable() {
+        let r = validate_header("camera=(none)");
+        let text = r.issues[0].to_string();
+        assert!(text.contains("camera"));
+        assert!(text.contains("none"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for header/attribute parsing and the policy engine.
+
+use proptest::prelude::*;
+
+use policy::allow_attr::parse_allow_attribute;
+use policy::allowlist::{Allowlist, AllowlistMember};
+use policy::engine::{FramingContext, LocalSchemeBehavior, PolicyEngine};
+use policy::header::{parse_permissions_policy, DeclaredPolicy};
+use policy::validate::validate_header;
+use registry::Permission;
+use weburl::Url;
+
+fn arb_permission() -> impl Strategy<Value = Permission> {
+    let all = registry::all_permissions();
+    (0..all.len()).prop_map(move |i| all[i])
+}
+
+fn arb_member() -> impl Strategy<Value = AllowlistMember> {
+    prop_oneof![
+        Just(AllowlistMember::Star),
+        Just(AllowlistMember::SelfOrigin),
+        "[a-z]{2,8}\\.(com|org|example)".prop_map(|host| {
+            AllowlistMember::Origin(format!("https://{host}"))
+        }),
+    ]
+}
+
+fn arb_allowlist() -> impl Strategy<Value = Allowlist> {
+    prop::collection::vec(arb_member(), 0..4).prop_map(|members| {
+        let mut list = Allowlist::empty();
+        for m in members {
+            list.push(m);
+        }
+        list
+    })
+}
+
+proptest! {
+    /// Serializing any generated policy and reparsing it yields the same
+    /// directives and allowlists.
+    #[test]
+    fn header_roundtrip(pairs in prop::collection::vec((arb_permission(), arb_allowlist()), 0..8)) {
+        // Deduplicate features: later duplicates overwrite per RFC 8941.
+        let mut seen = std::collections::BTreeSet::new();
+        let pairs: Vec<_> = pairs.into_iter().filter(|(p, _)| seen.insert(*p)).collect();
+        let policy = DeclaredPolicy::from_pairs(pairs.clone());
+        let header = policy.to_header_value();
+        let reparsed = parse_permissions_policy(&header).unwrap();
+        prop_assert_eq!(reparsed.len(), pairs.len());
+        for (p, list) in &pairs {
+            prop_assert_eq!(reparsed.get(*p).unwrap(), list);
+        }
+    }
+
+    /// validate_header never panics on arbitrary ASCII input, and a header
+    /// that parses always yields a policy.
+    #[test]
+    fn validate_never_panics(input in "[ -~]{0,80}") {
+        let report = validate_header(&input);
+        prop_assert_eq!(report.applies(), report.policy.is_some());
+    }
+
+    /// Allow attributes round-trip through serialization.
+    #[test]
+    fn allow_attr_roundtrip(
+        features in prop::collection::btree_set(arb_permission(), 0..6),
+        star in prop::bool::ANY,
+    ) {
+        let value = features
+            .iter()
+            .map(|p| if star { format!("{} *", p.token()) } else { p.token().to_string() })
+            .collect::<Vec<_>>()
+            .join("; ");
+        let a = parse_allow_attribute(&value);
+        let b = parse_allow_attribute(&a.to_attribute_value());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Monotonicity: a frame never has a policy-controlled feature its
+    /// parent could not use (delegation can only narrow, not widen).
+    #[test]
+    fn delegation_never_widens(
+        header in prop_oneof![
+            Just(None),
+            Just(Some("camera=()".to_string())),
+            Just(Some("camera=(self)".to_string())),
+            Just(Some("camera=(*)".to_string())),
+            Just(Some(r#"camera=(self "https://iframe.com")"#.to_string())),
+        ],
+        allow in prop_oneof![
+            Just(None),
+            Just(Some("camera".to_string())),
+            Just(Some("camera *".to_string())),
+            Just(Some("camera 'none'".to_string())),
+        ],
+    ) {
+        let engine = PolicyEngine::default();
+        let declared = header
+            .as_deref()
+            .map(|h| parse_permissions_policy(h).unwrap())
+            .unwrap_or_default();
+        let top_origin = Url::parse("https://example.org/").unwrap().origin();
+        let parent = engine.document_for_top_level(top_origin, declared);
+        let allow_parsed = allow.as_deref().map(parse_allow_attribute);
+        let framing = FramingContext {
+            allow: allow_parsed.as_ref(),
+            src_origin: Some(Url::parse("https://iframe.com/").unwrap().origin()),
+        };
+        let child = engine.document_for_frame(
+            &parent,
+            &framing,
+            Url::parse("https://iframe.com/").unwrap().origin(),
+            DeclaredPolicy::default(),
+            false,
+        );
+        if child.allowed_to_use(Permission::Camera) {
+            prop_assert!(parent.allowed_to_use(Permission::Camera));
+        }
+    }
+
+    /// Under expected (InheritParent) local-scheme behaviour, inserting a
+    /// local-scheme document between parent and grandchild never grants the
+    /// grandchild a feature it would not get when embedded directly.
+    #[test]
+    fn local_scheme_inheritance_is_sound_in_expected_mode(
+        header in prop_oneof![
+            Just("camera=(self)".to_string()),
+            Just("camera=()".to_string()),
+            Just(r#"camera=(self "https://other.example")"#.to_string()),
+        ],
+    ) {
+        let engine = PolicyEngine::new(LocalSchemeBehavior::InheritParent);
+        let declared = parse_permissions_policy(&header).unwrap();
+        let top_origin = Url::parse("https://example.org/").unwrap().origin();
+        let parent = engine.document_for_top_level(top_origin.clone(), declared);
+        let attacker = Url::parse("https://attacker.com/").unwrap().origin();
+        let allow = parse_allow_attribute("camera");
+
+        // Direct embedding.
+        let direct = engine.document_for_frame(
+            &parent,
+            &FramingContext { allow: Some(&allow), src_origin: Some(attacker.clone()) },
+            attacker.clone(),
+            DeclaredPolicy::default(),
+            false,
+        );
+
+        // Via a local-scheme document sharing the parent's origin.
+        let local = engine.document_for_frame(
+            &parent,
+            &FramingContext::default(),
+            top_origin,
+            DeclaredPolicy::default(),
+            true,
+        );
+        let via_local = engine.document_for_frame(
+            &local,
+            &FramingContext { allow: Some(&allow), src_origin: Some(attacker.clone()) },
+            attacker,
+            DeclaredPolicy::default(),
+            false,
+        );
+        prop_assert!(
+            !via_local.allowed_to_use(Permission::Camera)
+                || direct.allowed_to_use(Permission::Camera)
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! The Web-API surface behind each permission.
+//!
+//! Two consumers:
+//!
+//! * the **dynamic** instrumentation (`browser` crate) hooks the host
+//!   functions listed here, exactly like the paper's injected JavaScript
+//!   overwrites `navigator.permissions.query` et al. (Figure 1);
+//! * the **static** analyzer (`staticscan` crate) string-matches the same
+//!   API names in script sources.
+//!
+//! Keeping both in one table guarantees that the static and dynamic
+//! methods look for the *same* functionality, so any measured divergence
+//! between them comes from real causes (aliasing, obfuscation, dead code,
+//! interaction-gated handlers) — the paper's §4.1.3 observation.
+
+use crate::Permission;
+
+/// How an API relates to the permission system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiKind {
+    /// Uses the capability (e.g. `getUserMedia`, `getBattery`).
+    Invocation,
+    /// Queries permission state for one permission
+    /// (`navigator.permissions.query({name: ...})`).
+    StatusQuery,
+    /// General Permissions / Permissions Policy / Feature Policy APIs that
+    /// enumerate or test features (`document.featurePolicy.allowedFeatures`
+    /// …). The paper groups these as "General Permission APIs".
+    General,
+}
+
+/// One instrumentable Web API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApiSpec {
+    /// Canonical dotted path of the API (e.g.
+    /// `"navigator.mediaDevices.getUserMedia"`).
+    pub path: &'static str,
+    /// The permission(s) exercised by calling this API. `getUserMedia`
+    /// maps to both camera and microphone — which is why the paper's
+    /// Table 6 reports identical static counts for the two.
+    pub permissions: &'static [Permission],
+    /// Relation to the permission system.
+    pub kind: ApiKind,
+}
+
+/// Whether this API belongs to the deprecated Feature Policy surface
+/// (`document.featurePolicy.*`). §4.1.1: 429,259 websites still rely on it.
+pub fn is_feature_policy_api(path: &str) -> bool {
+    path.starts_with("document.featurePolicy")
+}
+
+use Permission as P;
+
+/// Every API the measurement instruments, in one table.
+pub const APIS: &[ApiSpec] = &[
+    // --- General permission APIs ---
+    ApiSpec { path: "navigator.permissions.query", permissions: &[], kind: ApiKind::StatusQuery },
+    ApiSpec { path: "document.featurePolicy.allowedFeatures", permissions: &[], kind: ApiKind::General },
+    ApiSpec { path: "document.featurePolicy.allowsFeature", permissions: &[], kind: ApiKind::General },
+    ApiSpec { path: "document.featurePolicy.features", permissions: &[], kind: ApiKind::General },
+    ApiSpec { path: "document.featurePolicy.getAllowlistForFeature", permissions: &[], kind: ApiKind::General },
+    ApiSpec { path: "document.permissionsPolicy.allowedFeatures", permissions: &[], kind: ApiKind::General },
+    ApiSpec { path: "document.permissionsPolicy.allowsFeature", permissions: &[], kind: ApiKind::General },
+    ApiSpec { path: "document.permissionsPolicy.features", permissions: &[], kind: ApiKind::General },
+    // --- Per-permission invocations ---
+    ApiSpec { path: "navigator.mediaDevices.getUserMedia", permissions: &[P::Camera, P::Microphone], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.mediaDevices.getDisplayMedia", permissions: &[P::DisplayCapture], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.mediaDevices.enumerateDevices", permissions: &[P::Camera, P::Microphone], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.mediaDevices.selectAudioOutput", permissions: &[P::SpeakerSelection], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.geolocation.getCurrentPosition", permissions: &[P::Geolocation], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.geolocation.watchPosition", permissions: &[P::Geolocation], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.getBattery", permissions: &[P::Battery], kind: ApiKind::Invocation },
+    ApiSpec { path: "Notification.requestPermission", permissions: &[P::Notifications], kind: ApiKind::Invocation },
+    ApiSpec { path: "Notification", permissions: &[P::Notifications], kind: ApiKind::Invocation },
+    ApiSpec { path: "pushManager.subscribe", permissions: &[P::Push], kind: ApiKind::Invocation },
+    ApiSpec { path: "document.browsingTopics", permissions: &[P::BrowsingTopics], kind: ApiKind::Invocation },
+    ApiSpec { path: "document.requestStorageAccess", permissions: &[P::StorageAccess], kind: ApiKind::Invocation },
+    ApiSpec { path: "document.hasStorageAccess", permissions: &[P::StorageAccess], kind: ApiKind::Invocation },
+    ApiSpec { path: "document.requestStorageAccessFor", permissions: &[P::TopLevelStorageAccess], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.clipboard.readText", permissions: &[P::ClipboardRead], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.clipboard.read", permissions: &[P::ClipboardRead], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.clipboard.writeText", permissions: &[P::ClipboardWrite], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.clipboard.write", permissions: &[P::ClipboardWrite], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.share", permissions: &[P::WebShare], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.canShare", permissions: &[P::WebShare], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.requestMediaKeySystemAccess", permissions: &[P::EncryptedMedia], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.getGamepads", permissions: &[P::Gamepad], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.requestMIDIAccess", permissions: &[P::Midi], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.usb.requestDevice", permissions: &[P::Usb], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.usb.getDevices", permissions: &[P::Usb], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.serial.requestPort", permissions: &[P::Serial], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.hid.requestDevice", permissions: &[P::Hid], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.bluetooth.requestDevice", permissions: &[P::Bluetooth], kind: ApiKind::Invocation },
+    ApiSpec { path: "PaymentRequest", permissions: &[P::Payment], kind: ApiKind::Invocation },
+    ApiSpec { path: "IdleDetector", permissions: &[P::IdleDetection], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.wakeLock.request", permissions: &[P::ScreenWakeLock], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.keyboard.lock", permissions: &[P::KeyboardLock], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.keyboard.getLayoutMap", permissions: &[P::KeyboardMap], kind: ApiKind::Invocation },
+    ApiSpec { path: "window.queryLocalFonts", permissions: &[P::LocalFonts], kind: ApiKind::Invocation },
+    ApiSpec { path: "Accelerometer", permissions: &[P::Accelerometer], kind: ApiKind::Invocation },
+    ApiSpec { path: "Gyroscope", permissions: &[P::Gyroscope], kind: ApiKind::Invocation },
+    ApiSpec { path: "Magnetometer", permissions: &[P::Magnetometer], kind: ApiKind::Invocation },
+    ApiSpec { path: "AmbientLightSensor", permissions: &[P::AmbientLightSensor], kind: ApiKind::Invocation },
+    ApiSpec { path: "PressureObserver", permissions: &[P::ComputePressure], kind: ApiKind::Invocation },
+    ApiSpec { path: "TCPSocket", permissions: &[P::DirectSockets], kind: ApiKind::Invocation },
+    ApiSpec { path: "UDPSocket", permissions: &[P::DirectSockets], kind: ApiKind::Invocation },
+    ApiSpec { path: "element.requestPointerLock", permissions: &[P::PointerLock], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.credentials.get", permissions: &[P::PublickeyCredentialsGet], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.credentials.create", permissions: &[P::PublickeyCredentialsCreate], kind: ApiKind::Invocation },
+    ApiSpec { path: "window.getScreenDetails", permissions: &[P::WindowManagement], kind: ApiKind::Invocation },
+    ApiSpec { path: "navigator.xr.requestSession", permissions: &[P::XrSpatialTracking], kind: ApiKind::Invocation },
+    ApiSpec { path: "element.requestFullscreen", permissions: &[P::Fullscreen], kind: ApiKind::Invocation },
+    ApiSpec { path: "video.requestPictureInPicture", permissions: &[P::PictureInPicture], kind: ApiKind::Invocation },
+];
+
+/// Looks up the [`ApiSpec`] for a canonical API path.
+pub fn api_by_path(path: &str) -> Option<&'static ApiSpec> {
+    APIS.iter().find(|spec| spec.path == path)
+}
+
+/// The substring the static analyzer searches for, given an API path
+/// (§3.1.1, static method).
+///
+/// Distinctive final member names (`getUserMedia`, `getBattery`) are used
+/// bare so aliased receivers still match (`md.getUserMedia(...)`), mirroring
+/// string matching on minified code. Generic member names (`get`, `read`,
+/// `requestDevice` — shared by several device APIs) keep their receiver
+/// segment so they stay permission-specific.
+pub fn search_pattern(path: &'static str) -> &'static str {
+    match path {
+        "navigator.usb.requestDevice" => "usb.requestDevice",
+        "navigator.hid.requestDevice" => "hid.requestDevice",
+        "navigator.bluetooth.requestDevice" => "bluetooth.requestDevice",
+        "navigator.serial.requestPort" => "serial.requestPort",
+        "navigator.usb.getDevices" => "usb.getDevices",
+        "navigator.credentials.get" => "credentials.get",
+        "navigator.credentials.create" => "credentials.create",
+        "navigator.clipboard.read" => "clipboard.read",
+        "navigator.clipboard.write" => "clipboard.write",
+        "navigator.share" => "navigator.share",
+        "navigator.wakeLock.request" => "wakeLock.request",
+        "navigator.keyboard.lock" => "keyboard.lock",
+        "navigator.xr.requestSession" => "xr.requestSession",
+        "pushManager.subscribe" => "pushManager.subscribe",
+        _ => match path.rfind('.') {
+            Some(i) => &path[i + 1..],
+            None => path,
+        },
+    }
+}
+
+/// Static-analysis patterns for a permission: the substrings whose presence
+/// in a script counts as "permission functionality" (§3.1.1, static method).
+pub fn static_patterns(permission: Permission) -> Vec<&'static str> {
+    APIS.iter()
+        .filter(|spec| spec.permissions.contains(&permission))
+        .map(|spec| search_pattern(spec.path))
+        .collect()
+}
+
+/// Patterns for the General Permission APIs group.
+pub fn general_api_patterns() -> Vec<&'static str> {
+    vec![
+        "permissions.query",
+        "featurePolicy",
+        "permissionsPolicy",
+    ]
+}
+
+/// Maps a Permissions-API query name (the `{name: "..."}` argument of
+/// `navigator.permissions.query`) to a registry permission.
+///
+/// Most names equal the policy token; the exceptions follow the
+/// Permissions specification registry.
+pub fn permission_from_query_name(name: &str) -> Option<Permission> {
+    match name {
+        // Permissions-API specific names.
+        "midi" => Some(P::Midi),
+        "persistent-storage" => None, // not in scope for the measurement
+        "background-sync" => None,
+        _ => Permission::from_token(name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_paths_are_unique() {
+        let mut paths: Vec<_> = APIS.iter().map(|a| a.path).collect();
+        paths.sort_unstable();
+        let before = paths.len();
+        paths.dedup();
+        assert_eq!(paths.len(), before);
+    }
+
+    #[test]
+    fn get_user_media_covers_camera_and_microphone() {
+        let spec = api_by_path("navigator.mediaDevices.getUserMedia").unwrap();
+        assert!(spec.permissions.contains(&P::Camera));
+        assert!(spec.permissions.contains(&P::Microphone));
+    }
+
+    #[test]
+    fn camera_and_microphone_share_static_patterns() {
+        // The root cause of Table 6's identical camera/microphone counts.
+        assert_eq!(
+            static_patterns(P::Camera),
+            static_patterns(P::Microphone)
+        );
+        assert!(static_patterns(P::Camera).contains(&"getUserMedia"));
+    }
+
+    #[test]
+    fn every_invocation_api_has_a_permission() {
+        for spec in APIS {
+            if spec.kind == ApiKind::Invocation {
+                assert!(!spec.permissions.is_empty(), "{}", spec.path);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_policy_detection() {
+        assert!(is_feature_policy_api("document.featurePolicy.allowsFeature"));
+        assert!(!is_feature_policy_api("document.permissionsPolicy.allowsFeature"));
+        assert!(!is_feature_policy_api("navigator.permissions.query"));
+    }
+
+    #[test]
+    fn query_names_resolve() {
+        assert_eq!(permission_from_query_name("camera"), Some(P::Camera));
+        assert_eq!(permission_from_query_name("midi"), Some(P::Midi));
+        assert_eq!(
+            permission_from_query_name("storage-access"),
+            Some(P::StorageAccess)
+        );
+        assert_eq!(permission_from_query_name("nonsense"), None);
+    }
+
+    #[test]
+    fn battery_pattern_is_get_battery() {
+        assert_eq!(static_patterns(P::Battery), vec!["getBattery"]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Browser support matrix.
+//!
+//! The data behind the paper's caniuse-like tool (§6.3, Appendix A.6): for
+//! each permission, which browser versions support the feature, whether the
+//! Permissions-Policy header is enforced, and how the default allowlist
+//! changed over time (e.g. camera was on the `*` default allowlist before
+//! Chromium 64 — §4.2.2 mentions this history).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{DefaultAllowlist, Permission};
+
+/// A browser engine vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Chromium and derivatives (Chrome, Edge, Opera, Brave…).
+    Chromium,
+    /// Firefox (Gecko).
+    Firefox,
+    /// Safari (WebKit).
+    Safari,
+}
+
+impl Vendor {
+    /// All vendors tracked by the tool.
+    pub const ALL: [Vendor; 3] = [Vendor::Chromium, Vendor::Firefox, Vendor::Safari];
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vendor::Chromium => write!(f, "Chromium"),
+            Vendor::Firefox => write!(f, "Firefox"),
+            Vendor::Safari => write!(f, "Safari"),
+        }
+    }
+}
+
+/// Support status of a feature in a vendor's current release line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupportStatus {
+    /// Supported since the given major version.
+    Since(u32),
+    /// Supported behind a flag since the given major version.
+    BehindFlag(u32),
+    /// Not supported.
+    No,
+}
+
+impl SupportStatus {
+    /// Whether the feature is available (possibly behind a flag) at
+    /// `version`.
+    pub fn available_at(&self, version: u32) -> bool {
+        match self {
+            SupportStatus::Since(v) | SupportStatus::BehindFlag(v) => version >= *v,
+            SupportStatus::No => false,
+        }
+    }
+}
+
+/// One historical change of a permission's default allowlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllowlistChange {
+    /// Vendor whose behaviour changed.
+    pub vendor: Vendor,
+    /// Major version where the new default took effect.
+    pub version: u32,
+    /// Default allowlist from that version on.
+    pub default: DefaultAllowlist,
+}
+
+/// Support entry for one permission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupportEntry {
+    /// Feature availability per vendor.
+    pub chromium: SupportStatus,
+    pub firefox: SupportStatus,
+    pub safari: SupportStatus,
+    /// Whether the *policy* (header/allow governance) for this feature is
+    /// enforced per vendor. The header is Chromium-only (§2.2.6).
+    pub policy_chromium: SupportStatus,
+    pub policy_firefox: SupportStatus,
+    pub policy_safari: SupportStatus,
+}
+
+impl SupportEntry {
+    /// Feature availability for a vendor.
+    pub fn feature(&self, vendor: Vendor) -> SupportStatus {
+        match vendor {
+            Vendor::Chromium => self.chromium,
+            Vendor::Firefox => self.firefox,
+            Vendor::Safari => self.safari,
+        }
+    }
+
+    /// Policy governance support for a vendor.
+    pub fn policy(&self, vendor: Vendor) -> SupportStatus {
+        match vendor {
+            Vendor::Chromium => self.policy_chromium,
+            Vendor::Firefox => self.policy_firefox,
+            Vendor::Safari => self.policy_safari,
+        }
+    }
+}
+
+/// Header-level support (§2.2.6): which header syntaxes each vendor
+/// enforces, and since when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderSupport {
+    /// `Permissions-Policy` (structured-field syntax).
+    pub permissions_policy: SupportStatus,
+    /// Legacy `Feature-Policy` syntax.
+    pub feature_policy: SupportStatus,
+    /// `<iframe allow>` attribute.
+    pub allow_attribute: SupportStatus,
+}
+
+/// Header support for a vendor.
+pub fn header_support(vendor: Vendor) -> HeaderSupport {
+    match vendor {
+        Vendor::Chromium => HeaderSupport {
+            permissions_policy: SupportStatus::Since(88),
+            feature_policy: SupportStatus::Since(60),
+            allow_attribute: SupportStatus::Since(60),
+        },
+        Vendor::Firefox => HeaderSupport {
+            permissions_policy: SupportStatus::No,
+            feature_policy: SupportStatus::No,
+            allow_attribute: SupportStatus::Since(74),
+        },
+        Vendor::Safari => HeaderSupport {
+            permissions_policy: SupportStatus::No,
+            feature_policy: SupportStatus::No,
+            allow_attribute: SupportStatus::Since(12),
+        },
+    }
+}
+
+/// Support matrix lookup for one permission.
+///
+/// The table is a calibrated snapshot (July 2024): exact real-world
+/// versions matter less than the *pattern* the tool shows — Chromium
+/// supports nearly everything, Firefox/Safari support the classic powerful
+/// features and none of the ads/fingerprinting-surface ones.
+pub fn support(permission: Permission) -> SupportEntry {
+    use Permission as P;
+    use SupportStatus as S;
+    let (ch, fx, sa) = match permission {
+        // Classic powerful features: everywhere.
+        P::Camera | P::Microphone => (S::Since(53), S::Since(36), S::Since(11)),
+        P::Geolocation => (S::Since(5), S::Since(3), S::Since(5)),
+        P::Notifications => (S::Since(20), S::Since(22), S::Since(7)),
+        P::Push => (S::Since(42), S::Since(44), S::Since(16)),
+        P::Fullscreen => (S::Since(15), S::Since(9), S::Since(5)),
+        P::Autoplay => (S::Since(64), S::Since(66), S::Since(11)),
+        P::EncryptedMedia => (S::Since(42), S::Since(38), S::Since(12)),
+        P::PictureInPicture => (S::Since(70), S::No, S::Since(13)),
+        P::Payment => (S::Since(60), S::BehindFlag(55), S::Since(11)),
+        P::Gamepad => (S::Since(21), S::Since(29), S::Since(10)),
+        P::ClipboardRead => (S::Since(66), S::Since(125), S::Since(13)),
+        P::ClipboardWrite => (S::Since(66), S::Since(63), S::Since(13)),
+        P::WebShare => (S::Since(89), S::Since(71), S::Since(12)),
+        P::StorageAccess => (S::Since(119), S::Since(65), S::Since(11)),
+        P::TopLevelStorageAccess => (S::Since(119), S::No, S::No),
+        P::Midi => (S::Since(43), S::Since(108), S::No),
+        P::PointerLock => (S::Since(37), S::Since(50), S::Since(10)),
+        P::ScreenWakeLock => (S::Since(84), S::Since(126), S::Since(16)),
+        P::PublickeyCredentialsGet | P::PublickeyCredentialsCreate => {
+            (S::Since(67), S::Since(60), S::Since(13))
+        }
+        P::DisplayCapture => (S::Since(72), S::Since(66), S::Since(13)),
+        P::SpeakerSelection => (S::BehindFlag(110), S::Since(116), S::No),
+        P::XrSpatialTracking => (S::Since(79), S::BehindFlag(98), S::No),
+        P::Vr => (S::No, S::No, S::No), // removed everywhere
+        // Sensors: Chromium-only.
+        P::Accelerometer | P::Gyroscope | P::Magnetometer => (S::Since(67), S::No, S::No),
+        P::AmbientLightSensor => (S::BehindFlag(67), S::No, S::No),
+        P::ComputePressure => (S::Since(125), S::No, S::No),
+        // Device access: Chromium-only.
+        P::Usb => (S::Since(61), S::No, S::No),
+        P::Serial => (S::Since(89), S::No, S::No),
+        P::Hid => (S::Since(89), S::No, S::No),
+        P::Bluetooth => (S::Since(56), S::No, S::No),
+        P::DirectSockets => (S::BehindFlag(131), S::No, S::No),
+        P::IdleDetection => (S::Since(94), S::No, S::No),
+        P::KeyboardLock | P::KeyboardMap => (S::Since(68), S::No, S::No),
+        P::LocalFonts => (S::Since(103), S::No, S::No),
+        P::WindowManagement => (S::Since(100), S::No, S::No),
+        P::SystemWakeLock => (S::No, S::No, S::No),
+        P::Battery => (S::Since(38), S::No, S::No), // Firefox removed it
+        // Ads APIs: Chromium-only; Mozilla and WebKit rejected Topics
+        // (§4.1.1, refs [26][49]).
+        P::BrowsingTopics => (S::Since(115), S::No, S::No),
+        P::AttributionReporting => (S::Since(115), S::No, S::No),
+        P::RunAdAuction | P::JoinAdInterestGroup => (S::Since(115), S::No, S::No),
+        P::InterestCohort => (S::No, S::No, S::No), // FLoC removed
+        P::PrivateStateTokenIssuance | P::PrivateStateTokenRedemption => {
+            (S::Since(115), S::No, S::No)
+        }
+        P::IdentityCredentialsGet => (S::Since(108), S::No, S::No),
+        P::OtpCredentials => (S::Since(93), S::No, S::No),
+        P::CrossOriginIsolated => (S::Since(87), S::Since(72), S::Since(15)),
+        P::SyncXhr => (S::Since(65), S::No, S::No),
+        P::SyncScript | P::DocumentDomain | P::UnloadPermission => (S::Since(88), S::No, S::No),
+        // Client hints: Chromium-only.
+        p if p.is_client_hint() => (S::Since(89), S::No, S::No),
+        _ => (S::No, S::No, S::No),
+    };
+    // Policy governance: only meaningful for policy-controlled features,
+    // and the header is Chromium-only; Firefox/Safari enforce the allow
+    // attribute for the features they implement.
+    let policy_controlled = permission.info().policy_controlled;
+    let gate = |status: SupportStatus, hdr: SupportStatus| -> SupportStatus {
+        if !policy_controlled {
+            return SupportStatus::No;
+        }
+        match (status, hdr) {
+            (SupportStatus::No, _) | (_, SupportStatus::No) => SupportStatus::No,
+            (SupportStatus::Since(a) | SupportStatus::BehindFlag(a), SupportStatus::Since(b)) => {
+                SupportStatus::Since(a.max(b))
+            }
+            (SupportStatus::Since(a) | SupportStatus::BehindFlag(a), SupportStatus::BehindFlag(b)) => {
+                SupportStatus::BehindFlag(a.max(b))
+            }
+        }
+    };
+    SupportEntry {
+        chromium: ch,
+        firefox: fx,
+        safari: sa,
+        policy_chromium: gate(ch, header_support(Vendor::Chromium).permissions_policy),
+        policy_firefox: gate(fx, header_support(Vendor::Firefox).allow_attribute),
+        policy_safari: gate(sa, header_support(Vendor::Safari).allow_attribute),
+    }
+}
+
+/// Historical default-allowlist changes the tool tracks (App. A.6: "the
+/// website also ... tracks default allowlists for each permission").
+pub fn allowlist_history(permission: Permission) -> Vec<AllowlistChange> {
+    use Permission as P;
+    match permission {
+        // Camera/microphone/geolocation moved from `*` to `self` in
+        // Chromium 64 (referenced by §4.2.2: "some permissions, such as
+        // camera access, previously being on the * default allowlist").
+        P::Camera | P::Microphone | P::Geolocation => vec![
+            AllowlistChange { vendor: Vendor::Chromium, version: 60, default: DefaultAllowlist::Star },
+            AllowlistChange { vendor: Vendor::Chromium, version: 64, default: DefaultAllowlist::SelfOrigin },
+        ],
+        P::EncryptedMedia => vec![
+            AllowlistChange { vendor: Vendor::Chromium, version: 60, default: DefaultAllowlist::Star },
+            AllowlistChange { vendor: Vendor::Chromium, version: 120, default: DefaultAllowlist::SelfOrigin },
+        ],
+        _ => match permission.info().default_allowlist {
+            Some(default) => vec![AllowlistChange {
+                vendor: Vendor::Chromium,
+                version: 88,
+                default,
+            }],
+            None => vec![],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_chromium_only() {
+        assert!(matches!(
+            header_support(Vendor::Chromium).permissions_policy,
+            SupportStatus::Since(88)
+        ));
+        assert_eq!(
+            header_support(Vendor::Firefox).permissions_policy,
+            SupportStatus::No
+        );
+        assert_eq!(
+            header_support(Vendor::Safari).permissions_policy,
+            SupportStatus::No
+        );
+    }
+
+    #[test]
+    fn allow_attribute_is_cross_browser() {
+        for vendor in Vendor::ALL {
+            assert!(header_support(vendor).allow_attribute.available_at(130));
+        }
+    }
+
+    #[test]
+    fn topics_is_chromium_only() {
+        let entry = support(Permission::BrowsingTopics);
+        assert!(entry.chromium.available_at(127));
+        assert_eq!(entry.firefox, SupportStatus::No);
+        assert_eq!(entry.safari, SupportStatus::No);
+    }
+
+    #[test]
+    fn camera_supported_everywhere() {
+        let entry = support(Permission::Camera);
+        for vendor in Vendor::ALL {
+            assert!(entry.feature(vendor).available_at(127));
+        }
+        // But header-based policy control only in Chromium.
+        assert!(entry.policy(Vendor::Chromium).available_at(127));
+    }
+
+    #[test]
+    fn non_policy_controlled_features_have_no_policy_support() {
+        let entry = support(Permission::Notifications);
+        for vendor in Vendor::ALL {
+            assert_eq!(entry.policy(vendor), SupportStatus::No);
+        }
+    }
+
+    #[test]
+    fn camera_allowlist_history_shows_star_to_self() {
+        let history = allowlist_history(Permission::Camera);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].default, DefaultAllowlist::Star);
+        assert_eq!(history[1].default, DefaultAllowlist::SelfOrigin);
+        assert!(history[0].version < history[1].version);
+    }
+
+    #[test]
+    fn available_at_boundaries() {
+        assert!(!SupportStatus::Since(88).available_at(87));
+        assert!(SupportStatus::Since(88).available_at(88));
+        assert!(SupportStatus::BehindFlag(88).available_at(90));
+        assert!(!SupportStatus::No.available_at(200));
+    }
+}

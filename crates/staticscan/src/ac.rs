@@ -1,0 +1,196 @@
+//! Aho-Corasick multi-pattern matcher (from scratch).
+//!
+//! Classic construction: a byte-labelled trie, failure links computed by
+//! BFS, and output sets propagated along failure links. Matching a text of
+//! length *n* against *k* patterns costs O(n + matches) regardless of *k*
+//! — which is what makes scanning millions of scripts against the full
+//! registry pattern table tractable.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// One trie node.
+struct Node {
+    /// Byte transitions.
+    next: HashMap<u8, usize>,
+    /// Failure link.
+    fail: usize,
+    /// Pattern ids ending at this node (including via failure links).
+    out: Vec<usize>,
+}
+
+/// The automaton.
+pub struct AcAutomaton {
+    nodes: Vec<Node>,
+}
+
+impl AcAutomaton {
+    /// Builds an automaton over `patterns`. Pattern ids are the indices
+    /// into the slice. Empty patterns are permitted but never match.
+    pub fn new<S: AsRef<str>>(patterns: &[S]) -> AcAutomaton {
+        let mut nodes = vec![Node {
+            next: HashMap::new(),
+            fail: 0,
+            out: Vec::new(),
+        }];
+        // Phase 1: trie.
+        for (id, pattern) in patterns.iter().enumerate() {
+            let bytes = pattern.as_ref().as_bytes();
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut state = 0;
+            for &b in bytes {
+                state = match nodes[state].next.get(&b) {
+                    Some(&next) => next,
+                    None => {
+                        nodes.push(Node {
+                            next: HashMap::new(),
+                            fail: 0,
+                            out: Vec::new(),
+                        });
+                        let new = nodes.len() - 1;
+                        nodes[state].next.insert(b, new);
+                        new
+                    }
+                };
+            }
+            nodes[state].out.push(id);
+        }
+        // Phase 2: failure links (BFS).
+        let mut queue = VecDeque::new();
+        let root_children: Vec<usize> = nodes[0].next.values().copied().collect();
+        for child in root_children {
+            nodes[child].fail = 0;
+            queue.push_back(child);
+        }
+        while let Some(state) = queue.pop_front() {
+            let transitions: Vec<(u8, usize)> =
+                nodes[state].next.iter().map(|(&b, &n)| (b, n)).collect();
+            for (b, child) in transitions {
+                // Follow failure links to find the longest proper suffix
+                // state with a transition on `b`.
+                let mut f = nodes[state].fail;
+                let fail_target = loop {
+                    if let Some(&t) = nodes[f].next.get(&b) {
+                        if t != child {
+                            break t;
+                        }
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f].fail;
+                };
+                nodes[child].fail = fail_target;
+                // Merge outputs from the failure target.
+                let inherited = nodes[fail_target].out.clone();
+                nodes[child].out.extend(inherited);
+                queue.push_back(child);
+            }
+        }
+        AcAutomaton { nodes }
+    }
+
+    /// Streams all matches in `text` as `(end_offset, pattern_id)` pairs.
+    pub fn find_all(&self, text: &[u8]) -> Vec<(usize, usize)> {
+        let mut matches = Vec::new();
+        let mut state = 0;
+        for (i, &b) in text.iter().enumerate() {
+            state = self.step(state, b);
+            for &id in &self.nodes[state].out {
+                matches.push((i + 1, id));
+            }
+        }
+        matches
+    }
+
+    /// The set of pattern ids that occur in `text` at least once.
+    pub fn matched_patterns(&self, text: &[u8]) -> BTreeSet<usize> {
+        let mut found = BTreeSet::new();
+        let mut state = 0;
+        for &b in text {
+            state = self.step(state, b);
+            for &id in &self.nodes[state].out {
+                found.insert(id);
+            }
+        }
+        found
+    }
+
+    fn step(&self, mut state: usize, b: u8) -> usize {
+        loop {
+            if let Some(&next) = self.nodes[state].next.get(&b) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state].fail;
+        }
+    }
+
+    /// Number of automaton states (for the bench's size reporting).
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_pattern() {
+        let ac = AcAutomaton::new(&["abc"]);
+        assert_eq!(ac.find_all(b"xxabcxxabc"), vec![(5, 0), (10, 0)]);
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let ac = AcAutomaton::new(&["he", "she", "his", "hers"]);
+        let ids: BTreeSet<usize> = ac.matched_patterns(b"ushers");
+        assert_eq!(ids, BTreeSet::from([0, 1, 3])); // he, she, hers
+    }
+
+    #[test]
+    fn pattern_inside_pattern() {
+        let ac = AcAutomaton::new(&["UserMedia", "getUserMedia"]);
+        let ids = ac.matched_patterns(b"navigator.mediaDevices.getUserMedia()");
+        assert_eq!(ids, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn no_match() {
+        let ac = AcAutomaton::new(&["camera", "battery"]);
+        assert!(ac.matched_patterns(b"hello world").is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_never_matches() {
+        let ac = AcAutomaton::new(&["", "x"]);
+        let ids = ac.matched_patterns(b"xyz");
+        assert_eq!(ids, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn matches_agree_with_naive_search() {
+        let patterns = ["query", "quer", "ery", "y", "permissions"];
+        let ac = AcAutomaton::new(&patterns);
+        let texts = [
+            "navigator.permissions.query",
+            "qqueryy",
+            "",
+            "permissionspermissions",
+            "xyzzy",
+        ];
+        for text in texts {
+            let expected: BTreeSet<usize> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| text.contains(**p))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(ac.matched_patterns(text.as_bytes()), expected, "{text}");
+        }
+    }
+}

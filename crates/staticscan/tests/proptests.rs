@@ -1,0 +1,81 @@
+//! Property-based tests: the two scanner implementations are
+//! observationally equivalent, and the Aho-Corasick automaton agrees with
+//! naive substring search on arbitrary pattern sets.
+
+use proptest::prelude::*;
+use staticscan::{AcAutomaton, AcScanner, NaiveScanner, Scanner};
+use std::collections::BTreeSet;
+
+proptest! {
+    /// On arbitrary ASCII input, naive and AC scanners produce identical
+    /// findings.
+    #[test]
+    fn scanners_equivalent(input in "[ -~]{0,200}") {
+        let naive = NaiveScanner::new();
+        let ac = AcScanner::new();
+        prop_assert_eq!(naive.scan(&input), ac.scan(&input));
+    }
+
+    /// On inputs seeded with real API names, the scanners still agree and
+    /// find the seeded pattern.
+    #[test]
+    fn scanners_equivalent_with_seeded_patterns(
+        prefix in "[a-z .;(){}]{0,40}",
+        api in "(getUserMedia|getBattery|requestMIDIAccess|browsingTopics|writeText|getDisplayMedia)",
+        suffix in "[a-z .;(){}]{0,40}",
+    ) {
+        let input = format!("{prefix}{api}{suffix}");
+        let naive = NaiveScanner::new();
+        let ac = AcScanner::new();
+        let a = naive.scan(&input);
+        let b = ac.scan(&input);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.permissions.is_empty(), "{input}");
+    }
+
+    /// The automaton matches exactly the patterns `str::contains` finds,
+    /// on random pattern sets and texts.
+    #[test]
+    fn automaton_matches_contains(
+        patterns in prop::collection::vec("[a-c]{1,4}", 1..6),
+        text in "[a-c]{0,40}",
+    ) {
+        let ac = AcAutomaton::new(&patterns);
+        let expected: BTreeSet<usize> = patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| text.contains(p.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(ac.matched_patterns(text.as_bytes()), expected);
+    }
+
+    /// find_all end offsets actually point at pattern occurrences.
+    #[test]
+    fn find_all_offsets_are_correct(
+        patterns in prop::collection::vec("[ab]{1,3}", 1..4),
+        text in "[ab]{0,30}",
+    ) {
+        let ac = AcAutomaton::new(&patterns);
+        for (end, id) in ac.find_all(text.as_bytes()) {
+            let p = &patterns[id];
+            prop_assert!(end >= p.len());
+            prop_assert_eq!(&text[end - p.len()..end], p.as_str());
+        }
+    }
+
+    /// Merging findings is commutative and idempotent.
+    #[test]
+    fn merge_laws(a in "[ -~]{0,80}", b in "[ -~]{0,80}") {
+        let fa = staticscan::scan_script(&a);
+        let fb = staticscan::scan_script(&b);
+        let mut ab = fa.clone();
+        ab.merge(&fb);
+        let mut ba = fb.clone();
+        ba.merge(&fa);
+        prop_assert_eq!(&ab, &ba);
+        let mut twice = ab.clone();
+        twice.merge(&fb);
+        prop_assert_eq!(&twice, &ab);
+    }
+}

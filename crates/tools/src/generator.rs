@@ -1,0 +1,159 @@
+//! The Permissions-Policy header generator (Appendix A.7, Figure 4).
+//!
+//! Builds headers from the registry's always-current permission list —
+//! the gap the paper identifies: no site in the measurement declared a
+//! directive for *all* supported policy-controlled permissions, because
+//! no up-to-date list existed.
+
+use policy::allowlist::{Allowlist, AllowlistMember};
+use policy::feature_policy::to_feature_policy_value;
+use policy::header::DeclaredPolicy;
+use registry::support::{SupportStatus, Vendor};
+use registry::Permission;
+
+/// A generation preset, matching the website's predefined options.
+#[derive(Debug, Clone)]
+pub enum Preset {
+    /// Disable every supported policy-controlled permission.
+    DisableAll,
+    /// Disable only the powerful permissions.
+    DisablePowerful,
+    /// Custom per-permission allowlists; everything else is disabled when
+    /// `disable_rest` is set.
+    Custom {
+        /// Explicit entries.
+        entries: Vec<(Permission, Allowlist)>,
+        /// Whether to add `()` for every other supported permission.
+        disable_rest: bool,
+    },
+}
+
+/// Permissions the generator covers: policy-controlled and enforced by
+/// at least one vendor's current releases.
+pub fn generatable_permissions() -> Vec<Permission> {
+    registry::policy_controlled_permissions()
+        .filter(|p| {
+            let entry = registry::support::support(*p);
+            Vendor::ALL
+                .iter()
+                .any(|v| !matches!(entry.policy(*v), SupportStatus::No))
+        })
+        .collect()
+}
+
+/// Generates the policy for a preset.
+pub fn generate(preset: &Preset) -> DeclaredPolicy {
+    let supported = generatable_permissions();
+    let pairs: Vec<(Permission, Allowlist)> = match preset {
+        Preset::DisableAll => supported
+            .into_iter()
+            .map(|p| (p, Allowlist::empty()))
+            .collect(),
+        Preset::DisablePowerful => supported
+            .into_iter()
+            .filter(|p| p.info().powerful)
+            .map(|p| (p, Allowlist::empty()))
+            .collect(),
+        Preset::Custom {
+            entries,
+            disable_rest,
+        } => {
+            let mut pairs = entries.clone();
+            if *disable_rest {
+                for p in supported {
+                    if !pairs.iter().any(|(q, _)| *q == p) {
+                        pairs.push((p, Allowlist::empty()));
+                    }
+                }
+            }
+            pairs
+        }
+    };
+    DeclaredPolicy::from_pairs(pairs)
+}
+
+/// Renders the `Permissions-Policy` header value.
+pub fn permissions_policy_value(preset: &Preset) -> String {
+    generate(preset).to_header_value()
+}
+
+/// Renders the legacy `Feature-Policy` equivalent (for documentation /
+/// older Chromium).
+pub fn feature_policy_value(preset: &Preset) -> String {
+    to_feature_policy_value(&generate(preset))
+}
+
+/// Builds a custom allowlist: `self` plus the given origins.
+pub fn self_plus_origins(origins: &[&str]) -> Allowlist {
+    let mut list = Allowlist::self_only();
+    for origin in origins {
+        list.push(AllowlistMember::Origin((*origin).to_string()));
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy::header::parse_permissions_policy;
+    use policy::validate::validate_header;
+
+    #[test]
+    fn disable_all_covers_every_generatable_permission() {
+        let value = permissions_policy_value(&Preset::DisableAll);
+        let parsed = parse_permissions_policy(&value).unwrap();
+        assert_eq!(parsed.len(), generatable_permissions().len());
+        assert!(parsed
+            .directives()
+            .iter()
+            .all(|d| d.allowlist.is_empty()));
+        // The generated header is clean by the §4.3.3 linter.
+        assert!(!validate_header(&value).is_misconfigured());
+    }
+
+    #[test]
+    fn disable_powerful_is_a_subset() {
+        let all = generate(&Preset::DisableAll);
+        let powerful = generate(&Preset::DisablePowerful);
+        assert!(powerful.len() < all.len());
+        assert!(powerful.declares(Permission::Camera));
+        assert!(powerful.declares(Permission::Microphone));
+        assert!(!powerful.declares(Permission::PictureInPicture));
+    }
+
+    #[test]
+    fn custom_entries_merge_with_disable_rest() {
+        let preset = Preset::Custom {
+            entries: vec![(
+                Permission::Geolocation,
+                self_plus_origins(&["https://maps.example"]),
+            )],
+            disable_rest: true,
+        };
+        let value = permissions_policy_value(&preset);
+        let parsed = parse_permissions_policy(&value).unwrap();
+        let geo = parsed.get(Permission::Geolocation).unwrap();
+        assert!(geo.contains_self());
+        assert!(!geo.is_empty());
+        assert!(parsed.get(Permission::Camera).unwrap().is_empty());
+        assert!(!validate_header(&value).is_misconfigured());
+    }
+
+    #[test]
+    fn feature_policy_rendering_round_trips() {
+        let fp = feature_policy_value(&Preset::DisablePowerful);
+        let parsed = policy::feature_policy::parse_feature_policy(&fp);
+        assert!(parsed.get(Permission::Camera).unwrap().is_empty());
+    }
+
+    #[test]
+    fn generatable_excludes_unenforced_features() {
+        let perms = generatable_permissions();
+        // interest-cohort was removed from every browser.
+        assert!(!perms.contains(&Permission::InterestCohort));
+        // vr was removed everywhere too.
+        assert!(!perms.contains(&Permission::Vr));
+        // Non-policy-controlled features never appear.
+        assert!(!perms.contains(&Permission::Notifications));
+    }
+}

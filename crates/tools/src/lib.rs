@@ -1,0 +1,22 @@
+//! Developer tools (§6.3 of the paper).
+//!
+//! The paper open-sources two defenses:
+//!
+//! 1. a website with the most comprehensive list of permissions, their
+//!    browser support and characteristics, plus a Permissions-Policy
+//!    header generator with predefined "disable all" / "disable powerful"
+//!    options — [`support_matrix`] and [`generator`];
+//! 2. a crawler-like tool that observes a site's actual permission usage
+//!    and suggests the least-privilege header and `allow` attributes,
+//!    flagging configurations broader than the ideal —
+//!    [`recommend`].
+//!
+//! This crate also packages the specification-issue proofs of concept:
+//! [`poc::delegation_matrix`] regenerates the paper's Table 1 and
+//! [`poc::local_scheme_issue`] regenerates Table 11.
+
+pub mod generator;
+pub mod linter;
+pub mod poc;
+pub mod recommend;
+pub mod support_matrix;

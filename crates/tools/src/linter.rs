@@ -1,0 +1,105 @@
+//! Header linter: human-readable diagnosis + fix suggestions on top of
+//! the §4.3.3 misconfiguration taxonomy.
+
+use policy::validate::{validate_header, HeaderIssue, SyntaxErrorKind};
+
+/// A lint finding with a suggested fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// What is wrong.
+    pub problem: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+/// Lints a `Permissions-Policy` header value.
+pub fn lint(value: &str) -> Vec<Lint> {
+    let report = validate_header(value);
+    let mut lints = Vec::new();
+    if let Some(kind) = report.syntax_error {
+        let (problem, suggestion) = match kind {
+            SyntaxErrorKind::FeaturePolicySyntax => (
+                "the value uses Feature-Policy syntax; the browser drops the whole header",
+                "use structured-field syntax: `camera=(), geolocation=(self)` — no single quotes, `=` between feature and allowlist",
+            ),
+            SyntaxErrorKind::MisplacedComma => (
+                "a misplaced or trailing comma invalidates the whole header",
+                "remove the trailing comma; separate directives with exactly one `,`",
+            ),
+            SyntaxErrorKind::Other => (
+                "the header is not a valid structured-field dictionary; the browser drops it",
+                "check for unbalanced parentheses and unquoted values",
+            ),
+        };
+        lints.push(Lint {
+            problem: problem.to_string(),
+            suggestion: suggestion.to_string(),
+        });
+        return lints;
+    }
+    for issue in report.issues {
+        let lint = match &issue {
+            HeaderIssue::UnrecognizedToken { feature, token } => Lint {
+                problem: format!("`{feature}`: token `{token}` is not valid and is ignored"),
+                suggestion: "use `()` to disable a feature, `self`, `*`, or a double-quoted origin"
+                    .to_string(),
+            },
+            HeaderIssue::UnquotedUrl { feature, token } => Lint {
+                problem: format!("`{feature}`: origin `{token}` is unquoted and is ignored"),
+                suggestion: format!("write it as \"{token}\" (double quotes)"),
+            },
+            HeaderIssue::InvalidOrigin { feature, value } => Lint {
+                problem: format!("`{feature}`: \"{value}\" is not a serializable origin"),
+                suggestion: "use a full origin like \"https://widget.example\"".to_string(),
+            },
+            HeaderIssue::ContradictoryMembers { feature } => Lint {
+                problem: format!("`{feature}`: allowlist mixes `self` with `*`"),
+                suggestion: "`*` already covers every origin; drop the other members or drop `*`"
+                    .to_string(),
+            },
+            HeaderIssue::OriginsWithoutSelf { feature } => Lint {
+                problem: format!(
+                    "`{feature}`: origin allowlist without `self` — the spec requires `self` when delegating"
+                ),
+                suggestion: "add `self` before the origins (w3c/webappsec-permissions-policy#480)"
+                    .to_string(),
+            },
+            HeaderIssue::UnknownFeature { feature } => Lint {
+                problem: format!("`{feature}` is not a known policy-controlled feature"),
+                suggestion: "check the supported-permissions list for current feature names"
+                    .to_string(),
+            },
+        };
+        lints.push(lint);
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_header_has_no_lints() {
+        assert!(lint("camera=(), geolocation=(self)").is_empty());
+    }
+
+    #[test]
+    fn feature_policy_syntax_gets_targeted_advice() {
+        let lints = lint("camera 'none'");
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].suggestion.contains("structured-field"));
+    }
+
+    #[test]
+    fn unquoted_url_suggestion_includes_quoted_form() {
+        let lints = lint("geolocation=(self https://maps.example)");
+        assert!(lints[0].suggestion.contains("\"https://maps.example\""));
+    }
+
+    #[test]
+    fn multiple_issues_all_reported() {
+        let lints = lint(r#"camera=(self *), hovercraft=(), payment=("https://pay.example")"#);
+        assert_eq!(lints.len(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Proofs of concept: the paper's Table 1 delegation matrix and the
+//! Table 11 local-scheme specification issue, regenerated from the policy
+//! engine.
+
+use policy::engine::{DocumentPolicy, FramingContext, LocalSchemeBehavior, PolicyEngine};
+use policy::header::{parse_permissions_policy, DeclaredPolicy};
+use policy::parse_allow_attribute;
+use registry::Permission;
+use weburl::{Origin, Url};
+
+/// One Table 1 case.
+#[derive(Debug, Clone)]
+pub struct DelegationCase {
+    /// Case number (1-8).
+    pub case: u8,
+    /// Human description ("allow self", …).
+    pub description: &'static str,
+    /// Top-level header value, if any.
+    pub header: Option<&'static str>,
+    /// Iframe `allow` value, if any.
+    pub allow: Option<&'static str>,
+    /// Whether the top-level document can prompt/delegate.
+    pub top_allowed: bool,
+    /// Whether the embedded document can prompt/delegate.
+    pub iframe_allowed: bool,
+}
+
+fn origin(s: &str) -> Origin {
+    Url::parse(s).expect("static url").origin()
+}
+
+fn top_policy(engine: &PolicyEngine, header: Option<&str>) -> DocumentPolicy {
+    let declared = header
+        .map(|h| parse_permissions_policy(h).expect("case header parses"))
+        .unwrap_or_default();
+    engine.document_for_top_level(origin("https://example.org/"), declared)
+}
+
+/// Evaluates the paper's Table 1: the camera permission across eight
+/// header × allow combinations, for `example.org` embedding `iframe.com`.
+pub fn delegation_matrix() -> Vec<DelegationCase> {
+    let engine = PolicyEngine::default();
+    let spec: [(u8, &str, Option<&str>, Option<&str>); 8] = [
+        (1, "No header", None, None),
+        (2, "No header", None, Some("camera")),
+        (3, "deny", Some("camera=()"), Some("camera")),
+        (4, "allow self", Some("camera=(self)"), Some("camera")),
+        (5, "allow all", Some("camera=(*)"), None),
+        (6, "allow all", Some("camera=(*)"), Some("camera")),
+        (7, "allow necessary", Some(r#"camera=(self "https://iframe.com")"#), Some("camera")),
+        (8, "allow iframe", Some(r#"camera=("https://iframe.com")"#), Some("camera")),
+    ];
+    spec.into_iter()
+        .map(|(case, description, header, allow)| {
+            let top = top_policy(&engine, header);
+            let parsed_allow = allow.map(parse_allow_attribute);
+            let framing = FramingContext {
+                allow: parsed_allow.as_ref(),
+                src_origin: Some(origin("https://iframe.com/")),
+            };
+            let child = engine.document_for_frame(
+                &top,
+                &framing,
+                origin("https://iframe.com/"),
+                DeclaredPolicy::default(),
+                false,
+            );
+            DelegationCase {
+                case,
+                description,
+                header,
+                allow,
+                top_allowed: top.allowed_to_use(Permission::Camera),
+                iframe_allowed: child.allowed_to_use(Permission::Camera),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1.
+pub fn render_delegation_matrix() -> String {
+    let mut out = String::from(
+        "Table 1: Camera Permission Possibility to Prompt and Delegation\n\
+         #  Top-Level        Header value                         Top  allow    Iframe\n",
+    );
+    for case in delegation_matrix() {
+        out.push_str(&format!(
+            "{}  {:<16} {:<36} {:<4} {:<8} {}\n",
+            case.case,
+            case.description,
+            case.header.unwrap_or(""),
+            if case.top_allowed { "✓" } else { "✗" },
+            case.allow.unwrap_or(""),
+            if case.iframe_allowed { "✓" } else { "✗" },
+        ));
+    }
+    out
+}
+
+/// One Table 11 row: expected vs actual behaviour of the local-scheme
+/// document attack.
+#[derive(Debug, Clone)]
+pub struct LocalSchemeOutcome {
+    /// Which behaviour the engine modeled.
+    pub behavior: LocalSchemeBehavior,
+    /// Camera in the local-scheme document.
+    pub local_doc_allowed: bool,
+    /// Camera in the third-party/attacker frame delegated from the local
+    /// document.
+    pub attacker_allowed: bool,
+}
+
+/// Runs the Table 11 PoC: `example.org` declares `camera=(self)`, embeds a
+/// local-scheme document, which re-delegates camera to `attacker.com`.
+pub fn local_scheme_issue() -> Vec<LocalSchemeOutcome> {
+    [LocalSchemeBehavior::InheritParent, LocalSchemeBehavior::FreshPolicy]
+        .into_iter()
+        .map(|behavior| {
+            let engine = PolicyEngine::new(behavior);
+            let top = top_policy(&engine, Some("camera=(self)"));
+            // about:srcdoc-style local document sharing the parent origin.
+            let local = engine.document_for_frame(
+                &top,
+                &FramingContext::default(),
+                top.origin().clone(),
+                DeclaredPolicy::default(),
+                true,
+            );
+            let allow = parse_allow_attribute("camera");
+            let attacker_origin = origin("https://attacker.com/");
+            let framing = FramingContext {
+                allow: Some(&allow),
+                src_origin: Some(attacker_origin.clone()),
+            };
+            let attacker = engine.document_for_frame(
+                &local,
+                &framing,
+                attacker_origin,
+                DeclaredPolicy::default(),
+                false,
+            );
+            LocalSchemeOutcome {
+                behavior,
+                local_doc_allowed: local.allowed_to_use(Permission::Camera),
+                attacker_allowed: attacker.allowed_to_use(Permission::Camera),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 11.
+pub fn render_local_scheme_issue() -> String {
+    let mut out = String::from(
+        "Table 11: local-scheme document inheritance (header camera=(self))\n\
+         Behaviour              Local doc  Attacker frame (allow=camera)\n",
+    );
+    for outcome in local_scheme_issue() {
+        let label = match outcome.behavior {
+            LocalSchemeBehavior::InheritParent => "Expected",
+            LocalSchemeBehavior::FreshPolicy => "Actual Specification",
+        };
+        out.push_str(&format!(
+            "{:<22} {:<10} {}\n",
+            label,
+            if outcome.local_doc_allowed { "✓" } else { "✗" },
+            if outcome.attacker_allowed { "✓ 🐞" } else { "✗" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_table1() {
+        let expected = [
+            (true, false),
+            (true, true),
+            (false, false),
+            (true, false),
+            (true, false),
+            (true, true),
+            (true, true),
+            (false, false),
+        ];
+        for (case, (top, iframe)) in delegation_matrix().iter().zip(expected) {
+            assert_eq!(case.top_allowed, top, "case #{} top", case.case);
+            assert_eq!(case.iframe_allowed, iframe, "case #{} iframe", case.case);
+        }
+    }
+
+    #[test]
+    fn local_scheme_issue_matches_paper_table11() {
+        let outcomes = local_scheme_issue();
+        // Expected behaviour: local doc ✓, attacker ✗.
+        assert!(outcomes[0].local_doc_allowed);
+        assert!(!outcomes[0].attacker_allowed);
+        // Actual spec behaviour: local doc ✓, attacker ✓ (the bug).
+        assert!(outcomes[1].local_doc_allowed);
+        assert!(outcomes[1].attacker_allowed);
+    }
+
+    #[test]
+    fn renders_are_complete() {
+        let t1 = render_delegation_matrix();
+        assert_eq!(t1.lines().count(), 10);
+        let t11 = render_local_scheme_issue();
+        assert!(t11.contains("Expected"));
+        assert!(t11.contains("🐞"));
+    }
+}

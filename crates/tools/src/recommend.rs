@@ -1,0 +1,269 @@
+//! Least-privilege recommendation (§6.3's second tool).
+//!
+//! Takes a visited page (ideally crawled in interaction mode, like the
+//! paper's tool that lets the developer click around), derives the
+//! permissions each context actually exercises, and recommends:
+//!
+//! * the tightest `Permissions-Policy` header that keeps the site
+//!   working (used features on `self`, delegated features extended with
+//!   the embedded origins, everything else disabled),
+//! * a per-iframe `allow` attribute covering only what the frame uses,
+//! * a list of over-broad delegations (the §5 risk).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use browser::{FrameRecord, PageVisit};
+use policy::allowlist::{Allowlist, AllowlistMember};
+use policy::header::DeclaredPolicy;
+use policy::parse_allow_attribute;
+use registry::{DefaultAllowlist, Permission};
+use serde::Serialize;
+
+use crate::generator::{generate, Preset};
+
+/// Suggested tightening for one iframe.
+#[derive(Debug, Clone, Serialize)]
+pub struct IframeSuggestion {
+    /// The iframe's `src` as written.
+    pub src: Option<String>,
+    /// The `allow` attribute as deployed.
+    pub actual_allow: Option<String>,
+    /// The least-privilege `allow` attribute.
+    pub suggested_allow: String,
+    /// Delegated permissions the frame never used (over-broad).
+    pub over_broad: Vec<Permission>,
+}
+
+/// A full recommendation for one site.
+#[derive(Debug, Clone, Serialize)]
+pub struct Recommendation {
+    /// Permissions the top-level document itself uses.
+    pub top_level_used: BTreeSet<Permission>,
+    /// Per-permission origins that need delegation.
+    pub delegated_origins: BTreeMap<Permission, BTreeSet<String>>,
+    /// The suggested header value.
+    pub header_value: String,
+    /// Per-iframe tightening suggestions.
+    pub iframes: Vec<IframeSuggestion>,
+}
+
+/// Permissions a frame demonstrably exercises (dynamic + static).
+fn used_permissions(frame: &FrameRecord) -> BTreeSet<Permission> {
+    let mut used: BTreeSet<Permission> = BTreeSet::new();
+    for inv in &frame.invocations {
+        used.extend(inv.permissions.iter().copied());
+    }
+    for script in &frame.scripts {
+        used.extend(staticscan::scan_script(&script.source).permissions.iter().copied());
+    }
+    used.retain(|p| p.info().policy_controlled);
+    used
+}
+
+/// Builds the recommendation for a visited page.
+pub fn recommend(visit: &PageVisit) -> Recommendation {
+    let Some(top) = visit.top_frame() else {
+        return Recommendation {
+            top_level_used: BTreeSet::new(),
+            delegated_origins: BTreeMap::new(),
+            header_value: generate(&Preset::DisableAll).to_header_value(),
+            iframes: vec![],
+        };
+    };
+    let top_level_used = used_permissions(top);
+
+    let mut delegated_origins: BTreeMap<Permission, BTreeSet<String>> = BTreeMap::new();
+    let mut iframes = Vec::new();
+    for frame in visit.embedded_frames() {
+        let Some(attrs) = &frame.iframe_attrs else { continue };
+        if frame.depth != 1 {
+            continue;
+        }
+        let used = used_permissions(frame);
+        // A frame needs delegation only for self-default features it uses
+        // cross-origin; star-default features work without.
+        let needs: Vec<Permission> = used
+            .iter()
+            .copied()
+            .filter(|p| {
+                p.info().default_allowlist == Some(DefaultAllowlist::SelfOrigin)
+                    && frame.site != top.site
+            })
+            .collect();
+        let origin = frame
+            .url
+            .as_deref()
+            .and_then(|u| weburl::Url::parse(u).ok())
+            .map(|u| u.origin().to_string());
+        for p in &needs {
+            if let Some(origin) = &origin {
+                delegated_origins
+                    .entry(*p)
+                    .or_default()
+                    .insert(origin.clone());
+            }
+        }
+        let suggested_allow = needs
+            .iter()
+            .map(|p| p.token().to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        // Over-broad: delegated but unused.
+        let over_broad: Vec<Permission> = attrs
+            .allow
+            .as_deref()
+            .map(|a| {
+                parse_allow_attribute(a)
+                    .delegations()
+                    .iter()
+                    .filter(|d| !d.allowlist.is_empty())
+                    .filter_map(|d| d.permission)
+                    .filter(|p| !used.contains(p))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if attrs.allow.is_some() || !suggested_allow.is_empty() {
+            iframes.push(IframeSuggestion {
+                src: attrs.src.clone(),
+                actual_allow: attrs.allow.clone(),
+                suggested_allow,
+                over_broad,
+            });
+        }
+    }
+
+    // Header: self for top-level-used, self + origins for delegated,
+    // everything else disabled.
+    let mut entries: Vec<(Permission, Allowlist)> = Vec::new();
+    let mut covered: BTreeSet<Permission> = BTreeSet::new();
+    for (p, origins) in &delegated_origins {
+        let mut list = Allowlist::self_only();
+        for origin in origins {
+            list.push(AllowlistMember::Origin(origin.clone()));
+        }
+        entries.push((*p, list));
+        covered.insert(*p);
+    }
+    for p in &top_level_used {
+        if !covered.contains(p) {
+            entries.push((*p, Allowlist::self_only()));
+        }
+    }
+    let header: DeclaredPolicy = generate(&Preset::Custom {
+        entries,
+        disable_rest: true,
+    });
+
+    Recommendation {
+        top_level_used,
+        delegated_origins,
+        header_value: header.to_header_value(),
+        iframes,
+    }
+}
+
+impl Recommendation {
+    /// Renders a human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Suggested Permissions-Policy header:\n  ");
+        out.push_str(&self.header_value);
+        out.push('\n');
+        for iframe in &self.iframes {
+            out.push_str(&format!(
+                "\niframe {}:\n  deployed allow: {}\n  suggested allow: {}\n",
+                iframe.src.as_deref().unwrap_or("(srcdoc)"),
+                iframe.actual_allow.as_deref().unwrap_or("(none)"),
+                if iframe.suggested_allow.is_empty() {
+                    "(none needed)"
+                } else {
+                    &iframe.suggested_allow
+                },
+            ));
+            if !iframe.over_broad.is_empty() {
+                out.push_str("  over-broad delegations: ");
+                out.push_str(
+                    &iframe
+                        .over_broad
+                        .iter()
+                        .map(|p| p.token())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser::{Browser, BrowserConfig};
+    use netsim::{ContentProvider, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior};
+    use weburl::Url;
+
+    struct DemoSite;
+
+    impl ContentProvider for DemoSite {
+        fn resolve(&self, url: &Url) -> ProviderResult {
+            let html = match url.host() {
+                Some("shop.example") => {
+                    r#"<script>navigator.geolocation.getCurrentPosition(cb);</script>
+                       <iframe src="https://chat.example/w"
+                               allow="camera *; microphone *; clipboard-read; payment"></iframe>"#
+                }
+                Some("chat.example") => {
+                    r#"<script>navigator.mediaDevices.getUserMedia({audio: true});</script>"#
+                }
+                _ => return ProviderResult::DnsFailure,
+            };
+            ProviderResult::Content {
+                response: Response::html(url.clone(), html),
+                behavior: SiteBehavior::default(),
+            }
+        }
+    }
+
+    fn demo_visit() -> PageVisit {
+        let mut browser = Browser::new(SimNetwork::new(DemoSite), BrowserConfig::default());
+        let mut clock = SimClock::new();
+        browser
+            .visit(&Url::parse("https://shop.example/").unwrap(), &mut clock)
+            .unwrap()
+    }
+
+    #[test]
+    fn recommends_least_privilege() {
+        let rec = recommend(&demo_visit());
+        // Top level uses geolocation.
+        assert!(rec.top_level_used.contains(&Permission::Geolocation));
+        // The chat frame used the microphone dynamically; static matching
+        // cannot rule out camera (shared getUserMedia surface), so the
+        // conservative suggestion keeps both.
+        let chat = &rec.iframes[0];
+        assert_eq!(chat.suggested_allow, "camera; microphone");
+        // clipboard-read / payment delegated but unused anywhere.
+        assert!(chat.over_broad.contains(&Permission::ClipboardRead));
+        assert!(chat.over_broad.contains(&Permission::Payment));
+        assert!(!chat.over_broad.contains(&Permission::Microphone));
+        assert!(!chat.over_broad.contains(&Permission::Camera));
+        // The header allows geolocation on self and microphone delegation.
+        let parsed = policy::parse_permissions_policy(&rec.header_value).unwrap();
+        assert!(parsed.get(Permission::Geolocation).unwrap().contains_self());
+        let mic = parsed.get(Permission::Microphone).unwrap();
+        assert!(mic.contains_self());
+        assert!(!mic.is_empty());
+        // Unused features are disabled.
+        assert!(parsed.get(Permission::Usb).unwrap().is_empty());
+        // Report renders.
+        assert!(rec.report().contains("over-broad"));
+    }
+
+    #[test]
+    fn suggested_header_is_clean() {
+        let rec = recommend(&demo_visit());
+        assert!(!policy::validate_header(&rec.header_value).is_misconfigured());
+    }
+}

@@ -1,0 +1,135 @@
+//! The caniuse-like permission support matrix (Appendix A.6, Figure 3).
+
+use registry::support::{self, SupportStatus, Vendor};
+use registry::{DefaultAllowlist, Permission};
+use serde::Serialize;
+
+/// One matrix row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRow {
+    /// Spec token.
+    pub token: String,
+    /// Powerful?
+    pub powerful: bool,
+    /// Policy-controlled?
+    pub policy_controlled: bool,
+    /// Default allowlist rendering (`self` / `*` / `N/A`).
+    pub default_allowlist: String,
+    /// Per-vendor feature support rendering.
+    pub feature_support: Vec<String>,
+    /// Per-vendor policy-governance support rendering.
+    pub policy_support: Vec<String>,
+    /// Defining specification.
+    pub spec: String,
+}
+
+fn render_status(status: SupportStatus) -> String {
+    match status {
+        SupportStatus::Since(v) => format!("≥{v}"),
+        SupportStatus::BehindFlag(v) => format!("flag ≥{v}"),
+        SupportStatus::No => "✗".to_string(),
+    }
+}
+
+/// Builds the full matrix, one row per registry permission.
+pub fn matrix() -> Vec<MatrixRow> {
+    registry::all_permissions()
+        .iter()
+        .map(|p| {
+            let info = p.info();
+            let entry = support::support(*p);
+            MatrixRow {
+                token: p.token().to_string(),
+                powerful: info.powerful,
+                policy_controlled: info.policy_controlled,
+                default_allowlist: match info.default_allowlist {
+                    Some(DefaultAllowlist::SelfOrigin) => "self".to_string(),
+                    Some(DefaultAllowlist::Star) => "*".to_string(),
+                    None => "N/A".to_string(),
+                },
+                feature_support: Vendor::ALL
+                    .iter()
+                    .map(|v| render_status(entry.feature(*v)))
+                    .collect(),
+                policy_support: Vendor::ALL
+                    .iter()
+                    .map(|v| render_status(entry.policy(*v)))
+                    .collect(),
+                spec: info.spec.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the matrix as aligned text (the website's table view).
+pub fn render() -> String {
+    let rows = matrix();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<32} {:<4} {:<6} {:<7} {:<10} {:<10} {:<10}\n",
+        "Permission", "Pow", "Policy", "Default", "Chromium", "Firefox", "Safari"
+    ));
+    for row in &rows {
+        out.push_str(&format!(
+            "{:<32} {:<4} {:<6} {:<7} {:<10} {:<10} {:<10}\n",
+            row.token,
+            if row.powerful { "✓" } else { "✗" },
+            if row.policy_controlled { "✓" } else { "✗" },
+            row.default_allowlist,
+            row.feature_support[0],
+            row.feature_support[1],
+            row.feature_support[2],
+        ));
+    }
+    out
+}
+
+/// Renders the default-allowlist history of a permission (the tool
+/// "tracks historical changes across browser versions").
+pub fn render_history(p: Permission) -> String {
+    let mut out = format!("{}:\n", p.token());
+    for change in support::allowlist_history(p) {
+        out.push_str(&format!(
+            "  {} {} → default {}\n",
+            change.vendor,
+            change.version,
+            match change.default {
+                DefaultAllowlist::SelfOrigin => "self",
+                DefaultAllowlist::Star => "*",
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_permissions() {
+        let rows = matrix();
+        assert_eq!(rows.len(), registry::all_permissions().len());
+        let camera = rows.iter().find(|r| r.token == "camera").unwrap();
+        assert!(camera.powerful && camera.policy_controlled);
+        assert_eq!(camera.default_allowlist, "self");
+        assert!(camera.feature_support.iter().all(|s| s.starts_with('≥')));
+        // Header-governance is Chromium-only for the header; Firefox/Safari
+        // govern via the allow attribute where the feature exists.
+        assert_ne!(camera.policy_support[0], "✗");
+    }
+
+    #[test]
+    fn render_shows_gamepad_star_default() {
+        let text = render();
+        let line = text.lines().find(|l| l.starts_with("gamepad")).unwrap();
+        assert!(line.contains('*'), "{line}");
+    }
+
+    #[test]
+    fn history_shows_camera_transition() {
+        let text = render_history(Permission::Camera);
+        assert!(text.contains("default *"));
+        assert!(text.contains("default self"));
+    }
+}

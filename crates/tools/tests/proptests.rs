@@ -1,0 +1,76 @@
+//! Property-based tests for the developer tools.
+
+use policy::allowlist::Allowlist;
+use proptest::prelude::*;
+use registry::Permission;
+use tools::generator::{self, Preset};
+use tools::linter;
+
+fn arb_permission() -> impl Strategy<Value = Permission> {
+    let generatable = generator::generatable_permissions();
+    (0..generatable.len()).prop_map(move |i| generatable[i])
+}
+
+proptest! {
+    /// Every generated header — for any custom entry set — is clean by
+    /// the linter and round-trips through the parser.
+    #[test]
+    fn generated_headers_are_always_clean(
+        entries in prop::collection::btree_set(arb_permission(), 0..10),
+        self_only in prop::bool::ANY,
+        disable_rest in prop::bool::ANY,
+    ) {
+        let entries: Vec<(Permission, Allowlist)> = entries
+            .into_iter()
+            .map(|p| {
+                let list = if self_only {
+                    Allowlist::self_only()
+                } else {
+                    generator::self_plus_origins(&["https://widget.example"])
+                };
+                (p, list)
+            })
+            .collect();
+        let preset = Preset::Custom { entries: entries.clone(), disable_rest };
+        let value = generator::permissions_policy_value(&preset);
+        prop_assert!(linter::lint(&value).is_empty(), "{value}");
+        let parsed = policy::parse_permissions_policy(&value).unwrap();
+        for (p, _) in &entries {
+            prop_assert!(parsed.declares(*p));
+        }
+    }
+
+    /// The Feature-Policy rendering of any preset parses back to the same
+    /// per-permission emptiness.
+    #[test]
+    fn feature_policy_rendering_consistent(
+        entries in prop::collection::btree_set(arb_permission(), 0..8),
+    ) {
+        let preset = Preset::Custom {
+            entries: entries.iter().map(|p| (*p, Allowlist::empty())).collect(),
+            disable_rest: false,
+        };
+        let fp = generator::feature_policy_value(&preset);
+        let parsed = policy::feature_policy::parse_feature_policy(&fp);
+        for p in &entries {
+            prop_assert!(parsed.get(*p).unwrap().is_empty(), "{fp}");
+        }
+    }
+
+    /// The linter never panics and is idempotent on arbitrary input.
+    #[test]
+    fn linter_total(input in "[ -~]{0,120}") {
+        let a = linter::lint(&input);
+        let b = linter::lint(&input);
+        prop_assert_eq!(a.len(), b.len());
+    }
+
+    /// Lint findings always carry a non-empty suggestion.
+    #[test]
+    fn lints_always_suggest_fixes(input in "[a-z=(),'\\* ]{0,60}") {
+        for finding in linter::lint(&input) {
+            prop_assert!(!finding.suggestion.trim().is_empty());
+            prop_assert!(!finding.problem.trim().is_empty());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic hashing utilities.
+//!
+//! The population is a *pure function* of `(seed, rank)`: every decision —
+//! does site #4711 embed YouTube? is its header misconfigured? — is a
+//! threshold test on a salted 64-bit hash. No RNG state, no ordering
+//! dependence: the same seed always generates the same web, and any site
+//! can be materialized in O(1) without generating the others.
+
+/// SplitMix64 finalizer — good avalanche behaviour, cheap.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes `(seed, rank, salt)` into a u64.
+pub fn h(seed: u64, rank: u64, salt: &str) -> u64 {
+    let mut acc = mix64(seed ^ 0xd6e8_feb8_6659_fd93);
+    acc = mix64(acc ^ rank);
+    for &b in salt.as_bytes() {
+        acc = mix64(acc ^ u64::from(b));
+    }
+    acc
+}
+
+/// A uniform draw in `[0, 1)` from a hash.
+pub fn unit(seed: u64, rank: u64, salt: &str) -> f64 {
+    (h(seed, rank, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Bernoulli draw with probability `p`.
+pub fn chance(seed: u64, rank: u64, salt: &str, p: f64) -> bool {
+    unit(seed, rank, salt) < p
+}
+
+/// Picks an index by cumulative weights.
+pub fn pick_weighted(seed: u64, rank: u64, salt: &str, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = unit(seed, rank, salt) * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Uniform integer in `[0, n)`.
+pub fn pick(seed: u64, rank: u64, salt: &str, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    (h(seed, rank, salt) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(h(1, 2, "x"), h(1, 2, "x"));
+        assert_ne!(h(1, 2, "x"), h(1, 2, "y"));
+        assert_ne!(h(1, 2, "x"), h(1, 3, "x"));
+        assert_ne!(h(1, 2, "x"), h(2, 2, "x"));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for rank in 0..1000 {
+            let u = unit(7, rank, "u");
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_frequency_approximates_p() {
+        let n = 20_000;
+        let hits = (0..n).filter(|&r| chance(42, r, "freq", 0.25)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let weights = [8.0, 1.0, 1.0];
+        let n = 30_000;
+        let zero = (0..n)
+            .filter(|&r| pick_weighted(9, r, "w", &weights) == 0)
+            .count();
+        let freq = zero as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    fn pick_in_range() {
+        for rank in 0..100 {
+            assert!(pick(3, rank, "p", 7) < 7);
+        }
+        assert_eq!(pick(3, 0, "p", 0), 0);
+    }
+}

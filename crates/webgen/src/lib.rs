@@ -1,0 +1,67 @@
+//! Synthetic web population generator.
+//!
+//! The stand-in for the live top-1M web. [`WebPopulation`] is a
+//! deterministic, lazily-materialized population of ranked origins: a
+//! CrUX-like list ([`WebPopulation::crux_list`]) plus a
+//! [`netsim::ContentProvider`] serving each origin's landing page,
+//! scripts, widgets and headers. Every distribution the paper measures is
+//! calibrated here:
+//!
+//! * crawl-funnel failure classes ([`site::failure_class`]),
+//! * third-party widget embedding and permission delegation
+//!   ([`widgets`] — Tables 3, 7, 8, 10, 13, the §5.2 LiveChat template),
+//! * shared third-party scripts driving permission invocations and
+//!   status checks ([`trackers`] — Tables 4 and 5),
+//! * first-party behaviours incl. interaction-gated and dead code
+//!   ([`site`] — Table 6's static-vs-dynamic gaps),
+//! * header deployment, templates and misconfigurations ([`headers`] —
+//!   Figure 2, Table 9, §4.3.3).
+//!
+//! Everything is a pure function of `(seed, rank)`: two populations with
+//! the same config are byte-identical, and any site can be generated
+//! without materializing the rest — which is what lets the crawler run
+//! 40 parallel workers deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use webgen::{PopulationConfig, WebPopulation};
+//! use netsim::ContentProvider;
+//!
+//! let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 1_000 });
+//! let origin = pop.origin(1);
+//! assert!(matches!(
+//!     pop.resolve(&origin),
+//!     netsim::ProviderResult::Content { .. } | netsim::ProviderResult::Redirect(_)
+//!         | netsim::ProviderResult::DnsFailure // failure-injected ranks
+//! ));
+//! ```
+
+pub mod domains;
+pub mod hashing;
+pub mod headers;
+mod provider;
+pub mod scripts;
+pub mod site;
+pub mod trackers;
+pub mod widgets;
+
+pub use provider::WebPopulation;
+
+/// Population parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationConfig {
+    /// Seed for every per-site decision.
+    pub seed: u64,
+    /// Number of ranked origins (the paper uses 1,000,000).
+    pub size: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> PopulationConfig {
+        PopulationConfig {
+            seed: 0x0DD5_5EE9,
+            size: 20_000,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for URL parsing and site computation.
+
+use proptest::prelude::*;
+use weburl::{psl, Url};
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+}
+
+fn host() -> impl Strategy<Value = String> {
+    prop::collection::vec(label(), 1..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    /// Parsing then displaying then parsing again is a fixed point.
+    #[test]
+    fn parse_display_roundtrip(host in host(), path in "(/[a-z0-9]{1,6}){0,4}", port in prop::option::of(1u16..u16::MAX)) {
+        let port_part = port.map(|p| format!(":{p}")).unwrap_or_default();
+        let input = format!("https://{host}{port_part}{path}");
+        if let Ok(u) = Url::parse(&input) {
+            let s = u.to_string();
+            let reparsed = Url::parse(&s).unwrap();
+            prop_assert_eq!(&u, &reparsed);
+            prop_assert_eq!(s.clone(), reparsed.to_string());
+        }
+    }
+
+    /// The registrable domain is always a suffix of the host and contains
+    /// the public suffix as its own suffix.
+    #[test]
+    fn registrable_domain_is_suffix(host in host()) {
+        if let Some(rd) = psl::registrable_domain(&host) {
+            prop_assert!(host.ends_with(rd));
+            let ps = psl::public_suffix(&host);
+            prop_assert!(rd.ends_with(ps));
+            prop_assert!(rd.len() > ps.len());
+        }
+    }
+
+    /// Same-origin is reflexive and symmetric over generated URLs.
+    #[test]
+    fn same_origin_reflexive(host in host()) {
+        let u = Url::parse(&format!("https://{host}/")).unwrap();
+        let o1 = u.origin();
+        let o2 = u.origin();
+        prop_assert!(o1.same_origin(&o2));
+        prop_assert!(o2.same_origin(&o1));
+    }
+
+    /// Relative resolution against a base never panics and yields a URL on
+    /// the same origin for path-only references.
+    #[test]
+    fn relative_resolution_stays_on_origin(host in host(), rel in "[a-z]{1,8}(/[a-z]{1,8}){0,3}") {
+        let base = Url::parse(&format!("https://{host}/dir/page.html")).unwrap();
+        let resolved = Url::parse_with_base(&rel, Some(&base)).unwrap();
+        prop_assert!(resolved.origin().same_origin(&base.origin()));
+    }
+
+    /// Hosts never gain uppercase characters through parsing.
+    #[test]
+    fn host_is_lowercased(host in host()) {
+        let upper = host.to_ascii_uppercase();
+        let u = Url::parse(&format!("https://{upper}/")).unwrap();
+        prop_assert_eq!(u.host().unwrap(), host);
+    }
+}

@@ -1,0 +1,76 @@
+//! The §6.3 developer tools in action: the permission support matrix,
+//! the header generator presets, the misconfiguration linter, and the
+//! least-privilege recommender run against a freshly crawled site.
+//!
+//! ```sh
+//! cargo run --release --example header_tools
+//! ```
+
+use permissions_odyssey::prelude::*;
+use tools::generator::{self, Preset};
+use tools::{linter, recommend, support_matrix};
+
+fn main() {
+    // 1. The caniuse-like support matrix (Appendix A.6).
+    println!("== Permission support matrix (excerpt) ==");
+    for line in support_matrix::render().lines().take(12) {
+        println!("{line}");
+    }
+    println!("…\n");
+    println!("{}", support_matrix::render_history(Permission::Camera));
+
+    // 2. The header generator presets (Appendix A.7).
+    println!("== Generator: disable powerful permissions ==");
+    println!(
+        "Permissions-Policy: {}\n",
+        generator::permissions_policy_value(&Preset::DisablePowerful)
+    );
+    println!("== Generator: disable everything ==");
+    println!(
+        "Permissions-Policy: {}\n",
+        generator::permissions_policy_value(&Preset::DisableAll)
+    );
+
+    // 3. The linter on the misconfigurations the paper found in the wild.
+    println!("== Linter ==");
+    for header in [
+        "camera 'none'; microphone 'none'",              // Feature-Policy syntax
+        "camera=(), microphone=(),",                     // trailing comma
+        "geolocation=(self https://maps.example)",       // unquoted URL
+        r#"payment=("https://pay.example")"#,            // origins without self
+        "camera=(self *)",                               // contradictory
+    ] {
+        println!("header: {header}");
+        for finding in linter::lint(header) {
+            println!("  ✗ {}", finding.problem);
+            println!("    fix: {}", finding.suggestion);
+        }
+    }
+
+    // 4. The recommender: crawl one synthetic site with interaction and
+    // derive its least-privilege configuration.
+    println!("\n== Least-privilege recommendation ==");
+    let population = WebPopulation::new(PopulationConfig { seed: 7, size: 500 });
+    let crawler = Crawler::new(CrawlConfig {
+        navigate_links: 2,
+        browser: BrowserConfig {
+            interaction: true,
+            ..BrowserConfig::default()
+        },
+        ..CrawlConfig::default()
+    });
+    // Pick the first healthy site that delegates something.
+    for rank in 1..=500 {
+        let record = crawler.visit_one(&population, rank);
+        if record.outcome != SiteOutcome::Success {
+            continue;
+        }
+        let visit = record.visit.expect("successful visit has data");
+        let rec = recommend::recommend(&visit);
+        if rec.iframes.iter().any(|i| !i.over_broad.is_empty()) {
+            println!("site: {}", record.origin);
+            println!("{}", rec.report());
+            break;
+        }
+    }
+}

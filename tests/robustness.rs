@@ -1,0 +1,116 @@
+//! Robustness: the whole pipeline must hold up across arbitrary seeds,
+//! sizes and configurations — no panics, conserved invariants.
+
+use permissions_odyssey::prelude::*;
+
+#[test]
+fn pipeline_survives_many_seeds() {
+    for seed in [0u64, 1, 2, 0xdead_beef, u64::MAX] {
+        let population = WebPopulation::new(PopulationConfig { seed, size: 120 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&population);
+        let funnel = dataset.funnel();
+        assert_eq!(funnel.attempted, 120, "seed {seed}");
+        let sum = funnel.succeeded
+            + funnel.unreachable
+            + funnel.load_timeouts
+            + funnel.ephemeral
+            + funnel.crawler_errors
+            + funnel.excluded;
+        assert_eq!(sum, 120, "funnel partitions attempts (seed {seed})");
+        // Every analysis runs without panicking.
+        let report = analysis::report::full_report(
+            &dataset,
+            &analysis::report::ReportConfig {
+                top_n: 5,
+                extensions: true,
+            },
+        );
+        assert!(report.contains("Table 9"), "seed {seed}");
+    }
+}
+
+#[test]
+fn tiny_and_single_site_populations_work() {
+    for size in [1u64, 2, 3] {
+        let population = WebPopulation::new(PopulationConfig { seed: 9, size });
+        let dataset = Crawler::new(CrawlConfig {
+            workers: 4, // more workers than sites
+            ..CrawlConfig::default()
+        })
+        .crawl(&population);
+        assert_eq!(dataset.records.len(), size as usize);
+        let _ = analysis::usage::usage_summary(&dataset);
+    }
+}
+
+#[test]
+fn frame_invariants_hold_everywhere() {
+    let population = WebPopulation::new(PopulationConfig { seed: 3, size: 250 });
+    let dataset = Crawler::new(CrawlConfig::default()).crawl(&population);
+    for record in dataset.successes() {
+        let visit = record.visit.as_ref().unwrap();
+        let n = visit.frames.len();
+        let mut top_seen = 0;
+        for frame in &visit.frames {
+            // Frame ids are dense and parents precede children.
+            assert!(frame.frame_id < n);
+            if let Some(parent) = frame.parent {
+                assert!(parent < frame.frame_id, "parent precedes child");
+                assert!(frame.depth > 0);
+            } else {
+                assert!(frame.is_top_level);
+            }
+            if frame.is_top_level {
+                top_seen += 1;
+                assert_eq!(frame.depth, 0);
+            }
+            // Local documents never carry headers.
+            if frame.is_local_document {
+                assert!(frame.permissions_policy_header.is_none());
+                assert!(frame.feature_policy_header.is_none());
+            }
+            // Invocation dedup invariant: no duplicate
+            // (api, permissions, script) triples within a frame.
+            for (i, a) in frame.invocations.iter().enumerate() {
+                for b in &frame.invocations[i + 1..] {
+                    assert!(
+                        !(a.api_path == b.api_path
+                            && a.script_url == b.script_url
+                            && a.permissions == b.permissions),
+                        "duplicate invocation record"
+                    );
+                }
+            }
+        }
+        assert_eq!(top_seen, 1, "exactly one top-level frame per visit");
+        // Prompts reference existing frames and powerful permissions.
+        for prompt in &visit.prompts {
+            assert!(prompt.frame_id < n);
+            assert!(prompt.permission.info().powerful);
+        }
+    }
+}
+
+#[test]
+fn worker_counts_never_change_results() {
+    let population = WebPopulation::new(PopulationConfig { seed: 77, size: 60 });
+    let summaries: Vec<String> = [1usize, 3, 7]
+        .iter()
+        .map(|&workers| {
+            let dataset = Crawler::new(CrawlConfig {
+                workers,
+                ..CrawlConfig::default()
+            })
+            .crawl(&population);
+            analysis::report::full_report(
+                &dataset,
+                &analysis::report::ReportConfig {
+                    top_n: 10,
+                    extensions: true,
+                },
+            )
+        })
+        .collect();
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[1], summaries[2]);
+}
