@@ -50,11 +50,18 @@ impl FrameCensus {
         let mut t = TextTable::new("Frame census (§4)", &["Metric", "Value"]);
         t.row(vec!["websites".into(), self.websites.to_string()]);
         t.row(vec!["frames".into(), self.frames.to_string()]);
-        t.row(vec!["top-level documents".into(), self.top_level.to_string()]);
+        t.row(vec![
+            "top-level documents".into(),
+            self.top_level.to_string(),
+        ]);
         t.row(vec!["embedded documents".into(), self.embedded.to_string()]);
         t.row(vec![
             "embedded local".into(),
-            format!("{} ({})", self.embedded_local, pct(self.embedded_local, self.embedded)),
+            format!(
+                "{} ({})",
+                self.embedded_local,
+                pct(self.embedded_local, self.embedded)
+            ),
         ]);
         t.row(vec![
             "websites with iframes".into(),
@@ -124,7 +131,10 @@ mod tests {
 
     #[test]
     fn census_shape_matches_paper() {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 1_500 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 1_500,
+        });
         let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let census = frame_census(&dataset);
         assert!(census.websites > 1_000);
@@ -133,7 +143,11 @@ mod tests {
         let iframe_rate = census.websites_with_iframes as f64 / census.websites as f64;
         assert!((0.5..0.8).contains(&iframe_rate), "{iframe_rate}");
         assert!((1.5..5.0).contains(&census.avg_direct_iframes()));
-        assert!((0.35..0.7).contains(&census.local_share()), "{}", census.local_share());
+        assert!(
+            (0.35..0.7).contains(&census.local_share()),
+            "{}",
+            census.local_share()
+        );
         // Redirect share in the ballpark of the paper's extra top-level
         // docs (1.12M docs / 818k sites ≈ 27% more). We flag ~15%.
         let redirect_rate = census.redirected_websites as f64 / census.websites as f64;

@@ -192,8 +192,12 @@ pub fn delegated_permissions(dataset: &CrawlDataset) -> DelegatedPermissionStats
             if frame.site.is_some() && frame.site == own_site {
                 continue;
             }
-            let Some(attrs) = &frame.iframe_attrs else { continue };
-            let Some(allow) = attrs.allow.as_deref() else { continue };
+            let Some(attrs) = &frame.iframe_attrs else {
+                continue;
+            };
+            let Some(allow) = attrs.allow.as_deref() else {
+                continue;
+            };
             let parsed = parse_allow_attribute(allow);
             for delegation in parsed.delegations() {
                 match delegation.directive {
@@ -247,7 +251,11 @@ impl DelegatedPermissionStats {
         }
         t.row(vec![
             "Total (any permission)".to_string(),
-            self.rows.values().map(|r| r.delegations).sum::<u64>().to_string(),
+            self.rows
+                .values()
+                .map(|r| r.delegations)
+                .sum::<u64>()
+                .to_string(),
             self.websites_any.to_string(),
         ]);
         t
@@ -255,7 +263,10 @@ impl DelegatedPermissionStats {
 
     /// Renders the §4.2.2 directive mix.
     pub fn directive_table(&self) -> TextTable {
-        let mut t = TextTable::new("§4.2.2 delegation directives", &["Directive", "Share", "Paper"]);
+        let mut t = TextTable::new(
+            "§4.2.2 delegation directives",
+            &["Directive", "Share", "Paper"],
+        );
         let total = self.directives.total();
         let mut row = |name: &str, value: u64, paper: &str| {
             t.row(vec![name.to_string(), pct(value, total), paper.to_string()]);
@@ -281,7 +292,10 @@ mod tests {
     use webgen::{PopulationConfig, WebPopulation};
 
     fn dataset() -> CrawlDataset {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 4_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 4_000,
+        });
         Crawler::new(CrawlConfig::default()).crawl(&pop)
     }
 
@@ -337,7 +351,10 @@ mod tests {
         let default_share = mix.default_src as f64 / total;
         let star_share = mix.star as f64 / total;
         // Paper: 82.12% default, 17.17% star.
-        assert!((0.70..0.92).contains(&default_share), "default {default_share}");
+        assert!(
+            (0.70..0.92).contains(&default_share),
+            "default {default_share}"
+        );
         assert!((0.08..0.28).contains(&star_share), "star {star_share}");
         // The rare tails exist but stay rare.
         assert!(mix.explicit_src + mix.none + mix.specific < mix.star / 4);
@@ -346,7 +363,10 @@ mod tests {
     #[test]
     fn tables_render() {
         let ds = dataset();
-        assert!(delegated_embeds(&ds).table(10).render().contains("livechatinc.com"));
+        assert!(delegated_embeds(&ds)
+            .table(10)
+            .render()
+            .contains("livechatinc.com"));
         let perms = delegated_permissions(&ds);
         assert!(perms.table(10).render().contains("autoplay"));
         assert!(perms.directive_table().render().contains("82.12%"));
@@ -442,8 +462,12 @@ pub fn purpose_groups(dataset: &CrawlDataset) -> PurposeGroupStats {
             if Some(site) == own_site.as_ref() {
                 continue;
             }
-            let Some(attrs) = &frame.iframe_attrs else { continue };
-            let Some(allow) = attrs.allow.as_deref() else { continue };
+            let Some(attrs) = &frame.iframe_attrs else {
+                continue;
+            };
+            let Some(allow) = attrs.allow.as_deref() else {
+                continue;
+            };
             let parsed = parse_allow_attribute(allow);
             let perms: BTreeSet<Permission> = parsed
                 .delegations()
@@ -524,7 +548,10 @@ mod purpose_tests {
 
     #[test]
     fn groups_census_has_paper_shape() {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 5_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 5_000,
+        });
         let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let stats = purpose_groups(&ds);
         // All major groups occur.

@@ -68,7 +68,10 @@ impl EmbedStats {
         for row in self.rows.iter().take(n) {
             t.row(vec![row.site.clone(), row.websites.to_string()]);
         }
-        t.row(vec!["Total (any site)".to_string(), self.total_any.to_string()]);
+        t.row(vec![
+            "Total (any site)".to_string(),
+            self.total_any.to_string(),
+        ]);
         t
     }
 
@@ -90,12 +93,20 @@ mod tests {
 
     #[test]
     fn table3_shape() {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 4_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 4_000,
+        });
         let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let stats = top_external_embeds(&dataset);
         // Google dominates; youtube / ads / facebook / livechat all rank.
         assert_eq!(stats.rows[0].site, "google.com");
-        let top: Vec<&str> = stats.rows.iter().take(10).map(|r| r.site.as_str()).collect();
+        let top: Vec<&str> = stats
+            .rows
+            .iter()
+            .take(10)
+            .map(|r| r.site.as_str())
+            .collect();
         for expected in ["youtube.com", "facebook.com", "livechatinc.com"] {
             assert!(top.contains(&expected), "top10 = {top:?}");
         }

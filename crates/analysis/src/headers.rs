@@ -80,15 +80,31 @@ impl HeaderAdoption {
     /// Renders Figure 2 as an actual bar chart.
     pub fn figure(&self) -> String {
         let pct = |part: u64, whole: u64| {
-            if whole == 0 { 0.0 } else { part as f64 / whole as f64 * 100.0 }
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 / whole as f64 * 100.0
+            }
         };
         crate::table::bar_chart(
             "Figure 2: Permission Control headers adoption",
             &[
-                ("Permissions-Policy (all docs)", pct(self.pp_documents, self.documents)),
-                ("Feature-Policy (all docs)", pct(self.fp_documents, self.documents)),
-                ("Permissions-Policy (top-level)", pct(self.pp_top, self.top_documents)),
-                ("Permissions-Policy (embedded)", pct(self.pp_embedded, self.embedded_documents)),
+                (
+                    "Permissions-Policy (all docs)",
+                    pct(self.pp_documents, self.documents),
+                ),
+                (
+                    "Feature-Policy (all docs)",
+                    pct(self.fp_documents, self.documents),
+                ),
+                (
+                    "Permissions-Policy (top-level)",
+                    pct(self.pp_top, self.top_documents),
+                ),
+                (
+                    "Permissions-Policy (embedded)",
+                    pct(self.pp_embedded, self.embedded_documents),
+                ),
             ],
             40,
         )
@@ -193,8 +209,12 @@ pub fn top_level_directives(dataset: &CrawlDataset) -> TopLevelDirectiveStats {
     let mut total_directives = 0u64;
     for record in dataset.successes() {
         let Some(visit) = &record.visit else { continue };
-        let Some(top) = visit.top_frame() else { continue };
-        let Some(header) = &top.permissions_policy_header else { continue };
+        let Some(top) = visit.top_frame() else {
+            continue;
+        };
+        let Some(header) = &top.permissions_policy_header else {
+            continue;
+        };
         let Ok(parsed) = policy::parse_permissions_policy(header) else {
             continue;
         };
@@ -207,7 +227,9 @@ pub fn top_level_directives(dataset: &CrawlDataset) -> TopLevelDirectiveStats {
         // Least-restrictive per permission per site.
         let mut per_perm: BTreeMap<Permission, DirectiveClass> = BTreeMap::new();
         for directive in parsed.directives() {
-            let Some(p) = directive.permission else { continue };
+            let Some(p) = directive.permission else {
+                continue;
+            };
             let class = classify(&directive.allowlist);
             per_perm
                 .entry(p)
@@ -245,7 +267,14 @@ impl TopLevelDirectiveStats {
     pub fn table(&self, n: usize) -> TextTable {
         let mut t = TextTable::new(
             "Table 9: Permissions-Policy least restrictive directives (top-level)",
-            &["Permission", "Disable", "Self", "Third-party", "All *", "# Websites"],
+            &[
+                "Permission",
+                "Disable",
+                "Self",
+                "Third-party",
+                "All *",
+                "# Websites",
+            ],
         );
         let get = |row: &DirectiveRow, class: DirectiveClass| {
             row.classes.get(&class).copied().unwrap_or(0)
@@ -253,10 +282,26 @@ impl TopLevelDirectiveStats {
         for (p, row) in self.ranked().into_iter().take(n) {
             t.row(vec![
                 p.token().to_string(),
-                format!("{} ({})", get(row, DirectiveClass::Disable), pct(get(row, DirectiveClass::Disable), row.websites)),
-                format!("{} ({})", get(row, DirectiveClass::SelfOnly), pct(get(row, DirectiveClass::SelfOnly), row.websites)),
-                format!("{} ({})", get(row, DirectiveClass::ThirdParty), pct(get(row, DirectiveClass::ThirdParty), row.websites)),
-                format!("{} ({})", get(row, DirectiveClass::Star), pct(get(row, DirectiveClass::Star), row.websites)),
+                format!(
+                    "{} ({})",
+                    get(row, DirectiveClass::Disable),
+                    pct(get(row, DirectiveClass::Disable), row.websites)
+                ),
+                format!(
+                    "{} ({})",
+                    get(row, DirectiveClass::SelfOnly),
+                    pct(get(row, DirectiveClass::SelfOnly), row.websites)
+                ),
+                format!(
+                    "{} ({})",
+                    get(row, DirectiveClass::ThirdParty),
+                    pct(get(row, DirectiveClass::ThirdParty), row.websites)
+                ),
+                format!(
+                    "{} ({})",
+                    get(row, DirectiveClass::Star),
+                    pct(get(row, DirectiveClass::Star), row.websites)
+                ),
                 row.websites.to_string(),
             ]);
         }
@@ -264,10 +309,26 @@ impl TopLevelDirectiveStats {
         let total = |class| self.totals.get(&class).copied().unwrap_or(0);
         t.row(vec![
             "Total (any permission)".to_string(),
-            format!("{} ({})", total(DirectiveClass::Disable), pct(total(DirectiveClass::Disable), totals)),
-            format!("{} ({})", total(DirectiveClass::SelfOnly), pct(total(DirectiveClass::SelfOnly), totals)),
-            format!("{} ({})", total(DirectiveClass::ThirdParty), pct(total(DirectiveClass::ThirdParty), totals)),
-            format!("{} ({})", total(DirectiveClass::Star), pct(total(DirectiveClass::Star), totals)),
+            format!(
+                "{} ({})",
+                total(DirectiveClass::Disable),
+                pct(total(DirectiveClass::Disable), totals)
+            ),
+            format!(
+                "{} ({})",
+                total(DirectiveClass::SelfOnly),
+                pct(total(DirectiveClass::SelfOnly), totals)
+            ),
+            format!(
+                "{} ({})",
+                total(DirectiveClass::ThirdParty),
+                pct(total(DirectiveClass::ThirdParty), totals)
+            ),
+            format!(
+                "{} ({})",
+                total(DirectiveClass::Star),
+                pct(total(DirectiveClass::Star), totals)
+            ),
             self.parsed_sites.to_string(),
         ]);
         t
@@ -305,18 +366,24 @@ pub fn embedded_directive_mix(dataset: &CrawlDataset) -> EmbeddedDirectiveMix {
             if frame.is_local_document {
                 continue;
             }
-            let Some(header) = &frame.permissions_policy_header else { continue };
+            let Some(header) = &frame.permissions_policy_header else {
+                continue;
+            };
             let Ok(parsed) = policy::parse_permissions_policy(header) else {
                 continue;
             };
             mix.documents += 1;
             for directive in parsed.directives() {
-                let Some(p) = directive.permission else { continue };
+                let Some(p) = directive.permission else {
+                    continue;
+                };
                 directives += 1;
                 if p.is_client_hint() {
                     client_hints += 1;
                 }
-                *mix.totals.entry(classify(&directive.allowlist)).or_default() += 1;
+                *mix.totals
+                    .entry(classify(&directive.allowlist))
+                    .or_default() += 1;
             }
         }
     }
@@ -355,7 +422,9 @@ pub fn misconfigurations(dataset: &CrawlDataset) -> MisconfigStats {
         let mut site_semantic = false;
         let mut embedded_semantic = false;
         for frame in &visit.frames {
-            let Some(header) = &frame.permissions_policy_header else { continue };
+            let Some(header) = &frame.permissions_policy_header else {
+                continue;
+            };
             stats.declaring_frames += 1;
             let report = validate_header(header);
             if report.syntax_error.is_some() {
@@ -436,7 +505,10 @@ mod tests {
     use webgen::{PopulationConfig, WebPopulation};
 
     fn dataset() -> CrawlDataset {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 6_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 6_000,
+        });
         Crawler::new(CrawlConfig::default()).crawl(&pop)
     }
 
@@ -448,7 +520,10 @@ mod tests {
         let embedded_rate = a.pp_embedded as f64 / a.embedded_documents as f64;
         // Paper: 4.5% top-level, 12.3% embedded — embedded ~3× higher.
         assert!((0.03..0.07).contains(&top_rate), "top {top_rate}");
-        assert!((0.08..0.20).contains(&embedded_rate), "embedded {embedded_rate}");
+        assert!(
+            (0.08..0.20).contains(&embedded_rate),
+            "embedded {embedded_rate}"
+        );
         assert!(embedded_rate > top_rate * 1.5);
         // Feature-Policy is far rarer than Permissions-Policy.
         assert!(a.fp_documents < a.pp_documents / 4);
@@ -484,7 +559,11 @@ mod tests {
         assert!(c18 > max_other, "18-directive template should dominate");
         assert!(c1 > max_other / 2);
         // Average near the paper's 10.01.
-        assert!((6.0..14.0).contains(&stats.avg_directives), "{}", stats.avg_directives);
+        assert!(
+            (6.0..14.0).contains(&stats.avg_directives),
+            "{}",
+            stats.avg_directives
+        );
         assert!(stats.table(10).render().contains("geolocation"));
     }
 
@@ -496,7 +575,11 @@ mod tests {
         // §4.3.2: embedded headers are dominated by ch-ua features with *.
         assert!(mix.client_hint_share > 0.4, "{}", mix.client_hint_share);
         let star = mix.totals.get(&DirectiveClass::Star).copied().unwrap_or(0);
-        let disable = mix.totals.get(&DirectiveClass::Disable).copied().unwrap_or(0);
+        let disable = mix
+            .totals
+            .get(&DirectiveClass::Disable)
+            .copied()
+            .unwrap_or(0);
         let total: u64 = mix.totals.values().sum();
         assert!(star as f64 / total as f64 > 0.2, "star share");
         assert!(disable as f64 / total as f64 > 0.05, "disable share");

@@ -64,8 +64,12 @@ fn risk_relevant(p: Permission) -> bool {
 
 /// The permissions delegated to a frame (non-empty allowlists only).
 fn delegated_permissions_of(frame: &browser::FrameRecord) -> Vec<Permission> {
-    let Some(attrs) = &frame.iframe_attrs else { return vec![] };
-    let Some(allow) = attrs.allow.as_deref() else { return vec![] };
+    let Some(attrs) = &frame.iframe_attrs else {
+        return vec![];
+    };
+    let Some(allow) = attrs.allow.as_deref() else {
+        return vec![];
+    };
     parse_allow_attribute(allow)
         .delegations()
         .iter()
@@ -120,7 +124,9 @@ pub fn unused_delegations(dataset: &CrawlDataset) -> OverPermissionStats {
             if delegated.is_empty() {
                 continue;
             }
-            let Some(site_prev) = prevalence.get(site) else { continue };
+            let Some(site_prev) = prevalence.get(site) else {
+                continue;
+            };
             // The instance's activity: invocations + static findings.
             let mut activity: BTreeSet<Permission> = BTreeSet::new();
             for inv in &frame.invocations {
@@ -180,7 +186,11 @@ impl OverPermissionStats {
     pub fn table(&self, n: usize) -> TextTable {
         let mut t = TextTable::new(
             "Table 10/13: Embedded Documents with Potentially Unused Delegated Permissions",
-            &["Embedded Iframe", "Potentially Unused Permissions", "# Affected Websites"],
+            &[
+                "Embedded Iframe",
+                "Potentially Unused Permissions",
+                "# Affected Websites",
+            ],
         );
         for (site, row) in self.ranked().into_iter().take(n) {
             let perms = row
@@ -189,7 +199,11 @@ impl OverPermissionStats {
                 .map(|p| p.token())
                 .collect::<Vec<_>>()
                 .join(", ");
-            t.row(vec![site.to_string(), perms, row.affected_websites.to_string()]);
+            t.row(vec![
+                site.to_string(),
+                perms,
+                row.affected_websites.to_string(),
+            ]);
         }
         t.row(vec![
             "Total (any iframe)".to_string(),
@@ -207,7 +221,10 @@ mod tests {
     use webgen::{PopulationConfig, WebPopulation};
 
     fn stats() -> OverPermissionStats {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 8_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 8_000,
+        });
         let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
         unused_delegations(&ds)
     }
@@ -257,8 +274,17 @@ mod tests {
         let s = stats();
         // Stripe uses payment; whereby uses capture; ad networks use their
         // ad permissions — none should be flagged.
-        for site in ["stripe.com", "whereby.com", "googlesyndication.com", "doubleclick.net"] {
-            assert!(!s.rows.contains_key(site), "{site} flagged: {:?}", s.rows.get(site));
+        for site in [
+            "stripe.com",
+            "whereby.com",
+            "googlesyndication.com",
+            "doubleclick.net",
+        ] {
+            assert!(
+                !s.rows.contains_key(site),
+                "{site} flagged: {:?}",
+                s.rows.get(site)
+            );
         }
     }
 

@@ -113,7 +113,11 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
     // Embeds (Table 3).
     let embeds = crate::embeds::top_external_embeds(dataset);
     for (site, paper) in TABLE3 {
-        push(format!("T3 embeds: {site}"), *paper, embeds.count(site) as f64);
+        push(
+            format!("T3 embeds: {site}"),
+            *paper,
+            embeds.count(site) as f64,
+        );
     }
 
     // Delegation (Table 7).
@@ -131,7 +135,11 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
             .get(*site)
             .map(|r| r.affected_websites)
             .unwrap_or(0);
-        push(format!("T10 over-permissioned: {site}"), *paper, measured as f64);
+        push(
+            format!("T10 over-permissioned: {site}"),
+            *paper,
+            measured as f64,
+        );
     }
     push(
         "T10 total affected".to_string(),
@@ -142,14 +150,38 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
     // Headline aggregates (site-based paper equivalents: printed % are
     // per top-level doc, so counts are the honest common currency).
     let summary = crate::usage::usage_summary(dataset);
-    push("any permission functionality".into(), 48.52 / 100.0 * PAPER_TOP_LEVEL_DOCS, summary.any as f64);
-    push("dynamic invocations".into(), 455_676.0, summary.dynamic as f64);
-    push("static findings".into(), 341_924.0, summary.static_any as f64);
-    push("Feature Policy API reliance".into(), 429_259.0, summary.feature_policy_api as f64);
+    push(
+        "any permission functionality".into(),
+        48.52 / 100.0 * PAPER_TOP_LEVEL_DOCS,
+        summary.any as f64,
+    );
+    push(
+        "dynamic invocations".into(),
+        455_676.0,
+        summary.dynamic as f64,
+    );
+    push(
+        "static findings".into(),
+        341_924.0,
+        summary.static_any as f64,
+    );
+    push(
+        "Feature Policy API reliance".into(),
+        429_259.0,
+        summary.feature_policy_api as f64,
+    );
 
     let adoption = crate::headers::header_adoption(dataset);
-    push("PP header, top-level docs".into(), 50_469.0, adoption.pp_top as f64);
-    push("both headers overlap".into(), 2_302.0, adoption.both_websites as f64);
+    push(
+        "PP header, top-level docs".into(),
+        50_469.0,
+        adoption.pp_top as f64,
+    );
+    push(
+        "both headers overlap".into(),
+        2_302.0,
+        adoption.both_websites as f64,
+    );
 
     Comparison { rows, scale }
 }
@@ -158,10 +190,7 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
 pub fn comparison_table(dataset: &CrawlDataset) -> TextTable {
     let cmp = comparison(dataset);
     let mut t = TextTable::new(
-        &format!(
-            "Paper vs measured (paper counts scaled ×{:.4})",
-            cmp.scale
-        ),
+        &format!("Paper vs measured (paper counts scaled ×{:.4})", cmp.scale),
         &["Metric", "Paper (scaled)", "Measured", "Ratio"],
     );
     for row in &cmp.rows {
@@ -183,7 +212,10 @@ mod tests {
 
     #[test]
     fn comparison_ratios_are_reproduction_grade() {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 10_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 10_000,
+        });
         let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let cmp = comparison(&ds);
         assert!(cmp.scale > 0.0);

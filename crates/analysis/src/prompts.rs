@@ -78,7 +78,12 @@ impl PromptStats {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Prompt attribution (extension): who asks, whose name is shown",
-            &["Permission", "Top-level", "Embedded (on behalf)", "# Websites"],
+            &[
+                "Permission",
+                "Top-level",
+                "Embedded (on behalf)",
+                "# Websites",
+            ],
         );
         let mut rows: Vec<_> = self.rows.iter().collect();
         rows.sort_by_key(|(_, r)| std::cmp::Reverse(r.websites));
@@ -112,7 +117,10 @@ mod tests {
 
     #[test]
     fn prompt_census_shape() {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 4_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 4_000,
+        });
         let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let stats = prompt_census(&ds);
         assert!(stats.websites_any > 0);
@@ -131,7 +139,9 @@ mod tests {
     fn blocked_invocations_never_prompt() {
         // A site with camera=() and a getUserMedia call must not prompt.
         use browser::{Browser, BrowserConfig};
-        use netsim::{ContentProvider, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior};
+        use netsim::{
+            ContentProvider, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior,
+        };
         use weburl::Url;
         struct Blocked;
         impl ContentProvider for Blocked {

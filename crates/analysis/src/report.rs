@@ -30,19 +30,25 @@ pub fn full_report(dataset: &CrawlDataset, config: &ReportConfig) -> String {
     let mut sections: Vec<String> = vec![
         format!("== Crawl funnel (§4) ==\n{}\n", dataset.funnel().report()),
         crate::census::frame_census(dataset).table().render(),
-        crate::embeds::top_external_embeds(dataset).table(n).render(),
+        crate::embeds::top_external_embeds(dataset)
+            .table(n)
+            .render(),
         crate::usage::invocation_table(dataset).table(n).render(),
         crate::usage::status_check_table(dataset).table(n).render(),
         crate::usage::static_table(dataset).table(n).render(),
         crate::usage::usage_summary(dataset).table().render(),
-        crate::delegation::delegated_embeds(dataset).table(n).render(),
+        crate::delegation::delegated_embeds(dataset)
+            .table(n)
+            .render(),
         delegation.table(n).render(),
         delegation.directive_table().render(),
         {
             let adoption = crate::headers::header_adoption(dataset);
             format!("{}\n{}", adoption.figure(), adoption.table().render())
         },
-        crate::headers::top_level_directives(dataset).table(n).render(),
+        crate::headers::top_level_directives(dataset)
+            .table(n)
+            .render(),
         crate::headers::misconfigurations(dataset).table().render(),
         crate::overpermission::unused_delegations(dataset)
             .table(n.max(30))
@@ -69,7 +75,10 @@ mod tests {
 
     #[test]
     fn full_report_contains_every_artifact() {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 1_200 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 1_200,
+        });
         let ds = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let report = full_report(&ds, &ReportConfig::default());
         for needle in [

@@ -60,8 +60,16 @@ impl TextTable {
 pub fn bar_chart(title: &str, series: &[(&str, f64)], max_width: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let peak = series.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-9);
-    let label_width = series.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let peak = series
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let label_width = series
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, value) in series {
         let width = ((value / peak) * max_width as f64).round() as usize;
         let _ = writeln!(

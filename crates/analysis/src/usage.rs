@@ -7,8 +7,8 @@ use crawler::CrawlDataset;
 use registry::Permission;
 use serde::{Deserialize, Serialize};
 
-use crate::table::{pct, TextTable};
 use crate::is_third_party;
+use crate::table::{pct, TextTable};
 
 /// Row key for Table 4: the General-API group or one permission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -176,7 +176,12 @@ impl InvocationStats {
     pub fn table(&self, n: usize) -> TextTable {
         let mut t = TextTable::new(
             "Table 4: Top Permissions Used At Least Once Across Top-Level and Embedded Contexts",
-            &["Permission", "Top-Level (1P/3P)", "Embedded (1P/3P)", "Total Contexts"],
+            &[
+                "Permission",
+                "Top-Level (1P/3P)",
+                "Embedded (1P/3P)",
+                "Total Contexts",
+            ],
         );
         let fmt = |tally: &ContextTally| {
             format!(
@@ -550,7 +555,11 @@ impl UsageSummary {
         row("dynamic top-level", self.dynamic_top, "39.41%");
         row("dynamic embedded", self.dynamic_embedded, "7.98%");
         row("static findings", self.static_any, "30.5%");
-        row("Feature Policy API reliance", self.feature_policy_api, "429,259 sites");
+        row(
+            "Feature Policy API reliance",
+            self.feature_policy_api,
+            "429,259 sites",
+        );
         t.row(vec![
             "top-level 3p context share".to_string(),
             format!("{:.2}%", self.top_third_party_share * 100.0),
@@ -572,7 +581,10 @@ mod tests {
     use webgen::{PopulationConfig, WebPopulation};
 
     fn dataset() -> CrawlDataset {
-        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 3_000 });
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: 3_000,
+        });
         Crawler::new(CrawlConfig::default()).crawl(&pop)
     }
 
@@ -583,8 +595,16 @@ mod tests {
         let frac = |x: u64| x as f64 / summary.websites as f64;
         // Paper: 48.52% any, 40.65% dynamic, 39.41% top, 7.98% embedded,
         // 30.5% static. Generous tolerances: shape, not noise.
-        assert!((0.55..0.80).contains(&frac(summary.any)), "any {}", frac(summary.any));
-        assert!((0.45..0.68).contains(&frac(summary.dynamic)), "dyn {}", frac(summary.dynamic));
+        assert!(
+            (0.55..0.80).contains(&frac(summary.any)),
+            "any {}",
+            frac(summary.any)
+        );
+        assert!(
+            (0.45..0.68).contains(&frac(summary.dynamic)),
+            "dyn {}",
+            frac(summary.dynamic)
+        );
         assert!(
             (0.40..0.64).contains(&frac(summary.dynamic_top)),
             "top {}",
@@ -601,7 +621,11 @@ mod tests {
             frac(summary.static_any)
         );
         // Third-party dominates top-level; first-party dominates embedded.
-        assert!(summary.top_third_party_share > 0.85, "{}", summary.top_third_party_share);
+        assert!(
+            summary.top_third_party_share > 0.85,
+            "{}",
+            summary.top_third_party_share
+        );
         assert!(
             summary.embedded_first_party_share > 0.55,
             "{}",
@@ -639,9 +663,15 @@ mod tests {
         let ranked = stats.ranked();
         assert_eq!(ranked[0].0, CheckKey::AllPermissions);
         // Specific rows exist for notifications / geolocation / midi.
-        assert!(stats.rows.contains_key(&CheckKey::Permission(Permission::Notifications)));
-        assert!(stats.rows.contains_key(&CheckKey::Permission(Permission::Geolocation)));
-        assert!(stats.rows.contains_key(&CheckKey::Permission(Permission::Midi)));
+        assert!(stats
+            .rows
+            .contains_key(&CheckKey::Permission(Permission::Notifications)));
+        assert!(stats
+            .rows
+            .contains_key(&CheckKey::Permission(Permission::Geolocation)));
+        assert!(stats
+            .rows
+            .contains_key(&CheckKey::Permission(Permission::Midi)));
         // Mean specific permissions checked per doc near the paper's 1.74.
         assert!((1.0..4.0).contains(&stats.mean_specific_per_top_doc));
         let text = stats.table(10).render();

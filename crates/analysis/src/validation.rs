@@ -65,12 +65,17 @@ pub fn measure_site(population: &WebPopulation, rank: u64) -> Option<SiteDetecti
     };
     for frame in &visit.frames {
         for script in &frame.scripts {
-            detection
-                .static_found
-                .extend(staticscan::scan_script(&script.source).permissions.iter().copied());
+            detection.static_found.extend(
+                staticscan::scan_script(&script.source)
+                    .permissions
+                    .iter()
+                    .copied(),
+            );
         }
         for inv in &frame.invocations {
-            detection.dynamic_found.extend(inv.permissions.iter().copied());
+            detection
+                .dynamic_found
+                .extend(inv.permissions.iter().copied());
         }
     }
     let interactive = Crawler::new(CrawlConfig {
@@ -141,7 +146,11 @@ pub fn interaction_study(
 
 /// Selects sites that have static findings but no dynamic activity — the
 /// paper's first experiment population.
-pub fn select_static_only_sites(population: &WebPopulation, want: usize, scan_limit: u64) -> Vec<u64> {
+pub fn select_static_only_sites(
+    population: &WebPopulation,
+    want: usize,
+    scan_limit: u64,
+) -> Vec<u64> {
     let crawler = Crawler::new(CrawlConfig::default());
     let mut out = Vec::new();
     for rank in 1..=scan_limit {
@@ -176,7 +185,15 @@ pub fn select_static_only_sites(population: &WebPopulation, want: usize, scan_li
 pub fn table12(experiments: &[InteractionExperiment]) -> TextTable {
     let mut t = TextTable::new(
         "Table 12: Manual Testing of Average Permission Detection Across Experiments",
-        &["Experiment", "#", "Static", "Dynamic", "Activated", "by Static", "by S∪D"],
+        &[
+            "Experiment",
+            "#",
+            "Static",
+            "Dynamic",
+            "Activated",
+            "by Static",
+            "by S∪D",
+        ],
     );
     for e in experiments {
         t.row(vec![

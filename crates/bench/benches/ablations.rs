@@ -57,7 +57,9 @@ fn ablation_policy_memo(c: &mut Criterion) {
         parse_permissions_policy("camera=(self), geolocation=(), fullscreen=*").unwrap(),
     );
     let allow = policy::parse_allow_attribute(webgen::widgets::LIVECHAT_ALLOW);
-    let child_origin = weburl::Url::parse("https://widget.example/").unwrap().origin();
+    let child_origin = weburl::Url::parse("https://widget.example/")
+        .unwrap()
+        .origin();
     let features: Vec<registry::Permission> = registry::policy_controlled_permissions().collect();
 
     let mut group = c.benchmark_group("ablation_policy_memo");
@@ -133,7 +135,11 @@ fn ablation_dynamic_vs_static(c: &mut Criterion) {
             let mut hooks = jsland::RecordingHooks::default();
             let mut interp = jsland::Interpreter::new();
             interp
-                .run(black_box(script), jsland::ScriptSource::inline(), &mut hooks)
+                .run(
+                    black_box(script),
+                    jsland::ScriptSource::inline(),
+                    &mut hooks,
+                )
                 .unwrap();
             assert_eq!(hooks.calls.len(), 2); // sees both calls
             black_box(hooks.calls.len())
@@ -162,11 +168,50 @@ fn ablation_response_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation 5 — fault injection: what panic isolation + bounded retries
+/// cost when faults actually fire, against the same crawl with the fault
+/// layer disabled (the common case, which should be near-free).
+fn ablation_fault_injection(c: &mut Criterion) {
+    use crawler::{CrawlConfig, Crawler, FaultSpec};
+    use webgen::{PopulationConfig, WebPopulation};
+    let population = WebPopulation::new(PopulationConfig { seed: 7, size: 96 });
+    let specs = [
+        ("faults_off", FaultSpec::disabled()),
+        (
+            "faults_on",
+            FaultSpec {
+                seed: 99,
+                panic_per_mille: 150,
+                transient_per_mille: 250,
+                transient_failures: 2,
+            },
+        ),
+    ];
+    // Injected panics unwind through catch_unwind by design; keep the
+    // default hook from printing a backtrace per simulated crash.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut group = c.benchmark_group("ablation_fault_injection");
+    group.sample_size(10);
+    for (label, faults) in specs {
+        group.bench_function(label, |b| {
+            let crawler = Crawler::new(CrawlConfig {
+                faults,
+                ..CrawlConfig::default()
+            });
+            b.iter(|| black_box(crawler.crawl(&population)))
+        });
+    }
+    group.finish();
+    std::panic::set_hook(hook);
+}
+
 criterion_group!(
     ablations,
     ablation_static_matcher,
     ablation_policy_memo,
     ablation_dynamic_vs_static,
     ablation_response_cache,
+    ablation_fault_injection,
 );
 criterion_main!(ablations);

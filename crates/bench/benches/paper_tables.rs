@@ -65,7 +65,9 @@ fn t5_status_checks(c: &mut Criterion) {
 
 fn t6_static(c: &mut Criterion) {
     let ds = dataset();
-    print_once("table6", || analysis::usage::static_table(ds).table(10).render());
+    print_once("table6", || {
+        analysis::usage::static_table(ds).table(10).render()
+    });
     let mut group = c.benchmark_group("t6_static");
     group.sample_size(10); // scans every script in the dataset
     group.bench_function("static_table", |b| {
@@ -77,7 +79,9 @@ fn t6_static(c: &mut Criterion) {
 fn t7_delegated_embeds(c: &mut Criterion) {
     let ds = dataset();
     print_once("table7", || {
-        analysis::delegation::delegated_embeds(ds).table(10).render()
+        analysis::delegation::delegated_embeds(ds)
+            .table(10)
+            .render()
     });
     c.bench_function("t7_delegated_embeds", |b| {
         b.iter(|| black_box(analysis::delegation::delegated_embeds(ds)))
@@ -88,7 +92,11 @@ fn t8_delegated_perms(c: &mut Criterion) {
     let ds = dataset();
     print_once("table8", || {
         let stats = analysis::delegation::delegated_permissions(ds);
-        format!("{}\n{}", stats.table(10).render(), stats.directive_table().render())
+        format!(
+            "{}\n{}",
+            stats.table(10).render(),
+            stats.directive_table().render()
+        )
     });
     c.bench_function("t8_delegated_perms", |b| {
         b.iter(|| black_box(analysis::delegation::delegated_permissions(ds)))
@@ -97,7 +105,9 @@ fn t8_delegated_perms(c: &mut Criterion) {
 
 fn f2_header_adoption(c: &mut Criterion) {
     let ds = dataset();
-    print_once("figure2", || analysis::headers::header_adoption(ds).table().render());
+    print_once("figure2", || {
+        analysis::headers::header_adoption(ds).table().render()
+    });
     c.bench_function("f2_header_adoption", |b| {
         b.iter(|| black_box(analysis::headers::header_adoption(ds)))
     });
@@ -120,7 +130,9 @@ fn t9_header_directives(c: &mut Criterion) {
 
 fn t_misconfig(c: &mut Criterion) {
     let ds = dataset();
-    print_once("misconfig", || analysis::headers::misconfigurations(ds).table().render());
+    print_once("misconfig", || {
+        analysis::headers::misconfigurations(ds).table().render()
+    });
     c.bench_function("t_misconfig", |b| {
         b.iter(|| black_box(analysis::headers::misconfigurations(ds)))
     });
@@ -129,7 +141,9 @@ fn t_misconfig(c: &mut Criterion) {
 fn t10_overpermissioned(c: &mut Criterion) {
     let ds = dataset();
     print_once("table10", || {
-        analysis::overpermission::unused_delegations(ds).table(30).render()
+        analysis::overpermission::unused_delegations(ds)
+            .table(30)
+            .render()
     });
     let mut group = c.benchmark_group("t10_overpermissioned");
     group.sample_size(10);
@@ -161,7 +175,11 @@ fn t12_interaction_study(c: &mut Criterion) {
     group.sample_size(10);
     let ranks: Vec<u64> = (1..=10).collect();
     group.bench_function("interaction_study_10_sites", |b| {
-        b.iter(|| black_box(analysis::validation::interaction_study(&pop, "bench", &ranks)))
+        b.iter(|| {
+            black_box(analysis::validation::interaction_study(
+                &pop, "bench", &ranks,
+            ))
+        })
     });
     group.finish();
 }

@@ -81,7 +81,9 @@ fn html_scanning(c: &mut Criterion) {
     let page = webgen::site::page_html(7, 42);
     let mut group = c.benchmark_group("html_scanning");
     group.throughput(Throughput::Bytes(page.len() as u64));
-    group.bench_function("scan_landing_page", |b| b.iter(|| black_box(html::scan(&page))));
+    group.bench_function("scan_landing_page", |b| {
+        b.iter(|| black_box(html::scan(&page)))
+    });
     group.finish();
 }
 
@@ -97,7 +99,11 @@ fn js_interpretation(c: &mut Criterion) {
             let mut hooks = jsland::RecordingHooks::default();
             let mut interp = jsland::Interpreter::new();
             interp
-                .run(black_box(script), jsland::ScriptSource::inline(), &mut hooks)
+                .run(
+                    black_box(script),
+                    jsland::ScriptSource::inline(),
+                    &mut hooks,
+                )
                 .unwrap();
             interp.drain_timers(&mut hooks);
             black_box(hooks.calls.len())

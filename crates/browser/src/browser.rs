@@ -125,9 +125,12 @@ impl<N: Network> Browser<N> {
         let policy = self.engine.document_for_top_level(origin.clone(), declared);
         let pp_header = response.header("permissions-policy").map(str::to_string);
         let fp_header = response.header("feature-policy").map(str::to_string);
-        let csp_header = response.header("content-security-policy").map(str::to_string);
+        let csp_header = response
+            .header("content-security-policy")
+            .map(str::to_string);
 
-        if ctx.outcome != VisitOutcome::CrawlerCrash && ctx.outcome != VisitOutcome::EphemeralContext
+        if ctx.outcome != VisitOutcome::CrawlerCrash
+            && ctx.outcome != VisitOutcome::EphemeralContext
         {
             self.load_document(
                 &mut ctx,
@@ -180,9 +183,7 @@ impl<N: Network> Browser<N> {
                 continue;
             }
             if let Some(src) = &script.src {
-                if let Ok(script_url) =
-                    Url::parse_with_base(src, doc.url.as_ref())
-                {
+                if let Ok(script_url) = Url::parse_with_base(src, doc.url.as_ref()) {
                     if let Ok(resp) = self.network.fetch(&script_url, clock) {
                         let source = resp.body_text();
                         let url_string = script_url.to_string();
@@ -569,7 +570,11 @@ fn sandbox_flags(sandbox: Option<&str>) -> (bool, bool) {
     match sandbox {
         None => (true, true),
         Some(value) => {
-            let has = |token: &str| value.split_ascii_whitespace().any(|t| t.eq_ignore_ascii_case(token));
+            let has = |token: &str| {
+                value
+                    .split_ascii_whitespace()
+                    .any(|t| t.eq_ignore_ascii_case(token))
+            };
             (has("allow-scripts"), has("allow-same-origin"))
         }
     }

@@ -77,18 +77,15 @@ impl HostHooks for BrowserHooks<'_> {
                     ApiKind::General => {
                         // `allowsFeature("camera")` checks one permission;
                         // `allowedFeatures()` retrieves the whole list.
-                        let queried = call
-                            .args
-                            .first()
-                            .and_then(|v| match v {
-                                Value::Str(s) => Permission::from_token(s),
-                                _ => None,
-                            });
+                        let queried = call.args.first().and_then(|v| match v {
+                            Value::Str(s) => Permission::from_token(s),
+                            _ => None,
+                        });
                         (InvocationKind::General, queried.into_iter().collect())
                     }
                 };
-                let policy_blocked = kind == InvocationKind::Invocation
-                    && !self.policy_allows(&permissions);
+                let policy_blocked =
+                    kind == InvocationKind::Invocation && !self.policy_allows(&permissions);
                 self.record(InvocationRecord {
                     api_path: call.path.clone(),
                     kind,
@@ -142,8 +139,7 @@ impl BrowserHooks<'_> {
             ),
             (
                 InvocationKind::General,
-                "document.featurePolicy.allowsFeature"
-                | "document.permissionsPolicy.allowsFeature",
+                "document.featurePolicy.allowsFeature" | "document.permissionsPolicy.allowsFeature",
             ) => Value::Bool(
                 permissions
                     .first()
@@ -200,7 +196,10 @@ mod tests {
         let declared = header
             .map(|h| parse_permissions_policy(h).unwrap())
             .unwrap_or_default();
-        engine.document_for_top_level(Url::parse("https://example.org/").unwrap().origin(), declared)
+        engine.document_for_top_level(
+            Url::parse("https://example.org/").unwrap().origin(),
+            declared,
+        )
     }
 
     #[test]
@@ -216,10 +215,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hooks.invocations.len(), 1);
-        assert_eq!(
-            hooks.invocations[0].permissions,
-            vec![Permission::Battery]
-        );
+        assert_eq!(hooks.invocations[0].permissions, vec![Permission::Battery]);
     }
 
     #[test]
@@ -235,7 +231,11 @@ mod tests {
             )
             .unwrap();
         interp
-            .run("navigator.getBattery();", ScriptSource::inline(), &mut hooks)
+            .run(
+                "navigator.getBattery();",
+                ScriptSource::inline(),
+                &mut hooks,
+            )
             .unwrap();
         assert_eq!(hooks.invocations.len(), 2);
     }
@@ -278,7 +278,11 @@ mod tests {
                 &mut hooks,
             )
             .unwrap();
-        let paths: Vec<_> = hooks.invocations.iter().map(|r| r.api_path.as_str()).collect();
+        let paths: Vec<_> = hooks
+            .invocations
+            .iter()
+            .map(|r| r.api_path.as_str())
+            .collect();
         assert!(!paths.contains(&"navigator.getBattery"));
         assert!(paths.contains(&"navigator.share"));
         assert!(hooks.invocations[0].via_feature_policy_api);

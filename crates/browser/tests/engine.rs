@@ -1,7 +1,9 @@
 //! End-to-end engine tests over a small hand-built web.
 
 use browser::{Browser, BrowserConfig, VisitError, VisitOutcome};
-use netsim::{ContentProvider, FetchError, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior};
+use netsim::{
+    ContentProvider, FetchError, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior,
+};
 use policy::engine::LocalSchemeBehavior;
 use registry::Permission;
 use weburl::Url;
@@ -85,10 +87,7 @@ impl ContentProvider for TinyWeb {
     }
 }
 
-fn visit_with(
-    config: BrowserConfig,
-    url: &str,
-) -> Result<browser::PageVisit, VisitError> {
+fn visit_with(config: BrowserConfig, url: &str) -> Result<browser::PageVisit, VisitError> {
     let mut b = Browser::new(SimNetwork::new(TinyWeb), config);
     let mut clock = SimClock::new();
     b.visit(&Url::parse(url).unwrap(), &mut clock)

@@ -11,9 +11,7 @@ impl ContentProvider for Web {
     fn resolve(&self, url: &Url) -> ProviderResult {
         let html = match url.host() {
             Some("top.example") => self.0.to_string(),
-            Some("widget.example") => {
-                r#"<script>navigator.getBattery();</script>"#.to_string()
-            }
+            Some("widget.example") => r#"<script>navigator.getBattery();</script>"#.to_string(),
             _ => return ProviderResult::DnsFailure,
         };
         ProviderResult::Content {
@@ -86,9 +84,8 @@ fn sandbox_without_allow_same_origin_gives_opaque_origin() {
 
 #[test]
 fn sandboxed_srcdoc_is_inert() {
-    let v = visit(
-        r#"<iframe srcdoc="<script>navigator.getBattery();</script>" sandbox=""></iframe>"#,
-    );
+    let v =
+        visit(r#"<iframe srcdoc="<script>navigator.getBattery();</script>" sandbox=""></iframe>"#);
     let frame = v.embedded_frames().next().unwrap();
     assert!(frame.is_local_document);
     assert!(frame.invocations.is_empty());

@@ -49,6 +49,8 @@ permissions-odyssey — browser permission ecosystem measurement
 
 USAGE:
   permissions-odyssey crawl    [--size N] [--seed S] [--workers W] [--out FILE]
+                               [--resume] [--retries R]
+                               [--fault-panics PM] [--fault-transients PM]
   permissions-odyssey analyze  --db FILE [--table NAME] [--top N]
   permissions-odyssey lint     <Permissions-Policy header value>
   permissions-odyssey generate [--preset disable-all|disable-powerful]
@@ -79,23 +81,77 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     let size: u64 = parse_flag(args, "--size", 20_000)?;
     let seed: u64 = parse_flag(args, "--seed", 7)?;
     let workers: usize = parse_flag(args, "--workers", 8)?;
+    let retries: u32 = parse_flag(args, "--retries", CrawlConfig::default().max_retries)?;
+    let fault_panics: u32 = parse_flag(args, "--fault-panics", 0)?;
+    let fault_transients: u32 = parse_flag(args, "--fault-transients", 0)?;
+    let resume = args.iter().any(|a| a == "--resume");
     let out: PathBuf = flag(args, "--out")
         .unwrap_or_else(|| "crawl.jsonl".to_string())
         .into();
 
     let population = WebPopulation::new(PopulationConfig { seed, size });
-    eprintln!("crawling {size} origins (seed {seed}, {workers} workers)…");
+
+    // With --resume, recover the ranks an interrupted run already
+    // persisted, drop any torn final line, and append from there.
+    let mut completed = std::collections::BTreeSet::new();
+    let file = if resume && out.exists() {
+        let state = crawler::resume_jsonl(&out)
+            .map_err(|e| format!("resuming from {}: {e}", out.display()))?;
+        completed = state.completed;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&out)
+            .map_err(|e| format!("opening {}: {e}", out.display()))?;
+        file.set_len(state.valid_len)
+            .map_err(|e| format!("truncating {}: {e}", out.display()))?;
+        eprintln!(
+            "resuming: {} of {size} origins already on disk",
+            completed.len()
+        );
+        file
+    } else {
+        std::fs::File::create(&out).map_err(|e| format!("creating {}: {e}", out.display()))?
+    };
+    let remaining = (1..=size).filter(|r| !completed.contains(r)).count() as u64;
+
+    // Injected panics are caught and classified by the crawler; don't
+    // let the default hook print a backtrace for each simulated crash.
+    // (Without fault injection the hook stays untouched, so real bugs
+    // still report loudly.)
+    if fault_panics > 0 {
+        std::panic::set_hook(Box::new(|info| {
+            let detail = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("visit panicked");
+            eprintln!("caught: {detail}");
+        }));
+    }
+
+    eprintln!("crawling {remaining} origins (seed {seed}, {workers} workers)…");
     let started = std::time::Instant::now();
+    let telemetry = crawler::CrawlTelemetry::new(workers);
+    let progress_every = (remaining / 10).max(1);
+    let mut last_milestone = 0;
     // Stream records to disk as they complete (the paper's per-site
     // persistence, Appendix A.2 C14).
-    let file = std::fs::File::create(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
     let mut writer = std::io::BufWriter::new(file);
     let mut write_error: Option<String> = None;
+    let faults = netsim::FaultSpec {
+        seed,
+        panic_per_mille: fault_panics,
+        transient_per_mille: fault_transients,
+        transient_failures: 2,
+    };
     let funnel = Crawler::new(CrawlConfig {
         workers,
+        max_retries: retries,
+        faults,
         ..CrawlConfig::default()
     })
-    .crawl_streaming(&population, |record| {
+    .crawl_streaming_observed(&population, &completed, &telemetry, |record| {
         if write_error.is_some() {
             return;
         }
@@ -104,6 +160,12 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
             .and_then(|()| writer.write_all(b"\n").map_err(|e| e.to_string()))
         {
             write_error = Some(e);
+        }
+        let snapshot = telemetry.snapshot();
+        let milestone = snapshot.completed() / progress_every;
+        if milestone > last_milestone {
+            last_milestone = milestone;
+            eprintln!("{}", snapshot.progress_line(remaining));
         }
     });
     writer.flush().map_err(|e| e.to_string())?;
@@ -115,16 +177,18 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         funnel.report(),
         started.elapsed().as_secs_f64()
     );
+    eprintln!("{}", telemetry.snapshot().report());
     eprintln!("database written to {}", out.display());
     Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let db: PathBuf = flag(args, "--db").ok_or("analyze requires --db FILE")?.into();
+    let db: PathBuf = flag(args, "--db")
+        .ok_or("analyze requires --db FILE")?
+        .into();
     let table = flag(args, "--table").unwrap_or_else(|| "all".to_string());
     let top: usize = parse_flag(args, "--top", 10)?;
-    let dataset =
-        crawler::read_jsonl(&db).map_err(|e| format!("reading {}: {e}", db.display()))?;
+    let dataset = crawler::read_jsonl(&db).map_err(|e| format!("reading {}: {e}", db.display()))?;
     let all = table == "all";
     let mut matched = false;
     // Ignore write errors: piping into `head` must not panic the tool.
@@ -135,28 +199,66 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         }
     };
     emit("funnel", &|| dataset.funnel().report());
-    emit("census", &|| analysis::census::frame_census(&dataset).table().render());
-    emit("t3", &|| analysis::embeds::top_external_embeds(&dataset).table(top).render());
-    emit("t4", &|| analysis::usage::invocation_table(&dataset).table(top).render());
-    emit("t5", &|| analysis::usage::status_check_table(&dataset).table(top).render());
-    emit("t6", &|| analysis::usage::static_table(&dataset).table(top).render());
-    emit("summary", &|| analysis::usage::usage_summary(&dataset).table().render());
-    emit("t7", &|| analysis::delegation::delegated_embeds(&dataset).table(top).render());
+    emit("census", &|| {
+        analysis::census::frame_census(&dataset).table().render()
+    });
+    emit("t3", &|| {
+        analysis::embeds::top_external_embeds(&dataset)
+            .table(top)
+            .render()
+    });
+    emit("t4", &|| {
+        analysis::usage::invocation_table(&dataset)
+            .table(top)
+            .render()
+    });
+    emit("t5", &|| {
+        analysis::usage::status_check_table(&dataset)
+            .table(top)
+            .render()
+    });
+    emit("t6", &|| {
+        analysis::usage::static_table(&dataset).table(top).render()
+    });
+    emit("summary", &|| {
+        analysis::usage::usage_summary(&dataset).table().render()
+    });
+    emit("t7", &|| {
+        analysis::delegation::delegated_embeds(&dataset)
+            .table(top)
+            .render()
+    });
     // Both delegation tables come from one dataset pass.
     if all || table == "t8" || table == "directives" {
         let stats = analysis::delegation::delegated_permissions(&dataset);
         emit("t8", &|| stats.table(top).render());
         emit("directives", &|| stats.directive_table().render());
     }
-    emit("f2", &|| analysis::headers::header_adoption(&dataset).table().render());
-    emit("t9", &|| analysis::headers::top_level_directives(&dataset).table(top).render());
-    emit("misconfig", &|| analysis::headers::misconfigurations(&dataset).table().render());
+    emit("f2", &|| {
+        analysis::headers::header_adoption(&dataset)
+            .table()
+            .render()
+    });
+    emit("t9", &|| {
+        analysis::headers::top_level_directives(&dataset)
+            .table(top)
+            .render()
+    });
+    emit("misconfig", &|| {
+        analysis::headers::misconfigurations(&dataset)
+            .table()
+            .render()
+    });
     emit("t10", &|| {
         analysis::overpermission::unused_delegations(&dataset)
             .table(top.max(30))
             .render()
     });
-    emit("groups", &|| analysis::delegation::purpose_groups(&dataset).table().render());
+    emit("groups", &|| {
+        analysis::delegation::purpose_groups(&dataset)
+            .table()
+            .render()
+    });
     emit("exposure", &|| {
         analysis::vulnerability::local_scheme_exposure(&dataset)
             .table()

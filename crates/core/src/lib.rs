@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn end_to_end_smoke() {
-        let population = WebPopulation::new(PopulationConfig { seed: 42, size: 200 });
+        let population = WebPopulation::new(PopulationConfig {
+            seed: 42,
+            size: 200,
+        });
         let dataset = Crawler::new(CrawlConfig::default()).crawl(&population);
         assert_eq!(dataset.records.len(), 200);
         let funnel = dataset.funnel();

@@ -4,6 +4,7 @@
 //! as soon as its visit finished (Appendix A.2, C14). We persist the
 //! same way: one JSON object per line, append-friendly, streamable.
 
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -41,6 +42,75 @@ pub fn read_jsonl(path: &Path) -> std::io::Result<CrawlDataset> {
     Ok(CrawlDataset { records })
 }
 
+/// What an interrupted crawl left behind, recovered by
+/// [`resume_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeState {
+    /// Ranks with a complete, valid record on disk.
+    pub completed: BTreeSet<u64>,
+    /// Byte length of the valid prefix of the file. A torn final line
+    /// (the crawl was killed mid-write) lies beyond this offset; truncate
+    /// to it before appending.
+    pub valid_len: u64,
+}
+
+/// Scans a possibly-interrupted JSONL database for resumption.
+///
+/// Unlike [`read_jsonl`] — which stays strict, for finished datasets —
+/// this tolerates exactly one kind of damage: a torn *final* line, the
+/// signature of a crawl killed mid-append. The torn line is excluded
+/// from [`ResumeState::valid_len`]; corruption anywhere earlier is still
+/// a loud error.
+pub fn resume_jsonl(path: &Path) -> std::io::Result<ResumeState> {
+    let data = std::fs::read(path)?;
+    let mut completed = BTreeSet::new();
+    let mut valid_len = 0u64;
+    let mut start = 0usize;
+    let mut line_no = 0usize;
+    while start < data.len() {
+        line_no += 1;
+        let Some(end) = data[start..].iter().position(|&b| b == b'\n') else {
+            // Unterminated final line: torn, excluded.
+            break;
+        };
+        let end = start + end;
+        let line = &data[start..end];
+        let is_final = end + 1 >= data.len();
+        let parsed = std::str::from_utf8(line)
+            .ok()
+            .filter(|text| !text.trim().is_empty())
+            .map(serde_json::from_str::<SiteRecord>);
+        match parsed {
+            None => {
+                // Blank line: fine, skip.
+                valid_len = (end + 1) as u64;
+            }
+            Some(Ok(record)) => {
+                completed.insert(record.rank);
+                valid_len = (end + 1) as u64;
+            }
+            Some(Err(e)) if is_final => {
+                // Terminated but invalid final line — a torn write that
+                // happened to end at a newline-containing buffer
+                // boundary. Tolerate it like the unterminated case.
+                let _ = e;
+                break;
+            }
+            Some(Err(e)) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {line_no}: {e}"),
+                ));
+            }
+        }
+        start = end + 1;
+    }
+    Ok(ResumeState {
+        completed,
+        valid_len,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +145,57 @@ mod tests {
         let path = dir.join("corrupt.jsonl");
         std::fs::write(&path, "{not json}\n").unwrap();
         assert!(read_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_tolerates_torn_final_line_only() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 10 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+
+        // Tear the last record mid-line, as a kill -9 during append would.
+        let bytes = std::fs::read(&path).unwrap();
+        let intact_len = bytes[..bytes.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        let torn = &bytes[..intact_len + (bytes.len() - intact_len) / 2];
+        std::fs::write(&path, torn).unwrap();
+
+        // Strict reader refuses; resume recovers the intact prefix.
+        assert!(read_jsonl(&path).is_err());
+        let state = resume_jsonl(&path).unwrap();
+        assert_eq!(state.valid_len, intact_len as u64);
+        assert_eq!(state.completed, (1..=9).collect::<BTreeSet<u64>>());
+
+        // Corruption before the final line stays loud.
+        let mut early = b"{oops}\n".to_vec();
+        early.extend_from_slice(&bytes[..intact_len]);
+        std::fs::write(&path, early).unwrap();
+        assert!(resume_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_of_clean_file_covers_everything() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 12 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+        let state = resume_jsonl(&path).unwrap();
+        assert_eq!(state.completed.len(), 12);
+        assert_eq!(
+            state.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "clean file is valid in full"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

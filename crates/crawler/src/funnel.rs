@@ -24,6 +24,20 @@ pub struct CrawlFunnel {
 }
 
 impl CrawlFunnel {
+    /// Tallies one visit's outcome (does not touch `attempted`, which
+    /// counts planned visits, not finished ones).
+    pub fn count(&mut self, outcome: crate::run::SiteOutcome) {
+        use crate::run::SiteOutcome as O;
+        match outcome {
+            O::Success => self.succeeded += 1,
+            O::Unreachable => self.unreachable += 1,
+            O::LoadTimeout => self.load_timeouts += 1,
+            O::Ephemeral => self.ephemeral += 1,
+            O::CrawlerError => self.crawler_errors += 1,
+            O::Excluded => self.excluded += 1,
+        }
+    }
+
     /// Success rate over attempts.
     pub fn success_rate(&self) -> f64 {
         if self.attempted == 0 {
@@ -93,7 +107,13 @@ mod tests {
             excluded: 1,
         };
         let r = f.report();
-        for needle in ["succeeded", "ephemeral", "timeouts", "unreachable", "excluded"] {
+        for needle in [
+            "succeeded",
+            "ephemeral",
+            "timeouts",
+            "unreachable",
+            "excluded",
+        ] {
             assert!(r.contains(needle), "{r}");
         }
     }

@@ -29,7 +29,10 @@
 mod db;
 mod funnel;
 mod run;
+mod telemetry;
 
-pub use db::{read_jsonl, write_jsonl};
+pub use db::{read_jsonl, resume_jsonl, write_jsonl, ResumeState};
 pub use funnel::CrawlFunnel;
+pub use netsim::FaultSpec;
 pub use run::{CrawlConfig, CrawlDataset, Crawler, SiteOutcome, SiteRecord};
+pub use telemetry::{CrawlTelemetry, TelemetrySnapshot, LATENCY_BOUNDS_MS};

@@ -1,11 +1,38 @@
-//! The crawl loop: work distribution, visiting, classification.
+//! The crawl loop: work distribution, visiting, classification,
+//! fault tolerance.
+//!
+//! Fault model (mirrors what the paper's §4 crawl funnel absorbed at
+//! scale):
+//!
+//! * **Panic isolation** — every visit attempt runs under
+//!   `catch_unwind`; a panicking visit (injected via
+//!   [`netsim::FaultSpec`] or a real bug) becomes a
+//!   [`SiteOutcome::CrawlerError`] record instead of taking the whole
+//!   worker pool down.
+//! * **Bounded retries** — transient failures (`Unreachable`,
+//!   `LoadTimeout`) are re-attempted up to [`CrawlConfig::max_retries`]
+//!   times with exponential backoff *on the simulated clock*, so
+//!   retries cost simulated time, never wall-clock sleeps, and results
+//!   stay deterministic.
+//! * **Checkpoint/resume** — the streaming/range crawls can skip ranks
+//!   already persisted by an earlier interrupted run (see
+//!   [`crate::resume_jsonl`]); re-crawling the remainder reproduces the
+//!   uninterrupted dataset byte for byte.
+//! * **Telemetry** — workers update a lock-free [`CrawlTelemetry`]
+//!   (outcome counters, latency histogram, retry totals, per-worker
+//!   utilization, cache hit rates) that can be polled mid-crawl.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use browser::{Browser, BrowserConfig, PageVisit, VisitError, VisitOutcome};
-use netsim::{SimClock, SimNetwork};
+use netsim::{CachingNetwork, FaultSpec, FaultyNetwork, SimClock, SimNetwork};
 use serde::{Deserialize, Serialize};
 use webgen::WebPopulation;
 
 use crate::funnel::CrawlFunnel;
+use crate::telemetry::CrawlTelemetry;
 
 /// Crawl configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +50,19 @@ pub struct CrawlConfig {
     /// the paper's (C11: headful stateless browser), so the cache lives
     /// only within one visit.
     pub cache_capacity: usize,
+    /// Re-attempts allowed after a transient failure (`Unreachable` /
+    /// `LoadTimeout`). The synthetic population's failures are permanent
+    /// per rank, so retries change outcomes only when the network layer
+    /// injects transient faults — but every retry is recorded on
+    /// [`SiteRecord::attempts`] either way.
+    pub max_retries: u32,
+    /// Backoff before retry `n` (1-based): `retry_backoff_ms << (n - 1)`
+    /// simulated milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Deterministic fault injection (disabled by default). Faults are
+    /// keyed by site rank, so they are independent of worker count and
+    /// visit order.
+    pub faults: FaultSpec,
 }
 
 impl Default for CrawlConfig {
@@ -32,6 +72,9 @@ impl Default for CrawlConfig {
             browser: BrowserConfig::default(),
             navigate_links: 0,
             cache_capacity: 64,
+            max_retries: 2,
+            retry_backoff_ms: 500,
+            faults: FaultSpec::disabled(),
         }
     }
 }
@@ -64,8 +107,13 @@ pub struct SiteRecord {
     pub outcome: SiteOutcome,
     /// Collected data for successful (and excluded-partial) visits.
     pub visit: Option<PageVisit>,
-    /// Simulated milliseconds spent on this origin.
+    /// Simulated milliseconds spent on this origin, including retries
+    /// and backoff.
     pub elapsed_ms: u64,
+    /// Visit attempts consumed (1 = no retries). 0 in records written
+    /// before attempt tracking existed.
+    #[serde(default)]
+    pub attempts: u32,
 }
 
 /// A completed crawl.
@@ -83,14 +131,7 @@ impl CrawlDataset {
             ..CrawlFunnel::default()
         };
         for record in &self.records {
-            match record.outcome {
-                SiteOutcome::Success => funnel.succeeded += 1,
-                SiteOutcome::Unreachable => funnel.unreachable += 1,
-                SiteOutcome::LoadTimeout => funnel.load_timeouts += 1,
-                SiteOutcome::Ephemeral => funnel.ephemeral += 1,
-                SiteOutcome::CrawlerError => funnel.crawler_errors += 1,
-                SiteOutcome::Excluded => funnel.excluded += 1,
-            }
+            funnel.count(record.outcome);
         }
         funnel
     }
@@ -109,6 +150,15 @@ impl CrawlDataset {
     }
 }
 
+/// What one isolated visit attempt produced.
+struct AttemptOutcome {
+    outcome: SiteOutcome,
+    visit: Option<PageVisit>,
+    cache_hits: u64,
+    cache_misses: u64,
+    panicked: bool,
+}
+
 /// The crawler.
 pub struct Crawler {
     config: CrawlConfig,
@@ -120,68 +170,129 @@ impl Crawler {
         Crawler { config }
     }
 
-    /// Visits one origin and classifies the result.
+    /// Visits one origin and classifies the result, retrying transient
+    /// failures per the config.
     pub fn visit_one(&self, population: &WebPopulation, rank: u64) -> SiteRecord {
+        self.visit_observed(population, rank, None)
+    }
+
+    /// [`visit_one`](Crawler::visit_one), reporting to `telemetry` as
+    /// worker `worker` when given.
+    fn visit_observed(
+        &self,
+        population: &WebPopulation,
+        rank: u64,
+        telemetry: Option<(&CrawlTelemetry, usize)>,
+    ) -> SiteRecord {
         let origin = population.origin(rank);
-        let network = netsim::CachingNetwork::new(
-            SimNetwork::new(population),
-            self.config.cache_capacity,
-        );
-        let mut browser = Browser::new(network, self.config.browser.clone());
         let mut clock = SimClock::new();
-        let started = clock.now_ms();
-        let result = browser.visit(&origin, &mut clock);
-        let mut record = match result {
-            Ok(mut visit) => {
-                // Interaction-mode navigation: follow same-origin links and
-                // merge their frames (Appendix A.3 manual protocol).
-                if self.config.navigate_links > 0 {
-                    let links: Vec<String> = visit
-                        .top_frame()
-                        .map(|top| {
-                            let base = top.url.clone().unwrap_or_default();
-                            html_links(&base, self.config.navigate_links)
-                        })
-                        .unwrap_or_default();
-                    for link in links {
-                        if let Ok(link_url) = weburl::Url::parse(&link) {
-                            if let Ok(extra) = browser.visit(&link_url, &mut clock) {
-                                merge_visits(&mut visit, extra);
+        let mut attempts: u32 = 0;
+        let outcome = loop {
+            let attempt = self.attempt_visit(population, rank, attempts, &mut clock);
+            attempts += 1;
+            if let Some((telemetry, _)) = telemetry {
+                telemetry.record_cache(attempt.cache_hits, attempt.cache_misses);
+                if attempt.panicked {
+                    telemetry.record_panic_caught();
+                }
+            }
+            let transient = matches!(
+                attempt.outcome,
+                SiteOutcome::Unreachable | SiteOutcome::LoadTimeout
+            );
+            if transient && attempts <= self.config.max_retries {
+                // Exponential backoff, paid in simulated time.
+                clock.advance(self.config.retry_backoff_ms << (attempts - 1));
+                continue;
+            }
+            break attempt;
+        };
+        let record = SiteRecord {
+            rank,
+            origin: origin.to_string(),
+            outcome: outcome.outcome,
+            visit: outcome.visit,
+            elapsed_ms: clock.now_ms(),
+            attempts,
+        };
+        if let Some((telemetry, worker)) = telemetry {
+            telemetry.record_visit(worker, record.outcome, record.elapsed_ms, attempts);
+        }
+        record
+    }
+
+    /// Runs one visit attempt in panic isolation: a panicking visit
+    /// (injected fault or real bug) classifies as `CrawlerError` instead
+    /// of unwinding into the worker pool.
+    fn attempt_visit(
+        &self,
+        population: &WebPopulation,
+        rank: u64,
+        attempt: u32,
+        clock: &mut SimClock,
+    ) -> AttemptOutcome {
+        let origin = population.origin(rank);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let network = CachingNetwork::new(
+                FaultyNetwork::new(
+                    SimNetwork::new(population),
+                    &self.config.faults,
+                    rank,
+                    attempt,
+                ),
+                self.config.cache_capacity,
+            );
+            let mut browser = Browser::new(network, self.config.browser.clone());
+            let (outcome, visit) = match browser.visit(&origin, clock) {
+                Ok(mut visit) => {
+                    // Interaction-mode navigation: follow same-origin links
+                    // and merge their frames (Appendix A.3 manual protocol).
+                    if self.config.navigate_links > 0 {
+                        let base = visit.top_frame().and_then(|top| top.url.clone());
+                        debug_assert!(
+                            !matches!(base.as_deref(), Some("")),
+                            "top frame carries an empty URL"
+                        );
+                        // A frame-less or URL-less page has nothing to
+                        // navigate relative to; skip rather than fabricate
+                        // links from an empty base.
+                        if let Some(base) = base.filter(|b| !b.is_empty()) {
+                            for link in html_links(&base, self.config.navigate_links) {
+                                if let Ok(link_url) = weburl::Url::parse(&link) {
+                                    if let Ok(extra) = browser.visit(&link_url, clock) {
+                                        merge_visits(&mut visit, extra);
+                                    }
+                                }
                             }
                         }
                     }
+                    let outcome = match visit.outcome {
+                        VisitOutcome::Success => SiteOutcome::Success,
+                        VisitOutcome::EphemeralContext => SiteOutcome::Ephemeral,
+                        VisitOutcome::CrawlerCrash => SiteOutcome::CrawlerError,
+                        VisitOutcome::PageTimeout => SiteOutcome::Excluded,
+                    };
+                    (outcome, Some(visit))
                 }
-                let outcome = match visit.outcome {
-                    VisitOutcome::Success => SiteOutcome::Success,
-                    VisitOutcome::EphemeralContext => SiteOutcome::Ephemeral,
-                    VisitOutcome::CrawlerCrash => SiteOutcome::CrawlerError,
-                    VisitOutcome::PageTimeout => SiteOutcome::Excluded,
-                };
-                SiteRecord {
-                    rank,
-                    origin: origin.to_string(),
-                    outcome,
-                    visit: Some(visit),
-                    elapsed_ms: 0,
-                }
+                Err(VisitError::Unreachable) => (SiteOutcome::Unreachable, None),
+                Err(VisitError::LoadTimeout) => (SiteOutcome::LoadTimeout, None),
+            };
+            let network = browser.into_network();
+            AttemptOutcome {
+                outcome,
+                visit,
+                cache_hits: network.hits(),
+                cache_misses: network.misses(),
+                panicked: false,
             }
-            Err(VisitError::Unreachable) => SiteRecord {
-                rank,
-                origin: origin.to_string(),
-                outcome: SiteOutcome::Unreachable,
-                visit: None,
-                elapsed_ms: 0,
-            },
-            Err(VisitError::LoadTimeout) => SiteRecord {
-                rank,
-                origin: origin.to_string(),
-                outcome: SiteOutcome::LoadTimeout,
-                visit: None,
-                elapsed_ms: 0,
-            },
-        };
-        record.elapsed_ms = clock.now_ms() - started;
-        record
+        }));
+        result.unwrap_or(AttemptOutcome {
+            outcome: SiteOutcome::CrawlerError,
+            visit: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            panicked: true,
+        })
     }
 
     /// Crawls the whole population with the configured worker pool.
@@ -193,77 +304,121 @@ impl Crawler {
     /// in rank order as soon as it (and all earlier ranks) finished —
     /// the paper's C14 requirement: data is persisted per site, not at
     /// the end of the run.
-    pub fn crawl_streaming<F>(&self, population: &WebPopulation, mut sink: F) -> CrawlFunnel
+    pub fn crawl_streaming<F>(&self, population: &WebPopulation, sink: F) -> CrawlFunnel
+    where
+        F: FnMut(SiteRecord) + Send,
+    {
+        let telemetry = CrawlTelemetry::new(self.config.workers);
+        self.crawl_streaming_observed(population, &BTreeSet::new(), &telemetry, sink)
+    }
+
+    /// [`crawl_streaming`](Crawler::crawl_streaming) with resume and
+    /// observability: ranks in `completed` (persisted by an earlier,
+    /// interrupted run) are skipped — never re-visited, never passed to
+    /// `sink` — and workers report to `telemetry`. The returned funnel
+    /// covers only the ranks visited by *this* run.
+    pub fn crawl_streaming_observed<F>(
+        &self,
+        population: &WebPopulation,
+        completed: &BTreeSet<u64>,
+        telemetry: &CrawlTelemetry,
+        mut sink: F,
+    ) -> CrawlFunnel
     where
         F: FnMut(SiteRecord) + Send,
     {
         let to = population.config().size;
         let workers = self.config.workers.max(1);
-        let pending = parking_lot::Mutex::new(std::collections::BTreeMap::<u64, SiteRecord>::new());
-        let next_rank = std::sync::atomic::AtomicU64::new(1);
+        let pending = Mutex::new(std::collections::BTreeMap::<u64, SiteRecord>::new());
+        let next_rank = AtomicU64::new(1);
         let mut funnel = CrawlFunnel {
-            attempted: to,
+            attempted: (1..=to).filter(|r| !completed.contains(r)).count() as u64,
             ..CrawlFunnel::default()
         };
-        let sink_cell = parking_lot::Mutex::new((&mut sink, 1u64, &mut funnel));
+        let sink_cell = Mutex::new((&mut sink, 1u64, &mut funnel));
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let rank = next_rank.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::thread::scope(|scope| {
+            let pending = &pending;
+            let next_rank = &next_rank;
+            let sink_cell = &sink_cell;
+            for worker in 0..workers {
+                scope.spawn(move || loop {
+                    let rank = next_rank.fetch_add(1, Ordering::Relaxed);
                     if rank > to {
                         break;
                     }
-                    let record = self.visit_one(population, rank);
-                    let mut buffer = pending.lock();
+                    if completed.contains(&rank) {
+                        continue;
+                    }
+                    let record = self.visit_observed(population, rank, Some((telemetry, worker)));
+                    let mut buffer = pending.lock().expect("pending lock");
                     buffer.insert(rank, record);
-                    // Drain the in-order prefix.
-                    let mut out = sink_cell.lock();
+                    // Drain the in-order prefix (checkpointed ranks count
+                    // as already delivered).
+                    let mut out = sink_cell.lock().expect("sink lock");
                     let (sink, cursor, funnel) = &mut *out;
-                    while let Some(record) = buffer.remove(cursor) {
-                        match record.outcome {
-                            SiteOutcome::Success => funnel.succeeded += 1,
-                            SiteOutcome::Unreachable => funnel.unreachable += 1,
-                            SiteOutcome::LoadTimeout => funnel.load_timeouts += 1,
-                            SiteOutcome::Ephemeral => funnel.ephemeral += 1,
-                            SiteOutcome::CrawlerError => funnel.crawler_errors += 1,
-                            SiteOutcome::Excluded => funnel.excluded += 1,
+                    while *cursor <= to {
+                        if completed.contains(cursor) {
+                            *cursor += 1;
+                            continue;
                         }
+                        let Some(record) = buffer.remove(cursor) else {
+                            break;
+                        };
+                        funnel.count(record.outcome);
                         sink(record);
                         *cursor += 1;
                     }
                 });
             }
-        })
-        .expect("crawl workers never panic");
+        });
         funnel
     }
 
     /// Crawls ranks `from..=to` (1-based, inclusive).
     pub fn crawl_range(&self, population: &WebPopulation, from: u64, to: u64) -> CrawlDataset {
-        let workers = self.config.workers.max(1);
-        let mut records: Vec<Option<SiteRecord>> = Vec::new();
-        records.resize_with((to - from + 1) as usize, || None);
-        let results = parking_lot::Mutex::new(records);
-        let next = std::sync::atomic::AtomicU64::new(from);
+        let telemetry = CrawlTelemetry::new(self.config.workers);
+        self.crawl_range_observed(population, from, to, &BTreeSet::new(), &telemetry)
+    }
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let rank = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if rank > to {
+    /// [`crawl_range`](Crawler::crawl_range) with resume and
+    /// observability: ranks in `skip` are omitted from the visit plan
+    /// and from the returned dataset (which stays in rank order).
+    pub fn crawl_range_observed(
+        &self,
+        population: &WebPopulation,
+        from: u64,
+        to: u64,
+        skip: &BTreeSet<u64>,
+        telemetry: &CrawlTelemetry,
+    ) -> CrawlDataset {
+        let workers = self.config.workers.max(1);
+        let ranks: Vec<u64> = (from..=to).filter(|r| !skip.contains(r)).collect();
+        let mut records: Vec<Option<SiteRecord>> = Vec::new();
+        records.resize_with(ranks.len(), || None);
+        let results = Mutex::new(records);
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let ranks = &ranks;
+            let results = &results;
+            let next = &next;
+            for worker in 0..workers {
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&rank) = ranks.get(idx) else {
                         break;
-                    }
-                    let record = self.visit_one(population, rank);
-                    results.lock()[(rank - from) as usize] = Some(record);
+                    };
+                    let record = self.visit_observed(population, rank, Some((telemetry, worker)));
+                    results.lock().expect("results lock")[idx] = Some(record);
                 });
             }
-        })
-        .expect("crawl workers never panic");
+        });
 
         CrawlDataset {
             records: results
                 .into_inner()
+                .expect("results lock")
                 .into_iter()
                 .map(|r| r.expect("every rank visited"))
                 .collect(),
@@ -284,8 +439,19 @@ fn html_links(base: &str, max: usize) -> Vec<String> {
 
 /// Merges an extra page visit's frames into the main visit (interaction
 /// mode aggregates per-site observations across paths).
+///
+/// The merged document must not introduce a second top-level frame —
+/// and a non-top frame must keep a parent ("no parent ⇒ top-level" is a
+/// dataset invariant) — so the extra page's top frame is reparented
+/// under the main visit's top frame, and depths are recomputed along
+/// the (already-merged) parent chain.
 fn merge_visits(main: &mut PageVisit, extra: PageVisit) {
     let offset = main.frames.len();
+    let main_top = main
+        .frames
+        .iter()
+        .find(|f| f.is_top_level)
+        .map(|f| f.frame_id);
     for mut prompt in extra.prompts {
         prompt.frame_id += offset;
         main.prompts.push(prompt);
@@ -293,11 +459,18 @@ fn merge_visits(main: &mut PageVisit, extra: PageVisit) {
     for mut frame in extra.frames {
         frame.frame_id += offset;
         frame.parent = frame.parent.map(|p| p + offset);
-        // Only the original landing page is the site's top-level document.
         if frame.is_top_level {
+            // Only the original landing page is the site's top-level
+            // document; the navigated page hangs off it like a child.
             frame.is_top_level = false;
-            frame.parent = None;
+            frame.parent = main_top;
         }
+        // Parents precede children (parent id < frame id), so the
+        // parent's recomputed depth is already in place.
+        frame.depth = match frame.parent {
+            Some(parent) => main.frames[parent].depth + 1,
+            None => 0,
+        };
         main.frames.push(frame);
     }
 }
@@ -318,6 +491,7 @@ mod tests {
         assert_eq!(dataset.records.len(), 120);
         for (i, r) in dataset.records.iter().enumerate() {
             assert_eq!(r.rank, i as u64 + 1);
+            assert!(r.attempts >= 1, "rank {} records its attempts", r.rank);
         }
     }
 
@@ -399,6 +573,52 @@ mod tests {
             "avg visit time {avg_ms} ms"
         );
     }
+
+    #[test]
+    fn retries_are_bounded_and_recorded() {
+        let pop = small_population();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let dataset = crawler.crawl(&pop);
+        for record in &dataset.records {
+            match record.outcome {
+                // Permanent transient-class failures burn the full budget.
+                SiteOutcome::Unreachable | SiteOutcome::LoadTimeout => {
+                    assert_eq!(record.attempts, 1 + CrawlConfig::default().max_retries)
+                }
+                _ => assert_eq!(record.attempts, 1, "rank {}", record.rank),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_visits_keep_frame_invariants() {
+        let pop = small_population();
+        let crawler = Crawler::new(CrawlConfig {
+            navigate_links: 2,
+            ..CrawlConfig::default()
+        });
+        let mut checked = 0;
+        for rank in 1..=40u64 {
+            let record = crawler.visit_one(&pop, rank);
+            let Some(visit) = record.visit else { continue };
+            let tops = visit.frames.iter().filter(|f| f.is_top_level).count();
+            assert_eq!(tops, 1, "rank {rank}: exactly one top-level frame");
+            for frame in &visit.frames {
+                match frame.parent {
+                    Some(parent) => {
+                        assert!(parent < frame.frame_id, "rank {rank}");
+                        assert_eq!(frame.depth, visit.frames[parent].depth + 1, "rank {rank}");
+                    }
+                    None => {
+                        assert!(frame.is_top_level, "rank {rank}: no parent ⇒ top-level");
+                        assert_eq!(frame.depth, 0, "rank {rank}");
+                    }
+                }
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "at least one visit with data");
+    }
 }
 
 #[cfg(test)]
@@ -424,5 +644,23 @@ mod streaming_tests {
         for (a, b) in streamed.iter().zip(&batch.records) {
             assert_eq!(a.outcome, b.outcome);
         }
+    }
+
+    #[test]
+    fn streaming_skips_completed_ranks() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 40 });
+        let crawler = Crawler::new(CrawlConfig {
+            workers: 3,
+            ..CrawlConfig::default()
+        });
+        let completed: BTreeSet<u64> = (1..=25).collect();
+        let telemetry = CrawlTelemetry::new(3);
+        let mut streamed: Vec<u64> = Vec::new();
+        let funnel = crawler.crawl_streaming_observed(&pop, &completed, &telemetry, |record| {
+            streamed.push(record.rank)
+        });
+        assert_eq!(streamed, (26..=40).collect::<Vec<u64>>());
+        assert_eq!(funnel.attempted, 15);
+        assert_eq!(telemetry.completed(), 15);
     }
 }

@@ -151,12 +151,8 @@ pub fn scan(input: &str) -> Document {
                 }
                 match name.as_str() {
                     "iframe" => {
-                        let get = |n: &str| {
-                            attrs
-                                .iter()
-                                .find(|a| a.name == n)
-                                .map(|a| a.value.clone())
-                        };
+                        let get =
+                            |n: &str| attrs.iter().find(|a| a.name == n).map(|a| a.value.clone());
                         doc.iframes.push(IframeElement {
                             id: get("id"),
                             name: get("name"),
@@ -277,7 +273,8 @@ mod tests {
 
     #[test]
     fn extracts_event_handlers() {
-        let doc = scan(r#"<button onclick="navigator.geolocation.getCurrentPosition(cb)">x</button>"#);
+        let doc =
+            scan(r#"<button onclick="navigator.geolocation.getCurrentPosition(cb)">x</button>"#);
         assert_eq!(doc.handlers.len(), 1);
         assert_eq!(doc.handlers[0].event, "click");
         assert!(doc.handlers[0].code.contains("getCurrentPosition"));

@@ -96,7 +96,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         // Doctype / processing instruction: skip to '>'.
         if input[pos..].starts_with("<!") || input[pos..].starts_with("<?") {
             flush_text!(pos);
-            let end = input[pos..].find('>').map(|i| pos + i).unwrap_or(bytes.len());
+            let end = input[pos..]
+                .find('>')
+                .map(|i| pos + i)
+                .unwrap_or(bytes.len());
             pos = (end + 1).min(bytes.len());
             text_start = pos;
             continue;
@@ -104,10 +107,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         // End tag?
         if input[pos..].starts_with("</") {
             flush_text!(pos);
-            let end = input[pos..].find('>').map(|i| pos + i).unwrap_or(bytes.len());
-            let name = input[pos + 2..end]
-                .trim()
-                .to_ascii_lowercase();
+            let end = input[pos..]
+                .find('>')
+                .map(|i| pos + i)
+                .unwrap_or(bytes.len());
+            let name = input[pos + 2..end].trim().to_ascii_lowercase();
             if !name.is_empty() {
                 tokens.push(Token::EndTag { name });
             }
@@ -145,7 +149,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 tokens.push(Token::Text(input[pos..end].to_string()));
             }
             if end < bytes.len() {
-                let tag_end = input[end..].find('>').map(|i| end + i).unwrap_or(bytes.len());
+                let tag_end = input[end..]
+                    .find('>')
+                    .map(|i| end + i)
+                    .unwrap_or(bytes.len());
                 tokens.push(Token::EndTag { name });
                 pos = (tag_end + 1).min(bytes.len());
             } else {
@@ -278,7 +285,12 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert_eq!(t[0].attr("class"), Some("a"));
         assert_eq!(t[1], Token::Text("x".to_string()));
-        assert_eq!(t[2], Token::EndTag { name: "div".to_string() });
+        assert_eq!(
+            t[2],
+            Token::EndTag {
+                name: "div".to_string()
+            }
+        );
     }
 
     #[test]
@@ -317,8 +329,20 @@ mod tests {
     #[test]
     fn self_closing_tag() {
         let t = tokenize("<br/><img src=x />");
-        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
-        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &t[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &t[1],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -131,9 +131,9 @@ pub fn default_return(path: &str, _args: &[Value]) -> Value {
         "navigator.mediaDevices.getUserMedia" | "navigator.mediaDevices.getDisplayMedia" => {
             Value::promise(Value::object(vec![("active", Value::Bool(true))]))
         }
-        "navigator.mediaDevices.enumerateDevices" => {
-            Value::promise(Value::Array(std::rc::Rc::new(std::cell::RefCell::new(vec![]))))
-        }
+        "navigator.mediaDevices.enumerateDevices" => Value::promise(Value::Array(
+            std::rc::Rc::new(std::cell::RefCell::new(vec![])),
+        )),
         "navigator.getBattery" => Value::promise(Value::object(vec![
             ("level", Value::Num(0.47)),
             ("charging", Value::Bool(true)),
@@ -149,21 +149,20 @@ pub fn default_return(path: &str, _args: &[Value]) -> Value {
             Value::promise(Value::Undefined)
         }
         "document.hasStorageAccess" => Value::promise(Value::Bool(false)),
-        "document.browsingTopics" => {
-            Value::promise(Value::Array(std::rc::Rc::new(std::cell::RefCell::new(vec![]))))
-        }
+        "document.browsingTopics" => Value::promise(Value::Array(std::rc::Rc::new(
+            std::cell::RefCell::new(vec![]),
+        ))),
         "Notification.requestPermission" => Value::promise(Value::Str("default".into())),
-        "navigator.geolocation.getCurrentPosition"
-        | "navigator.geolocation.watchPosition" => Value::Undefined,
+        "navigator.geolocation.getCurrentPosition" | "navigator.geolocation.watchPosition" => {
+            Value::Undefined
+        }
         "navigator.clipboard.readText" => Value::promise(Value::Str(String::new())),
         "navigator.clipboard.writeText" | "navigator.clipboard.write" => {
             Value::promise(Value::Undefined)
         }
         "navigator.share" => Value::promise(Value::Undefined),
         "navigator.canShare" => Value::Bool(true),
-        "navigator.getGamepads" => {
-            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(vec![])))
-        }
+        "navigator.getGamepads" => Value::Array(std::rc::Rc::new(std::cell::RefCell::new(vec![]))),
         "navigator.requestMIDIAccess"
         | "navigator.requestMediaKeySystemAccess"
         | "navigator.usb.requestDevice"
@@ -213,10 +212,7 @@ mod tests {
             normalize_path("window.navigator.getBattery"),
             "navigator.getBattery"
         );
-        assert_eq!(
-            normalize_path("window.window.navigator.x"),
-            "navigator.x"
-        );
+        assert_eq!(normalize_path("window.window.navigator.x"), "navigator.x");
         assert_eq!(normalize_path("navigator.share"), "navigator.share");
     }
 

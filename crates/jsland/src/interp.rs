@@ -695,8 +695,11 @@ impl Interpreter {
                 if let Some(cb) = args.first() {
                     let snapshot = items.borrow().clone();
                     for (i, item) in snapshot.into_iter().enumerate() {
-                        let r =
-                            self.call_function(cb, vec![item.clone(), Value::Num(i as f64)], hooks)?;
+                        let r = self.call_function(
+                            cb,
+                            vec![item.clone(), Value::Num(i as f64)],
+                            hooks,
+                        )?;
                         if key == "map" {
                             out.push(r);
                         } else if r.truthy() {
@@ -787,7 +790,11 @@ impl Interpreter {
         match op {
             "+" => match (l, r) {
                 (Value::Num(a), Value::Num(b)) => Value::Num(a + b),
-                _ => Value::Str(format!("{}{}", l.to_display_string(), r.to_display_string())),
+                _ => Value::Str(format!(
+                    "{}{}",
+                    l.to_display_string(),
+                    r.to_display_string()
+                )),
             },
             "-" | "*" | "/" => {
                 let (a, b) = (to_number(l), to_number(r));
@@ -991,11 +998,9 @@ mod tests {
 
     #[test]
     fn closure_captures_alias() {
-        let hooks = run(
-            "var api = navigator.permissions;\
+        let hooks = run("var api = navigator.permissions;\
              function check(n) { return api.query({name: n}); }\
-             check('geolocation');",
-        );
+             check('geolocation');");
         assert_eq!(paths(&hooks), vec!["navigator.permissions.query"]);
         assert_eq!(
             hooks.calls[0].name_argument().as_deref(),
@@ -1005,25 +1010,18 @@ mod tests {
 
     #[test]
     fn try_catch_swallows_type_errors() {
-        let hooks = run(
-            "try { var x = 1; x(); } catch (e) { navigator.getBattery(); }",
-        );
+        let hooks = run("try { var x = 1; x(); } catch (e) { navigator.getBattery(); }");
         assert_eq!(paths(&hooks), vec!["navigator.getBattery"]);
     }
 
     #[test]
     fn call_and_apply_on_host_functions() {
-        let hooks = run(
-            "var q = navigator.permissions.query;\
+        let hooks = run("var q = navigator.permissions.query;\
              q.call(navigator.permissions, {name: 'camera'});\
-             q.apply(navigator.permissions, [{name: 'midi'}]);",
-        );
+             q.apply(navigator.permissions, [{name: 'midi'}]);");
         assert_eq!(
             paths(&hooks),
-            vec![
-                "navigator.permissions.query",
-                "navigator.permissions.query"
-            ]
+            vec!["navigator.permissions.query", "navigator.permissions.query"]
         );
         assert_eq!(hooks.calls[1].name_argument().as_deref(), Some("midi"));
     }
@@ -1083,19 +1081,14 @@ mod tests {
 
     #[test]
     fn array_and_string_builtins() {
-        let hooks = run(
-            "var feats = document.featurePolicy.allowedFeatures();\
+        let hooks = run("var feats = document.featurePolicy.allowedFeatures();\
              if (feats.includes('camera')) { navigator.getBattery(); }\
              var s = 'camera,mic';\
-             if (s.includes('camera')) { navigator.share({title: 'x'}); }",
-        );
+             if (s.includes('camera')) { navigator.share({title: 'x'}); }");
         // allowedFeatures default is empty → no battery; string path taken.
         assert_eq!(
             paths(&hooks),
-            vec![
-                "document.featurePolicy.allowedFeatures",
-                "navigator.share"
-            ]
+            vec!["document.featurePolicy.allowedFeatures", "navigator.share"]
         );
     }
 
@@ -1120,22 +1113,18 @@ mod loop_tests {
 
     #[test]
     fn while_loop_counts() {
-        let hooks = run(
-            "var i = 0;\
-             while (i < 3) { navigator.canShare(); i = i + 1; }",
-        );
+        let hooks = run("var i = 0;\
+             while (i < 3) { navigator.canShare(); i = i + 1; }");
         assert_eq!(hooks.calls.len(), 3);
     }
 
     #[test]
     fn for_loop_with_break_and_continue() {
-        let hooks = run(
-            "for (var i = 0; i < 10; i = i + 1) {\
+        let hooks = run("for (var i = 0; i < 10; i = i + 1) {\
                 if (i === 1) { continue; }\
                 if (i === 4) { break; }\
                 navigator.canShare();\
-             }",
-        );
+             }");
         // i = 0, 2, 3 → three calls.
         assert_eq!(hooks.calls.len(), 3);
     }
@@ -1145,30 +1134,30 @@ mod loop_tests {
         let mut hooks = RecordingHooks::default();
         let mut interp = Interpreter::with_budget(5_000);
         let err = interp
-            .run("while (true) { var x = 1; }", ScriptSource::inline(), &mut hooks)
+            .run(
+                "while (true) { var x = 1; }",
+                ScriptSource::inline(),
+                &mut hooks,
+            )
             .unwrap_err();
         assert_eq!(err, RunError::BudgetExceeded);
     }
 
     #[test]
     fn loop_over_allowed_features() {
-        let hooks = run(
-            "var feats = document.featurePolicy.allowedFeatures();\
+        let hooks = run("var feats = document.featurePolicy.allowedFeatures();\
              for (var i = 0; i < feats.length; i = i + 1) {\
                 var f = feats[i];\
              }\
-             navigator.canShare();",
-        );
+             navigator.canShare();");
         assert!(hooks.calls.iter().any(|c| c.path == "navigator.canShare"));
     }
 
     #[test]
     fn break_inside_function_does_not_escape() {
-        let hooks = run(
-            "function f() { break; }\
+        let hooks = run("function f() { break; }\
              f();\
-             navigator.canShare();",
-        );
+             navigator.canShare();");
         assert_eq!(hooks.calls.len(), 1);
     }
 }
@@ -1187,42 +1176,31 @@ mod compound_tests {
 
     #[test]
     fn compound_assignment_operators() {
-        let hooks = run(
-            "var x = 10; x += 5; x -= 3; x *= 2; x /= 4;\
-             if (x === 6) { navigator.canShare(); }",
-        );
+        let hooks = run("var x = 10; x += 5; x -= 3; x *= 2; x /= 4;\
+             if (x === 6) { navigator.canShare(); }");
         assert_eq!(hooks.calls.len(), 1);
     }
 
     #[test]
     fn postfix_and_prefix_increment() {
-        let hooks = run(
-            "var n = 0;\
+        let hooks = run("var n = 0;\
              for (var i = 0; i < 4; i++) { n += 1; }\
              ++n; n--;\
-             if (n === 4) { navigator.canShare(); }",
-        );
+             if (n === 4) { navigator.canShare(); }");
         assert_eq!(hooks.calls.len(), 1);
     }
 
     #[test]
     fn string_plus_equals_concatenates() {
-        let hooks = run(
-            "var s = 'cam'; s += 'era';\
-             navigator.permissions.query({name: s});",
-        );
-        assert_eq!(
-            hooks.calls[0].name_argument().as_deref(),
-            Some("camera")
-        );
+        let hooks = run("var s = 'cam'; s += 'era';\
+             navigator.permissions.query({name: s});");
+        assert_eq!(hooks.calls[0].name_argument().as_deref(), Some("camera"));
     }
 
     #[test]
     fn member_compound_assignment() {
-        let hooks = run(
-            "var o = {count: 1}; o.count += 2;\
-             if (o.count === 3) { navigator.canShare(); }",
-        );
+        let hooks = run("var o = {count: 1}; o.count += 2;\
+             if (o.count === 3) { navigator.canShare(); }");
         assert_eq!(hooks.calls.len(), 1);
     }
 }

@@ -34,8 +34,7 @@ impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
     "===", "!==", "=>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
-    "(", ")", "{", "}", "[", "]", ";", ",", ".", "=", "+", "-", "*", "/", "<", ">", "!", ":",
-    "?",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "=", "+", "-", "*", "/", "<", ">", "!", ":", "?",
 ];
 
 /// Lexes a script into tokens. Comments and whitespace are skipped.
@@ -193,10 +192,7 @@ mod tests {
     #[test]
     fn lexes_numbers() {
         let t = lex("1 2.5 100").unwrap();
-        assert_eq!(
-            t,
-            vec![Tok::Num(1.0), Tok::Num(2.5), Tok::Num(100.0)]
-        );
+        assert_eq!(t, vec![Tok::Num(1.0), Tok::Num(2.5), Tok::Num(100.0)]);
     }
 
     #[test]

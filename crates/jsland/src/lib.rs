@@ -63,5 +63,7 @@ pub use value::Value;
 /// crawler to tell "script failed to parse" apart from "script ran".
 pub fn check_syntax(source: &str) -> Result<(), String> {
     let tokens = lexer::lex(source).map_err(|e| e.to_string())?;
-    parser::parse(&tokens).map(|_| ()).map_err(|e| e.to_string())
+    parser::parse(&tokens)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
 }

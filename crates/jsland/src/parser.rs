@@ -166,7 +166,8 @@ impl<'a> Parser<'a> {
                 }
                 "return" => {
                     self.bump();
-                    let value = if matches!(self.peek(), Some(Tok::Punct(";" | "}"))) | self.peek().is_none()
+                    let value = if matches!(self.peek(), Some(Tok::Punct(";" | "}")))
+                        | self.peek().is_none()
                     {
                         None
                     } else {

@@ -103,10 +103,7 @@ impl Value {
     /// Builds an object value from pairs.
     pub fn object(pairs: Vec<(&str, Value)>) -> Value {
         Value::Object(Rc::new(RefCell::new(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         )))
     }
 

@@ -7,7 +7,7 @@
 //! win for the crawl simulation (the `crawl_cache` ablation bench
 //! quantifies it).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use weburl::Url;
 
@@ -21,6 +21,11 @@ pub struct CachingNetwork<N> {
     inner: N,
     capacity: usize,
     entries: HashMap<String, CacheEntry>,
+    /// Recency index: `last_used` tick → cache key. Ticks are unique per
+    /// fetch, so this is a bijection with `entries`; the first entry is
+    /// always the least-recently-used key, making eviction O(log n)
+    /// instead of a full O(capacity) scan.
+    by_recency: BTreeMap<u64, String>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -39,6 +44,7 @@ impl<N: Network> CachingNetwork<N> {
             inner,
             capacity,
             entries: HashMap::new(),
+            by_recency: BTreeMap::new(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -64,14 +70,10 @@ impl<N: Network> CachingNetwork<N> {
         if self.capacity == 0 || self.entries.len() < self.capacity {
             return;
         }
-        if let Some(oldest) = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone())
-        {
+        if let Some((_, oldest)) = self.by_recency.pop_first() {
             self.entries.remove(&oldest);
         }
+        debug_assert_eq!(self.entries.len(), self.by_recency.len());
     }
 }
 
@@ -83,6 +85,8 @@ impl<N: Network> Network for CachingNetwork<N> {
         self.tick += 1;
         let key = url.to_string();
         if let Some(entry) = self.entries.get_mut(&key) {
+            self.by_recency.remove(&entry.last_used);
+            self.by_recency.insert(self.tick, key);
             entry.last_used = self.tick;
             self.hits += 1;
             // Cache hits are near-instant.
@@ -92,6 +96,7 @@ impl<N: Network> Network for CachingNetwork<N> {
         self.misses += 1;
         let response = self.inner.fetch(url, clock)?;
         self.evict_if_full();
+        self.by_recency.insert(self.tick, key.clone());
         self.entries.insert(
             key,
             CacheEntry {

@@ -1,0 +1,245 @@
+//! Deterministic fault injection.
+//!
+//! [`FaultyNetwork`] wraps any [`Network`] and injects two failure
+//! shapes the crawler's fault-tolerance layer must absorb:
+//!
+//! * **panics** — the fetch panics, simulating a crawler-process crash
+//!   (the paper's pipeline lost whole worker batches this way until it
+//!   isolated visits);
+//! * **transient connection failures** — the first N attempts for a key
+//!   fail with [`FetchError::ConnectionFailure`], later attempts
+//!   succeed, modelling flaky peering/DNS that a bounded retry fixes.
+//!
+//! Everything is derived from `(spec.seed, key, attempt)` by hashing, so
+//! a given crawl configuration always injects exactly the same faults —
+//! determinism tests and the fault-injection ablation rely on that.
+
+use weburl::Url;
+
+use crate::clock::SimClock;
+use crate::error::FetchError;
+use crate::network::Network;
+use crate::response::Response;
+
+/// What fraction of keys (in ‰) suffer which fault, driven by a seed.
+///
+/// The `key` is whatever identity the caller wants faults keyed by —
+/// the crawler uses the site rank, so the same rank always faults the
+/// same way regardless of worker count or visit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed mixed into every fault decision.
+    pub seed: u64,
+    /// Per-mille of keys whose first attempt panics mid-fetch.
+    pub panic_per_mille: u32,
+    /// Per-mille of keys whose early attempts fail to connect.
+    pub transient_per_mille: u32,
+    /// How many attempts fail before a transient-faulted key recovers.
+    pub transient_failures: u32,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing.
+    pub fn disabled() -> FaultSpec {
+        FaultSpec {
+            seed: 0,
+            panic_per_mille: 0,
+            transient_per_mille: 0,
+            transient_failures: 0,
+        }
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_disabled(&self) -> bool {
+        self.panic_per_mille == 0 && self.transient_per_mille == 0
+    }
+
+    fn roll(&self, key: u64, salt: u64) -> u64 {
+        // splitmix64 over seed/key/salt: cheap, well-mixed, stable.
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(key)
+            .wrapping_mul(0xBF58476D1CE4E5B9)
+            .wrapping_add(salt);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        x % 1000
+    }
+
+    /// Does attempt `attempt` for `key` panic mid-fetch?
+    pub fn injects_panic(&self, key: u64, attempt: u32) -> bool {
+        attempt == 0
+            && self.panic_per_mille > 0
+            && self.roll(key, 0xFA11_0001) < u64::from(self.panic_per_mille)
+    }
+
+    /// Does attempt `attempt` for `key` fail to connect?
+    pub fn injects_transient(&self, key: u64, attempt: u32) -> bool {
+        attempt < self.transient_failures
+            && self.transient_per_mille > 0
+            && self.roll(key, 0xFA11_0002) < u64::from(self.transient_per_mille)
+    }
+}
+
+enum FaultMode {
+    None,
+    PanicOnFetch,
+    RefuseConnections,
+}
+
+/// A [`Network`] wrapper that injects the fault [`FaultSpec`] assigns to
+/// one `(key, attempt)` pair. Construct one per visit attempt.
+pub struct FaultyNetwork<N> {
+    inner: N,
+    mode: FaultMode,
+}
+
+impl<N: Network> FaultyNetwork<N> {
+    /// Wraps `inner` with the fault (if any) for this key and attempt.
+    pub fn new(inner: N, spec: &FaultSpec, key: u64, attempt: u32) -> FaultyNetwork<N> {
+        let mode = if spec.injects_panic(key, attempt) {
+            FaultMode::PanicOnFetch
+        } else if spec.injects_transient(key, attempt) {
+            FaultMode::RefuseConnections
+        } else {
+            FaultMode::None
+        };
+        FaultyNetwork { inner, mode }
+    }
+
+    /// The wrapped network.
+    pub fn into_inner(self) -> N {
+        self.inner
+    }
+}
+
+impl<N: Network> Network for FaultyNetwork<N> {
+    fn fetch(&mut self, url: &Url, clock: &mut SimClock) -> Result<Response, FetchError> {
+        match self.mode {
+            FaultMode::None => self.inner.fetch(url, clock),
+            FaultMode::PanicOnFetch => {
+                panic!("injected fault: simulated crawler crash fetching {url}")
+            }
+            FaultMode::RefuseConnections => {
+                // A refused connection still costs a connect round-trip.
+                clock.advance(35);
+                Err(FetchError::ConnectionFailure)
+            }
+        }
+    }
+
+    fn post_fetch_failure(&self, url: &Url) -> Option<FetchError> {
+        match self.mode {
+            FaultMode::None => self.inner.post_fetch_failure(url),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ContentProvider, ProviderResult, SimNetwork};
+    use crate::response::SiteBehavior;
+
+    struct AlwaysOk;
+
+    impl ContentProvider for AlwaysOk {
+        fn resolve(&self, url: &Url) -> ProviderResult {
+            ProviderResult::Content {
+                response: Response::html(url.clone(), "<p>ok</p>"),
+                behavior: SiteBehavior::default(),
+            }
+        }
+    }
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            seed: 11,
+            panic_per_mille: 100,
+            transient_per_mille: 300,
+            transient_failures: 2,
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let spec = spec();
+        for key in 0..2000 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    spec.injects_panic(key, attempt),
+                    spec.injects_panic(key, attempt)
+                );
+                assert_eq!(
+                    spec.injects_transient(key, attempt),
+                    spec.injects_transient(key, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let spec = spec();
+        let panics = (0..10_000).filter(|&k| spec.injects_panic(k, 0)).count();
+        let transients = (0..10_000)
+            .filter(|&k| spec.injects_transient(k, 0))
+            .count();
+        // 10% and 30% with generous slack.
+        assert!((500..2000).contains(&panics), "panics = {panics}");
+        assert!(
+            (2000..4500).contains(&transients),
+            "transients = {transients}"
+        );
+    }
+
+    #[test]
+    fn transient_keys_recover_after_bounded_attempts() {
+        let spec = spec();
+        let key = (0..).find(|&k| spec.injects_transient(k, 0)).unwrap();
+        let mut clock = SimClock::new();
+        let url = Url::parse("https://flaky.example/").unwrap();
+        for attempt in 0..spec.transient_failures {
+            let mut net = FaultyNetwork::new(SimNetwork::new(AlwaysOk), &spec, key, attempt);
+            assert_eq!(
+                net.fetch(&url, &mut clock).unwrap_err(),
+                FetchError::ConnectionFailure
+            );
+        }
+        let mut net = FaultyNetwork::new(
+            SimNetwork::new(AlwaysOk),
+            &spec,
+            key,
+            spec.transient_failures,
+        );
+        assert!(net.fetch(&url, &mut clock).is_ok());
+    }
+
+    #[test]
+    fn panics_fire_only_on_first_attempt() {
+        let spec = spec();
+        let key = (0..).find(|&k| spec.injects_panic(k, 0)).unwrap();
+        let url = Url::parse("https://crashy.example/").unwrap();
+        let result = std::panic::catch_unwind(|| {
+            let mut net = FaultyNetwork::new(SimNetwork::new(AlwaysOk), &spec, key, 0);
+            let mut clock = SimClock::new();
+            let _ = net.fetch(&url, &mut clock);
+        });
+        assert!(result.is_err());
+        assert!(!spec.injects_panic(key, 1));
+    }
+
+    #[test]
+    fn disabled_spec_is_transparent() {
+        let spec = FaultSpec::disabled();
+        for key in 0..1000 {
+            assert!(!spec.injects_panic(key, 0));
+            assert!(!spec.injects_transient(key, 0));
+        }
+    }
+}

@@ -22,12 +22,14 @@
 mod cache;
 mod clock;
 mod error;
+mod fault;
 mod network;
 mod response;
 
 pub use cache::CachingNetwork;
 pub use clock::SimClock;
 pub use error::FetchError;
+pub use fault::{FaultSpec, FaultyNetwork};
 pub use network::{ContentProvider, Network, ProviderResult, SimNetwork};
 pub use response::{Response, SiteBehavior};
 
@@ -53,9 +55,9 @@ mod tests {
                         ..SiteBehavior::default()
                     },
                 },
-                Some("redirect.example") => ProviderResult::Redirect(
-                    Url::parse("https://ok.example/").unwrap(),
-                ),
+                Some("redirect.example") => {
+                    ProviderResult::Redirect(Url::parse("https://ok.example/").unwrap())
+                }
                 _ => ProviderResult::DnsFailure,
             }
         }
@@ -77,7 +79,10 @@ mod tests {
         let mut net = SimNetwork::new(OneSite);
         let mut clock = SimClock::new();
         let r = net
-            .fetch(&Url::parse("https://redirect.example/x").unwrap(), &mut clock)
+            .fetch(
+                &Url::parse("https://redirect.example/x").unwrap(),
+                &mut clock,
+            )
             .unwrap();
         assert_eq!(r.final_url.host(), Some("ok.example"));
         assert_eq!(r.redirects, 1);

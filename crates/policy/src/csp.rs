@@ -143,7 +143,8 @@ fn host_matches(pattern: &str, url: &Url) -> bool {
     let host_part = host_part.split([':', '/']).next().unwrap_or(host_part);
     let Some(host) = url.host() else { return false };
     if let Some(suffix) = host_part.strip_prefix("*.") {
-        host.len() > suffix.len() && host.ends_with(suffix)
+        host.len() > suffix.len()
+            && host.ends_with(suffix)
             && host.as_bytes()[host.len() - suffix.len() - 1] == b'.'
     } else {
         host == host_part
@@ -162,10 +163,7 @@ mod tests {
     fn no_frame_directive_allows_everything() {
         let csp = Csp::parse("script-src 'self'; object-src 'none'");
         assert!(!csp.restricts_frames());
-        assert!(csp.allows_frame(
-            &url("data:text/html,x"),
-            &url("https://example.org/")
-        ));
+        assert!(csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
     }
 
     #[test]
@@ -183,13 +181,19 @@ mod tests {
         let csp = Csp::parse("frame-src 'self'");
         assert!(csp.allows_frame(&url("https://example.org/w"), &url("https://example.org/")));
         assert!(!csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
-        assert!(!csp.allows_frame(&url("https://attacker.example/"), &url("https://example.org/")));
+        assert!(!csp.allows_frame(
+            &url("https://attacker.example/"),
+            &url("https://example.org/")
+        ));
     }
 
     #[test]
     fn star_does_not_cover_local_schemes() {
         let csp = Csp::parse("frame-src *");
-        assert!(csp.allows_frame(&url("https://anything.example/"), &url("https://example.org/")));
+        assert!(csp.allows_frame(
+            &url("https://anything.example/"),
+            &url("https://example.org/")
+        ));
         assert!(!csp.allows_frame(&url("data:text/html,x"), &url("https://example.org/")));
         // data: must be allowed explicitly.
         let csp = Csp::parse("frame-src * data:");

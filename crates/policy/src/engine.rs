@@ -130,7 +130,11 @@ impl PolicyEngine {
 
     /// Policy for a top-level document: inherited policy is all-enabled;
     /// the declared policy comes from the response headers.
-    pub fn document_for_top_level(&self, origin: Origin, declared: DeclaredPolicy) -> DocumentPolicy {
+    pub fn document_for_top_level(
+        &self,
+        origin: Origin,
+        declared: DeclaredPolicy,
+    ) -> DocumentPolicy {
         let inherited = registry::policy_controlled_permissions()
             .map(|f| (f, true))
             .collect();
@@ -273,14 +277,24 @@ mod tests {
         let engine = PolicyEngine::default();
         // (header, allow, expect_top, expect_iframe)
         let cases: [(Option<&str>, Option<&str>, bool, bool); 8] = [
-            (None, None, true, false),                                        // #1
-            (None, Some("camera"), true, true),                               // #2
-            (Some("camera=()"), Some("camera"), false, false),                // #3
-            (Some("camera=(self)"), Some("camera"), true, false),             // #4
-            (Some("camera=(*)"), None, true, false),                          // #5
-            (Some("camera=(*)"), Some("camera"), true, true),                 // #6
-            (Some(r#"camera=(self "https://iframe.com")"#), Some("camera"), true, true), // #7
-            (Some(r#"camera=("https://iframe.com")"#), Some("camera"), false, false),    // #8
+            (None, None, true, false),                            // #1
+            (None, Some("camera"), true, true),                   // #2
+            (Some("camera=()"), Some("camera"), false, false),    // #3
+            (Some("camera=(self)"), Some("camera"), true, false), // #4
+            (Some("camera=(*)"), None, true, false),              // #5
+            (Some("camera=(*)"), Some("camera"), true, true),     // #6
+            (
+                Some(r#"camera=(self "https://iframe.com")"#),
+                Some("camera"),
+                true,
+                true,
+            ), // #7
+            (
+                Some(r#"camera=("https://iframe.com")"#),
+                Some("camera"),
+                false,
+                false,
+            ), // #8
         ];
         for (i, (header, allow, expect_top, expect_iframe)) in cases.iter().enumerate() {
             let parent = top(&engine, *header);
@@ -403,7 +417,10 @@ mod tests {
                 DeclaredPolicy::default(),
                 true,
             );
-            assert!(local.allowed_to_use(CAMERA), "{behavior:?}: local doc has camera");
+            assert!(
+                local.allowed_to_use(CAMERA),
+                "{behavior:?}: local doc has camera"
+            );
             // The local doc embeds attacker.com with allow="camera".
             let allow = parse_allow_attribute("camera");
             let framing = FramingContext {

@@ -206,8 +206,7 @@ mod tests {
 
     #[test]
     fn self_and_origin_directive() {
-        let p =
-            parse_permissions_policy(r#"geolocation=(self "https://maps.example")"#).unwrap();
+        let p = parse_permissions_policy(r#"geolocation=(self "https://maps.example")"#).unwrap();
         let list = p.get(Permission::Geolocation).unwrap();
         assert!(list.contains_self());
         let me = Url::parse("https://example.org/").unwrap().origin();

@@ -53,8 +53,8 @@ pub mod structured;
 pub mod validate;
 
 pub use allow_attr::{parse_allow_attribute, AllowAttribute, Delegation, DelegationDirective};
-pub use csp::Csp;
 pub use allowlist::{Allowlist, AllowlistMember};
+pub use csp::Csp;
 pub use engine::{DocumentPolicy, FramingContext, LocalSchemeBehavior, PolicyEngine};
 pub use header::{parse_permissions_policy, DeclaredPolicy, HeaderParseError};
 pub use validate::{validate_header, HeaderIssue, HeaderReport};

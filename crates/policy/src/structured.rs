@@ -66,7 +66,11 @@ pub struct SfError {
 
 impl fmt::Display for SfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "structured-field error at byte {}: {}", self.position, self.reason)
+        write!(
+            f,
+            "structured-field error at byte {}: {}",
+            self.position, self.reason
+        )
     }
 }
 
@@ -213,7 +217,9 @@ impl<'a> Parser<'a> {
             _ => return Err(self.err("key must start with lcalpha or '*'")),
         }
         while let Some(b) = self.peek() {
-            if b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'_' | b'-' | b'.' | b'*')
+            if b.is_ascii_lowercase()
+                || b.is_ascii_digit()
+                || matches!(b, b'_' | b'-' | b'.' | b'*')
             {
                 self.pos += 1;
             } else {
@@ -353,9 +359,7 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].0, "camera");
         assert!(matches!(&d[0].1, MemberValue::InnerList(items, _) if items.is_empty()));
-        assert!(
-            matches!(&d[1].1, MemberValue::Item(BareItem::Token(t), _) if t == "*")
-        );
+        assert!(matches!(&d[1].1, MemberValue::Item(BareItem::Token(t), _) if t == "*"));
     }
 
     #[test]
@@ -439,7 +443,10 @@ mod tests {
     #[test]
     fn numbers_and_booleans() {
         let d = parse_dictionary("a=1, b=2.5, c=?0").unwrap();
-        assert!(matches!(&d[0].1, MemberValue::Item(BareItem::Integer(1), _)));
+        assert!(matches!(
+            &d[0].1,
+            MemberValue::Item(BareItem::Integer(1), _)
+        ));
         assert!(matches!(&d[1].1, MemberValue::Item(BareItem::Decimal(x), _) if *x == 2.5));
         assert!(matches!(
             &d[2].1,

@@ -86,10 +86,16 @@ impl fmt::Display for HeaderIssue {
                 write!(f, "{feature}: `{value}` is not a valid origin")
             }
             HeaderIssue::ContradictoryMembers { feature } => {
-                write!(f, "{feature}: contradictory `self` and `*` in one allowlist")
+                write!(
+                    f,
+                    "{feature}: contradictory `self` and `*` in one allowlist"
+                )
             }
             HeaderIssue::OriginsWithoutSelf { feature } => {
-                write!(f, "{feature}: origin allowlist without `self` is not allowed")
+                write!(
+                    f,
+                    "{feature}: origin allowlist without `self` is not allowed"
+                )
             }
             HeaderIssue::UnknownFeature { feature } => {
                 write!(f, "unknown feature `{feature}`")
@@ -277,21 +283,17 @@ mod tests {
     #[test]
     fn contradictory_self_and_star_flagged() {
         let r = validate_header("camera=(self *)");
-        assert!(r
-            .issues
-            .contains(&HeaderIssue::ContradictoryMembers {
-                feature: "camera".to_string()
-            }));
+        assert!(r.issues.contains(&HeaderIssue::ContradictoryMembers {
+            feature: "camera".to_string()
+        }));
     }
 
     #[test]
     fn origins_without_self_flagged() {
         let r = validate_header(r#"camera=("https://iframe.com")"#);
-        assert!(r
-            .issues
-            .contains(&HeaderIssue::OriginsWithoutSelf {
-                feature: "camera".to_string()
-            }));
+        assert!(r.issues.contains(&HeaderIssue::OriginsWithoutSelf {
+            feature: "camera".to_string()
+        }));
     }
 
     #[test]

@@ -19,9 +19,8 @@ fn arb_member() -> impl Strategy<Value = AllowlistMember> {
     prop_oneof![
         Just(AllowlistMember::Star),
         Just(AllowlistMember::SelfOrigin),
-        "[a-z]{2,8}\\.(com|org|example)".prop_map(|host| {
-            AllowlistMember::Origin(format!("https://{host}"))
-        }),
+        "[a-z]{2,8}\\.(com|org|example)"
+            .prop_map(|host| { AllowlistMember::Origin(format!("https://{host}")) }),
     ]
 }
 

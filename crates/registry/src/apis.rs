@@ -54,63 +54,287 @@ use Permission as P;
 /// Every API the measurement instruments, in one table.
 pub const APIS: &[ApiSpec] = &[
     // --- General permission APIs ---
-    ApiSpec { path: "navigator.permissions.query", permissions: &[], kind: ApiKind::StatusQuery },
-    ApiSpec { path: "document.featurePolicy.allowedFeatures", permissions: &[], kind: ApiKind::General },
-    ApiSpec { path: "document.featurePolicy.allowsFeature", permissions: &[], kind: ApiKind::General },
-    ApiSpec { path: "document.featurePolicy.features", permissions: &[], kind: ApiKind::General },
-    ApiSpec { path: "document.featurePolicy.getAllowlistForFeature", permissions: &[], kind: ApiKind::General },
-    ApiSpec { path: "document.permissionsPolicy.allowedFeatures", permissions: &[], kind: ApiKind::General },
-    ApiSpec { path: "document.permissionsPolicy.allowsFeature", permissions: &[], kind: ApiKind::General },
-    ApiSpec { path: "document.permissionsPolicy.features", permissions: &[], kind: ApiKind::General },
+    ApiSpec {
+        path: "navigator.permissions.query",
+        permissions: &[],
+        kind: ApiKind::StatusQuery,
+    },
+    ApiSpec {
+        path: "document.featurePolicy.allowedFeatures",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
+    ApiSpec {
+        path: "document.featurePolicy.allowsFeature",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
+    ApiSpec {
+        path: "document.featurePolicy.features",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
+    ApiSpec {
+        path: "document.featurePolicy.getAllowlistForFeature",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
+    ApiSpec {
+        path: "document.permissionsPolicy.allowedFeatures",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
+    ApiSpec {
+        path: "document.permissionsPolicy.allowsFeature",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
+    ApiSpec {
+        path: "document.permissionsPolicy.features",
+        permissions: &[],
+        kind: ApiKind::General,
+    },
     // --- Per-permission invocations ---
-    ApiSpec { path: "navigator.mediaDevices.getUserMedia", permissions: &[P::Camera, P::Microphone], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.mediaDevices.getDisplayMedia", permissions: &[P::DisplayCapture], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.mediaDevices.enumerateDevices", permissions: &[P::Camera, P::Microphone], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.mediaDevices.selectAudioOutput", permissions: &[P::SpeakerSelection], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.geolocation.getCurrentPosition", permissions: &[P::Geolocation], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.geolocation.watchPosition", permissions: &[P::Geolocation], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.getBattery", permissions: &[P::Battery], kind: ApiKind::Invocation },
-    ApiSpec { path: "Notification.requestPermission", permissions: &[P::Notifications], kind: ApiKind::Invocation },
-    ApiSpec { path: "Notification", permissions: &[P::Notifications], kind: ApiKind::Invocation },
-    ApiSpec { path: "pushManager.subscribe", permissions: &[P::Push], kind: ApiKind::Invocation },
-    ApiSpec { path: "document.browsingTopics", permissions: &[P::BrowsingTopics], kind: ApiKind::Invocation },
-    ApiSpec { path: "document.requestStorageAccess", permissions: &[P::StorageAccess], kind: ApiKind::Invocation },
-    ApiSpec { path: "document.hasStorageAccess", permissions: &[P::StorageAccess], kind: ApiKind::Invocation },
-    ApiSpec { path: "document.requestStorageAccessFor", permissions: &[P::TopLevelStorageAccess], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.clipboard.readText", permissions: &[P::ClipboardRead], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.clipboard.read", permissions: &[P::ClipboardRead], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.clipboard.writeText", permissions: &[P::ClipboardWrite], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.clipboard.write", permissions: &[P::ClipboardWrite], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.share", permissions: &[P::WebShare], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.canShare", permissions: &[P::WebShare], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.requestMediaKeySystemAccess", permissions: &[P::EncryptedMedia], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.getGamepads", permissions: &[P::Gamepad], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.requestMIDIAccess", permissions: &[P::Midi], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.usb.requestDevice", permissions: &[P::Usb], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.usb.getDevices", permissions: &[P::Usb], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.serial.requestPort", permissions: &[P::Serial], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.hid.requestDevice", permissions: &[P::Hid], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.bluetooth.requestDevice", permissions: &[P::Bluetooth], kind: ApiKind::Invocation },
-    ApiSpec { path: "PaymentRequest", permissions: &[P::Payment], kind: ApiKind::Invocation },
-    ApiSpec { path: "IdleDetector", permissions: &[P::IdleDetection], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.wakeLock.request", permissions: &[P::ScreenWakeLock], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.keyboard.lock", permissions: &[P::KeyboardLock], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.keyboard.getLayoutMap", permissions: &[P::KeyboardMap], kind: ApiKind::Invocation },
-    ApiSpec { path: "window.queryLocalFonts", permissions: &[P::LocalFonts], kind: ApiKind::Invocation },
-    ApiSpec { path: "Accelerometer", permissions: &[P::Accelerometer], kind: ApiKind::Invocation },
-    ApiSpec { path: "Gyroscope", permissions: &[P::Gyroscope], kind: ApiKind::Invocation },
-    ApiSpec { path: "Magnetometer", permissions: &[P::Magnetometer], kind: ApiKind::Invocation },
-    ApiSpec { path: "AmbientLightSensor", permissions: &[P::AmbientLightSensor], kind: ApiKind::Invocation },
-    ApiSpec { path: "PressureObserver", permissions: &[P::ComputePressure], kind: ApiKind::Invocation },
-    ApiSpec { path: "TCPSocket", permissions: &[P::DirectSockets], kind: ApiKind::Invocation },
-    ApiSpec { path: "UDPSocket", permissions: &[P::DirectSockets], kind: ApiKind::Invocation },
-    ApiSpec { path: "element.requestPointerLock", permissions: &[P::PointerLock], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.credentials.get", permissions: &[P::PublickeyCredentialsGet], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.credentials.create", permissions: &[P::PublickeyCredentialsCreate], kind: ApiKind::Invocation },
-    ApiSpec { path: "window.getScreenDetails", permissions: &[P::WindowManagement], kind: ApiKind::Invocation },
-    ApiSpec { path: "navigator.xr.requestSession", permissions: &[P::XrSpatialTracking], kind: ApiKind::Invocation },
-    ApiSpec { path: "element.requestFullscreen", permissions: &[P::Fullscreen], kind: ApiKind::Invocation },
-    ApiSpec { path: "video.requestPictureInPicture", permissions: &[P::PictureInPicture], kind: ApiKind::Invocation },
+    ApiSpec {
+        path: "navigator.mediaDevices.getUserMedia",
+        permissions: &[P::Camera, P::Microphone],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.mediaDevices.getDisplayMedia",
+        permissions: &[P::DisplayCapture],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.mediaDevices.enumerateDevices",
+        permissions: &[P::Camera, P::Microphone],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.mediaDevices.selectAudioOutput",
+        permissions: &[P::SpeakerSelection],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.geolocation.getCurrentPosition",
+        permissions: &[P::Geolocation],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.geolocation.watchPosition",
+        permissions: &[P::Geolocation],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.getBattery",
+        permissions: &[P::Battery],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "Notification.requestPermission",
+        permissions: &[P::Notifications],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "Notification",
+        permissions: &[P::Notifications],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "pushManager.subscribe",
+        permissions: &[P::Push],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "document.browsingTopics",
+        permissions: &[P::BrowsingTopics],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "document.requestStorageAccess",
+        permissions: &[P::StorageAccess],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "document.hasStorageAccess",
+        permissions: &[P::StorageAccess],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "document.requestStorageAccessFor",
+        permissions: &[P::TopLevelStorageAccess],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.clipboard.readText",
+        permissions: &[P::ClipboardRead],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.clipboard.read",
+        permissions: &[P::ClipboardRead],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.clipboard.writeText",
+        permissions: &[P::ClipboardWrite],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.clipboard.write",
+        permissions: &[P::ClipboardWrite],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.share",
+        permissions: &[P::WebShare],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.canShare",
+        permissions: &[P::WebShare],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.requestMediaKeySystemAccess",
+        permissions: &[P::EncryptedMedia],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.getGamepads",
+        permissions: &[P::Gamepad],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.requestMIDIAccess",
+        permissions: &[P::Midi],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.usb.requestDevice",
+        permissions: &[P::Usb],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.usb.getDevices",
+        permissions: &[P::Usb],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.serial.requestPort",
+        permissions: &[P::Serial],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.hid.requestDevice",
+        permissions: &[P::Hid],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.bluetooth.requestDevice",
+        permissions: &[P::Bluetooth],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "PaymentRequest",
+        permissions: &[P::Payment],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "IdleDetector",
+        permissions: &[P::IdleDetection],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.wakeLock.request",
+        permissions: &[P::ScreenWakeLock],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.keyboard.lock",
+        permissions: &[P::KeyboardLock],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.keyboard.getLayoutMap",
+        permissions: &[P::KeyboardMap],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "window.queryLocalFonts",
+        permissions: &[P::LocalFonts],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "Accelerometer",
+        permissions: &[P::Accelerometer],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "Gyroscope",
+        permissions: &[P::Gyroscope],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "Magnetometer",
+        permissions: &[P::Magnetometer],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "AmbientLightSensor",
+        permissions: &[P::AmbientLightSensor],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "PressureObserver",
+        permissions: &[P::ComputePressure],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "TCPSocket",
+        permissions: &[P::DirectSockets],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "UDPSocket",
+        permissions: &[P::DirectSockets],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "element.requestPointerLock",
+        permissions: &[P::PointerLock],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.credentials.get",
+        permissions: &[P::PublickeyCredentialsGet],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.credentials.create",
+        permissions: &[P::PublickeyCredentialsCreate],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "window.getScreenDetails",
+        permissions: &[P::WindowManagement],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "navigator.xr.requestSession",
+        permissions: &[P::XrSpatialTracking],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "element.requestFullscreen",
+        permissions: &[P::Fullscreen],
+        kind: ApiKind::Invocation,
+    },
+    ApiSpec {
+        path: "video.requestPictureInPicture",
+        permissions: &[P::PictureInPicture],
+        kind: ApiKind::Invocation,
+    },
 ];
 
 /// Looks up the [`ApiSpec`] for a canonical API path.
@@ -160,11 +384,7 @@ pub fn static_patterns(permission: Permission) -> Vec<&'static str> {
 
 /// Patterns for the General Permission APIs group.
 pub fn general_api_patterns() -> Vec<&'static str> {
-    vec![
-        "permissions.query",
-        "featurePolicy",
-        "permissionsPolicy",
-    ]
+    vec!["permissions.query", "featurePolicy", "permissionsPolicy"]
 }
 
 /// Maps a Permissions-API query name (the `{name: "..."}` argument of
@@ -205,10 +425,7 @@ mod tests {
     #[test]
     fn camera_and_microphone_share_static_patterns() {
         // The root cause of Table 6's identical camera/microphone counts.
-        assert_eq!(
-            static_patterns(P::Camera),
-            static_patterns(P::Microphone)
-        );
+        assert_eq!(static_patterns(P::Camera), static_patterns(P::Microphone));
         assert!(static_patterns(P::Camera).contains(&"getUserMedia"));
     }
 
@@ -223,8 +440,12 @@ mod tests {
 
     #[test]
     fn feature_policy_detection() {
-        assert!(is_feature_policy_api("document.featurePolicy.allowsFeature"));
-        assert!(!is_feature_policy_api("document.permissionsPolicy.allowsFeature"));
+        assert!(is_feature_policy_api(
+            "document.featurePolicy.allowsFeature"
+        ));
+        assert!(!is_feature_policy_api(
+            "document.permissionsPolicy.allowsFeature"
+        ));
         assert!(!is_feature_policy_api("navigator.permissions.query"));
     }
 

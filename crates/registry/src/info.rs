@@ -65,41 +65,97 @@ impl Permission {
         use DefaultAllowlist::{SelfOrigin, Star};
         use Permission as P;
         let (powerful, policy, dal, category, spec) = match self {
-            P::Accelerometer => (false, true, Some(SelfOrigin), C::Sensor, "Generic Sensor API"),
-            P::AmbientLightSensor => (false, true, Some(SelfOrigin), C::Sensor, "Ambient Light Sensor"),
+            P::Accelerometer => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Sensor,
+                "Generic Sensor API",
+            ),
+            P::AmbientLightSensor => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Sensor,
+                "Ambient Light Sensor",
+            ),
             P::Battery => (false, true, Some(Star), C::Misc, "Battery Status API"),
             P::Bluetooth => (true, true, Some(SelfOrigin), C::Device, "Web Bluetooth"),
             P::BrowsingTopics => (false, true, Some(SelfOrigin), C::Ads, "Topics API"),
-            P::Camera => (true, true, Some(SelfOrigin), C::Media, "Media Capture and Streams"),
+            P::Camera => (
+                true,
+                true,
+                Some(SelfOrigin),
+                C::Media,
+                "Media Capture and Streams",
+            ),
             P::ClipboardRead => (true, true, Some(SelfOrigin), C::Misc, "Clipboard API"),
             P::ClipboardWrite => (true, true, Some(SelfOrigin), C::Misc, "Clipboard API"),
             P::ComputePressure => (false, true, Some(SelfOrigin), C::Sensor, "Compute Pressure"),
             P::DirectSockets => (true, true, Some(SelfOrigin), C::Device, "Direct Sockets"),
             P::DisplayCapture => (true, true, Some(SelfOrigin), C::Media, "Screen Capture"),
-            P::EncryptedMedia => (false, true, Some(SelfOrigin), C::Media, "Encrypted Media Extensions"),
+            P::EncryptedMedia => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Media,
+                "Encrypted Media Extensions",
+            ),
             P::Gamepad => (false, true, Some(Star), C::Device, "Gamepad"),
             P::Geolocation => (true, true, Some(SelfOrigin), C::Sensor, "Geolocation API"),
-            P::Gyroscope => (false, true, Some(SelfOrigin), C::Sensor, "Generic Sensor API"),
+            P::Gyroscope => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Sensor,
+                "Generic Sensor API",
+            ),
             P::Hid => (true, true, Some(SelfOrigin), C::Device, "WebHID"),
             P::IdleDetection => (true, true, Some(SelfOrigin), C::Misc, "Idle Detection"),
             P::KeyboardLock => (false, true, Some(SelfOrigin), C::Ui, "Keyboard Lock"),
             P::KeyboardMap => (false, true, Some(SelfOrigin), C::Ui, "Keyboard Map"),
             P::LocalFonts => (true, true, Some(SelfOrigin), C::Misc, "Local Font Access"),
             P::Magnetometer => (false, true, Some(SelfOrigin), C::Sensor, "Magnetometer"),
-            P::Microphone => (true, true, Some(SelfOrigin), C::Media, "Media Capture and Streams"),
+            P::Microphone => (
+                true,
+                true,
+                Some(SelfOrigin),
+                C::Media,
+                "Media Capture and Streams",
+            ),
             P::Midi => (true, true, Some(SelfOrigin), C::Device, "Web MIDI"),
             P::Notifications => (true, false, None, C::Misc, "Notifications API"),
-            P::Payment => (false, true, Some(SelfOrigin), C::Payment, "Payment Request API"),
+            P::Payment => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Payment,
+                "Payment Request API",
+            ),
             P::PointerLock => (false, true, Some(SelfOrigin), C::Ui, "Pointer Lock"),
-            P::PublickeyCredentialsCreate => (true, true, Some(SelfOrigin), C::Identity, "WebAuthn"),
+            P::PublickeyCredentialsCreate => {
+                (true, true, Some(SelfOrigin), C::Identity, "WebAuthn")
+            }
             P::PublickeyCredentialsGet => (true, true, Some(SelfOrigin), C::Identity, "WebAuthn"),
             P::Push => (true, false, None, C::Misc, "Push API"),
             P::ScreenWakeLock => (false, true, Some(SelfOrigin), C::Ui, "Screen Wake Lock"),
             P::Serial => (true, true, Some(SelfOrigin), C::Device, "Web Serial"),
-            P::SpeakerSelection => (true, true, Some(SelfOrigin), C::Media, "Audio Output Devices"),
+            P::SpeakerSelection => (
+                true,
+                true,
+                Some(SelfOrigin),
+                C::Media,
+                "Audio Output Devices",
+            ),
             P::StorageAccess => (true, true, Some(Star), C::Storage, "Storage Access API"),
             P::SystemWakeLock => (false, false, None, C::Ui, "System Wake Lock"),
-            P::TopLevelStorageAccess => (true, true, Some(SelfOrigin), C::Storage, "Storage Access API (extension)"),
+            P::TopLevelStorageAccess => (
+                true,
+                true,
+                Some(SelfOrigin),
+                C::Storage,
+                "Storage Access API (extension)",
+            ),
             P::Usb => (true, true, Some(SelfOrigin), C::Device, "WebUSB"),
             P::WebShare => (false, true, Some(SelfOrigin), C::Misc, "Web Share API"),
             P::WindowManagement => (true, true, Some(SelfOrigin), C::Ui, "Window Management"),
@@ -117,8 +173,20 @@ impl Permission {
             P::IdentityCredentialsGet => (false, true, Some(SelfOrigin), C::Identity, "FedCM"),
             P::OtpCredentials => (false, true, Some(SelfOrigin), C::Identity, "WebOTP"),
             P::CrossOriginIsolated => (false, true, Some(SelfOrigin), C::Misc, "HTML (COI)"),
-            P::PrivateStateTokenIssuance => (false, true, Some(SelfOrigin), C::Ads, "Private State Tokens"),
-            P::PrivateStateTokenRedemption => (false, true, Some(SelfOrigin), C::Ads, "Private State Tokens"),
+            P::PrivateStateTokenIssuance => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Ads,
+                "Private State Tokens",
+            ),
+            P::PrivateStateTokenRedemption => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::Ads,
+                "Private State Tokens",
+            ),
             P::Vr => (false, true, Some(SelfOrigin), C::Sensor, "WebVR (legacy)"),
             P::UnloadPermission => (false, true, Some(Star), C::Misc, "HTML (unload)"),
             P::ChUa
@@ -130,7 +198,13 @@ impl Permission {
             | P::ChUaModel
             | P::ChUaPlatform
             | P::ChUaPlatformVersion
-            | P::ChUaWow64 => (false, true, Some(SelfOrigin), C::ClientHints, "UA Client Hints"),
+            | P::ChUaWow64 => (
+                false,
+                true,
+                Some(SelfOrigin),
+                C::ClientHints,
+                "UA Client Hints",
+            ),
         };
         PermissionInfo {
             powerful,

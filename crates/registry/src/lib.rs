@@ -58,7 +58,10 @@ pub fn policy_controlled_permissions() -> impl Iterator<Item = Permission> {
 
 /// All powerful permissions (the ones that require user consent).
 pub fn powerful_permissions() -> impl Iterator<Item = Permission> {
-    permission::ALL.iter().copied().filter(|p| p.info().powerful)
+    permission::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.info().powerful)
 }
 
 #[cfg(test)]

@@ -220,9 +220,10 @@ pub fn support(permission: Permission) -> SupportEntry {
             (SupportStatus::Since(a) | SupportStatus::BehindFlag(a), SupportStatus::Since(b)) => {
                 SupportStatus::Since(a.max(b))
             }
-            (SupportStatus::Since(a) | SupportStatus::BehindFlag(a), SupportStatus::BehindFlag(b)) => {
-                SupportStatus::BehindFlag(a.max(b))
-            }
+            (
+                SupportStatus::Since(a) | SupportStatus::BehindFlag(a),
+                SupportStatus::BehindFlag(b),
+            ) => SupportStatus::BehindFlag(a.max(b)),
         }
     };
     SupportEntry {
@@ -244,12 +245,28 @@ pub fn allowlist_history(permission: Permission) -> Vec<AllowlistChange> {
         // Chromium 64 (referenced by §4.2.2: "some permissions, such as
         // camera access, previously being on the * default allowlist").
         P::Camera | P::Microphone | P::Geolocation => vec![
-            AllowlistChange { vendor: Vendor::Chromium, version: 60, default: DefaultAllowlist::Star },
-            AllowlistChange { vendor: Vendor::Chromium, version: 64, default: DefaultAllowlist::SelfOrigin },
+            AllowlistChange {
+                vendor: Vendor::Chromium,
+                version: 60,
+                default: DefaultAllowlist::Star,
+            },
+            AllowlistChange {
+                vendor: Vendor::Chromium,
+                version: 64,
+                default: DefaultAllowlist::SelfOrigin,
+            },
         ],
         P::EncryptedMedia => vec![
-            AllowlistChange { vendor: Vendor::Chromium, version: 60, default: DefaultAllowlist::Star },
-            AllowlistChange { vendor: Vendor::Chromium, version: 120, default: DefaultAllowlist::SelfOrigin },
+            AllowlistChange {
+                vendor: Vendor::Chromium,
+                version: 60,
+                default: DefaultAllowlist::Star,
+            },
+            AllowlistChange {
+                vendor: Vendor::Chromium,
+                version: 120,
+                default: DefaultAllowlist::SelfOrigin,
+            },
         ],
         _ => match permission.info().default_allowlist {
             Some(default) => vec![AllowlistChange {

@@ -103,10 +103,7 @@ mod tests {
         let value = permissions_policy_value(&Preset::DisableAll);
         let parsed = parse_permissions_policy(&value).unwrap();
         assert_eq!(parsed.len(), generatable_permissions().len());
-        assert!(parsed
-            .directives()
-            .iter()
-            .all(|d| d.allowlist.is_empty()));
+        assert!(parsed.directives().iter().all(|d| d.allowlist.is_empty()));
         // The generated header is clean by the §4.3.3 linter.
         assert!(!validate_header(&value).is_misconfigured());
     }

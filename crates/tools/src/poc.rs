@@ -47,8 +47,18 @@ pub fn delegation_matrix() -> Vec<DelegationCase> {
         (4, "allow self", Some("camera=(self)"), Some("camera")),
         (5, "allow all", Some("camera=(*)"), None),
         (6, "allow all", Some("camera=(*)"), Some("camera")),
-        (7, "allow necessary", Some(r#"camera=(self "https://iframe.com")"#), Some("camera")),
-        (8, "allow iframe", Some(r#"camera=("https://iframe.com")"#), Some("camera")),
+        (
+            7,
+            "allow necessary",
+            Some(r#"camera=(self "https://iframe.com")"#),
+            Some("camera"),
+        ),
+        (
+            8,
+            "allow iframe",
+            Some(r#"camera=("https://iframe.com")"#),
+            Some("camera"),
+        ),
     ];
     spec.into_iter()
         .map(|(case, description, header, allow)| {
@@ -113,39 +123,42 @@ pub struct LocalSchemeOutcome {
 /// Runs the Table 11 PoC: `example.org` declares `camera=(self)`, embeds a
 /// local-scheme document, which re-delegates camera to `attacker.com`.
 pub fn local_scheme_issue() -> Vec<LocalSchemeOutcome> {
-    [LocalSchemeBehavior::InheritParent, LocalSchemeBehavior::FreshPolicy]
-        .into_iter()
-        .map(|behavior| {
-            let engine = PolicyEngine::new(behavior);
-            let top = top_policy(&engine, Some("camera=(self)"));
-            // about:srcdoc-style local document sharing the parent origin.
-            let local = engine.document_for_frame(
-                &top,
-                &FramingContext::default(),
-                top.origin().clone(),
-                DeclaredPolicy::default(),
-                true,
-            );
-            let allow = parse_allow_attribute("camera");
-            let attacker_origin = origin("https://attacker.com/");
-            let framing = FramingContext {
-                allow: Some(&allow),
-                src_origin: Some(attacker_origin.clone()),
-            };
-            let attacker = engine.document_for_frame(
-                &local,
-                &framing,
-                attacker_origin,
-                DeclaredPolicy::default(),
-                false,
-            );
-            LocalSchemeOutcome {
-                behavior,
-                local_doc_allowed: local.allowed_to_use(Permission::Camera),
-                attacker_allowed: attacker.allowed_to_use(Permission::Camera),
-            }
-        })
-        .collect()
+    [
+        LocalSchemeBehavior::InheritParent,
+        LocalSchemeBehavior::FreshPolicy,
+    ]
+    .into_iter()
+    .map(|behavior| {
+        let engine = PolicyEngine::new(behavior);
+        let top = top_policy(&engine, Some("camera=(self)"));
+        // about:srcdoc-style local document sharing the parent origin.
+        let local = engine.document_for_frame(
+            &top,
+            &FramingContext::default(),
+            top.origin().clone(),
+            DeclaredPolicy::default(),
+            true,
+        );
+        let allow = parse_allow_attribute("camera");
+        let attacker_origin = origin("https://attacker.com/");
+        let framing = FramingContext {
+            allow: Some(&allow),
+            src_origin: Some(attacker_origin.clone()),
+        };
+        let attacker = engine.document_for_frame(
+            &local,
+            &framing,
+            attacker_origin,
+            DeclaredPolicy::default(),
+            false,
+        );
+        LocalSchemeOutcome {
+            behavior,
+            local_doc_allowed: local.allowed_to_use(Permission::Camera),
+            attacker_allowed: attacker.allowed_to_use(Permission::Camera),
+        }
+    })
+    .collect()
 }
 
 /// Renders Table 11.
@@ -162,8 +175,16 @@ pub fn render_local_scheme_issue() -> String {
         out.push_str(&format!(
             "{:<22} {:<10} {}\n",
             label,
-            if outcome.local_doc_allowed { "✓" } else { "✗" },
-            if outcome.attacker_allowed { "✓ 🐞" } else { "✗" },
+            if outcome.local_doc_allowed {
+                "✓"
+            } else {
+                "✗"
+            },
+            if outcome.attacker_allowed {
+                "✓ 🐞"
+            } else {
+                "✗"
+            },
         ));
     }
     out

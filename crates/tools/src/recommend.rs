@@ -54,7 +54,12 @@ fn used_permissions(frame: &FrameRecord) -> BTreeSet<Permission> {
         used.extend(inv.permissions.iter().copied());
     }
     for script in &frame.scripts {
-        used.extend(staticscan::scan_script(&script.source).permissions.iter().copied());
+        used.extend(
+            staticscan::scan_script(&script.source)
+                .permissions
+                .iter()
+                .copied(),
+        );
     }
     used.retain(|p| p.info().policy_controlled);
     used
@@ -75,7 +80,9 @@ pub fn recommend(visit: &PageVisit) -> Recommendation {
     let mut delegated_origins: BTreeMap<Permission, BTreeSet<String>> = BTreeMap::new();
     let mut iframes = Vec::new();
     for frame in visit.embedded_frames() {
-        let Some(attrs) = &frame.iframe_attrs else { continue };
+        let Some(attrs) = &frame.iframe_attrs else {
+            continue;
+        };
         if frame.depth != 1 {
             continue;
         }

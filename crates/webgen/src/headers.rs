@@ -38,13 +38,44 @@ const T9: &str = "camera=(), display-capture=(), geolocation=(), microphone=(), 
 /// Feature pool for the custom-header tail, roughly ordered by how often
 /// the paper sees them declared (Table 9).
 const POOL: &[&str] = &[
-    "geolocation", "microphone", "camera", "gyroscope", "payment", "magnetometer",
-    "accelerometer", "usb", "sync-xhr", "interest-cohort", "fullscreen", "display-capture",
-    "midi", "serial", "bluetooth", "hid", "idle-detection", "screen-wake-lock", "autoplay",
-    "encrypted-media", "picture-in-picture", "clipboard-read", "clipboard-write", "web-share",
-    "battery", "gamepad", "publickey-credentials-get", "document-domain", "xr-spatial-tracking",
-    "local-fonts", "keyboard-map", "browsing-topics", "attribution-reporting", "run-ad-auction",
-    "join-ad-interest-group", "storage-access", "window-management", "ambient-light-sensor",
+    "geolocation",
+    "microphone",
+    "camera",
+    "gyroscope",
+    "payment",
+    "magnetometer",
+    "accelerometer",
+    "usb",
+    "sync-xhr",
+    "interest-cohort",
+    "fullscreen",
+    "display-capture",
+    "midi",
+    "serial",
+    "bluetooth",
+    "hid",
+    "idle-detection",
+    "screen-wake-lock",
+    "autoplay",
+    "encrypted-media",
+    "picture-in-picture",
+    "clipboard-read",
+    "clipboard-write",
+    "web-share",
+    "battery",
+    "gamepad",
+    "publickey-credentials-get",
+    "document-domain",
+    "xr-spatial-tracking",
+    "local-fonts",
+    "keyboard-map",
+    "browsing-topics",
+    "attribution-reporting",
+    "run-ad-auction",
+    "join-ad-interest-group",
+    "storage-access",
+    "window-management",
+    "ambient-light-sensor",
 ];
 
 /// Generates a syntactically *broken* header (dropped by the browser).
@@ -62,14 +93,20 @@ fn broken_header(seed: u64, rank: u64) -> String {
 
 /// Allowlist value for one directive in a custom header, following the
 /// Table 9 least-restrictive mix. May inject a semantic misconfiguration.
-fn directive_value(seed: u64, rank: u64, feature: &str, misconfigure: bool, origin_host: &str) -> String {
+fn directive_value(
+    seed: u64,
+    rank: u64,
+    feature: &str,
+    misconfigure: bool,
+    origin_host: &str,
+) -> String {
     if misconfigure {
         return match pick(seed, rank, &format!("pp-miscfg-kind-{feature}"), 5) {
-            0 => "(none)".to_string(),                        // unrecognized token
-            1 => "(0)".to_string(),                           // numeric junk
-            2 => format!("(self https://{origin_host})"),     // unquoted URL
-            3 => "(self *)".to_string(),                      // contradictory
-            _ => format!("(\"https://{origin_host}\")"),      // origins w/o self
+            0 => "(none)".to_string(),                    // unrecognized token
+            1 => "(0)".to_string(),                       // numeric junk
+            2 => format!("(self https://{origin_host})"), // unquoted URL
+            3 => "(self *)".to_string(),                  // contradictory
+            _ => format!("(\"https://{origin_host}\")"),  // origins w/o self
         };
     }
     match pick_weighted(
@@ -100,7 +137,8 @@ pub fn permissions_policy_header(seed: u64, rank: u64, widget_host: &str) -> Str
         _ => {
             // Custom header: 2..=30 directives from the pool, occasionally
             // many more (the paper saw up to 64 — we cap at the pool).
-            let span = 2 + (unit(seed, rank, "pp-len") * unit(seed, rank, "pp-len2") * 34.0) as usize;
+            let span =
+                2 + (unit(seed, rank, "pp-len") * unit(seed, rank, "pp-len2") * 34.0) as usize;
             let count = span.min(POOL.len());
             let offset = pick(seed, rank, "pp-off", POOL.len());
             let misconfigured = chance(seed, rank, "pp-semantic-bad", 0.134);
@@ -108,8 +146,13 @@ pub fn permissions_policy_header(seed: u64, rank: u64, widget_host: &str) -> Str
             let mut directives = Vec::with_capacity(count);
             for i in 0..count {
                 let feature = POOL[(offset + i) % POOL.len()];
-                let value =
-                    directive_value(seed, rank, feature, misconfigured && i == bad_index, widget_host);
+                let value = directive_value(
+                    seed,
+                    rank,
+                    feature,
+                    misconfigured && i == bad_index,
+                    widget_host,
+                );
                 directives.push(format!("{feature}={value}"));
             }
             // A sliver of custom headers also use an unknown feature name.
@@ -163,7 +206,10 @@ mod tests {
                 }
             }
         }
-        assert!(fp_syntax > commas, "FP-syntax should dominate ({fp_syntax} vs {commas})");
+        assert!(
+            fp_syntax > commas,
+            "FP-syntax should dominate ({fp_syntax} vs {commas})"
+        );
     }
 
     #[test]

@@ -246,9 +246,7 @@ mod tests {
         let pop = population();
         // Find a redirecting, otherwise healthy site.
         let rank = (1..=10_000u64)
-            .find(|&r| {
-                site::redirects(7, r) && site::failure_class(7, r) == FailureClass::None
-            })
+            .find(|&r| site::redirects(7, r) && site::failure_class(7, r) == FailureClass::None)
             .unwrap();
         let origin = pop.origin(rank);
         let mut net = SimNetwork::new(pop);

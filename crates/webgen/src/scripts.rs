@@ -61,7 +61,7 @@ pub fn notifications_prompt() -> String {
     "if (Notification.permission === 'default') {\n\
        Notification.requestPermission().then(function (r) { var x = r; });\n\
      }\n"
-        .to_string()
+    .to_string()
 }
 
 /// Browsing Topics retrieval (ads).
@@ -230,7 +230,9 @@ mod tests {
         let src = battery(true);
         let mut hooks = RecordingHooks::default();
         let mut interp = Interpreter::new();
-        interp.run(&src, ScriptSource::inline(), &mut hooks).unwrap();
+        interp
+            .run(&src, ScriptSource::inline(), &mut hooks)
+            .unwrap();
         assert_eq!(hooks.calls[0].path, "navigator.getBattery");
         assert!(!src.contains("getBattery"));
     }
@@ -242,7 +244,9 @@ mod tests {
         let src = click_gated(&clipboard_share_handler());
         let mut hooks = RecordingHooks::default();
         let mut interp = Interpreter::new();
-        interp.run(&src, ScriptSource::inline(), &mut hooks).unwrap();
+        interp
+            .run(&src, ScriptSource::inline(), &mut hooks)
+            .unwrap();
         interp.drain_timers(&mut hooks);
         assert!(hooks.calls.is_empty());
         interp.fire_event("click", &mut hooks);

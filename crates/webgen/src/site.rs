@@ -94,7 +94,13 @@ pub fn embedded_widgets(seed: u64, rank: u64) -> Vec<(&'static Widget, u8)> {
         };
         if included {
             let (lo, hi) = w.count_range;
-            let count = lo + pick(seed, rank, &format!("count-{}", w.key), (hi - lo + 1) as usize) as u8;
+            let count = lo
+                + pick(
+                    seed,
+                    rank,
+                    &format!("count-{}", w.key),
+                    (hi - lo + 1) as usize,
+                ) as u8;
             out.push((w, count));
         }
     }
@@ -115,7 +121,10 @@ fn widget_iframe(seed: u64, rank: u64, w: &Widget, idx: u8) -> String {
         ""
     };
     if !delegates {
-        return format!("<iframe id=\"{}-{idx}\" src=\"{src}\"{lazy}></iframe>\n", w.key);
+        return format!(
+            "<iframe id=\"{}-{idx}\" src=\"{src}\"{lazy}></iframe>\n",
+            w.key
+        );
     }
     // Directive tail mutations (rare, matching §4.2.2's 0.40% explicit
     // src / 0.16% specific / 0.15% none).
@@ -128,8 +137,11 @@ fn widget_iframe(seed: u64, rank: u64, w: &Widget, idx: u8) -> String {
         0 => w.allow_template.to_string(),
         1 => {
             // Explicit 'src' on the first feature.
-            let mut parts: Vec<String> =
-                w.allow_template.split(';').map(|s| s.trim().to_string()).collect();
+            let mut parts: Vec<String> = w
+                .allow_template
+                .split(';')
+                .map(|s| s.trim().to_string())
+                .collect();
             if let Some(first) = parts.first_mut() {
                 if !first.contains(' ') {
                     first.push_str(" 'src'");
@@ -139,9 +151,16 @@ fn widget_iframe(seed: u64, rank: u64, w: &Widget, idx: u8) -> String {
         }
         2 => {
             // Specific origin instead of the default.
-            format!("{} https://{}", w.allow_template.trim_end_matches(';'), w.frame_host)
+            format!(
+                "{} https://{}",
+                w.allow_template.trim_end_matches(';'),
+                w.frame_host
+            )
         }
-        3 => format!("{} gamepad 'none';", ensure_trailing_semicolon(w.allow_template)),
+        3 => format!(
+            "{} gamepad 'none';",
+            ensure_trailing_semicolon(w.allow_template)
+        ),
         _ => w.allow_template.to_string(),
     };
     format!(
@@ -200,7 +219,9 @@ fn first_party_scripts(seed: u64, rank: u64) -> Vec<String> {
     add("fp-payment", 0.0007, &|| scripts::payment());
     add("fp-kbdmap", 0.0008, &|| scripts::keyboard_map());
     // First-party status checks (Table 5's 1p-heavy rows).
-    add("fp-q-geo", 0.0085, &|| scripts::permissions_query("geolocation"));
+    add("fp-q-geo", 0.0085, &|| {
+        scripts::permissions_query("geolocation")
+    });
     add("fp-q-micam", 0.012, &|| {
         format!(
             "{}{}",
@@ -275,12 +296,14 @@ pub fn page_csp_header(seed: u64, rank: u64) -> Option<String> {
     if !chance(seed, rank, "hdr-csp", 0.16) {
         return None;
     }
-    Some(match pick_weighted(seed, rank, "csp-kind", &[0.72, 0.18, 0.07, 0.03]) {
-        0 => "script-src 'self' https:; object-src 'none'".to_string(),
-        1 => "default-src 'self' https:; script-src 'self' https:".to_string(),
-        2 => "frame-src 'self' https:; script-src 'self' https:".to_string(),
-        _ => "frame-src 'self'".to_string(),
-    })
+    Some(
+        match pick_weighted(seed, rank, "csp-kind", &[0.72, 0.18, 0.07, 0.03]) {
+            0 => "script-src 'self' https:; object-src 'none'".to_string(),
+            1 => "default-src 'self' https:; script-src 'self' https:".to_string(),
+            2 => "frame-src 'self' https:; script-src 'self' https:".to_string(),
+            _ => "frame-src 'self'".to_string(),
+        },
+    )
 }
 
 /// Builds the landing-page HTML for a site.
@@ -364,7 +387,11 @@ mod tests {
         let f = |x: i32| x as f64 / n as f64;
         assert!((f(dns) - 0.0277).abs() < 0.005, "dns {}", f(dns));
         assert!((f(slow) - 0.0287).abs() < 0.005, "slow {}", f(slow));
-        assert!((f(ephemeral) - 0.0602).abs() < 0.006, "ephemeral {}", f(ephemeral));
+        assert!(
+            (f(ephemeral) - 0.0602).abs() < 0.006,
+            "ephemeral {}",
+            f(ephemeral)
+        );
         assert!((f(heavy) - 0.065).abs() < 0.006, "heavy {}", f(heavy));
     }
 

@@ -29,16 +29,66 @@ pub struct Tracker {
 /// the paper's ~39% of sites with top-level permission invocations,
 /// ~98% of them third-party.
 pub const CATALOG: &[Tracker] = &[
-    Tracker { key: "gtag", host: "www.googletagmanager.com", path: "/gtag/js", inclusion: 0.25 },
-    Tracker { key: "ga", host: "www.google-analytics.com", path: "/analytics.js", inclusion: 0.10 },
-    Tracker { key: "recaptcha", host: "www.gstatic.com", path: "/recaptcha/releases/api.js", inclusion: 0.07 },
-    Tracker { key: "fbpixel", host: "connect.facebook.net", path: "/en_US/fbevents.js", inclusion: 0.055 },
-    Tracker { key: "pushsdk", host: "cdn.onesignal.com", path: "/sdks/OneSignalSDK.js", inclusion: 0.062 },
-    Tracker { key: "consent", host: "cdn.cookielaw.org", path: "/scripttemplates/otSDKStub.js", inclusion: 0.045 },
-    Tracker { key: "cfinsights", host: "static.cloudflareinsights.com", path: "/beacon.min.js", inclusion: 0.03 },
-    Tracker { key: "metrica", host: "mc.yandex.ru", path: "/metrika/tag.js", inclusion: 0.033 },
-    Tracker { key: "adtag", host: "securepubads.g.doubleclick.net", path: "/tag/js/gpt.js", inclusion: 0.022 },
-    Tracker { key: "fingerprint", host: "cdn.fingerprint.com", path: "/v3/fp.js", inclusion: 0.008 },
+    Tracker {
+        key: "gtag",
+        host: "www.googletagmanager.com",
+        path: "/gtag/js",
+        inclusion: 0.25,
+    },
+    Tracker {
+        key: "ga",
+        host: "www.google-analytics.com",
+        path: "/analytics.js",
+        inclusion: 0.10,
+    },
+    Tracker {
+        key: "recaptcha",
+        host: "www.gstatic.com",
+        path: "/recaptcha/releases/api.js",
+        inclusion: 0.07,
+    },
+    Tracker {
+        key: "fbpixel",
+        host: "connect.facebook.net",
+        path: "/en_US/fbevents.js",
+        inclusion: 0.055,
+    },
+    Tracker {
+        key: "pushsdk",
+        host: "cdn.onesignal.com",
+        path: "/sdks/OneSignalSDK.js",
+        inclusion: 0.062,
+    },
+    Tracker {
+        key: "consent",
+        host: "cdn.cookielaw.org",
+        path: "/scripttemplates/otSDKStub.js",
+        inclusion: 0.045,
+    },
+    Tracker {
+        key: "cfinsights",
+        host: "static.cloudflareinsights.com",
+        path: "/beacon.min.js",
+        inclusion: 0.03,
+    },
+    Tracker {
+        key: "metrica",
+        host: "mc.yandex.ru",
+        path: "/metrika/tag.js",
+        inclusion: 0.033,
+    },
+    Tracker {
+        key: "adtag",
+        host: "securepubads.g.doubleclick.net",
+        path: "/tag/js/gpt.js",
+        inclusion: 0.022,
+    },
+    Tracker {
+        key: "fingerprint",
+        host: "cdn.fingerprint.com",
+        path: "/v3/fp.js",
+        inclusion: 0.008,
+    },
 ];
 
 /// Looks up a tracker serving `host`+`path`.
@@ -58,7 +108,9 @@ pub fn tracker_source(tracker: &Tracker, seed: u64, rank: u64) -> String {
         // attribution-reporting check on ad-configured deployments
         // (Table 5's 126k sites).
         "gtag" => {
-            src.push_str(&scripts::general_check_feature_policy("attribution-reporting"));
+            src.push_str(&scripts::general_check_feature_policy(
+                "attribution-reporting",
+            ));
             if chance(seed, rank, "gtag-attr", 0.55) {
                 src.push_str("var attributionOk = document.featurePolicy.allowsFeature('attribution-reporting');\n");
             }
@@ -75,8 +127,12 @@ pub fn tracker_source(tracker: &Tracker, seed: u64, rank: u64) -> String {
             );
         }
         "fbpixel" => {
-            src.push_str(&scripts::general_check_feature_policy("attribution-reporting"));
-            src.push_str("var fbAttr = document.featurePolicy.allowsFeature('attribution-reporting');\n");
+            src.push_str(&scripts::general_check_feature_policy(
+                "attribution-reporting",
+            ));
+            src.push_str(
+                "var fbAttr = document.featurePolicy.allowsFeature('attribution-reporting');\n",
+            );
         }
         // Push vendor: the unwanted-notification pattern.
         "pushsdk" => {
@@ -102,15 +158,21 @@ pub fn tracker_source(tracker: &Tracker, seed: u64, rank: u64) -> String {
         }
         "metrica" => {
             src.push_str(&scripts::battery(false));
-            src.push_str(&scripts::general_check_feature_policy("attribution-reporting"));
+            src.push_str(&scripts::general_check_feature_policy(
+                "attribution-reporting",
+            ));
         }
         // Ad tag: topics + auction entitlement checks at top level.
         "adtag" => {
             src.push_str(&scripts::general_check_feature_policy("browsing-topics"));
-            src.push_str("var topicsOk = document.featurePolicy.allowsFeature('browsing-topics');\n");
+            src.push_str(
+                "var topicsOk = document.featurePolicy.allowsFeature('browsing-topics');\n",
+            );
             src.push_str(&scripts::browsing_topics());
             if chance(seed, rank, "adtag-auction", 0.40) {
-                src.push_str("var auctionOk = document.featurePolicy.allowsFeature('run-ad-auction');\n");
+                src.push_str(
+                    "var auctionOk = document.featurePolicy.allowsFeature('run-ad-auction');\n",
+                );
             }
         }
         // Fingerprinting: obfuscated battery (dynamic-only finding) plus
@@ -170,10 +232,7 @@ mod tests {
     fn general_union_rate_is_calibrated() {
         // The union of trackers with general-API behaviour should land
         // near the paper's ~39% of sites with top-level invocations.
-        let general: f64 = CATALOG
-            .iter()
-            .map(|t| 1.0 - t.inclusion)
-            .product();
+        let general: f64 = CATALOG.iter().map(|t| 1.0 - t.inclusion).product();
         let union = 1.0 - general;
         assert!((0.45..0.60).contains(&union), "union = {union}");
     }

@@ -221,7 +221,12 @@ pub fn widget_by_key(key: &str) -> Option<&'static Widget> {
 /// rank)`: the `usage_rate` split decides whether this embed's frame
 /// exhibits functionality for the delegated permissions.
 pub fn frame_html(widget: &Widget, seed: u64, rank: u64) -> String {
-    let uses = chance(seed, rank, &format!("use-{}", widget.key), widget.usage_rate);
+    let uses = chance(
+        seed,
+        rank,
+        &format!("use-{}", widget.key),
+        widget.usage_rate,
+    );
     let mut body = String::new();
     let mut push_script = |code: &str| {
         body.push_str("<script>");
@@ -233,15 +238,16 @@ pub fn frame_html(widget: &Widget, seed: u64, rank: u64) -> String {
             // A share of ad creatives is rendered entirely by a script
             // from another ad network (third-party *to the frame*) — the
             // source of the paper's 26% third-party embedded activity.
-            let third_party_only =
-                chance(seed, rank, &format!("ad3ponly-{}", widget.key), 0.35);
+            let third_party_only = chance(seed, rank, &format!("ad3ponly-{}", widget.key), 0.35);
             if third_party_only {
                 body.push_str(
                     "<script src=\"https://ad.doubleclick.net/static/render.js\"></script>\n",
                 );
             } else {
                 if chance(seed, rank, &format!("adgen-{}", widget.key), 0.12) {
-                    push_script(&scripts::general_check_feature_policy("attribution-reporting"));
+                    push_script(&scripts::general_check_feature_policy(
+                        "attribution-reporting",
+                    ));
                 }
                 if chance(seed, rank, &format!("adtopics-{}", widget.key), 0.12) {
                     push_script(&scripts::browsing_topics());

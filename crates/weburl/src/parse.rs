@@ -138,10 +138,7 @@ impl Url {
             resolved.path = base.path.clone();
         } else if let Some(query) = input.strip_prefix('?') {
             let (q, f) = match query.find('#') {
-                Some(i) => (
-                    query[..i].to_string(),
-                    Some(query[i + 1..].to_string()),
-                ),
+                Some(i) => (query[..i].to_string(), Some(query[i + 1..].to_string())),
                 None => (query.to_string(), None),
             };
             resolved.query = Some(q);

@@ -12,38 +12,182 @@
 /// registrable domain of `www.example.co.uk`).
 const SUFFIXES: &[&str] = &[
     // Generic TLDs.
-    "com", "org", "net", "edu", "gov", "mil", "int", "info", "biz", "name",
-    "io", "co", "ai", "app", "dev", "xyz", "site", "online", "store", "shop",
-    "blog", "cloud", "live", "news", "media", "tech", "agency", "digital",
+    "com",
+    "org",
+    "net",
+    "edu",
+    "gov",
+    "mil",
+    "int",
+    "info",
+    "biz",
+    "name",
+    "io",
+    "co",
+    "ai",
+    "app",
+    "dev",
+    "xyz",
+    "site",
+    "online",
+    "store",
+    "shop",
+    "blog",
+    "cloud",
+    "live",
+    "news",
+    "media",
+    "tech",
+    "agency",
+    "digital",
     // Country TLDs that appear bare.
-    "de", "fr", "es", "it", "nl", "pl", "ru", "cz", "at", "ch", "be", "dk",
-    "se", "no", "fi", "pt", "gr", "ie", "hu", "ro", "bg", "sk", "si", "hr",
-    "lt", "lv", "ee", "us", "ca", "mx", "br", "ar", "cl", "pe", "ve",
-    "jp", "cn", "kr", "in", "id", "th", "vn", "my", "sg", "ph", "tw", "hk",
-    "tr", "il", "sa", "ae", "eg", "za", "ng", "ke", "ma", "tv", "me", "cc",
-    "ws", "fm", "to", "gg", "im", "ly", "is", "eu",
+    "de",
+    "fr",
+    "es",
+    "it",
+    "nl",
+    "pl",
+    "ru",
+    "cz",
+    "at",
+    "ch",
+    "be",
+    "dk",
+    "se",
+    "no",
+    "fi",
+    "pt",
+    "gr",
+    "ie",
+    "hu",
+    "ro",
+    "bg",
+    "sk",
+    "si",
+    "hr",
+    "lt",
+    "lv",
+    "ee",
+    "us",
+    "ca",
+    "mx",
+    "br",
+    "ar",
+    "cl",
+    "pe",
+    "ve",
+    "jp",
+    "cn",
+    "kr",
+    "in",
+    "id",
+    "th",
+    "vn",
+    "my",
+    "sg",
+    "ph",
+    "tw",
+    "hk",
+    "tr",
+    "il",
+    "sa",
+    "ae",
+    "eg",
+    "za",
+    "ng",
+    "ke",
+    "ma",
+    "tv",
+    "me",
+    "cc",
+    "ws",
+    "fm",
+    "to",
+    "gg",
+    "im",
+    "ly",
+    "is",
+    "eu",
     // Two-level suffixes.
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
-    "co.nz", "net.nz", "org.nz",
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
-    "com.br", "net.br", "org.br", "gov.br",
-    "com.cn", "net.cn", "org.cn", "gov.cn",
-    "co.in", "net.in", "org.in", "gov.in", "ac.in",
-    "com.mx", "org.mx", "gob.mx",
-    "co.kr", "or.kr", "go.kr",
-    "com.tr", "org.tr", "gov.tr",
-    "com.ar", "com.sg", "com.hk", "com.tw", "com.my", "co.th", "co.id",
-    "com.ua", "co.il", "com.sa", "co.za", "com.eg", "com.ng",
-    "com.pl", "net.pl", "org.pl",
-    "com.ru", "net.ru", "org.ru",
-    "com.de", "co.de",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "me.uk",
+    "net.uk",
+    "com.au",
+    "net.au",
+    "org.au",
+    "edu.au",
+    "gov.au",
+    "co.nz",
+    "net.nz",
+    "org.nz",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "go.jp",
+    "com.br",
+    "net.br",
+    "org.br",
+    "gov.br",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "gov.cn",
+    "co.in",
+    "net.in",
+    "org.in",
+    "gov.in",
+    "ac.in",
+    "com.mx",
+    "org.mx",
+    "gob.mx",
+    "co.kr",
+    "or.kr",
+    "go.kr",
+    "com.tr",
+    "org.tr",
+    "gov.tr",
+    "com.ar",
+    "com.sg",
+    "com.hk",
+    "com.tw",
+    "com.my",
+    "co.th",
+    "co.id",
+    "com.ua",
+    "co.il",
+    "com.sa",
+    "co.za",
+    "com.eg",
+    "com.ng",
+    "com.pl",
+    "net.pl",
+    "org.pl",
+    "com.ru",
+    "net.ru",
+    "org.ru",
+    "com.de",
+    "co.de",
     // Private-domain suffixes that matter for widget attribution: every
     // customer gets a subdomain, so the subdomain is the registrable unit.
-    "appspot.com", "github.io", "gitlab.io", "netlify.app", "vercel.app",
-    "herokuapp.com", "web.app", "firebaseapp.com", "pages.dev",
-    "blogspot.com", "wordpress.com", "cloudfront.net", "azurewebsites.net",
-    "s3.amazonaws.com", "myshopify.com",
+    "appspot.com",
+    "github.io",
+    "gitlab.io",
+    "netlify.app",
+    "vercel.app",
+    "herokuapp.com",
+    "web.app",
+    "firebaseapp.com",
+    "pages.dev",
+    "blogspot.com",
+    "wordpress.com",
+    "cloudfront.net",
+    "azurewebsites.net",
+    "s3.amazonaws.com",
+    "myshopify.com",
 ];
 
 /// Wildcard rules (`*.ck`): every label directly under the suffix is itself
@@ -149,16 +293,16 @@ mod tests {
         assert_eq!(public_suffix("example.com"), "com");
         assert_eq!(registrable_domain("example.com"), Some("example.com"));
         assert_eq!(registrable_domain("www.example.com"), Some("example.com"));
-        assert_eq!(
-            registrable_domain("a.b.c.example.com"),
-            Some("example.com")
-        );
+        assert_eq!(registrable_domain("a.b.c.example.com"), Some("example.com"));
     }
 
     #[test]
     fn two_level_suffix() {
         assert_eq!(public_suffix("example.co.uk"), "co.uk");
-        assert_eq!(registrable_domain("www.example.co.uk"), Some("example.co.uk"));
+        assert_eq!(
+            registrable_domain("www.example.co.uk"),
+            Some("example.co.uk")
+        );
     }
 
     #[test]

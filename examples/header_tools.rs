@@ -34,11 +34,11 @@ fn main() {
     // 3. The linter on the misconfigurations the paper found in the wild.
     println!("== Linter ==");
     for header in [
-        "camera 'none'; microphone 'none'",              // Feature-Policy syntax
-        "camera=(), microphone=(),",                     // trailing comma
-        "geolocation=(self https://maps.example)",       // unquoted URL
-        r#"payment=("https://pay.example")"#,            // origins without self
-        "camera=(self *)",                               // contradictory
+        "camera 'none'; microphone 'none'",        // Feature-Policy syntax
+        "camera=(), microphone=(),",               // trailing comma
+        "geolocation=(self https://maps.example)", // unquoted URL
+        r#"payment=("https://pay.example")"#,      // origins without self
+        "camera=(self *)",                         // contradictory
     ] {
         println!("header: {header}");
         for finding in linter::lint(header) {

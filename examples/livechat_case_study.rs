@@ -11,7 +11,10 @@ use permissions_odyssey::prelude::*;
 use policy::parse_allow_attribute as parse_allow;
 
 fn main() {
-    let population = WebPopulation::new(PopulationConfig { seed: 7, size: 12_000 });
+    let population = WebPopulation::new(PopulationConfig {
+        seed: 7,
+        size: 12_000,
+    });
     let dataset = Crawler::new(CrawlConfig::default()).crawl(&population);
 
     // Find every site embedding the LiveChat widget.
@@ -60,7 +63,11 @@ fn main() {
     );
     println!(
         "observed permission usage by the widget: {}",
-        if any_usage { "YES (unexpected!)" } else { "none (matches the paper)" }
+        if any_usage {
+            "YES (unexpected!)"
+        } else {
+            "none (matches the paper)"
+        }
     );
     if let Some(allow) = example_allow {
         println!("\ndeployed template:\n  allow=\"{allow}\"");

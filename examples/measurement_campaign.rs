@@ -20,7 +20,11 @@ fn main() {
     let workers: usize = std::env::var("CAMPAIGN_WORKERS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8)
+        });
 
     let population = WebPopulation::new(PopulationConfig { seed: 7, size });
     println!("crawling {size} origins with {workers} workers…");
@@ -38,10 +42,11 @@ fn main() {
 
     let mut report = String::new();
     let funnel = dataset.funnel();
-    let _ = writeln!(report, "{}", analysis::report::full_report(
-        &dataset,
-        &analysis::report::ReportConfig::default(),
-    ));
+    let _ = writeln!(
+        report,
+        "{}",
+        analysis::report::full_report(&dataset, &analysis::report::ReportConfig::default(),)
+    );
     let _ = writeln!(
         report,
         "avg directives per header: {:.2} (paper: 10.01)\nexclusion rate: {:.1}%",

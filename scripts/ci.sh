@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI: build, tests, formatting, lints.
+#
+#   scripts/ci.sh
+#
+# Everything runs offline against the vendored dependency stand-ins
+# (see vendor/README.md); no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci OK"

@@ -50,20 +50,38 @@ fn every_analysis_runs_on_one_dataset() {
     // panicking and produce renderable output.
     let outputs = vec![
         analysis::census::frame_census(&dataset).table().render(),
-        analysis::embeds::top_external_embeds(&dataset).table(10).render(),
-        analysis::usage::invocation_table(&dataset).table(10).render(),
-        analysis::usage::status_check_table(&dataset).table(10).render(),
+        analysis::embeds::top_external_embeds(&dataset)
+            .table(10)
+            .render(),
+        analysis::usage::invocation_table(&dataset)
+            .table(10)
+            .render(),
+        analysis::usage::status_check_table(&dataset)
+            .table(10)
+            .render(),
         analysis::usage::static_table(&dataset).table(10).render(),
         analysis::usage::usage_summary(&dataset).table().render(),
-        analysis::delegation::delegated_embeds(&dataset).table(10).render(),
-        analysis::delegation::delegated_permissions(&dataset).table(10).render(),
+        analysis::delegation::delegated_embeds(&dataset)
+            .table(10)
+            .render(),
+        analysis::delegation::delegated_permissions(&dataset)
+            .table(10)
+            .render(),
         analysis::delegation::delegated_permissions(&dataset)
             .directive_table()
             .render(),
-        analysis::headers::header_adoption(&dataset).table().render(),
-        analysis::headers::top_level_directives(&dataset).table(10).render(),
-        analysis::headers::misconfigurations(&dataset).table().render(),
-        analysis::overpermission::unused_delegations(&dataset).table(10).render(),
+        analysis::headers::header_adoption(&dataset)
+            .table()
+            .render(),
+        analysis::headers::top_level_directives(&dataset)
+            .table(10)
+            .render(),
+        analysis::headers::misconfigurations(&dataset)
+            .table()
+            .render(),
+        analysis::overpermission::unused_delegations(&dataset)
+            .table(10)
+            .render(),
     ];
     for output in outputs {
         assert!(!output.trim().is_empty());

@@ -29,7 +29,12 @@ fn table1_engine_results_match_paper() {
 fn table2_characteristics_match_paper() {
     let rows: [(&str, bool, bool, Option<DefaultAllowlist>); 5] = [
         ("camera", true, true, Some(DefaultAllowlist::SelfOrigin)),
-        ("geolocation", true, true, Some(DefaultAllowlist::SelfOrigin)),
+        (
+            "geolocation",
+            true,
+            true,
+            Some(DefaultAllowlist::SelfOrigin),
+        ),
         ("gamepad", false, true, Some(DefaultAllowlist::Star)),
         ("notifications", true, false, None),
         ("push", true, false, None),
@@ -46,8 +51,14 @@ fn table2_characteristics_match_paper() {
 #[test]
 fn table11_engine_results_match_paper() {
     let outcomes = tools::poc::local_scheme_issue();
-    assert!(outcomes[0].local_doc_allowed && !outcomes[0].attacker_allowed, "expected");
-    assert!(outcomes[1].local_doc_allowed && outcomes[1].attacker_allowed, "actual");
+    assert!(
+        outcomes[0].local_doc_allowed && !outcomes[0].attacker_allowed,
+        "expected"
+    );
+    assert!(
+        outcomes[1].local_doc_allowed && outcomes[1].attacker_allowed,
+        "actual"
+    );
 }
 
 #[test]
@@ -106,8 +117,12 @@ fn wildcard_delegation_survives_redirects_end_to_end() {
                     response: Response::html(
                         url.clone(),
                         match self.0 {
-                            "star" => r#"<iframe src="https://widget.example/" allow="camera *"></iframe>"#,
-                            _ => r#"<iframe src="https://widget.example/" allow="camera"></iframe>"#,
+                            "star" => {
+                                r#"<iframe src="https://widget.example/" allow="camera *"></iframe>"#
+                            }
+                            _ => {
+                                r#"<iframe src="https://widget.example/" allow="camera"></iframe>"#
+                            }
                         },
                     ),
                     behavior: SiteBehavior::default(),
@@ -140,6 +155,9 @@ fn wildcard_delegation_survives_redirects_end_to_end() {
             .unwrap()
     };
 
-    assert!(camera_after_redirect("star"), "wildcard follows the redirect");
+    assert!(
+        camera_after_redirect("star"),
+        "wildcard follows the redirect"
+    );
     assert!(!camera_after_redirect("src"), "default src does not");
 }

@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — but measures with plain wall-clock
+//! timing: a short warm-up, then a fixed sampling window, reporting
+//! mean time per iteration (plus throughput when configured). No
+//! statistics, plots, or baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Kept short: these benches
+/// exist to show relative magnitudes, not publishable statistics.
+const MEASURE_FOR: Duration = Duration::from_millis(300);
+
+/// Entry point, handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-bounded,
+    /// not sample-count-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (No-op beyond API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the rendered parameter, e.g. a worker count.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// Per-iteration work annotation, used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly inside the measurement
+    /// window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up run (fills caches, triggers lazy init).
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= MEASURE_FOR {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed / u32::try_from(bencher.iterations).unwrap_or(u32::MAX);
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / per_iter.as_secs_f64();
+        match t {
+            Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", per_sec(n) / (1024.0 * 1024.0)),
+            Throughput::Elements(n) => format!(" ({:.1} elem/s)", per_sec(n)),
+        }
+    });
+    println!(
+        "{name}: {} per iter, {} iters{}",
+        format_duration(per_iter),
+        bencher.iterations,
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+/// Registers a group of benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(10));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,31 @@
+//! `bool` strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Either boolean, uniformly.
+pub const ANY: Any = Any;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_values() {
+        let mut rng = TestRng::seeded_from("bool");
+        let values: Vec<_> = (0..32).map(|_| ANY.generate(&mut rng)).collect();
+        assert!(values.contains(&true));
+        assert!(values.contains(&false));
+    }
+}

@@ -1,0 +1,91 @@
+//! Collection strategies.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// A `Vec` of values from `element`, with length drawn from `size`
+/// (half-open, like real proptest's size ranges).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of values from `element`. Duplicate draws collapse, so
+/// the resulting set can be smaller than the drawn length (matching
+/// proptest's semantics for set strategies with narrow element domains).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let len = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+        let mut set = BTreeSet::new();
+        // A few extra attempts help small domains actually reach `len`.
+        for _ in 0..len * 2 {
+            if set.len() >= len {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::seeded_from("vec");
+        let s = vec(Just(7u8), 1..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn set_respects_upper_bound() {
+        let mut rng = TestRng::seeded_from("set");
+        let s = btree_set(0u8..4, 0..3);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng).len() < 3);
+        }
+    }
+}

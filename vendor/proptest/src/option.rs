@@ -1,0 +1,41 @@
+//! `Option` strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// `Some` values from `inner` about three quarters of the time, `None`
+/// otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::seeded_from("option");
+        let s = of(Just(1u8));
+        let values: Vec<_> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.contains(&None));
+        assert!(values.contains(&Some(1)));
+    }
+}

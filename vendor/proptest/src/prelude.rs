@@ -1,0 +1,12 @@
+//! The glob-import surface, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+/// Namespace for strategy modules, as in real proptest
+/// (`prop::collection::vec`, `prop::bool::ANY`, ...).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}

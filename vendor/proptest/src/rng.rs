@@ -1,0 +1,62 @@
+//! Deterministic test RNG (xorshift64*).
+
+/// A small, fast, deterministic RNG. Not cryptographic — it only needs
+/// to spread test inputs around reproducibly.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from an arbitrary string (FNV-1a), so each property
+    /// test gets its own reproducible stream.
+    pub fn seeded_from(name: &str) -> Self {
+        let hash = name.bytes().fold(0xcbf29ce484222325u64, |acc, b| {
+            (acc ^ u64::from(b)).wrapping_mul(0x100000001b3)
+        });
+        TestRng {
+            state: hash | 1, // xorshift state must be nonzero
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-input scale.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::seeded_from("x");
+        let mut b = TestRng::seeded_from("x");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::seeded_from("bound");
+        for _ in 0..256 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

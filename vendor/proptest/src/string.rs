@@ -1,0 +1,302 @@
+//! Generator for strings matching a small regex subset.
+//!
+//! Supports the constructs the workspace's tests use: literals, escaped
+//! metacharacters (`\.`, `\n`, `\*`, ...), character classes with ranges
+//! (`[a-zA-Z0-9_-]`, `[ -~]`), groups with alternation
+//! (`(com|org|example)`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`,
+//! `+` (`*`/`+` are capped at 8 repetitions). Negated classes,
+//! anchors, and backreferences are not supported.
+
+use crate::rng::TestRng;
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let alternatives = Parser::new(pattern).parse_top();
+    let mut out = String::new();
+    gen_alternatives(&alternatives, rng, &mut out);
+    out
+}
+
+type Seq = Vec<(Node, Rep)>;
+
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Seq>),
+}
+
+struct Rep {
+    min: u32,
+    max: u32,
+}
+
+fn gen_alternatives(alternatives: &[Seq], rng: &mut TestRng, out: &mut String) {
+    let seq = &alternatives[rng.below(alternatives.len() as u64) as usize];
+    for (node, rep) in seq {
+        let count = rep.min + rng.below(u64::from(rep.max - rep.min) + 1) as u32;
+        for _ in 0..count {
+            gen_node(node, rng, out);
+        }
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = u64::from(*hi as u32 - *lo as u32) + 1;
+                if pick < size {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid class char"));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Group(alternatives) => gen_alternatives(alternatives, rng, out),
+    }
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            pattern,
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex {:?}: {what}", self.pattern);
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_top(&mut self) -> Vec<Seq> {
+        let alternatives = self.parse_alternatives();
+        if self.pos != self.chars.len() {
+            self.fail("unbalanced `)`");
+        }
+        alternatives
+    }
+
+    /// Parses `seq ('|' seq)*`, stopping at `)` or end of input.
+    fn parse_alternatives(&mut self) -> Vec<Seq> {
+        let mut alternatives = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            alternatives.push(self.parse_seq());
+        }
+        alternatives
+    }
+
+    fn parse_seq(&mut self) -> Seq {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let node = self.parse_atom();
+            let rep = self.parse_quantifier();
+            seq.push((node, rep));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.next().expect("peeked") {
+            '[' => self.parse_class(),
+            '(' => {
+                let alternatives = self.parse_alternatives();
+                if self.next() != Some(')') {
+                    self.fail("unterminated group");
+                }
+                Node::Group(alternatives)
+            }
+            '\\' => Node::Lit(self.parse_escape()),
+            c @ ('*' | '+' | '?' | '^' | '$') => self.fail(&format!("stray metacharacter `{c}`")),
+            '.' => self.fail("`.` wildcard (use an explicit class)"),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> char {
+        match self.next() {
+            Some('n') => '\n',
+            Some('r') => '\r',
+            Some('t') => '\t',
+            // Escaped metacharacters stand for themselves.
+            Some(
+                c @ ('\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '-'
+                | '/' | '^' | '$'),
+            ) => c,
+            other => self.fail(&format!(
+                "escape `\\{}`",
+                other.map(String::from).unwrap_or_default()
+            )),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        if self.peek() == Some('^') {
+            self.fail("negated character class");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.next() {
+                None => self.fail("unterminated character class"),
+                Some(']') => break,
+                Some('\\') => self.parse_escape(),
+                Some(c) => c,
+            };
+            // `a-z` range, unless `-` is the last char before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1;
+                let hi = match self.next() {
+                    Some('\\') => self.parse_escape(),
+                    Some(hi) => hi,
+                    None => self.fail("unterminated character class"),
+                };
+                if hi < c {
+                    self.fail(&format!("inverted range `{c}-{hi}`"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self) -> Rep {
+        match self.peek() {
+            Some('?') => {
+                self.pos += 1;
+                Rep { min: 0, max: 1 }
+            }
+            Some('*') => {
+                self.pos += 1;
+                Rep { min: 0, max: 8 }
+            }
+            Some('+') => {
+                self.pos += 1;
+                Rep { min: 1, max: 8 }
+            }
+            Some('{') => {
+                self.pos += 1;
+                let min = self.parse_number();
+                let max = match self.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let max = self.parse_number();
+                        if self.next() != Some('}') {
+                            self.fail("unterminated `{m,n}` quantifier");
+                        }
+                        max
+                    }
+                    _ => self.fail("malformed `{...}` quantifier"),
+                };
+                if max < min {
+                    self.fail("quantifier with max < min");
+                }
+                Rep { min, max }
+            }
+            _ => Rep { min: 1, max: 1 },
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            self.fail("expected a number in quantifier");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| self.fail("quantifier bound out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, predicate: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::seeded_from(pattern);
+        for _ in 0..100 {
+            let s = generate_matching(pattern, &mut rng);
+            assert!(predicate(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        check("[a-c]{1,4}", |s| {
+            (1..=4).contains(&s.len()) && s.chars().all(|c| ('a'..='c').contains(&c))
+        });
+        check("[ -~]{0,30}", |s| {
+            s.len() <= 30 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+        check("[a-zA-Z][a-zA-Z0-9_-]{0,10}", |s| {
+            !s.is_empty() && s.chars().next().unwrap().is_ascii_alphabetic()
+        });
+    }
+
+    #[test]
+    fn groups_literals_and_escapes() {
+        check("(click|scroll|focus)", |s| {
+            ["click", "scroll", "focus"].contains(&s)
+        });
+        check("[a-z]{2,4}\\.example", |s| s.ends_with(".example"));
+        check("https://[a-z]{3,5}\\.example/[a-z]{0,4}", |s| {
+            s.starts_with("https://")
+        });
+        check("(/[a-z0-9]{1,6}){0,4}", |s| {
+            s.is_empty() || s.starts_with('/')
+        });
+        check("[a-z=(),'\\* ]{0,20}", |s| {
+            s.chars()
+                .all(|c| c.is_ascii_lowercase() || "=(),'* ".contains(c))
+        });
+    }
+
+    #[test]
+    fn generation_spans_alternatives() {
+        let mut rng = TestRng::seeded_from("span");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(generate_matching("(a|b|c)", &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! The per-test case loop.
+
+use crate::rng::TestRng;
+
+/// How many successful cases each property runs.
+const CASES: usize = 64;
+
+/// Upper bound on `prop_assume!` rejections before the test is
+/// considered mis-specified.
+const MAX_REJECTS: usize = 4096;
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+    /// A `prop_assume!` condition did not hold; draw a fresh case.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Runs `case` against [`CASES`] generated inputs, panicking (so the
+/// enclosing `#[test]` fails) on the first property violation. The RNG
+/// is seeded from the test name, so runs are reproducible.
+pub fn run(name: &str, case: impl Fn(&mut TestRng) -> Result<(), TestCaseError>) {
+    let mut rng = TestRng::seeded_from(name);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    while passed < CASES {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= MAX_REJECTS,
+                    "{name}: gave up after {MAX_REJECTS} rejected cases \
+                     ({passed}/{CASES} passed)"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: property failed on case {}: {message}", passed + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_property_holds() {
+        run("always_ok", |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn panics_when_property_fails() {
+        run("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn panics_when_everything_rejected() {
+        run("always_rejects", |_| Err(TestCaseError::Reject));
+    }
+}

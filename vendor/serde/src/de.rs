@@ -1,0 +1,31 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+/// Why a [`crate::Value`] could not be turned into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// The standard "expected X, found Y" shape.
+    pub fn expected(what: &str, found: &crate::Value) -> Error {
+        Error::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds in environments without a crates.io mirror, so
+//! its external dependencies are vendored as minimal from-scratch
+//! implementations (see `vendor/README.md`). This crate provides the
+//! [`Serialize`] / [`Deserialize`] traits the repo derives everywhere,
+//! defined directly over a JSON-shaped [`Value`] tree instead of the
+//! real serde's visitor architecture — `serde_json` (also vendored)
+//! renders and parses that tree. The derive macros are re-exported from
+//! `serde_derive`, like the real crate with its `derive` feature.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+mod impls;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}

@@ -1,0 +1,149 @@
+//! The JSON-shaped value tree serialization flows through.
+
+/// A JSON value. Objects keep insertion order (struct declaration order
+/// for derived types) so serialization is deterministic — the crawl
+/// databases rely on byte-identical output for checkpoint/resume
+/// equality checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer forms kept exact).
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// A JSON number. Unsigned and signed integers are kept exact rather
+/// than routed through `f64` so `u64` fields round-trip losslessly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Value {
+    /// Human-readable value kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U(u)) => Some(*u),
+            Value::Num(Number::I(i)) => u64::try_from(*i).ok(),
+            Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::U(u)) => i64::try_from(*u).ok(),
+            Value::Num(Number::I(i)) => Some(*i),
+            Value::Num(Number::F(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::U(u)) => Some(*u as f64),
+            Value::Num(Number::I(i)) => Some(*i as f64),
+            Value::Num(Number::F(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::Obj(vec![
+            ("a".to_string(), Value::Num(Number::U(7))),
+            ("b".to_string(), Value::Str("x".to_string())),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert!(v.get("c").is_none());
+        assert_eq!(v.kind(), "object");
+    }
+
+    #[test]
+    fn number_coercions() {
+        assert_eq!(Value::Num(Number::I(-3)).as_i64(), Some(-3));
+        assert_eq!(Value::Num(Number::I(-3)).as_u64(), None);
+        assert_eq!(Value::Num(Number::U(u64::MAX)).as_u64(), Some(u64::MAX));
+        assert_eq!(Value::Num(Number::F(2.5)).as_u64(), None);
+        assert_eq!(Value::Num(Number::F(2.0)).as_u64(), Some(2));
+    }
+}

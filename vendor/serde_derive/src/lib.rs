@@ -1,0 +1,229 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (which are defined over a JSON-shaped `serde::Value` tree, not the
+//! real serde data model). Implemented directly on `proc_macro` token
+//! trees — no `syn`/`quote`, since the build environment has no registry
+//! access. Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (plus the `#[serde(default)]` field
+//!   attribute),
+//! * enums with unit, newtype/tuple, and struct variants,
+//! * no generic parameters.
+//!
+//! Serialized forms match serde_json's defaults: structs and struct
+//! variants as objects, unit variants as strings, newtype variants as
+//! single-entry objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Fields, Item, ItemKind, Variant};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let code = match parse::parse_item(&tokens) {
+        Ok(item) => gen(&item),
+        Err(message) => format!("compile_error!({message:?});"),
+    };
+    code.parse().expect("derive output parses")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut entries = String::new();
+            for field in &fields.named {
+                entries.push_str(&format!(
+                    "({:?}.to_string(), serde::Serialize::to_value(&self.{})),",
+                    field.name, field.name
+                ));
+            }
+            format!("serde::Value::Obj(vec![{entries}])")
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{name}::{vname} => serde::Value::Str({vname:?}.to_string()),")
+        }
+        Fields::Tuple(1) => format!(
+            "{name}::{vname}(f0) => serde::Value::Obj(vec![({vname:?}.to_string(), \
+             serde::Serialize::to_value(f0))]),"
+        ),
+        Fields::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => serde::Value::Obj(vec![({vname:?}.to_string(), \
+                 serde::Value::Arr(vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binders: Vec<&str> = fields.named.iter().map(|f| f.name.as_str()).collect();
+            let entries: Vec<String> = binders
+                .iter()
+                .map(|b| format!("({b:?}.to_string(), serde::Serialize::to_value({b}))"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => serde::Value::Obj(vec![({vname:?}.to_string(), \
+                 serde::Value::Obj(vec![{}]))]),",
+                binders.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+/// Field extraction from an object: `entries` must be in scope as
+/// `&[(String, serde::Value)]`, and `{owner}` names the type for errors.
+fn field_expr(field: &parse::Field, owner: &str) -> String {
+    let missing = if field.has_default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(serde::de::Error::new(\
+             \"missing field `{}` in {}\"))",
+            field.name, owner
+        )
+    };
+    format!(
+        "{}: match entries.iter().find(|(k, _)| k == {:?}).map(|(_, v)| v) {{\
+             ::core::option::Option::Some(v) => serde::Deserialize::from_value(v)?,\
+             ::core::option::Option::None => {missing},\
+         }},",
+        field.name, field.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut inits = String::new();
+            for field in &fields.named {
+                inits.push_str(&field_expr(field, name));
+            }
+            format!(
+                "let entries = value.as_object().ok_or_else(|| \
+                 serde::de::Error::expected({name:?}, value))?;\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         serde::Deserialize::from_value(v)?)),"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\
+                                 let items = v.as_array().ok_or_else(|| \
+                                     serde::de::Error::expected(\"{name}::{vname} array\", v))?;\
+                                 if items.len() != {arity} {{\
+                                     return ::core::result::Result::Err(serde::de::Error::new(\
+                                         \"wrong arity for {name}::{vname}\"));\
+                                 }}\
+                                 ::core::result::Result::Ok({name}::{vname}({}))\
+                             }},",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let owner = format!("{name}::{vname}");
+                        let mut inits = String::new();
+                        for field in &fields.named {
+                            inits.push_str(&field_expr(field, &owner));
+                        }
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\
+                                 let entries = v.as_object().ok_or_else(|| \
+                                     serde::de::Error::expected(\"{owner} object\", v))?;\
+                                 ::core::result::Result::Ok({name}::{vname} {{ {inits} }})\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::core::result::Result::Err(serde::de::Error::new(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     serde::Value::Obj(variant_entries) if variant_entries.len() == 1 => {{\n\
+                         let (k, v) = &variant_entries[0];\n\
+                         match k.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::core::result::Result::Err(serde::de::Error::new(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err(serde::de::Error::expected({name:?}, value)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> \
+                 ::core::result::Result<Self, serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+pub(crate) fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+pub(crate) fn is_group(tree: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tree, TokenTree::Group(g) if g.delimiter() == delim)
+}

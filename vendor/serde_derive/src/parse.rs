@@ -1,0 +1,218 @@
+//! A small parser from `proc_macro` token trees to the item shapes the
+//! derive supports. Only needs field/variant *names* (types are never
+//! inspected — generated code lets inference pick the right
+//! `Deserialize` impl), plus the `#[serde(default)]` marker.
+
+use proc_macro::{Delimiter, TokenTree};
+
+use crate::{is_group, is_punct};
+
+pub(crate) struct Item {
+    pub name: String,
+    pub kind: ItemKind,
+}
+
+pub(crate) enum ItemKind {
+    Struct(Fields2),
+    Enum(Vec<Variant>),
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub(crate) enum Fields {
+    Unit,
+    /// Tuple variant with the given arity.
+    Tuple(usize),
+    Named(Fields2),
+}
+
+pub(crate) struct Fields2 {
+    pub named: Vec<Field>,
+}
+
+pub(crate) struct Field {
+    pub name: String,
+    pub has_default: bool,
+}
+
+/// Skips `#[...]` attributes starting at `*i`, reporting whether any of
+/// them is `#[serde(default)]`. Unsupported serde attributes are errors —
+/// silently ignoring them would silently change the wire format.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut has_default = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        let TokenTree::Group(group) = &tokens[*i + 1] else {
+            return Err("expected `[...]` after `#`".to_string());
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(ident)) = inner.first() {
+            if ident.to_string() == "serde" {
+                let Some(TokenTree::Group(args)) = inner.get(1) else {
+                    return Err("expected `#[serde(...)]`".to_string());
+                };
+                let args = args.stream().to_string();
+                if args.trim() == "default" {
+                    has_default = true;
+                } else {
+                    return Err(format!(
+                        "unsupported serde attribute `{args}` (the vendored derive \
+                         supports only `#[serde(default)]`)"
+                    ));
+                }
+            }
+        }
+        *i += 2;
+    }
+    Ok(has_default)
+}
+
+/// Skips `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() && is_group(&tokens[*i], Delimiter::Parenthesis) {
+            *i += 1;
+        }
+    }
+}
+
+pub(crate) fn parse_item(tokens: &[TokenTree]) -> Result<Item, String> {
+    let mut i = 0;
+    skip_attrs(tokens, &mut i)?;
+    skip_visibility(tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generics (on `{name}`)"
+        ));
+    }
+    let TokenTree::Group(body) = &tokens[i] else {
+        return Err(format!("expected `{{ ... }}` body for `{name}`"));
+    };
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_named_fields(&body)?),
+        "enum" => ItemKind::Enum(parse_variants(&body)?),
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Fields2, String> {
+    let mut named = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs(tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        if !is_punct(&tokens[i], ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(tokens, &mut i);
+        named.push(Field { name, has_default });
+    }
+    Ok(Fields2 { named })
+}
+
+/// Advances past a type, stopping after the `,` that ends the field (or
+/// at end of input). Tracks `<...>` nesting so commas inside generic
+/// arguments (e.g. `BTreeMap<String, u64>`) don't end the field early.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0u32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            t if is_punct(t, '<') => angle_depth += 1,
+            t if is_punct(t, '>') => angle_depth = angle_depth.saturating_sub(1),
+            t if is_punct(t, ',') && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let fields = if i < tokens.len() && is_group(&tokens[i], Delimiter::Parenthesis) {
+            let TokenTree::Group(group) = &tokens[i] else {
+                unreachable!()
+            };
+            i += 1;
+            Fields::Tuple(tuple_arity(&group.stream().into_iter().collect::<Vec<_>>()))
+        } else if i < tokens.len() && is_group(&tokens[i], Delimiter::Brace) {
+            let TokenTree::Group(group) = &tokens[i] else {
+                unreachable!()
+            };
+            i += 1;
+            Fields::Named(parse_named_fields(
+                &group.stream().into_iter().collect::<Vec<_>>(),
+            )?)
+        } else {
+            Fields::Unit
+        };
+        if i < tokens.len() {
+            if !is_punct(&tokens[i], ',') {
+                return Err(format!("expected `,` after variant `{name}`"));
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+/// Number of elements in a tuple-variant payload (top-level commas,
+/// angle-bracket aware, tolerating a trailing comma).
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    let mut arity = 1;
+    let mut angle_depth = 0u32;
+    let mut trailing_comma = false;
+    for t in tokens {
+        trailing_comma = false;
+        if is_punct(t, '<') {
+            angle_depth += 1;
+        } else if is_punct(t, '>') {
+            angle_depth = angle_depth.saturating_sub(1);
+        } else if is_punct(t, ',') && angle_depth == 0 {
+            arity += 1;
+            trailing_comma = true;
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}

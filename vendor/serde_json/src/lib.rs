@@ -1,0 +1,150 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde`
+//! value tree. Emits compact JSON in the same shape as real serde_json
+//! (no whitespace, struct-declaration field order), and parses strict
+//! JSON back. Output is deterministic: the same record always serializes
+//! to the same bytes, which the crawl checkpoint/resume path relies on.
+
+mod parse;
+mod write;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization / deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.message)
+    }
+}
+
+/// Converts any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a JSON string into any deserializable value. Trailing input
+/// after the document is an error, matching real serde_json.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse::parse(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON bytes into any deserializable value.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Extracts a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Number;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Obj(vec![
+            ("name".to_string(), Value::Str("a \"b\"\n".to_string())),
+            (
+                "items".to_string(),
+                Value::Arr(vec![
+                    Value::Num(Number::U(1)),
+                    Value::Num(Number::I(-2)),
+                    Value::Num(Number::F(2.5)),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
+            ),
+            ("empty".to_string(), Value::Obj(vec![])),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            r#"{"name":"a \"b\"\n","items":[1,-2,2.5,null,true],"empty":{}}"#
+        );
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let v = Value::Arr(vec![Value::Str("x".to_string()), Value::Num(Number::U(9))]);
+        assert_eq!(to_string(&v).unwrap(), to_string(&v).unwrap());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("{} trailing").is_err());
+        assert!(from_str::<Value>("{\"a\":").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        let v: Value = from_str(r#""A\t\\\/é""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\t\\/é"));
+    }
+
+    #[test]
+    fn error_converts_to_io_error() {
+        let err = from_str::<Value>("nope").unwrap_err();
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,98 @@
+//! Compact JSON writer.
+
+use serde::{Number, Value};
+
+pub(crate) fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write;
+    match n {
+        Number::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I(i) => {
+            let _ = write!(out, "{i}");
+        }
+        // Non-finite floats have no JSON representation; serde_json
+        // writes `null` for them.
+        Number::F(f) if !f.is_finite() => out.push_str("null"),
+        Number::F(f) => {
+            // `{:?}` keeps a trailing `.0` on whole floats (`2.0`, not
+            // `2`) so a float stays visibly a float, like serde_json.
+            let _ = write!(out, "{f:?}");
+        }
+    }
+}
+
+pub(crate) fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_chars() {
+        let mut out = String::new();
+        write_string(&mut out, "a\u{1}b\"\\\n");
+        assert_eq!(out, "\"a\\u0001b\\\"\\\\\\n\"");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        write_number(&mut out, Number::F(2.0));
+        assert_eq!(out, "2.0");
+        out.clear();
+        write_number(&mut out, Number::F(f64::NAN));
+        assert_eq!(out, "null");
+    }
+}
