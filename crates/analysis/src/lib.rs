@@ -26,6 +26,7 @@
 //! from header statistics.
 
 pub mod census;
+pub mod completeness;
 pub mod delegation;
 pub mod embeds;
 pub mod headers;

@@ -1,7 +1,7 @@
 //! The engine: navigation, frame tree construction, script execution.
 
-use jsland::{Interpreter, ScriptSource};
-use netsim::{FetchError, Network, SimClock};
+use jsland::{Interpreter, RunError, ScriptSource, StepPool};
+use netsim::{FetchError, Network, Response, SimClock};
 use policy::engine::{DocumentPolicy, FramingContext, LocalSchemeBehavior, PolicyEngine};
 use policy::header::{parse_permissions_policy, DeclaredPolicy};
 use policy::{feature_policy, parse_allow_attribute, Csp};
@@ -9,8 +9,8 @@ use weburl::{Origin, Url};
 
 use crate::hooks::BrowserHooks;
 use crate::records::{
-    FrameRecord, IframeAttrs, InvocationKind, PageVisit, PromptRecord, ScriptRecord, VisitError,
-    VisitOutcome,
+    DegradationEvent, DegradationKind, FrameRecord, IframeAttrs, InvocationKind, PageVisit,
+    PromptRecord, ScriptOutcome, ScriptRecord, VisitError, VisitOutcome, SCHEMA_VERSION,
 };
 
 /// Browser / crawl-visit configuration. Defaults match the paper's
@@ -35,6 +35,8 @@ pub struct BrowserConfig {
     pub interaction: bool,
     /// Local-scheme policy inheritance behaviour (the Table 11 switch).
     pub local_scheme_behavior: LocalSchemeBehavior,
+    /// Per-visit resource caps (the governor).
+    pub budget: VisitBudget,
 }
 
 impl Default for BrowserConfig {
@@ -48,6 +50,44 @@ impl Default for BrowserConfig {
             scroll_lazy_iframes: true,
             interaction: false,
             local_scheme_behavior: LocalSchemeBehavior::FreshPolicy,
+            budget: VisitBudget::default(),
+        }
+    }
+}
+
+/// The per-visit resource governor: caps that bound what one page can
+/// consume, sized so no well-formed page in the measured population ever
+/// trips them — every trip is recorded as a [`DegradationEvent`] and the
+/// visit continues with what it has (graceful degradation), instead of
+/// wedging the crawler or silently losing data.
+#[derive(Debug, Clone, Copy)]
+pub struct VisitBudget {
+    /// Page-wide interpreter step pool shared by all scripts of the
+    /// visit (in addition to the per-script step budget).
+    pub page_script_steps: u64,
+    /// Per-script source byte cap; larger scripts are truncated and not
+    /// executed.
+    pub max_script_bytes: usize,
+    /// Per-document HTML byte cap; larger bodies are scanned truncated.
+    pub max_document_bytes: usize,
+    /// Per-visit subresource fetch cap (scripts and framed documents).
+    pub max_fetches: usize,
+    /// Maximum redirect hops accepted for an external script response.
+    pub max_redirect_hops: u32,
+    /// Byte cap per policy-relevant response header; oversized headers
+    /// are treated as absent.
+    pub max_header_bytes: usize,
+}
+
+impl Default for VisitBudget {
+    fn default() -> VisitBudget {
+        VisitBudget {
+            page_script_steps: 1_000_000,
+            max_script_bytes: 65_536,
+            max_document_bytes: 1_048_576,
+            max_fetches: 96,
+            max_redirect_hops: 3,
+            max_header_bytes: 8_192,
         }
     }
 }
@@ -63,6 +103,92 @@ struct LoadCtx {
     deadline: u64,
     frames: Vec<FrameRecord>,
     outcome: VisitOutcome,
+    /// Every cap trip / per-script failure, in occurrence order.
+    degradations: Vec<DegradationEvent>,
+    /// Network fetches performed so far (top-level load included).
+    fetches: usize,
+    /// The page-wide script step pool.
+    pool: StepPool,
+    /// Cap trips recorded once per visit, not once per attempt.
+    frame_cap_noted: bool,
+    fetch_cap_noted: bool,
+}
+
+impl LoadCtx {
+    fn degrade(&mut self, frame_id: usize, kind: DegradationKind, detail: Option<String>) {
+        self.degradations.push(DegradationEvent {
+            frame_id,
+            kind,
+            detail,
+        });
+    }
+
+    /// Checks the fetch cap and claims one fetch slot. On the first
+    /// refusal the cap trip itself is recorded.
+    fn claim_fetch(&mut self, frame_id: usize, max_fetches: usize) -> bool {
+        if self.fetches >= max_fetches {
+            if !self.fetch_cap_noted {
+                self.fetch_cap_noted = true;
+                self.degrade(
+                    frame_id,
+                    DegradationKind::FetchCapReached,
+                    Some(format!("fetch cap {max_fetches} reached")),
+                );
+            }
+            return false;
+        }
+        self.fetches += 1;
+        true
+    }
+
+    /// Reads a policy-relevant header, treating oversized values as
+    /// absent (recorded as a degradation).
+    fn capped_header(
+        &mut self,
+        frame_id: usize,
+        max_bytes: usize,
+        response: &Response,
+        name: &str,
+    ) -> Option<String> {
+        let value = response.header(name)?;
+        if value.len() > max_bytes {
+            self.degrade(
+                frame_id,
+                DegradationKind::HeaderBytesCapped,
+                Some(format!("{name}: {} bytes", value.len())),
+            );
+            None
+        } else {
+            Some(value.to_string())
+        }
+    }
+}
+
+/// Maps a script run failure to its record marker and event kind.
+fn classify_run_error(error: &RunError) -> (ScriptOutcome, DegradationKind) {
+    match error {
+        RunError::Lex(_) | RunError::Parse(_) => {
+            (ScriptOutcome::ParseError, DegradationKind::ScriptParseError)
+        }
+        RunError::BudgetExceeded => (
+            ScriptOutcome::BudgetExceeded,
+            DegradationKind::ScriptBudgetExceeded,
+        ),
+        RunError::PoolExhausted => (
+            ScriptOutcome::PoolExhausted,
+            DegradationKind::ScriptPoolExhausted,
+        ),
+    }
+}
+
+/// Truncates `text` to at most `max_bytes`, backing up to a char
+/// boundary so hostile multi-byte input cannot cause a slicing panic.
+fn truncate_to_boundary(text: &mut String, max_bytes: usize) {
+    let mut end = max_bytes;
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    text.truncate(end);
 }
 
 impl<N: Network> Browser<N> {
@@ -103,10 +229,16 @@ impl<N: Network> Browser<N> {
             return Err(VisitError::LoadTimeout);
         }
 
+        let budget = self.config.budget;
         let mut ctx = LoadCtx {
             deadline: page_deadline,
             frames: Vec::new(),
             outcome: VisitOutcome::Success,
+            degradations: Vec::new(),
+            fetches: 1,
+            pool: StepPool::limited(budget.page_script_steps),
+            frame_cap_noted: false,
+            fetch_cap_noted: false,
         };
 
         // Post-fetch failures surface during collection.
@@ -118,16 +250,26 @@ impl<N: Network> Browser<N> {
 
         let final_url = response.final_url.clone();
         let origin = final_url.origin();
-        let declared = effective_declared(
-            response.header("permissions-policy"),
-            response.header("feature-policy"),
+        // The top-level document cannot be dropped for over-long redirect
+        // chains (there would be no visit), but the anomaly is recorded.
+        if response.redirects > budget.max_redirect_hops {
+            ctx.degrade(
+                0,
+                DegradationKind::RedirectHopsExceeded,
+                Some(format!("top-level: {} hops", response.redirects)),
+            );
+        }
+        let pp_header =
+            ctx.capped_header(0, budget.max_header_bytes, &response, "permissions-policy");
+        let fp_header = ctx.capped_header(0, budget.max_header_bytes, &response, "feature-policy");
+        let csp_header = ctx.capped_header(
+            0,
+            budget.max_header_bytes,
+            &response,
+            "content-security-policy",
         );
+        let declared = effective_declared(pp_header.as_deref(), fp_header.as_deref());
         let policy = self.engine.document_for_top_level(origin.clone(), declared);
-        let pp_header = response.header("permissions-policy").map(str::to_string);
-        let fp_header = response.header("feature-policy").map(str::to_string);
-        let csp_header = response
-            .header("content-security-policy")
-            .map(str::to_string);
 
         if ctx.outcome != VisitOutcome::CrawlerCrash
             && ctx.outcome != VisitOutcome::EphemeralContext
@@ -156,78 +298,186 @@ impl<N: Network> Browser<N> {
         }
 
         let prompts = derive_prompts(&ctx.frames);
+        let schema_version = if ctx.degradations.is_empty() {
+            0
+        } else {
+            SCHEMA_VERSION
+        };
         Ok(PageVisit {
             requested_url: url.to_string(),
             frames: ctx.frames,
             prompts,
             outcome: ctx.outcome,
             elapsed_ms: clock.now_ms() - start,
+            schema_version,
+            degradations: ctx.degradations,
         })
     }
 
-    fn load_document(&mut self, ctx: &mut LoadCtx, clock: &mut SimClock, doc: LoadDoc) {
+    fn load_document(&mut self, ctx: &mut LoadCtx, clock: &mut SimClock, mut doc: LoadDoc) {
         if ctx.frames.len() >= self.config.max_frames {
             ctx.outcome = VisitOutcome::PageTimeout;
+            if !ctx.frame_cap_noted {
+                ctx.frame_cap_noted = true;
+                ctx.degrade(
+                    ctx.frames.len(),
+                    DegradationKind::FrameCapReached,
+                    Some(format!("frame cap {} reached", self.config.max_frames)),
+                );
+            }
             return;
         }
+        let budget = self.config.budget;
         let frame_id = ctx.frames.len();
+        if doc.html.len() > budget.max_document_bytes {
+            ctx.degrade(
+                frame_id,
+                DegradationKind::DocumentBytesCapped,
+                Some(format!(
+                    "{} of {} bytes scanned",
+                    budget.max_document_bytes,
+                    doc.html.len()
+                )),
+            );
+            truncate_to_boundary(&mut doc.html, budget.max_document_bytes);
+        }
         let scanned = html::scan(&doc.html);
 
         // Collect scripts: external ones are fetched, inline ones taken as
         // written; HTML event-handler attributes count as inline script
-        // material for the static analysis.
+        // material for the static analysis. Failures no longer vanish:
+        // each script carries its outcome, each cap trip an event.
         let mut scripts: Vec<ScriptRecord> = Vec::new();
-        let mut external_sources: Vec<(Option<String>, String)> = Vec::new();
+        let mut executable: Vec<(usize, Option<String>, String)> = Vec::new();
         for script in &scanned.scripts {
             if !script.is_javascript() {
                 continue;
             }
             if let Some(src) = &script.src {
-                if let Ok(script_url) = Url::parse_with_base(src, doc.url.as_ref()) {
-                    if let Ok(resp) = self.network.fetch(&script_url, clock) {
-                        let source = resp.body_text();
-                        let url_string = script_url.to_string();
+                let Ok(script_url) = Url::parse_with_base(src, doc.url.as_ref()) else {
+                    continue;
+                };
+                let url_string = script_url.to_string();
+                if !ctx.claim_fetch(frame_id, budget.max_fetches) {
+                    ctx.degrade(
+                        frame_id,
+                        DegradationKind::ScriptFetchFailed,
+                        Some(format!("{url_string}: fetch cap reached")),
+                    );
+                    scripts.push(ScriptRecord {
+                        url: Some(url_string),
+                        source: String::new(),
+                        outcome: ScriptOutcome::FetchFailed,
+                    });
+                    continue;
+                }
+                match self.network.fetch(&script_url, clock) {
+                    Ok(resp) if resp.redirects > budget.max_redirect_hops => {
+                        ctx.degrade(
+                            frame_id,
+                            DegradationKind::RedirectHopsExceeded,
+                            Some(format!("{url_string}: {} hops", resp.redirects)),
+                        );
                         scripts.push(ScriptRecord {
-                            url: Some(url_string.clone()),
-                            source: source.clone(),
+                            url: Some(url_string),
+                            source: String::new(),
+                            outcome: ScriptOutcome::FetchFailed,
                         });
-                        external_sources.push((Some(url_string), source));
+                    }
+                    Ok(resp) => {
+                        let mut source = resp.body_text();
+                        if source.len() > budget.max_script_bytes {
+                            ctx.degrade(
+                                frame_id,
+                                DegradationKind::ScriptBytesCapped,
+                                Some(format!("{url_string}: {} bytes", source.len())),
+                            );
+                            truncate_to_boundary(&mut source, budget.max_script_bytes);
+                            scripts.push(ScriptRecord {
+                                url: Some(url_string),
+                                source,
+                                outcome: ScriptOutcome::BytesCapped,
+                            });
+                        } else {
+                            executable.push((
+                                scripts.len(),
+                                Some(url_string.clone()),
+                                source.clone(),
+                            ));
+                            scripts.push(ScriptRecord::ok(Some(url_string), source));
+                        }
+                    }
+                    Err(error) => {
+                        ctx.degrade(
+                            frame_id,
+                            DegradationKind::ScriptFetchFailed,
+                            Some(format!("{url_string}: {error}")),
+                        );
+                        scripts.push(ScriptRecord {
+                            url: Some(url_string),
+                            source: String::new(),
+                            outcome: ScriptOutcome::FetchFailed,
+                        });
                     }
                 }
             } else if let Some(inline) = &script.inline {
-                scripts.push(ScriptRecord {
-                    url: None,
-                    source: inline.clone(),
-                });
-                external_sources.push((None, inline.clone()));
+                if inline.len() > budget.max_script_bytes {
+                    ctx.degrade(
+                        frame_id,
+                        DegradationKind::ScriptBytesCapped,
+                        Some(format!("inline: {} bytes", inline.len())),
+                    );
+                    let mut source = inline.clone();
+                    truncate_to_boundary(&mut source, budget.max_script_bytes);
+                    scripts.push(ScriptRecord {
+                        url: None,
+                        source,
+                        outcome: ScriptOutcome::BytesCapped,
+                    });
+                } else {
+                    executable.push((scripts.len(), None, inline.clone()));
+                    scripts.push(ScriptRecord::ok(None, inline.clone()));
+                }
             }
         }
+        let handler_base = scripts.len();
         for handler in &scanned.handlers {
-            scripts.push(ScriptRecord {
-                url: None,
-                source: handler.code.clone(),
-            });
+            scripts.push(ScriptRecord::ok(None, handler.code.clone()));
         }
 
         // Execute scripts under instrumentation (sandboxed frames without
-        // allow-scripts still have their sources collected, but run nothing).
+        // allow-scripts still have their sources collected, but run
+        // nothing). Each run draws on the page-wide step pool; failures
+        // are per-script, like a real page, but recorded.
         let mut hooks = BrowserHooks::new(&doc.policy);
         let mut interp = Interpreter::new();
-        let executable: &[(Option<String>, String)] = if doc.scripts_enabled {
-            &external_sources
-        } else {
-            &[]
-        };
-        for (url, source) in executable {
-            let script_source = match url {
-                Some(u) => ScriptSource::external(u.clone()),
-                None => ScriptSource::inline(),
-            };
-            // Parse/runtime failures are per-script, like a real page.
-            let _ = interp.run(source, script_source, &mut hooks);
-            clock.advance(2);
+        if doc.scripts_enabled {
+            for (index, url, source) in &executable {
+                let script_source = match url {
+                    Some(u) => ScriptSource::external(u.clone()),
+                    None => ScriptSource::inline(),
+                };
+                if let Err(error) =
+                    interp.run_pooled(source, script_source, &mut hooks, &mut ctx.pool)
+                {
+                    let (outcome, kind) = classify_run_error(&error);
+                    scripts[*index].outcome = outcome;
+                    let detail = match url {
+                        Some(u) => format!("{u}: {error}"),
+                        None => error.to_string(),
+                    };
+                    ctx.degrade(frame_id, kind, Some(detail));
+                }
+                clock.advance(2);
+            }
         }
-        interp.drain_timers(&mut hooks);
+        if !interp.drain_timers_pooled(&mut hooks, &mut ctx.pool) {
+            ctx.degrade(
+                frame_id,
+                DegradationKind::ScriptPoolExhausted,
+                Some("pending timers dropped".to_string()),
+            );
+        }
 
         // Interaction mode (Appendix A.3): the manual tester clicks,
         // hovers and submits — fire every registered listener event and
@@ -243,10 +493,25 @@ impl<N: Network> Browser<N> {
             for event in events {
                 interp.fire_event(&event, &mut hooks);
             }
-            for handler in &scanned.handlers {
-                let _ = interp.run(&handler.code, ScriptSource::inline(), &mut hooks);
+            for (offset, handler) in scanned.handlers.iter().enumerate() {
+                if let Err(error) = interp.run_pooled(
+                    &handler.code,
+                    ScriptSource::inline(),
+                    &mut hooks,
+                    &mut ctx.pool,
+                ) {
+                    let (outcome, kind) = classify_run_error(&error);
+                    scripts[handler_base + offset].outcome = outcome;
+                    ctx.degrade(frame_id, kind, Some(error.to_string()));
+                }
             }
-            interp.drain_timers(&mut hooks);
+            if !interp.drain_timers_pooled(&mut hooks, &mut ctx.pool) {
+                ctx.degrade(
+                    frame_id,
+                    DegradationKind::ScriptPoolExhausted,
+                    Some("pending timers dropped".to_string()),
+                );
+            }
         }
 
         let allowed_features = doc
@@ -280,6 +545,17 @@ impl<N: Network> Browser<N> {
 
         // Load child frames, gated by the document's CSP frame policy.
         if doc.depth >= self.config.max_frame_depth {
+            if !scanned.iframes.is_empty() {
+                ctx.degrade(
+                    frame_id,
+                    DegradationKind::FrameDepthTruncated,
+                    Some(format!(
+                        "{} iframes dropped at depth {}",
+                        scanned.iframes.len(),
+                        doc.depth
+                    )),
+                );
+            }
             return;
         }
         let csp = doc.csp_header.as_deref().map(Csp::parse);
@@ -440,7 +716,10 @@ impl<N: Network> Browser<N> {
                 );
             }
             _ => {
-                // Network document.
+                // Network document (fetches count against the visit cap).
+                if !ctx.claim_fetch(parent_id, self.config.budget.max_fetches) {
+                    return;
+                }
                 let Ok(response) = self.network.fetch(&src_url, clock) else {
                     return;
                 };
@@ -459,10 +738,17 @@ impl<N: Network> Browser<N> {
                     // wildcard delegations survive redirects (§5.2).
                     src_origin: Some(src_url.origin()),
                 };
-                let declared = effective_declared(
-                    response.header("permissions-policy"),
-                    response.header("feature-policy"),
-                );
+                // The id this frame will get if it loads (header-cap
+                // events are attributed to it).
+                let child_id = ctx.frames.len();
+                let max_header = self.config.budget.max_header_bytes;
+                let pp_header =
+                    ctx.capped_header(child_id, max_header, &response, "permissions-policy");
+                let fp_header =
+                    ctx.capped_header(child_id, max_header, &response, "feature-policy");
+                let csp_header =
+                    ctx.capped_header(child_id, max_header, &response, "content-security-policy");
+                let declared = effective_declared(pp_header.as_deref(), fp_header.as_deref());
                 let policy = self.engine.document_for_frame(
                     parent_policy,
                     &framing,
@@ -470,11 +756,6 @@ impl<N: Network> Browser<N> {
                     declared,
                     false,
                 );
-                let pp_header = response.header("permissions-policy").map(str::to_string);
-                let fp_header = response.header("feature-policy").map(str::to_string);
-                let csp_header = response
-                    .header("content-security-policy")
-                    .map(str::to_string);
                 self.load_document(
                     ctx,
                     clock,
@@ -508,6 +789,16 @@ impl<N: Network> Browser<N> {
         allow: Option<policy::AllowAttribute>,
     ) {
         if ctx.frames.len() >= self.config.max_frames {
+            // An empty local frame is cheap, but the cap is the cap —
+            // note the trip without ending the visit.
+            if !ctx.frame_cap_noted {
+                ctx.frame_cap_noted = true;
+                ctx.degrade(
+                    ctx.frames.len(),
+                    DegradationKind::FrameCapReached,
+                    Some(format!("frame cap {} reached", self.config.max_frames)),
+                );
+            }
             return;
         }
         let origin = parent_policy.origin().clone();

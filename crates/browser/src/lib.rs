@@ -47,9 +47,10 @@ mod browser;
 mod hooks;
 mod records;
 
-pub use browser::{Browser, BrowserConfig};
+pub use browser::{Browser, BrowserConfig, VisitBudget};
 pub use hooks::BrowserHooks;
 pub use records::{
-    FrameRecord, IframeAttrs, InvocationKind, InvocationRecord, PageVisit, PromptRecord,
-    ScriptRecord, VisitError, VisitOutcome,
+    Completeness, DegradationEvent, DegradationKind, FrameRecord, IframeAttrs, InvocationKind,
+    InvocationRecord, PageVisit, PromptRecord, ScriptOutcome, ScriptRecord, VisitError,
+    VisitOutcome, SCHEMA_VERSION,
 };

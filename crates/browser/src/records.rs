@@ -39,13 +39,66 @@ pub struct InvocationRecord {
     pub policy_blocked: bool,
 }
 
+/// How obtaining / executing a script went (per-script degradation
+/// marker; `Ok` is the quiet default and is omitted from the JSONL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScriptOutcome {
+    /// Fetched (if external), parsed and executed to completion.
+    #[default]
+    Ok,
+    /// The lexer or parser rejected the source; nothing executed.
+    ParseError,
+    /// The per-script step budget (or the recursion guard) tripped;
+    /// execution was cut short.
+    BudgetExceeded,
+    /// The page-wide shared step pool was already (or became) exhausted.
+    PoolExhausted,
+    /// The external fetch failed (DNS, connection, redirect loop, or the
+    /// per-visit fetch cap); `source` is empty.
+    FetchFailed,
+    /// The response exceeded the per-script byte cap; `source` holds the
+    /// truncated prefix and the script was not executed.
+    BytesCapped,
+}
+
 /// A script collected from a frame (for static analysis).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Deserialize)]
 pub struct ScriptRecord {
     /// External URL; `None` for inline scripts and handler attributes.
     pub url: Option<String>,
     /// Source text.
     pub source: String,
+    /// Degradation marker (defaults to [`ScriptOutcome::Ok`] so databases
+    /// written before schema v2 still load).
+    #[serde(default)]
+    pub outcome: ScriptOutcome,
+}
+
+// Hand-written so clean scripts serialize exactly as they did before the
+// `outcome` field existed (schema v1 bytes): the field is emitted only
+// when it carries information.
+impl Serialize for ScriptRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("url".to_string(), self.url.to_value()),
+            ("source".to_string(), self.source.to_value()),
+        ];
+        if self.outcome != ScriptOutcome::Ok {
+            fields.push(("outcome".to_string(), self.outcome.to_value()));
+        }
+        serde::Value::Obj(fields)
+    }
+}
+
+impl ScriptRecord {
+    /// A script that ran (or was collected) cleanly.
+    pub fn ok(url: Option<String>, source: String) -> ScriptRecord {
+        ScriptRecord {
+            url,
+            source,
+            outcome: ScriptOutcome::Ok,
+        }
+    }
 }
 
 /// The iframe attributes collected for an embedded frame (§3.1.2).
@@ -147,8 +200,107 @@ pub enum VisitOutcome {
     CrawlerCrash,
 }
 
-/// A completed page visit.
+/// What kind of resource-governor cap or per-script failure degraded a
+/// visit (the visit-budget / degradation taxonomy; see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DegradationKind {
+    /// A script's source failed to lex or parse.
+    ScriptParseError,
+    /// A script exhausted its per-run step budget (or hit the recursion
+    /// guard) and was cut short.
+    ScriptBudgetExceeded,
+    /// The page-wide shared step pool ran dry; remaining scripts (or
+    /// timers) did not run.
+    ScriptPoolExhausted,
+    /// An external script fetch failed (DNS, connection, redirect loop…).
+    ScriptFetchFailed,
+    /// An external script exceeded the per-script byte cap and was
+    /// truncated without executing.
+    ScriptBytesCapped,
+    /// A document body exceeded the per-document byte cap; only the
+    /// capped prefix was scanned.
+    DocumentBytesCapped,
+    /// The per-visit subresource fetch cap was reached; further external
+    /// scripts were not requested.
+    FetchCapReached,
+    /// A response arrived through more redirect hops than the budget
+    /// allows and was discarded.
+    RedirectHopsExceeded,
+    /// The frame cap was reached; further frames were not loaded.
+    FrameCapReached,
+    /// A document at the depth limit declared iframes that were dropped.
+    FrameDepthTruncated,
+    /// A policy-relevant response header exceeded the header byte cap
+    /// and was treated as absent.
+    HeaderBytesCapped,
+}
+
+impl DegradationKind {
+    /// Stable label used in telemetry and the completeness census.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationKind::ScriptParseError => "script-parse-error",
+            DegradationKind::ScriptBudgetExceeded => "script-budget-exceeded",
+            DegradationKind::ScriptPoolExhausted => "script-pool-exhausted",
+            DegradationKind::ScriptFetchFailed => "script-fetch-failed",
+            DegradationKind::ScriptBytesCapped => "script-bytes-capped",
+            DegradationKind::DocumentBytesCapped => "document-bytes-capped",
+            DegradationKind::FetchCapReached => "fetch-cap-reached",
+            DegradationKind::RedirectHopsExceeded => "redirect-hops-exceeded",
+            DegradationKind::FrameCapReached => "frame-cap-reached",
+            DegradationKind::FrameDepthTruncated => "frame-depth-truncated",
+            DegradationKind::HeaderBytesCapped => "header-bytes-capped",
+        }
+    }
+
+    /// Whether this kind means data was *dropped* (structure the crawler
+    /// never captured), as opposed to scripts misbehaving in captured
+    /// structure.
+    pub fn is_truncating(&self) -> bool {
+        matches!(
+            self,
+            DegradationKind::DocumentBytesCapped
+                | DegradationKind::FetchCapReached
+                | DegradationKind::FrameCapReached
+                | DegradationKind::FrameDepthTruncated
+        )
+    }
+}
+
+/// One structured, deterministic record of a cap trip or per-script
+/// failure during a visit. Replaces the silent `let _ =` / dropped-fetch
+/// behaviour: degraded visits carry the full story instead of looking
+/// complete.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationEvent {
+    /// Frame index the event is attributed to. For frame-cap trips this
+    /// is the index the dropped frame *would* have received.
+    pub frame_id: usize,
+    /// What happened.
+    pub kind: DegradationKind,
+    /// Deterministic detail (script URL, parse message, drop count…).
+    pub detail: Option<String>,
+}
+
+/// Data-completeness classification of a visit (the analysis census).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Completeness {
+    /// No degradation events: everything the page offered was captured.
+    Complete,
+    /// Scripts failed or were cut short, but no structure was dropped.
+    Degraded,
+    /// At least one truncating cap trip: structure exists that the
+    /// record does not contain.
+    Truncated,
+}
+
+/// Version written on records that use the degradation extension.
+/// Records without degradations keep the original (v1) byte layout, so
+/// pre-existing databases and byte-level diffs are unaffected.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// A completed page visit.
+#[derive(Debug, Clone, PartialEq, Eq, Deserialize)]
 pub struct PageVisit {
     /// The URL the crawler was asked to visit.
     pub requested_url: String,
@@ -161,6 +313,33 @@ pub struct PageVisit {
     pub outcome: VisitOutcome,
     /// Simulated milliseconds the visit took.
     pub elapsed_ms: u64,
+    /// Schema version: 0 on legacy / clean records (treated as v1),
+    /// [`SCHEMA_VERSION`] on records carrying degradations.
+    #[serde(default)]
+    pub schema_version: u32,
+    /// Every cap trip and per-script failure, in occurrence order.
+    #[serde(default)]
+    pub degradations: Vec<DegradationEvent>,
+}
+
+// Hand-written so visits without degradations serialize byte-identically
+// to the pre-v2 schema (field order and set unchanged); the two new
+// fields appear only on degraded records.
+impl Serialize for PageVisit {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("requested_url".to_string(), self.requested_url.to_value()),
+            ("frames".to_string(), self.frames.to_value()),
+            ("prompts".to_string(), self.prompts.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+            ("elapsed_ms".to_string(), self.elapsed_ms.to_value()),
+        ];
+        if !self.degradations.is_empty() {
+            fields.push(("schema_version".to_string(), self.schema_version.to_value()));
+            fields.push(("degradations".to_string(), self.degradations.to_value()));
+        }
+        serde::Value::Obj(fields)
+    }
 }
 
 impl PageVisit {
@@ -172,6 +351,17 @@ impl PageVisit {
     /// All embedded (non-top-level) frames.
     pub fn embedded_frames(&self) -> impl Iterator<Item = &FrameRecord> {
         self.frames.iter().filter(|f| !f.is_top_level)
+    }
+
+    /// How complete the captured data is (the §4 "minor error" axis).
+    pub fn completeness(&self) -> Completeness {
+        if self.degradations.is_empty() {
+            Completeness::Complete
+        } else if self.degradations.iter().any(|d| d.kind.is_truncating()) {
+            Completeness::Truncated
+        } else {
+            Completeness::Degraded
+        }
     }
 }
 

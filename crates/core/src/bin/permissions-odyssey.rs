@@ -49,16 +49,16 @@ permissions-odyssey — browser permission ecosystem measurement
 
 USAGE:
   permissions-odyssey crawl    [--size N] [--seed S] [--workers W] [--out FILE]
-                               [--resume] [--retries R]
+                               [--resume] [--retries R] [--adversarial]
                                [--fault-panics PM] [--fault-transients PM]
-  permissions-odyssey analyze  --db FILE [--table NAME] [--top N]
+  permissions-odyssey analyze  --db FILE [--table NAME] [--top N] [--lenient]
   permissions-odyssey lint     <Permissions-Policy header value>
   permissions-odyssey generate [--preset disable-all|disable-powerful]
   permissions-odyssey matrix
   permissions-odyssey poc
 
-TABLES (analyze --table): funnel census t3 t4 t5 t6 summary t7 t8
-  directives f2 t9 misconfig t10 groups exposure all (default)";
+TABLES (analyze --table): funnel census completeness t3 t4 t5 t6 summary
+  t7 t8 directives f2 t9 misconfig t10 groups exposure all (default)";
 
 /// Extracts `--name value` from an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -85,11 +85,16 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     let fault_panics: u32 = parse_flag(args, "--fault-panics", 0)?;
     let fault_transients: u32 = parse_flag(args, "--fault-transients", 0)?;
     let resume = args.iter().any(|a| a == "--resume");
+    let adversarial = args.iter().any(|a| a == "--adversarial");
     let out: PathBuf = flag(args, "--out")
         .unwrap_or_else(|| "crawl.jsonl".to_string())
         .into();
 
-    let population = WebPopulation::new(PopulationConfig { seed, size });
+    let population =
+        WebPopulation::new(PopulationConfig { seed, size }).with_adversarial(adversarial);
+    if adversarial {
+        eprintln!("adversarial-site mode: hostile origins enabled");
+    }
 
     // With --resume, recover the ranks an interrupted run already
     // persisted, drop any torn final line, and append from there.
@@ -188,7 +193,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .into();
     let table = flag(args, "--table").unwrap_or_else(|| "all".to_string());
     let top: usize = parse_flag(args, "--top", 10)?;
-    let dataset = crawler::read_jsonl(&db).map_err(|e| format!("reading {}: {e}", db.display()))?;
+    let lenient = args.iter().any(|a| a == "--lenient");
+    let dataset = if lenient {
+        let (dataset, skipped) = crawler::read_jsonl_lenient(&db)
+            .map_err(|e| format!("reading {}: {e}", db.display()))?;
+        if skipped > 0 {
+            eprintln!(
+                "lenient: skipped {skipped} corrupt line(s) in {}",
+                db.display()
+            );
+        }
+        dataset
+    } else {
+        crawler::read_jsonl(&db).map_err(|e| format!("reading {}: {e}", db.display()))?
+    };
     let all = table == "all";
     let mut matched = false;
     // Ignore write errors: piping into `head` must not panic the tool.
@@ -201,6 +219,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     emit("funnel", &|| dataset.funnel().report());
     emit("census", &|| {
         analysis::census::frame_census(&dataset).table().render()
+    });
+    emit("completeness", &|| {
+        analysis::completeness::data_completeness(&dataset)
+            .table()
+            .render()
     });
     emit("t3", &|| {
         analysis::embeds::top_external_embeds(&dataset)

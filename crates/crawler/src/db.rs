@@ -42,6 +42,27 @@ pub fn read_jsonl(path: &Path) -> std::io::Result<CrawlDataset> {
     Ok(CrawlDataset { records })
 }
 
+/// Reads a dataset from JSONL, skipping (and counting) corrupt lines
+/// anywhere in the file — the `analyze --lenient` salvage path for
+/// databases damaged beyond a torn final line. Returns the dataset and
+/// the number of lines skipped.
+pub fn read_jsonl_lenient(path: &Path) -> std::io::Result<(CrawlDataset, u64)> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records: Vec<SiteRecord> = Vec::new();
+    let mut skipped = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(&line) {
+            Ok(record) => records.push(record),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((CrawlDataset { records }, skipped))
+}
+
 /// What an interrupted crawl left behind, recovered by
 /// [`resume_jsonl`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +166,32 @@ mod tests {
         let path = dir.join("corrupt.jsonl");
         std::fs::write(&path, "{not json}\n").unwrap();
         assert!(read_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_reader_skips_and_counts_corrupt_mid_file_lines() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 6 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lenient.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+
+        // Corrupt two lines in the middle of the file: one mangled JSON,
+        // one raw garbage. The strict reader refuses; the lenient one
+        // salvages everything else and counts the damage.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert!(lines.len() >= 5);
+        lines[1] = lines[1][..lines[1].len() / 2].to_string();
+        lines[3] = "\u{fffd}\u{fffd} not a record".to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        assert!(read_jsonl(&path).is_err());
+        let (salvaged, skipped) = read_jsonl_lenient(&path).unwrap();
+        assert_eq!(skipped, 2);
+        assert_eq!(salvaged.records.len(), dataset.records.len() - 2);
         std::fs::remove_file(&path).ok();
     }
 

@@ -21,6 +21,11 @@ pub struct CrawlFunnel {
     /// Visits excluded for page-budget timeouts / incomplete iframes
     /// (the 65,169 exclusions).
     pub excluded: u64,
+    /// Visits that produced data but carry degradation events (the §4
+    /// "minor errors"). Orthogonal to the six outcome classes above: a
+    /// degraded visit still counts in its outcome class.
+    #[serde(default)]
+    pub minor_errors: u64,
 }
 
 impl CrawlFunnel {
@@ -35,6 +40,19 @@ impl CrawlFunnel {
             O::Ephemeral => self.ephemeral += 1,
             O::CrawlerError => self.crawler_errors += 1,
             O::Excluded => self.excluded += 1,
+        }
+    }
+
+    /// Tallies one site record: its outcome class, plus the minor-error
+    /// count when the visit degraded.
+    pub fn count_record(&mut self, record: &crate::run::SiteRecord) {
+        self.count(record.outcome);
+        if record
+            .visit
+            .as_ref()
+            .is_some_and(|v| !v.degradations.is_empty())
+        {
+            self.minor_errors += 1;
         }
     }
 
@@ -60,14 +78,16 @@ impl CrawlFunnel {
     pub fn report(&self) -> String {
         format!(
             "attempted {}: {} succeeded, {} ephemeral-content errors, {} load timeouts, \
-             {} unreachable, {} crawler errors, {} excluded (page budget)",
+             {} unreachable, {} crawler errors, {} excluded (page budget), \
+             {} with minor errors (degraded)",
             self.attempted,
             self.succeeded,
             self.ephemeral,
             self.load_timeouts,
             self.unreachable,
             self.crawler_errors,
-            self.excluded
+            self.excluded,
+            self.minor_errors
         )
     }
 }
@@ -105,6 +125,7 @@ mod tests {
             ephemeral: 1,
             crawler_errors: 1,
             excluded: 1,
+            minor_errors: 2,
         };
         let r = f.report();
         for needle in [
@@ -113,6 +134,7 @@ mod tests {
             "timeouts",
             "unreachable",
             "excluded",
+            "minor errors",
         ] {
             assert!(r.contains(needle), "{r}");
         }

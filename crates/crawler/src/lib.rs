@@ -31,7 +31,7 @@ mod funnel;
 mod run;
 mod telemetry;
 
-pub use db::{read_jsonl, resume_jsonl, write_jsonl, ResumeState};
+pub use db::{read_jsonl, read_jsonl_lenient, resume_jsonl, write_jsonl, ResumeState};
 pub use funnel::CrawlFunnel;
 pub use netsim::FaultSpec;
 pub use run::{CrawlConfig, CrawlDataset, Crawler, SiteOutcome, SiteRecord};

@@ -131,7 +131,7 @@ impl CrawlDataset {
             ..CrawlFunnel::default()
         };
         for record in &self.records {
-            funnel.count(record.outcome);
+            funnel.count_record(record);
         }
         funnel
     }
@@ -217,6 +217,11 @@ impl Crawler {
         };
         if let Some((telemetry, worker)) = telemetry {
             telemetry.record_visit(worker, record.outcome, record.elapsed_ms, attempts);
+            if let Some(visit) = &record.visit {
+                if !visit.degradations.is_empty() {
+                    telemetry.record_degradations(visit.degradations.len() as u64);
+                }
+            }
         }
         record
     }
@@ -365,7 +370,7 @@ impl Crawler {
                         let Some(record) = buffer.remove(cursor) else {
                             break;
                         };
-                        funnel.count(record.outcome);
+                        funnel.count_record(&record);
                         sink(record);
                         *cursor += 1;
                     }
@@ -473,6 +478,15 @@ fn merge_visits(main: &mut PageVisit, extra: PageVisit) {
         };
         main.frames.push(frame);
     }
+    for mut event in extra.degradations {
+        event.frame_id += offset;
+        main.degradations.push(event);
+    }
+    main.schema_version = if main.degradations.is_empty() {
+        0
+    } else {
+        browser::SCHEMA_VERSION
+    };
 }
 
 #[cfg(test)]

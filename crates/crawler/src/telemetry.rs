@@ -44,6 +44,8 @@ pub struct CrawlTelemetry {
     latency: [AtomicU64; LATENCY_BOUNDS_MS.len() + 1],
     retries: AtomicU64,
     panics_caught: AtomicU64,
+    degraded_visits: AtomicU64,
+    degradation_events: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     /// Per worker: visits completed and simulated ms spent.
@@ -60,6 +62,8 @@ impl CrawlTelemetry {
             latency: Default::default(),
             retries: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
+            degraded_visits: AtomicU64::new(0),
+            degradation_events: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             worker_visits: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -95,6 +99,13 @@ impl CrawlTelemetry {
         self.panics_caught.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one degraded visit and the number of degradation events
+    /// it carried (graceful-degradation accounting).
+    pub fn record_degradations(&self, events: u64) {
+        self.degraded_visits.fetch_add(1, Ordering::Relaxed);
+        self.degradation_events.fetch_add(events, Ordering::Relaxed);
+    }
+
     /// Adds one visit's response-cache counters.
     pub fn record_cache(&self, hits: u64, misses: u64) {
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
@@ -116,6 +127,8 @@ impl CrawlTelemetry {
             latency: self.latency.each_ref().map(|c| c.load(Ordering::Relaxed)),
             retries: self.retries.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            degraded_visits: self.degraded_visits.load(Ordering::Relaxed),
+            degradation_events: self.degradation_events.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             worker_visits: self
@@ -143,6 +156,10 @@ pub struct TelemetrySnapshot {
     pub retries: u64,
     /// Visit attempts that panicked and were isolated.
     pub panics_caught: u64,
+    /// Visits that carried at least one degradation event.
+    pub degraded_visits: u64,
+    /// Total degradation events across all visits.
+    pub degradation_events: u64,
     /// Response-cache hits summed over visits.
     pub cache_hits: u64,
     /// Response-cache misses summed over visits.
@@ -180,6 +197,10 @@ impl TelemetrySnapshot {
         out.push_str(&format!(
             "\n  retries: {} ({} visit attempts panicked and were isolated)",
             self.retries, self.panics_caught
+        ));
+        out.push_str(&format!(
+            "\n  degradation: {} degraded visits carrying {} events",
+            self.degraded_visits, self.degradation_events
         ));
         let lookups = self.cache_hits + self.cache_misses;
         let hit_rate = if lookups == 0 {
@@ -244,11 +265,13 @@ mod tests {
     fn report_mentions_every_section() {
         let t = CrawlTelemetry::new(1);
         t.record_visit(0, SiteOutcome::Success, 200_000, 1);
+        t.record_degradations(3);
         let report = t.snapshot().report();
         assert!(report.contains("outcomes"));
         assert!(report.contains("response cache"));
         assert!(report.contains("visit latency"));
         assert!(report.contains("workers"));
+        assert!(report.contains("1 degraded visits carrying 3 events"));
         // 200s overflows the last bounded bucket.
         assert!(report.contains(">120s:1"));
     }

@@ -65,3 +65,47 @@ proptest! {
         prop_assert_eq!(html::scan(&input), html::scan(&input));
     }
 }
+
+/// Hostile-input fuzzing: arbitrary bytes (lossily decoded, so control
+/// characters, high bytes and replacement characters all appear) must
+/// never panic the tokenizer or scanner.
+fn arb_bytes_as_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u16..256, 0..max).prop_map(|raw| {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    })
+}
+
+proptest! {
+    /// The tokenizer is total over arbitrary byte soup.
+    #[test]
+    fn tokenizer_survives_byte_soup(input in arb_bytes_as_text(600)) {
+        let _ = html::tokenize(&input);
+    }
+
+    /// The scanner is total over arbitrary byte soup, and deterministic.
+    #[test]
+    fn scanner_survives_byte_soup(input in arb_bytes_as_text(600)) {
+        prop_assert_eq!(html::scan(&input), html::scan(&input));
+    }
+
+    /// Byte soup sprinkled with markup fragments (the worst case: almost
+    /// well-formed tags, torn mid-attribute) never panics the scanner.
+    #[test]
+    fn scanner_survives_torn_markup(
+        prefix in arb_bytes_as_text(80),
+        fragment in prop_oneof![
+            Just("<iframe src=\""),
+            Just("<script>var x = '"),
+            Just("</scr"),
+            Just("<!-- <iframe"),
+            Just("<iframe allow="),
+            Just("<script src='"),
+        ],
+        suffix in arb_bytes_as_text(80),
+    ) {
+        let input = format!("{prefix}{fragment}{suffix}");
+        let _ = html::scan(&input);
+        let _ = html::tokenize(&input);
+    }
+}

@@ -18,6 +18,9 @@ pub enum RunError {
     Parse(String),
     /// The step budget was exhausted (runaway script).
     BudgetExceeded,
+    /// The page-wide shared step pool ran dry (earlier scripts consumed
+    /// it); this script was cut short or never started.
+    PoolExhausted,
 }
 
 impl fmt::Display for RunError {
@@ -26,11 +29,65 @@ impl fmt::Display for RunError {
             RunError::Lex(e) => write!(f, "lex error: {e}"),
             RunError::Parse(e) => write!(f, "parse error: {e}"),
             RunError::BudgetExceeded => write!(f, "script step budget exceeded"),
+            RunError::PoolExhausted => write!(f, "page step pool exhausted"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// A page-wide pool of interpreter steps shared by every script of a
+/// visit. Each run draws a grant of `min(per-run budget, remaining)` and
+/// charges back what it used, so one runaway script cannot monopolise
+/// the page and a flood of scripts cannot run forever even if each stays
+/// under its own budget.
+#[derive(Debug, Clone)]
+pub struct StepPool {
+    remaining: u64,
+    limited: bool,
+}
+
+impl StepPool {
+    /// A pool holding `steps` steps in total.
+    pub fn limited(steps: u64) -> StepPool {
+        StepPool {
+            remaining: steps,
+            limited: true,
+        }
+    }
+
+    /// A pool that never runs dry (the pre-pool behaviour).
+    pub fn unlimited() -> StepPool {
+        StepPool {
+            remaining: u64::MAX,
+            limited: false,
+        }
+    }
+
+    /// Steps left in the pool (`u64::MAX` when unlimited).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Whether a limited pool has run dry.
+    pub fn is_exhausted(&self) -> bool {
+        self.limited && self.remaining == 0
+    }
+
+    fn grant(&self, per_run: u64) -> u64 {
+        if self.limited {
+            per_run.min(self.remaining)
+        } else {
+            per_run
+        }
+    }
+
+    fn charge(&mut self, used: u64) {
+        if self.limited {
+            self.remaining = self.remaining.saturating_sub(used);
+        }
+    }
+}
 
 /// Control-flow signal raised during evaluation.
 enum Signal {
@@ -106,17 +163,41 @@ impl Interpreter {
         script: ScriptSource,
         hooks: &mut dyn HostHooks,
     ) -> Result<(), RunError> {
+        self.run_pooled(source, script, hooks, &mut StepPool::unlimited())
+    }
+
+    /// Runs a script against a shared page-wide [`StepPool`]. The run's
+    /// effective budget is `min(per-run budget, pool remaining)`; used
+    /// steps are charged back to the pool. An empty pool fails fast with
+    /// [`RunError::PoolExhausted`] (after syntax checking, so parse
+    /// errors are still reported precisely).
+    pub fn run_pooled(
+        &mut self,
+        source: &str,
+        script: ScriptSource,
+        hooks: &mut dyn HostHooks,
+        pool: &mut StepPool,
+    ) -> Result<(), RunError> {
         let tokens = lexer::lex(source).map_err(|e| RunError::Lex(e.to_string()))?;
         let stmts = parser::parse(&tokens).map_err(|e| RunError::Parse(e.to_string()))?;
-        self.steps_left = self.budget_per_run;
+        if pool.is_exhausted() {
+            return Err(RunError::PoolExhausted);
+        }
+        let grant = pool.grant(self.budget_per_run);
+        self.steps_left = grant;
         self.current_source = script;
         let env = self.globals.clone();
-        match self.eval_block(&stmts, &env, hooks) {
+        let result = self.eval_block(&stmts, &env, hooks);
+        pool.charge(grant - self.steps_left);
+        match result {
             Ok(())
             | Err(Signal::Thrown(_))
             | Err(Signal::Return(_))
             | Err(Signal::Break)
             | Err(Signal::Continue) => Ok(()),
+            // A short grant means the pool, not the script's own budget,
+            // is what ran out.
+            Err(Signal::Budget) if grant < self.budget_per_run => Err(RunError::PoolExhausted),
             Err(Signal::Budget) => Err(RunError::BudgetExceeded),
         }
     }
@@ -124,17 +205,29 @@ impl Interpreter {
     /// Runs queued `setTimeout` callbacks (the crawler's 20-second settle
     /// window lets short timers fire).
     pub fn drain_timers(&mut self, hooks: &mut dyn HostHooks) {
-        // Timers may queue more timers; bound the cascade.
+        self.drain_timers_pooled(hooks, &mut StepPool::unlimited());
+    }
+
+    /// [`Self::drain_timers`] drawing each timer's budget from a shared
+    /// pool. Returns `false` if the pool ran dry and pending timers were
+    /// dropped. Timers may queue more timers; the cascade is bounded.
+    pub fn drain_timers_pooled(&mut self, hooks: &mut dyn HostHooks, pool: &mut StepPool) -> bool {
         for _round in 0..4 {
             let timers = std::mem::take(&mut self.timers);
             if timers.is_empty() {
                 break;
             }
             for func in timers {
-                self.steps_left = self.budget_per_run;
+                if pool.is_exhausted() {
+                    return false;
+                }
+                let grant = pool.grant(self.budget_per_run);
+                self.steps_left = grant;
                 let _ = self.call_function(&func, vec![], hooks);
+                pool.charge(grant - self.steps_left);
             }
         }
+        true
     }
 
     /// Fires all registered handlers for `event` (interaction mode).
@@ -1202,5 +1295,109 @@ mod compound_tests {
         let hooks = run("var o = {count: 1}; o.count += 2;\
              if (o.count === 3) { navigator.canShare(); }");
         assert_eq!(hooks.calls.len(), 1);
+    }
+
+    #[test]
+    fn pool_charges_only_used_steps() {
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::new();
+        let mut pool = StepPool::limited(10_000);
+        interp
+            .run_pooled("var x = 1;", ScriptSource::inline(), &mut hooks, &mut pool)
+            .unwrap();
+        let used = 10_000 - pool.remaining();
+        assert!(used > 0 && used < 100, "used {used}");
+    }
+
+    #[test]
+    fn runaway_script_with_full_grant_is_budget_exceeded() {
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::with_budget(5_000);
+        let mut pool = StepPool::limited(100_000);
+        let err = interp
+            .run_pooled(
+                "while (true) { var x = 1; }",
+                ScriptSource::inline(),
+                &mut hooks,
+                &mut pool,
+            )
+            .unwrap_err();
+        assert_eq!(err, RunError::BudgetExceeded);
+        assert_eq!(pool.remaining(), 95_000);
+    }
+
+    #[test]
+    fn dry_pool_reports_pool_exhaustion() {
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::with_budget(5_000);
+        let mut pool = StepPool::limited(7_000);
+        let runaway = "while (true) { var x = 1; }";
+        // First run drains its full 5k grant; second gets a short 2k
+        // grant and must blame the pool; third never starts.
+        assert_eq!(
+            interp
+                .run_pooled(runaway, ScriptSource::inline(), &mut hooks, &mut pool)
+                .unwrap_err(),
+            RunError::BudgetExceeded
+        );
+        assert_eq!(
+            interp
+                .run_pooled(runaway, ScriptSource::inline(), &mut hooks, &mut pool)
+                .unwrap_err(),
+            RunError::PoolExhausted
+        );
+        assert!(pool.is_exhausted());
+        assert_eq!(
+            interp
+                .run_pooled("var y = 2;", ScriptSource::inline(), &mut hooks, &mut pool)
+                .unwrap_err(),
+            RunError::PoolExhausted
+        );
+    }
+
+    #[test]
+    fn syntax_errors_win_over_pool_exhaustion() {
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::new();
+        let mut pool = StepPool::limited(0);
+        let err = interp
+            .run_pooled("function (", ScriptSource::inline(), &mut hooks, &mut pool)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Parse(_) | RunError::Lex(_)));
+    }
+
+    #[test]
+    fn pooled_timers_stop_when_pool_runs_dry() {
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::with_budget(5_000);
+        let mut pool = StepPool::limited(20_000);
+        interp
+            .run_pooled(
+                "setTimeout(function () { while (true) { var a = 1; } }, 0);\
+                 setTimeout(function () { while (true) { var b = 1; } }, 0);\
+                 setTimeout(function () { navigator.canShare(); }, 0);",
+                ScriptSource::inline(),
+                &mut hooks,
+                &mut pool,
+            )
+            .unwrap();
+        let budget_left = pool.remaining();
+        // Two runaway timers burn 5k each; the third still runs.
+        assert!(interp.drain_timers_pooled(&mut hooks, &mut pool));
+        assert!(pool.remaining() < budget_left);
+        assert_eq!(hooks.calls.len(), 1);
+
+        // With a pool too small for even one timer grant, pending timers
+        // are dropped and reported.
+        let mut interp = Interpreter::with_budget(5_000);
+        let mut dry = StepPool::limited(0);
+        interp
+            .run(
+                "setTimeout(function () { navigator.canShare(); }, 0);",
+                ScriptSource::inline(),
+                &mut hooks,
+            )
+            .unwrap();
+        assert!(!interp.drain_timers_pooled(&mut hooks, &mut dry));
     }
 }

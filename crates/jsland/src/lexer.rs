@@ -81,13 +81,20 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
                 match bytes[i] {
                     b'\\' => {
                         if i + 1 < bytes.len() {
-                            let esc = bytes[i + 1];
-                            out.push(match esc {
-                                b'n' => '\n',
-                                b't' => '\t',
-                                b'r' => '\r',
-                                other => other as char,
-                            });
+                            match bytes[i + 1] {
+                                b'n' => out.push('\n'),
+                                b't' => out.push('\t'),
+                                b'r' => out.push('\r'),
+                                other if other.is_ascii() => out.push(other as char),
+                                // Escaped multibyte char: keep the whole
+                                // char, not just its lead byte (advancing
+                                // by 2 would land mid-character).
+                                lead => {
+                                    let ch_len = utf8_len(lead);
+                                    out.push_str(&source[i + 1..i + 1 + ch_len]);
+                                    i += ch_len - 1;
+                                }
+                            }
                             i += 2;
                         } else {
                             return Err(LexError {
@@ -212,6 +219,17 @@ mod tests {
     fn unicode_in_strings() {
         let t = lex("var x = 'héllo→';").unwrap();
         assert!(t.contains(&Tok::Str("héllo→".to_string())));
+    }
+
+    #[test]
+    fn escaped_multibyte_char_keeps_whole_char() {
+        // A backslash before a multibyte char must not split it (the
+        // fuzzer found a panic here: advancing 2 bytes landed
+        // mid-character).
+        let t = lex("var x = 'a\\é b';").unwrap();
+        assert!(t.contains(&Tok::Str("aé b".to_string())));
+        // And a string of nothing but escaped multibyte chars still lexes.
+        assert!(lex("var y = '\\→\\é';").is_ok());
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod parser;
 mod value;
 
 pub use host::{ApiCall, HostHooks, RecordingHooks, ScriptSource};
-pub use interp::{Interpreter, PendingHandler, RunError};
+pub use interp::{Interpreter, PendingHandler, RunError, StepPool};
 pub use value::Value;
 
 /// Parses a script and reports the first syntax error, if any. Used by the

@@ -1,7 +1,16 @@
 //! Property-based tests for the micro-JS interpreter.
 
-use jsland::{Interpreter, RecordingHooks, ScriptSource};
+use jsland::{Interpreter, RecordingHooks, ScriptSource, StepPool};
 use proptest::prelude::*;
+
+/// Arbitrary bytes lossily decoded to text — the hostile-input shape the
+/// lexer and parser must be total over.
+fn arb_bytes_as_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u16..256, 0..max).prop_map(|raw| {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    })
+}
 
 proptest! {
     /// The lexer+parser pipeline is total: arbitrary input either parses
@@ -94,5 +103,65 @@ proptest! {
         prop_assert!(hooks.calls.is_empty());
         interp.fire_event(&event, &mut hooks);
         prop_assert_eq!(hooks.calls.len(), 1);
+    }
+}
+
+proptest! {
+    /// The lexer+parser pipeline is total over arbitrary byte soup, not
+    /// just printable ASCII.
+    #[test]
+    fn check_syntax_survives_byte_soup(input in arb_bytes_as_text(400)) {
+        let _ = jsland::check_syntax(&input);
+    }
+
+    /// Running arbitrary byte soup under a bounded budget always
+    /// terminates: it parses and runs, errors out, or trips the budget —
+    /// never panics, never wedges.
+    #[test]
+    fn bounded_interpreter_always_terminates(input in arb_bytes_as_text(300)) {
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::with_budget(2_000);
+        let _ = interp.run(&input, ScriptSource::inline(), &mut hooks);
+        interp.drain_timers(&mut hooks);
+    }
+
+    /// Byte soup seeded with statement fragments (almost-valid programs,
+    /// torn mid-token) never panics the bounded interpreter.
+    #[test]
+    fn torn_programs_never_panic(
+        prefix in prop_oneof![
+            Just("var x = "),
+            Just("if ("),
+            Just("function f() { "),
+            Just("navigator.permissions.query({name: '"),
+            Just("while (true) { "),
+            Just("setTimeout(function () { "),
+        ],
+        soup in arb_bytes_as_text(120),
+    ) {
+        let program = format!("{prefix}{soup}");
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::with_budget(2_000);
+        let _ = interp.run(&program, ScriptSource::inline(), &mut hooks);
+    }
+
+    /// `run_pooled` never overdraws the shared pool: whatever the script
+    /// does, the pool's remaining steps only go down by at most what was
+    /// there, and repeated runs against a dry pool stay dry.
+    #[test]
+    fn pooled_runs_never_overdraw(
+        input in arb_bytes_as_text(200),
+        pool_steps in 0u64..5_000,
+    ) {
+        let mut pool = StepPool::limited(pool_steps);
+        let mut hooks = RecordingHooks::default();
+        let mut interp = Interpreter::with_budget(2_000);
+        let before = pool.remaining();
+        let _ = interp.run_pooled(&input, ScriptSource::inline(), &mut hooks, &mut pool);
+        prop_assert!(pool.remaining() <= before);
+        // A second run can only shrink it further.
+        let mid = pool.remaining();
+        let _ = interp.run_pooled(&input, ScriptSource::inline(), &mut hooks, &mut pool);
+        prop_assert!(pool.remaining() <= mid);
     }
 }

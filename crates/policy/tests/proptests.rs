@@ -165,3 +165,63 @@ proptest! {
         );
     }
 }
+
+/// Arbitrary bytes lossily decoded to text — hostile header values.
+fn arb_bytes_as_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u16..256, 0..max).prop_map(|raw| {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    })
+}
+
+proptest! {
+    /// The structured-field dictionary parser is total over byte soup.
+    #[test]
+    fn structured_parser_survives_byte_soup(input in arb_bytes_as_text(300)) {
+        let _ = policy::structured::parse_dictionary(&input);
+    }
+
+    /// The Permissions-Policy header parser is total over byte soup.
+    #[test]
+    fn pp_parser_survives_byte_soup(input in arb_bytes_as_text(300)) {
+        let _ = parse_permissions_policy(&input);
+    }
+
+    /// The allow-attribute parser is total over byte soup (it is lenient
+    /// by spec, so it must *return* — it can't even error).
+    #[test]
+    fn allow_attr_survives_byte_soup(input in arb_bytes_as_text(300)) {
+        let parsed = parse_allow_attribute(&input);
+        // Reserializing whatever survived must also not panic.
+        let _ = parsed.to_attribute_value();
+    }
+
+    /// The validator is total over byte soup and stays consistent with
+    /// its own policy output.
+    #[test]
+    fn validator_survives_byte_soup(input in arb_bytes_as_text(300)) {
+        let report = validate_header(&input);
+        prop_assert_eq!(report.applies(), report.policy.is_some());
+    }
+
+    /// Structured headers seeded with syntax fragments (torn inner
+    /// lists, dangling quotes, parameter soup) never panic any parser.
+    #[test]
+    fn torn_headers_never_panic(
+        fragment in prop_oneof![
+            Just("camera=("),
+            Just("camera=(self \""),
+            Just("geolocation=*, camera"),
+            Just("a=;b"),
+            Just("camera 'none'; microphone"),
+            Just("*;="),
+        ],
+        soup in arb_bytes_as_text(120),
+    ) {
+        let input = format!("{fragment}{soup}");
+        let _ = policy::structured::parse_dictionary(&input);
+        let _ = parse_permissions_policy(&input);
+        let _ = parse_allow_attribute(&input);
+        let _ = validate_header(&input);
+    }
+}

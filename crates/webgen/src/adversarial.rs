@@ -1,0 +1,227 @@
+//! Opt-in adversarial-site mode: hostile pages the resource governor
+//! must survive.
+//!
+//! When enabled (see [`crate::WebPopulation::with_adversarial`]), a
+//! deterministic slice of ranked origins serves hostile content instead
+//! of its calibrated landing page: deeply self-nesting iframes, iframe
+//! floods, runaway and malformed scripts, oversized scripts and headers,
+//! and redirect loops / over-long redirect chains. Each class targets
+//! one cap of the browser's `VisitBudget` (or a per-script failure
+//! path), so an adversarial crawl exercises the whole degradation
+//! taxonomy without panicking or wedging — the hardening ablation in
+//! EXPERIMENTS.md.
+//!
+//! Like everything in `webgen`, hostile content is a pure function of
+//! `(seed, rank)`: same-seed adversarial crawls are byte-identical.
+
+use crate::hashing::{chance, pick};
+
+/// Share of ranked origins that turn hostile in adversarial mode.
+pub const ADVERSARIAL_SHARE: f64 = 0.10;
+
+/// How deep the self-nesting page chain goes before it stops linking
+/// further down (far beyond any sane `max_frame_depth`).
+pub const NEST_CEILING: u64 = 24;
+
+/// Iframes on a frame-flood page (above the default 48-frame cap).
+pub const FLOOD_IFRAMES: usize = 60;
+
+/// Redirect hops in the script redirect chain (above the default
+/// 3-hop budget, below netsim's own 5-redirect limit).
+pub const CHAIN_HOPS: u64 = 4;
+
+/// The ways a hostile site attacks the crawler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileClass {
+    /// A page that embeds itself ever deeper (`/nest?d=N`).
+    DeepIframes,
+    /// A flood of srcdoc iframes past the frame cap.
+    FrameFlood,
+    /// Several `while (true)` scripts that drain the page step pool.
+    RunawayScripts,
+    /// Inline scripts the lexer / parser must reject.
+    MalformedScripts,
+    /// An external script past the per-script byte cap.
+    HugeScript,
+    /// A Permissions-Policy header past the header byte cap.
+    OversizedHeader,
+    /// An external script whose URL redirects to itself forever.
+    RedirectLoop,
+    /// An external script behind more redirect hops than the budget.
+    RedirectChain,
+}
+
+const CLASSES: [HostileClass; 8] = [
+    HostileClass::DeepIframes,
+    HostileClass::FrameFlood,
+    HostileClass::RunawayScripts,
+    HostileClass::MalformedScripts,
+    HostileClass::HugeScript,
+    HostileClass::OversizedHeader,
+    HostileClass::RedirectLoop,
+    HostileClass::RedirectChain,
+];
+
+/// Whether `rank` is hostile (and how), for an adversarial population.
+pub fn hostile_class(seed: u64, rank: u64) -> Option<HostileClass> {
+    if !chance(seed, rank, "adversarial", ADVERSARIAL_SHARE) {
+        return None;
+    }
+    Some(CLASSES[pick(seed, rank, "adversarial-class", CLASSES.len())])
+}
+
+/// The hostile landing page for `rank`'s class.
+pub fn landing_page(seed: u64, rank: u64, class: HostileClass) -> String {
+    let mut body = String::new();
+    match class {
+        HostileClass::DeepIframes => {
+            body.push_str("<iframe src=\"/nest?d=1\"></iframe>\n");
+            body.push_str("<script>var probing = 1;</script>\n");
+        }
+        HostileClass::FrameFlood => {
+            for i in 0..FLOOD_IFRAMES {
+                body.push_str(&format!(
+                    "<iframe id=\"flood{i}\" srcdoc=\"<p>f{i}</p>\"></iframe>\n"
+                ));
+            }
+        }
+        HostileClass::RunawayScripts => {
+            for i in 0..6 {
+                body.push_str(&format!(
+                    "<script>var spin{i} = 0; while (true) {{ spin{i} = spin{i} + 1; }}</script>\n"
+                ));
+            }
+        }
+        HostileClass::MalformedScripts => {
+            // One lexer casualty, two parser casualties, one survivor.
+            body.push_str("<script>var s = 'unterminated</script>\n");
+            body.push_str("<script>function ( { ]</script>\n");
+            body.push_str("<script>var = ;</script>\n");
+            body.push_str("<script>navigator.getBattery();</script>\n");
+        }
+        HostileClass::HugeScript => {
+            body.push_str("<script src=\"/adv/big.js\"></script>\n");
+        }
+        HostileClass::OversizedHeader => {
+            // The attack is the header (attached by the provider); the
+            // body looks like a normal small page.
+            body.push_str("<script>navigator.permissions.query({name: 'camera'});</script>\n");
+        }
+        HostileClass::RedirectLoop => {
+            body.push_str("<script src=\"/adv/loop.js\"></script>\n");
+        }
+        HostileClass::RedirectChain => {
+            body.push_str("<script src=\"/adv/chain0.js\"></script>\n");
+        }
+    }
+    wrap_page(seed, rank, &body)
+}
+
+/// A page in the self-nesting chain: embeds `/nest?d=depth+1` until the
+/// ceiling. The crawler's depth cap is expected to cut this off long
+/// before the ceiling does.
+pub fn nested_page(seed: u64, rank: u64, depth: u64) -> String {
+    let mut body = format!("<p>nesting level {depth}</p>\n");
+    if depth < NEST_CEILING {
+        body.push_str(&format!(
+            "<iframe src=\"/nest?d={}\"></iframe>\n",
+            depth + 1
+        ));
+    }
+    wrap_page(seed, rank, &body)
+}
+
+/// An external script larger than any sane per-script byte cap
+/// (~96 KiB of valid, boring statements).
+pub fn huge_script() -> String {
+    let mut out = String::with_capacity(100 * 1024);
+    let mut i = 0u64;
+    while out.len() < 96 * 1024 {
+        out.push_str(&format!(
+            "var filler{i} = 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx';\n"
+        ));
+        i += 1;
+    }
+    out
+}
+
+/// A syntactically valid Permissions-Policy value far beyond the header
+/// byte cap.
+pub fn oversized_policy_header() -> String {
+    let members: Vec<String> = (0..400)
+        .map(|i| format!("\"https://pad{i}.example\""))
+        .collect();
+    format!("camera=({})", members.join(" "))
+}
+
+/// The redirect-chain hop target for `/adv/chain<i>.js`, or `None` when
+/// the chain ends and the script itself is served.
+pub fn chain_next(index: u64) -> Option<u64> {
+    (index < CHAIN_HOPS).then_some(index + 1)
+}
+
+fn wrap_page(seed: u64, rank: u64, body: &str) -> String {
+    // Salt the title so hostile pages differ across seeds/ranks like
+    // real pages do.
+    let tag = crate::hashing::h(seed, rank, "adversarial-tag") % 10_000;
+    format!(
+        "<!doctype html>\n<html>\n<head><title>hostile {tag}</title></head>\n\
+         <body>\n{body}</body>\n</html>\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostile_share_is_roughly_calibrated() {
+        let hostile = (1..=10_000u64)
+            .filter(|&r| hostile_class(7, r).is_some())
+            .count();
+        assert!((800..=1_200).contains(&hostile), "{hostile}");
+    }
+
+    #[test]
+    fn every_class_appears() {
+        for class in CLASSES {
+            assert!(
+                (1..=10_000u64).any(|r| hostile_class(7, r) == Some(class)),
+                "{class:?} never generated"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_pages_are_deterministic() {
+        for rank in 1..=200u64 {
+            if let Some(class) = hostile_class(7, rank) {
+                assert_eq!(landing_page(7, rank, class), landing_page(7, rank, class));
+            }
+        }
+    }
+
+    #[test]
+    fn huge_script_is_big_but_valid() {
+        let script = huge_script();
+        assert!(script.len() > 90 * 1024);
+        assert!(jsland::check_syntax(&script).is_ok());
+    }
+
+    #[test]
+    fn oversized_header_is_oversized() {
+        assert!(oversized_policy_header().len() > 8_192);
+    }
+
+    #[test]
+    fn chain_terminates() {
+        let mut index = 0;
+        let mut hops = 0;
+        while let Some(next) = chain_next(index) {
+            index = next;
+            hops += 1;
+            assert!(hops <= CHAIN_HOPS);
+        }
+        assert_eq!(hops, CHAIN_HOPS);
+    }
+}

@@ -37,6 +37,7 @@
 //! ));
 //! ```
 
+pub mod adversarial;
 pub mod domains;
 pub mod hashing;
 pub mod headers;

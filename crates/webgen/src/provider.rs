@@ -8,6 +8,7 @@
 use netsim::{ProviderResult, Response, SiteBehavior};
 use weburl::Url;
 
+use crate::adversarial::{self, HostileClass};
 use crate::domains;
 use crate::site::{self, FailureClass};
 use crate::trackers;
@@ -17,12 +18,30 @@ use crate::PopulationConfig;
 /// The synthetic web.
 pub struct WebPopulation {
     config: PopulationConfig,
+    /// Opt-in hostile-site mode (see [`crate::adversarial`]).
+    adversarial: bool,
 }
 
 impl WebPopulation {
     /// Creates the population.
     pub fn new(config: PopulationConfig) -> WebPopulation {
-        WebPopulation { config }
+        WebPopulation {
+            config,
+            adversarial: false,
+        }
+    }
+
+    /// Enables (or disables) adversarial-site mode: a deterministic
+    /// [`adversarial::ADVERSARIAL_SHARE`] of ranked origins serves
+    /// hostile content targeting the browser's resource governor.
+    pub fn with_adversarial(mut self, enabled: bool) -> WebPopulation {
+        self.adversarial = enabled;
+        self
+    }
+
+    /// Whether adversarial-site mode is on.
+    pub fn adversarial_enabled(&self) -> bool {
+        self.adversarial
     }
 
     /// The configuration.
@@ -60,6 +79,13 @@ impl WebPopulation {
         let seed = self.seed();
         if rank == 0 || rank > self.config.size {
             return ProviderResult::DnsFailure;
+        }
+        // Hostile ranks replace their calibrated site wholesale (no
+        // failure injection / redirect twins: the attack IS the page).
+        if self.adversarial {
+            if let Some(class) = adversarial::hostile_class(seed, rank) {
+                return self.hostile_first_party(url, rank, class);
+            }
         }
         if site::failure_class(seed, rank) == FailureClass::Dns {
             return ProviderResult::DnsFailure;
@@ -107,6 +133,70 @@ impl WebPopulation {
             // Same-origin inner pages (interaction-mode navigation).
             Response::html(url.clone(), site::secondary_page_html(seed, rank))
         };
+        ProviderResult::Content { response, behavior }
+    }
+
+    /// Serves a hostile rank: its landing page, self-nesting pages, and
+    /// the `/adv/*` attack scripts.
+    fn hostile_first_party(&self, url: &Url, rank: u64, class: HostileClass) -> ProviderResult {
+        let seed = self.seed();
+        let behavior = SiteBehavior {
+            latency_ms: 120,
+            post_fetch_failure: None,
+        };
+        let path = url.path();
+        if path == "/adv/loop.js" {
+            // Self-redirect forever; netsim's redirect limit errors out.
+            return ProviderResult::Redirect(url.clone());
+        }
+        if let Some(index) = path
+            .strip_prefix("/adv/chain")
+            .and_then(|rest| rest.strip_suffix(".js"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            return match adversarial::chain_next(index) {
+                Some(next) => {
+                    let target = format!(
+                        "{}://{}/adv/chain{next}.js",
+                        url.scheme(),
+                        url.host().unwrap_or_default()
+                    );
+                    ProviderResult::Redirect(Url::parse(&target).expect("chain url"))
+                }
+                None => ProviderResult::Content {
+                    response: Response::script(url.clone(), "var arrived = true;"),
+                    behavior,
+                },
+            };
+        }
+        if path == "/adv/big.js" {
+            return ProviderResult::Content {
+                response: Response::script(url.clone(), adversarial::huge_script()),
+                behavior,
+            };
+        }
+        if path == "/nest" {
+            let depth = url
+                .query()
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("d="))
+                        .and_then(|v| v.parse().ok())
+                })
+                .unwrap_or(0);
+            return ProviderResult::Content {
+                response: Response::html(url.clone(), adversarial::nested_page(seed, rank, depth)),
+                behavior,
+            };
+        }
+        let mut response =
+            Response::html(url.clone(), adversarial::landing_page(seed, rank, class));
+        if class == HostileClass::OversizedHeader {
+            response = response.with_header(
+                "Permissions-Policy",
+                &adversarial::oversized_policy_header(),
+            );
+        }
         ProviderResult::Content { response, behavior }
     }
 }

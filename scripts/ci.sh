@@ -14,6 +14,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fuzz suites (hostile-input hardening)"
+cargo test -q -p html -p jsland -p policy --test proptests
+
+echo "==> hardened test pass (debug assertions + overflow checks)"
+RUSTFLAGS="-C debug-assertions -C overflow-checks" \
+    cargo test -q -p html -p jsland -p policy -p browser
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

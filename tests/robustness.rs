@@ -2,6 +2,7 @@
 //! sizes and configurations — no panics, conserved invariants.
 
 use permissions_odyssey::prelude::*;
+use permissions_odyssey::{browser, crawler};
 
 #[test]
 fn pipeline_survives_many_seeds() {
@@ -87,6 +88,106 @@ fn frame_invariants_hold_everywhere() {
         for prompt in &visit.prompts {
             assert!(prompt.frame_id < n);
             assert!(prompt.permission.info().powerful);
+        }
+    }
+}
+
+/// The hardening acceptance test: an adversarial population (hostile
+/// iframes, runaway/malformed/oversized scripts, oversized headers,
+/// redirect loops) crawls to completion with zero caught panics, every
+/// degraded visit carries at least one structured degradation event, and
+/// same-seed reruns are byte-identical.
+#[test]
+fn adversarial_crawl_degrades_gracefully_and_deterministically() {
+    use std::collections::BTreeSet;
+
+    let crawl_once = || {
+        let population = WebPopulation::new(PopulationConfig {
+            seed: 11,
+            size: 300,
+        })
+        .with_adversarial(true);
+        let telemetry = crawler::CrawlTelemetry::new(4);
+        let mut records = Vec::new();
+        let funnel = Crawler::new(CrawlConfig::default()).crawl_streaming_observed(
+            &population,
+            &BTreeSet::new(),
+            &telemetry,
+            |record| records.push(record),
+        );
+        records.sort_by_key(|r| r.rank);
+        (CrawlDataset { records }, funnel, telemetry.snapshot())
+    };
+
+    let (dataset, funnel, snapshot) = crawl_once();
+
+    // No content-layer panic escaped into the catch-all.
+    assert_eq!(snapshot.panics_caught, 0, "hostile input caused a panic");
+
+    // The hostile slice actually degraded visits, every one of them
+    // carries at least one event, and telemetry agrees with the records.
+    let mut degraded_visits = 0u64;
+    let mut total_events = 0u64;
+    let mut kinds = BTreeSet::new();
+    for record in &dataset.records {
+        let Some(visit) = &record.visit else { continue };
+        if visit.degradations.is_empty() {
+            assert_eq!(visit.schema_version, 0, "clean visits keep the v1 layout");
+            continue;
+        }
+        degraded_visits += 1;
+        total_events += visit.degradations.len() as u64;
+        assert_eq!(visit.schema_version, browser::SCHEMA_VERSION);
+        for event in &visit.degradations {
+            assert!(event.frame_id < visit.frames.len().max(1) + 64);
+            kinds.insert(event.kind);
+        }
+    }
+    assert!(
+        degraded_visits > 0,
+        "adversarial mode produced no degradation"
+    );
+    assert!(
+        kinds.len() >= 4,
+        "expected several degradation kinds, got {kinds:?}"
+    );
+    assert_eq!(snapshot.degraded_visits, degraded_visits);
+    assert_eq!(snapshot.degradation_events, total_events);
+    assert_eq!(funnel.minor_errors, degraded_visits);
+
+    // Degradation events serialize: the dataset round-trips to JSONL and
+    // same-seed reruns are byte-identical.
+    let dir = std::env::temp_dir().join("odyssey-adversarial-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path_a, path_b) = (dir.join("a.jsonl"), dir.join("b.jsonl"));
+    crawler::write_jsonl(&dataset, &path_a).unwrap();
+    let (rerun, _, _) = crawl_once();
+    crawler::write_jsonl(&rerun, &path_b).unwrap();
+    let bytes_a = std::fs::read(&path_a).unwrap();
+    let bytes_b = std::fs::read(&path_b).unwrap();
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same-seed adversarial crawls must be byte-identical"
+    );
+    let reread = crawler::read_jsonl(&path_a).unwrap();
+    assert_eq!(reread.records.len(), dataset.records.len());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // With adversarial mode off, the same population is entirely clean:
+    // the governor's caps are headroom for calibrated sites, not a tax.
+    let baseline_pop = WebPopulation::new(PopulationConfig {
+        seed: 11,
+        size: 300,
+    });
+    let baseline = Crawler::new(CrawlConfig::default()).crawl(&baseline_pop);
+    for record in &baseline.records {
+        if let Some(visit) = &record.visit {
+            assert!(
+                visit.degradations.is_empty(),
+                "baseline visit degraded at rank {}",
+                record.rank
+            );
+            assert_eq!(visit.schema_version, 0);
         }
     }
 }
