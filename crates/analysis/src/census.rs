@@ -1,6 +1,6 @@
 //! Frame census (§4's document accounting).
 
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::table::{pct, TextTable};
@@ -87,28 +87,31 @@ impl FrameCensus {
     }
 }
 
-/// Computes the census over successful visits.
-pub fn frame_census(dataset: &CrawlDataset) -> FrameCensus {
-    let mut census = FrameCensus::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
-        census.websites += 1;
+impl FrameCensus {
+    /// Folds one site record into the census (streaming counterpart of
+    /// [`frame_census`]; success outcomes only, like the batch path).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != crawler::SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
+        self.websites += 1;
         let mut direct = 0u64;
         for frame in &visit.frames {
-            census.frames += 1;
+            self.frames += 1;
             if frame.is_top_level {
-                census.top_level += 1;
+                self.top_level += 1;
                 if frame
                     .url
                     .as_deref()
                     .is_some_and(|u| u != record.origin && !u.starts_with(&record.origin))
                 {
-                    census.redirected_websites += 1;
+                    self.redirected_websites += 1;
                 }
             } else {
-                census.embedded += 1;
+                self.embedded += 1;
                 if frame.is_local_document {
-                    census.embedded_local += 1;
+                    self.embedded_local += 1;
                 }
                 if frame.depth == 1 {
                     direct += 1;
@@ -116,9 +119,29 @@ pub fn frame_census(dataset: &CrawlDataset) -> FrameCensus {
             }
         }
         if direct > 0 {
-            census.websites_with_iframes += 1;
-            census.direct_iframes += direct;
+            self.websites_with_iframes += 1;
+            self.direct_iframes += direct;
         }
+    }
+
+    /// Merges a census folded over another partition of the dataset.
+    pub fn merge(&mut self, other: FrameCensus) {
+        self.websites += other.websites;
+        self.frames += other.frames;
+        self.top_level += other.top_level;
+        self.embedded += other.embedded;
+        self.embedded_local += other.embedded_local;
+        self.websites_with_iframes += other.websites_with_iframes;
+        self.direct_iframes += other.direct_iframes;
+        self.redirected_websites += other.redirected_websites;
+    }
+}
+
+/// Computes the census over successful visits.
+pub fn frame_census(dataset: &CrawlDataset) -> FrameCensus {
+    let mut census = FrameCensus::default();
+    for record in &dataset.records {
+        census.fold(record);
     }
     census
 }

@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 
 use browser::Completeness;
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteRecord};
 
 use crate::table::{pct, TextTable};
 
@@ -53,22 +53,42 @@ impl CompletenessCensus {
     }
 }
 
+impl CompletenessCensus {
+    /// Folds one record into the census. Unlike the success-only tables
+    /// this sees every visit: a degraded excluded visit still counts.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        let Some(visit) = &record.visit else { return };
+        self.visits += 1;
+        match visit.completeness() {
+            Completeness::Complete => self.complete += 1,
+            Completeness::Degraded => self.degraded += 1,
+            Completeness::Truncated => self.truncated += 1,
+        }
+        for event in &visit.degradations {
+            self.events += 1;
+            *self.by_kind.entry(event.kind.label()).or_insert(0) += 1;
+        }
+    }
+
+    /// Merges a census folded over another partition of the dataset.
+    pub fn merge(&mut self, other: CompletenessCensus) {
+        self.visits += other.visits;
+        self.complete += other.complete;
+        self.degraded += other.degraded;
+        self.truncated += other.truncated;
+        self.events += other.events;
+        for (kind, count) in other.by_kind {
+            *self.by_kind.entry(kind).or_insert(0) += count;
+        }
+    }
+}
+
 /// Computes the completeness census over every visit in the dataset
 /// (not just successes: a degraded excluded visit is still accounting).
 pub fn data_completeness(dataset: &CrawlDataset) -> CompletenessCensus {
     let mut census = CompletenessCensus::default();
     for record in &dataset.records {
-        let Some(visit) = &record.visit else { continue };
-        census.visits += 1;
-        match visit.completeness() {
-            Completeness::Complete => census.complete += 1,
-            Completeness::Degraded => census.degraded += 1,
-            Completeness::Truncated => census.truncated += 1,
-        }
-        for event in &visit.degradations {
-            census.events += 1;
-            *census.by_kind.entry(event.kind.label()).or_insert(0) += 1;
-        }
+        census.fold(record);
     }
     census
 }

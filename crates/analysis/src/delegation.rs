@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use policy::{parse_allow_attribute, DelegationDirective};
 use registry::Permission;
 use serde::{Deserialize, Serialize};
@@ -41,12 +41,14 @@ fn delegates(allow: Option<&str>) -> bool {
         .unwrap_or(false)
 }
 
-/// Computes Table 7 (direct iframes only, like the paper).
-pub fn delegated_embeds(dataset: &CrawlDataset) -> DelegatedEmbedStats {
-    let mut stats = DelegatedEmbedStats::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
-        stats.websites += 1;
+impl DelegatedEmbedStats {
+    /// Folds one site record (successes only) into the Table 7 tallies.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
+        self.websites += 1;
         let own_site = visit.top_frame().and_then(|f| f.site.clone());
         let mut any = false;
         let mut external = false;
@@ -80,20 +82,41 @@ pub fn delegated_embeds(dataset: &CrawlDataset) -> DelegatedEmbedStats {
             }
         }
         for site in &included_sites {
-            stats.rows.entry(site.clone()).or_default().inclusions += 1;
+            self.rows.entry(site.clone()).or_default().inclusions += 1;
         }
         for site in delegated_sites {
-            stats.rows.entry(site).or_default().websites += 1;
+            self.rows.entry(site).or_default().websites += 1;
         }
         if any {
-            stats.websites_delegating_any += 1;
+            self.websites_delegating_any += 1;
         }
         if external {
-            stats.websites_delegating_external += 1;
+            self.websites_delegating_external += 1;
         }
         if third_party {
-            stats.websites_delegating_third_party += 1;
+            self.websites_delegating_third_party += 1;
         }
+    }
+
+    /// Merges tallies folded over another partition of the dataset.
+    pub fn merge(&mut self, other: DelegatedEmbedStats) {
+        for (site, row) in other.rows {
+            let mine = self.rows.entry(site).or_default();
+            mine.websites += row.websites;
+            mine.inclusions += row.inclusions;
+        }
+        self.websites_delegating_any += other.websites_delegating_any;
+        self.websites_delegating_external += other.websites_delegating_external;
+        self.websites_delegating_third_party += other.websites_delegating_third_party;
+        self.websites += other.websites;
+    }
+}
+
+/// Computes Table 7 (direct iframes only, like the paper).
+pub fn delegated_embeds(dataset: &CrawlDataset) -> DelegatedEmbedStats {
+    let mut stats = DelegatedEmbedStats::default();
+    for record in &dataset.records {
+        stats.fold(record);
     }
     stats
 }
@@ -177,11 +200,14 @@ pub struct DelegatedPermissionStats {
     pub websites_any: u64,
 }
 
-/// Computes Table 8 and the §4.2.2 directive mix.
-pub fn delegated_permissions(dataset: &CrawlDataset) -> DelegatedPermissionStats {
-    let mut stats = DelegatedPermissionStats::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+impl DelegatedPermissionStats {
+    /// Folds one site record (successes only) into the Table 8 tallies
+    /// and directive mix.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let own_site = visit.top_frame().and_then(|f| f.site.clone());
         let mut site_perms: BTreeSet<Permission> = BTreeSet::new();
         let mut any = false;
@@ -201,17 +227,17 @@ pub fn delegated_permissions(dataset: &CrawlDataset) -> DelegatedPermissionStats
             let parsed = parse_allow_attribute(allow);
             for delegation in parsed.delegations() {
                 match delegation.directive {
-                    DelegationDirective::DefaultSrc => stats.directives.default_src += 1,
-                    DelegationDirective::Star => stats.directives.star += 1,
-                    DelegationDirective::ExplicitSrc => stats.directives.explicit_src += 1,
+                    DelegationDirective::DefaultSrc => self.directives.default_src += 1,
+                    DelegationDirective::Star => self.directives.star += 1,
+                    DelegationDirective::ExplicitSrc => self.directives.explicit_src += 1,
                     DelegationDirective::None => {
-                        stats.directives.none += 1;
+                        self.directives.none += 1;
                         continue; // a 'none' entry is not a delegation
                     }
-                    DelegationDirective::Specific => stats.directives.specific += 1,
+                    DelegationDirective::Specific => self.directives.specific += 1,
                 }
                 if let Some(p) = delegation.permission {
-                    let row = stats.rows.entry(p).or_default();
+                    let row = self.rows.entry(p).or_default();
                     row.delegations += 1;
                     site_perms.insert(p);
                     any = true;
@@ -219,11 +245,34 @@ pub fn delegated_permissions(dataset: &CrawlDataset) -> DelegatedPermissionStats
             }
         }
         for p in site_perms {
-            stats.rows.get_mut(&p).unwrap().websites += 1;
+            self.rows.get_mut(&p).unwrap().websites += 1;
         }
         if any {
-            stats.websites_any += 1;
+            self.websites_any += 1;
         }
+    }
+
+    /// Merges tallies folded over another partition of the dataset.
+    pub fn merge(&mut self, other: DelegatedPermissionStats) {
+        for (p, row) in other.rows {
+            let mine = self.rows.entry(p).or_default();
+            mine.delegations += row.delegations;
+            mine.websites += row.websites;
+        }
+        self.directives.default_src += other.directives.default_src;
+        self.directives.star += other.directives.star;
+        self.directives.explicit_src += other.directives.explicit_src;
+        self.directives.none += other.directives.none;
+        self.directives.specific += other.directives.specific;
+        self.websites_any += other.websites_any;
+    }
+}
+
+/// Computes Table 8 and the §4.2.2 directive mix.
+pub fn delegated_permissions(dataset: &CrawlDataset) -> DelegatedPermissionStats {
+    let mut stats = DelegatedPermissionStats::default();
+    for record in &dataset.records {
+        stats.fold(record);
     }
     stats
 }
@@ -446,13 +495,21 @@ pub struct PurposeGroupStats {
     pub groups: BTreeMap<PurposeGroup, (u64, u64)>,
 }
 
-/// Computes the purpose-group census.
-pub fn purpose_groups(dataset: &CrawlDataset) -> PurposeGroupStats {
-    // Collect the typical delegated set per embedded site and the number
-    // of websites delegating to it.
-    let mut per_site: BTreeMap<String, (BTreeSet<Permission>, BTreeSet<u64>)> = BTreeMap::new();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`purpose_groups`]: the union of
+/// delegated permissions and the set of delegating websites, per
+/// embedded site, classified only at [`PurposeGroupAcc::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct PurposeGroupAcc {
+    per_site: BTreeMap<String, (BTreeSet<Permission>, BTreeSet<u64>)>,
+}
+
+impl PurposeGroupAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let own_site = visit.top_frame().and_then(|f| f.site.clone());
         for frame in visit.embedded_frames() {
             if frame.depth != 1 || frame.is_local_document {
@@ -478,19 +535,44 @@ pub fn purpose_groups(dataset: &CrawlDataset) -> PurposeGroupStats {
             if perms.is_empty() {
                 continue;
             }
-            let entry = per_site.entry(site.clone()).or_default();
+            let entry = self.per_site.entry(site.clone()).or_default();
             entry.0.extend(perms);
             entry.1.insert(record.rank);
         }
     }
-    let mut stats = PurposeGroupStats::default();
-    for (_, (perms, ranks)) in per_site {
-        let group = classify_purpose(&perms);
-        let entry = stats.groups.entry(group).or_default();
-        entry.0 += 1;
-        entry.1 += ranks.len() as u64;
+
+    /// Merges an accumulator folded over another partition: permission
+    /// sets and delegating-website sets union per embedded site, so the
+    /// partitioning never shows in the classification.
+    pub fn merge(&mut self, other: PurposeGroupAcc) {
+        for (site, (perms, ranks)) in other.per_site {
+            let entry = self.per_site.entry(site).or_default();
+            entry.0.extend(perms);
+            entry.1.extend(ranks);
+        }
     }
-    stats
+
+    /// Classifies every embedded site's accumulated permission set into
+    /// its purpose group.
+    pub fn finish(self) -> PurposeGroupStats {
+        let mut stats = PurposeGroupStats::default();
+        for (_, (perms, ranks)) in self.per_site {
+            let group = classify_purpose(&perms);
+            let entry = stats.groups.entry(group).or_default();
+            entry.0 += 1;
+            entry.1 += ranks.len() as u64;
+        }
+        stats
+    }
+}
+
+/// Computes the purpose-group census.
+pub fn purpose_groups(dataset: &CrawlDataset) -> PurposeGroupStats {
+    let mut acc = PurposeGroupAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
+    }
+    acc.finish()
 }
 
 impl PurposeGroupStats {

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -25,12 +25,22 @@ pub struct EmbedStats {
     pub total_any: u64,
 }
 
-/// Computes the external-embed census.
-pub fn top_external_embeds(dataset: &CrawlDataset) -> EmbedStats {
-    let mut per_site: BTreeMap<String, u64> = BTreeMap::new();
-    let mut total_any = 0u64;
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`top_external_embeds`]: the unsorted
+/// per-site tallies, ready to fold one record at a time and merge across
+/// shard partitions.
+#[derive(Debug, Clone, Default)]
+pub struct EmbedAcc {
+    per_site: BTreeMap<String, u64>,
+    total_any: u64,
+}
+
+impl EmbedAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let own_site = visit.top_frame().and_then(|f| f.site.clone());
         let mut seen: BTreeSet<&str> = BTreeSet::new();
         for frame in visit.embedded_frames() {
@@ -44,18 +54,44 @@ pub fn top_external_embeds(dataset: &CrawlDataset) -> EmbedStats {
             }
         }
         if !seen.is_empty() {
-            total_any += 1;
+            self.total_any += 1;
         }
         for site in seen {
-            *per_site.entry(site.to_string()).or_default() += 1;
+            *self.per_site.entry(site.to_string()).or_default() += 1;
         }
     }
-    let mut rows: Vec<EmbedRow> = per_site
-        .into_iter()
-        .map(|(site, websites)| EmbedRow { site, websites })
-        .collect();
-    rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.site.cmp(&b.site)));
-    EmbedStats { rows, total_any }
+
+    /// Merges an accumulator folded over another partition.
+    pub fn merge(&mut self, other: EmbedAcc) {
+        self.total_any += other.total_any;
+        for (site, count) in other.per_site {
+            *self.per_site.entry(site).or_default() += count;
+        }
+    }
+
+    /// Finalizes into the ranked [`EmbedStats`]. The sort is total-order
+    /// (count desc, then site asc), so fold order never shows.
+    pub fn finish(self) -> EmbedStats {
+        let mut rows: Vec<EmbedRow> = self
+            .per_site
+            .into_iter()
+            .map(|(site, websites)| EmbedRow { site, websites })
+            .collect();
+        rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.site.cmp(&b.site)));
+        EmbedStats {
+            rows,
+            total_any: self.total_any,
+        }
+    }
+}
+
+/// Computes the external-embed census.
+pub fn top_external_embeds(dataset: &CrawlDataset) -> EmbedStats {
+    let mut acc = EmbedAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
+    }
+    acc.finish()
 }
 
 impl EmbedStats {

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use policy::allowlist::AllowlistMember;
 use policy::header::DeclaredPolicy;
 use policy::validate::validate_header;
@@ -33,45 +33,67 @@ pub struct HeaderAdoption {
     pub both_websites: u64,
 }
 
-/// Computes Figure 2. Local documents are excluded (no headers — §4.3).
-pub fn header_adoption(dataset: &CrawlDataset) -> HeaderAdoption {
-    let mut a = HeaderAdoption::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+impl HeaderAdoption {
+    /// Folds one site record (successes only) into the Figure 2 counts.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let mut site_pp = false;
         let mut site_fp = false;
         for frame in &visit.frames {
             if frame.is_local_document {
                 continue;
             }
-            a.documents += 1;
+            self.documents += 1;
             let has_pp = frame.permissions_policy_header.is_some();
             let has_fp = frame.feature_policy_header.is_some();
             if has_pp {
-                a.pp_documents += 1;
+                self.pp_documents += 1;
             }
             if has_fp {
-                a.fp_documents += 1;
+                self.fp_documents += 1;
             }
             if frame.is_top_level {
-                a.top_documents += 1;
+                self.top_documents += 1;
                 if has_pp {
-                    a.pp_top += 1;
+                    self.pp_top += 1;
                     site_pp = true;
                 }
                 if has_fp {
                     site_fp = true;
                 }
             } else {
-                a.embedded_documents += 1;
+                self.embedded_documents += 1;
                 if has_pp {
-                    a.pp_embedded += 1;
+                    self.pp_embedded += 1;
                 }
             }
         }
         if site_pp && site_fp {
-            a.both_websites += 1;
+            self.both_websites += 1;
         }
+    }
+
+    /// Merges counts folded over another partition of the dataset.
+    pub fn merge(&mut self, other: HeaderAdoption) {
+        self.documents += other.documents;
+        self.pp_documents += other.pp_documents;
+        self.fp_documents += other.fp_documents;
+        self.top_documents += other.top_documents;
+        self.pp_top += other.pp_top;
+        self.embedded_documents += other.embedded_documents;
+        self.pp_embedded += other.pp_embedded;
+        self.both_websites += other.both_websites;
+    }
+}
+
+/// Computes Figure 2. Local documents are excluded (no headers — §4.3).
+pub fn header_adoption(dataset: &CrawlDataset) -> HeaderAdoption {
+    let mut a = HeaderAdoption::default();
+    for record in &dataset.records {
+        a.fold(record);
     }
     a
 }
@@ -203,24 +225,35 @@ fn classify(policy_value: &policy::Allowlist) -> DirectiveClass {
     }
 }
 
-/// Computes Table 9 over top-level documents with parseable headers.
-pub fn top_level_directives(dataset: &CrawlDataset) -> TopLevelDirectiveStats {
-    let mut stats = TopLevelDirectiveStats::default();
-    let mut total_directives = 0u64;
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`top_level_directives`]: carries the
+/// raw directive total so the average is derived only at
+/// [`TopLevelDirectiveAcc::finish`], after all partitions merge.
+#[derive(Debug, Clone, Default)]
+pub struct TopLevelDirectiveAcc {
+    stats: TopLevelDirectiveStats,
+    total_directives: u64,
+}
+
+impl TopLevelDirectiveAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let Some(top) = visit.top_frame() else {
-            continue;
+            return;
         };
         let Some(header) = &top.permissions_policy_header else {
-            continue;
+            return;
         };
         let Ok(parsed) = policy::parse_permissions_policy(header) else {
-            continue;
+            return;
         };
-        stats.parsed_sites += 1;
-        total_directives += parsed.len() as u64;
-        *stats
+        self.stats.parsed_sites += 1;
+        self.total_directives += parsed.len() as u64;
+        *self
+            .stats
             .directive_count_histogram
             .entry(parsed.len())
             .or_default() += 1;
@@ -241,18 +274,51 @@ pub fn top_level_directives(dataset: &CrawlDataset) -> TopLevelDirectiveStats {
                 .or_insert(class);
         }
         for (p, class) in per_perm {
-            let row = stats.rows.entry(p).or_default();
+            let row = self.stats.rows.entry(p).or_default();
             row.websites += 1;
             *row.classes.entry(class).or_default() += 1;
-            *stats.totals.entry(class).or_default() += 1;
+            *self.stats.totals.entry(class).or_default() += 1;
         }
     }
-    stats.avg_directives = if stats.parsed_sites == 0 {
-        0.0
-    } else {
-        total_directives as f64 / stats.parsed_sites as f64
-    };
-    stats
+
+    /// Merges an accumulator folded over another partition.
+    pub fn merge(&mut self, other: TopLevelDirectiveAcc) {
+        for (p, row) in other.stats.rows {
+            let mine = self.stats.rows.entry(p).or_default();
+            mine.websites += row.websites;
+            for (class, count) in row.classes {
+                *mine.classes.entry(class).or_default() += count;
+            }
+        }
+        self.stats.parsed_sites += other.stats.parsed_sites;
+        for (len, count) in other.stats.directive_count_histogram {
+            *self.stats.directive_count_histogram.entry(len).or_default() += count;
+        }
+        for (class, count) in other.stats.totals {
+            *self.stats.totals.entry(class).or_default() += count;
+        }
+        self.total_directives += other.total_directives;
+    }
+
+    /// Finalizes into [`TopLevelDirectiveStats`], computing the average
+    /// from the merged integer totals.
+    pub fn finish(mut self) -> TopLevelDirectiveStats {
+        self.stats.avg_directives = if self.stats.parsed_sites == 0 {
+            0.0
+        } else {
+            self.total_directives as f64 / self.stats.parsed_sites as f64
+        };
+        self.stats
+    }
+}
+
+/// Computes Table 9 over top-level documents with parseable headers.
+pub fn top_level_directives(dataset: &CrawlDataset) -> TopLevelDirectiveStats {
+    let mut acc = TopLevelDirectiveAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
+    }
+    acc.finish()
 }
 
 impl TopLevelDirectiveStats {
@@ -355,13 +421,23 @@ pub struct EmbeddedDirectiveMix {
     pub documents: u64,
 }
 
-/// Computes the §4.3.2 embedded-document directive mix.
-pub fn embedded_directive_mix(dataset: &CrawlDataset) -> EmbeddedDirectiveMix {
-    let mut mix = EmbeddedDirectiveMix::default();
-    let mut directives = 0u64;
-    let mut client_hints = 0u64;
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`embedded_directive_mix`]: keeps the
+/// directive / client-hint counters as integers until
+/// [`EmbeddedDirectiveMixAcc::finish`] derives the share.
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddedDirectiveMixAcc {
+    mix: EmbeddedDirectiveMix,
+    directives: u64,
+    client_hints: u64,
+}
+
+impl EmbeddedDirectiveMixAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         for frame in visit.embedded_frames() {
             if frame.is_local_document {
                 continue;
@@ -372,27 +448,52 @@ pub fn embedded_directive_mix(dataset: &CrawlDataset) -> EmbeddedDirectiveMix {
             let Ok(parsed) = policy::parse_permissions_policy(header) else {
                 continue;
             };
-            mix.documents += 1;
+            self.mix.documents += 1;
             for directive in parsed.directives() {
                 let Some(p) = directive.permission else {
                     continue;
                 };
-                directives += 1;
+                self.directives += 1;
                 if p.is_client_hint() {
-                    client_hints += 1;
+                    self.client_hints += 1;
                 }
-                *mix.totals
+                *self
+                    .mix
+                    .totals
                     .entry(classify(&directive.allowlist))
                     .or_default() += 1;
             }
         }
     }
-    mix.client_hint_share = if directives == 0 {
-        0.0
-    } else {
-        client_hints as f64 / directives as f64
-    };
-    mix
+
+    /// Merges an accumulator folded over another partition.
+    pub fn merge(&mut self, other: EmbeddedDirectiveMixAcc) {
+        for (class, count) in other.mix.totals {
+            *self.mix.totals.entry(class).or_default() += count;
+        }
+        self.mix.documents += other.mix.documents;
+        self.directives += other.directives;
+        self.client_hints += other.client_hints;
+    }
+
+    /// Finalizes into [`EmbeddedDirectiveMix`].
+    pub fn finish(mut self) -> EmbeddedDirectiveMix {
+        self.mix.client_hint_share = if self.directives == 0 {
+            0.0
+        } else {
+            self.client_hints as f64 / self.directives as f64
+        };
+        self.mix
+    }
+}
+
+/// Computes the §4.3.2 embedded-document directive mix.
+pub fn embedded_directive_mix(dataset: &CrawlDataset) -> EmbeddedDirectiveMix {
+    let mut acc = EmbeddedDirectiveMixAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
+    }
+    acc.finish()
 }
 
 /// §4.3.3 misconfiguration counts.
@@ -413,11 +514,13 @@ pub struct MisconfigStats {
     pub semantic_embedded_websites: u64,
 }
 
-/// Computes §4.3.3.
-pub fn misconfigurations(dataset: &CrawlDataset) -> MisconfigStats {
-    let mut stats = MisconfigStats::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+impl MisconfigStats {
+    /// Folds one site record (successes only) into the §4.3.3 counts.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let mut site_syntax = false;
         let mut site_semantic = false;
         let mut embedded_semantic = false;
@@ -425,14 +528,14 @@ pub fn misconfigurations(dataset: &CrawlDataset) -> MisconfigStats {
             let Some(header) = &frame.permissions_policy_header else {
                 continue;
             };
-            stats.declaring_frames += 1;
+            self.declaring_frames += 1;
             let report = validate_header(header);
             if report.syntax_error.is_some() {
-                stats.syntax_error_frames += 1;
+                self.syntax_error_frames += 1;
                 if frame.is_top_level {
                     site_syntax = true;
                 } else {
-                    stats.syntax_error_embedded += 1;
+                    self.syntax_error_embedded += 1;
                 }
             } else if report.is_misconfigured() {
                 if frame.is_top_level {
@@ -443,14 +546,32 @@ pub fn misconfigurations(dataset: &CrawlDataset) -> MisconfigStats {
             }
         }
         if site_syntax {
-            stats.syntax_error_websites += 1;
+            self.syntax_error_websites += 1;
         }
         if site_semantic {
-            stats.semantic_websites += 1;
+            self.semantic_websites += 1;
         }
         if embedded_semantic {
-            stats.semantic_embedded_websites += 1;
+            self.semantic_embedded_websites += 1;
         }
+    }
+
+    /// Merges counts folded over another partition of the dataset.
+    pub fn merge(&mut self, other: MisconfigStats) {
+        self.declaring_frames += other.declaring_frames;
+        self.syntax_error_frames += other.syntax_error_frames;
+        self.syntax_error_websites += other.syntax_error_websites;
+        self.syntax_error_embedded += other.syntax_error_embedded;
+        self.semantic_websites += other.semantic_websites;
+        self.semantic_embedded_websites += other.semantic_embedded_websites;
+    }
+}
+
+/// Computes §4.3.3.
+pub fn misconfigurations(dataset: &CrawlDataset) -> MisconfigStats {
+    let mut stats = MisconfigStats::default();
+    for record in &dataset.records {
+        stats.fold(record);
     }
     stats
 }

@@ -34,6 +34,7 @@ pub mod overpermission;
 pub mod paper;
 pub mod prompts;
 pub mod report;
+pub mod stream;
 pub mod table;
 pub mod usage;
 pub mod validation;

@@ -25,7 +25,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use policy::parse_allow_attribute;
 use registry::{DefaultAllowlist, Permission};
 use serde::{Deserialize, Serialize};
@@ -78,42 +78,34 @@ fn delegated_permissions_of(frame: &browser::FrameRecord) -> Vec<Permission> {
         .collect()
 }
 
-/// Runs the §5 unused-delegation analysis.
-pub fn unused_delegations(dataset: &CrawlDataset) -> OverPermissionStats {
-    // Pass 1: per embedded site, delegation prevalence — how often each
-    // permission appears among the site's delegated iframes.
-    #[derive(Default)]
-    struct Prevalence {
-        delegated_frames: u64,
-        delegation_counts: BTreeMap<Permission, u64>,
-    }
-    let mut prevalence: BTreeMap<String, Prevalence> = BTreeMap::new();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
-        let own_site = visit.top_frame().and_then(|f| f.site.clone());
-        for frame in visit.embedded_frames() {
-            let Some(site) = &frame.site else { continue };
-            if Some(site) == own_site.as_ref() {
-                continue;
-            }
-            let delegated = delegated_permissions_of(frame);
-            if delegated.is_empty() {
-                continue;
-            }
-            let acc = prevalence.entry(site.clone()).or_default();
-            acc.delegated_frames += 1;
-            for p in delegated {
-                *acc.delegation_counts.entry(p).or_default() += 1;
-            }
-        }
-    }
+/// Per-embedded-site working state for [`OverPermissionAcc`]: delegation
+/// prevalence plus the *candidate* unused pairs (permission → embedding
+/// ranks where an instance delegated it with no observed activity). The
+/// 5% prevalence filter only applies at finish, against fully merged
+/// counts — which is what makes the analysis a single pass.
+#[derive(Debug, Clone, Default)]
+struct SiteOverPermission {
+    delegated_frames: u64,
+    delegation_counts: BTreeMap<Permission, u64>,
+    candidates: BTreeMap<Permission, BTreeSet<u64>>,
+}
 
-    // Pass 2: per instance, test prevalent delegated permissions against
-    // the instance's own observed activity.
-    let mut rows: BTreeMap<String, (BTreeSet<Permission>, BTreeSet<u64>)> = BTreeMap::new();
-    let mut affected_union: BTreeSet<u64> = BTreeSet::new();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`unused_delegations`]. Candidacy (an
+/// instance delegates a risk-relevant permission and shows no activity
+/// for it) is a per-record fact, so it folds; the prevalence threshold
+/// is a whole-dataset fact, so it waits for [`OverPermissionAcc::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct OverPermissionAcc {
+    per_site: BTreeMap<String, SiteOverPermission>,
+}
+
+impl OverPermissionAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let own_site = visit.top_frame().and_then(|f| f.site.clone());
         for frame in visit.embedded_frames() {
             let Some(site) = &frame.site else { continue };
@@ -124,9 +116,6 @@ pub fn unused_delegations(dataset: &CrawlDataset) -> OverPermissionStats {
             if delegated.is_empty() {
                 continue;
             }
-            let Some(site_prev) = prevalence.get(site) else {
-                continue;
-            };
             // The instance's activity: invocations + static findings.
             let mut activity: BTreeSet<Permission> = BTreeSet::new();
             for inv in &frame.invocations {
@@ -140,38 +129,75 @@ pub fn unused_delegations(dataset: &CrawlDataset) -> OverPermissionStats {
                         .copied(),
                 );
             }
+            let acc = self.per_site.entry(site.clone()).or_default();
+            acc.delegated_frames += 1;
             for p in delegated {
-                if !risk_relevant(p) || activity.contains(&p) {
-                    continue;
+                *acc.delegation_counts.entry(p).or_default() += 1;
+                if risk_relevant(p) && !activity.contains(&p) {
+                    acc.candidates.entry(p).or_default().insert(record.rank);
                 }
-                let share = site_prev.delegation_counts.get(&p).copied().unwrap_or(0) as f64
-                    / site_prev.delegated_frames as f64;
+            }
+        }
+    }
+
+    /// Merges an accumulator folded over another partition: prevalence
+    /// counters add, candidate rank sets union.
+    pub fn merge(&mut self, other: OverPermissionAcc) {
+        for (site, acc) in other.per_site {
+            let mine = self.per_site.entry(site).or_default();
+            mine.delegated_frames += acc.delegated_frames;
+            for (p, count) in acc.delegation_counts {
+                *mine.delegation_counts.entry(p).or_default() += count;
+            }
+            for (p, ranks) in acc.candidates {
+                mine.candidates.entry(p).or_default().extend(ranks);
+            }
+        }
+    }
+
+    /// Applies the 5% prevalence filter to the merged candidates and
+    /// builds the §5 result.
+    pub fn finish(self) -> OverPermissionStats {
+        let mut rows: BTreeMap<String, (BTreeSet<Permission>, BTreeSet<u64>)> = BTreeMap::new();
+        let mut affected_union: BTreeSet<u64> = BTreeSet::new();
+        for (site, acc) in self.per_site {
+            for (p, ranks) in acc.candidates {
+                let share = acc.delegation_counts.get(&p).copied().unwrap_or(0) as f64
+                    / acc.delegated_frames as f64;
                 if share < 0.05 {
                     continue;
                 }
                 let entry = rows.entry(site.clone()).or_default();
                 entry.0.insert(p);
-                entry.1.insert(record.rank);
-                affected_union.insert(record.rank);
+                entry.1.extend(ranks.iter().copied());
+                affected_union.extend(ranks);
             }
         }
+        OverPermissionStats {
+            rows: rows
+                .into_iter()
+                .map(|(site, (unused, affected))| {
+                    (
+                        site,
+                        UnusedDelegationRow {
+                            unused,
+                            affected_websites: affected.len() as u64,
+                        },
+                    )
+                })
+                .collect(),
+            total_affected: affected_union.len() as u64,
+        }
     }
+}
 
-    OverPermissionStats {
-        rows: rows
-            .into_iter()
-            .map(|(site, (unused, affected))| {
-                (
-                    site,
-                    UnusedDelegationRow {
-                        unused,
-                        affected_websites: affected.len() as u64,
-                    },
-                )
-            })
-            .collect(),
-        total_affected: affected_union.len() as u64,
+/// Runs the §5 unused-delegation analysis.
+pub fn unused_delegations(dataset: &CrawlDataset) -> OverPermissionStats {
+    let mut acc = OverPermissionAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
     }
+    acc.finish()
 }
 
 impl OverPermissionStats {

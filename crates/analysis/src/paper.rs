@@ -97,10 +97,19 @@ pub struct Comparison {
     pub scale: f64,
 }
 
-/// Builds the paper-vs-measured comparison.
-pub fn comparison(dataset: &CrawlDataset) -> Comparison {
-    let websites = dataset.successes().count() as f64;
-    let scale = websites / PAPER_WEBSITES;
+/// Builds the comparison from already-computed statistics — the form
+/// the streaming [`crate::stream::TableSet`] path uses, since every
+/// input is a finished table it already holds. `websites` is the count
+/// of successful visits (the scale denominator).
+pub fn comparison_from_parts(
+    websites: u64,
+    embeds: &crate::embeds::EmbedStats,
+    delegated: &crate::delegation::DelegatedEmbedStats,
+    over: &crate::overpermission::OverPermissionStats,
+    summary: &crate::usage::UsageSummary,
+    adoption: &crate::headers::HeaderAdoption,
+) -> Comparison {
+    let scale = websites as f64 / PAPER_WEBSITES;
     let mut rows = Vec::new();
     let mut push = |label: String, paper: f64, measured: f64| {
         rows.push(ComparisonRow {
@@ -111,7 +120,6 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
     };
 
     // Embeds (Table 3).
-    let embeds = crate::embeds::top_external_embeds(dataset);
     for (site, paper) in TABLE3 {
         push(
             format!("T3 embeds: {site}"),
@@ -121,14 +129,12 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
     }
 
     // Delegation (Table 7).
-    let delegated = crate::delegation::delegated_embeds(dataset);
     for (site, paper) in TABLE7 {
         let measured = delegated.rows.get(*site).map(|r| r.websites).unwrap_or(0);
         push(format!("T7 delegating: {site}"), *paper, measured as f64);
     }
 
     // Over-permission (Table 10).
-    let over = crate::overpermission::unused_delegations(dataset);
     for (site, paper) in TABLE10 {
         let measured = over
             .rows
@@ -149,7 +155,6 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
 
     // Headline aggregates (site-based paper equivalents: printed % are
     // per top-level doc, so counts are the honest common currency).
-    let summary = crate::usage::usage_summary(dataset);
     push(
         "any permission functionality".into(),
         48.52 / 100.0 * PAPER_TOP_LEVEL_DOCS,
@@ -171,7 +176,6 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
         summary.feature_policy_api as f64,
     );
 
-    let adoption = crate::headers::header_adoption(dataset);
     push(
         "PP header, top-level docs".into(),
         50_469.0,
@@ -186,22 +190,40 @@ pub fn comparison(dataset: &CrawlDataset) -> Comparison {
     Comparison { rows, scale }
 }
 
+/// Builds the paper-vs-measured comparison.
+pub fn comparison(dataset: &CrawlDataset) -> Comparison {
+    comparison_from_parts(
+        dataset.successes().count() as u64,
+        &crate::embeds::top_external_embeds(dataset),
+        &crate::delegation::delegated_embeds(dataset),
+        &crate::overpermission::unused_delegations(dataset),
+        &crate::usage::usage_summary(dataset),
+        &crate::headers::header_adoption(dataset),
+    )
+}
+
+impl Comparison {
+    /// Renders the comparison.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            &format!("Paper vs measured (paper counts scaled ×{:.4})", self.scale),
+            &["Metric", "Paper (scaled)", "Measured", "Ratio"],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                format!("{:.0}", row.paper_scaled),
+                format!("{:.0}", row.measured),
+                format!("{:.2}", row.ratio()),
+            ]);
+        }
+        t
+    }
+}
+
 /// Renders the comparison.
 pub fn comparison_table(dataset: &CrawlDataset) -> TextTable {
-    let cmp = comparison(dataset);
-    let mut t = TextTable::new(
-        &format!("Paper vs measured (paper counts scaled ×{:.4})", cmp.scale),
-        &["Metric", "Paper (scaled)", "Measured", "Ratio"],
-    );
-    for row in &cmp.rows {
-        t.row(vec![
-            row.label.clone(),
-            format!("{:.0}", row.paper_scaled),
-            format!("{:.0}", row.measured),
-            format!("{:.2}", row.ratio()),
-        ]);
-    }
-    t
+    comparison(dataset).table()
 }
 
 #[cfg(test)]

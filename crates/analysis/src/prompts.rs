@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use registry::Permission;
 use serde::{Deserialize, Serialize};
 
@@ -37,20 +37,22 @@ pub struct PromptStats {
     pub websites_embedded_on_behalf: u64,
 }
 
-/// Computes the prompt census over successful visits.
-pub fn prompt_census(dataset: &CrawlDataset) -> PromptStats {
-    let mut stats = PromptStats::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
-        if visit.prompts.is_empty() {
-            continue;
+impl PromptStats {
+    /// Folds one site record (successes only) into the census.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
         }
-        stats.websites_any += 1;
+        let Some(visit) = &record.visit else { return };
+        if visit.prompts.is_empty() {
+            return;
+        }
+        self.websites_any += 1;
         let mut site_perms: std::collections::BTreeSet<Permission> =
             std::collections::BTreeSet::new();
         let mut embedded_on_behalf = false;
         for prompt in &visit.prompts {
-            let row = stats.rows.entry(prompt.permission).or_default();
+            let row = self.rows.entry(prompt.permission).or_default();
             if prompt.from_embedded {
                 row.embedded += 1;
                 // storage-access prompts name the embedded document, all
@@ -64,11 +66,31 @@ pub fn prompt_census(dataset: &CrawlDataset) -> PromptStats {
             site_perms.insert(prompt.permission);
         }
         for p in site_perms {
-            stats.rows.get_mut(&p).unwrap().websites += 1;
+            self.rows.get_mut(&p).unwrap().websites += 1;
         }
         if embedded_on_behalf {
-            stats.websites_embedded_on_behalf += 1;
+            self.websites_embedded_on_behalf += 1;
         }
+    }
+
+    /// Merges tallies folded over another partition of the dataset.
+    pub fn merge(&mut self, other: PromptStats) {
+        for (p, row) in other.rows {
+            let mine = self.rows.entry(p).or_default();
+            mine.top_level += row.top_level;
+            mine.embedded += row.embedded;
+            mine.websites += row.websites;
+        }
+        self.websites_any += other.websites_any;
+        self.websites_embedded_on_behalf += other.websites_embedded_on_behalf;
+    }
+}
+
+/// Computes the prompt census over successful visits.
+pub fn prompt_census(dataset: &CrawlDataset) -> PromptStats {
+    let mut stats = PromptStats::default();
+    for record in &dataset.records {
+        stats.fold(record);
     }
     stats
 }

@@ -23,46 +23,108 @@ impl Default for ReportConfig {
     }
 }
 
-/// Renders the complete evaluation report from a dataset.
+/// Renders the complete evaluation report from a dataset. All tables
+/// come from one [`crate::stream::TableSet`] pass over the records.
 pub fn full_report(dataset: &CrawlDataset, config: &ReportConfig) -> String {
+    use crate::stream::{Accumulator, TableSelection, TableSet};
+    let mut set = TableSet::new(TableSelection::report(config.extensions));
+    for record in &dataset.records {
+        set.fold(record);
+    }
+    render_report(set.finish(), config)
+}
+
+/// Renders the report sections from finished tables (the selection must
+/// be [`crate::stream::TableSelection::report`]).
+fn render_report(tables: crate::stream::Tables, config: &ReportConfig) -> String {
     let n = config.top_n;
-    let delegation = crate::delegation::delegated_permissions(dataset);
+    let funnel = tables.funnel.expect("report selects the funnel");
+    let summary = tables.summary.expect("report selects the summary");
+    let embeds = tables.embeds.expect("report selects embeds");
+    let adoption = tables.adoption.expect("report selects adoption");
+    let delegated_embeds = tables
+        .delegated_embeds
+        .expect("report selects delegated embeds");
+    let delegation = tables
+        .delegated_permissions
+        .expect("report selects delegated permissions");
+    let overpermission = tables
+        .overpermission
+        .expect("report selects over-permission");
     let mut sections: Vec<String> = vec![
-        format!("== Crawl funnel (§4) ==\n{}\n", dataset.funnel().report()),
-        crate::census::frame_census(dataset).table().render(),
-        crate::embeds::top_external_embeds(dataset)
+        format!("== Crawl funnel (§4) ==\n{}\n", funnel.report()),
+        tables
+            .census
+            .expect("report selects the census")
+            .table()
+            .render(),
+        embeds.table(n).render(),
+        tables
+            .invocations
+            .expect("report selects invocations")
             .table(n)
             .render(),
-        crate::usage::invocation_table(dataset).table(n).render(),
-        crate::usage::status_check_table(dataset).table(n).render(),
-        crate::usage::static_table(dataset).table(n).render(),
-        crate::usage::usage_summary(dataset).table().render(),
-        crate::delegation::delegated_embeds(dataset)
+        tables
+            .status_checks
+            .expect("report selects status checks")
             .table(n)
             .render(),
+        tables
+            .statics
+            .expect("report selects static findings")
+            .table(n)
+            .render(),
+        summary.table().render(),
+        delegated_embeds.table(n).render(),
         delegation.table(n).render(),
         delegation.directive_table().render(),
-        {
-            let adoption = crate::headers::header_adoption(dataset);
-            format!("{}\n{}", adoption.figure(), adoption.table().render())
-        },
-        crate::headers::top_level_directives(dataset)
+        format!("{}\n{}", adoption.figure(), adoption.table().render()),
+        tables
+            .top_level_directives
+            .expect("report selects Table 9")
             .table(n)
             .render(),
-        crate::headers::misconfigurations(dataset).table().render(),
-        crate::overpermission::unused_delegations(dataset)
-            .table(n.max(30))
+        tables
+            .misconfigurations
+            .expect("report selects misconfigurations")
+            .table()
             .render(),
+        overpermission.table(n.max(30)).render(),
     ];
     if config.extensions {
-        sections.push(crate::delegation::purpose_groups(dataset).table().render());
         sections.push(
-            crate::vulnerability::local_scheme_exposure(dataset)
+            tables
+                .purpose_groups
+                .expect("extensions select purpose groups")
                 .table()
                 .render(),
         );
-        sections.push(crate::prompts::prompt_census(dataset).table().render());
-        sections.push(crate::paper::comparison_table(dataset).render());
+        sections.push(
+            tables
+                .exposure
+                .expect("extensions select exposure")
+                .table()
+                .render(),
+        );
+        sections.push(
+            tables
+                .prompts
+                .expect("extensions select prompts")
+                .table()
+                .render(),
+        );
+        sections.push(
+            crate::paper::comparison_from_parts(
+                funnel.succeeded,
+                &embeds,
+                &delegated_embeds,
+                &overpermission,
+                &summary,
+                &adoption,
+            )
+            .table()
+            .render(),
+        );
     }
     sections.join("\n")
 }

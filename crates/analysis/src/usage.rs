@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use browser::{FrameRecord, InvocationKind};
-use crawler::CrawlDataset;
+use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use registry::Permission;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +51,12 @@ impl ContextTally {
         if third {
             self.third_party += 1;
         }
+    }
+
+    fn merge(&mut self, other: ContextTally) {
+        self.contexts += other.contexts;
+        self.first_party += other.first_party;
+        self.third_party += other.third_party;
     }
 }
 
@@ -107,12 +113,22 @@ fn per_frame_keys(frame: &FrameRecord) -> BTreeMap<UsageKey, (bool, bool)> {
     keys
 }
 
-/// Computes Table 4.
-pub fn invocation_table(dataset: &CrawlDataset) -> InvocationStats {
-    let mut stats = InvocationStats::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
-        stats.websites += 1;
+impl InvocationRow {
+    fn merge(&mut self, other: InvocationRow) {
+        self.top.merge(other.top);
+        self.embedded.merge(other.embedded);
+        self.websites += other.websites;
+    }
+}
+
+impl InvocationStats {
+    /// Folds one site record (successes only) into the Table 4 tallies.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
+        self.websites += 1;
         let mut site_keys: BTreeSet<UsageKey> = BTreeSet::new();
         let mut any_top = false;
         let mut any_embedded = false;
@@ -124,7 +140,7 @@ pub fn invocation_table(dataset: &CrawlDataset) -> InvocationStats {
             }
             let (mut first_any, mut third_any) = (false, false);
             for (key, (first, third)) in &keys {
-                let row = stats.rows.entry(*key).or_default();
+                let row = self.rows.entry(*key).or_default();
                 let tally = if frame.is_top_level {
                     &mut row.top
                 } else {
@@ -137,29 +153,49 @@ pub fn invocation_table(dataset: &CrawlDataset) -> InvocationStats {
             }
             let total_tally = if frame.is_top_level {
                 any_top = true;
-                &mut stats.total.top
+                &mut self.total.top
             } else {
                 any_embedded = true;
-                &mut stats.total.embedded
+                &mut self.total.embedded
             };
             total_tally.add(first_any, third_any);
             fp_api |= frame.invocations.iter().any(|r| r.via_feature_policy_api);
         }
         for key in site_keys {
-            stats.rows.get_mut(&key).unwrap().websites += 1;
+            self.rows.get_mut(&key).unwrap().websites += 1;
         }
         if any_top || any_embedded {
-            stats.total.websites += 1;
+            self.total.websites += 1;
         }
         if any_top {
-            stats.websites_top += 1;
+            self.websites_top += 1;
         }
         if any_embedded {
-            stats.websites_embedded += 1;
+            self.websites_embedded += 1;
         }
         if fp_api {
-            stats.websites_feature_policy_api += 1;
+            self.websites_feature_policy_api += 1;
         }
+    }
+
+    /// Merges tallies folded over another partition of the dataset.
+    pub fn merge(&mut self, other: InvocationStats) {
+        for (key, row) in other.rows {
+            self.rows.entry(key).or_default().merge(row);
+        }
+        self.total.merge(other.total);
+        self.websites += other.websites;
+        self.websites_top += other.websites_top;
+        self.websites_embedded += other.websites_embedded;
+        self.websites_feature_policy_api += other.websites_feature_policy_api;
+    }
+}
+
+/// Computes Table 4.
+pub fn invocation_table(dataset: &CrawlDataset) -> InvocationStats {
+    let mut stats = InvocationStats::default();
+    for record in &dataset.records {
+        stats.fold(record);
     }
     stats
 }
@@ -259,14 +295,26 @@ pub struct StatusCheckStats {
     pub max_specific: u64,
 }
 
-/// Computes Table 5.
-pub fn status_check_table(dataset: &CrawlDataset) -> StatusCheckStats {
-    let mut stats = StatusCheckStats::default();
-    let mut all_contexts = 0u64;
-    let mut embedded_contexts = 0u64;
-    let mut specific_counts: Vec<u64> = Vec::new();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`status_check_table`]: integer totals
+/// only — the shares and means that Table 5 reports are derived once in
+/// [`StatusCheckAcc::finish`], so partitioning cannot perturb them.
+#[derive(Debug, Clone, Default)]
+pub struct StatusCheckAcc {
+    stats: StatusCheckStats,
+    all_contexts: u64,
+    embedded_contexts: u64,
+    specific_sum: u64,
+    specific_docs: u64,
+    max_specific: u64,
+}
+
+impl StatusCheckAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let mut site_keys: BTreeSet<CheckKey> = BTreeSet::new();
         let mut any_top = false;
         let mut any_embedded = false;
@@ -294,10 +342,10 @@ pub fn status_check_table(dataset: &CrawlDataset) -> StatusCheckStats {
             if frame_keys.is_empty() {
                 continue;
             }
-            all_contexts += 1;
+            self.all_contexts += 1;
             if !frame.is_top_level {
                 any_embedded = true;
-                embedded_contexts += 1;
+                self.embedded_contexts += 1;
             } else {
                 any_top = true;
                 let specific = frame_keys
@@ -305,11 +353,13 @@ pub fn status_check_table(dataset: &CrawlDataset) -> StatusCheckStats {
                     .filter(|k| matches!(k, CheckKey::Permission(_)))
                     .count() as u64;
                 if specific > 0 {
-                    specific_counts.push(specific);
+                    self.specific_sum += specific;
+                    self.specific_docs += 1;
+                    self.max_specific = self.max_specific.max(specific);
                 }
             }
             for key in &frame_keys {
-                let row = stats.rows.entry(*key).or_default();
+                let row = self.stats.rows.entry(*key).or_default();
                 row.contexts += 1;
                 if !frame.is_top_level {
                     row.embedded_contexts += 1;
@@ -318,30 +368,63 @@ pub fn status_check_table(dataset: &CrawlDataset) -> StatusCheckStats {
             site_keys.extend(frame_keys);
         }
         if !site_keys.is_empty() {
-            stats.total_websites += 1;
+            self.stats.total_websites += 1;
         }
         if any_top {
-            stats.websites_top += 1;
+            self.stats.websites_top += 1;
         }
         if any_embedded {
-            stats.websites_embedded += 1;
+            self.stats.websites_embedded += 1;
         }
         for key in site_keys {
-            stats.rows.get_mut(&key).unwrap().websites += 1;
+            self.stats.rows.get_mut(&key).unwrap().websites += 1;
         }
     }
-    stats.embedded_context_share = if all_contexts == 0 {
-        0.0
-    } else {
-        embedded_contexts as f64 / all_contexts as f64
-    };
-    stats.mean_specific_per_top_doc = if specific_counts.is_empty() {
-        0.0
-    } else {
-        specific_counts.iter().sum::<u64>() as f64 / specific_counts.len() as f64
-    };
-    stats.max_specific = specific_counts.into_iter().max().unwrap_or(0);
-    stats
+
+    /// Merges an accumulator folded over another partition.
+    pub fn merge(&mut self, other: StatusCheckAcc) {
+        for (key, row) in other.stats.rows {
+            let mine = self.stats.rows.entry(key).or_default();
+            mine.websites += row.websites;
+            mine.embedded_contexts += row.embedded_contexts;
+            mine.contexts += row.contexts;
+        }
+        self.stats.total_websites += other.stats.total_websites;
+        self.stats.websites_top += other.stats.websites_top;
+        self.stats.websites_embedded += other.stats.websites_embedded;
+        self.all_contexts += other.all_contexts;
+        self.embedded_contexts += other.embedded_contexts;
+        self.specific_sum += other.specific_sum;
+        self.specific_docs += other.specific_docs;
+        self.max_specific = self.max_specific.max(other.max_specific);
+    }
+
+    /// Finalizes into [`StatusCheckStats`], deriving the float shares
+    /// from the merged integer totals.
+    pub fn finish(self) -> StatusCheckStats {
+        let mut stats = self.stats;
+        stats.embedded_context_share = if self.all_contexts == 0 {
+            0.0
+        } else {
+            self.embedded_contexts as f64 / self.all_contexts as f64
+        };
+        stats.mean_specific_per_top_doc = if self.specific_docs == 0 {
+            0.0
+        } else {
+            self.specific_sum as f64 / self.specific_docs as f64
+        };
+        stats.max_specific = self.max_specific;
+        stats
+    }
+}
+
+/// Computes Table 5.
+pub fn status_check_table(dataset: &CrawlDataset) -> StatusCheckStats {
+    let mut acc = StatusCheckAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
+    }
+    acc.finish()
 }
 
 impl StatusCheckStats {
@@ -398,11 +481,13 @@ pub struct StaticStats {
     pub websites_embedded_only: u64,
 }
 
-/// Computes Table 6 by scanning every collected script.
-pub fn static_table(dataset: &CrawlDataset) -> StaticStats {
-    let mut stats = StaticStats::default();
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+impl StaticStats {
+    /// Folds one site record (successes only), scanning its scripts.
+    pub fn fold(&mut self, record: &SiteRecord) {
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let mut site_perms: BTreeSet<Permission> = BTreeSet::new();
         let mut any_top = false;
         let mut any_embedded = false;
@@ -420,7 +505,7 @@ pub fn static_table(dataset: &CrawlDataset) -> StaticStats {
                 any_embedded = true;
             }
             for p in &findings.permissions {
-                let row = stats.rows.entry(*p).or_default();
+                let row = self.rows.entry(*p).or_default();
                 row.contexts += 1;
                 if !frame.is_top_level {
                     row.embedded_contexts += 1;
@@ -429,16 +514,37 @@ pub fn static_table(dataset: &CrawlDataset) -> StaticStats {
             }
         }
         if any_top || any_embedded {
-            stats.total_websites += 1;
+            self.total_websites += 1;
         }
         if any_top {
-            stats.websites_top += 1;
+            self.websites_top += 1;
         } else if any_embedded {
-            stats.websites_embedded_only += 1;
+            self.websites_embedded_only += 1;
         }
         for p in site_perms {
-            stats.rows.get_mut(&p).unwrap().websites += 1;
+            self.rows.get_mut(&p).unwrap().websites += 1;
         }
+    }
+
+    /// Merges tallies folded over another partition of the dataset.
+    pub fn merge(&mut self, other: StaticStats) {
+        for (p, row) in other.rows {
+            let mine = self.rows.entry(p).or_default();
+            mine.websites += row.websites;
+            mine.embedded_contexts += row.embedded_contexts;
+            mine.contexts += row.contexts;
+        }
+        self.total_websites += other.total_websites;
+        self.websites_top += other.websites_top;
+        self.websites_embedded_only += other.websites_embedded_only;
+    }
+}
+
+/// Computes Table 6 by scanning every collected script.
+pub fn static_table(dataset: &CrawlDataset) -> StaticStats {
+    let mut stats = StaticStats::default();
+    for record in &dataset.records {
+        stats.fold(record);
     }
     stats
 }
@@ -497,14 +603,25 @@ pub struct UsageSummary {
     pub feature_policy_api: u64,
 }
 
-/// Computes the §4.1.4 summary from the other analyses plus one union
-/// pass over the dataset.
-pub fn usage_summary(dataset: &CrawlDataset) -> UsageSummary {
-    let invocations = invocation_table(dataset);
-    let statics = static_table(dataset);
-    let mut any = 0u64;
-    for record in dataset.successes() {
-        let Some(visit) = &record.visit else { continue };
+/// Streaming accumulator behind [`usage_summary`]: composes the Table 4
+/// and Table 6 accumulators with the §4.1.4 union counter, collapsing
+/// what used to be three dataset passes into one fold.
+#[derive(Debug, Clone, Default)]
+pub struct UsageSummaryAcc {
+    invocations: InvocationStats,
+    statics: StaticStats,
+    any: u64,
+}
+
+impl UsageSummaryAcc {
+    /// Folds one site record (successes only).
+    pub fn fold(&mut self, record: &SiteRecord) {
+        self.invocations.fold(record);
+        self.statics.fold(record);
+        if record.outcome != SiteOutcome::Success {
+            return;
+        }
+        let Some(visit) = &record.visit else { return };
         let has_dynamic = visit.frames.iter().any(|f| !f.invocations.is_empty());
         // §4.1.3 counts *permission functionality*; general-API-only
         // scripts (featurePolicy probes) do not make a site "static".
@@ -514,29 +631,51 @@ pub fn usage_summary(dataset: &CrawlDataset) -> UsageSummary {
                 .any(|s| !staticscan::scan_script(&s.source).permissions.is_empty())
         });
         if has_dynamic || has_static {
-            any += 1;
+            self.any += 1;
         }
     }
-    UsageSummary {
-        websites: invocations.websites,
-        any,
-        dynamic: invocations.total.websites,
-        dynamic_top: invocations.websites_top,
-        dynamic_embedded: invocations.websites_embedded,
-        static_any: statics.total_websites,
-        top_third_party_share: if invocations.total.top.contexts == 0 {
-            0.0
-        } else {
-            invocations.total.top.third_party as f64 / invocations.total.top.contexts as f64
-        },
-        embedded_first_party_share: if invocations.total.embedded.contexts == 0 {
-            0.0
-        } else {
-            invocations.total.embedded.first_party as f64
-                / invocations.total.embedded.contexts as f64
-        },
-        feature_policy_api: invocations.websites_feature_policy_api,
+
+    /// Merges an accumulator folded over another partition.
+    pub fn merge(&mut self, other: UsageSummaryAcc) {
+        self.invocations.merge(other.invocations);
+        self.statics.merge(other.statics);
+        self.any += other.any;
     }
+
+    /// Finalizes into [`UsageSummary`], deriving every share from the
+    /// merged integer totals.
+    pub fn finish(self) -> UsageSummary {
+        let invocations = self.invocations;
+        UsageSummary {
+            websites: invocations.websites,
+            any: self.any,
+            dynamic: invocations.total.websites,
+            dynamic_top: invocations.websites_top,
+            dynamic_embedded: invocations.websites_embedded,
+            static_any: self.statics.total_websites,
+            top_third_party_share: if invocations.total.top.contexts == 0 {
+                0.0
+            } else {
+                invocations.total.top.third_party as f64 / invocations.total.top.contexts as f64
+            },
+            embedded_first_party_share: if invocations.total.embedded.contexts == 0 {
+                0.0
+            } else {
+                invocations.total.embedded.first_party as f64
+                    / invocations.total.embedded.contexts as f64
+            },
+            feature_policy_api: invocations.websites_feature_policy_api,
+        }
+    }
+}
+
+/// Computes the §4.1.4 summary in one pass over the dataset.
+pub fn usage_summary(dataset: &CrawlDataset) -> UsageSummary {
+    let mut acc = UsageSummaryAcc::default();
+    for record in &dataset.records {
+        acc.fold(record);
+    }
+    acc.finish()
 }
 
 impl UsageSummary {

@@ -97,51 +97,85 @@ pub fn measure_site(population: &WebPopulation, rank: u64) -> Option<SiteDetecti
     Some(detection)
 }
 
+/// Streaming accumulator behind [`interaction_study`]: integer tallies
+/// over [`SiteDetection`] items; every average and detection rate is
+/// derived only at [`InteractionAcc::finish`], so partial studies merge
+/// without touching the result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InteractionAcc {
+    sites: u64,
+    static_sum: u64,
+    dynamic_sum: u64,
+    activated_sum: u64,
+    activated_total: u64,
+    by_static: u64,
+    by_union: u64,
+}
+
+impl InteractionAcc {
+    /// Folds one site's three-mode detection sets.
+    pub fn fold(&mut self, d: &SiteDetection) {
+        self.sites += 1;
+        self.static_sum += d.static_found.len() as u64;
+        self.dynamic_sum += d.dynamic_found.len() as u64;
+        self.activated_sum += d.activated.len() as u64;
+        for p in &d.activated {
+            self.activated_total += 1;
+            if d.static_found.contains(p) {
+                self.by_static += 1;
+            }
+            if d.static_found.contains(p) || d.dynamic_found.contains(p) {
+                self.by_union += 1;
+            }
+        }
+    }
+
+    /// Merges tallies folded over another site selection.
+    pub fn merge(&mut self, other: InteractionAcc) {
+        self.sites += other.sites;
+        self.static_sum += other.static_sum;
+        self.dynamic_sum += other.dynamic_sum;
+        self.activated_sum += other.activated_sum;
+        self.activated_total += other.activated_total;
+        self.by_static += other.by_static;
+        self.by_union += other.by_union;
+    }
+
+    /// Finalizes into a labelled Table 12 row.
+    pub fn finish(self, label: &str) -> InteractionExperiment {
+        let n = self.sites.max(1) as f64;
+        let rate = |part: u64| {
+            if self.activated_total == 0 {
+                0.0
+            } else {
+                part as f64 / self.activated_total as f64
+            }
+        };
+        InteractionExperiment {
+            label: label.to_string(),
+            sites: self.sites as usize,
+            avg_static: self.static_sum as f64 / n,
+            avg_dynamic: self.dynamic_sum as f64 / n,
+            avg_activated: self.activated_sum as f64 / n,
+            detected_by_static: rate(self.by_static),
+            detected_by_union: rate(self.by_union),
+        }
+    }
+}
+
 /// Runs one experiment over a site selection.
 pub fn interaction_study(
     population: &WebPopulation,
     label: &str,
     ranks: &[u64],
 ) -> InteractionExperiment {
-    let detections: Vec<SiteDetection> = ranks
-        .iter()
-        .filter_map(|&rank| measure_site(population, rank))
-        .collect();
-    let n = detections.len().max(1) as f64;
-    let avg = |f: &dyn Fn(&SiteDetection) -> usize| {
-        detections.iter().map(|d| f(d) as f64).sum::<f64>() / n
-    };
-    let mut activated_total = 0usize;
-    let mut by_static = 0usize;
-    let mut by_union = 0usize;
-    for d in &detections {
-        for p in &d.activated {
-            activated_total += 1;
-            if d.static_found.contains(p) {
-                by_static += 1;
-            }
-            if d.static_found.contains(p) || d.dynamic_found.contains(p) {
-                by_union += 1;
-            }
+    let mut acc = InteractionAcc::default();
+    for &rank in ranks {
+        if let Some(detection) = measure_site(population, rank) {
+            acc.fold(&detection);
         }
     }
-    InteractionExperiment {
-        label: label.to_string(),
-        sites: detections.len(),
-        avg_static: avg(&|d| d.static_found.len()),
-        avg_dynamic: avg(&|d| d.dynamic_found.len()),
-        avg_activated: avg(&|d| d.activated.len()),
-        detected_by_static: if activated_total == 0 {
-            0.0
-        } else {
-            by_static as f64 / activated_total as f64
-        },
-        detected_by_union: if activated_total == 0 {
-            0.0
-        } else {
-            by_union as f64 / activated_total as f64
-        },
-    }
+    acc.finish(label)
 }
 
 /// Selects sites that have static findings but no dynamic activity — the

@@ -1,0 +1,93 @@
+//! Streaming analysis engine: single- vs multi-worker wall-clock over a
+//! sharded database. Alongside the criterion measurements this writes
+//! `BENCH_analyze.json` at the repo root recording the speedup, the
+//! artifact the roadmap's acceptance criteria ask for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use analysis::stream::{analyze_shards, TableSelection};
+use bench::{dataset, BENCH_POPULATION};
+use crawler::{shard_path, write_jsonl, CrawlDataset, StreamMode};
+
+const SHARDS: usize = 4;
+
+/// Writes the shared benchmark dataset as rank-striped shards once and
+/// returns their paths (reused across benchmark functions).
+fn shard_files() -> Vec<PathBuf> {
+    let dir = std::env::temp_dir().join(format!("po-bench-analyze-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create shard dir");
+    let base = dir.join("crawl.jsonl");
+    let paths: Vec<PathBuf> = (0..SHARDS).map(|i| shard_path(&base, i)).collect();
+    if paths.iter().all(|p| p.exists()) {
+        return paths;
+    }
+    let ds = dataset();
+    let mut parts: Vec<CrawlDataset> = (0..SHARDS).map(|_| CrawlDataset::default()).collect();
+    for record in &ds.records {
+        parts[(record.rank - 1) as usize % SHARDS]
+            .records
+            .push(record.clone());
+    }
+    for (part, path) in parts.iter().zip(&paths) {
+        write_jsonl(part, path).expect("write shard");
+    }
+    paths
+}
+
+fn run(paths: &[PathBuf], workers: usize) -> u64 {
+    let (_, telemetry) = analyze_shards(paths, StreamMode::Strict, workers, TableSelection::all())
+        .expect("streaming analysis succeeds");
+    telemetry.records
+}
+
+fn analyze_workers(c: &mut Criterion) {
+    let paths = shard_files();
+    let mut group = c.benchmark_group("analyze_worker_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_POPULATION));
+    for workers in [1usize, 2, SHARDS] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run(&paths, w)))
+        });
+    }
+    group.finish();
+}
+
+/// Times one full `--table all` pass at 1 and `SHARDS` workers (best of
+/// three) and records the wall-clock comparison in `BENCH_analyze.json`.
+fn record_speedup(_c: &mut Criterion) {
+    let paths = shard_files();
+    let best_ms = |workers: usize| -> f64 {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(run(&paths, workers));
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let single_ms = best_ms(1);
+    let multi_ms = best_ms(SHARDS);
+    let json = format!(
+        "{{\n  \"population\": {},\n  \"shards\": {SHARDS},\n  \"workers\": {SHARDS},\n  \
+         \"single_worker_ms\": {single_ms:.2},\n  \"multi_worker_ms\": {multi_ms:.2},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        BENCH_POPULATION,
+        single_ms / multi_ms.max(f64::MIN_POSITIVE),
+    );
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_analyze.json");
+    std::fs::write(&out, &json).expect("write BENCH_analyze.json");
+    println!(
+        "analyze {} records / {SHARDS} shards: 1 worker {single_ms:.1} ms, \
+         {SHARDS} workers {multi_ms:.1} ms ({:.2}x) -> {}",
+        BENCH_POPULATION,
+        single_ms / multi_ms.max(f64::MIN_POSITIVE),
+        out.display()
+    );
+}
+
+criterion_group!(analyze, analyze_workers, record_speedup);
+criterion_main!(analyze);

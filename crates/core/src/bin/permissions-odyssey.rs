@@ -49,9 +49,11 @@ permissions-odyssey — browser permission ecosystem measurement
 
 USAGE:
   permissions-odyssey crawl    [--size N] [--seed S] [--workers W] [--out FILE]
-                               [--resume] [--retries R] [--adversarial]
+                               [--shards N] [--resume] [--retries R]
+                               [--adversarial]
                                [--fault-panics PM] [--fault-transients PM]
-  permissions-odyssey analyze  --db FILE [--table NAME] [--top N] [--lenient]
+  permissions-odyssey analyze  --db FILE|DIR|GLOB [--table NAME] [--top N]
+                               [--lenient] [--workers W]
   permissions-odyssey lint     <Permissions-Policy header value>
   permissions-odyssey generate [--preset disable-all|disable-powerful]
   permissions-odyssey matrix
@@ -84,6 +86,10 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     let retries: u32 = parse_flag(args, "--retries", CrawlConfig::default().max_retries)?;
     let fault_panics: u32 = parse_flag(args, "--fault-panics", 0)?;
     let fault_transients: u32 = parse_flag(args, "--fault-transients", 0)?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
     let resume = args.iter().any(|a| a == "--resume");
     let adversarial = args.iter().any(|a| a == "--adversarial");
     let out: PathBuf = flag(args, "--out")
@@ -96,27 +102,41 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         eprintln!("adversarial-site mode: hostile origins enabled");
     }
 
+    // Rank-striped shard files: rank r lands in shard (r - 1) % shards.
+    // With one shard the database is the plain --out file.
+    let shard_files: Vec<PathBuf> = if shards == 1 {
+        vec![out.clone()]
+    } else {
+        (0..shards).map(|i| crawler::shard_path(&out, i)).collect()
+    };
+
     // With --resume, recover the ranks an interrupted run already
-    // persisted, drop any torn final line, and append from there.
+    // persisted (per shard), drop any torn final line, and append.
     let mut completed = std::collections::BTreeSet::new();
-    let file = if resume && out.exists() {
-        let state = crawler::resume_jsonl(&out)
-            .map_err(|e| format!("resuming from {}: {e}", out.display()))?;
-        completed = state.completed;
-        let file = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&out)
-            .map_err(|e| format!("opening {}: {e}", out.display()))?;
-        file.set_len(state.valid_len)
-            .map_err(|e| format!("truncating {}: {e}", out.display()))?;
+    let mut writers = Vec::with_capacity(shard_files.len());
+    for path in &shard_files {
+        let file = if resume && path.exists() {
+            let state = crawler::resume_jsonl(path)
+                .map_err(|e| format!("resuming from {}: {e}", path.display()))?;
+            completed.extend(state.completed);
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            file.set_len(state.valid_len)
+                .map_err(|e| format!("truncating {}: {e}", path.display()))?;
+            file
+        } else {
+            std::fs::File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?
+        };
+        writers.push(std::io::BufWriter::new(file));
+    }
+    if resume && !completed.is_empty() {
         eprintln!(
             "resuming: {} of {size} origins already on disk",
             completed.len()
         );
-        file
-    } else {
-        std::fs::File::create(&out).map_err(|e| format!("creating {}: {e}", out.display()))?
-    };
+    }
     let remaining = (1..=size).filter(|r| !completed.contains(r)).count() as u64;
 
     // Injected panics are caught and classified by the crawler; don't
@@ -142,7 +162,6 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     let mut last_milestone = 0;
     // Stream records to disk as they complete (the paper's per-site
     // persistence, Appendix A.2 C14).
-    let mut writer = std::io::BufWriter::new(file);
     let mut write_error: Option<String> = None;
     let faults = netsim::FaultSpec {
         seed,
@@ -160,11 +179,13 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         if write_error.is_some() {
             return;
         }
-        if let Err(e) = serde_json::to_writer(&mut writer, &record)
+        let shard = ((record.rank - 1) % writers.len() as u64) as usize;
+        let writer = &mut writers[shard];
+        if let Err(e) = serde_json::to_writer(&mut *writer, &record)
             .map_err(|e| e.to_string())
             .and_then(|()| writer.write_all(b"\n").map_err(|e| e.to_string()))
         {
-            write_error = Some(e);
+            write_error = Some(format!("{}: {e}", shard_files[shard].display()));
         }
         let snapshot = telemetry.snapshot();
         let milestone = snapshot.completed() / progress_every;
@@ -173,9 +194,11 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
             eprintln!("{}", snapshot.progress_line(remaining));
         }
     });
-    writer.flush().map_err(|e| e.to_string())?;
+    for writer in &mut writers {
+        writer.flush().map_err(|e| e.to_string())?;
+    }
     if let Some(e) = write_error {
-        return Err(format!("writing {}: {e}", out.display()));
+        return Err(format!("writing {e}"));
     }
     eprintln!(
         "{} in {:.1}s",
@@ -183,112 +206,113 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         started.elapsed().as_secs_f64()
     );
     eprintln!("{}", telemetry.snapshot().report());
-    eprintln!("database written to {}", out.display());
+    if shards == 1 {
+        eprintln!("database written to {}", out.display());
+    } else {
+        eprintln!(
+            "database written to {} shards: {} … {}",
+            shards,
+            shard_files[0].display(),
+            shard_files[shards - 1].display()
+        );
+    }
     Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let db: PathBuf = flag(args, "--db")
-        .ok_or("analyze requires --db FILE")?
-        .into();
+    let db = flag(args, "--db").ok_or("analyze requires --db FILE|DIR|GLOB")?;
     let table = flag(args, "--table").unwrap_or_else(|| "all".to_string());
     let top: usize = parse_flag(args, "--top", 10)?;
     let lenient = args.iter().any(|a| a == "--lenient");
-    let dataset = if lenient {
-        let (dataset, skipped) = crawler::read_jsonl_lenient(&db)
-            .map_err(|e| format!("reading {}: {e}", db.display()))?;
-        if skipped > 0 {
-            eprintln!(
-                "lenient: skipped {skipped} corrupt line(s) in {}",
-                db.display()
-            );
-        }
-        dataset
+
+    // One streaming pass per shard: the selected tables fold record by
+    // record, so peak memory never depends on the dataset size.
+    let paths = crawler::expand_db_paths(&db).map_err(|e| format!("resolving {db}: {e}"))?;
+    let workers: usize = parse_flag(args, "--workers", paths.len().min(8))?;
+    let selection = analysis::stream::TableSelection::named(&table)
+        .ok_or_else(|| format!("unknown table `{table}`\n{USAGE}"))?;
+    let mode = if lenient {
+        crawler::StreamMode::Lenient
     } else {
-        crawler::read_jsonl(&db).map_err(|e| format!("reading {}: {e}", db.display()))?
+        crawler::StreamMode::Strict
     };
-    let all = table == "all";
-    let mut matched = false;
-    // Ignore write errors: piping into `head` must not panic the tool.
-    let mut emit = |name: &str, render: &dyn Fn() -> String| {
-        if all || table == name {
-            let _ = writeln!(std::io::stdout(), "{}", render());
-            matched = true;
-        }
-    };
-    emit("funnel", &|| dataset.funnel().report());
-    emit("census", &|| {
-        analysis::census::frame_census(&dataset).table().render()
-    });
-    emit("completeness", &|| {
-        analysis::completeness::data_completeness(&dataset)
-            .table()
-            .render()
-    });
-    emit("t3", &|| {
-        analysis::embeds::top_external_embeds(&dataset)
-            .table(top)
-            .render()
-    });
-    emit("t4", &|| {
-        analysis::usage::invocation_table(&dataset)
-            .table(top)
-            .render()
-    });
-    emit("t5", &|| {
-        analysis::usage::status_check_table(&dataset)
-            .table(top)
-            .render()
-    });
-    emit("t6", &|| {
-        analysis::usage::static_table(&dataset).table(top).render()
-    });
-    emit("summary", &|| {
-        analysis::usage::usage_summary(&dataset).table().render()
-    });
-    emit("t7", &|| {
-        analysis::delegation::delegated_embeds(&dataset)
-            .table(top)
-            .render()
-    });
-    // Both delegation tables come from one dataset pass.
-    if all || table == "t8" || table == "directives" {
-        let stats = analysis::delegation::delegated_permissions(&dataset);
-        emit("t8", &|| stats.table(top).render());
-        emit("directives", &|| stats.directive_table().render());
+    let started = std::time::Instant::now();
+    let (tables, telemetry) = analysis::stream::analyze_shards(&paths, mode, workers, selection)
+        .map_err(|e| format!("reading {e}"))?;
+    for (path, skip) in &telemetry.skipped {
+        eprintln!(
+            "lenient: skipped {} corrupt line(s) in {} ({})",
+            skip.skipped,
+            path.display(),
+            skip.describe()
+        );
     }
-    emit("f2", &|| {
-        analysis::headers::header_adoption(&dataset)
-            .table()
-            .render()
-    });
-    emit("t9", &|| {
-        analysis::headers::top_level_directives(&dataset)
-            .table(top)
-            .render()
-    });
-    emit("misconfig", &|| {
-        analysis::headers::misconfigurations(&dataset)
-            .table()
-            .render()
-    });
-    emit("t10", &|| {
-        analysis::overpermission::unused_delegations(&dataset)
-            .table(top.max(30))
-            .render()
-    });
-    emit("groups", &|| {
-        analysis::delegation::purpose_groups(&dataset)
-            .table()
-            .render()
-    });
-    emit("exposure", &|| {
-        analysis::vulnerability::local_scheme_exposure(&dataset)
-            .table()
-            .render()
-    });
-    if !matched {
-        return Err(format!("unknown table `{table}`\n{USAGE}"));
+    eprintln!(
+        "analyzed {} records from {} shard(s) in {:.1}s ({} worker(s))",
+        telemetry.records,
+        telemetry.shards,
+        started.elapsed().as_secs_f64(),
+        workers.clamp(1, telemetry.shards.max(1)),
+    );
+
+    // Ignore write errors: piping into `head` must not panic the tool.
+    let emit = |rendered: String| {
+        let _ = writeln!(std::io::stdout(), "{rendered}");
+    };
+    if let Some(funnel) = &tables.funnel {
+        emit(funnel.report());
+    }
+    if let Some(census) = &tables.census {
+        emit(census.table().render());
+    }
+    if let Some(completeness) = &tables.completeness {
+        emit(completeness.table().render());
+    }
+    if let Some(embeds) = &tables.embeds {
+        emit(embeds.table(top).render());
+    }
+    if let Some(invocations) = &tables.invocations {
+        emit(invocations.table(top).render());
+    }
+    if let Some(status_checks) = &tables.status_checks {
+        emit(status_checks.table(top).render());
+    }
+    if let Some(statics) = &tables.statics {
+        emit(statics.table(top).render());
+    }
+    if let Some(summary) = &tables.summary {
+        emit(summary.table().render());
+    }
+    if let Some(delegated_embeds) = &tables.delegated_embeds {
+        emit(delegated_embeds.table(top).render());
+    }
+    // Table 8 and the directive mix share one accumulator; emit the
+    // pieces the caller asked for.
+    if let Some(delegation) = &tables.delegated_permissions {
+        if table == "all" || table == "t8" {
+            emit(delegation.table(top).render());
+        }
+        if table == "all" || table == "directives" {
+            emit(delegation.directive_table().render());
+        }
+    }
+    if let Some(adoption) = &tables.adoption {
+        emit(adoption.table().render());
+    }
+    if let Some(directives) = &tables.top_level_directives {
+        emit(directives.table(top).render());
+    }
+    if let Some(misconfig) = &tables.misconfigurations {
+        emit(misconfig.table().render());
+    }
+    if let Some(overpermission) = &tables.overpermission {
+        emit(overpermission.table(top.max(30)).render());
+    }
+    if let Some(groups) = &tables.purpose_groups {
+        emit(groups.table().render());
+    }
+    if let Some(exposure) = &tables.exposure {
+        emit(exposure.table().render());
     }
     Ok(())
 }

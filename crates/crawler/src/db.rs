@@ -3,13 +3,231 @@
 //! The paper's pipeline wrote each site's collected data to a database
 //! as soon as its visit finished (Appendix A.2, C14). We persist the
 //! same way: one JSON object per line, append-friendly, streamable.
+//!
+//! [`RecordStream`] is the single reader every consumer shares: it
+//! iterates [`SiteRecord`]s straight off the file without materializing
+//! the dataset, so analysis memory stays independent of database size.
+//! Three flavors cover the three consumers:
+//!
+//! * **Strict** — corruption anywhere is a loud error (finished
+//!   datasets are machine-written).
+//! * **Lenient** — corrupt lines are skipped and counted, with the
+//!   first few 1-based line numbers retained so `analyze --lenient`
+//!   damage is localizable.
+//! * **Resume** — tolerates exactly one kind of damage, a torn *final*
+//!   line (the signature of a crawl killed mid-append), and tracks the
+//!   byte length of the valid prefix for truncate-and-append.
+//!
+//! Large crawls shard the database (`crawl --shards N` writes
+//! `crawl-000.jsonl` … rank-striped); [`shard_path`] names the pieces
+//! and [`expand_db_paths`] turns an `analyze --db` argument (file,
+//! directory, or glob) back into the ordered shard list.
 
 use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::run::{CrawlDataset, SiteRecord};
+
+/// How a [`RecordStream`] treats lines that fail to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Any corrupt line is an error.
+    Strict,
+    /// Corrupt lines are skipped and counted (see [`SkipReport`]).
+    Lenient,
+    /// A torn final line ends the stream cleanly; earlier corruption is
+    /// an error. Tracks the valid byte prefix for resumption.
+    Resume,
+}
+
+/// How many skipped line numbers a [`SkipReport`] retains verbatim.
+pub const SKIP_REPORT_LINES: usize = 5;
+
+/// What a lenient read skipped: total count plus the first few 1-based
+/// line numbers (consistent with the strict reader's error numbering),
+/// so damage can be localized without re-reading the file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SkipReport {
+    /// Corrupt lines skipped.
+    pub skipped: u64,
+    /// 1-based line numbers of the first [`SKIP_REPORT_LINES`] skips.
+    pub lines: Vec<u64>,
+}
+
+impl SkipReport {
+    fn record(&mut self, line_no: u64) {
+        self.skipped += 1;
+        if self.lines.len() < SKIP_REPORT_LINES {
+            self.lines.push(line_no);
+        }
+    }
+
+    /// Human-readable location summary, e.g. `lines 2, 4 (+3 more)`.
+    pub fn describe(&self) -> String {
+        if self.lines.is_empty() {
+            return String::new();
+        }
+        let listed: Vec<String> = self.lines.iter().map(u64::to_string).collect();
+        let more = self.skipped - self.lines.len() as u64;
+        if more > 0 {
+            format!("lines {} (+{more} more)", listed.join(", "))
+        } else {
+            format!("lines {}", listed.join(", "))
+        }
+    }
+}
+
+/// Streaming JSONL reader: yields [`SiteRecord`]s one line at a time
+/// without ever holding the dataset in memory.
+pub struct RecordStream {
+    reader: BufReader<File>,
+    mode: StreamMode,
+    line_no: u64,
+    /// Byte length of the valid prefix consumed so far (terminated
+    /// blank or parsed lines only) — [`ResumeState::valid_len`].
+    valid_len: u64,
+    skip: SkipReport,
+    buf: Vec<u8>,
+    done: bool,
+}
+
+impl RecordStream {
+    /// Opens a database file for streaming in the given mode.
+    pub fn open(path: &Path, mode: StreamMode) -> std::io::Result<RecordStream> {
+        Ok(RecordStream {
+            reader: BufReader::new(File::open(path)?),
+            mode,
+            line_no: 0,
+            valid_len: 0,
+            skip: SkipReport::default(),
+            buf: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// What a lenient stream skipped so far.
+    pub fn skip_report(&self) -> &SkipReport {
+        &self.skip
+    }
+
+    /// Consumes the stream, returning its skip report.
+    pub fn into_skip_report(self) -> SkipReport {
+        self.skip
+    }
+
+    /// Byte length of the valid prefix read so far (resume mode: the
+    /// offset to truncate to before appending).
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    fn corrupt(&self, detail: impl std::fmt::Display) -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("line {}: {detail}", self.line_no),
+        )
+    }
+
+    fn next_record(&mut self) -> Option<std::io::Result<SiteRecord>> {
+        loop {
+            if self.done {
+                return None;
+            }
+            self.buf.clear();
+            let n = match self.reader.read_until(b'\n', &mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.line_no += 1;
+            let terminated = self.buf.last() == Some(&b'\n');
+            if !terminated && self.mode == StreamMode::Resume {
+                // Unterminated final line: torn mid-write, excluded from
+                // the valid prefix.
+                self.done = true;
+                return None;
+            }
+            let line = if terminated {
+                &self.buf[..self.buf.len() - 1]
+            } else {
+                &self.buf[..]
+            };
+            let text = match std::str::from_utf8(line) {
+                Ok(text) => text,
+                Err(e) => match self.failed_line(terminated, &format!("invalid UTF-8: {e}")) {
+                    Some(err) => return Some(Err(err)),
+                    None => continue,
+                },
+            };
+            if text.trim().is_empty() {
+                // Blank line: fine, still part of the valid prefix.
+                self.valid_len += n as u64;
+                continue;
+            }
+            match serde_json::from_str::<SiteRecord>(text) {
+                Ok(record) => {
+                    self.valid_len += n as u64;
+                    return Some(Ok(record));
+                }
+                Err(e) => match self.failed_line(terminated, &e.to_string()) {
+                    Some(err) => return Some(Err(err)),
+                    None => continue,
+                },
+            }
+        }
+    }
+
+    /// Handles a corrupt line per the stream mode. Returns `Some(error)`
+    /// to surface, `None` to keep streaming (the line was skipped or the
+    /// stream ended cleanly).
+    fn failed_line(&mut self, terminated: bool, detail: &str) -> Option<std::io::Error> {
+        match self.mode {
+            StreamMode::Strict => {
+                self.done = true;
+                Some(self.corrupt(detail))
+            }
+            StreamMode::Lenient => {
+                self.skip.record(self.line_no);
+                None
+            }
+            StreamMode::Resume => {
+                let at_eof = match self.reader.fill_buf() {
+                    Ok(rest) => rest.is_empty(),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(e);
+                    }
+                };
+                if !terminated || at_eof {
+                    // Terminated but invalid final line — a torn write
+                    // that happened to end at a newline-containing buffer
+                    // boundary. Tolerate it like the unterminated case.
+                    self.done = true;
+                    None
+                } else {
+                    self.done = true;
+                    Some(self.corrupt(detail))
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = std::io::Result<SiteRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record()
+    }
+}
 
 /// Writes a dataset as JSONL.
 pub fn write_jsonl(dataset: &CrawlDataset, path: &Path) -> std::io::Result<()> {
@@ -24,20 +242,9 @@ pub fn write_jsonl(dataset: &CrawlDataset, path: &Path) -> std::io::Result<()> {
 /// Reads a dataset back from JSONL. Malformed lines are reported as
 /// errors (the database is machine-written; corruption should be loud).
 pub fn read_jsonl(path: &Path) -> std::io::Result<CrawlDataset> {
-    let reader = BufReader::new(File::open(path)?);
     let mut records: Vec<SiteRecord> = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let record = serde_json::from_str(&line).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("line {}: {e}", idx + 1),
-            )
-        })?;
-        records.push(record);
+    for record in RecordStream::open(path, StreamMode::Strict)? {
+        records.push(record?);
     }
     Ok(CrawlDataset { records })
 }
@@ -45,22 +252,14 @@ pub fn read_jsonl(path: &Path) -> std::io::Result<CrawlDataset> {
 /// Reads a dataset from JSONL, skipping (and counting) corrupt lines
 /// anywhere in the file — the `analyze --lenient` salvage path for
 /// databases damaged beyond a torn final line. Returns the dataset and
-/// the number of lines skipped.
-pub fn read_jsonl_lenient(path: &Path) -> std::io::Result<(CrawlDataset, u64)> {
-    let reader = BufReader::new(File::open(path)?);
+/// a report of the skipped lines.
+pub fn read_jsonl_lenient(path: &Path) -> std::io::Result<(CrawlDataset, SkipReport)> {
+    let mut stream = RecordStream::open(path, StreamMode::Lenient)?;
     let mut records: Vec<SiteRecord> = Vec::new();
-    let mut skipped = 0u64;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str(&line) {
-            Ok(record) => records.push(record),
-            Err(_) => skipped += 1,
-        }
+    for record in &mut stream {
+        records.push(record?);
     }
-    Ok((CrawlDataset { records }, skipped))
+    Ok((CrawlDataset { records }, stream.into_skip_report()))
 }
 
 /// What an interrupted crawl left behind, recovered by
@@ -81,55 +280,102 @@ pub struct ResumeState {
 /// this tolerates exactly one kind of damage: a torn *final* line, the
 /// signature of a crawl killed mid-append. The torn line is excluded
 /// from [`ResumeState::valid_len`]; corruption anywhere earlier is still
-/// a loud error.
+/// a loud error. Streams line by line — the database is never held in
+/// memory.
 pub fn resume_jsonl(path: &Path) -> std::io::Result<ResumeState> {
-    let data = std::fs::read(path)?;
+    let mut stream = RecordStream::open(path, StreamMode::Resume)?;
     let mut completed = BTreeSet::new();
-    let mut valid_len = 0u64;
-    let mut start = 0usize;
-    let mut line_no = 0usize;
-    while start < data.len() {
-        line_no += 1;
-        let Some(end) = data[start..].iter().position(|&b| b == b'\n') else {
-            // Unterminated final line: torn, excluded.
-            break;
-        };
-        let end = start + end;
-        let line = &data[start..end];
-        let is_final = end + 1 >= data.len();
-        let parsed = std::str::from_utf8(line)
-            .ok()
-            .filter(|text| !text.trim().is_empty())
-            .map(serde_json::from_str::<SiteRecord>);
-        match parsed {
-            None => {
-                // Blank line: fine, skip.
-                valid_len = (end + 1) as u64;
-            }
-            Some(Ok(record)) => {
-                completed.insert(record.rank);
-                valid_len = (end + 1) as u64;
-            }
-            Some(Err(e)) if is_final => {
-                // Terminated but invalid final line — a torn write that
-                // happened to end at a newline-containing buffer
-                // boundary. Tolerate it like the unterminated case.
-                let _ = e;
-                break;
-            }
-            Some(Err(e)) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("line {line_no}: {e}"),
-                ));
-            }
-        }
-        start = end + 1;
+    for record in &mut stream {
+        completed.insert(record?.rank);
     }
     Ok(ResumeState {
         completed,
-        valid_len,
+        valid_len: stream.valid_len(),
     })
+}
+
+/// The path of shard `index` for a database rooted at `base`:
+/// `crawl.jsonl` → `crawl-000.jsonl`, `crawl-001.jsonl`, …
+pub fn shard_path(base: &Path, index: usize) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("crawl");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+    base.with_file_name(format!("{stem}-{index:03}.{ext}"))
+}
+
+/// Expands an `analyze --db` argument into the ordered list of database
+/// files it names:
+///
+/// * a directory — every `*.jsonl` inside, sorted by name;
+/// * a pattern containing `*` — matching files in the parent directory,
+///   sorted by name;
+/// * anything else — the single file.
+pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
+    let path = Path::new(arg);
+    let not_found = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("{what} matched no database files"),
+        )
+    };
+    if path.is_dir() {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(not_found(&format!("directory {arg}")));
+        }
+        return Ok(paths);
+    }
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.contains('*') {
+        let dir = match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| glob_match(name, n))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(not_found(&format!("pattern {arg}")));
+        }
+        return Ok(paths);
+    }
+    Ok(vec![path.to_path_buf()])
+}
+
+/// Matches `pattern` (with `*` wildcards) against `name`.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    let mut rest = name;
+    for (i, part) in parts.iter().enumerate() {
+        if i == 0 {
+            let Some(after) = rest.strip_prefix(part) else {
+                return false;
+            };
+            rest = after;
+        } else if i == parts.len() - 1 {
+            // Last fragment must anchor at the end.
+            return part.is_empty() || rest.ends_with(part) && rest.len() >= part.len();
+        } else if part.is_empty() {
+            continue;
+        } else {
+            let Some(pos) = rest.find(part) else {
+                return false;
+            };
+            rest = &rest[pos + part.len()..];
+        }
+    }
+    // Pattern ended with a literal fragment and consumed everything.
+    parts.len() == 1 && rest.is_empty() || parts.len() > 1
 }
 
 #[cfg(test)]
@@ -170,7 +416,24 @@ mod tests {
     }
 
     #[test]
-    fn lenient_reader_skips_and_counts_corrupt_mid_file_lines() {
+    fn strict_errors_carry_one_based_line_numbers() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 3 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("strict-lineno.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = "{broken".to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_reader_skips_and_reports_corrupt_line_numbers() {
         let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 6 });
         let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
         let dir = std::env::temp_dir().join("permodyssey-test");
@@ -180,7 +443,7 @@ mod tests {
 
         // Corrupt two lines in the middle of the file: one mangled JSON,
         // one raw garbage. The strict reader refuses; the lenient one
-        // salvages everything else and counts the damage.
+        // salvages everything else and localizes the damage.
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
         assert!(lines.len() >= 5);
@@ -189,9 +452,40 @@ mod tests {
         std::fs::write(&path, lines.join("\n") + "\n").unwrap();
 
         assert!(read_jsonl(&path).is_err());
-        let (salvaged, skipped) = read_jsonl_lenient(&path).unwrap();
-        assert_eq!(skipped, 2);
+        let (salvaged, report) = read_jsonl_lenient(&path).unwrap();
+        assert_eq!(report.skipped, 2);
+        // 1-based numbering, matching the strict reader's errors.
+        assert_eq!(report.lines, vec![2, 4]);
+        assert_eq!(report.describe(), "lines 2, 4");
         assert_eq!(salvaged.records.len(), dataset.records.len() - 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skip_report_caps_listed_lines() {
+        let mut report = SkipReport::default();
+        for line in 1..=8 {
+            report.record(line);
+        }
+        assert_eq!(report.skipped, 8);
+        assert_eq!(report.lines.len(), SKIP_REPORT_LINES);
+        assert_eq!(report.describe(), "lines 1, 2, 3, 4, 5 (+3 more)");
+    }
+
+    #[test]
+    fn record_stream_is_incremental() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 12 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+        let mut stream = RecordStream::open(&path, StreamMode::Strict).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.rank, 1);
+        // Remaining records arrive in order without a Vec materializing.
+        let ranks: Vec<u64> = stream.map(|r| r.unwrap().rank).collect();
+        assert_eq!(ranks, (2..=12).collect::<Vec<u64>>());
         std::fs::remove_file(&path).ok();
     }
 
@@ -229,6 +523,30 @@ mod tests {
     }
 
     #[test]
+    fn resume_tolerates_terminated_torn_final_line() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 8 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-terminated.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let intact_len = bytes[..bytes.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        // A torn write that happened to end on a newline.
+        let mut torn = bytes[..intact_len + (bytes.len() - intact_len) / 2].to_vec();
+        torn.push(b'\n');
+        std::fs::write(&path, torn).unwrap();
+        let state = resume_jsonl(&path).unwrap();
+        assert_eq!(state.valid_len, intact_len as u64);
+        assert_eq!(state.completed, (1..=7).collect::<BTreeSet<u64>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn resume_of_clean_file_covers_everything() {
         let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 12 });
         let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
@@ -244,5 +562,36 @@ mod tests {
             "clean file is valid in full"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_paths_are_zero_padded() {
+        let base = Path::new("out/crawl.jsonl");
+        assert_eq!(shard_path(base, 0), Path::new("out/crawl-000.jsonl"));
+        assert_eq!(shard_path(base, 42), Path::new("out/crawl-042.jsonl"));
+    }
+
+    #[test]
+    fn expand_db_paths_handles_file_dir_and_glob() {
+        let dir = std::env::temp_dir().join("permodyssey-test-expand");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["crawl-001.jsonl", "crawl-000.jsonl", "other.txt"] {
+            std::fs::write(dir.join(name), "\n").unwrap();
+        }
+        let single = dir.join("crawl-000.jsonl");
+        assert_eq!(
+            expand_db_paths(single.to_str().unwrap()).unwrap(),
+            vec![single.clone()]
+        );
+        let from_dir = expand_db_paths(dir.to_str().unwrap()).unwrap();
+        assert_eq!(
+            from_dir,
+            vec![dir.join("crawl-000.jsonl"), dir.join("crawl-001.jsonl")]
+        );
+        let glob_arg = dir.join("crawl-*.jsonl");
+        let from_glob = expand_db_paths(glob_arg.to_str().unwrap()).unwrap();
+        assert_eq!(from_glob, from_dir);
+        assert!(expand_db_paths(dir.join("nope-*.jsonl").to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

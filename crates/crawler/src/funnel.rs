@@ -56,6 +56,25 @@ impl CrawlFunnel {
         }
     }
 
+    /// Folds one site record as an attempted visit — the streaming
+    /// counterpart of [`crate::CrawlDataset::funnel`].
+    pub fn fold(&mut self, record: &crate::run::SiteRecord) {
+        self.attempted += 1;
+        self.count_record(record);
+    }
+
+    /// Merges a funnel folded over another partition of the dataset.
+    pub fn merge(&mut self, other: CrawlFunnel) {
+        self.attempted += other.attempted;
+        self.succeeded += other.succeeded;
+        self.unreachable += other.unreachable;
+        self.load_timeouts += other.load_timeouts;
+        self.ephemeral += other.ephemeral;
+        self.crawler_errors += other.crawler_errors;
+        self.excluded += other.excluded;
+        self.minor_errors += other.minor_errors;
+    }
+
     /// Success rate over attempts.
     pub fn success_rate(&self) -> f64 {
         if self.attempted == 0 {

@@ -31,7 +31,10 @@ mod funnel;
 mod run;
 mod telemetry;
 
-pub use db::{read_jsonl, read_jsonl_lenient, resume_jsonl, write_jsonl, ResumeState};
+pub use db::{
+    expand_db_paths, read_jsonl, read_jsonl_lenient, resume_jsonl, shard_path, write_jsonl,
+    RecordStream, ResumeState, SkipReport, StreamMode, SKIP_REPORT_LINES,
+};
 pub use funnel::CrawlFunnel;
 pub use netsim::FaultSpec;
 pub use run::{CrawlConfig, CrawlDataset, Crawler, SiteOutcome, SiteRecord};

@@ -57,7 +57,8 @@ pub struct CrawlConfig {
     /// [`SiteRecord::attempts`] either way.
     pub max_retries: u32,
     /// Backoff before retry `n` (1-based): `retry_backoff_ms << (n - 1)`
-    /// simulated milliseconds.
+    /// simulated milliseconds, with the shift capped and the result
+    /// clamped to one hour so huge `--retries` budgets cannot overflow.
     pub retry_backoff_ms: u64,
     /// Deterministic fault injection (disabled by default). Faults are
     /// keyed by site rank, so they are independent of worker count and
@@ -150,6 +151,14 @@ impl CrawlDataset {
     }
 }
 
+/// Largest exponent applied to [`CrawlConfig::retry_backoff_ms`]; later
+/// retries reuse it, keeping the shift well inside u64 range.
+const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// Ceiling on a single backoff advance (one simulated hour) no matter
+/// how `retry_backoff_ms` and the retry count combine.
+const MAX_BACKOFF_MS: u64 = 3_600_000;
+
 /// What one isolated visit attempt produced.
 struct AttemptOutcome {
     outcome: SiteOutcome,
@@ -201,8 +210,18 @@ impl Crawler {
                 SiteOutcome::Unreachable | SiteOutcome::LoadTimeout
             );
             if transient && attempts <= self.config.max_retries {
-                // Exponential backoff, paid in simulated time.
-                clock.advance(self.config.retry_backoff_ms << (attempts - 1));
+                // Exponential backoff, paid in simulated time. The
+                // exponent is user-controlled via --retries, so cap it
+                // (a shift ≥ 64 would overflow) and clamp the advance
+                // to a ceiling no real backoff schedule exceeds.
+                let shift = (attempts - 1).min(MAX_BACKOFF_SHIFT);
+                let backoff = self
+                    .config
+                    .retry_backoff_ms
+                    .checked_shl(shift)
+                    .unwrap_or(MAX_BACKOFF_MS)
+                    .min(MAX_BACKOFF_MS);
+                clock.advance(backoff);
                 continue;
             }
             break attempt;
@@ -452,7 +471,7 @@ fn html_links(base: &str, max: usize) -> Vec<String> {
 /// the (already-merged) parent chain.
 fn merge_visits(main: &mut PageVisit, extra: PageVisit) {
     let offset = main.frames.len();
-    let main_top = main
+    let mut main_top = main
         .frames
         .iter()
         .find(|f| f.is_top_level)
@@ -465,10 +484,20 @@ fn merge_visits(main: &mut PageVisit, extra: PageVisit) {
         frame.frame_id += offset;
         frame.parent = frame.parent.map(|p| p + offset);
         if frame.is_top_level {
-            // Only the original landing page is the site's top-level
-            // document; the navigated page hangs off it like a child.
-            frame.is_top_level = false;
-            frame.parent = main_top;
+            match main_top {
+                // Only the original landing page is the site's top-level
+                // document; the navigated page hangs off it like a child.
+                Some(top) => {
+                    frame.is_top_level = false;
+                    frame.parent = Some(top);
+                }
+                // The main visit never produced a top-level frame (e.g.
+                // its page timed out before one was recorded). Demoting
+                // this frame would leave it parentless yet non-top,
+                // breaking the "no parent ⇒ top-level" invariant — so
+                // it becomes the merged document's top frame instead.
+                None => main_top = Some(frame.frame_id),
+            }
         }
         // Parents precede children (parent id < frame id), so the
         // parent's recomputed depth is already in place.
@@ -600,6 +629,91 @@ mod tests {
                     assert_eq!(record.attempts, 1 + CrawlConfig::default().max_retries)
                 }
                 _ => assert_eq!(record.attempts, 1, "rank {}", record.rank),
+            }
+        }
+    }
+
+    #[test]
+    fn huge_retry_budget_does_not_overflow_backoff() {
+        // --retries is user-settable; 64 retries means backoff shifts up
+        // to 63, which used to overflow `retry_backoff_ms << (n - 1)`
+        // (panic in debug, wrap in release). The crawl must complete with
+        // the full attempt count and a sane, clamped elapsed time.
+        let pop = small_population();
+        let probe = Crawler::new(CrawlConfig::default());
+        let rank = (1..=120u64)
+            .find(|&r| probe.visit_one(&pop, r).outcome == SiteOutcome::Unreachable)
+            .expect("population contains an unreachable rank");
+        let record = Crawler::new(CrawlConfig {
+            max_retries: 64,
+            ..CrawlConfig::default()
+        })
+        .visit_one(&pop, rank);
+        assert_eq!(record.outcome, SiteOutcome::Unreachable);
+        assert_eq!(record.attempts, 65);
+        // Every backoff is clamped to MAX_BACKOFF_MS, so the total can't
+        // have wrapped into nonsense.
+        assert!(
+            record.elapsed_ms <= 65 * MAX_BACKOFF_MS,
+            "{}",
+            record.elapsed_ms
+        );
+    }
+
+    #[test]
+    fn merge_onto_topless_visit_keeps_invariants() {
+        fn frame(frame_id: usize, parent: Option<usize>, top: bool) -> browser::FrameRecord {
+            browser::FrameRecord {
+                frame_id,
+                parent,
+                depth: if top { 0 } else { 1 },
+                url: Some(format!("https://example.test/{frame_id}")),
+                origin: "https://example.test".to_string(),
+                site: Some("example.test".to_string()),
+                is_top_level: top,
+                is_local_document: false,
+                iframe_attrs: None,
+                permissions_policy_header: None,
+                feature_policy_header: None,
+                csp_header: None,
+                invocations: Vec::new(),
+                scripts: Vec::new(),
+                allowed_features: Vec::new(),
+            }
+        }
+        fn visit(frames: Vec<browser::FrameRecord>) -> PageVisit {
+            PageVisit {
+                requested_url: "https://example.test/".to_string(),
+                frames,
+                prompts: Vec::new(),
+                outcome: VisitOutcome::Success,
+                elapsed_ms: 0,
+                schema_version: 0,
+                degradations: Vec::new(),
+            }
+        }
+        // A main visit that never recorded a top-level frame (e.g. the
+        // page timed out before one landed). Merging used to demote the
+        // extra page's top frame to parent=None + is_top_level=false.
+        let mut main = visit(Vec::new());
+        merge_visits(
+            &mut main,
+            visit(vec![frame(0, None, true), frame(1, Some(0), false)]),
+        );
+        // A second merge must reparent under the newly promoted top.
+        merge_visits(&mut main, visit(vec![frame(0, None, true)]));
+        let tops = main.frames.iter().filter(|f| f.is_top_level).count();
+        assert_eq!(tops, 1, "exactly one top-level frame after merges");
+        for frame in &main.frames {
+            match frame.parent {
+                Some(parent) => {
+                    assert!(parent < frame.frame_id);
+                    assert_eq!(frame.depth, main.frames[parent].depth + 1);
+                }
+                None => {
+                    assert!(frame.is_top_level, "no parent ⇒ top-level");
+                    assert_eq!(frame.depth, 0);
+                }
             }
         }
     }

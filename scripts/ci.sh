@@ -21,6 +21,21 @@ echo "==> hardened test pass (debug assertions + overflow checks)"
 RUSTFLAGS="-C debug-assertions -C overflow-checks" \
     cargo test -q -p html -p jsland -p policy -p browser
 
+echo "==> streaming equivalence at full scale (release, 20k sites)"
+cargo test -q --release --test streaming_equivalence
+
+echo "==> sharded round-trip smoke (crawl --shards 4 vs unsharded)"
+BIN=target/release/permissions-odyssey
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+"$BIN" crawl --size 2000 --seed 7 --out "$SMOKE/flat.jsonl" 2>/dev/null
+mkdir -p "$SMOKE/sharded"
+"$BIN" crawl --size 2000 --seed 7 --shards 4 --out "$SMOKE/sharded/crawl.jsonl" 2>/dev/null
+"$BIN" analyze --db "$SMOKE/flat.jsonl" >"$SMOKE/flat.out" 2>/dev/null
+"$BIN" analyze --db "$SMOKE/sharded" --workers 4 >"$SMOKE/sharded.out" 2>/dev/null
+diff -u "$SMOKE/flat.out" "$SMOKE/sharded.out"
+echo "    sharded analyze output is byte-identical"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,217 @@
+//! Streaming/sharded analysis equivalence.
+//!
+//! Every table must render byte-identically whether it is computed from
+//! an in-memory [`CrawlDataset`] by the batch functions, streamed from a
+//! single JSONL file, or streamed from rank-striped shards by a worker
+//! pool. Debug builds use a 4k-site crawl to keep `cargo test` quick;
+//! release builds (what `scripts/ci.sh` runs for this suite) use the
+//! full 20k-site population from the acceptance criteria.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use analysis::stream::{analyze_shards, TableSelection, Tables};
+use crawler::{shard_path, write_jsonl, CrawlConfig, CrawlDataset, Crawler, StreamMode};
+use webgen::{PopulationConfig, WebPopulation};
+
+#[cfg(debug_assertions)]
+const POPULATION: u64 = 4_000;
+#[cfg(not(debug_assertions))]
+const POPULATION: u64 = 20_000;
+
+const TOP: usize = 10;
+
+static DATASET: OnceLock<CrawlDataset> = OnceLock::new();
+
+fn dataset() -> &'static CrawlDataset {
+    DATASET.get_or_init(|| {
+        let pop = WebPopulation::new(PopulationConfig {
+            seed: 7,
+            size: POPULATION,
+        });
+        Crawler::new(CrawlConfig::default()).crawl(&pop)
+    })
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "po-equivalence-{}-{label}-{POPULATION}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Renders the canonical `analyze --table all` section list from batch
+/// functions over the in-memory dataset — the pre-streaming reference.
+fn in_memory_render(ds: &CrawlDataset) -> String {
+    let delegation = analysis::delegation::delegated_permissions(ds);
+    let sections = vec![
+        ds.funnel().report(),
+        analysis::census::frame_census(ds).table().render(),
+        analysis::completeness::data_completeness(ds)
+            .table()
+            .render(),
+        analysis::embeds::top_external_embeds(ds)
+            .table(TOP)
+            .render(),
+        analysis::usage::invocation_table(ds).table(TOP).render(),
+        analysis::usage::status_check_table(ds).table(TOP).render(),
+        analysis::usage::static_table(ds).table(TOP).render(),
+        analysis::usage::usage_summary(ds).table().render(),
+        analysis::delegation::delegated_embeds(ds)
+            .table(TOP)
+            .render(),
+        delegation.table(TOP).render(),
+        delegation.directive_table().render(),
+        analysis::headers::header_adoption(ds).table().render(),
+        analysis::headers::top_level_directives(ds)
+            .table(TOP)
+            .render(),
+        analysis::headers::misconfigurations(ds).table().render(),
+        analysis::overpermission::unused_delegations(ds)
+            .table(TOP.max(30))
+            .render(),
+        analysis::delegation::purpose_groups(ds).table().render(),
+        analysis::vulnerability::local_scheme_exposure(ds)
+            .table()
+            .render(),
+    ];
+    sections.join("\n")
+}
+
+/// Renders the same section list from a finished streaming [`Tables`].
+fn streamed_render(tables: Tables) -> String {
+    let delegation = tables.delegated_permissions.expect("t8 selected");
+    let sections = vec![
+        tables.funnel.expect("funnel selected").report(),
+        tables.census.expect("census selected").table().render(),
+        tables
+            .completeness
+            .expect("completeness selected")
+            .table()
+            .render(),
+        tables.embeds.expect("t3 selected").table(TOP).render(),
+        tables.invocations.expect("t4 selected").table(TOP).render(),
+        tables
+            .status_checks
+            .expect("t5 selected")
+            .table(TOP)
+            .render(),
+        tables.statics.expect("t6 selected").table(TOP).render(),
+        tables.summary.expect("summary selected").table().render(),
+        tables
+            .delegated_embeds
+            .expect("t7 selected")
+            .table(TOP)
+            .render(),
+        delegation.table(TOP).render(),
+        delegation.directive_table().render(),
+        tables.adoption.expect("f2 selected").table().render(),
+        tables
+            .top_level_directives
+            .expect("t9 selected")
+            .table(TOP)
+            .render(),
+        tables
+            .misconfigurations
+            .expect("misconfig selected")
+            .table()
+            .render(),
+        tables
+            .overpermission
+            .expect("t10 selected")
+            .table(TOP.max(30))
+            .render(),
+        tables
+            .purpose_groups
+            .expect("groups selected")
+            .table()
+            .render(),
+        tables.exposure.expect("exposure selected").table().render(),
+    ];
+    sections.join("\n")
+}
+
+fn analyze(paths: &[PathBuf], workers: usize) -> String {
+    let (tables, telemetry) =
+        analyze_shards(paths, StreamMode::Strict, workers, TableSelection::all())
+            .expect("streaming analysis succeeds");
+    assert_eq!(telemetry.shards, paths.len());
+    assert_eq!(telemetry.records, dataset().records.len() as u64);
+    assert!(telemetry.skipped.is_empty(), "strict mode skips nothing");
+    streamed_render(tables)
+}
+
+fn write_shards(dir: &Path, shards: usize) -> Vec<PathBuf> {
+    let ds = dataset();
+    if shards == 1 {
+        let path = dir.join("crawl.jsonl");
+        write_jsonl(ds, &path).expect("write single shard");
+        return vec![path];
+    }
+    let base = dir.join("crawl.jsonl");
+    let mut parts: Vec<CrawlDataset> = (0..shards).map(|_| CrawlDataset::default()).collect();
+    for record in &ds.records {
+        parts[(record.rank - 1) as usize % shards]
+            .records
+            .push(record.clone());
+    }
+    parts
+        .iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let path = shard_path(&base, i);
+            write_jsonl(part, &path).expect("write shard");
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn single_shard_stream_is_byte_identical_to_in_memory() {
+    let dir = scratch_dir("single");
+    let paths = write_shards(&dir, 1);
+    let expected = in_memory_render(dataset());
+    assert_eq!(analyze(&paths, 1), expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_stream_is_byte_identical_for_any_worker_count() {
+    let dir = scratch_dir("sharded");
+    let paths = write_shards(&dir, 4);
+    let expected = in_memory_render(dataset());
+    for workers in [1usize, 4, 8] {
+        assert_eq!(
+            analyze(&paths, workers),
+            expected,
+            "mismatch at {workers} worker(s)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lenient_stream_skips_corruption_and_analyzes_the_rest() {
+    let dir = scratch_dir("lenient");
+    let paths = write_shards(&dir, 1);
+    // Corrupt the file: garbage on line 1 and a truncated record at EOF.
+    let clean = std::fs::read_to_string(&paths[0]).expect("read shard");
+    std::fs::write(
+        &paths[0],
+        format!("{{not json\n{clean}{{\"rank\":1,\"domain\":"),
+    )
+    .expect("rewrite shard");
+    let (tables, telemetry) = analyze_shards(&paths, StreamMode::Lenient, 1, TableSelection::all())
+        .expect("lenient analysis succeeds");
+    assert_eq!(telemetry.records, dataset().records.len() as u64);
+    let (path, report) = &telemetry.skipped[0];
+    assert_eq!(path, &paths[0]);
+    assert_eq!(report.skipped, 2);
+    // Line numbers are 1-based: the prepended garbage line, then the
+    // truncated trailing record.
+    assert_eq!(report.lines[0], 1);
+    assert_eq!(streamed_render(tables), in_memory_render(dataset()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
