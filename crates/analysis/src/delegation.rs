@@ -8,6 +8,7 @@ use policy::{parse_allow_attribute, DelegationDirective};
 use registry::Permission;
 use serde::{Deserialize, Serialize};
 
+use crate::intern::{intern, resolve, Sym};
 use crate::table::{pct, TextTable};
 
 /// Table 7 row: one embedded-document site receiving delegations.
@@ -41,7 +42,20 @@ fn delegates(allow: Option<&str>) -> bool {
         .unwrap_or(false)
 }
 
-impl DelegatedEmbedStats {
+/// Streaming accumulator behind [`DelegatedEmbedStats`]: per-embed
+/// tallies keyed by interned [`Sym`] so the per-record fold never
+/// clones a site string. Resolved (and re-sorted by the resulting
+/// `BTreeMap<String, _>`) only once, in [`DelegatedEmbedAcc::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct DelegatedEmbedAcc {
+    rows: BTreeMap<Sym, DelegatedEmbedRow>,
+    websites_delegating_any: u64,
+    websites_delegating_external: u64,
+    websites_delegating_third_party: u64,
+    websites: u64,
+}
+
+impl DelegatedEmbedAcc {
     /// Folds one site record (successes only) into the Table 7 tallies.
     pub fn fold(&mut self, record: &SiteRecord) {
         if record.outcome != SiteOutcome::Success {
@@ -49,12 +63,12 @@ impl DelegatedEmbedStats {
         }
         let Some(visit) = &record.visit else { return };
         self.websites += 1;
-        let own_site = visit.top_frame().and_then(|f| f.site.clone());
+        let own_site = visit.top_frame().and_then(|f| f.site.as_deref());
         let mut any = false;
         let mut external = false;
         let mut third_party = false;
-        let mut delegated_sites: BTreeSet<String> = BTreeSet::new();
-        let mut included_sites: BTreeSet<String> = BTreeSet::new();
+        let mut delegated_sites: BTreeSet<Sym> = BTreeSet::new();
+        let mut included_sites: BTreeSet<Sym> = BTreeSet::new();
         for frame in visit.embedded_frames() {
             if frame.depth != 1 {
                 continue; // directly inserted embeds only
@@ -65,13 +79,14 @@ impl DelegatedEmbedStats {
             };
             let frame_delegates = delegates(attrs.allow.as_deref());
             if let Some(site) = &frame.site {
-                if Some(site) != own_site.as_ref() {
-                    included_sites.insert(site.clone());
+                if Some(site.as_str()) != own_site {
+                    let sym = intern(site);
+                    included_sites.insert(sym);
                     if frame_delegates {
                         any = true;
                         external = true;
                         third_party = true;
-                        delegated_sites.insert(site.clone());
+                        delegated_sites.insert(sym);
                     }
                     continue;
                 }
@@ -81,8 +96,8 @@ impl DelegatedEmbedStats {
                 any = true;
             }
         }
-        for site in &included_sites {
-            self.rows.entry(site.clone()).or_default().inclusions += 1;
+        for site in included_sites {
+            self.rows.entry(site).or_default().inclusions += 1;
         }
         for site in delegated_sites {
             self.rows.entry(site).or_default().websites += 1;
@@ -99,7 +114,7 @@ impl DelegatedEmbedStats {
     }
 
     /// Merges tallies folded over another partition of the dataset.
-    pub fn merge(&mut self, other: DelegatedEmbedStats) {
+    pub fn merge(&mut self, other: DelegatedEmbedAcc) {
         for (site, row) in other.rows {
             let mine = self.rows.entry(site).or_default();
             mine.websites += row.websites;
@@ -110,15 +125,31 @@ impl DelegatedEmbedStats {
         self.websites_delegating_third_party += other.websites_delegating_third_party;
         self.websites += other.websites;
     }
+
+    /// Resolves symbols back to site strings. `Sym` order is not
+    /// deterministic, so the string-keyed `BTreeMap` re-sorts here.
+    pub fn finish(self) -> DelegatedEmbedStats {
+        DelegatedEmbedStats {
+            rows: self
+                .rows
+                .into_iter()
+                .map(|(sym, row)| (resolve(sym).to_string(), row))
+                .collect(),
+            websites_delegating_any: self.websites_delegating_any,
+            websites_delegating_external: self.websites_delegating_external,
+            websites_delegating_third_party: self.websites_delegating_third_party,
+            websites: self.websites,
+        }
+    }
 }
 
 /// Computes Table 7 (direct iframes only, like the paper).
 pub fn delegated_embeds(dataset: &CrawlDataset) -> DelegatedEmbedStats {
-    let mut stats = DelegatedEmbedStats::default();
+    let mut acc = DelegatedEmbedAcc::default();
     for record in &dataset.records {
-        stats.fold(record);
+        acc.fold(record);
     }
-    stats
+    acc.finish()
 }
 
 impl DelegatedEmbedStats {
@@ -208,14 +239,14 @@ impl DelegatedPermissionStats {
             return;
         }
         let Some(visit) = &record.visit else { return };
-        let own_site = visit.top_frame().and_then(|f| f.site.clone());
+        let own_site = visit.top_frame().and_then(|f| f.site.as_deref());
         let mut site_perms: BTreeSet<Permission> = BTreeSet::new();
         let mut any = false;
         for frame in visit.embedded_frames() {
             if frame.depth != 1 || frame.is_local_document {
                 continue;
             }
-            if frame.site.is_some() && frame.site == own_site {
+            if frame.site.is_some() && frame.site.as_deref() == own_site {
                 continue;
             }
             let Some(attrs) = &frame.iframe_attrs else {
@@ -497,10 +528,12 @@ pub struct PurposeGroupStats {
 
 /// Streaming accumulator behind [`purpose_groups`]: the union of
 /// delegated permissions and the set of delegating websites, per
-/// embedded site, classified only at [`PurposeGroupAcc::finish`].
+/// embedded site (interned — `finish` only counts sites, so the
+/// symbols are never resolved), classified only at
+/// [`PurposeGroupAcc::finish`].
 #[derive(Debug, Clone, Default)]
 pub struct PurposeGroupAcc {
-    per_site: BTreeMap<String, (BTreeSet<Permission>, BTreeSet<u64>)>,
+    per_site: BTreeMap<Sym, (BTreeSet<Permission>, BTreeSet<u64>)>,
 }
 
 impl PurposeGroupAcc {
@@ -510,13 +543,13 @@ impl PurposeGroupAcc {
             return;
         }
         let Some(visit) = &record.visit else { return };
-        let own_site = visit.top_frame().and_then(|f| f.site.clone());
+        let own_site = visit.top_frame().and_then(|f| f.site.as_deref());
         for frame in visit.embedded_frames() {
             if frame.depth != 1 || frame.is_local_document {
                 continue;
             }
             let Some(site) = &frame.site else { continue };
-            if Some(site) == own_site.as_ref() {
+            if Some(site.as_str()) == own_site {
                 continue;
             }
             let Some(attrs) = &frame.iframe_attrs else {
@@ -535,7 +568,7 @@ impl PurposeGroupAcc {
             if perms.is_empty() {
                 continue;
             }
-            let entry = self.per_site.entry(site.clone()).or_default();
+            let entry = self.per_site.entry(intern(site)).or_default();
             entry.0.extend(perms);
             entry.1.insert(record.rank);
         }

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crawler::{CrawlDataset, SiteOutcome, SiteRecord};
 use serde::{Deserialize, Serialize};
 
+use crate::intern::{intern, resolve, Sym};
 use crate::table::TextTable;
 
 /// One Table 3 row.
@@ -26,11 +27,12 @@ pub struct EmbedStats {
 }
 
 /// Streaming accumulator behind [`top_external_embeds`]: the unsorted
-/// per-site tallies, ready to fold one record at a time and merge across
-/// shard partitions.
+/// per-site tallies keyed by interned [`Sym`], ready to fold one record
+/// at a time — without cloning a site string per record — and merge
+/// across shard partitions.
 #[derive(Debug, Clone, Default)]
 pub struct EmbedAcc {
-    per_site: BTreeMap<String, u64>,
+    per_site: BTreeMap<Sym, u64>,
     total_any: u64,
 }
 
@@ -41,15 +43,15 @@ impl EmbedAcc {
             return;
         }
         let Some(visit) = &record.visit else { return };
-        let own_site = visit.top_frame().and_then(|f| f.site.clone());
-        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let own_site = visit.top_frame().and_then(|f| f.site.as_deref());
+        let mut seen: BTreeSet<Sym> = BTreeSet::new();
         for frame in visit.embedded_frames() {
             if frame.is_local_document {
                 continue;
             }
             if let Some(site) = &frame.site {
-                if Some(site) != own_site.as_ref() {
-                    seen.insert(site);
+                if Some(site.as_str()) != own_site {
+                    seen.insert(intern(site));
                 }
             }
         }
@@ -57,7 +59,7 @@ impl EmbedAcc {
             self.total_any += 1;
         }
         for site in seen {
-            *self.per_site.entry(site.to_string()).or_default() += 1;
+            *self.per_site.entry(site).or_default() += 1;
         }
     }
 
@@ -69,13 +71,18 @@ impl EmbedAcc {
         }
     }
 
-    /// Finalizes into the ranked [`EmbedStats`]. The sort is total-order
-    /// (count desc, then site asc), so fold order never shows.
+    /// Finalizes into the ranked [`EmbedStats`]. Symbols resolve back
+    /// to site strings here, and the sort is total-order (count desc,
+    /// then site asc), so neither fold order nor interner assignment
+    /// order ever shows.
     pub fn finish(self) -> EmbedStats {
         let mut rows: Vec<EmbedRow> = self
             .per_site
             .into_iter()
-            .map(|(site, websites)| EmbedRow { site, websites })
+            .map(|(site, websites)| EmbedRow {
+                site: resolve(site).to_string(),
+                websites,
+            })
             .collect();
         rows.sort_by(|a, b| b.websites.cmp(&a.websites).then(a.site.cmp(&b.site)));
         EmbedStats {

@@ -1,0 +1,110 @@
+//! A process-wide string interner for the streaming accumulators.
+//!
+//! The fold loops in [`crate::stream`] see the same small, closed
+//! vocabulary of strings over and over — registrable domains from the
+//! population's site list, provider names — and the accumulators used
+//! to clone each one into a `String` key per record. Interning maps
+//! every distinct string to a [`Sym`] once and hands back a `Copy`
+//! 4-byte token, so per-record folds stop allocating entirely.
+//!
+//! `Sym` identity is assignment-order dependent: worker threads race to
+//! intern, so the numeric ids (and therefore `Sym`'s `Ord`) are not
+//! deterministic across runs. Accumulators may key `BTreeMap`s /
+//! `BTreeSet`s by `Sym` during the fold — counts don't care about
+//! order — but must [`resolve`] back to strings in `finish()` and
+//! re-sort (a `BTreeMap<String, _>` does this for free) before anything
+//! user-visible is produced.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a cheap `Copy` token standing in for one
+/// distinct string in the pool. Comparison and ordering operate on the
+/// token, not the text — see the module docs for the determinism
+/// caveat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+#[derive(Default)]
+struct Pool {
+    by_str: HashMap<&'static str, Sym>,
+    strings: Vec<&'static str>,
+}
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| RwLock::new(Pool::default()))
+}
+
+// Per-thread lookaside over the global pool. The fold workers hit
+// `intern` several times per record, and even the read side of the
+// `RwLock` is an atomic RMW on a shared cache line — with four workers
+// that ping-pong throttled the parallel fold. After a thread has seen a
+// string once, lookups stay entirely thread-local. Bounded by the same
+// closed vocabulary as the pool itself.
+thread_local! {
+    static CACHE: RefCell<HashMap<&'static str, Sym>> = RefCell::new(HashMap::new());
+}
+
+/// Interns `text`, returning its symbol. Repeat calls with the same
+/// text (from any thread) return the same symbol. The pool leaks each
+/// distinct string once — fine for the closed site/provider
+/// vocabularies this is built for; don't feed it unbounded input.
+pub fn intern(text: &str) -> Sym {
+    if let Some(sym) = CACHE.with(|c| c.borrow().get(text).copied()) {
+        return sym;
+    }
+    let (leaked, sym) = intern_global(text);
+    CACHE.with(|c| c.borrow_mut().insert(leaked, sym));
+    sym
+}
+
+fn intern_global(text: &str) -> (&'static str, Sym) {
+    if let Some((&leaked, &sym)) = pool().read().unwrap().by_str.get_key_value(text) {
+        return (leaked, sym);
+    }
+    let mut pool = pool().write().unwrap();
+    // Double-check: another thread may have interned between the locks.
+    if let Some((&leaked, &sym)) = pool.by_str.get_key_value(text) {
+        return (leaked, sym);
+    }
+    let leaked: &'static str = Box::leak(text.to_string().into_boxed_str());
+    let sym = Sym(u32::try_from(pool.strings.len()).expect("interner overflow"));
+    pool.strings.push(leaked);
+    pool.by_str.insert(leaked, sym);
+    (leaked, sym)
+}
+
+/// Resolves a symbol back to its string.
+pub fn resolve(sym: Sym) -> &'static str {
+    pool().read().unwrap().strings[sym.0 as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let a = intern("example.com");
+        let b = intern("example.com");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "example.com");
+        let c = intern("other.net");
+        assert_ne!(a, c);
+        assert_eq!(resolve(c), "other.net");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let syms: Vec<Sym> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| intern("raced.example")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(resolve(syms[0]), "raced.example");
+    }
+}

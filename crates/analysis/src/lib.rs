@@ -30,6 +30,7 @@ pub mod completeness;
 pub mod delegation;
 pub mod embeds;
 pub mod headers;
+pub mod intern;
 pub mod overpermission;
 pub mod paper;
 pub mod prompts;

@@ -30,6 +30,7 @@ use policy::parse_allow_attribute;
 use registry::{DefaultAllowlist, Permission};
 use serde::{Deserialize, Serialize};
 
+use crate::intern::{intern, resolve, Sym};
 use crate::table::TextTable;
 
 /// One Table 10/13 row.
@@ -96,7 +97,7 @@ struct SiteOverPermission {
 /// is a whole-dataset fact, so it waits for [`OverPermissionAcc::finish`].
 #[derive(Debug, Clone, Default)]
 pub struct OverPermissionAcc {
-    per_site: BTreeMap<String, SiteOverPermission>,
+    per_site: BTreeMap<Sym, SiteOverPermission>,
 }
 
 impl OverPermissionAcc {
@@ -106,10 +107,10 @@ impl OverPermissionAcc {
             return;
         }
         let Some(visit) = &record.visit else { return };
-        let own_site = visit.top_frame().and_then(|f| f.site.clone());
+        let own_site = visit.top_frame().and_then(|f| f.site.as_deref());
         for frame in visit.embedded_frames() {
             let Some(site) = &frame.site else { continue };
-            if Some(site) == own_site.as_ref() {
+            if Some(site.as_str()) == own_site {
                 continue;
             }
             let delegated = delegated_permissions_of(frame);
@@ -129,7 +130,7 @@ impl OverPermissionAcc {
                         .copied(),
                 );
             }
-            let acc = self.per_site.entry(site.clone()).or_default();
+            let acc = self.per_site.entry(intern(site)).or_default();
             acc.delegated_frames += 1;
             for p in delegated {
                 *acc.delegation_counts.entry(p).or_default() += 1;
@@ -156,18 +157,20 @@ impl OverPermissionAcc {
     }
 
     /// Applies the 5% prevalence filter to the merged candidates and
-    /// builds the §5 result.
+    /// builds the §5 result. Symbols resolve back to site strings here;
+    /// the string-keyed `BTreeMap` re-sorts them.
     pub fn finish(self) -> OverPermissionStats {
         let mut rows: BTreeMap<String, (BTreeSet<Permission>, BTreeSet<u64>)> = BTreeMap::new();
         let mut affected_union: BTreeSet<u64> = BTreeSet::new();
-        for (site, acc) in self.per_site {
+        for (sym, acc) in self.per_site {
+            let site = resolve(sym);
             for (p, ranks) in acc.candidates {
                 let share = acc.delegation_counts.get(&p).copied().unwrap_or(0) as f64
                     / acc.delegated_frames as f64;
                 if share < 0.05 {
                     continue;
                 }
-                let entry = rows.entry(site.clone()).or_default();
+                let entry = rows.entry(site.to_string()).or_default();
                 entry.0.insert(p);
                 entry.1.extend(ranks.iter().copied());
                 affected_union.extend(ranks);

@@ -34,7 +34,8 @@ use crawler::{CrawlFunnel, RecordStream, SiteRecord, SkipReport, StreamMode};
 use crate::census::FrameCensus;
 use crate::completeness::CompletenessCensus;
 use crate::delegation::{
-    DelegatedEmbedStats, DelegatedPermissionStats, PurposeGroupAcc, PurposeGroupStats,
+    DelegatedEmbedAcc, DelegatedEmbedStats, DelegatedPermissionStats, PurposeGroupAcc,
+    PurposeGroupStats,
 };
 use crate::embeds::{EmbedAcc, EmbedStats};
 use crate::headers::{
@@ -113,7 +114,6 @@ identity_accumulator!(
     CompletenessCensus,
     InvocationStats,
     StaticStats,
-    DelegatedEmbedStats,
     DelegatedPermissionStats,
     HeaderAdoption,
     MisconfigStats,
@@ -121,6 +121,7 @@ identity_accumulator!(
 );
 
 finishing_accumulator!(
+    DelegatedEmbedAcc => DelegatedEmbedStats,
     EmbedAcc => EmbedStats,
     StatusCheckAcc => StatusCheckStats,
     UsageSummaryAcc => UsageSummary,
@@ -289,7 +290,7 @@ pub struct TableSet {
     status_checks: Option<StatusCheckAcc>,
     statics: Option<StaticStats>,
     summary: Option<UsageSummaryAcc>,
-    delegated_embeds: Option<DelegatedEmbedStats>,
+    delegated_embeds: Option<DelegatedEmbedAcc>,
     delegated_permissions: Option<DelegatedPermissionStats>,
     adoption: Option<HeaderAdoption>,
     top_level_directives: Option<TopLevelDirectiveAcc>,

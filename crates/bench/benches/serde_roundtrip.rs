@@ -1,0 +1,419 @@
+//! Serde fast-path throughput: the old `Value`-tree pipeline vs the
+//! streaming encode/decode on a representative `SiteRecord` corpus.
+//! Writes `BENCH_serde.json` at the repo root with records/sec for both
+//! paths in both directions, the artifact behind the streaming layer's
+//! acceptance criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use bench::{dataset, BENCH_POPULATION};
+use crawler::SiteRecord;
+
+/// The corpus: every record of the shared benchmark crawl, one JSON
+/// line each (pre-encoded once, shared by the decode measurements).
+fn corpus() -> &'static Vec<String> {
+    static CORPUS: OnceLock<Vec<String>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let lines: Vec<String> = dataset()
+            .records
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("encode record"))
+            .collect();
+        // The two paths must agree byte-for-byte before their speeds
+        // are worth comparing.
+        for (record, line) in dataset().records.iter().zip(&lines) {
+            assert_eq!(
+                line,
+                &serde_json::to_string_via_value(record).expect("encode via value"),
+                "streaming and Value-tree encodes diverge"
+            );
+        }
+        lines
+    })
+}
+
+fn encode_streaming(records: &[SiteRecord]) -> usize {
+    let mut buf = String::new();
+    let mut total = 0;
+    for record in records {
+        buf.clear();
+        serde_json::to_string_into(record, &mut buf);
+        total += buf.len();
+    }
+    total
+}
+
+fn encode_value_tree(records: &[SiteRecord]) -> usize {
+    records
+        .iter()
+        .map(|r| {
+            serde_json::to_string_via_value(r)
+                .expect("encode via value")
+                .len()
+        })
+        .sum()
+}
+
+fn decode_streaming(lines: &[String]) -> u64 {
+    lines
+        .iter()
+        .map(|l| {
+            serde_json::from_str::<SiteRecord>(l)
+                .expect("decode record")
+                .rank
+        })
+        .sum()
+}
+
+fn decode_value_tree(lines: &[String]) -> u64 {
+    lines
+        .iter()
+        .map(|l| {
+            let value = seed::parse(l).expect("seed parse");
+            serde_json::from_value::<SiteRecord>(&value)
+                .expect("decode via value")
+                .rank
+        })
+        .sum()
+}
+
+/// The pre-streaming decode pipeline, copied verbatim from the old
+/// `vendor/serde_json/src/parse.rs` so the "before" column measures
+/// what the repo actually shipped: per-byte scan loops, an owned
+/// `String` allocated for every object key, and the full `Value` tree
+/// `from_value` then clones out of. (The live `from_str_via_value`
+/// reference path shares the new vectorized tokenizer for error
+/// parity, so it is faster than the code this PR replaced.)
+mod seed {
+    use serde::de::Error;
+    use serde_json::Value;
+
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::new(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn eat_literal(&mut self, lit: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+                Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(other) => Err(Error::new(format!(
+                    "unexpected character `{}` at byte {}",
+                    other as char, self.pos
+                ))),
+                None => Err(Error::new("unexpected end of input")),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `]` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `}}` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        self.escape(&mut out)?;
+                    }
+                    _ => return Err(Error::new("unterminated string")),
+                }
+            }
+        }
+
+        fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+            let c = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated escape"))?;
+            self.pos += 1;
+            match c {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'u' => {
+                    let first = self.hex4()?;
+                    let code = if (0xD800..0xDC00).contains(&first) {
+                        if !self.eat_literal("\\u") {
+                            return Err(Error::new("unpaired surrogate in string"));
+                        }
+                        let second = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&second) {
+                            return Err(Error::new("invalid low surrogate in string"));
+                        }
+                        0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                    } else {
+                        first
+                    };
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| Error::new("invalid \\u escape in string"))?,
+                    );
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "invalid escape `\\{}` at byte {}",
+                        other as char,
+                        self.pos - 1
+                    )))
+                }
+            }
+            Ok(())
+        }
+
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let end = self.pos + 4;
+            let digits = self
+                .bytes
+                .get(self.pos..end)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+            let code = u32::from_str_radix(digits, 16)
+                .map_err(|_| Error::new(format!("invalid \\u escape `{digits}`")))?;
+            self.pos = end;
+            Ok(code)
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            let negative = self.peek() == Some(b'-');
+            if negative {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+            use serde::Number;
+            if !is_float {
+                if negative {
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Num(Number::I(i)));
+                    }
+                } else if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Value::Num(Number::U(u)));
+                }
+            }
+            text.parse::<f64>()
+                .map(|f| Value::Num(Number::F(f)))
+                .map_err(|_| Error::new(format!("invalid number `{text}` at byte {start}")))
+        }
+    }
+}
+
+fn roundtrip(c: &mut Criterion) {
+    let records = &dataset().records;
+    let lines = corpus();
+    let mut group = c.benchmark_group("serde_roundtrip");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_POPULATION));
+    group.bench_function("encode_value_tree", |b| {
+        b.iter(|| black_box(encode_value_tree(records)))
+    });
+    group.bench_function("encode_streaming", |b| {
+        b.iter(|| black_box(encode_streaming(records)))
+    });
+    group.bench_function("decode_value_tree", |b| {
+        b.iter(|| black_box(decode_value_tree(lines)))
+    });
+    group.bench_function("decode_streaming", |b| {
+        b.iter(|| black_box(decode_streaming(lines)))
+    });
+    group.finish();
+}
+
+/// Times both paths in both directions (best of three, single thread)
+/// and records the comparison in `BENCH_serde.json`.
+fn record_comparison(_c: &mut Criterion) {
+    let records = &dataset().records;
+    let lines = corpus();
+    let best_ms = |pass: &mut dyn FnMut()| -> f64 {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                pass();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let rps = |ms: f64| BENCH_POPULATION as f64 / (ms / 1e3).max(f64::MIN_POSITIVE);
+    let enc_tree_ms = best_ms(&mut || {
+        black_box(encode_value_tree(records));
+    });
+    let enc_stream_ms = best_ms(&mut || {
+        black_box(encode_streaming(records));
+    });
+    let dec_tree_ms = best_ms(&mut || {
+        black_box(decode_value_tree(lines));
+    });
+    let dec_stream_ms = best_ms(&mut || {
+        black_box(decode_streaming(lines));
+    });
+    let encode_speedup = enc_tree_ms / enc_stream_ms.max(f64::MIN_POSITIVE);
+    let decode_speedup = dec_tree_ms / dec_stream_ms.max(f64::MIN_POSITIVE);
+    let json = format!(
+        "{{\n  \"population\": {BENCH_POPULATION},\n  \
+         \"encode\": {{\n    \
+         \"value_tree\": {{ \"ms\": {enc_tree_ms:.2}, \"records_per_sec\": {:.0} }},\n    \
+         \"streaming\": {{ \"ms\": {enc_stream_ms:.2}, \"records_per_sec\": {:.0} }},\n    \
+         \"speedup\": {encode_speedup:.2}\n  }},\n  \
+         \"decode\": {{\n    \
+         \"value_tree\": {{ \"ms\": {dec_tree_ms:.2}, \"records_per_sec\": {:.0} }},\n    \
+         \"streaming\": {{ \"ms\": {dec_stream_ms:.2}, \"records_per_sec\": {:.0} }},\n    \
+         \"speedup\": {decode_speedup:.2}\n  }},\n  \
+         \"decode_speedup\": {decode_speedup:.2}\n}}\n",
+        rps(enc_tree_ms),
+        rps(enc_stream_ms),
+        rps(dec_tree_ms),
+        rps(dec_stream_ms),
+    );
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serde.json");
+    std::fs::write(&out, &json).expect("write BENCH_serde.json");
+    println!(
+        "serde {BENCH_POPULATION} records: encode value-tree {enc_tree_ms:.1} ms vs streaming \
+         {enc_stream_ms:.1} ms ({encode_speedup:.2}x); decode value-tree {dec_tree_ms:.1} ms vs \
+         streaming {dec_stream_ms:.1} ms ({decode_speedup:.2}x) -> {}",
+        out.display()
+    );
+}
+
+criterion_group!(serde_roundtrip, roundtrip, record_comparison);
+criterion_main!(serde_roundtrip);

@@ -518,7 +518,7 @@ impl<N: Network> Browser<N> {
             .policy
             .allowed_features()
             .into_iter()
-            .map(|p| p.token().to_string())
+            .map(registry::FeatureToken)
             .collect();
 
         ctx.frames.push(FrameRecord {
@@ -832,7 +832,7 @@ impl<N: Network> Browser<N> {
             allowed_features: policy
                 .allowed_features()
                 .into_iter()
-                .map(|p| p.token().to_string())
+                .map(registry::FeatureToken)
                 .collect(),
         });
     }

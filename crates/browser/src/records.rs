@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use registry::Permission;
+use registry::{FeatureToken, Permission};
 
 /// How a permission-related API invocation relates to the permission
 /// system (mirrors `registry::apis::ApiKind`, plus resolution results).
@@ -88,6 +88,18 @@ impl Serialize for ScriptRecord {
         }
         serde::Value::Obj(fields)
     }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"url\":");
+        self.url.write_json(out);
+        out.push_str(",\"source\":");
+        self.source.write_json(out);
+        if self.outcome != ScriptOutcome::Ok {
+            out.push_str(",\"outcome\":");
+            self.outcome.write_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl ScriptRecord {
@@ -156,9 +168,10 @@ pub struct FrameRecord {
     pub invocations: Vec<InvocationRecord>,
     /// Scripts loaded by this frame (for the static analysis).
     pub scripts: Vec<ScriptRecord>,
-    /// Policy-controlled features enabled for this document's own origin,
-    /// as spec tokens.
-    pub allowed_features: Vec<String>,
+    /// Policy-controlled features enabled for this document's own origin.
+    /// Serialized as spec tokens; held as typed [`FeatureToken`]s so the
+    /// closed vocabulary decodes without a `String` per entry.
+    pub allowed_features: Vec<FeatureToken>,
 }
 
 impl FrameRecord {
@@ -339,6 +352,26 @@ impl Serialize for PageVisit {
             fields.push(("degradations".to_string(), self.degradations.to_value()));
         }
         serde::Value::Obj(fields)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"requested_url\":");
+        self.requested_url.write_json(out);
+        out.push_str(",\"frames\":");
+        self.frames.write_json(out);
+        out.push_str(",\"prompts\":");
+        self.prompts.write_json(out);
+        out.push_str(",\"outcome\":");
+        self.outcome.write_json(out);
+        out.push_str(",\"elapsed_ms\":");
+        self.elapsed_ms.write_json(out);
+        if !self.degradations.is_empty() {
+            out.push_str(",\"schema_version\":");
+            self.schema_version.write_json(out);
+            out.push_str(",\"degradations\":");
+            self.degradations.write_json(out);
+        }
+        out.push('}');
     }
 }
 

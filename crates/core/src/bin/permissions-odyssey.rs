@@ -163,6 +163,7 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     // Stream records to disk as they complete (the paper's per-site
     // persistence, Appendix A.2 C14).
     let mut write_error: Option<String> = None;
+    let mut line = String::new();
     let faults = netsim::FaultSpec {
         seed,
         panic_per_mille: fault_panics,
@@ -181,10 +182,10 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         }
         let shard = ((record.rank - 1) % writers.len() as u64) as usize;
         let writer = &mut writers[shard];
-        if let Err(e) = serde_json::to_writer(&mut *writer, &record)
-            .map_err(|e| e.to_string())
-            .and_then(|()| writer.write_all(b"\n").map_err(|e| e.to_string()))
-        {
+        line.clear();
+        serde_json::to_string_into(&record, &mut line);
+        line.push('\n');
+        if let Err(e) = writer.write_all(line.as_bytes()).map_err(|e| e.to_string()) {
             write_error = Some(format!("{}: {e}", shard_files[shard].display()));
         }
         let snapshot = telemetry.snapshot();

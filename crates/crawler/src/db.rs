@@ -160,19 +160,24 @@ impl RecordStream {
             } else {
                 &self.buf[..]
             };
-            let text = match std::str::from_utf8(line) {
-                Ok(text) => text,
-                Err(e) => match self.failed_line(terminated, &format!("invalid UTF-8: {e}")) {
-                    Some(err) => return Some(Err(err)),
-                    None => continue,
-                },
+            let blank = match line.first() {
+                None => true,
+                Some(b) if b.is_ascii_whitespace() || *b >= 0x80 => {
+                    // Match the old `str::trim().is_empty()` semantics
+                    // (unicode whitespace counts as blank) without paying
+                    // a UTF-8 pass on ordinary record lines.
+                    line.iter().all(u8::is_ascii_whitespace)
+                        || std::str::from_utf8(line)
+                            .is_ok_and(|t| t.chars().all(char::is_whitespace))
+                }
+                _ => false,
             };
-            if text.trim().is_empty() {
+            if blank {
                 // Blank line: fine, still part of the valid prefix.
                 self.valid_len += n as u64;
                 continue;
             }
-            match serde_json::from_str::<SiteRecord>(text) {
+            match serde_json::from_slice::<SiteRecord>(line) {
                 Ok(record) => {
                     self.valid_len += n as u64;
                     return Some(Ok(record));
@@ -232,9 +237,12 @@ impl Iterator for RecordStream {
 /// Writes a dataset as JSONL.
 pub fn write_jsonl(dataset: &CrawlDataset, path: &Path) -> std::io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
+    let mut line = String::new();
     for record in &dataset.records {
-        serde_json::to_writer(&mut out, record)?;
-        out.write_all(b"\n")?;
+        line.clear();
+        serde_json::to_string_into(record, &mut line);
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
     }
     out.flush()
 }

@@ -98,7 +98,7 @@ pub enum SiteOutcome {
 }
 
 /// One origin's crawl record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteRecord {
     /// Rank in the origin list (1-based).
     pub rank: u64,

@@ -40,7 +40,7 @@ mod permission;
 pub mod support;
 
 pub use info::{Category, DefaultAllowlist, PermissionInfo};
-pub use permission::Permission;
+pub use permission::{FeatureToken, Permission};
 
 /// All permissions known to the registry, in token order.
 pub fn all_permissions() -> &'static [Permission] {

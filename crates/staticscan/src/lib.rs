@@ -196,13 +196,20 @@ impl Scanner for AcScanner {
 
 static DEFAULT_SCANNER: OnceLock<AcScanner> = OnceLock::new();
 
-/// Memo for [`scan_script`]: crawls see the same shared tracker scripts
-/// on hundreds of thousands of sites, and the analyses scan each frame's
-/// scripts several times (usage, summary, over-permission). Keyed by an
-/// FNV-1a hash of the source; bounded to keep memory flat on
-/// adversarially-unique corpora.
-static SCAN_MEMO: OnceLock<std::sync::Mutex<std::collections::HashMap<u64, StaticFindings>>> =
-    OnceLock::new();
+// Memo for `scan_script`: crawls see the same shared tracker scripts
+// on hundreds of thousands of sites, and the analyses scan each frame's
+// scripts several times (usage, summary, over-permission). Keyed by an
+// FNV-1a hash of the source; bounded to keep memory flat on
+// adversarially-unique corpora. Thread-local rather than process-wide:
+// the analysis fold runs one worker per shard, and a shared
+// `Mutex<HashMap>` here serialized those workers on every script — the
+// lock's cache line ping-ponged hard enough to make four workers slower
+// than one. Each worker paying one redundant scan per distinct script
+// is far cheaper than a cross-core lock per call.
+thread_local! {
+    static SCAN_MEMO: std::cell::RefCell<std::collections::HashMap<u64, StaticFindings>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
 
 const SCAN_MEMO_CAP: usize = 65_536;
 
@@ -216,17 +223,18 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// content hash.
 pub fn scan_script(source: &str) -> StaticFindings {
     let key = fnv1a(source.as_bytes());
-    let memo = SCAN_MEMO.get_or_init(Default::default);
-    if let Some(found) = memo.lock().unwrap().get(&key) {
-        return found.clone();
-    }
-    let findings = DEFAULT_SCANNER.get_or_init(AcScanner::new).scan(source);
-    let mut memo = memo.lock().unwrap();
-    if memo.len() >= SCAN_MEMO_CAP {
-        memo.clear();
-    }
-    memo.insert(key, findings.clone());
-    findings
+    SCAN_MEMO.with(|memo| {
+        if let Some(found) = memo.borrow().get(&key) {
+            return found.clone();
+        }
+        let findings = DEFAULT_SCANNER.get_or_init(AcScanner::new).scan(source);
+        let mut memo = memo.borrow_mut();
+        if memo.len() >= SCAN_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, findings.clone());
+        findings
+    })
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ fn main() {
                 hijackable = frame
                     .allowed_features
                     .iter()
-                    .filter_map(|token| Permission::from_token(token))
+                    .map(|token| token.0)
                     .filter(|p| p.info().powerful)
                     .collect();
             }

@@ -24,6 +24,21 @@ RUSTFLAGS="-C debug-assertions -C overflow-checks" \
 echo "==> streaming equivalence at full scale (release, 20k sites)"
 cargo test -q --release --test streaming_equivalence
 
+echo "==> serde byte-identity gate (20k sites, streaming vs value-tree)"
+cargo build --release --example reencode
+BIN=target/release/permissions-odyssey
+IDENT=$(mktemp -d)
+trap 'rm -rf "$IDENT"' EXIT
+"$BIN" crawl --size 20000 --seed 7 --out "$IDENT/crawl.jsonl" 2>/dev/null
+target/release/examples/reencode \
+    --db "$IDENT/crawl.jsonl" --out "$IDENT/streaming.jsonl" --codec streaming
+target/release/examples/reencode \
+    --db "$IDENT/crawl.jsonl" --out "$IDENT/value-tree.jsonl" --codec value-tree
+cmp "$IDENT/crawl.jsonl" "$IDENT/streaming.jsonl"
+cmp "$IDENT/streaming.jsonl" "$IDENT/value-tree.jsonl"
+rm -rf "$IDENT"
+echo "    crawl, streaming re-encode, and value-tree re-encode are byte-identical"
+
 echo "==> sharded round-trip smoke (crawl --shards 4 vs unsharded)"
 BIN=target/release/permissions-odyssey
 SMOKE=$(mktemp -d)

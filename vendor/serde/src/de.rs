@@ -1,8 +1,23 @@
-//! Deserialization errors.
+//! Deserialization errors and the streaming JSON parser.
+//!
+//! [`Parser`] is the decode-side mirror of [`crate::ser`]: a strict
+//! recursive-descent reader over raw input bytes that `read_json`
+//! implementations drive directly, so a record decodes straight into
+//! its target fields with no intermediate [`Value`](crate::Value) tree.
+//! Strings unescape in place — a run without escapes is returned as a
+//! borrow of the input ([`Parser::read_str`] yields `Cow::Borrowed`),
+//! and UTF-8 is validated per string run instead of in a separate
+//! whole-input pass. [`Parser::parse_value`] is the same grammar
+//! materialized into a `Value`, which keeps the two decode paths
+//! error-compatible: both report the same malformed input at the same
+//! byte offsets.
 
+use std::borrow::Cow;
 use std::fmt;
 
-/// Why a [`crate::Value`] could not be turned into the requested type.
+use crate::{Number, Value};
+
+/// Why input could not be turned into the requested type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     message: String,
@@ -18,7 +33,14 @@ impl Error {
 
     /// The standard "expected X, found Y" shape.
     pub fn expected(what: &str, found: &crate::Value) -> Error {
-        Error::new(format!("expected {what}, found {}", found.kind()))
+        Error::expected_kind(what, found.kind())
+    }
+
+    /// [`Error::expected`] when only the kind name is at hand (the
+    /// streaming parser knows the upcoming kind without materializing
+    /// a value).
+    pub fn expected_kind(what: &str, found: &str) -> Error {
+        Error::new(format!("expected {what}, found {found}"))
     }
 }
 
@@ -29,3 +51,641 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// A string read whose UTF-8 validation is deferred to the caller:
+/// either the raw bytes of an escape-free run, or the unescaped
+/// (already validated) text. See [`Parser::read_str_raw_kind`].
+pub enum RawStr<'a> {
+    /// An escape-free run, not yet validated as UTF-8.
+    Bytes(&'a [u8]),
+    /// An unescaped string (validation already done).
+    Text(Cow<'a, str>),
+}
+
+impl RawStr<'_> {
+    /// The string's bytes, for matching against ASCII vocabulary. A
+    /// match proves the run was valid UTF-8; on a miss, call
+    /// [`RawStr::validate`] before treating the bytes as text.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            RawStr::Bytes(b) => b,
+            RawStr::Text(t) => t.as_bytes(),
+        }
+    }
+
+    /// Runs the UTF-8 validation an unmatched raw run still owes,
+    /// reporting exactly as the validating read would have.
+    #[inline]
+    pub fn validate(&self) -> Result<(), Error> {
+        match self {
+            RawStr::Bytes(b) => std::str::from_utf8(b)
+                .map(|_| ())
+                .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}"))),
+            RawStr::Text(_) => Ok(()),
+        }
+    }
+}
+
+/// Streaming strict JSON parser over input bytes.
+///
+/// `read_json` implementations pull typed values off the front of the
+/// input: [`Parser::peek_kind`] classifies the upcoming value, the
+/// `read_*` methods consume it, and [`Parser::read_obj`] /
+/// [`Parser::read_seq`] drive a closure over each entry of a composite.
+/// Values that nothing wants (unknown or duplicate object keys) are
+/// validated and discarded by [`Parser::skip_value`].
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// A parser positioned at the start of `bytes`.
+    #[inline]
+    pub fn new(bytes: &'a [u8]) -> Parser<'a> {
+        Parser { bytes, pos: 0 }
+    }
+
+    /// Byte offset of the next unread input byte.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True once every input byte has been consumed.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Skips JSON whitespace.
+    #[inline]
+    pub fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// First unconsumed byte after whitespace (`None` at end of input).
+    /// A one-byte probe for impls that only need to distinguish `null`
+    /// from a value without the full kind dispatch.
+    #[inline]
+    pub(crate) fn peek_after_ws(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.peek()
+    }
+
+    #[inline]
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    #[inline]
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The error a malformed value start produces (mirrors the value
+    /// dispatch fall-through).
+    fn unexpected(&self) -> Error {
+        match self.peek() {
+            Some(other) => Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            )),
+            None => Error::new("unexpected end of input"),
+        }
+    }
+
+    /// Classifies the upcoming value without consuming it (leading
+    /// whitespace is skipped). Returns the same kind names as
+    /// [`Value::kind`] so type-mismatch errors match the tree path.
+    #[inline]
+    pub fn peek_kind(&mut self) -> Result<&'static str, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.bytes[self.pos..].starts_with(b"null") => Ok("null"),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => Ok("bool"),
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => Ok("bool"),
+            Some(b'"') => Ok("string"),
+            Some(b'[') => Ok("array"),
+            Some(b'{') => Ok("object"),
+            Some(b'-' | b'0'..=b'9') => Ok("number"),
+            _ => Err(self.unexpected()),
+        }
+    }
+
+    /// Checks the upcoming value is of `kind`, erroring with the
+    /// standard "expected {what}, found {kind}" shape otherwise.
+    #[inline]
+    pub fn expect_kind(&mut self, kind: &str, what: &str) -> Result<(), Error> {
+        let found = self.peek_kind()?;
+        if found == kind {
+            Ok(())
+        } else {
+            Err(Error::expected_kind(what, found))
+        }
+    }
+
+    /// Consumes `null`.
+    #[inline]
+    pub fn read_null(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.eat_literal("null") {
+            Ok(())
+        } else {
+            Err(self.unexpected())
+        }
+    }
+
+    /// Consumes `true` or `false`.
+    #[inline]
+    pub fn read_bool(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.eat_literal("true") {
+            Ok(true)
+        } else if self.eat_literal("false") {
+            Ok(false)
+        } else {
+            Err(self.unexpected())
+        }
+    }
+
+    /// Consumes a number, keeping integer forms exact. Integers are
+    /// accumulated directly in the digit scan — `str::parse` runs only
+    /// for floats and 20+-digit integers, neither of which the crawl
+    /// schema produces.
+    #[inline]
+    pub fn read_number(&mut self) -> Result<Number, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut int_val: u64 = 0;
+        let mut digits: u32 = 0;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    int_val = int_val.wrapping_mul(10).wrapping_add(u64::from(c - b'0'));
+                    digits += 1;
+                    self.pos += 1;
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        // Any 19-digit decimal fits in a u64, so the accumulator can't
+        // have wrapped; longer integers re-parse from text below.
+        if !is_float && (1..=19).contains(&digits) {
+            if !negative {
+                return Ok(Number::U(int_val));
+            }
+            if int_val <= i64::MAX as u64 + 1 {
+                return Ok(Number::I((int_val as i64).wrapping_neg()));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Number::I(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Number::U(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Number::F)
+            .map_err(|_| Error::new(format!("invalid number `{text}` at byte {start}")))
+    }
+
+    /// Advances past the current run of plain string bytes, stopping at
+    /// `"`, `\` or end of input. Scans a 64-bit word per step with the
+    /// classic zero-byte trick (`(w - 0x01…) & !w & 0x80…` flags any
+    /// zero byte of `w`, exactly for the lowest hit): string content is
+    /// the bulk of every record, and eight-at-a-time beats a per-byte
+    /// loop even on the corpus's short (≈9-byte) runs.
+    #[inline]
+    fn scan_plain_run(&mut self) {
+        const ONES: u64 = 0x0101_0101_0101_0101;
+        const HIGH: u64 = 0x8080_8080_8080_8080;
+        let bytes = self.bytes;
+        let mut i = self.pos;
+        while let Some(chunk) = bytes.get(i..i + 8) {
+            let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let quote = w ^ (ONES * u64::from(b'"'));
+            let slash = w ^ (ONES * u64::from(b'\\'));
+            let hit =
+                ((quote.wrapping_sub(ONES) & !quote) | (slash.wrapping_sub(ONES) & !slash)) & HIGH;
+            if hit != 0 {
+                self.pos = i + hit.trailing_zeros() as usize / 8;
+                return;
+            }
+            i += 8;
+        }
+        while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'\\' {
+            i += 1;
+        }
+        self.pos = i;
+    }
+
+    /// Consumes a string, unescaping straight off the input. A run with
+    /// no escapes borrows the input bytes (`Cow::Borrowed`); escapes
+    /// fall back to building an owned string. UTF-8 is validated per
+    /// run — never as a separate whole-input pass.
+    #[inline]
+    pub fn read_str(&mut self) -> Result<Cow<'a, str>, Error> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        self.read_str_tail()
+    }
+
+    /// The body of [`Parser::read_str`] once the opening quote is
+    /// consumed, so callers that already peeked the quote don't test
+    /// it twice.
+    #[inline]
+    fn read_str_tail(&mut self) -> Result<Cow<'a, str>, Error> {
+        let start = self.pos;
+        // Fast path: scan the first run of plain bytes in one shot.
+        self.scan_plain_run();
+        let run = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
+        match self.peek() {
+            Some(b'"') => {
+                self.pos += 1;
+                Ok(Cow::Borrowed(run))
+            }
+            Some(b'\\') => {
+                let mut out = String::from(run);
+                loop {
+                    match self.peek() {
+                        Some(b'"') => {
+                            self.pos += 1;
+                            return Ok(Cow::Owned(out));
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            self.escape(&mut out)?;
+                        }
+                        _ => return Err(Error::new("unterminated string")),
+                    }
+                    let run_start = self.pos;
+                    self.scan_plain_run();
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[run_start..self.pos])
+                            .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+                    );
+                }
+            }
+            // The scan loop only stops at `"`, `\` or end of input.
+            _ => Err(Error::new("unterminated string")),
+        }
+    }
+
+    /// [`Parser::read_str`] with the kind check fused in: one byte test
+    /// on the hot path instead of a full `expect_kind` +
+    /// `read_str` double dispatch, with the standard
+    /// "expected {what}, found {kind}" error on mismatch so the two
+    /// decode paths still report identical type errors.
+    #[inline]
+    pub fn read_str_kind(&mut self, what: &str) -> Result<Cow<'a, str>, Error> {
+        self.skip_ws();
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            self.read_str_tail()
+        } else {
+            Err(Error::expected_kind(what, self.peek_kind()?))
+        }
+    }
+
+    /// [`Parser::read_str_kind`] that defers UTF-8 validation to the
+    /// caller: an escape-free string comes back as its raw bytes, an
+    /// escaped one as its unescaped text. Closed-vocabulary decoders
+    /// match the bytes against ASCII tokens directly — a hit proves the
+    /// run was valid UTF-8, so only the miss path (which wants to show
+    /// the text to a human) must run `str::from_utf8` and report its
+    /// failure as `invalid UTF-8 in string: …`, keeping byte-level
+    /// error parity with [`Parser::read_str`].
+    #[inline]
+    pub fn read_str_raw_kind(&mut self, what: &str) -> Result<RawStr<'a>, Error> {
+        self.skip_ws();
+        if self.peek() != Some(b'"') {
+            return Err(Error::expected_kind(what, self.peek_kind()?));
+        }
+        self.pos += 1;
+        let bytes = self.bytes;
+        let start = self.pos;
+        self.scan_plain_run();
+        match self.peek() {
+            Some(b'"') => {
+                let run = &bytes[start..self.pos];
+                self.pos += 1;
+                Ok(RawStr::Bytes(run))
+            }
+            Some(b'\\') => {
+                // Escapes are rare in closed vocabularies: rewind and
+                // take the validating, unescaping read.
+                self.pos = start;
+                self.read_str_tail().map(RawStr::Text)
+            }
+            _ => Err(Error::new("unterminated string")),
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::new("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'u' => {
+                let first = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&first) {
+                    // High surrogate: must be followed by `\uXXXX` low half.
+                    if !self.eat_literal("\\u") {
+                        return Err(Error::new("unpaired surrogate in string"));
+                    }
+                    let second = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&second) {
+                        return Err(Error::new("invalid low surrogate in string"));
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                } else {
+                    first
+                };
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::new("invalid \\u escape in string"))?,
+                );
+            }
+            other => {
+                return Err(Error::new(format!(
+                    "invalid escape `\\{}` at byte {}",
+                    other as char,
+                    self.pos - 1
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| Error::new(format!("invalid \\u escape `{digits}`")))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    /// Consumes an object, calling `f` once per entry with the key; `f`
+    /// must consume the entry's value. Keys without escapes are handed
+    /// over as borrows of the input — no per-key allocation.
+    pub fn read_obj<F>(&mut self, mut f: F) -> Result<(), Error>
+    where
+        F: FnMut(&mut Parser<'a>, &str) -> Result<(), Error>,
+    {
+        self.read_obj_raw(|p, key| match key {
+            RawStr::Bytes(b) => {
+                let key = std::str::from_utf8(b)
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
+                f(p, key)
+            }
+            RawStr::Text(t) => f(p, &t),
+        })
+    }
+
+    /// [`Parser::read_obj`] with key UTF-8 validation deferred to the
+    /// caller, as in [`Parser::read_str_raw_kind`]: schema decoders
+    /// match keys against ASCII field names byte-for-byte, so only the
+    /// unknown-key arm needs to validate before skipping the value.
+    pub fn read_obj_raw<F>(&mut self, mut f: F) -> Result<(), Error>
+    where
+        F: FnMut(&mut Parser<'a>, RawStr<'a>) -> Result<(), Error>,
+    {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.expect(b'"')?;
+            let bytes = self.bytes;
+            let start = self.pos;
+            self.scan_plain_run();
+            let key = match self.peek() {
+                Some(b'"') => {
+                    let run = &bytes[start..self.pos];
+                    self.pos += 1;
+                    RawStr::Bytes(run)
+                }
+                Some(b'\\') => {
+                    self.pos = start;
+                    RawStr::Text(self.read_str_tail()?)
+                }
+                _ => return Err(Error::new("unterminated string")),
+            };
+            self.skip_ws();
+            self.expect(b':')?;
+            f(self, key)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Consumes an array, calling `f` once per element; `f` must
+    /// consume the element.
+    pub fn read_seq<F>(&mut self, mut f: F) -> Result<(), Error>
+    where
+        F: FnMut(&mut Parser<'a>) -> Result<(), Error>,
+    {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            f(self)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Parses and discards the upcoming value with full validation.
+    /// Only unknown and duplicate object keys take this path, so the
+    /// transient tree it builds never sits on the hot loop.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        self.parse_value().map(|_| ())
+    }
+
+    /// Materializes the upcoming value as a [`Value`] tree — the
+    /// reference decode path, and the `read_json` default for types
+    /// without a streaming override.
+    pub fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.read_str().map(|s| Value::Str(s.into_owned())),
+            Some(b'[') => {
+                let mut items = Vec::new();
+                self.read_seq(|p| {
+                    items.push(p.parse_value()?);
+                    Ok(())
+                })?;
+                Ok(Value::Arr(items))
+            }
+            Some(b'{') => {
+                let mut entries = Vec::new();
+                self.read_obj(|p, key| {
+                    let key = key.to_string();
+                    entries.push((key, p.parse_value()?));
+                    Ok(())
+                })?;
+                Ok(Value::Obj(entries))
+            }
+            Some(b'-' | b'0'..=b'9') => self.read_number().map(Value::Num),
+            _ => Err(self.unexpected()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(input: &str) -> Result<Value, Error> {
+        let mut p = Parser::new(input.as_bytes());
+        let v = p.parse_value()?;
+        p.skip_ws();
+        assert!(p.at_end(), "test inputs are single documents");
+        Ok(v)
+    }
+
+    #[test]
+    fn borrows_plain_strings_and_owns_escaped_ones() {
+        let mut p = Parser::new(br#""plain run""#);
+        assert!(matches!(p.read_str().unwrap(), Cow::Borrowed("plain run")));
+        let mut p = Parser::new(br#""a\tb""#);
+        assert!(matches!(p.read_str().unwrap(), Cow::Owned(s) if s == "a\tb"));
+    }
+
+    #[test]
+    fn parses_integer_kinds_exactly() {
+        assert_eq!(
+            value("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(value("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(value("1.5e2").unwrap().as_f64(), Some(150.0));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        assert_eq!(value(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert!(value(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(value("[1,]").is_err());
+        assert!(value("{\"a\" 1}").is_err());
+        assert!(value("truth").is_err());
+    }
+
+    #[test]
+    fn object_keys_reach_the_closure_without_alloc() {
+        let mut p = Parser::new(br#"{"a":1,"b":[true,null]}"#);
+        let mut keys = Vec::new();
+        p.read_obj(|p, key| {
+            keys.push(key.to_string());
+            p.skip_value()
+        })
+        .unwrap();
+        assert_eq!(keys, ["a", "b"]);
+        assert!(p.at_end());
+    }
+
+    #[test]
+    fn skip_value_validates_what_it_discards() {
+        let mut p = Parser::new(br#"{"junk":[1,}"#);
+        let err = p
+            .read_obj(|p, _| p.skip_value())
+            .expect_err("invalid nested value stays loud");
+        assert!(err.to_string().contains("unexpected character"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_kind_errors_match_the_tree_path() {
+        let mut p = Parser::new(b"[1]");
+        let err = p.expect_kind("object", "SiteRecord").unwrap_err();
+        assert_eq!(err.to_string(), "expected SiteRecord, found array");
+    }
+}

@@ -1,15 +1,25 @@
 //! Trait implementations for primitives and standard containers.
+//!
+//! Every impl provides both faces of the traits: the `Value`-tree
+//! reference methods and the streaming `write_json`/`read_json`
+//! overrides. The streaming side reuses the tree path's coercion rules
+//! (via [`Value`] accessors on a stack-allocated `Value::Num`) so the
+//! two paths accept the same inputs and report the same errors.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use crate::de::Error;
-use crate::{Deserialize, Number, Serialize, Value};
+use crate::de::{Error, Parser};
+use crate::{ser, Deserialize, Number, Serialize, Value};
 
 macro_rules! unsigned_impl {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::Num(Number::U(*self as u64))
+            }
+            #[inline]
+            fn write_json(&self, out: &mut String) {
+                ser::write_number(out, Number::U(*self as u64));
             }
         }
         impl Deserialize for $t {
@@ -20,6 +30,21 @@ macro_rules! unsigned_impl {
                 <$t>::try_from(n).map_err(|_| Error::new(format!(
                     "{n} out of range for {}", stringify!($t)
                 )))
+            }
+            #[inline]
+            fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                match p.peek_kind()? {
+                    "number" => {
+                        let num = Value::Num(p.read_number()?);
+                        let n = num
+                            .as_u64()
+                            .ok_or_else(|| Error::expected(stringify!($t), &num))?;
+                        <$t>::try_from(n).map_err(|_| Error::new(format!(
+                            "{n} out of range for {}", stringify!($t)
+                        )))
+                    }
+                    kind => Err(Error::expected_kind(stringify!($t), kind)),
+                }
             }
         }
     )*};
@@ -38,6 +63,15 @@ macro_rules! signed_impl {
                     Value::Num(Number::I(v))
                 }
             }
+            #[inline]
+            fn write_json(&self, out: &mut String) {
+                let v = *self as i64;
+                if v >= 0 {
+                    ser::write_number(out, Number::U(v as u64));
+                } else {
+                    ser::write_number(out, Number::I(v));
+                }
+            }
         }
         impl Deserialize for $t {
             fn from_value(value: &Value) -> Result<Self, Error> {
@@ -47,6 +81,21 @@ macro_rules! signed_impl {
                 <$t>::try_from(n).map_err(|_| Error::new(format!(
                     "{n} out of range for {}", stringify!($t)
                 )))
+            }
+            #[inline]
+            fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                match p.peek_kind()? {
+                    "number" => {
+                        let num = Value::Num(p.read_number()?);
+                        let n = num
+                            .as_i64()
+                            .ok_or_else(|| Error::expected(stringify!($t), &num))?;
+                        <$t>::try_from(n).map_err(|_| Error::new(format!(
+                            "{n} out of range for {}", stringify!($t)
+                        )))
+                    }
+                    kind => Err(Error::expected_kind(stringify!($t), kind)),
+                }
             }
         }
     )*};
@@ -58,17 +107,36 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Num(Number::F(*self))
     }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        ser::write_number(out, Number::F(*self));
+    }
 }
 
 impl Deserialize for f64 {
     fn from_value(value: &Value) -> Result<Self, Error> {
         value.as_f64().ok_or_else(|| Error::expected("f64", value))
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        match p.peek_kind()? {
+            "number" => match p.read_number()? {
+                Number::U(u) => Ok(u as f64),
+                Number::I(i) => Ok(i as f64),
+                Number::F(f) => Ok(f),
+            },
+            kind => Err(Error::expected_kind("f64", kind)),
+        }
+    }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Num(Number::F(f64::from(*self)))
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        ser::write_number(out, Number::F(f64::from(*self)));
     }
 }
 
@@ -79,11 +147,26 @@ impl Deserialize for f32 {
             .map(|f| f as f32)
             .ok_or_else(|| Error::expected("f32", value))
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        match p.peek_kind()? {
+            "number" => match p.read_number()? {
+                Number::U(u) => Ok(u as f32),
+                Number::I(i) => Ok(i as f32),
+                Number::F(f) => Ok(f as f32),
+            },
+            kind => Err(Error::expected_kind("f32", kind)),
+        }
+    }
 }
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
     }
 }
 
@@ -93,11 +176,20 @@ impl Deserialize for bool {
             .as_bool()
             .ok_or_else(|| Error::expected("bool", value))
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_kind("bool", "bool")?;
+        p.read_bool()
+    }
 }
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        ser::write_string(out, self);
     }
 }
 
@@ -108,17 +200,30 @@ impl Deserialize for String {
             .map(str::to_string)
             .ok_or_else(|| Error::expected("string", value))
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(p.read_str_kind("string")?.into_owned())
+    }
 }
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        ser::write_string(out, self);
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        ser::write_string(out, self.encode_utf8(&mut buf));
     }
 }
 
@@ -135,22 +240,44 @@ impl Deserialize for char {
             ))),
         }
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let s = p.read_str_kind("char")?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new(format!(
+                "expected single-char string, got {s:?}"
+            ))),
+        }
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
 }
 
 /// Real serde deserializes `&str` by borrowing from the input. This
-/// stand-in deserializes from an owned [`Value`] tree, so there is
-/// nothing to borrow from — the impl exists so derives on structs with
+/// stand-in deserializes from owned input, so there is nothing to
+/// borrow from — the impl exists so derives on structs with
 /// `&'static str` fields still compile (they are serialize-only in
 /// practice), and it errors if actually invoked.
 impl Deserialize for &'static str {
     fn from_value(value: &Value) -> Result<Self, Error> {
         let _ = value;
+        Err(Error::new(
+            "cannot deserialize into borrowed &str; use String",
+        ))
+    }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let _ = p;
         Err(Error::new(
             "cannot deserialize into borrowed &str; use String",
         ))
@@ -161,11 +288,19 @@ impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(value: &Value) -> Result<Self, Error> {
         T::from_value(value).map(Box::new)
+    }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        T::read_json(p).map(Box::new)
     }
 }
 
@@ -174,6 +309,13 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(inner) => inner.to_value(),
             None => Value::Null,
+        }
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(inner) => inner.write_json(out),
+            None => out.push_str("null"),
         }
     }
 }
@@ -185,11 +327,39 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => T::from_value(other).map(Some),
         }
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        // `null` begins with a byte no other JSON value can start with,
+        // so one probe replaces the full kind dispatch; a malformed
+        // `n…` still reports through `read_null` exactly as the kind
+        // dispatch would.
+        if p.peek_after_ws() == Some(b'n') {
+            p.read_null()?;
+            Ok(None)
+        } else {
+            T::read_json(p).map(Some)
+        }
+    }
+}
+
+fn write_elems<'a, T: Serialize + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        write_elems(out, self.iter());
     }
 }
 
@@ -202,17 +372,35 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .map(T::from_value)
             .collect()
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_kind("array", "array")?;
+        let mut items = Vec::new();
+        p.read_seq(|p| {
+            items.push(T::read_json(p)?);
+            Ok(())
+        })?;
+        Ok(items)
+    }
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
     }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        write_elems(out, self.iter());
+    }
 }
 
 impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        write_elems(out, self.iter());
     }
 }
 
@@ -225,11 +413,29 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
             .map(T::from_value)
             .collect()
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_kind("array", "array")?;
+        let mut items = BTreeSet::new();
+        p.read_seq(|p| {
+            items.insert(T::read_json(p)?);
+            Ok(())
+        })?;
+        Ok(items)
+    }
 }
 
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
     }
 }
 
@@ -238,6 +444,28 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
         match value.as_array() {
             Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
             _ => Err(Error::expected("two-element array", value)),
+        }
+    }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_kind("array", "two-element array")?;
+        let mut a = None;
+        let mut b = None;
+        let mut extra = false;
+        p.read_seq(|p| {
+            if a.is_none() {
+                a = Some(A::read_json(p)?);
+            } else if b.is_none() {
+                b = Some(B::read_json(p)?);
+            } else {
+                extra = true;
+                p.skip_value()?;
+            }
+            Ok(())
+        })?;
+        match (a, b) {
+            (Some(a), Some(b)) if !extra => Ok((a, b)),
+            _ => Err(Error::expected_kind("two-element array", "array")),
         }
     }
 }
@@ -256,6 +484,24 @@ fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
     K::from_value(&Value::Str(key.to_string()))
 }
 
+/// Writes pre-stringified map entries; callers sort where needed so
+/// both serialization paths emit the same entry order.
+fn write_entries<'a, V: Serialize + 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+) {
+    out.push('{');
+    for (i, (key, value)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        ser::write_string(out, key);
+        out.push(':');
+        value.write_json(out);
+    }
+    out.push('}');
+}
+
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Obj(
@@ -263,6 +509,11 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
                 .map(|(k, v)| (key_to_string(k), v.to_value()))
                 .collect(),
         )
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        let entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (key_to_string(k), v)).collect();
+        write_entries(out, entries.iter().map(|(k, v)| (k, *v)));
     }
 }
 
@@ -274,6 +525,16 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
             .iter()
             .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
             .collect()
+    }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_kind("object", "object")?;
+        let mut map = BTreeMap::new();
+        p.read_obj(|p, key| {
+            map.insert(key_from_string(key)?, V::read_json(p)?);
+            Ok(())
+        })?;
+        Ok(map)
     }
 }
 
@@ -287,6 +548,15 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
         entries.sort_by(|(a, _), (b, _)| a.cmp(b));
         Value::Obj(entries)
     }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        // Sort by the raw key string (not its escaped form), exactly
+        // like the tree path, so entry order matches byte for byte.
+        let mut entries: Vec<(String, &V)> =
+            self.iter().map(|(k, v)| (key_to_string(k), v)).collect();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        write_entries(out, entries.iter().map(|(k, v)| (k, *v)));
+    }
 }
 
 impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
@@ -298,11 +568,25 @@ impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for Hash
             .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
             .collect()
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_kind("object", "object")?;
+        let mut map = HashMap::new();
+        p.read_obj(|p, key| {
+            map.insert(key_from_string(key)?, V::read_json(p)?);
+            Ok(())
+        })?;
+        Ok(map)
+    }
 }
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+    #[inline]
+    fn write_json(&self, out: &mut String) {
+        ser::write_value(out, self);
     }
 }
 
@@ -310,11 +594,26 @@ impl Deserialize for Value {
     fn from_value(value: &Value) -> Result<Self, Error> {
         Ok(value.clone())
     }
+    #[inline]
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_value()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn stream<T: Deserialize>(input: &str) -> Result<T, Error> {
+        let mut p = Parser::new(input.as_bytes());
+        T::read_json(&mut p)
+    }
+
+    fn written<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        value.write_json(&mut out);
+        out
+    }
 
     #[test]
     fn option_round_trip() {
@@ -322,6 +621,8 @@ mod tests {
         assert_eq!(Option::<u64>::from_value(&v.to_value()).unwrap(), Some(5));
         let none: Option<u64> = None;
         assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), None);
+        assert_eq!(stream::<Option<u64>>("5").unwrap(), Some(5));
+        assert_eq!(stream::<Option<u64>>("null").unwrap(), None);
     }
 
     #[test]
@@ -329,12 +630,16 @@ mod tests {
         let v = (-42i64).to_value();
         assert_eq!(i64::from_value(&v).unwrap(), -42);
         assert!(u64::from_value(&v).is_err());
+        assert_eq!(stream::<i64>("-42").unwrap(), -42);
+        assert!(stream::<u64>("-42").is_err());
     }
 
     #[test]
     fn vec_round_trip() {
         let v = vec!["a".to_string(), "b".to_string()];
         assert_eq!(Vec::<String>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(stream::<Vec<String>>(r#"["a","b"]"#).unwrap(), v);
+        assert_eq!(written(&v), r#"["a","b"]"#);
     }
 
     #[test]
@@ -342,5 +647,29 @@ mod tests {
         let v = 300u64.to_value();
         assert!(u8::from_value(&v).is_err());
         assert!(u16::from_value(&v).is_ok());
+        assert!(stream::<u8>("300").is_err());
+        assert!(stream::<u16>("300").is_ok());
+    }
+
+    #[test]
+    fn streaming_errors_match_tree_errors() {
+        for input in ["true", "[1]", "{}", "\"x\"", "2.5"] {
+            let mut p = Parser::new(input.as_bytes());
+            let tree = p.parse_value().unwrap();
+            let streamed = stream::<u64>(input).unwrap_err().to_string();
+            let via_tree = u64::from_value(&tree).unwrap_err().to_string();
+            assert_eq!(streamed, via_tree, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn hashmap_entry_order_matches_tree_path() {
+        let mut map = HashMap::new();
+        map.insert("b\nkey".to_string(), 1u64);
+        map.insert("a".to_string(), 2u64);
+        map.insert("!".to_string(), 3u64);
+        let mut via_tree = String::new();
+        ser::write_value(&mut via_tree, &map.to_value());
+        assert_eq!(written(&map), via_tree);
     }
 }

@@ -3,28 +3,55 @@
 //! The workspace builds in environments without a crates.io mirror, so
 //! its external dependencies are vendored as minimal from-scratch
 //! implementations (see `vendor/README.md`). This crate provides the
-//! [`Serialize`] / [`Deserialize`] traits the repo derives everywhere,
-//! defined directly over a JSON-shaped [`Value`] tree instead of the
-//! real serde's visitor architecture — `serde_json` (also vendored)
-//! renders and parses that tree. The derive macros are re-exported from
-//! `serde_derive`, like the real crate with its `derive` feature.
+//! [`Serialize`] / [`Deserialize`] traits the repo derives everywhere.
+//! Each trait has two faces over the same byte format:
+//!
+//! * a JSON-shaped [`Value`] tree ([`Serialize::to_value`] /
+//!   [`Deserialize::from_value`]) — the reference path, simple to
+//!   implement and to reason about; and
+//! * a streaming fast path ([`Serialize::write_json`] /
+//!   [`Deserialize::read_json`]) that writes fields straight into a
+//!   reusable output buffer and decodes straight off the input bytes,
+//!   with no intermediate tree. The defaults detour through the tree,
+//!   so a hand-written impl only needs `to_value`/`from_value`; the
+//!   derive macros emit all four.
+//!
+//! `serde_json` (also vendored) fronts both paths. The derive macros
+//! are re-exported from `serde_derive`, like the real crate with its
+//! `derive` feature.
 
 pub use serde_derive::{Deserialize, Serialize};
 
 pub mod de;
 mod impls;
+pub mod ser;
 mod value;
 
 pub use value::{Number, Value};
 
-/// Types that can render themselves into a [`Value`] tree.
+/// Types that can render themselves as JSON.
 pub trait Serialize {
-    /// Converts `self` into a value tree.
+    /// Converts `self` into a value tree (reference path).
     fn to_value(&self) -> Value;
+
+    /// Appends `self` as compact JSON to `out` — the streaming fast
+    /// path. Must emit exactly the bytes `to_value` would render to;
+    /// the default guarantees that by rendering the tree.
+    fn write_json(&self, out: &mut String) {
+        ser::write_value(out, &self.to_value());
+    }
 }
 
-/// Types that can reconstruct themselves from a [`Value`] tree.
+/// Types that can reconstruct themselves from JSON.
 pub trait Deserialize: Sized {
-    /// Parses `value` into `Self`.
+    /// Parses `value` into `Self` (reference path).
     fn from_value(value: &Value) -> Result<Self, de::Error>;
+
+    /// Reads `Self` directly off a streaming [`de::Parser`] — the fast
+    /// path. Must accept exactly the inputs `from_value` accepts; the
+    /// default guarantees that by materializing the tree.
+    fn read_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let value = p.parse_value()?;
+        Self::from_value(&value)
+    }
 }

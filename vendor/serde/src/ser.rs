@@ -1,8 +1,17 @@
-//! Compact JSON writer.
+//! Streaming JSON writer primitives.
+//!
+//! These define the one true byte format for the workspace: compact
+//! JSON, integer forms exact, floats via `{:?}` (so `2.0` keeps its
+//! decimal point), non-finite floats as `null`, control characters as
+//! `\u00XX`. Both serialization paths — the `Value`-tree renderer
+//! ([`write_value`]) and the streaming `Serialize::write_json`
+//! overrides — are built from these same primitives, which is what
+//! keeps the two paths byte-identical.
 
-use serde::{Number, Value};
+use crate::{Number, Value};
 
-pub(crate) fn write_value(out: &mut String, value: &Value) {
+/// Renders a [`Value`] tree as compact JSON.
+pub fn write_value(out: &mut String, value: &Value) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
@@ -34,7 +43,11 @@ pub(crate) fn write_value(out: &mut String, value: &Value) {
     }
 }
 
-fn write_number(out: &mut String, n: Number) {
+/// Renders a number. Integer forms print exactly; floats keep a
+/// trailing `.0` on whole values (`{:?}`), and non-finite floats have
+/// no JSON representation so they render as `null`, like serde_json.
+#[inline]
+pub fn write_number(out: &mut String, n: Number) {
     use std::fmt::Write;
     match n {
         Number::U(u) => {
@@ -43,18 +56,16 @@ fn write_number(out: &mut String, n: Number) {
         Number::I(i) => {
             let _ = write!(out, "{i}");
         }
-        // Non-finite floats have no JSON representation; serde_json
-        // writes `null` for them.
         Number::F(f) if !f.is_finite() => out.push_str("null"),
         Number::F(f) => {
-            // `{:?}` keeps a trailing `.0` on whole floats (`2.0`, not
-            // `2`) so a float stays visibly a float, like serde_json.
             let _ = write!(out, "{f:?}");
         }
     }
 }
 
-pub(crate) fn write_string(out: &mut String, s: &str) {
+/// Renders a string with JSON escaping.
+#[inline]
+pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

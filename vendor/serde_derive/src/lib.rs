@@ -1,19 +1,26 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
-//! (which are defined over a JSON-shaped `serde::Value` tree, not the
-//! real serde data model). Implemented directly on `proc_macro` token
-//! trees — no `syn`/`quote`, since the build environment has no registry
-//! access. Supports exactly the shapes this workspace uses:
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits, implemented directly on `proc_macro` token trees — no
+//! `syn`/`quote`,
+//! since the build environment has no registry access. Supports exactly
+//! the shapes this workspace uses:
 //!
 //! * structs with named fields (plus the `#[serde(default)]` field
 //!   attribute),
 //! * enums with unit, newtype/tuple, and struct variants,
 //! * no generic parameters.
 //!
-//! Serialized forms match serde_json's defaults: structs and struct
-//! variants as objects, unit variants as strings, newtype variants as
-//! single-entry objects.
+//! Each derive emits both faces of its trait: the `Value`-tree methods
+//! (`to_value` / `from_value`) and the streaming fast path
+//! (`write_json` / `read_json`), which appends compact JSON to a
+//! reusable buffer and decodes fields straight off the input parser
+//! with no intermediate tree. Serialized forms match serde_json's
+//! defaults: structs and struct variants as objects, unit variants as
+//! strings, newtype variants as single-entry objects. The two paths
+//! are byte- and error-compatible: unknown fields are ignored, the
+//! first occurrence of a duplicate key wins, and type mismatches
+//! report the same "expected X, found Y" messages.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -44,7 +51,7 @@ fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
 
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
-    let body = match &item.kind {
+    let (body, write_body) = match &item.kind {
         ItemKind::Struct(fields) => {
             let mut entries = String::new();
             for field in &fields.named {
@@ -53,19 +60,43 @@ fn gen_serialize(item: &Item) -> String {
                     field.name, field.name
                 ));
             }
-            format!("serde::Value::Obj(vec![{entries}])")
+            let mut writes = String::new();
+            if fields.named.is_empty() {
+                writes.push_str("out.push_str(\"{}\");");
+            } else {
+                writes.push_str("out.push('{');");
+                for (i, field) in fields.named.iter().enumerate() {
+                    let prefix = if i == 0 {
+                        format!("\"{}\":", field.name)
+                    } else {
+                        format!(",\"{}\":", field.name)
+                    };
+                    writes.push_str(&format!(
+                        "out.push_str({prefix:?});serde::Serialize::write_json(&self.{}, out);",
+                        field.name
+                    ));
+                }
+                writes.push_str("out.push('}');");
+            }
+            (format!("serde::Value::Obj(vec![{entries}])"), writes)
         }
         ItemKind::Enum(variants) => {
             let mut arms = String::new();
+            let mut write_arms = String::new();
             for v in variants {
                 arms.push_str(&serialize_arm(name, v));
+                write_arms.push_str(&write_arm(name, v));
             }
-            format!("match self {{ {arms} }}")
+            (
+                format!("match self {{ {arms} }}"),
+                format!("match self {{ {write_arms} }}"),
+            )
         }
     };
     format!(
         "impl serde::Serialize for {name} {{\n\
              fn to_value(&self) -> serde::Value {{ {body} }}\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{ {write_body} }}\n\
          }}"
     )
 }
@@ -109,6 +140,61 @@ fn serialize_arm(name: &str, v: &Variant) -> String {
     }
 }
 
+/// The streaming-write match arm for one enum variant. Emits exactly
+/// the bytes the `Value` tree for that variant renders to.
+fn write_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            let lit = format!("\"{vname}\"");
+            format!("{name}::{vname} => out.push_str({lit:?}),")
+        }
+        Fields::Tuple(1) => {
+            let open = format!("{{\"{vname}\":");
+            format!(
+                "{name}::{vname}(f0) => {{ out.push_str({open:?}); \
+                 serde::Serialize::write_json(f0, out); out.push('}}'); }}"
+            )
+        }
+        Fields::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let open = format!("{{\"{vname}\":[");
+            let mut writes = String::new();
+            for (i, b) in binders.iter().enumerate() {
+                if i > 0 {
+                    writes.push_str("out.push(',');");
+                }
+                writes.push_str(&format!("serde::Serialize::write_json({b}, out);"));
+            }
+            format!(
+                "{name}::{vname}({}) => {{ out.push_str({open:?}); {writes} \
+                 out.push_str(\"]}}\"); }}",
+                binders.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binders: Vec<&str> = fields.named.iter().map(|f| f.name.as_str()).collect();
+            let open = format!("{{\"{vname}\":{{");
+            let mut writes = String::new();
+            for (i, b) in binders.iter().enumerate() {
+                let prefix = if i == 0 {
+                    format!("\"{b}\":")
+                } else {
+                    format!(",\"{b}\":")
+                };
+                writes.push_str(&format!(
+                    "out.push_str({prefix:?});serde::Serialize::write_json({b}, out);"
+                ));
+            }
+            format!(
+                "{name}::{vname} {{ {} }} => {{ out.push_str({open:?}); {writes} \
+                 out.push_str(\"}}}}\"); }}",
+                binders.join(", ")
+            )
+        }
+    }
+}
+
 /// Field extraction from an object: `entries` must be in scope as
 /// `&[(String, serde::Value)]`, and `{owner}` names the type for errors.
 fn field_expr(field: &parse::Field, owner: &str) -> String {
@@ -130,33 +216,99 @@ fn field_expr(field: &parse::Field, owner: &str) -> String {
     )
 }
 
+/// Streaming field extraction: the slot declaration, key-match arm, and
+/// struct-literal init for one named field. The first occurrence of a
+/// key wins (like the tree path's `find`); later duplicates are
+/// validated and discarded. `__p` must name the parser in scope.
+fn stream_field(field: &parse::Field, owner: &str) -> (String, String, String) {
+    let fname = &field.name;
+    let decl = format!("let mut __f_{fname} = ::core::option::Option::None;");
+    let arm = format!(
+        "b{fname:?} => if __f_{fname}.is_none() {{ \
+             __f_{fname} = ::core::option::Option::Some(serde::Deserialize::read_json(__p)?); \
+         }} else {{ __p.skip_value()?; }},"
+    );
+    let missing = if field.has_default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(serde::de::Error::new(\
+             \"missing field `{fname}` in {owner}\"))"
+        )
+    };
+    let init = format!(
+        "{fname}: match __f_{fname} {{ \
+             ::core::option::Option::Some(v) => v, \
+             ::core::option::Option::None => {missing}, \
+         }},"
+    );
+    (decl, arm, init)
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
-    let body = match &item.kind {
+    let (body, read_body) = match &item.kind {
         ItemKind::Struct(fields) => {
             let mut inits = String::new();
             for field in &fields.named {
                 inits.push_str(&field_expr(field, name));
             }
-            format!(
+            let body = format!(
                 "let entries = value.as_object().ok_or_else(|| \
                  serde::de::Error::expected({name:?}, value))?;\n\
                  ::core::result::Result::Ok({name} {{ {inits} }})"
-            )
+            );
+            let mut decls = String::new();
+            let mut arms = String::new();
+            let mut stream_inits = String::new();
+            for field in &fields.named {
+                let (decl, arm, init) = stream_field(field, name);
+                decls.push_str(&decl);
+                arms.push_str(&arm);
+                stream_inits.push_str(&init);
+            }
+            // Field names are ASCII, so keys match as raw bytes with no
+            // per-key UTF-8 validation; only the unknown-key arm still
+            // owes the validation before the value is skipped.
+            let read_body = format!(
+                "p.expect_kind(\"object\", {name:?})?;\n\
+                 {decls}\n\
+                 p.read_obj_raw(|__p, __key| {{\
+                     match __key.bytes() {{ {arms} _ => {{ __key.validate()?; \
+                         __p.skip_value()?; }} }}\
+                     ::core::result::Result::Ok(())\
+                 }})?;\n\
+                 ::core::result::Result::Ok({name} {{ {stream_inits} }})"
+            );
+            (body, read_body)
         }
         ItemKind::Enum(variants) => {
             let mut unit_arms = String::new();
             let mut data_arms = String::new();
+            let mut stream_unit_arms = String::new();
+            let mut stream_data_arms = String::new();
             for v in variants {
                 let vname = &v.name;
                 match &v.fields {
-                    Fields::Unit => unit_arms.push_str(&format!(
-                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
-                    )),
-                    Fields::Tuple(1) => data_arms.push_str(&format!(
-                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
-                         serde::Deserialize::from_value(v)?)),"
-                    )),
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
+                        ));
+                        stream_unit_arms.push_str(&format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                             serde::Deserialize::from_value(v)?)),"
+                        ));
+                        stream_data_arms.push_str(&format!(
+                            "{vname:?} => {{ __out = ::core::option::Option::Some(\
+                             {name}::{vname}(serde::Deserialize::read_json(__p)?)); \
+                             ::core::result::Result::Ok(()) }}"
+                        ));
+                    }
                     Fields::Tuple(arity) => {
                         let elems: Vec<String> = (0..*arity)
                             .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
@@ -173,6 +325,48 @@ fn gen_deserialize(item: &Item) -> String {
                              }},",
                             elems.join(", ")
                         ));
+                        let owner_arr = format!("{name}::{vname} array");
+                        let mut decls = String::new();
+                        let mut idx_arms = String::new();
+                        for i in 0..*arity {
+                            decls.push_str(&format!(
+                                "let mut __e{i} = ::core::option::Option::None;"
+                            ));
+                            idx_arms.push_str(&format!(
+                                "{i}usize => {{ __e{i} = ::core::option::Option::Some(\
+                                 serde::Deserialize::read_json(__q)?); }}"
+                            ));
+                        }
+                        let slots: Vec<String> = (0..*arity).map(|i| format!("__e{i}")).collect();
+                        let somes: Vec<String> = (0..*arity)
+                            .map(|i| format!("::core::option::Option::Some(__v{i})"))
+                            .collect();
+                        let vals: Vec<String> = (0..*arity).map(|i| format!("__v{i}")).collect();
+                        stream_data_arms.push_str(&format!(
+                            "{vname:?} => {{\
+                                 __p.expect_kind(\"array\", {owner_arr:?})?;\
+                                 let mut __idx = 0usize;\
+                                 {decls}\
+                                 __p.read_seq(|__q| {{\
+                                     match __idx {{ {idx_arms} _ => {{ __q.skip_value()?; }} }}\
+                                     __idx += 1;\
+                                     ::core::result::Result::Ok(())\
+                                 }})?;\
+                                 match ({}) {{\
+                                     ({}) if __idx == {arity}usize => {{\
+                                         __out = ::core::option::Option::Some(\
+                                             {name}::{vname}({}));\
+                                     }}\
+                                     _ => return ::core::result::Result::Err(\
+                                         serde::de::Error::new(\
+                                             \"wrong arity for {name}::{vname}\")),\
+                                 }}\
+                                 ::core::result::Result::Ok(())\
+                             }}",
+                            slots.join(", "),
+                            somes.join(", "),
+                            vals.join(", ")
+                        ));
                     }
                     Fields::Named(fields) => {
                         let owner = format!("{name}::{vname}");
@@ -187,10 +381,34 @@ fn gen_deserialize(item: &Item) -> String {
                                  ::core::result::Result::Ok({name}::{vname} {{ {inits} }})\
                              }},"
                         ));
+                        let owner_obj = format!("{owner} object");
+                        let mut decls = String::new();
+                        let mut arms = String::new();
+                        let mut stream_inits = String::new();
+                        for field in &fields.named {
+                            let (decl, arm, init) = stream_field(field, &owner);
+                            decls.push_str(&decl);
+                            arms.push_str(&arm);
+                            stream_inits.push_str(&init);
+                        }
+                        stream_data_arms.push_str(&format!(
+                            "{vname:?} => {{\
+                                 __p.expect_kind(\"object\", {owner_obj:?})?;\
+                                 {decls}\
+                                 __p.read_obj_raw(|__p, __key| {{\
+                                     match __key.bytes() {{ {arms} _ => {{ \
+                                         __key.validate()?; __p.skip_value()?; }} }}\
+                                     ::core::result::Result::Ok(())\
+                                 }})?;\
+                                 __out = ::core::option::Option::Some(\
+                                     {name}::{vname} {{ {stream_inits} }});\
+                                 ::core::result::Result::Ok(())\
+                             }}"
+                        ));
                     }
                 }
             }
-            format!(
+            let body = format!(
                 "match value {{\n\
                      serde::Value::Str(s) => match s.as_str() {{\n\
                          {unit_arms}\n\
@@ -207,7 +425,39 @@ fn gen_deserialize(item: &Item) -> String {
                      }}\n\
                      _ => ::core::result::Result::Err(serde::de::Error::expected({name:?}, value)),\n\
                  }}"
-            )
+            );
+            let read_body = format!(
+                "match p.peek_kind()? {{\n\
+                     \"string\" => match &*p.read_str()? {{\n\
+                         {stream_unit_arms}\n\
+                         other => ::core::result::Result::Err(serde::de::Error::new(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     \"object\" => {{\n\
+                         let mut __out = ::core::option::Option::None;\n\
+                         p.read_obj(|__p, __key| {{\n\
+                             if __out.is_some() {{\n\
+                                 return ::core::result::Result::Err(\
+                                     serde::de::Error::expected_kind({name:?}, \"object\"));\n\
+                             }}\n\
+                             match __key {{\n\
+                                 {stream_data_arms}\n\
+                                 other => ::core::result::Result::Err(\
+                                     serde::de::Error::new(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                             }}\n\
+                         }})?;\n\
+                         match __out {{\n\
+                             ::core::option::Option::Some(v) => ::core::result::Result::Ok(v),\n\
+                             ::core::option::Option::None => ::core::result::Result::Err(\
+                                 serde::de::Error::expected_kind({name:?}, \"object\")),\n\
+                         }}\n\
+                     }}\n\
+                     __kind => ::core::result::Result::Err(\
+                         serde::de::Error::expected_kind({name:?}, __kind)),\n\
+                 }}"
+            );
+            (body, read_body)
         }
     };
     format!(
@@ -215,6 +465,10 @@ fn gen_deserialize(item: &Item) -> String {
              fn from_value(value: &serde::Value) -> \
                  ::core::result::Result<Self, serde::de::Error> {{\n\
                  {body}\n\
+             }}\n\
+             fn read_json(p: &mut serde::de::Parser<'_>) -> \
+                 ::core::result::Result<Self, serde::de::Error> {{\n\
+                 {read_body}\n\
              }}\n\
          }}"
     )

@@ -1,11 +1,19 @@
-//! Offline stand-in for `serde_json`, built on the vendored `serde`
-//! value tree. Emits compact JSON in the same shape as real serde_json
-//! (no whitespace, struct-declaration field order), and parses strict
-//! JSON back. Output is deterministic: the same record always serializes
-//! to the same bytes, which the crawl checkpoint/resume path relies on.
-
-mod parse;
-mod write;
+//! Offline stand-in for `serde_json`, fronting the vendored `serde`'s
+//! two serialization faces. Emits compact JSON in the same shape as
+//! real serde_json (no whitespace, struct-declaration field order), and
+//! parses strict JSON back. Output is deterministic: the same record
+//! always serializes to the same bytes, which the crawl
+//! checkpoint/resume path relies on.
+//!
+//! The default entry points ([`to_string`], [`to_string_into`],
+//! [`from_str`], [`from_slice`]) run the streaming fast path: encode
+//! appends fields straight to the output buffer, decode drives
+//! `Deserialize::read_json` off the input bytes — no intermediate
+//! `Value` tree on either side, and UTF-8 validated per string run
+//! rather than in a separate whole-input pass. The pre-streaming
+//! `Value`-tree pipeline survives as [`to_string_via_value`] /
+//! [`from_str_via_value`]: the reference implementation the
+//! equivalence suite and benchmarks compare the fast path against.
 
 pub use serde::Value;
 
@@ -59,32 +67,76 @@ pub fn to_value<T: Serialize>(value: &T) -> Value {
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write::write_value(&mut out, &value.to_value());
+    value.write_json(&mut out);
     Ok(out)
 }
 
-/// Serializes `value` as compact JSON bytes.
+/// Appends `value`'s compact JSON to `out` — the buffer-reuse fast
+/// path for hot loops. Clearing and reusing one `String` across
+/// records keeps serialization allocation-free in the steady state.
+pub fn to_string_into<T: Serialize>(value: &T, out: &mut String) {
+    value.write_json(out);
+}
+
+/// Serializes `value` as compact JSON bytes. Writes through a `String`
+/// (JSON is UTF-8) and takes its buffer — no copy, no `Value` tree.
 pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
     to_string(value).map(String::into_bytes)
 }
 
 /// Serializes `value` as compact JSON into `writer`.
 pub fn to_writer<W: std::io::Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
-    writer.write_all(to_string(value)?.as_bytes())?;
+    let mut out = String::new();
+    value.write_json(&mut out);
+    writer.write_all(out.as_bytes())?;
     Ok(())
 }
 
 /// Parses a JSON string into any deserializable value. Trailing input
 /// after the document is an error, matching real serde_json.
 pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
-    let value = parse::parse(input)?;
+    from_slice(input.as_bytes())
+}
+
+/// Parses JSON bytes into any deserializable value. String contents
+/// are UTF-8-validated as they stream past; bytes outside strings are
+/// constrained to JSON's ASCII structure by the grammar itself, so the
+/// input is never scanned twice.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let mut p = serde::de::Parser::new(input);
+    let value = T::read_json(&mut p)?;
+    finish(p)?;
+    Ok(value)
+}
+
+/// Serializes through the `Value` tree — the pre-streaming reference
+/// path, kept for the equivalence suite and benchmarks.
+pub fn to_string_via_value<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::ser::write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Deserializes through the `Value` tree — the pre-streaming reference
+/// path, kept for the equivalence suite and benchmarks.
+pub fn from_str_via_value<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut p = serde::de::Parser::new(input.as_bytes());
+    let value = p.parse_value()?;
+    finish(p)?;
     Ok(T::from_value(&value)?)
 }
 
-/// Parses JSON bytes into any deserializable value.
-pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
-    let text = std::str::from_utf8(input).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
-    from_str(text)
+/// Rejects trailing input after a complete document.
+fn finish(mut p: serde::de::Parser<'_>) -> Result<(), Error> {
+    p.skip_ws();
+    if p.at_end() {
+        Ok(())
+    } else {
+        Err(Error::new(format!(
+            "trailing characters at byte {}",
+            p.pos()
+        )))
+    }
 }
 
 /// Extracts a typed value from a [`Value`] tree.
@@ -129,16 +181,48 @@ mod tests {
     }
 
     #[test]
+    fn streaming_and_value_paths_agree() {
+        let v = Value::Obj(vec![
+            ("s".to_string(), Value::Str("tab\there".to_string())),
+            ("f".to_string(), Value::Num(Number::F(3.0))),
+        ]);
+        let streamed = to_string(&v).unwrap();
+        assert_eq!(streamed, to_string_via_value(&v).unwrap());
+        let back_stream: Value = from_str(&streamed).unwrap();
+        let back_tree: Value = from_str_via_value(&streamed).unwrap();
+        assert_eq!(back_stream, back_tree);
+    }
+
+    #[test]
+    fn buffer_reuse_appends() {
+        let mut buf = String::new();
+        to_string_into(&Value::Bool(true), &mut buf);
+        buf.push('\n');
+        to_string_into(&Value::Null, &mut buf);
+        assert_eq!(buf, "true\nnull");
+    }
+
+    #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<Value>("{} trailing").is_err());
         assert!(from_str::<Value>("{\"a\":").is_err());
         assert!(from_str::<Value>("").is_err());
+        assert!(from_str_via_value::<Value>("{} trailing").is_err());
     }
 
     #[test]
     fn parses_string_escapes() {
         let v: Value = from_str(r#""A\t\\\/é""#).unwrap();
         assert_eq!(v.as_str(), Some("A\t\\/é"));
+    }
+
+    #[test]
+    fn from_slice_validates_utf8_inside_strings() {
+        let mut bytes = br#"{"s":""#.to_vec();
+        bytes.push(0xFF);
+        bytes.extend_from_slice(b"\"}");
+        let err = from_slice::<Value>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"), "{err}");
     }
 
     #[test]
