@@ -1,0 +1,192 @@
+//! Process-wide branch-hit counter map for coverage-guided fuzzing.
+//!
+//! This is the tiny runtime behind the `coverage` cargo feature of the
+//! `policy`, `html` and `jsland` crates.  Each instrumented crate is
+//! assigned a fixed *region* of the global counter map and marks its
+//! interesting branch points with `cov!(site)` (a macro each crate defines
+//! locally; it expands to [`hit`] when the feature is on and to nothing
+//! when it is off).  The fuzz driver in `crates/difftest` then drives the
+//! loop: [`reset`] → run one input → [`snapshot`] → decide whether the
+//! input found new coverage.
+//!
+//! Design constraints, in order:
+//!
+//! * **Zero behavior change.**  Counters are plain relaxed atomics; hitting
+//!   one can never panic, allocate, or alter control flow.  Instrumented
+//!   builds therefore compute byte-identical results to uninstrumented
+//!   ones, which is what lets CI run the whole workspace with the feature
+//!   unified on (cargo resolver v2 unifies features across the build
+//!   graph).
+//! * **std-only.**  No external deps; the workspace is fully offline.
+//! * **Determinism.**  Site indices are compile-time constants, so the same
+//!   input on the same binary produces the same counter vector — the
+//!   property the corpus-replay gate in `scripts/ci.sh` checks.
+//!
+//! The map is intentionally small (4096 slots).  Sites are hand-placed at
+//! parser decision points rather than auto-injected per basic block; the
+//! goal is structure-aware feedback ("took the escaped-string arm",
+//! "entered an inner list"), not line coverage.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Total number of counter slots.
+pub const MAP_SIZE: usize = 4096;
+
+/// Region base for sites in `crates/policy` parsers.
+pub const POLICY_BASE: usize = 0;
+/// Region base for sites in `crates/html`.
+pub const HTML_BASE: usize = 1024;
+/// Region base for sites in `crates/jsland`.
+pub const JSLAND_BASE: usize = 2048;
+/// Scratch region for difftest-local instrumentation.
+pub const DIFFTEST_BASE: usize = 3072;
+
+static MAP: [AtomicU32; MAP_SIZE] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU32 = AtomicU32::new(0);
+    [ZERO; MAP_SIZE]
+};
+
+/// Records one hit of `site` within the region starting at `base`.
+///
+/// Out-of-range sites wrap around via masking rather than panicking: a
+/// miscounted site index must never turn into a crash inside a parser.
+#[inline]
+pub fn hit(base: usize, site: usize) {
+    MAP[(base + site) & (MAP_SIZE - 1)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Zeroes every counter.
+pub fn reset() {
+    for c in MAP.iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Copies the current counter values out of the map.
+pub fn snapshot() -> Vec<u32> {
+    MAP.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+/// Serializes whole fuzzing sessions.
+///
+/// The counter map is process-global, so two tests (or a test and the
+/// fuzz driver) interleaving reset/run/snapshot cycles would corrupt each
+/// other's measurements.  Anything that does a measured run takes this
+/// guard first; within a session the counters then reflect exactly the
+/// work of the guarded thread (instrumented code on *other* threads would
+/// still bleed in, which is why the difftest fuzz tests live in their own
+/// integration-test binary).
+pub fn session_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    match lock.lock() {
+        Ok(g) => g,
+        // A panic mid-session leaves no torn state (counters are atomics
+        // and every session starts with `reset()`), so poisoning carries
+        // no information here.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// AFL-style count bucketization: collapses raw hit counts into coarse
+/// magnitude classes so loop-trip-count noise does not register as new
+/// coverage.
+#[inline]
+pub fn bucket(count: u32) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 3,
+        4..=7 => 4,
+        8..=15 => 5,
+        16..=31 => 6,
+        32..=127 => 7,
+        _ => 8,
+    }
+}
+
+/// A stable 64-bit hash of a snapshot's *bucketized* shape: which sites
+/// were hit and at what magnitude class.  Two runs with the same signature
+/// exercised the same branches the same order-of-magnitude number of
+/// times.
+pub fn signature(snapshot: &[u32]) -> u64 {
+    // FNV-1a over (site, bucket) pairs of hit sites.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (site, &count) in snapshot.iter().enumerate() {
+        if count > 0 {
+            mix((site & 0xff) as u8);
+            mix((site >> 8) as u8);
+            mix(bucket(count));
+        }
+    }
+    h
+}
+
+/// The set of `(site, bucket)` edges present in a snapshot.
+pub fn edges(snapshot: &[u32]) -> Vec<(u16, u8)> {
+    snapshot
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(site, &c)| (site as u16, bucket(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_reset_snapshot_roundtrip() {
+        let _g = session_guard();
+        reset();
+        hit(POLICY_BASE, 3);
+        hit(POLICY_BASE, 3);
+        hit(HTML_BASE, 0);
+        let snap = snapshot();
+        assert_eq!(snap[POLICY_BASE + 3], 2);
+        assert_eq!(snap[HTML_BASE], 1);
+        assert_eq!(snap.iter().map(|&c| c as u64).sum::<u64>(), 3);
+        reset();
+        assert!(snapshot().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn out_of_range_sites_wrap() {
+        let _g = session_guard();
+        reset();
+        hit(DIFFTEST_BASE, MAP_SIZE + 1); // wraps, must not panic
+        assert_eq!(snapshot().iter().map(|&c| c as u64).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn buckets_are_monotone_classes() {
+        let mut last = 0;
+        for c in [0u32, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 127, 128, u32::MAX] {
+            let b = bucket(c);
+            assert!(b >= last);
+            last = b;
+        }
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(u32::MAX), 8);
+    }
+
+    #[test]
+    fn signature_tracks_buckets_not_raw_counts() {
+        let mut a = vec![0u32; MAP_SIZE];
+        let mut b = vec![0u32; MAP_SIZE];
+        a[5] = 4;
+        b[5] = 7; // same bucket (4..=7)
+        assert_eq!(signature(&a), signature(&b));
+        b[5] = 8; // different bucket
+        assert_ne!(signature(&a), signature(&b));
+        assert_eq!(edges(&a), vec![(5u16, 4u8)]);
+    }
+}

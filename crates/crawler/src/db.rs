@@ -555,6 +555,68 @@ mod tests {
     }
 
     #[test]
+    fn torn_multibyte_utf8_line_localizes_and_resumes() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 3 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-utf8.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+
+        // Tear line 2 mid-record and leave a dangling UTF-8 lead byte
+        // (0xC3, the first byte of 'é') before the newline — the line is
+        // no longer valid UTF-8, let alone JSON, but lines 1 and 3 are
+        // untouched.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(lines[0].as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&lines[1].as_bytes()[..lines[1].len() / 2]);
+        bytes.push(0xC3);
+        bytes.push(b'\n');
+        bytes.extend_from_slice(lines[2].as_bytes());
+        bytes.push(b'\n');
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict: refuses, and the error names the 1-based line even
+        // though the line isn't printable as UTF-8.
+        let err = read_jsonl(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        // Lenient: salvages records 1 and 3, reports exactly line 2.
+        let (salvaged, report) = read_jsonl_lenient(&path).unwrap();
+        assert_eq!(
+            salvaged
+                .records
+                .iter()
+                .map(|r| r.rank)
+                .collect::<Vec<u64>>(),
+            vec![dataset.records[0].rank, dataset.records[2].rank]
+        );
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.lines, vec![2]);
+
+        // Resume: the same tear as an unterminated FINAL line (kill -9
+        // mid-append, cut inside a multibyte sequence) is tolerated, and
+        // valid_len stops exactly at the end of the last intact line.
+        let full = text.as_bytes();
+        let intact_len = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        let mut torn = full[..intact_len + (full.len() - intact_len) / 2].to_vec();
+        torn.push(0xC3);
+        std::fs::write(&path, &torn).unwrap();
+        let state = resume_jsonl(&path).unwrap();
+        assert_eq!(state.valid_len, intact_len as u64);
+        assert_eq!(state.completed.len(), dataset.records.len() - 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn resume_of_clean_file_covers_everything() {
         let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 12 });
         let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);

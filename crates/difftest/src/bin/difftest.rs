@@ -1,0 +1,203 @@
+//! The difftest CLI — the entry point `scripts/ci.sh` drives.
+//!
+//! Subcommands:
+//!
+//! * `differential --count N --seed S` — run N seeded engine-vs-oracle
+//!   scenarios; print shrunk counterexamples and exit non-zero on any
+//!   divergence.
+//! * `browser --count N --seed S` — the same scenarios executed through
+//!   the full browser pipeline (HTML + simulated network).
+//! * `fuzz --target T --iterations N --seed S` — one coverage-guided
+//!   fuzzing session over the checked-in seed corpus; exit non-zero on
+//!   any finding (requires the default `coverage` feature).
+//! * `replay-check --target T --iterations N --seed S` — run the fuzz
+//!   session twice and verify corpus fingerprint and coverage signature
+//!   are identical (the determinism gate).
+
+use std::process::ExitCode;
+
+use difftest::scenario::{self, Scenario};
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name}: {v:?}")),
+        }
+    }
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut flags = Vec::new();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        flags.push((name.to_string(), value.clone()));
+    }
+    Ok(Args { flags })
+}
+
+fn cmd_differential(args: &Args) -> Result<ExitCode, String> {
+    let count = args.u64_or("count", 1000)?;
+    let seed = args.u64_or("seed", 0)?;
+    let failures = scenario::run_range(count, seed);
+    if failures.is_empty() {
+        println!("differential: {count} scenarios (seed {seed}), zero divergences");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for (minimal, divergence) in &failures {
+        eprintln!(
+            "DIVERGENCE (shrunk):\n{}  {divergence}",
+            scenario::describe(minimal)
+        );
+    }
+    eprintln!(
+        "differential: {} of {count} scenarios diverged",
+        failures.len()
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_browser(args: &Args) -> Result<ExitCode, String> {
+    let count = args.u64_or("count", 200)?;
+    let seed = args.u64_or("seed", 0)?;
+    let mut failed = 0u64;
+    for index in 0..count {
+        let s = Scenario::generate(index, seed);
+        let divergences = difftest::browser_exec::browser_divergences(&s);
+        if !divergences.is_empty() {
+            failed += 1;
+            eprintln!(
+                "BROWSER DIVERGENCE in scenario {index}:\n{}",
+                scenario::describe(&s)
+            );
+            for d in divergences {
+                eprintln!("  {d}");
+            }
+        }
+    }
+    if failed == 0 {
+        println!("browser: {count} scenarios (seed {seed}), zero divergences");
+        return Ok(ExitCode::SUCCESS);
+    }
+    eprintln!("browser: {failed} of {count} scenarios diverged");
+    Ok(ExitCode::FAILURE)
+}
+
+#[cfg(feature = "coverage")]
+fn fuzz_session(
+    target_name: &str,
+    iterations: u64,
+    seed: u64,
+) -> Result<difftest::fuzz::driver::FuzzOutcome, String> {
+    let target = difftest::fuzz::targets::by_name(target_name)
+        .ok_or_else(|| format!("unknown fuzz target {target_name:?}"))?;
+    let seeds = difftest::seed_corpus(target_name);
+    Ok(difftest::fuzz::driver::run(
+        &target, &seeds, iterations, seed,
+    ))
+}
+
+#[cfg(feature = "coverage")]
+fn cmd_fuzz(args: &Args) -> Result<ExitCode, String> {
+    let target = args
+        .get("target")
+        .ok_or("--target is required")?
+        .to_string();
+    let iterations = args.u64_or("iterations", 2000)?;
+    let seed = args.u64_or("seed", 0)?;
+    let outcome = fuzz_session(&target, iterations, seed)?;
+    println!(
+        "fuzz {target}: {} executions, corpus {} entries, {} edges, coverage signature {:016x}",
+        outcome.executions,
+        outcome.corpus.entries.len(),
+        outcome.corpus.seen.len(),
+        outcome.coverage_signature
+    );
+    if outcome.findings.is_empty() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    for finding in &outcome.findings {
+        eprintln!(
+            "FINDING: {}\n  minimized input ({} bytes): {:?}",
+            finding.message,
+            finding.input.len(),
+            String::from_utf8_lossy(&finding.input)
+        );
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+#[cfg(feature = "coverage")]
+fn cmd_replay_check(args: &Args) -> Result<ExitCode, String> {
+    let target = args
+        .get("target")
+        .ok_or("--target is required")?
+        .to_string();
+    let iterations = args.u64_or("iterations", 2000)?;
+    let seed = args.u64_or("seed", 0)?;
+    let first = fuzz_session(&target, iterations, seed)?;
+    let second = fuzz_session(&target, iterations, seed)?;
+    let same_corpus = first.corpus.fingerprint() == second.corpus.fingerprint();
+    let same_coverage = first.coverage_signature == second.coverage_signature;
+    if same_corpus && same_coverage {
+        println!(
+            "replay-check {target}: deterministic (corpus {:016x}, coverage {:016x})",
+            first.corpus.fingerprint(),
+            first.coverage_signature
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    eprintln!(
+        "replay-check {target}: NON-DETERMINISTIC corpus_match={same_corpus} coverage_match={same_coverage}"
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+#[cfg(not(feature = "coverage"))]
+fn cmd_fuzz(_args: &Args) -> Result<ExitCode, String> {
+    Err("fuzzing requires the `coverage` feature".to_string())
+}
+
+#[cfg(not(feature = "coverage"))]
+fn cmd_replay_check(_args: &Args) -> Result<ExitCode, String> {
+    Err("fuzzing requires the `coverage` feature".to_string())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprintln!("usage: difftest <differential|browser|fuzz|replay-check> [--flag value ...]");
+        return ExitCode::FAILURE;
+    };
+    let result = parse_args(rest).and_then(|args| match command.as_str() {
+        "differential" => cmd_differential(&args),
+        "browser" => cmd_browser(&args),
+        "fuzz" => cmd_fuzz(&args),
+        "replay-check" => cmd_replay_check(&args),
+        other => Err(format!("unknown command {other:?}")),
+    });
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("difftest: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

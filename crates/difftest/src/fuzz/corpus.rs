@@ -1,0 +1,175 @@
+//! Corpus management: coverage-signature dedup and input minimization.
+
+use std::collections::BTreeSet;
+
+/// One kept input with the coverage evidence that earned it a slot.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The input bytes.
+    pub input: Vec<u8>,
+    /// The `(site, bucket)` edges this entry was first to exhibit.
+    pub fresh_edges: Vec<(u16, u8)>,
+    /// Signature of the entry's full bucketized snapshot.
+    pub signature: u64,
+}
+
+/// The evolving corpus: inputs that each contributed at least one
+/// previously unseen `(site, bucket)` edge.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    /// Kept entries in discovery order.
+    pub entries: Vec<CorpusEntry>,
+    /// Every `(site, bucket)` edge any kept entry has exhibited.
+    pub seen: BTreeSet<(u16, u8)>,
+}
+
+impl Corpus {
+    /// Considers `input` with the snapshot its execution produced; keeps
+    /// it iff it exhibits an edge no prior entry has. Returns whether the
+    /// input was kept.
+    pub fn add_if_new(&mut self, input: &[u8], snapshot: &[u32]) -> bool {
+        let edges = covmap::edges(snapshot);
+        let fresh: Vec<(u16, u8)> = edges
+            .iter()
+            .filter(|e| !self.seen.contains(e))
+            .copied()
+            .collect();
+        if fresh.is_empty() {
+            return false;
+        }
+        self.seen.extend(edges.iter().copied());
+        self.entries.push(CorpusEntry {
+            input: input.to_vec(),
+            fresh_edges: fresh,
+            signature: covmap::signature(snapshot),
+        });
+        true
+    }
+
+    /// A stable fingerprint of the whole corpus: inputs and their
+    /// signatures, in order. Equal fingerprints mean byte-identical
+    /// corpora — the determinism property the replay gate checks.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over entry inputs and signatures.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for entry in &self.entries {
+            for &b in &entry.input {
+                mix(b);
+            }
+            mix(0xff);
+            for b in entry.signature.to_le_bytes() {
+                mix(b);
+            }
+        }
+        h
+    }
+
+    /// Combined coverage signature over everything the corpus has seen.
+    pub fn coverage_signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for &(site, bucket) in &self.seen {
+            mix((site & 0xff) as u8);
+            mix((site >> 8) as u8);
+            mix(bucket);
+        }
+        h
+    }
+}
+
+/// Greedily minimizes `input` while `still_good` holds.
+///
+/// Tries removing progressively smaller chunks (half, quarter, ...,
+/// single bytes) from every position; each accepted removal restarts the
+/// chunk ladder. Deterministic and bounded: every acceptance strictly
+/// shrinks the input.
+pub fn minimize(input: &[u8], mut still_good: impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut current = input.to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut improved = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(start..end);
+            if still_good(&candidate) {
+                current = candidate;
+                improved = true;
+                // Retry the same position at the same chunk size.
+            } else {
+                start = end;
+            }
+            if current.is_empty() {
+                return current;
+            }
+        }
+        if !improved {
+            if chunk == 1 {
+                return current;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(sites: &[(usize, u32)]) -> Vec<u32> {
+        let mut s = vec![0u32; covmap::MAP_SIZE];
+        for &(site, count) in sites {
+            s[site] = count;
+        }
+        s
+    }
+
+    #[test]
+    fn dedup_keeps_only_novel_coverage() {
+        let mut corpus = Corpus::default();
+        assert!(corpus.add_if_new(b"a", &snap_with(&[(1, 1), (2, 1)])));
+        // Same edges: rejected.
+        assert!(!corpus.add_if_new(b"b", &snap_with(&[(1, 1)])));
+        // New bucket on a known site counts as a new edge.
+        assert!(corpus.add_if_new(b"c", &snap_with(&[(1, 100)])));
+        // Entirely new site.
+        assert!(corpus.add_if_new(b"d", &snap_with(&[(7, 1)])));
+        assert_eq!(corpus.entries.len(), 3);
+        assert_eq!(corpus.entries[1].fresh_edges, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_inputs_and_order() {
+        let mut a = Corpus::default();
+        a.add_if_new(b"x", &snap_with(&[(1, 1)]));
+        a.add_if_new(b"y", &snap_with(&[(2, 1)]));
+        let mut b = Corpus::default();
+        b.add_if_new(b"x", &snap_with(&[(1, 1)]));
+        b.add_if_new(b"y", &snap_with(&[(2, 1)]));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = Corpus::default();
+        c.add_if_new(b"y", &snap_with(&[(2, 1)]));
+        c.add_if_new(b"x", &snap_with(&[(1, 1)]));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn minimize_reaches_a_local_minimum() {
+        // Keep inputs that still contain all bytes of "key".
+        let good = |data: &[u8]| {
+            let s = String::from_utf8_lossy(data);
+            s.contains('k') && s.contains('e') && s.contains('y')
+        };
+        let out = minimize(b"aaakaaaeaaaya", good);
+        assert!(good(&out));
+        assert_eq!(out.len(), 3, "{:?}", String::from_utf8_lossy(&out));
+    }
+}

@@ -1,0 +1,128 @@
+//! The fuzzing loop: reset → execute → snapshot → keep-if-new.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::Rng;
+
+use super::corpus::{minimize, Corpus};
+use super::targets::Target;
+
+/// Findings stop accumulating past this bound; a broken parser would
+/// otherwise turn every iteration into a minimization run.
+const MAX_FINDINGS: usize = 8;
+
+/// A property violation or panic, minimized.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The minimized failing input.
+    pub input: Vec<u8>,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The result of one fuzzing session.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// The corpus accumulated over the session.
+    pub corpus: Corpus,
+    /// Total measured executions (seeds + iterations).
+    pub executions: u64,
+    /// Combined `(site, bucket)` coverage signature of the session.
+    pub coverage_signature: u64,
+    /// Property violations and panics, minimized.
+    pub findings: Vec<Finding>,
+}
+
+enum ExecResult {
+    Ok,
+    Violation(String),
+    Panic(String),
+}
+
+fn execute_checked(target: &Target, input: &[u8]) -> ExecResult {
+    match catch_unwind(AssertUnwindSafe(|| (target.check)(input))) {
+        Ok(Ok(())) => ExecResult::Ok,
+        Ok(Err(message)) => ExecResult::Violation(message),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            ExecResult::Panic(format!("panic: {message}"))
+        }
+    }
+}
+
+fn fails(target: &Target, input: &[u8]) -> bool {
+    !matches!(execute_checked(target, input), ExecResult::Ok)
+}
+
+/// Runs one deterministic fuzzing session.
+///
+/// Holds the [`covmap::session_guard`] for the whole run, so concurrent
+/// instrumented work cannot pollute the counters. Same `target`,
+/// `seeds`, `iterations` and `seed` always produce the same
+/// [`FuzzOutcome`] (corpus fingerprint, coverage signature, findings).
+pub fn run(target: &Target, seeds: &[Vec<u8>], iterations: u64, seed: u64) -> FuzzOutcome {
+    let _session = covmap::session_guard();
+    let mut rng = Rng::new(seed);
+    let mut corpus = Corpus::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut executions = 0u64;
+
+    let mut step = |input: &[u8], corpus: &mut Corpus, findings: &mut Vec<Finding>| {
+        covmap::reset();
+        let result = execute_checked(target, input);
+        let snapshot = covmap::snapshot();
+        executions += 1;
+        match result {
+            ExecResult::Ok => {
+                corpus.add_if_new(input, &snapshot);
+            }
+            ExecResult::Violation(message) | ExecResult::Panic(message) => {
+                if findings.len() < MAX_FINDINGS {
+                    let minimized = minimize(input, |candidate| fails(target, candidate));
+                    findings.push(Finding {
+                        input: minimized,
+                        message,
+                    });
+                }
+            }
+        }
+    };
+
+    for seed_input in seeds {
+        step(seed_input, &mut corpus, &mut findings);
+    }
+    for _ in 0..iterations {
+        // Base: a corpus entry when we have one, else a seed, else empty.
+        let base: Vec<u8> = if !corpus.entries.is_empty() {
+            corpus.entries[rng.below(corpus.entries.len())]
+                .input
+                .clone()
+        } else if !seeds.is_empty() {
+            seeds[rng.below(seeds.len())].clone()
+        } else {
+            Vec::new()
+        };
+        // Crossover partner from the same pool.
+        let other: Vec<u8> = if !corpus.entries.is_empty() {
+            corpus.entries[rng.below(corpus.entries.len())]
+                .input
+                .clone()
+        } else {
+            base.clone()
+        };
+        let mutated = (target.mutate)(&mut rng, &base, &other);
+        step(&mutated, &mut corpus, &mut findings);
+    }
+
+    let coverage_signature = corpus.coverage_signature();
+    FuzzOutcome {
+        corpus,
+        executions,
+        coverage_signature,
+        findings,
+    }
+}

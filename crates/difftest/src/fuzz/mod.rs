@@ -1,0 +1,20 @@
+//! A from-scratch coverage-guided, structure-aware fuzzer.
+//!
+//! std-only and fully deterministic: every decision flows from a
+//! [`crate::rng::Rng`] seed, so the same seed over the same binary
+//! produces the same corpus and the same coverage signature — the
+//! replay property the CI gate checks.
+//!
+//! * [`mutate`] — structure-aware mutators per input kind (token-level
+//!   splicing for headers and allowlists, tag-level for HTML, AST-ish
+//!   statement splicing for JS) plus generic byte-level mutations;
+//! * [`corpus`] — coverage-signature dedup, corpus management and
+//!   greedy input minimization;
+//! * [`targets`] — the fuzz targets: what to run, what properties to
+//!   check (parse totality, reparse stability, oracle agreement);
+//! * [`driver`] — the reset → execute → snapshot → keep-if-new loop.
+
+pub mod corpus;
+pub mod driver;
+pub mod mutate;
+pub mod targets;

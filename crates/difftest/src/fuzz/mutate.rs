@@ -1,0 +1,331 @@
+//! Structure-aware mutators.
+//!
+//! Each input kind gets a mutator that understands its surface syntax
+//! well enough to splice at meaningful boundaries (dictionary members,
+//! allow-attribute directives, HTML tags, JS statements), layered over
+//! generic byte-level mutations. All randomness comes from the caller's
+//! [`Rng`], keeping runs replayable.
+
+use crate::rng::Rng;
+
+/// Hard cap on JS inputs: the `jsland` parser is recursive-descent with
+/// no depth guard, so unbounded inputs of `((((...` would overflow the
+/// stack — a harness limitation, not a finding.
+pub const MAX_JS_LEN: usize = 1024;
+
+/// Cap on HTML inputs: keeps per-execution cost bounded.
+pub const MAX_HTML_LEN: usize = 65_536;
+
+/// Interesting fragments spliced into header inputs.
+const HEADER_ATOMS: &[&str] = &[
+    "camera",
+    "microphone",
+    "geolocation",
+    "*",
+    "self",
+    "src",
+    "()",
+    "(self)",
+    "(*)",
+    "\"https://a.example\"",
+    "?0",
+    "?1",
+    "=",
+    ",",
+    ";",
+    " ",
+    "(",
+    ")",
+    "q=0.5",
+    "1.5",
+    "-42",
+    "999999999999999",
+    "1000000000000000",
+    "1.",
+    "1.234",
+    "'self'",
+    "'none'",
+    "key=*",
+];
+
+/// Fragments for allow-attribute inputs.
+const ALLOW_ATOMS: &[&str] = &[
+    "camera",
+    "fullscreen",
+    "*",
+    "'self'",
+    "'src'",
+    "'none'",
+    "self",
+    "none",
+    "https://a.example",
+    "http://b.example:8080",
+    ";",
+    " ",
+    "foo",
+];
+
+/// Fragments for HTML inputs.
+const HTML_ATOMS: &[&str] = &[
+    "<iframe>",
+    "</iframe>",
+    "<iframe src=\"https://a.example/\">",
+    "<iframe srcdoc=\"<b>x</b>\">",
+    " allow=\"camera *\"",
+    " sandbox",
+    " sandbox=\"\"",
+    "<script>",
+    "</script>",
+    "<!--",
+    "-->",
+    "<![CDATA[",
+    "&amp;",
+    "&#x41;",
+    "&#999999;",
+    "<a href='x'>",
+    "<div class=x>",
+    "<",
+    ">",
+    "\"",
+    "'",
+    "=",
+    "<iframe loading=lazy>",
+];
+
+/// Fragments for JS inputs (statements and expression shards).
+const JS_ATOMS: &[&str] = &[
+    "var x = 1;",
+    "function f(a, b) { return a + b; }",
+    "if (x) { y(); } else { z(); }",
+    "for (var i = 0; i < 10; i = i + 1) { f(i); }",
+    "navigator.geolocation.getCurrentPosition(cb);",
+    "navigator.mediaDevices.getUserMedia({video: true});",
+    "x = 'str\\n';",
+    "({a: 1, b: [2, 3]})",
+    "while (x) { x = x - 1; }",
+    "try { f(); } catch (e) { g(e); }",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    "\"",
+    "0x1f",
+    "1e9",
+    "'unterminated",
+];
+
+fn random_byte_edit(rng: &mut Rng, data: &mut Vec<u8>) {
+    if data.is_empty() {
+        data.push(rng.below(256) as u8);
+        return;
+    }
+    match rng.below(4) {
+        // Flip a byte.
+        0 => {
+            let i = rng.below(data.len());
+            data[i] ^= 1 << rng.below(8);
+        }
+        // Insert a byte.
+        1 => {
+            let i = rng.below(data.len() + 1);
+            data.insert(i, rng.below(256) as u8);
+        }
+        // Delete a byte.
+        2 => {
+            let i = rng.below(data.len());
+            data.remove(i);
+        }
+        // Duplicate a short span.
+        _ => {
+            let start = rng.below(data.len());
+            let len = 1 + rng.below(8.min(data.len() - start));
+            let span: Vec<u8> = data[start..start + len].to_vec();
+            let at = rng.below(data.len() + 1);
+            data.splice(at..at, span);
+        }
+    }
+}
+
+/// Splits `input` at any of `separators`, keeping the separators as
+/// their own segments so splices preserve local structure.
+fn segments<'a>(input: &'a str, separators: &[char]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, c) in input.char_indices() {
+        if separators.contains(&c) {
+            if start < i {
+                out.push(&input[start..i]);
+            }
+            out.push(&input[i..i + c.len_utf8()]);
+            start = i + c.len_utf8();
+        }
+    }
+    if start < input.len() {
+        out.push(&input[start..]);
+    }
+    out
+}
+
+/// Token-boundary mutation for text-structured inputs: drop, duplicate,
+/// swap or replace one segment, or splice in an atom.
+fn structured_text_mutation(
+    rng: &mut Rng,
+    input: &str,
+    separators: &[char],
+    atoms: &[&str],
+) -> String {
+    let segs = segments(input, separators);
+    if segs.is_empty() {
+        return (*rng.pick(atoms)).to_string();
+    }
+    let mut segs: Vec<String> = segs.into_iter().map(str::to_string).collect();
+    match rng.below(5) {
+        0 => {
+            let i = rng.below(segs.len());
+            segs.remove(i);
+        }
+        1 => {
+            let i = rng.below(segs.len());
+            let dup = segs[i].clone();
+            segs.insert(i, dup);
+        }
+        2 => {
+            let i = rng.below(segs.len());
+            let j = rng.below(segs.len());
+            segs.swap(i, j);
+        }
+        3 => {
+            let i = rng.below(segs.len());
+            segs[i] = (*rng.pick(atoms)).to_string();
+        }
+        _ => {
+            let i = rng.below(segs.len() + 1);
+            segs.insert(i, (*rng.pick(atoms)).to_string());
+        }
+    }
+    segs.concat()
+}
+
+/// Crossover: prefix of `a` + suffix of `b` at char boundaries.
+fn crossover(rng: &mut Rng, a: &str, b: &str) -> String {
+    let cut_a = char_boundary(a, rng.below(a.len() + 1));
+    let cut_b = char_boundary(b, rng.below(b.len() + 1));
+    format!("{}{}", &a[..cut_a], &b[cut_b..])
+}
+
+/// Rounds `at` down to the nearest char boundary of `s`.
+fn char_boundary(s: &str, mut at: usize) -> usize {
+    at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Truncates to `max` bytes without splitting a UTF-8 sequence.
+pub fn truncate_at_boundary(s: &str, max: usize) -> &str {
+    &s[..char_boundary(s, max)]
+}
+
+fn text_mutation(
+    rng: &mut Rng,
+    input: &[u8],
+    other: &[u8],
+    separators: &[char],
+    atoms: &[&str],
+    max_len: usize,
+) -> Vec<u8> {
+    let text = String::from_utf8_lossy(input).into_owned();
+    let out = match rng.below(6) {
+        // Raw byte edits keep the parsers honest about non-UTF-8-shaped
+        // and boundary inputs.
+        0 => {
+            let mut data = input.to_vec();
+            random_byte_edit(rng, &mut data);
+            data.truncate(max_len);
+            return data;
+        }
+        1 => crossover(rng, &text, &String::from_utf8_lossy(other)),
+        _ => structured_text_mutation(rng, &text, separators, atoms),
+    };
+    truncate_at_boundary(&out, max_len).as_bytes().to_vec()
+}
+
+/// Mutates a `Permissions-Policy` / `Feature-Policy` header value.
+pub fn mutate_header(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
+    text_mutation(
+        rng,
+        input,
+        other,
+        &[',', ';', '=', '(', ')', ' '],
+        HEADER_ATOMS,
+        4096,
+    )
+}
+
+/// Mutates an `allow` attribute value.
+pub fn mutate_allow(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
+    text_mutation(rng, input, other, &[';', ' '], ALLOW_ATOMS, 4096)
+}
+
+/// Mutates an HTML document (tag-level splicing at `<`).
+pub fn mutate_html(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
+    text_mutation(rng, input, other, &['<', '>'], HTML_ATOMS, MAX_HTML_LEN)
+}
+
+/// Mutates a JS source (statement-level splicing at `;`, `{`, `}`),
+/// capped hard at [`MAX_JS_LEN`].
+pub fn mutate_js(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
+    text_mutation(rng, input, other, &[';', '{', '}'], JS_ATOMS, MAX_JS_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let seed_input = b"camera=(self), microphone=*".to_vec();
+        let a: Vec<Vec<u8>> = {
+            let mut rng = Rng::new(9);
+            (0..50)
+                .map(|_| mutate_header(&mut rng, &seed_input, b"x=1"))
+                .collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut rng = Rng::new(9);
+            (0..50)
+                .map(|_| mutate_header(&mut rng, &seed_input, b"x=1"))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn js_mutations_respect_the_length_cap() {
+        let mut rng = Rng::new(3);
+        let mut input = b"var x = 1;".to_vec();
+        for _ in 0..500 {
+            input = mutate_js(&mut rng, &input, b"function f() { return 1; }");
+            assert!(input.len() <= MAX_JS_LEN);
+            // Output stays splittable for the next round.
+            let _ = String::from_utf8_lossy(&input);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let s = "ab\u{e9}cd"; // é is two bytes starting at index 2
+        assert_eq!(truncate_at_boundary(s, 3), "ab");
+        assert_eq!(truncate_at_boundary(s, 4), "ab\u{e9}");
+        assert_eq!(truncate_at_boundary(s, 100), s);
+    }
+
+    #[test]
+    fn segments_keep_separators() {
+        let segs = segments("a=(b c)", &['=', '(', ')', ' ']);
+        assert_eq!(segs, vec!["a", "=", "(", "b", " ", "c", ")"]);
+        assert_eq!(segs.concat(), "a=(b c)");
+    }
+}

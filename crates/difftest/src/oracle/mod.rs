@@ -1,0 +1,16 @@
+//! The spec oracle: an independent, clarity-over-speed implementation
+//! of the specifications the `policy` crate implements for production
+//! use. The differential harness executes both against the same
+//! scenarios; any disagreement is a bug in one of them.
+//!
+//! Layers, mirroring the specs rather than the engine:
+//!
+//! * [`sf`] — RFC 8941 structured-field dictionary parsing (§4.2),
+//! * [`semantics`] — header/attribute interpretation into allowlists and
+//!   the Permissions-Policy / Feature-Policy precedence,
+//! * [`process`] — the processing-model algorithms ("define an inherited
+//!   policy", "is feature enabled in document for origin").
+
+pub mod process;
+pub mod semantics;
+pub mod sf;

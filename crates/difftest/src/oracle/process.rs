@@ -1,0 +1,311 @@
+//! The Permissions Policy processing model, transcribed from the spec.
+//!
+//! Two algorithms drive every decision the paper measures:
+//!
+//! * **Define an inherited policy for feature in container** — run once
+//!   per feature when a browsing context navigates a nested document;
+//! * **Is feature enabled in document for origin** — the question every
+//!   API call and `allowedFeatures()` enumeration asks.
+//!
+//! The transcription keeps the spec's step order and wording in
+//! comments. Local-scheme documents get an explicit switch
+//! ([`OracleLocalPolicy`]) because the spec's behaviour
+//! (inherit-the-parent) and the shipped behaviour the paper documents in
+//! §6.2 (a fresh, all-default policy) differ — the difference *is*
+//! Table 11.
+
+use std::collections::BTreeMap;
+
+use registry::Permission;
+use weburl::Origin;
+
+use super::semantics::OracleDeclared;
+
+/// What policy a local-scheme (srcdoc / `about:blank` / `data:` / etc.)
+/// document receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleLocalPolicy {
+    /// The spec's intent: the local document continues its parent's
+    /// policy wholesale.
+    InheritParent,
+    /// The shipped bug (§6.2): the local document starts over with a
+    /// fresh, all-default policy at its own origin.
+    Fresh,
+}
+
+/// A document with its computed policy state.
+#[derive(Debug, Clone)]
+pub struct OracleDoc {
+    /// The document's origin — also the `'self'` reference for its own
+    /// declared policy.
+    pub origin: Origin,
+    /// The declared policy from the document's own headers.
+    pub declared: OracleDeclared,
+    /// The inherited policy: one enabled/disabled verdict per
+    /// policy-controlled feature, fixed at navigation time.
+    pub inherited: BTreeMap<Permission, bool>,
+}
+
+/// The container's contribution to a nested document's policy: the
+/// `allow` attribute (container policy) and the declared `src` origin
+/// that `'src'` resolves to.
+pub struct OracleFraming<'a> {
+    /// Parsed `allow` attribute, if the iframe had one.
+    pub allow: Option<&'a OracleDeclared>,
+    /// Origin of the iframe's declared `src` URL.
+    pub src_origin: Option<Origin>,
+}
+
+fn all_enabled() -> BTreeMap<Permission, bool> {
+    registry::policy_controlled_permissions()
+        .map(|f| (f, true))
+        .collect()
+}
+
+/// Default-allowlist matching: the per-feature default the registry
+/// records (`self` or `*`), applied when no directive names the feature.
+fn default_allows(feature: Permission, origin: &Origin, self_origin: &Origin) -> bool {
+    match feature.info().default_allowlist {
+        Some(registry::DefaultAllowlist::Star) => true,
+        Some(registry::DefaultAllowlist::SelfOrigin) => origin.same_origin(self_origin),
+        // Features without a recorded default behave as unrestricted.
+        None => true,
+    }
+}
+
+impl OracleDoc {
+    /// A top-level document: "the inherited policy for every feature is
+    /// Enabled" (spec: define an inherited policy, container is null).
+    pub fn top_level(origin: Origin, declared: OracleDeclared) -> OracleDoc {
+        OracleDoc {
+            origin,
+            declared,
+            inherited: all_enabled(),
+        }
+    }
+
+    /// **Is feature enabled in document for origin?**
+    pub fn is_feature_enabled(&self, feature: Permission, origin: &Origin) -> bool {
+        // Step: if feature is not in the document's feature list (not
+        // policy-controlled), return Enabled — policy does not govern it.
+        if !feature.info().policy_controlled {
+            return true;
+        }
+        // Step: let policy be document's Permissions Policy. If
+        // policy's inherited policy for feature is Disabled, return
+        // Disabled.
+        if !self.inherited.get(&feature).copied().unwrap_or(true) {
+            return false;
+        }
+        // Step: if feature is present in policy's declared policy, and
+        // the allowlist for feature in the declared policy matches
+        // origin, return Enabled; otherwise return Disabled.
+        if let Some(allowlist) = self.declared.get(feature.token()) {
+            return allowlist.matches(origin, &self.origin, None);
+        }
+        // Step: if feature's default allowlist matches origin (evaluated
+        // against the document's origin as `'self'`), return Enabled.
+        default_allows(feature, origin, &self.origin)
+    }
+
+    /// Convenience: is the feature usable by the document itself?
+    pub fn allowed_to_use(&self, feature: Permission) -> bool {
+        self.is_feature_enabled(feature, &self.origin)
+    }
+
+    /// All policy-controlled features the document may use, in registry
+    /// order — the oracle's `document.featurePolicy.allowedFeatures()`.
+    pub fn allowed_features(&self) -> Vec<Permission> {
+        registry::policy_controlled_permissions()
+            .filter(|f| self.allowed_to_use(*f))
+            .collect()
+    }
+}
+
+/// **Define an inherited policy for feature in container at origin.**
+///
+/// `parent` is the container's document, `framing` the container element
+/// context, `child_origin` the origin the nested document will have.
+pub fn define_inherited_policy(
+    feature: Permission,
+    parent: &OracleDoc,
+    framing: &OracleFraming<'_>,
+    child_origin: &Origin,
+) -> bool {
+    // Step: if feature is not enabled in container's node document for
+    // container's node document's origin, return Disabled.
+    if !parent.is_feature_enabled(feature, &parent.origin) {
+        return false;
+    }
+    // Step: if feature is present in the parent's declared policy and
+    // its declared allowlist does not match origin, return Disabled.
+    if let Some(allowlist) = parent.declared.get(feature.token()) {
+        if !allowlist.matches(child_origin, &parent.origin, None) {
+            return false;
+        }
+    }
+    // Step: if container includes an allow attribute whose container
+    // policy contains a declaration for feature, return Enabled iff that
+    // allowlist matches origin (with `'self'` resolving to the parent's
+    // origin and `'src'` to the frame's declared src origin).
+    if let Some(allow) = framing.allow {
+        if let Some(allowlist) = allow.get(feature.token()) {
+            return allowlist.matches(child_origin, &parent.origin, framing.src_origin.as_ref());
+        }
+    }
+    // Step: otherwise, return Enabled iff feature's default allowlist
+    // matches origin (with `'self'` resolving to the parent's origin).
+    default_allows(feature, child_origin, &parent.origin)
+}
+
+/// Builds the policy state of a framed document.
+///
+/// `is_local_scheme` routes srcdoc / `about:` / `data:` / `blob:` /
+/// `javascript:` documents through the [`OracleLocalPolicy`] switch;
+/// such documents never carry headers, so `child_declared` is unused for
+/// them.
+pub fn framed_document(
+    parent: &OracleDoc,
+    framing: &OracleFraming<'_>,
+    child_origin: Origin,
+    child_declared: OracleDeclared,
+    is_local_scheme: bool,
+    local_policy: OracleLocalPolicy,
+) -> OracleDoc {
+    if is_local_scheme {
+        return match local_policy {
+            // The local document *is* its parent for policy purposes:
+            // same inherited policy, same declared policy, same `self`.
+            OracleLocalPolicy::InheritParent => parent.clone(),
+            // The bug: a fresh all-default policy at the child's origin.
+            OracleLocalPolicy::Fresh => OracleDoc {
+                origin: child_origin,
+                declared: OracleDeclared::default(),
+                inherited: all_enabled(),
+            },
+        };
+    }
+    let inherited = registry::policy_controlled_permissions()
+        .map(|f| {
+            (
+                f,
+                define_inherited_policy(f, parent, framing, &child_origin),
+            )
+        })
+        .collect();
+    OracleDoc {
+        origin: child_origin,
+        declared: child_declared,
+        inherited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::semantics;
+    use super::*;
+
+    fn origin(s: &str) -> Origin {
+        weburl::Url::parse(s).unwrap().origin()
+    }
+
+    fn top(header: Option<&str>) -> OracleDoc {
+        let declared = header
+            .and_then(semantics::permissions_policy)
+            .unwrap_or_default();
+        OracleDoc::top_level(origin("https://example.org/"), declared)
+    }
+
+    fn embed(parent: &OracleDoc, allow: Option<&str>) -> OracleDoc {
+        let allow = allow.map(semantics::allow_attribute);
+        let child = origin("https://iframe.com/");
+        let framing = OracleFraming {
+            allow: allow.as_ref(),
+            src_origin: Some(child.clone()),
+        };
+        framed_document(
+            parent,
+            &framing,
+            child,
+            OracleDeclared::default(),
+            false,
+            OracleLocalPolicy::Fresh,
+        )
+    }
+
+    /// The paper's Table 1 delegation matrix, straight from the oracle.
+    #[test]
+    fn table1_matrix() {
+        let camera = Permission::Camera;
+        let cases: [(Option<&str>, Option<&str>, bool, bool); 8] = [
+            (None, None, true, false),
+            (None, Some("camera"), true, true),
+            (Some("camera=()"), Some("camera"), false, false),
+            (Some("camera=(self)"), Some("camera"), true, false),
+            (Some("camera=(*)"), None, true, false),
+            (Some("camera=(*)"), Some("camera"), true, true),
+            (
+                Some(r#"camera=(self "https://iframe.com")"#),
+                Some("camera"),
+                true,
+                true,
+            ),
+            (
+                Some(r#"camera=("https://iframe.com")"#),
+                Some("camera"),
+                false,
+                false,
+            ),
+        ];
+        for (i, (header, allow, expect_top, expect_child)) in cases.iter().enumerate() {
+            let parent = top(*header);
+            assert_eq!(parent.allowed_to_use(camera), *expect_top, "case {}", i + 1);
+            let child = embed(&parent, *allow);
+            assert_eq!(
+                child.allowed_to_use(camera),
+                *expect_child,
+                "case {} child",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn local_scheme_switch_is_table_11() {
+        let camera = Permission::Camera;
+        // Parent disables camera for everyone.
+        let parent = top(Some("camera=()"));
+        let child_origin = Origin::opaque();
+        let framing = OracleFraming {
+            allow: None,
+            src_origin: Some(child_origin.clone()),
+        };
+        let inherit = framed_document(
+            &parent,
+            &framing,
+            child_origin.clone(),
+            OracleDeclared::default(),
+            true,
+            OracleLocalPolicy::InheritParent,
+        );
+        assert!(!inherit.allowed_to_use(camera), "spec behaviour inherits");
+        let fresh = framed_document(
+            &parent,
+            &framing,
+            child_origin,
+            OracleDeclared::default(),
+            true,
+            OracleLocalPolicy::Fresh,
+        );
+        assert!(
+            fresh.allowed_to_use(camera),
+            "the bug grants a fresh policy"
+        );
+    }
+
+    #[test]
+    fn non_policy_controlled_features_are_always_enabled() {
+        let doc = top(Some("camera=()"));
+        assert!(doc.is_feature_enabled(Permission::Notifications, &doc.origin.clone()));
+    }
+}

@@ -1,0 +1,369 @@
+//! Spec-oracle interpretation of header and attribute syntax into
+//! allowlists: the "declared policy" and "container policy" halves of
+//! the Permissions Policy processing model, plus Chromium's documented
+//! precedence between `Permissions-Policy` and `Feature-Policy`.
+//!
+//! Like [`super::sf`], this is written from the specification documents
+//! (Permissions Policy draft, the legacy Feature-Policy grammar, and the
+//! Chromium behaviour notes the paper's §2.2.6 records), not from the
+//! engine's code. The shared substrate is `weburl`: both sides resolve
+//! origin strings through the same URL parser, so the comparison
+//! isolates *policy* semantics rather than URL-parsing differences.
+
+use weburl::Origin;
+
+use super::sf::{self, SfBareItem, SfMemberValue};
+
+/// One allowlist member as the spec models it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleMember {
+    /// `*` — matches every origin.
+    Star,
+    /// `'self'` / token `self` — matches the declaring document's origin.
+    SelfKeyword,
+    /// `'src'` — matches the iframe's `src` origin (container policy
+    /// only).
+    SrcKeyword,
+    /// A concrete origin, resolved at parse time.
+    Origin(Origin),
+}
+
+/// An allowlist: a set of members matched against a target origin.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OracleAllowlist {
+    /// Members in declaration order.
+    pub members: Vec<OracleMember>,
+}
+
+impl OracleAllowlist {
+    fn push(&mut self, member: OracleMember) {
+        if !self.members.contains(&member) {
+            self.members.push(member);
+        }
+    }
+
+    /// "Matches an allowlist against an origin": true if any member
+    /// covers `origin`. `self_origin` is the declaring document's
+    /// origin; `src_origin` the frame's declared `src` origin, when the
+    /// allowlist came from a container policy.
+    pub fn matches(
+        &self,
+        origin: &Origin,
+        self_origin: &Origin,
+        src_origin: Option<&Origin>,
+    ) -> bool {
+        self.members.iter().any(|member| match member {
+            OracleMember::Star => true,
+            OracleMember::SelfKeyword => origin.same_origin(self_origin),
+            OracleMember::SrcKeyword => src_origin.is_some_and(|src| origin.same_origin(src)),
+            OracleMember::Origin(o) => origin.same_origin(o),
+        })
+    }
+}
+
+/// A declared policy: ordered `(feature, allowlist)` directives. Lookup
+/// returns the first match, mirroring how a processor scans directives.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OracleDeclared {
+    /// Directives in header order (feature tokens kept lowercase).
+    pub directives: Vec<(String, OracleAllowlist)>,
+}
+
+impl OracleDeclared {
+    /// The first directive declared for `feature`, if any.
+    pub fn get(&self, feature: &str) -> Option<&OracleAllowlist> {
+        self.directives
+            .iter()
+            .find(|(f, _)| f == feature)
+            .map(|(_, list)| list)
+    }
+}
+
+/// Resolves an origin string from an allowlist to an [`Origin`]: the
+/// spec parses the string as a URL and takes its origin; strings that do
+/// not yield a tuple origin (no host) are ignored.
+fn resolve_origin(text: &str) -> Option<Origin> {
+    let url = weburl::Url::parse(text).ok()?;
+    url.host()?;
+    Some(url.origin())
+}
+
+/// Interprets one structured-field member of a `Permissions-Policy`
+/// dictionary as an allowlist entry. Unrecognized entries are skipped
+/// without invalidating the directive (the spec's "ignore unrecognized
+/// allowlist members" rule).
+fn interpret_pp_item(item: &SfBareItem, allowlist: &mut OracleAllowlist) {
+    match item {
+        SfBareItem::Token(t) if t == "*" => allowlist.push(OracleMember::Star),
+        SfBareItem::Token(t) if t == "self" => allowlist.push(OracleMember::SelfKeyword),
+        SfBareItem::String(s) => {
+            if let Some(origin) = resolve_origin(s) {
+                allowlist.push(OracleMember::Origin(origin));
+            }
+        }
+        // Other tokens, numbers and booleans: ignored members. The
+        // directive still exists — with whatever else it collected.
+        _ => {}
+    }
+}
+
+/// Parses a `Permissions-Policy` header value.
+///
+/// Returns `None` when strict structured-field parsing fails: the
+/// browser then drops the complete header (the paper's §4.3.3 failure
+/// mode). A `Some` result maps every dictionary key to a directive, even
+/// when all of its members were ignored (such a directive disables the
+/// feature for everyone but `*`-defaults).
+pub fn permissions_policy(value: &str) -> Option<OracleDeclared> {
+    let dictionary = sf::parse_dictionary_field(value).ok()?;
+    let mut declared = OracleDeclared::default();
+    for (key, member) in dictionary {
+        let mut allowlist = OracleAllowlist::default();
+        match &member {
+            SfMemberValue::Item(SfBareItem::Boolean(true), _) => {
+                // A bare `feature` key means "no allowlist given";
+                // Chromium interprets it as `self`.
+                allowlist.push(OracleMember::SelfKeyword);
+            }
+            SfMemberValue::Item(item, _) => interpret_pp_item(item, &mut allowlist),
+            SfMemberValue::InnerList(items, _) => {
+                for (item, _) in items {
+                    interpret_pp_item(item, &mut allowlist);
+                }
+            }
+        }
+        declared.directives.push((key, allowlist));
+    }
+    Some(declared)
+}
+
+/// Whether `name` is a well-formed (lowercased) feature identifier in
+/// the legacy ASCII grammar both lenient syntaxes use.
+fn valid_feature_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// Parses a legacy `Feature-Policy` header value (always succeeds —
+/// malformed directives are skipped individually, never the header).
+///
+/// Grammar: `;`-separated directives, each a feature name followed by
+/// whitespace-separated entries: `*`, `'self'`, `'src'`, `'none'`, or an
+/// origin. `'none'` clears the allowlist; a directive with no entries
+/// defaults to `'self'`. Keywords must be quoted — a bare `self` is an
+/// unrecognized entry (it still marks the directive as having entries).
+pub fn feature_policy(value: &str) -> OracleDeclared {
+    let mut declared = OracleDeclared::default();
+    for directive in value.split(';') {
+        let mut entries = directive.split_ascii_whitespace();
+        let Some(feature) = entries.next() else {
+            continue;
+        };
+        let feature = feature.to_ascii_lowercase();
+        if !valid_feature_name(&feature) {
+            continue;
+        }
+        let mut allowlist = OracleAllowlist::default();
+        let mut saw_entry = false;
+        let mut saw_none = false;
+        for entry in entries {
+            saw_entry = true;
+            match entry {
+                "*" => allowlist.push(OracleMember::Star),
+                "'self'" => allowlist.push(OracleMember::SelfKeyword),
+                "'src'" => allowlist.push(OracleMember::SrcKeyword),
+                "'none'" => saw_none = true,
+                other => {
+                    if let Some(origin) = resolve_origin(other) {
+                        allowlist.push(OracleMember::Origin(origin));
+                    }
+                }
+            }
+        }
+        if saw_none {
+            allowlist = OracleAllowlist::default();
+        } else if !saw_entry {
+            allowlist.push(OracleMember::SelfKeyword);
+        }
+        declared.directives.push((feature, allowlist));
+    }
+    declared
+}
+
+/// Parses an `<iframe allow>` attribute (the container policy).
+///
+/// Same lenient `;`-grammar as Feature-Policy, with two differences the
+/// spec and Chromium agree on: keywords are accepted unquoted too, and a
+/// directive with no (recognized) entries defaults to `'src'` rather
+/// than `'self'`.
+pub fn allow_attribute(value: &str) -> OracleDeclared {
+    let mut declared = OracleDeclared::default();
+    for directive in value.split(';') {
+        let mut entries = directive.split_ascii_whitespace();
+        let Some(feature) = entries.next() else {
+            continue;
+        };
+        let feature = feature.to_ascii_lowercase();
+        if !valid_feature_name(&feature) {
+            continue;
+        }
+        let mut allowlist = OracleAllowlist::default();
+        let mut saw_none = false;
+        for entry in entries {
+            match entry {
+                "*" => allowlist.push(OracleMember::Star),
+                "'self'" | "self" => allowlist.push(OracleMember::SelfKeyword),
+                "'src'" | "src" => allowlist.push(OracleMember::SrcKeyword),
+                "'none'" | "none" => saw_none = true,
+                other => {
+                    if let Some(origin) = resolve_origin(other) {
+                        allowlist.push(OracleMember::Origin(origin));
+                    }
+                }
+            }
+        }
+        if saw_none {
+            // `'none'` wins over everything else in the directive.
+            allowlist = OracleAllowlist::default();
+        } else if allowlist.members.is_empty() {
+            // No entries, or only unrecognized ones: the default is
+            // `'src'` — the 82.12% case of the paper's §4.2.2.
+            allowlist.push(OracleMember::SrcKeyword);
+        }
+        declared.directives.push((feature, allowlist));
+    }
+    declared
+}
+
+/// Chromium's header precedence (§2.2.6 of the paper): a present
+/// `Permissions-Policy` header always wins — when it is syntactically
+/// invalid the document gets an *empty* declared policy (the header is
+/// dropped, Feature-Policy is **not** consulted). `Feature-Policy`
+/// applies only when no `Permissions-Policy` header was sent at all.
+pub fn effective_declared(pp: Option<&str>, fp: Option<&str>) -> OracleDeclared {
+    if let Some(pp) = pp {
+        return permissions_policy(pp).unwrap_or_default();
+    }
+    if let Some(fp) = fp {
+        return feature_policy(fp);
+    }
+    OracleDeclared::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin(s: &str) -> Origin {
+        weburl::Url::parse(s).unwrap().origin()
+    }
+
+    #[test]
+    fn pp_basic_forms() {
+        let d = permissions_policy(
+            r#"camera=(), geolocation=(self "https://m.example"), fullscreen=*"#,
+        )
+        .unwrap();
+        assert!(d.get("camera").unwrap().members.is_empty());
+        assert_eq!(d.get("geolocation").unwrap().members.len(), 2);
+        assert_eq!(
+            d.get("fullscreen").unwrap().members,
+            vec![OracleMember::Star]
+        );
+    }
+
+    #[test]
+    fn pp_bare_key_means_self() {
+        let d = permissions_policy("camera").unwrap();
+        assert_eq!(
+            d.get("camera").unwrap().members,
+            vec![OracleMember::SelfKeyword]
+        );
+    }
+
+    #[test]
+    fn pp_invalid_header_is_dropped() {
+        assert!(permissions_policy("camera=(),").is_none());
+        assert!(permissions_policy("camera 'none'").is_none());
+    }
+
+    #[test]
+    fn pp_unrecognized_members_are_ignored_not_fatal() {
+        // `none` and `src` are valid SF tokens but not PP keywords: they
+        // are ignored individually, leaving the directive declared with
+        // an empty allowlist. (`'self'` would be an SF *parse* error —
+        // `'` cannot start a token — and would drop the whole header.)
+        let d = permissions_policy("camera=(none src)").unwrap();
+        assert!(d.get("camera").unwrap().members.is_empty());
+        assert!(permissions_policy("camera=(none src 'self')").is_none());
+    }
+
+    #[test]
+    fn fp_unquoted_keyword_is_not_recognized() {
+        // `camera self` (unquoted) — the entry is ignored but the
+        // directive was declared with entries, so the allowlist stays
+        // empty: the feature is disabled. A classic real-world footgun.
+        let d = feature_policy("camera self");
+        assert!(d.get("camera").unwrap().members.is_empty());
+    }
+
+    #[test]
+    fn fp_bare_feature_defaults_to_self() {
+        let d = feature_policy("camera");
+        assert_eq!(
+            d.get("camera").unwrap().members,
+            vec![OracleMember::SelfKeyword]
+        );
+    }
+
+    #[test]
+    fn allow_defaults_to_src() {
+        let d = allow_attribute("camera");
+        assert_eq!(
+            d.get("camera").unwrap().members,
+            vec![OracleMember::SrcKeyword]
+        );
+        // Only-unrecognized entries behave like the default too.
+        let d = allow_attribute("camera garbage!");
+        assert_eq!(
+            d.get("camera").unwrap().members,
+            vec![OracleMember::SrcKeyword]
+        );
+    }
+
+    #[test]
+    fn allow_accepts_unquoted_keywords() {
+        let d = allow_attribute("camera self; microphone none");
+        assert_eq!(
+            d.get("camera").unwrap().members,
+            vec![OracleMember::SelfKeyword]
+        );
+        assert!(d.get("microphone").unwrap().members.is_empty());
+    }
+
+    #[test]
+    fn matches_resolves_keywords() {
+        let me = origin("https://me.example/");
+        let widget = origin("https://widget.example/");
+        let d = allow_attribute("camera 'src'");
+        let list = d.get("camera").unwrap();
+        assert!(list.matches(&widget, &me, Some(&widget)));
+        assert!(!list.matches(&me, &me, Some(&widget)));
+        assert!(!list.matches(&widget, &me, None));
+    }
+
+    #[test]
+    fn precedence_pp_wins_even_when_invalid() {
+        // Valid PP: applies.
+        let d = effective_declared(Some("camera=()"), Some("camera *"));
+        assert!(d.get("camera").unwrap().members.is_empty());
+        // Invalid PP: empty declared policy; FP is NOT consulted.
+        let d = effective_declared(Some("camera=(),"), Some("camera *"));
+        assert!(d.directives.is_empty());
+        // No PP: FP applies.
+        let d = effective_declared(None, Some("camera *"));
+        assert_eq!(d.get("camera").unwrap().members, vec![OracleMember::Star]);
+    }
+}

@@ -1,0 +1,611 @@
+//! Clean-room transcription of RFC 8941 §4.2, "Parsing Structured
+//! Fields", restricted to the Dictionary type `Permissions-Policy` uses.
+//!
+//! This module is the differential harness's ground truth for header
+//! syntax: it follows the RFC's numbered algorithms step by step,
+//! favouring fidelity to the spec text over speed or style, and is
+//! written against the RFC alone — not against `policy::structured`.
+//! Each function names the algorithm it implements.
+//!
+//! Scope restriction shared with the engine: Byte Sequences (§4.2.7,
+//! `:base64:`) are rejected rather than parsed. `Permissions-Policy`
+//! never uses them, and rejecting produces the same accept/reject
+//! verdict on both sides, so the differential comparison stays sound.
+
+use std::fmt;
+
+/// A bare item (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfBareItem {
+    /// §3.3.1 Integer.
+    Integer(i64),
+    /// §3.3.2 Decimal.
+    Decimal(f64),
+    /// §3.3.3 String.
+    String(String),
+    /// §3.3.4 Token.
+    Token(String),
+    /// §3.3.6 Boolean.
+    Boolean(bool),
+}
+
+/// Parameters (§3.1.2): ordered key/value pairs.
+pub type SfParameters = Vec<(String, SfBareItem)>;
+
+/// A dictionary member value: an item or an inner list, each with
+/// parameters (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfMemberValue {
+    /// A single item.
+    Item(SfBareItem, SfParameters),
+    /// An inner list `( item item ... )`.
+    InnerList(Vec<(SfBareItem, SfParameters)>, SfParameters),
+}
+
+/// A parsed dictionary: ordered `(key, value)` members, keys unique
+/// (later occurrences overwrite, §4.2.2 step 2.4).
+pub type SfDictionary = Vec<(String, SfMemberValue)>;
+
+/// Parse failure: per §4.2, the entire field is discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfParseError {
+    /// Byte offset where the algorithm failed.
+    pub position: usize,
+    /// Which spec step failed.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for SfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (byte {})", self.reason, self.position)
+    }
+}
+
+/// The RFC's `input_string`: a byte cursor consumed from the front.
+struct Input<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Input<'a> {
+    fn new(text: &'a str) -> Input<'a> {
+        Input {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, reason: &'static str) -> SfParseError {
+        SfParseError {
+            position: self.pos,
+            reason,
+        }
+    }
+
+    fn first(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn consume(&mut self) -> Option<u8> {
+        let b = self.first()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// "Discard any leading SP characters from input_string."
+    fn discard_sp(&mut self) {
+        while self.first() == Some(b' ') {
+            self.pos += 1;
+        }
+    }
+
+    /// "Discard any leading OWS characters from input_string" (OWS is
+    /// SP / HTAB per RFC 7230 §3.2.3).
+    fn discard_ows(&mut self) {
+        while matches!(self.first(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+}
+
+/// lcalpha = %x61-7A (§3.1.2 key grammar).
+fn is_lcalpha(b: u8) -> bool {
+    b.is_ascii_lowercase()
+}
+
+/// tchar per RFC 7230 §3.2.6, referenced by the token grammar (§3.3.4).
+fn is_tchar(b: u8) -> bool {
+    b.is_ascii_alphanumeric()
+        || matches!(
+            b,
+            b'!' | b'#'
+                | b'$'
+                | b'%'
+                | b'&'
+                | b'\''
+                | b'*'
+                | b'+'
+                | b'-'
+                | b'.'
+                | b'^'
+                | b'_'
+                | b'`'
+                | b'|'
+                | b'~'
+        )
+}
+
+/// §4.2 "Parsing Structured Fields", for field_type "dictionary".
+///
+/// 1. Convert input_bytes into an ASCII string input_string; if
+///    conversion fails, fail parsing. (Handled per-character below: any
+///    byte outside the grammar of the construct being parsed fails that
+///    construct's step, which discards the whole field.)
+/// 2. Discard any leading SP characters from input_string.
+/// 3. Parse a dictionary from input_string.
+/// 4. Discard any leading SP characters from input_string.
+/// 5. If input_string is not empty, fail parsing.
+/// 6. Otherwise, return output.
+pub fn parse_dictionary_field(value: &str) -> Result<SfDictionary, SfParseError> {
+    let mut input = Input::new(value);
+    input.discard_sp(); // step 2
+    let dict = parse_dictionary(&mut input)?; // step 3
+    input.discard_sp(); // step 4
+    if !input.is_empty() {
+        return Err(input.fail("field has trailing characters")); // step 5
+    }
+    Ok(dict) // step 6
+}
+
+/// §4.2.2 "Parsing a Dictionary".
+fn parse_dictionary(input: &mut Input<'_>) -> Result<SfDictionary, SfParseError> {
+    // 1. Let dictionary be an empty, ordered map.
+    let mut dictionary: SfDictionary = Vec::new();
+    // 2. While input_string is not empty:
+    while !input.is_empty() {
+        // 2.1. Let this_key be the result of running Parsing a Key.
+        let this_key = parse_key(input)?;
+        let member = if input.first() == Some(b'=') {
+            // 2.2. If the first character of input_string is "=":
+            //      consume it; member is the result of running Parsing
+            //      an Item or Inner List.
+            input.consume();
+            parse_item_or_inner_list(input)?
+        } else {
+            // 2.3. Otherwise: value is Boolean true; parameters are the
+            //      result of running Parsing Parameters.
+            let parameters = parse_parameters(input)?;
+            SfMemberValue::Item(SfBareItem::Boolean(true), parameters)
+        };
+        // 2.4. Add key this_key with value member to dictionary. If
+        //      dictionary already contains a key this_key, overwrite.
+        if let Some(slot) = dictionary.iter_mut().find(|(k, _)| *k == this_key) {
+            slot.1 = member;
+        } else {
+            dictionary.push((this_key, member));
+        }
+        // 2.5. Discard any leading OWS characters from input_string.
+        input.discard_ows();
+        // 2.6. If input_string is empty, return dictionary.
+        if input.is_empty() {
+            return Ok(dictionary);
+        }
+        // 2.7. Consume the first character of input_string; if it is not
+        //      ",", fail parsing.
+        if input.consume() != Some(b',') {
+            return Err(input.fail("expected ',' after dictionary member"));
+        }
+        // 2.8. Discard any leading OWS characters from input_string.
+        input.discard_ows();
+        // 2.9. If input_string is empty, there is a trailing comma; fail
+        //      parsing.
+        if input.is_empty() {
+            return Err(input.fail("trailing comma in dictionary"));
+        }
+    }
+    // 3. No structured data has been found; return dictionary (empty).
+    Ok(dictionary)
+}
+
+/// §4.2.1.1 "Parsing an Item or Inner List".
+fn parse_item_or_inner_list(input: &mut Input<'_>) -> Result<SfMemberValue, SfParseError> {
+    // 1. If the first character of input_string is "(", return the
+    //    result of running Parsing an Inner List.
+    if input.first() == Some(b'(') {
+        let (items, parameters) = parse_inner_list(input)?;
+        Ok(SfMemberValue::InnerList(items, parameters))
+    } else {
+        // 2. Return the result of running Parsing an Item.
+        let (item, parameters) = parse_item(input)?;
+        Ok(SfMemberValue::Item(item, parameters))
+    }
+}
+
+/// §4.2.1.2 "Parsing an Inner List".
+#[allow(clippy::type_complexity)]
+fn parse_inner_list(
+    input: &mut Input<'_>,
+) -> Result<(Vec<(SfBareItem, SfParameters)>, SfParameters), SfParseError> {
+    // 1. Consume the first character of input_string; if it is not "(",
+    //    fail parsing.
+    if input.consume() != Some(b'(') {
+        return Err(input.fail("inner list must start with '('"));
+    }
+    // 2. Let inner_list be an empty array.
+    let mut inner_list = Vec::new();
+    // 3. While input_string is not empty:
+    while !input.is_empty() {
+        // 3.1. Discard any leading SP characters from input_string.
+        input.discard_sp();
+        // 3.2. If the first character of input_string is ")": consume
+        //      it; parameters = Parsing Parameters; return the inner
+        //      list with its parameters.
+        if input.first() == Some(b')') {
+            input.consume();
+            let parameters = parse_parameters(input)?;
+            return Ok((inner_list, parameters));
+        }
+        // 3.3. Let item be the result of running Parsing an Item.
+        let item = parse_item(input)?;
+        // 3.4. Append item to inner_list.
+        inner_list.push(item);
+        // 3.5. If the first character of input_string is not SP or ")",
+        //      fail parsing.
+        if !matches!(input.first(), Some(b' ') | Some(b')')) {
+            return Err(input.fail("inner-list items must be separated by SP"));
+        }
+    }
+    // 4. The end of the Inner List was not found; fail parsing.
+    Err(input.fail("unterminated inner list"))
+}
+
+/// §4.2.3 "Parsing an Item".
+fn parse_item(input: &mut Input<'_>) -> Result<(SfBareItem, SfParameters), SfParseError> {
+    // 1. Let bare_item be the result of running Parsing a Bare Item.
+    let bare_item = parse_bare_item(input)?;
+    // 2. Let parameters be the result of running Parsing Parameters.
+    let parameters = parse_parameters(input)?;
+    // 3. Return the tuple (bare_item, parameters).
+    Ok((bare_item, parameters))
+}
+
+/// §4.2.3.1 "Parsing a Bare Item".
+fn parse_bare_item(input: &mut Input<'_>) -> Result<SfBareItem, SfParseError> {
+    match input.first() {
+        // 2. If the first character is a "-" or a DIGIT, return the
+        //    result of running Parsing an Integer or Decimal.
+        Some(b) if b == b'-' || b.is_ascii_digit() => parse_number(input),
+        // 3. If the first character is a DQUOTE, return the result of
+        //    running Parsing a String.
+        Some(b'"') => parse_string(input),
+        // 4. If the first character is an ALPHA or "*", return the
+        //    result of running Parsing a Token.
+        Some(b) if b.is_ascii_alphabetic() || b == b'*' => parse_token(input),
+        // 5. If the first character is ":", it is a Byte Sequence —
+        //    deliberately unsupported here (see module docs).
+        Some(b':') => Err(input.fail("byte sequences are out of scope")),
+        // 6. If the first character is "?", return the result of running
+        //    Parsing a Boolean.
+        Some(b'?') => parse_boolean(input),
+        // 7. Otherwise, the item type is unrecognized; fail parsing.
+        _ => Err(input.fail("unrecognized bare item")),
+    }
+}
+
+/// §4.2.3.2 "Parsing Parameters".
+fn parse_parameters(input: &mut Input<'_>) -> Result<SfParameters, SfParseError> {
+    // 1. Let parameters be an empty, ordered map.
+    let mut parameters: SfParameters = Vec::new();
+    // 2. While input_string is not empty:
+    while input.first() == Some(b';') {
+        // 2.2. Consume the ";".
+        input.consume();
+        // 2.3. Discard any leading SP characters from input_string.
+        input.discard_sp();
+        // 2.4. Let param_key be the result of running Parsing a Key.
+        let param_key = parse_key(input)?;
+        // 2.5. Let param_value be Boolean true.
+        // 2.6. If the first character of input_string is "=": consume
+        //      it; param_value = Parsing a Bare Item.
+        let param_value = if input.first() == Some(b'=') {
+            input.consume();
+            parse_bare_item(input)?
+        } else {
+            SfBareItem::Boolean(true)
+        };
+        // 2.7. If parameters already contains param_key, overwrite.
+        // 2.8. Append key param_key with value param_value.
+        if let Some(slot) = parameters.iter_mut().find(|(k, _)| *k == param_key) {
+            slot.1 = param_value;
+        } else {
+            parameters.push((param_key, param_value));
+        }
+    }
+    // 3. Return parameters.
+    Ok(parameters)
+}
+
+/// §4.2.3.3 "Parsing a Key".
+fn parse_key(input: &mut Input<'_>) -> Result<String, SfParseError> {
+    // 1. If the first character of input_string is not lcalpha or "*",
+    //    fail parsing.
+    match input.first() {
+        Some(b) if is_lcalpha(b) || b == b'*' => {}
+        _ => return Err(input.fail("key must start with lcalpha or '*'")),
+    }
+    // 2. Let output_string be an empty string.
+    let mut output_string = String::new();
+    // 3. While input_string is not empty:
+    //    3.1. If the first character is not lcalpha, DIGIT, "_", "-",
+    //         "." or "*", return output_string.
+    //    3.2. Append the consumed character to output_string.
+    while let Some(b) = input.first() {
+        if is_lcalpha(b) || b.is_ascii_digit() || matches!(b, b'_' | b'-' | b'.' | b'*') {
+            input.consume();
+            output_string.push(b as char);
+        } else {
+            break;
+        }
+    }
+    Ok(output_string)
+}
+
+/// §4.2.4 "Parsing an Integer or Decimal".
+fn parse_number(input: &mut Input<'_>) -> Result<SfBareItem, SfParseError> {
+    // 1. Let type be "integer".
+    let mut is_decimal = false;
+    // 2. Let sign be 1; 3. let input_number be an empty string.
+    let mut sign = 1i64;
+    let mut input_number = String::new();
+    // 4. If the first character of input_string is "-", consume it and
+    //    set sign to -1.
+    if input.first() == Some(b'-') {
+        input.consume();
+        sign = -1;
+    }
+    // 5. If input_string is empty, there is an empty integer; fail.
+    if input.is_empty() {
+        return Err(input.fail("empty number"));
+    }
+    // 6. If the first character of input_string is not a DIGIT, fail.
+    match input.first() {
+        Some(b) if b.is_ascii_digit() => {}
+        _ => return Err(input.fail("number must start with a digit")),
+    }
+    // 7. While input_string is not empty:
+    while let Some(char_) = input.first() {
+        // 7.1. Let char be the result of consuming the first character.
+        // 7.2. If char is a DIGIT, append it to input_number.
+        if char_.is_ascii_digit() {
+            input.consume();
+            input_number.push(char_ as char);
+        } else if !is_decimal && char_ == b'.' {
+            // 7.3. Else, if type is "integer" and char is ".":
+            // 7.3.1. If input_number contains more than 12 characters,
+            //        fail parsing.
+            if input_number.len() > 12 {
+                return Err(input.fail("too many integer digits in decimal"));
+            }
+            // 7.3.2. Otherwise, append char to input_number and set
+            //        type to "decimal".
+            input.consume();
+            input_number.push('.');
+            is_decimal = true;
+        } else {
+            // 7.4. Otherwise, prepend char to input_string and exit the
+            //      loop. (We never consumed it, so just stop.)
+            break;
+        }
+        // 7.5. If type is "integer" and input_number contains more than
+        //      15 characters, fail parsing.
+        if !is_decimal && input_number.len() > 15 {
+            return Err(input.fail("integer too long"));
+        }
+        // 7.6. If type is "decimal" and input_number contains more than
+        //      16 characters, fail parsing.
+        if is_decimal && input_number.len() > 16 {
+            return Err(input.fail("decimal too long"));
+        }
+    }
+    if !is_decimal {
+        // 8. If type is "integer": parse input_number as an integer and
+        //    let output_number be the product of the result and sign.
+        //    (The range check of step 8.2 is implied by the 15-digit cap.)
+        let value: i64 = input_number
+            .parse()
+            .map_err(|_| input.fail("unparseable integer"))?;
+        Ok(SfBareItem::Integer(sign * value))
+    } else {
+        // 9. Otherwise (type is "decimal"):
+        // 9.1. If the final character of input_number is ".", fail.
+        if input_number.ends_with('.') {
+            return Err(input.fail("decimal ends with '.'"));
+        }
+        // 9.2. If the number of characters after "." is greater than
+        //      three, fail parsing.
+        let fractional = input_number
+            .split('.')
+            .nth(1)
+            .map(str::len)
+            .unwrap_or_default();
+        if fractional > 3 {
+            return Err(input.fail("more than three fractional digits"));
+        }
+        // 9.3. Parse input_number as a decimal and multiply by sign.
+        let value: f64 = input_number
+            .parse()
+            .map_err(|_| input.fail("unparseable decimal"))?;
+        Ok(SfBareItem::Decimal(sign as f64 * value))
+    }
+}
+
+/// §4.2.5 "Parsing a String".
+fn parse_string(input: &mut Input<'_>) -> Result<SfBareItem, SfParseError> {
+    // 1. Let output_string be an empty string.
+    let mut output_string = String::new();
+    // 2. If the first character of input_string is not DQUOTE, fail.
+    if input.consume() != Some(b'"') {
+        return Err(input.fail("string must start with '\"'"));
+    }
+    // 3. While input_string is not empty:
+    while let Some(char_) = input.consume() {
+        match char_ {
+            // 3.2. If char is a backslash:
+            b'\\' => match input.consume() {
+                // 3.2.2. Else, consume next_char; if it is not DQUOTE
+                //        or "\", fail parsing; else append it.
+                Some(next @ (b'"' | b'\\')) => output_string.push(next as char),
+                // 3.2.1. If input_string is now empty, fail parsing —
+                //        and any other escape is invalid too.
+                _ => return Err(input.fail("invalid escape in string")),
+            },
+            // 3.3. Else, if char is DQUOTE, return output_string.
+            b'"' => return Ok(SfBareItem::String(output_string)),
+            // 3.4. Else, if char is in the range %x00-1F or %x7F-FF
+            //      (i.e., it is not in VCHAR or SP), fail parsing.
+            0x00..=0x1f | 0x7f..=0xff => {
+                return Err(input.fail("non-printable character in string"))
+            }
+            // 3.5. Else, append char to output_string.
+            _ => output_string.push(char_ as char),
+        }
+    }
+    // 4. Reached the end of input_string without finding a closing
+    //    DQUOTE; fail parsing.
+    Err(input.fail("unterminated string"))
+}
+
+/// §4.2.6 "Parsing a Token".
+fn parse_token(input: &mut Input<'_>) -> Result<SfBareItem, SfParseError> {
+    // 1. If the first character of input_string is not ALPHA or "*",
+    //    fail parsing.
+    match input.first() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'*' => {}
+        _ => return Err(input.fail("token must start with ALPHA or '*'")),
+    }
+    // 2. Let output_string be an empty string.
+    let mut output_string = String::new();
+    // 3. While input_string is not empty:
+    //    3.1. If the first character is not in tchar, ":" or "/",
+    //         return output_string.
+    //    3.2. Append the consumed character to output_string.
+    while let Some(b) = input.first() {
+        if is_tchar(b) || b == b':' || b == b'/' {
+            input.consume();
+            output_string.push(b as char);
+        } else {
+            break;
+        }
+    }
+    Ok(SfBareItem::Token(output_string))
+}
+
+/// §4.2.8 "Parsing a Boolean".
+fn parse_boolean(input: &mut Input<'_>) -> Result<SfBareItem, SfParseError> {
+    // 1. If the first character of input_string is not "?", fail.
+    if input.consume() != Some(b'?') {
+        return Err(input.fail("boolean must start with '?'"));
+    }
+    // 2. If the first character of input_string matches "1", consume it
+    //    and return true. 3. Same for "0" and false.
+    match input.consume() {
+        Some(b'1') => Ok(SfBareItem::Boolean(true)),
+        Some(b'0') => Ok(SfBareItem::Boolean(false)),
+        // 4. No value has matched; fail parsing.
+        _ => Err(input.fail("invalid boolean")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(input: &str) -> SfDictionary {
+        parse_dictionary_field(input).unwrap()
+    }
+
+    #[test]
+    fn spec_examples_parse() {
+        let d = ok(r#"camera=(self "https://a.example"), fullscreen=*"#);
+        assert_eq!(d.len(), 2);
+        assert!(matches!(&d[0].1, SfMemberValue::InnerList(items, _) if items.len() == 2));
+        assert!(matches!(&d[1].1, SfMemberValue::Item(SfBareItem::Token(t), _) if t == "*"));
+    }
+
+    #[test]
+    fn bare_key_is_true() {
+        let d = ok("camera");
+        assert!(matches!(
+            &d[0].1,
+            SfMemberValue::Item(SfBareItem::Boolean(true), _)
+        ));
+    }
+
+    #[test]
+    fn later_duplicate_key_wins() {
+        let d = ok("a=1, a=2");
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            &d[0].1,
+            SfMemberValue::Item(SfBareItem::Integer(2), _)
+        ));
+    }
+
+    #[test]
+    fn strict_failures() {
+        for bad in [
+            "camera=(),",         // trailing comma (§4.2.2 step 2.9)
+            "camera 'none'",      // Feature-Policy syntax
+            "a=() b=()",          // missing comma
+            "Camera=()",          // uppercase key
+            "a=((b))",            // nested inner list
+            "a=1000000000000000", // 16-digit integer
+            "a=1.",               // trailing dot
+            "a=1.2345",           // 4 fractional digits
+            "a=1234567890123.0",  // 13 integer digits in a decimal
+            "a=-",                // bare sign
+            "a=-.5",              // sign followed by dot
+            "a=:aGk=:",           // byte sequence: out of scope
+            "a=(b\tc)",           // TAB inside inner list
+            "a=\"caf\u{e9}\"",    // non-ASCII string content
+            "a=(b",               // unterminated inner list
+            "a=\"x",              // unterminated string
+            "a=\"x\\n\"",         // invalid escape
+            "a=?2",               // invalid boolean
+        ] {
+            assert!(parse_dictionary_field(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn strict_number_limits() {
+        assert!(parse_dictionary_field("a=999999999999999").is_ok());
+        assert!(parse_dictionary_field("a=-999999999999999").is_ok());
+        assert!(parse_dictionary_field("a=999999999999.999").is_ok());
+        assert!(parse_dictionary_field("a=-0.5").is_ok());
+    }
+
+    #[test]
+    fn whitespace_handling() {
+        assert!(ok("").is_empty());
+        assert!(ok("   ").is_empty());
+        // OWS (tab) is legal around commas, SP-only inside inner lists.
+        assert_eq!(ok("a=1\t,\tb=2").len(), 2);
+        assert!(parse_dictionary_field(" a=( x  y ) ").is_ok());
+    }
+
+    #[test]
+    fn parameters_attach_to_members() {
+        let d = ok("camera=(self);report-to=\"g\"");
+        match &d[0].1 {
+            SfMemberValue::InnerList(_, params) => {
+                assert_eq!(params[0].0, "report-to");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

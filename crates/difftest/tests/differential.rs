@@ -1,0 +1,81 @@
+//! Differential harness gates.
+//!
+//! The quick tests run under plain `cargo test`; the `#[ignore]`d ones
+//! are the CI-scale gates `scripts/ci.sh` runs in release mode
+//! (`-- --ignored`): ≥10,000 seeded scenarios with zero divergences.
+
+use difftest::browser_exec;
+use difftest::scenario::{self, Scenario};
+
+fn assert_no_divergences(count: u64, seed: u64) {
+    let failures = scenario::run_range(count, seed);
+    assert!(
+        failures.is_empty(),
+        "{} of {count} scenarios diverged (seed {seed}); first shrunk counterexample:\n{}  {}",
+        failures.len(),
+        scenario::describe(&failures[0].0),
+        failures[0].1
+    );
+}
+
+#[test]
+fn engine_matches_oracle_on_seeded_scenarios() {
+    // Covers the whole systematic header × attribute block plus a slice
+    // of random trees — small enough for tier-1.
+    assert_no_divergences(Scenario::systematic_count() + 300, 0);
+}
+
+#[test]
+fn browser_pipeline_matches_oracle_on_sampled_scenarios() {
+    for index in (0..Scenario::systematic_count() + 120).step_by(3) {
+        let s = Scenario::generate(index, 0);
+        let divergences = browser_exec::browser_divergences(&s);
+        assert!(
+            divergences.is_empty(),
+            "scenario {index}:\n{}{}",
+            scenario::describe(&s),
+            divergences
+                .iter()
+                .map(|d| format!("  {d}\n"))
+                .collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn shrinking_preserves_determinism() {
+    // Shrinking a non-diverging scenario is never called in production
+    // paths, but candidate enumeration itself must be deterministic for
+    // replayable reports.
+    let s = Scenario::generate(Scenario::systematic_count() + 11, 5);
+    let d1 = scenario::divergences(&s);
+    let d2 = scenario::divergences(&s);
+    assert_eq!(d1.len(), d2.len());
+}
+
+/// CI-scale gate: ≥10,000 scenarios across two seeds, zero divergences.
+#[test]
+#[ignore = "CI-scale; run with --ignored in release"]
+fn ci_ten_thousand_scenarios_zero_divergences() {
+    assert_no_divergences(10_000, 1);
+    assert_no_divergences(2_000, 42);
+}
+
+/// CI-scale gate: the browser-mediated pipeline over a wide sample.
+#[test]
+#[ignore = "CI-scale; run with --ignored in release"]
+fn ci_browser_pipeline_sample() {
+    for index in 0..800 {
+        let s = Scenario::generate(index, 3);
+        let divergences = browser_exec::browser_divergences(&s);
+        assert!(
+            divergences.is_empty(),
+            "scenario {index}:\n{}{}",
+            scenario::describe(&s),
+            divergences
+                .iter()
+                .map(|d| format!("  {d}\n"))
+                .collect::<String>()
+        );
+    }
+}

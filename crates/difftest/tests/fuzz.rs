@@ -1,0 +1,105 @@
+//! Fuzzer gates.
+//!
+//! These live in their own integration-test binary on purpose: the
+//! coverage counter map is process-global, and sharing a process with
+//! other instrumented tests would bleed hits into measured sessions
+//! (each session takes `covmap::session_guard`, but the guard can only
+//! serialize threads that take it).
+
+#![cfg(feature = "coverage")]
+
+use difftest::fuzz::{driver, targets};
+use difftest::seed_corpus;
+
+fn smoke(target_name: &str, iterations: u64, seed: u64) -> driver::FuzzOutcome {
+    let target = targets::by_name(target_name).expect("known target");
+    let outcome = driver::run(&target, &seed_corpus(target_name), iterations, seed);
+    assert!(
+        outcome.findings.is_empty(),
+        "fuzz {target_name} findings:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| format!(
+                "  {} — input {:?}\n",
+                f.message,
+                String::from_utf8_lossy(&f.input)
+            ))
+            .collect::<String>()
+    );
+    assert!(
+        !outcome.corpus.entries.is_empty(),
+        "fuzz {target_name} found no coverage at all — instrumentation is dead"
+    );
+    outcome
+}
+
+#[test]
+fn header_fuzz_smoke() {
+    smoke("header", 400, 1);
+}
+
+#[test]
+fn allow_fuzz_smoke() {
+    smoke("allow", 400, 1);
+}
+
+#[test]
+fn html_fuzz_smoke() {
+    smoke("html", 400, 1);
+}
+
+#[test]
+fn js_fuzz_smoke() {
+    smoke("js", 400, 1);
+}
+
+/// Same seed → same corpus (byte-identical, same order) and same
+/// combined coverage signature.
+#[test]
+fn replay_is_deterministic() {
+    for name in ["header", "allow", "html", "js"] {
+        let a = smoke(name, 300, 77);
+        let b = smoke(name, 300, 77);
+        assert_eq!(
+            a.corpus.fingerprint(),
+            b.corpus.fingerprint(),
+            "{name}: corpus replay diverged"
+        );
+        assert_eq!(
+            a.coverage_signature, b.coverage_signature,
+            "{name}: coverage signature diverged"
+        );
+        assert_eq!(a.executions, b.executions);
+    }
+}
+
+/// The seed corpus alone must light up each target's instrumented
+/// region — guards against silently unwired `cov!` sites.
+#[test]
+fn seed_corpus_reaches_every_region() {
+    let regions = [
+        ("header", covmap::POLICY_BASE, covmap::HTML_BASE),
+        ("allow", covmap::POLICY_BASE, covmap::HTML_BASE),
+        ("html", covmap::HTML_BASE, covmap::JSLAND_BASE),
+        ("js", covmap::JSLAND_BASE, covmap::DIFFTEST_BASE),
+    ];
+    for (name, lo, hi) in regions {
+        let outcome = smoke(name, 0, 0);
+        let in_region = outcome
+            .corpus
+            .seen
+            .iter()
+            .any(|&(site, _)| (site as usize) >= lo && (site as usize) < hi);
+        assert!(in_region, "{name}: no coverage in its own region");
+    }
+}
+
+/// CI-scale fuzz smoke: a fixed-iteration session per parser.
+#[test]
+#[ignore = "CI-scale; run with --ignored in release"]
+fn ci_fuzz_budget() {
+    for name in ["header", "allow", "html", "js"] {
+        smoke(name, 20_000, 11);
+    }
+}

@@ -30,6 +30,20 @@
 //! assert_eq!(doc.scripts.len(), 2);
 //! ```
 
+// Coverage instrumentation point for the fuzzer (crates/difftest).  Sites
+// 0-39 belong to `tokenizer`, 40-59 to `scanner`.  Expands to nothing
+// unless the `coverage` feature is enabled.
+#[cfg(feature = "coverage")]
+macro_rules! cov {
+    ($site:expr) => {
+        covmap::hit(covmap::HTML_BASE, $site)
+    };
+}
+#[cfg(not(feature = "coverage"))]
+macro_rules! cov {
+    ($site:expr) => {};
+}
+
 pub mod scanner;
 pub mod tokenizer;
 

@@ -141,6 +141,7 @@ pub fn scan(input: &str) -> Document {
                 for attr in attrs {
                     if let Some(event) = attr.name.strip_prefix("on") {
                         if !event.is_empty() && !attr.value.is_empty() {
+                            cov!(40);
                             doc.handlers.push(EventHandler {
                                 tag: name.clone(),
                                 event: event.to_string(),
@@ -151,6 +152,7 @@ pub fn scan(input: &str) -> Document {
                 }
                 match name.as_str() {
                     "iframe" => {
+                        cov!(41);
                         let get =
                             |n: &str| attrs.iter().find(|a| a.name == n).map(|a| a.value.clone());
                         doc.iframes.push(IframeElement {
@@ -165,6 +167,7 @@ pub fn scan(input: &str) -> Document {
                         });
                     }
                     "script" => {
+                        cov!(42);
                         let src = attrs
                             .iter()
                             .find(|a| a.name == "src")
@@ -179,6 +182,7 @@ pub fn scan(input: &str) -> Document {
                         let inline = if src.is_none() {
                             match tokens.get(i + 1) {
                                 Some(Token::Text(body)) if !body.trim().is_empty() => {
+                                    cov!(43);
                                     Some(body.clone())
                                 }
                                 _ => None,
@@ -197,6 +201,7 @@ pub fn scan(input: &str) -> Document {
                     "a" => {
                         if let Some(href) = attrs.iter().find(|a| a.name == "href") {
                             if !href.value.is_empty() {
+                                cov!(44);
                                 doc.links.push(LinkElement {
                                     href: href.value.clone(),
                                 });

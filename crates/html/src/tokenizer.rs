@@ -83,6 +83,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         }
         // Comment?
         if input[pos..].starts_with("<!--") {
+            cov!(0);
             flush_text!(pos);
             let end = input[pos + 4..]
                 .find("-->")
@@ -95,6 +96,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         }
         // Doctype / processing instruction: skip to '>'.
         if input[pos..].starts_with("<!") || input[pos..].starts_with("<?") {
+            cov!(1);
             flush_text!(pos);
             let end = input[pos..]
                 .find('>')
@@ -113,7 +115,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 .unwrap_or(bytes.len());
             let name = input[pos + 2..end].trim().to_ascii_lowercase();
             if !name.is_empty() {
+                cov!(2);
                 tokens.push(Token::EndTag { name });
+            } else {
+                cov!(3);
             }
             pos = (end + 1).min(bytes.len());
             text_start = pos;
@@ -121,8 +126,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         }
         // Start tag: next char must be a letter, otherwise literal '<'.
         match bytes.get(pos + 1) {
-            Some(b) if b.is_ascii_alphabetic() => {}
+            Some(b) if b.is_ascii_alphabetic() => {
+                cov!(4);
+            }
             _ => {
+                cov!(5);
                 pos += 1;
                 continue;
             }
@@ -142,6 +150,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         text_start = pos;
         // Raw-text content: scan for the matching close tag.
         if let Some(name) = raw_name {
+            cov!(6);
             let close = format!("</{name}");
             let lower = input[pos..].to_ascii_lowercase();
             let end = lower.find(&close).map(|i| pos + i).unwrap_or(bytes.len());
@@ -149,6 +158,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 tokens.push(Token::Text(input[pos..end].to_string()));
             }
             if end < bytes.len() {
+                cov!(7);
                 let tag_end = input[end..]
                     .find('>')
                     .map(|i| end + i)
@@ -193,10 +203,12 @@ fn parse_start_tag(input: &str, start: usize) -> (Token, usize) {
             }
             Some(b'/') => {
                 if bytes.get(pos + 1) == Some(&b'>') {
+                    cov!(8);
                     self_closing = true;
                     pos += 2;
                     break;
                 }
+                cov!(9);
                 pos += 1;
             }
             Some(_) => {
@@ -220,6 +232,7 @@ fn parse_start_tag(input: &str, start: usize) -> (Token, usize) {
                     }
                     match bytes.get(pos) {
                         Some(&q @ (b'"' | b'\'')) => {
+                            cov!(10);
                             pos += 1;
                             let val_start = pos;
                             while pos < bytes.len() && bytes[pos] != q {
@@ -230,6 +243,7 @@ fn parse_start_tag(input: &str, start: usize) -> (Token, usize) {
                             value
                         }
                         _ => {
+                            cov!(11);
                             let val_start = pos;
                             while pos < bytes.len()
                                 && !bytes[pos].is_ascii_whitespace()
@@ -244,10 +258,13 @@ fn parse_start_tag(input: &str, start: usize) -> (Token, usize) {
                     String::new()
                 };
                 if !attr_name.is_empty() && !attrs.iter().any(|a| a.name == attr_name) {
+                    cov!(12);
                     attrs.push(Attribute {
                         name: attr_name,
                         value: decode_entities(&value),
                     });
+                } else {
+                    cov!(13);
                 }
             }
         }
@@ -267,6 +284,7 @@ fn decode_entities(value: &str) -> String {
     if !value.contains('&') {
         return value.to_string();
     }
+    cov!(14);
     value
         .replace("&amp;", "&")
         .replace("&quot;", "\"")

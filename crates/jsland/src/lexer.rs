@@ -50,6 +50,7 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
         }
         // Comments.
         if source[pos..].starts_with("//") {
+            cov!(0);
             match source[pos..].find('\n') {
                 Some(i) => {
                     pos += i + 1;
@@ -59,6 +60,7 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
             }
         }
         if source[pos..].starts_with("/*") {
+            cov!(1);
             match source[pos + 2..].find("*/") {
                 Some(i) => {
                     pos += i + 4;
@@ -74,12 +76,14 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
         }
         // Strings: ', ", ` (no template interpolation — treated literally).
         if matches!(b, b'\'' | b'"' | b'`') {
+            cov!(2);
             let quote = b;
             let mut out = String::new();
             let mut i = pos + 1;
             while i < bytes.len() {
                 match bytes[i] {
                     b'\\' => {
+                        cov!(3);
                         if i + 1 < bytes.len() {
                             match bytes[i + 1] {
                                 b'n' => out.push('\n'),
@@ -90,6 +94,7 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
                                 // char, not just its lead byte (advancing
                                 // by 2 would land mid-character).
                                 lead => {
+                                    cov!(4);
                                     let ch_len = utf8_len(lead);
                                     out.push_str(&source[i + 1..i + 1 + ch_len]);
                                     i += ch_len - 1;
@@ -123,6 +128,7 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
         }
         // Numbers.
         if b.is_ascii_digit() {
+            cov!(5);
             let start = pos;
             while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.') {
                 pos += 1;
@@ -137,6 +143,7 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
         }
         // Identifiers / keywords.
         if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            cov!(6);
             let start = pos;
             while pos < bytes.len()
                 && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'$')
@@ -149,11 +156,13 @@ pub fn lex(source: &str) -> Result<Vec<Tok>, LexError> {
         // Punctuation (longest match).
         for p in PUNCTS {
             if source[pos..].starts_with(p) {
+                cov!(7);
                 tokens.push(Tok::Punct(p));
                 pos += p.len();
                 continue 'outer;
             }
         }
+        cov!(8);
         return Err(LexError {
             position: pos,
             reason: "unexpected character",

@@ -48,6 +48,20 @@
 //! assert!(paths.contains(&"navigator.mediaDevices.getUserMedia"));
 //! ```
 
+// Coverage instrumentation point for the fuzzer (crates/difftest).  Sites
+// 0-29 belong to `lexer`, 30-69 to `parser`.  Expands to nothing unless
+// the `coverage` feature is enabled.
+#[cfg(feature = "coverage")]
+macro_rules! cov {
+    ($site:expr) => {
+        covmap::hit(covmap::JSLAND_BASE, $site)
+    };
+}
+#[cfg(not(feature = "coverage"))]
+macro_rules! cov {
+    ($site:expr) => {};
+}
+
 mod ast;
 pub mod host;
 mod interp;

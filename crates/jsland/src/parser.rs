@@ -129,6 +129,7 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some(Tok::Ident(word)) => match word.as_str() {
                 "var" | "let" | "const" => {
+                    cov!(30);
                     self.bump();
                     let name = self.expect_ident()?;
                     let init = if self.eat_punct("=") {
@@ -140,6 +141,7 @@ impl<'a> Parser<'a> {
                     Ok(Stmt::VarDecl { name, init })
                 }
                 "if" => {
+                    cov!(31);
                     self.bump();
                     self.expect_punct("(")?;
                     let cond = self.parse_expr()?;
@@ -165,6 +167,7 @@ impl<'a> Parser<'a> {
                     })
                 }
                 "return" => {
+                    cov!(32);
                     self.bump();
                     let value = if matches!(self.peek(), Some(Tok::Punct(";" | "}")))
                         | self.peek().is_none()
@@ -177,12 +180,14 @@ impl<'a> Parser<'a> {
                     Ok(Stmt::Return(value))
                 }
                 "function" if matches!(self.peek2(), Some(Tok::Ident(_))) => {
+                    cov!(33);
                     self.bump();
                     let name = self.expect_ident()?;
                     let func = self.parse_function_rest()?;
                     Ok(Stmt::FuncDecl { name, func })
                 }
                 "while" => {
+                    cov!(34);
                     self.bump();
                     self.expect_punct("(")?;
                     let cond = self.parse_expr()?;
@@ -195,6 +200,7 @@ impl<'a> Parser<'a> {
                     Ok(Stmt::While { cond, body })
                 }
                 "for" => {
+                    cov!(35);
                     self.bump();
                     self.expect_punct("(")?;
                     let init = if self.eat_punct(";") {
@@ -228,16 +234,19 @@ impl<'a> Parser<'a> {
                     })
                 }
                 "break" => {
+                    cov!(36);
                     self.bump();
                     self.eat_punct(";");
                     Ok(Stmt::Break)
                 }
                 "continue" => {
+                    cov!(37);
                     self.bump();
                     self.eat_punct(";");
                     Ok(Stmt::Continue)
                 }
                 "try" => {
+                    cov!(38);
                     self.bump();
                     let body = self.parse_block()?;
                     let mut param = None;
@@ -338,6 +347,7 @@ impl<'a> Parser<'a> {
     fn parse_conditional(&mut self) -> Result<Expr, ParseError> {
         let cond = self.parse_binary(0)?;
         if self.eat_punct("?") {
+            cov!(39);
             let then = self.parse_assignment()?;
             self.expect_punct(":")?;
             let otherwise = self.parse_assignment()?;
@@ -421,6 +431,7 @@ impl<'a> Parser<'a> {
             return Err(self.err("invalid increment target"));
         }
         if self.eat_ident("new") {
+            cov!(40);
             let callee = self.parse_member_chain_only()?;
             let args = if matches!(self.peek(), Some(Tok::Punct("("))) {
                 self.parse_args()?
@@ -471,6 +482,7 @@ impl<'a> Parser<'a> {
     fn parse_postfix(&mut self, mut expr: Expr) -> Result<Expr, ParseError> {
         loop {
             if self.eat_punct(".") {
+                cov!(49);
                 let name = self.expect_ident()?;
                 expr = Expr::Member {
                     object: Box::new(expr),
@@ -485,6 +497,7 @@ impl<'a> Parser<'a> {
                     property: PropertyKey::Computed(Box::new(key)),
                 };
             } else if matches!(self.peek(), Some(Tok::Punct("("))) {
+                cov!(50);
                 let args = self.parse_args()?;
                 expr = Expr::Call {
                     callee: Box::new(expr),
@@ -518,10 +531,12 @@ impl<'a> Parser<'a> {
     fn parse_primary(&mut self) -> Result<Expr, ParseError> {
         match self.peek().cloned() {
             Some(Tok::Str(s)) => {
+                cov!(41);
                 self.bump();
                 Ok(Expr::Str(s))
             }
             Some(Tok::Num(n)) => {
+                cov!(42);
                 self.bump();
                 Ok(Expr::Num(n))
             }
@@ -539,6 +554,7 @@ impl<'a> Parser<'a> {
                     Ok(Expr::Null)
                 }
                 "function" => {
+                    cov!(43);
                     self.bump();
                     // Optional name (ignored for expressions).
                     if matches!(self.peek(), Some(Tok::Ident(_))) {
@@ -551,6 +567,7 @@ impl<'a> Parser<'a> {
                     self.bump();
                     // Arrow function with a single bare parameter: `x => ...`.
                     if matches!(self.peek(), Some(Tok::Punct("=>"))) {
+                        cov!(44);
                         self.bump();
                         return self.parse_arrow_body(vec![word]);
                     }
@@ -561,6 +578,7 @@ impl<'a> Parser<'a> {
                 // Either a parenthesized expression or an arrow parameter
                 // list. Scan ahead for `) =>`.
                 if let Some(params) = self.try_parse_arrow_params() {
+                    cov!(45);
                     return self.parse_arrow_body(params);
                 }
                 self.bump();
@@ -569,6 +587,7 @@ impl<'a> Parser<'a> {
                 Ok(expr)
             }
             Some(Tok::Punct("{")) => {
+                cov!(46);
                 self.bump();
                 let mut props = Vec::new();
                 if !self.eat_punct("}") {
@@ -597,6 +616,7 @@ impl<'a> Parser<'a> {
                 Ok(Expr::Object(props))
             }
             Some(Tok::Punct("[")) => {
+                cov!(47);
                 self.bump();
                 let mut items = Vec::new();
                 if !self.eat_punct("]") {
@@ -613,7 +633,10 @@ impl<'a> Parser<'a> {
                 }
                 Ok(Expr::Array(items))
             }
-            _ => Err(self.err("expected expression")),
+            _ => {
+                cov!(48);
+                Err(self.err("expected expression"))
+            }
         }
     }
 

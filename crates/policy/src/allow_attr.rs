@@ -133,8 +133,10 @@ pub fn parse_allow_attribute(value: &str) -> AllowAttribute {
             .chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
         {
+            cov!(60);
             continue;
         }
+        cov!(61);
         let mut allowlist = Allowlist::empty();
         let mut saw_none = false;
         let mut saw_star = false;
@@ -145,43 +147,60 @@ pub fn parse_allow_attribute(value: &str) -> AllowAttribute {
             saw_any = true;
             match token {
                 "*" => {
+                    cov!(62);
                     saw_star = true;
                     allowlist.push(AllowlistMember::Star);
                 }
                 "'self'" | "self" => {
+                    cov!(63);
                     saw_specific = true;
                     allowlist.push(AllowlistMember::SelfOrigin);
                 }
                 "'src'" | "src" => {
+                    cov!(64);
                     saw_src = true;
                     allowlist.push(AllowlistMember::Src);
                 }
-                "'none'" | "none" => saw_none = true,
+                "'none'" | "none" => {
+                    cov!(65);
+                    saw_none = true;
+                }
                 origin => {
                     if let Ok(url) = weburl::Url::parse(origin) {
                         if url.host().is_some() {
+                            cov!(66);
                             saw_specific = true;
                             allowlist.push(AllowlistMember::Origin(url.origin().to_string()));
+                        } else {
+                            cov!(67);
                         }
+                    } else {
+                        cov!(68);
                     }
                     // Unparseable tokens are silently skipped, as browsers do.
                 }
             }
         }
         let directive = if saw_none {
+            cov!(69);
             allowlist = Allowlist::empty();
             DelegationDirective::None
         } else if !saw_any {
+            cov!(70);
             allowlist.push(AllowlistMember::Src);
             DelegationDirective::DefaultSrc
         } else if saw_star {
+            cov!(71);
             DelegationDirective::Star
         } else if saw_src && !saw_specific {
+            cov!(72);
             DelegationDirective::ExplicitSrc
         } else if saw_specific {
+            cov!(73);
             DelegationDirective::Specific
         } else {
             // Only unrecognized tokens: behaves like the default.
+            cov!(74);
             allowlist.push(AllowlistMember::Src);
             DelegationDirective::DefaultSrc
         };

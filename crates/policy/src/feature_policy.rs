@@ -36,8 +36,10 @@ pub fn parse_feature_policy(value: &str) -> DeclaredPolicy {
             .chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
         {
+            cov!(80);
             continue; // malformed feature name: skip directive
         }
+        cov!(81);
         let mut allowlist = Allowlist::empty();
         let mut ignored = Vec::new();
         let mut saw_entry = false;
@@ -45,23 +47,41 @@ pub fn parse_feature_policy(value: &str) -> DeclaredPolicy {
         for token in tokens {
             saw_entry = true;
             match token {
-                "*" => allowlist.push(AllowlistMember::Star),
-                "'self'" => allowlist.push(AllowlistMember::SelfOrigin),
-                "'src'" => allowlist.push(AllowlistMember::Src),
-                "'none'" => saw_none = true,
+                "*" => {
+                    cov!(82);
+                    allowlist.push(AllowlistMember::Star);
+                }
+                "'self'" => {
+                    cov!(83);
+                    allowlist.push(AllowlistMember::SelfOrigin);
+                }
+                "'src'" => {
+                    cov!(84);
+                    allowlist.push(AllowlistMember::Src);
+                }
+                "'none'" => {
+                    cov!(85);
+                    saw_none = true;
+                }
                 origin => match weburl::Url::parse(origin) {
                     Ok(url) if url.host().is_some() => {
+                        cov!(86);
                         allowlist.push(AllowlistMember::Origin(url.origin().to_string()));
                     }
-                    _ => ignored.push(IgnoredMember::UnrecognizedToken(origin.to_string())),
+                    _ => {
+                        cov!(87);
+                        ignored.push(IgnoredMember::UnrecognizedToken(origin.to_string()));
+                    }
                 },
             }
         }
         // `'none'` wins over everything; no entries at all also means the
         // default in Feature-Policy was 'self' for header context.
         if saw_none {
+            cov!(88);
             allowlist = Allowlist::empty();
         } else if !saw_entry {
+            cov!(89);
             allowlist.push(AllowlistMember::SelfOrigin);
         }
         let permission = Permission::from_token(&feature);

@@ -143,24 +143,43 @@ impl fmt::Display for DeclaredPolicy {
 
 fn interpret_item(item: &BareItem, allowlist: &mut Allowlist, ignored: &mut Vec<IgnoredMember>) {
     match item {
-        BareItem::Token(t) if t == "*" => allowlist.push(AllowlistMember::Star),
-        BareItem::Token(t) if t == "self" => allowlist.push(AllowlistMember::SelfOrigin),
-        BareItem::Token(t) => ignored.push(IgnoredMember::UnrecognizedToken(t.clone())),
+        BareItem::Token(t) if t == "*" => {
+            cov!(40);
+            allowlist.push(AllowlistMember::Star);
+        }
+        BareItem::Token(t) if t == "self" => {
+            cov!(41);
+            allowlist.push(AllowlistMember::SelfOrigin);
+        }
+        BareItem::Token(t) => {
+            cov!(42);
+            ignored.push(IgnoredMember::UnrecognizedToken(t.clone()));
+        }
         BareItem::String(s) => match weburl::Url::parse(s) {
             Ok(url) if url.host().is_some() => {
+                cov!(43);
                 allowlist.push(AllowlistMember::Origin(url.origin().to_string()));
             }
-            _ => ignored.push(IgnoredMember::InvalidOrigin(s.clone())),
+            _ => {
+                cov!(44);
+                ignored.push(IgnoredMember::InvalidOrigin(s.clone()));
+            }
         },
-        other => ignored.push(IgnoredMember::NonStringItem(other.to_string())),
+        other => {
+            cov!(45);
+            ignored.push(IgnoredMember::NonStringItem(other.to_string()));
+        }
     }
 }
 
 /// Parses a `Permissions-Policy` header value.
 pub fn parse_permissions_policy(value: &str) -> Result<DeclaredPolicy, HeaderParseError> {
-    let dict = structured::parse_dictionary(value).map_err(|e| HeaderParseError {
-        position: e.position,
-        reason: e.reason,
+    let dict = structured::parse_dictionary(value).map_err(|e| {
+        cov!(46);
+        HeaderParseError {
+            position: e.position,
+            reason: e.reason,
+        }
     })?;
     let mut directives = Vec::with_capacity(dict.len());
     for (feature, member) in dict {
@@ -168,21 +187,27 @@ pub fn parse_permissions_policy(value: &str) -> Result<DeclaredPolicy, HeaderPar
         let mut ignored = Vec::new();
         match &member {
             MemberValue::Item(item, _params) => {
+                cov!(47);
                 interpret_item(item, &mut allowlist, &mut ignored);
                 // A bare `feature` (boolean true) means "no allowlist given";
                 // Chromium treats it as `self`.
                 if let BareItem::Boolean(true) = item {
+                    cov!(48);
                     ignored.pop();
                     allowlist.push(AllowlistMember::SelfOrigin);
                 }
             }
             MemberValue::InnerList(items, _params) => {
+                cov!(49);
                 for (item, _p) in items {
                     interpret_item(item, &mut allowlist, &mut ignored);
                 }
             }
         }
         let permission = Permission::from_token(&feature);
+        if permission.is_none() {
+            cov!(50);
+        }
         directives.push(Directive {
             feature,
             permission,
@@ -294,6 +319,18 @@ mod tests {
         let p = parse_permissions_policy(input).unwrap();
         let reparsed = parse_permissions_policy(&p.to_header_value()).unwrap();
         assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn sixteen_digit_integer_invalidates_header() {
+        // Minimal counterexample from the difftest harness: the pre-fix
+        // structured-field parser accepted `x=1234567890123456` (16
+        // digits), so `camera=()` stayed in force, while RFC 8941 §4.2.4
+        // (and Chromium) drop the whole header and leave camera at its
+        // default allowlist.
+        assert!(parse_permissions_policy("camera=(), x=1234567890123456").is_err());
+        assert!(parse_permissions_policy("camera=(), x=1.2345").is_err());
+        assert!(parse_permissions_policy("camera=(), x=1.").is_err());
     }
 
     #[test]

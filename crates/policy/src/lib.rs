@@ -43,6 +43,22 @@
 //! let _ = AllowlistMember::Star; // re-exported member type
 //! ```
 
+// Coverage instrumentation point for the fuzzer (crates/difftest).  Sites
+// 0-39 belong to `structured`, 40-59 to `header`, 60-79 to `allow_attr`,
+// 80-95 to `feature_policy`.  Expands to nothing unless the `coverage`
+// feature is enabled; defined before the `mod` items so textual macro
+// scoping makes it visible inside them.
+#[cfg(feature = "coverage")]
+macro_rules! cov {
+    ($site:expr) => {
+        covmap::hit(covmap::POLICY_BASE, $site)
+    };
+}
+#[cfg(not(feature = "coverage"))]
+macro_rules! cov {
+    ($site:expr) => {};
+}
+
 pub mod allow_attr;
 pub mod allowlist;
 pub mod csp;

@@ -122,20 +122,24 @@ impl<'a> Parser<'a> {
         let mut dict: Dictionary = Vec::new();
         self.skip_sp();
         if self.peek().is_none() {
+            cov!(0);
             return Ok(dict);
         }
         loop {
             let key = self.parse_key()?;
             let value = if self.peek() == Some(b'=') {
+                cov!(2);
                 self.bump();
                 self.parse_member_value()?
             } else {
                 // Bare key: implicit boolean true with parameters.
+                cov!(1);
                 let params = self.parse_parameters()?;
                 MemberValue::Item(BareItem::Boolean(true), params)
             };
             // RFC 8941: later occurrence of a key overwrites the earlier.
             if let Some(existing) = dict.iter_mut().find(|(k, _)| *k == key) {
+                cov!(3);
                 existing.1 = value;
             } else {
                 dict.push((key, value));
@@ -144,13 +148,18 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 None => return Ok(dict),
                 Some(b',') => {
+                    cov!(4);
                     self.bump();
                     self.skip_ows();
                     if self.peek().is_none() {
+                        cov!(5);
                         return Err(self.err("trailing comma"));
                     }
                 }
-                Some(_) => return Err(self.err("expected ',' between dictionary members")),
+                Some(_) => {
+                    cov!(6);
+                    return Err(self.err("expected ',' between dictionary members"));
+                }
             }
         }
     }
@@ -168,27 +177,36 @@ impl<'a> Parser<'a> {
 
     fn parse_inner_list(&mut self) -> Result<(Vec<(BareItem, Parameters)>, Parameters), SfError> {
         debug_assert_eq!(self.peek(), Some(b'('));
+        cov!(7);
         self.bump();
         let mut items = Vec::new();
         loop {
             self.skip_sp();
             match self.peek() {
                 Some(b')') => {
+                    cov!(9);
                     self.bump();
                     let params = self.parse_parameters()?;
                     return Ok((items, params));
                 }
                 Some(_) => {
+                    cov!(8);
                     let item = self.parse_bare_item()?;
                     let params = self.parse_parameters()?;
                     items.push((item, params));
                     // After an item: SP or ')'.
                     match self.peek() {
                         Some(b' ') | Some(b')') => {}
-                        _ => return Err(self.err("expected space or ')' in inner list")),
+                        _ => {
+                            cov!(32);
+                            return Err(self.err("expected space or ')' in inner list"));
+                        }
                     }
                 }
-                None => return Err(self.err("unterminated inner list")),
+                None => {
+                    cov!(33);
+                    return Err(self.err("unterminated inner list"));
+                }
             }
         }
     }
@@ -196,6 +214,7 @@ impl<'a> Parser<'a> {
     fn parse_parameters(&mut self) -> Result<Parameters, SfError> {
         let mut params = Vec::new();
         while self.peek() == Some(b';') {
+            cov!(10);
             self.bump();
             self.skip_sp();
             let key = self.parse_key()?;
@@ -213,8 +232,13 @@ impl<'a> Parser<'a> {
     fn parse_key(&mut self) -> Result<String, SfError> {
         let start = self.pos;
         match self.peek() {
-            Some(b) if b.is_ascii_lowercase() || b == b'*' => {}
-            _ => return Err(self.err("key must start with lcalpha or '*'")),
+            Some(b) if b.is_ascii_lowercase() || b == b'*' => {
+                cov!(11);
+            }
+            _ => {
+                cov!(34);
+                return Err(self.err("key must start with lcalpha or '*'"));
+            }
         }
         while let Some(b) = self.peek() {
             if b.is_ascii_lowercase()
@@ -231,11 +255,26 @@ impl<'a> Parser<'a> {
 
     fn parse_bare_item(&mut self) -> Result<BareItem, SfError> {
         match self.peek() {
-            Some(b'"') => self.parse_string(),
-            Some(b'?') => self.parse_boolean(),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            Some(b) if b.is_ascii_alphabetic() || b == b'*' => self.parse_token(),
-            Some(_) => Err(self.err("invalid bare item")),
+            Some(b'"') => {
+                cov!(12);
+                self.parse_string()
+            }
+            Some(b'?') => {
+                cov!(13);
+                self.parse_boolean()
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                cov!(14);
+                self.parse_number()
+            }
+            Some(b) if b.is_ascii_alphabetic() || b == b'*' => {
+                cov!(15);
+                self.parse_token()
+            }
+            Some(_) => {
+                cov!(16);
+                Err(self.err("invalid bare item"))
+            }
             None => Err(self.err("expected bare item")),
         }
     }
@@ -246,12 +285,18 @@ impl<'a> Parser<'a> {
         loop {
             match self.bump() {
                 Some(b'"') => return Ok(BareItem::String(out)),
-                Some(b'\\') => match self.bump() {
-                    Some(c @ (b'"' | b'\\')) => out.push(c as char),
-                    _ => return Err(self.err("invalid escape in string")),
-                },
+                Some(b'\\') => {
+                    cov!(17);
+                    match self.bump() {
+                        Some(c @ (b'"' | b'\\')) => out.push(c as char),
+                        _ => return Err(self.err("invalid escape in string")),
+                    }
+                }
                 Some(b) if (0x20..0x7f).contains(&b) => out.push(b as char),
-                Some(_) => return Err(self.err("invalid character in string")),
+                Some(_) => {
+                    cov!(18);
+                    return Err(self.err("invalid character in string"));
+                }
                 None => return Err(self.err("unterminated string")),
             }
         }
@@ -260,44 +305,90 @@ impl<'a> Parser<'a> {
     fn parse_boolean(&mut self) -> Result<BareItem, SfError> {
         self.bump(); // '?'
         match self.bump() {
-            Some(b'1') => Ok(BareItem::Boolean(true)),
+            Some(b'1') => {
+                cov!(29);
+                Ok(BareItem::Boolean(true))
+            }
             Some(b'0') => Ok(BareItem::Boolean(false)),
             _ => Err(self.err("invalid boolean")),
         }
     }
 
+    // RFC 8941 §4.2.4 "Parsing a Number": the digit-count limits and the
+    // trailing-dot / bare-minus rejections are load-bearing — a number
+    // that violates them fails the *whole* header (§4.3.3), flipping
+    // every directive in it back to defaults.  The oracle in
+    // `crates/difftest` transcribes the same algorithm independently; a
+    // laxer implementation here shows up as a differential divergence
+    // (see `sixteen_digit_integer_invalidates_header` in `header.rs`).
     fn parse_number(&mut self) -> Result<BareItem, SfError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = if self.peek() == Some(b'-') {
+            cov!(19);
             self.bump();
+            true
+        } else {
+            false
+        };
+        // §4.2.4 step 5: after an optional sign, the first character must
+        // be a digit ("-.5" and a lone "-" are invalid).
+        match self.peek() {
+            Some(b) if b.is_ascii_digit() => {}
+            _ => {
+                cov!(31);
+                return Err(self.err("number must start with a digit"));
+            }
         }
-        let mut saw_digit = false;
-        let mut saw_dot = false;
+        let start = self.pos;
+        let mut dot_at: Option<usize> = None;
         while let Some(b) = self.peek() {
             match b {
                 b'0'..=b'9' => {
-                    saw_digit = true;
                     self.pos += 1;
+                    let len = self.pos - start;
+                    // §4.2.4 step 9.3/9.4: integers are capped at 15
+                    // characters, decimals at 16 (including the dot).
+                    if dot_at.is_none() && len > 15 {
+                        cov!(21);
+                        return Err(self.err("integer has more than 15 digits"));
+                    }
+                    if dot_at.is_some() && len > 16 {
+                        cov!(23);
+                        return Err(self.err("decimal is longer than 16 characters"));
+                    }
                 }
-                b'.' if !saw_dot => {
-                    saw_dot = true;
+                b'.' if dot_at.is_none() => {
+                    cov!(20);
+                    // §4.2.4 step 9.2: at most 12 digits before the dot.
+                    if self.pos - start > 12 {
+                        cov!(22);
+                        return Err(self.err("decimal has more than 12 integer digits"));
+                    }
+                    dot_at = Some(self.pos);
                     self.pos += 1;
                 }
                 _ => break,
             }
         }
-        if !saw_digit {
-            return Err(self.err("invalid number"));
-        }
         let text = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
-        if saw_dot {
-            text.parse::<f64>()
-                .map(BareItem::Decimal)
-                .map_err(|_| self.err("invalid decimal"))
+        if let Some(dot) = dot_at {
+            let frac = self.pos - dot - 1;
+            // §4.2.4 step 10: a decimal must not end in '.' and carries at
+            // most three fractional digits.
+            if frac == 0 {
+                cov!(24);
+                return Err(self.err("decimal ends with '.'"));
+            }
+            if frac > 3 {
+                cov!(25);
+                return Err(self.err("decimal has more than 3 fractional digits"));
+            }
+            cov!(27);
+            let value: f64 = text.parse().expect("digits and one dot always parse");
+            Ok(BareItem::Decimal(if negative { -value } else { value }))
         } else {
-            text.parse::<i64>()
-                .map(BareItem::Integer)
-                .map_err(|_| self.err("integer out of range"))
+            cov!(26);
+            let value: i64 = text.parse().expect("<=15 digits always fit in i64");
+            Ok(BareItem::Integer(if negative { -value } else { value }))
         }
     }
 
@@ -332,6 +423,7 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
+        cov!(28);
         Ok(BareItem::Token(
             String::from_utf8_lossy(&self.input[start..self.pos]).into_owned(),
         ))
@@ -344,6 +436,7 @@ pub fn parse_dictionary(input: &str) -> Result<Dictionary, SfError> {
     let dict = parser.parse_dictionary()?;
     parser.skip_sp();
     if parser.pos != parser.input.len() {
+        cov!(30);
         return Err(parser.err("trailing garbage"));
     }
     Ok(dict)
@@ -457,5 +550,43 @@ mod tests {
     #[test]
     fn uppercase_key_is_an_error() {
         assert!(parse_dictionary("Camera=()").is_err());
+    }
+
+    // The next four tests are minimal counterexamples found by the
+    // engine-vs-oracle differential harness in crates/difftest: the
+    // pre-fix parser accepted numbers RFC 8941 §4.2.4 rejects, so a
+    // header like `camera=(), x=1.` stayed in force here while a strict
+    // parser (and Chromium) drops it entirely — flipping the camera
+    // decision.  See EXPERIMENTS.md "Differential findings".
+
+    #[test]
+    fn divergence_sixteen_digit_integer_is_rejected() {
+        // 15 digits is the RFC maximum.
+        assert!(parse_dictionary("a=999999999999999").is_ok());
+        assert!(parse_dictionary("a=1000000000000000").is_err());
+        assert!(parse_dictionary("a=-999999999999999").is_ok());
+        assert!(parse_dictionary("a=-1000000000000000").is_err());
+    }
+
+    #[test]
+    fn divergence_decimal_digit_limits_are_enforced() {
+        // At most 12 integer digits and 3 fractional digits.
+        assert!(parse_dictionary("a=999999999999.999").is_ok());
+        assert!(parse_dictionary("a=1234567890123.0").is_err());
+        assert!(parse_dictionary("a=1.2345").is_err());
+    }
+
+    #[test]
+    fn divergence_trailing_dot_is_rejected() {
+        assert!(parse_dictionary("a=1.").is_err());
+        // ...and the failure poisons the whole header, per §4.3.3.
+        assert!(parse_dictionary("camera=(), a=1.").is_err());
+    }
+
+    #[test]
+    fn divergence_sign_must_be_followed_by_digit() {
+        assert!(parse_dictionary("a=-.5").is_err());
+        assert!(parse_dictionary("a=-").is_err());
+        assert!(parse_dictionary("a=-0.5").is_ok());
     }
 }

@@ -63,4 +63,86 @@ proptest! {
         let u = Url::parse(&format!("https://{upper}/")).unwrap();
         prop_assert_eq!(u.host().unwrap(), host);
     }
+
+    /// Origin round-trip: serializing an origin and parsing the result
+    /// as a URL yields the same origin — i.e. default-port omission and
+    /// case normalization agree between `Origin::Display` and the URL
+    /// parser.
+    #[test]
+    fn origin_parse_serialize_roundtrip(
+        host in host(),
+        scheme in prop_oneof![Just("http"), Just("https"), Just("ws"), Just("wss")],
+        port in prop::option::of(1u16..u16::MAX),
+    ) {
+        let port_part = port.map(|p| format!(":{p}")).unwrap_or_default();
+        let u = Url::parse(&format!("{scheme}://{host}{port_part}/")).unwrap();
+        let origin = u.origin();
+        let serialized = origin.to_string();
+        let reparsed = Url::parse(&format!("{serialized}/")).unwrap().origin();
+        prop_assert!(origin.same_origin(&reparsed), "{origin} != {reparsed}");
+        prop_assert_eq!(serialized.clone(), reparsed.to_string());
+    }
+
+    /// PSL lookups are total on arbitrary byte soup: no panic (slicing
+    /// stays on char boundaries), and every returned value is a suffix
+    /// of the dot-trimmed input.
+    #[test]
+    fn psl_is_total_on_byte_soup(words in prop::collection::vec(0u16..256u16, 0..48)) {
+        let bytes: Vec<u8> = words.iter().map(|&w| w as u8).collect();
+        let host = String::from_utf8_lossy(&bytes).into_owned();
+        let trimmed = host.trim_end_matches('.');
+        let ps = psl::public_suffix(&host);
+        prop_assert!(trimmed.ends_with(ps), "suffix {ps:?} of {trimmed:?}");
+        let _ = psl::is_ipv4(&host);
+        if let Some(rd) = psl::registrable_domain(&host) {
+            prop_assert!(trimmed.ends_with(rd), "rd {rd:?} of {trimmed:?}");
+            prop_assert!(rd.ends_with(ps));
+            prop_assert!(rd.len() > ps.len());
+        }
+    }
+
+    /// PSL lookups are also total on dotted ASCII label soup, the shape
+    /// real hostnames take (exercises wildcard/exception rule paths more
+    /// than raw bytes do).
+    #[test]
+    fn psl_is_total_on_label_soup(host in "[a-z0-9.*-]{0,32}") {
+        let trimmed = host.trim_end_matches('.');
+        let ps = psl::public_suffix(&host);
+        prop_assert!(trimmed.ends_with(ps));
+        if let Some(rd) = psl::registrable_domain(&host) {
+            prop_assert!(trimmed.ends_with(rd));
+        }
+    }
+
+    /// Origin equality is consistent with same-site classification:
+    /// same-origin URLs always land on the same site (scheme +
+    /// registrable domain), and a shared host implies a shared
+    /// registrable domain even across schemes and ports.
+    #[test]
+    fn origin_equality_implies_same_site(
+        host in host(),
+        scheme_a in prop_oneof![Just("http"), Just("https")],
+        scheme_b in prop_oneof![Just("http"), Just("https")],
+        port in prop::option::of(1u16..u16::MAX),
+    ) {
+        let port_part = port.map(|p| format!(":{p}")).unwrap_or_default();
+        let a = Url::parse(&format!("{scheme_a}://{host}{port_part}/x")).unwrap();
+        let b = Url::parse(&format!("{scheme_b}://{host}/y")).unwrap();
+        let site_a = psl::registrable_domain(a.host().unwrap());
+        let site_b = psl::registrable_domain(b.host().unwrap());
+        // Same host ⇒ same registrable domain, whatever scheme/port did.
+        prop_assert_eq!(site_a, site_b);
+        let origin_a = a.origin();
+        let origin_b = b.origin();
+        if origin_a.same_origin(&origin_b) {
+            // Same origin additionally pins scheme and effective port.
+            prop_assert_eq!(origin_a.scheme(), origin_b.scheme());
+        }
+        // Symmetry and reflexivity of the origin relation.
+        prop_assert!(a.origin().same_origin(&a.origin()));
+        prop_assert_eq!(
+            a.origin().same_origin(&b.origin()),
+            b.origin().same_origin(&a.origin())
+        );
+    }
 }

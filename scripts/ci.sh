@@ -51,6 +51,14 @@ mkdir -p "$SMOKE/sharded"
 diff -u "$SMOKE/flat.out" "$SMOKE/sharded.out"
 echo "    sharded analyze output is byte-identical"
 
+echo "==> difftest: spec-oracle differential gate (>=10k seeded scenarios)"
+cargo test -q --release -p difftest
+cargo test -q --release -p difftest --test differential -- --ignored
+
+echo "==> difftest: coverage-guided fuzz smoke (fixed iteration budget)"
+cargo test -q --release -p difftest --test fuzz -- --ignored
+echo "    zero divergences, zero fuzz findings, deterministic replay"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

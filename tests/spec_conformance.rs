@@ -161,3 +161,197 @@ fn wildcard_delegation_survives_redirects_end_to_end() {
     );
     assert!(!camera_after_redirect("src"), "default src does not");
 }
+
+#[test]
+fn wildcard_vs_named_origin_allowlists() {
+    use policy::engine::{FramingContext, LocalSchemeBehavior};
+    use weburl::Origin;
+
+    let origin = |s: &str| Url::parse(s).unwrap().origin();
+    let me = origin("https://me.example/");
+    let widget = origin("https://widget.example/");
+    let evil = origin("https://evil.example/");
+    let scheme_swap = origin("http://me.example/");
+    let other_port = origin("https://me.example:8443/");
+
+    // (header, query origin, expected) — `*` matches every origin
+    // including opaque ones; a named origin matches exactly its tuple
+    // (scheme and port included); `self` is the document's origin only.
+    let cases: [(&str, &Origin, bool); 12] = [
+        ("camera=*", &me, true),
+        ("camera=*", &evil, true),
+        ("camera=(*)", &evil, true),
+        ("camera=(self)", &me, true),
+        ("camera=(self)", &scheme_swap, false),
+        ("camera=(self)", &other_port, false),
+        (r#"camera=("https://widget.example")"#, &widget, true),
+        (r#"camera=("https://widget.example")"#, &evil, false),
+        (r#"camera=("https://widget.example")"#, &me, false),
+        (r#"camera=(self "https://widget.example")"#, &me, true),
+        (r#"camera=("https://widget.example:443")"#, &widget, true),
+        (r#"camera=("http://widget.example")"#, &widget, false),
+    ];
+    let engine = PolicyEngine::new(LocalSchemeBehavior::FreshPolicy);
+    for (header, query, expected) in cases {
+        let declared = parse_permissions_policy(header).unwrap();
+        let doc = engine.document_for_top_level(me.clone(), declared);
+        assert_eq!(
+            doc.is_enabled_for(Permission::Camera, query),
+            expected,
+            "{header} queried at {query}"
+        );
+    }
+
+    // Wildcard reaches opaque origins; named origins and `self` never do.
+    let opaque = Origin::opaque();
+    for (header, expected) in [
+        ("camera=*", true),
+        ("camera=(self)", false),
+        (r#"camera=("https://widget.example")"#, false),
+    ] {
+        let declared = parse_permissions_policy(header).unwrap();
+        let doc = engine.document_for_top_level(me.clone(), declared);
+        assert_eq!(
+            doc.is_enabled_for(Permission::Camera, &opaque),
+            expected,
+            "{header} queried at opaque origin"
+        );
+    }
+
+    // A sandboxed (opaque-origin) frame: self-default features die, a
+    // `camera *` delegation still reaches it.
+    let sandboxed = Origin::opaque();
+    let parent = engine.document_for_top_level(me.clone(), Default::default());
+    let plain = engine.document_for_frame(
+        &parent,
+        &FramingContext {
+            allow: None,
+            src_origin: Some(widget.clone()),
+        },
+        sandboxed.clone(),
+        Default::default(),
+        false,
+    );
+    assert!(!plain.is_enabled_for(Permission::Camera, &sandboxed));
+    let starred = parse_allow_attribute("camera *");
+    let delegated = engine.document_for_frame(
+        &parent,
+        &FramingContext {
+            allow: Some(&starred),
+            src_origin: Some(widget),
+        },
+        sandboxed.clone(),
+        Default::default(),
+        false,
+    );
+    assert!(delegated.is_enabled_for(Permission::Camera, &sandboxed));
+}
+
+#[test]
+fn malformed_structured_field_headers_are_dropped_whole() {
+    // RFC 8941 §4.3.3: any parse error fails the entire header. Each row
+    // is one malformation class; a trailing valid directive proves the
+    // *whole* header is dropped, not just the bad member.
+    let invalid = [
+        // Unquoted keyword (Feature-Policy syntax in a PP header): `'`
+        // cannot start a token.
+        "camera 'none', microphone=()",
+        // Trailing comma.
+        "camera=(), ",
+        // Unterminated inner list.
+        "camera=(self, microphone=()",
+        // Nested inner list — RFC 8941 inner lists hold only items.
+        "camera=((self)), microphone=()",
+        // Uppercase key.
+        "Camera=(), microphone=()",
+        // Duplicate *parameter* keys are legal, but a bad key char fails.
+        "camera=();Report-To=\"x\", microphone=()",
+        // Integer over 15 digits.
+        "camera=(), x=1000000000000000",
+        // Decimal with more than 3 fractional digits.
+        "camera=(), x=1.2345",
+        // Trailing decimal point.
+        "camera=(), x=1.",
+        // Sign without a digit.
+        "camera=(), x=-.5",
+        // Missing comma between members.
+        "camera=() microphone=()",
+        // TAB inside an inner list (only SP separates items).
+        "camera=(self\tself)",
+        // Non-ASCII in a string.
+        "camera=(\"caf\u{e9}\")",
+    ];
+    for header in invalid {
+        assert!(
+            parse_permissions_policy(header).is_err(),
+            "expected {header:?} to be rejected"
+        );
+    }
+
+    // Edge cases that must PARSE: bare keys (boolean true ⇒ `self` in
+    // PP), duplicate dictionary keys (last wins per RFC 8941, though PP
+    // lookup takes the first directive), 15-digit integers, parameters.
+    let valid = [
+        "camera",
+        "camera, camera=()",
+        "camera=(), x=999999999999999",
+        "camera=(self);report-to=\"endpoint\"",
+        "camera=(self self)",
+        "*=()",
+    ];
+    for header in valid {
+        assert!(
+            parse_permissions_policy(header).is_ok(),
+            "expected {header:?} to parse"
+        );
+    }
+}
+
+#[test]
+fn feature_policy_applies_only_without_permissions_policy() {
+    use browser::{Browser, BrowserConfig};
+    use netsim::{ContentProvider, ProviderResult, Response, SimClock, SimNetwork, SiteBehavior};
+
+    // Four precedence cases end-to-end: (PP header, FP header, camera?).
+    struct Headers(Option<&'static str>, Option<&'static str>);
+    impl ContentProvider for Headers {
+        fn resolve(&self, url: &Url) -> ProviderResult {
+            let mut response = Response::html(url.clone(), "<p>x</p>");
+            if let Some(pp) = self.0 {
+                response = response.with_header("Permissions-Policy", pp);
+            }
+            if let Some(fp) = self.1 {
+                response = response.with_header("Feature-Policy", fp);
+            }
+            ProviderResult::Content {
+                response,
+                behavior: SiteBehavior::default(),
+            }
+        }
+    }
+
+    let camera_enabled = |pp: Option<&'static str>, fp: Option<&'static str>| {
+        let mut b = Browser::new(SimNetwork::new(Headers(pp, fp)), BrowserConfig::default());
+        let mut clock = SimClock::new();
+        let v = b
+            .visit(&Url::parse("https://example.org/").unwrap(), &mut clock)
+            .unwrap();
+        v.top_frame()
+            .unwrap()
+            .allowed_features
+            .iter()
+            .any(|f| f == "camera")
+    };
+
+    // Valid PP beats a contradicting FP, in both directions.
+    assert!(!camera_enabled(Some("camera=()"), Some("camera *")));
+    assert!(camera_enabled(Some("camera=(self)"), Some("camera 'none'")));
+    // Invalid PP: dropped to defaults; the FP is still NOT consulted.
+    assert!(camera_enabled(Some("camera 'none'"), Some("camera 'none'")));
+    // No PP at all: FP governs.
+    assert!(!camera_enabled(None, Some("camera 'none'")));
+    // FP's unquoted-keyword footgun: `self` unquoted is an unrecognized
+    // entry, so the directive declares an EMPTY allowlist — disabling
+    // the feature its author meant to keep.
+    assert!(!camera_enabled(None, Some("camera self")));
+}
