@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crawler::{CrawlFunnel, RecordStream, SiteRecord, SkipReport, StreamMode};
+use crawler::{AnyRecordStream, ColumnSet, CrawlFunnel, SiteRecord, SkipReport, StreamMode};
 
 use crate::census::FrameCensus;
 use crate::completeness::CompletenessCensus;
@@ -236,6 +236,61 @@ impl TableSelection {
         }
         Some(s)
     }
+
+    /// The database columns the selected tables fold over — what a
+    /// columnar shard read materializes; everything else is seeked past.
+    /// The mapping is audited against each accumulator's `fold` body and
+    /// refereed by the equivalence suite: a selective columnar run must
+    /// render byte-identically to a full JSONL run of the same table.
+    pub fn columns(&self) -> ColumnSet {
+        let mut cols = ColumnSet::META_ONLY;
+        // funnel: outcomes + "minor error" check on visit.degradations.
+        if self.funnel || self.completeness {
+            cols = cols | ColumnSet::DEGRADATIONS;
+        }
+        // Frame-tree walkers.
+        if self.census
+            || self.embeds
+            || self.invocations
+            || self.status_checks
+            || self.statics
+            || self.summary
+            || self.delegated_embeds
+            || self.delegated_permissions
+            || self.adoption
+            || self.top_level_directives
+            || self.misconfigurations
+            || self.overpermission
+            || self.purpose_groups
+            || self.exposure
+        {
+            cols = cols | ColumnSet::FRAMES;
+        }
+        // `allow` attributes (delegation parsing).
+        if self.delegated_embeds
+            || self.delegated_permissions
+            || self.purpose_groups
+            || self.overpermission
+        {
+            cols = cols | ColumnSet::ATTRS;
+        }
+        // Policy headers.
+        if self.adoption || self.top_level_directives || self.misconfigurations || self.exposure {
+            cols = cols | ColumnSet::HEADERS;
+        }
+        // Recorded API invocations.
+        if self.invocations || self.status_checks || self.summary || self.overpermission {
+            cols = cols | ColumnSet::INVOCATIONS;
+        }
+        // Script sources (static detections).
+        if self.statics || self.summary || self.overpermission {
+            cols = cols | ColumnSet::SCRIPTS;
+        }
+        if self.prompts {
+            cols = cols | ColumnSet::PROMPTS;
+        }
+        cols
+    }
 }
 
 /// The finished statistics for every selected table. Unselected tables
@@ -385,13 +440,16 @@ pub struct ShardTelemetry {
     pub skipped: Vec<(PathBuf, SkipReport)>,
 }
 
-/// Streams one shard into a fresh accumulator.
+/// Streams one shard into a fresh accumulator. The shard's format is
+/// sniffed per file: JSONL decodes whole records, columnar shards
+/// materialize only the projected columns.
 fn fold_shard<A: Accumulator>(
     path: &Path,
     mode: StreamMode,
+    columns: ColumnSet,
     make: &(impl Fn() -> A + Sync),
 ) -> io::Result<(A, u64, SkipReport)> {
-    let mut stream = RecordStream::open(path, mode)?;
+    let mut stream = AnyRecordStream::open_projected(path, mode, columns)?;
     let mut acc = make();
     let mut records = 0u64;
     for record in &mut stream {
@@ -406,10 +464,13 @@ fn fold_shard<A: Accumulator>(
 /// same as folding the shards sequentially — and, because every
 /// accumulator is partition-insensitive, the same as folding the
 /// unsharded dataset. Peak memory is one record per worker plus the
-/// accumulators themselves; no shard is ever materialized.
+/// accumulators themselves; no shard is ever materialized. `columns`
+/// bounds what columnar shards decode (JSONL shards ignore it); pass
+/// [`ColumnSet::ALL`] unless the accumulator's reads are known.
 pub fn fold_shards<A, F>(
     paths: &[PathBuf],
     mode: StreamMode,
+    columns: ColumnSet,
     workers: usize,
     make: F,
 ) -> io::Result<(A, ShardTelemetry)>
@@ -426,7 +487,7 @@ where
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(path) = paths.get(index) else { break };
-                let result = fold_shard(path, mode, &make)
+                let result = fold_shard(path, mode, columns, &make)
                     .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())));
                 slots.lock().unwrap()[index] = Some(result);
             });
@@ -450,14 +511,17 @@ where
 }
 
 /// The CLI entry point: streams the selected tables out of a set of
-/// shard files in one pass per shard.
+/// shard files in one pass per shard, projecting columnar shards down
+/// to the columns the selection folds over.
 pub fn analyze_shards(
     paths: &[PathBuf],
     mode: StreamMode,
     workers: usize,
     selection: TableSelection,
 ) -> io::Result<(Tables, ShardTelemetry)> {
-    let (set, telemetry) = fold_shards(paths, mode, workers, || TableSet::new(selection))?;
+    let (set, telemetry) = fold_shards(paths, mode, selection.columns(), workers, || {
+        TableSet::new(selection)
+    })?;
     Ok((set.finish(), telemetry))
 }
 
@@ -475,7 +539,7 @@ mod tests {
     fn shard_dataset(dataset: &CrawlDataset, shards: usize) -> Vec<CrawlDataset> {
         let mut parts: Vec<CrawlDataset> = (0..shards).map(|_| CrawlDataset::default()).collect();
         for record in &dataset.records {
-            parts[(record.rank - 1) as usize % shards]
+            parts[crawler::shard_index(record.rank, shards)]
                 .records
                 .push(record.clone());
         }
@@ -543,6 +607,74 @@ mod tests {
             assert_eq!(
                 tables.top_level_directives.unwrap().table(10).render(),
                 crate::headers::top_level_directives(&ds).table(10).render()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn selections_project_only_the_columns_their_folds_read() {
+        let funnel = TableSelection::named("funnel").unwrap().columns();
+        assert!(funnel.contains(ColumnSet::DEGRADATIONS));
+        assert!(!funnel.contains(ColumnSet::FRAMES));
+        assert!(!funnel.contains(ColumnSet::SCRIPTS));
+
+        let t8 = TableSelection::named("t8").unwrap().columns().normalized();
+        assert!(t8.contains(ColumnSet::FRAMES | ColumnSet::ATTRS));
+        assert!(!t8.contains(ColumnSet::SCRIPTS));
+
+        let f2 = TableSelection::named("f2").unwrap().columns();
+        assert!(f2.contains(ColumnSet::FRAMES | ColumnSet::HEADERS));
+        assert!(!f2.contains(ColumnSet::INVOCATIONS));
+
+        let t10 = TableSelection::named("t10").unwrap().columns();
+        assert!(t10.contains(
+            ColumnSet::FRAMES | ColumnSet::ATTRS | ColumnSet::INVOCATIONS | ColumnSet::SCRIPTS
+        ));
+
+        // The full CLI surface reads everything except prompts.
+        let all = TableSelection::all().columns();
+        assert!(all.contains(
+            ColumnSet::FRAMES
+                | ColumnSet::ATTRS
+                | ColumnSet::HEADERS
+                | ColumnSet::INVOCATIONS
+                | ColumnSet::SCRIPTS
+                | ColumnSet::DEGRADATIONS
+        ));
+        assert!(!all.contains(ColumnSet::PROMPTS));
+    }
+
+    #[test]
+    fn columnar_shards_render_identically_to_jsonl_per_table() {
+        let ds = dataset(400);
+        let dir = std::env::temp_dir().join(format!("po-stream-colsh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("crawl.jsonl");
+        let colsh = dir.join("crawl.colsh");
+        write_jsonl(&ds, &jsonl).unwrap();
+        crawler::write_colsh(&ds, &colsh).unwrap();
+        for table in ["funnel", "census", "t8", "f2", "t10", "summary"] {
+            let selection = TableSelection::named(table).unwrap();
+            let (from_jsonl, _) = analyze_shards(
+                std::slice::from_ref(&jsonl),
+                StreamMode::Strict,
+                1,
+                selection,
+            )
+            .unwrap();
+            let (from_colsh, telemetry) = analyze_shards(
+                std::slice::from_ref(&colsh),
+                StreamMode::Strict,
+                1,
+                selection,
+            )
+            .unwrap();
+            assert_eq!(telemetry.records, ds.records.len() as u64);
+            assert_eq!(
+                format!("{from_jsonl:?}"),
+                format!("{from_colsh:?}"),
+                "table {table} diverges between formats"
             );
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "crawl" => cmd_crawl(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "matrix" => cmd_matrix(),
@@ -50,17 +51,79 @@ permissions-odyssey — browser permission ecosystem measurement
 USAGE:
   permissions-odyssey crawl    [--size N] [--seed S] [--workers W] [--out FILE]
                                [--shards N] [--resume] [--retries R]
-                               [--adversarial]
+                               [--format jsonl|columnar] [--adversarial]
                                [--fault-panics PM] [--fault-transients PM]
   permissions-odyssey analyze  --db FILE|DIR|GLOB [--table NAME] [--top N]
                                [--lenient] [--workers W]
+  permissions-odyssey convert  --in FILE --out FILE [--format jsonl|columnar]
   permissions-odyssey lint     <Permissions-Policy header value>
   permissions-odyssey generate [--preset disable-all|disable-powerful]
   permissions-odyssey matrix
   permissions-odyssey poc
 
+FORMATS: databases are JSONL (interchange) or columnar `.colsh` (fast
+  selective analysis). `analyze` sniffs each shard's format; `crawl` and
+  `convert` infer the format from the output extension unless --format
+  is given.
+
 TABLES (analyze --table): funnel census completeness t3 t4 t5 t6 summary
   t7 t8 directives f2 t9 misconfig t10 groups exposure all (default)";
+
+/// The on-disk format a write-side command targets.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutFormat {
+    Jsonl,
+    Columnar,
+}
+
+/// Resolves `--format`, falling back to the output file's extension
+/// (`.colsh` → columnar, anything else → JSONL).
+fn out_format(args: &[String], out: &std::path::Path) -> Result<OutFormat, String> {
+    match flag(args, "--format").as_deref() {
+        Some("jsonl") => Ok(OutFormat::Jsonl),
+        Some("columnar") | Some("colsh") => Ok(OutFormat::Columnar),
+        Some(other) => Err(format!("unknown format `{other}` (jsonl|columnar)")),
+        None => Ok(
+            if out.extension().and_then(|e| e.to_str()) == Some("colsh") {
+                OutFormat::Columnar
+            } else {
+                OutFormat::Jsonl
+            },
+        ),
+    }
+}
+
+/// One shard's record sink, in either database format.
+// One sink exists per shard, so the size gap between variants is moot.
+#[allow(clippy::large_enum_variant)]
+enum ShardSink {
+    Jsonl(std::io::BufWriter<std::fs::File>),
+    Colsh(crawler::ColshWriter),
+}
+
+impl ShardSink {
+    /// Appends one record. `line` is a caller-owned scratch buffer so
+    /// the JSONL hot path reuses one allocation across records.
+    fn push(&mut self, record: &crawler::SiteRecord, line: &mut String) -> std::io::Result<()> {
+        match self {
+            ShardSink::Jsonl(writer) => {
+                line.clear();
+                serde_json::to_string_into(record, line);
+                line.push('\n');
+                writer.write_all(line.as_bytes())
+            }
+            ShardSink::Colsh(writer) => writer.push(record),
+        }
+    }
+
+    /// Flushes buffers and (columnar) writes the END marker.
+    fn finish(self) -> std::io::Result<()> {
+        match self {
+            ShardSink::Jsonl(mut writer) => writer.flush(),
+            ShardSink::Colsh(writer) => writer.finish(),
+        }
+    }
+}
 
 /// Extracts `--name value` from an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -92,9 +155,15 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     }
     let resume = args.iter().any(|a| a == "--resume");
     let adversarial = args.iter().any(|a| a == "--adversarial");
-    let out: PathBuf = flag(args, "--out")
-        .unwrap_or_else(|| "crawl.jsonl".to_string())
-        .into();
+    let out: PathBuf = match flag(args, "--out") {
+        Some(out) => out.into(),
+        // Default file name follows the requested format.
+        None => match flag(args, "--format").as_deref() {
+            Some("columnar") | Some("colsh") => "crawl.colsh".into(),
+            _ => "crawl.jsonl".into(),
+        },
+    };
+    let format = out_format(args, &out)?;
 
     let population =
         WebPopulation::new(PopulationConfig { seed, size }).with_adversarial(adversarial);
@@ -111,25 +180,43 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     };
 
     // With --resume, recover the ranks an interrupted run already
-    // persisted (per shard), drop any torn final line, and append.
+    // persisted (per shard), drop any torn tail, and append.
     let mut completed = std::collections::BTreeSet::new();
-    let mut writers = Vec::with_capacity(shard_files.len());
+    let mut writers: Vec<ShardSink> = Vec::with_capacity(shard_files.len());
     for path in &shard_files {
-        let file = if resume && path.exists() {
-            let state = crawler::resume_jsonl(path)
-                .map_err(|e| format!("resuming from {}: {e}", path.display()))?;
-            completed.extend(state.completed);
-            let file = std::fs::OpenOptions::new()
-                .append(true)
-                .open(path)
-                .map_err(|e| format!("opening {}: {e}", path.display()))?;
-            file.set_len(state.valid_len)
-                .map_err(|e| format!("truncating {}: {e}", path.display()))?;
-            file
-        } else {
-            std::fs::File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?
+        let sink = match (format, resume && path.exists()) {
+            (OutFormat::Jsonl, true) => {
+                let state = crawler::resume_jsonl(path)
+                    .map_err(|e| format!("resuming from {}: {e}", path.display()))?;
+                completed.extend(state.completed);
+                let file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("opening {}: {e}", path.display()))?;
+                file.set_len(state.valid_len)
+                    .map_err(|e| format!("truncating {}: {e}", path.display()))?;
+                ShardSink::Jsonl(std::io::BufWriter::new(file))
+            }
+            (OutFormat::Jsonl, false) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("creating {}: {e}", path.display()))?;
+                ShardSink::Jsonl(std::io::BufWriter::new(file))
+            }
+            (OutFormat::Columnar, true) => {
+                let (state, append) = crawler::resume_colsh(path)
+                    .map_err(|e| format!("resuming from {}: {e}", path.display()))?;
+                completed.extend(state.completed);
+                let writer = crawler::ColshWriter::append(path, state.valid_len, append)
+                    .map_err(|e| format!("opening {}: {e}", path.display()))?;
+                ShardSink::Colsh(writer)
+            }
+            (OutFormat::Columnar, false) => {
+                let writer = crawler::ColshWriter::create(path)
+                    .map_err(|e| format!("creating {}: {e}", path.display()))?;
+                ShardSink::Colsh(writer)
+            }
         };
-        writers.push(std::io::BufWriter::new(file));
+        writers.push(sink);
     }
     if resume && !completed.is_empty() {
         eprintln!(
@@ -180,12 +267,8 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         if write_error.is_some() {
             return;
         }
-        let shard = ((record.rank - 1) % writers.len() as u64) as usize;
-        let writer = &mut writers[shard];
-        line.clear();
-        serde_json::to_string_into(&record, &mut line);
-        line.push('\n');
-        if let Err(e) = writer.write_all(line.as_bytes()).map_err(|e| e.to_string()) {
+        let shard = crawler::shard_index(record.rank, writers.len());
+        if let Err(e) = writers[shard].push(&record, &mut line) {
             write_error = Some(format!("{}: {e}", shard_files[shard].display()));
         }
         let snapshot = telemetry.snapshot();
@@ -195,8 +278,8 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
             eprintln!("{}", snapshot.progress_line(remaining));
         }
     });
-    for writer in &mut writers {
-        writer.flush().map_err(|e| e.to_string())?;
+    for writer in writers {
+        writer.finish().map_err(|e| e.to_string())?;
     }
     if let Some(e) = write_error {
         return Err(format!("writing {e}"));
@@ -315,6 +398,51 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if let Some(exposure) = &tables.exposure {
         emit(exposure.table().render());
     }
+    Ok(())
+}
+
+/// `convert --in FILE --out FILE [--format jsonl|columnar]`: re-encodes
+/// one database file between the interchange (JSONL) and analysis
+/// (columnar) formats, streaming record by record. The source format is
+/// sniffed; the target format follows `--format` or the output
+/// extension. A JSONL → columnar → JSONL round trip is byte-identical
+/// (the ci.sh gate `cmp`s it).
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let input: PathBuf = flag(args, "--in")
+        .ok_or("convert requires --in FILE")?
+        .into();
+    let out: PathBuf = flag(args, "--out")
+        .ok_or("convert requires --out FILE")?
+        .into();
+    let format = out_format(args, &out)?;
+    let stream = crawler::AnyRecordStream::open(&input, crawler::StreamMode::Strict)
+        .map_err(|e| format!("opening {}: {e}", input.display()))?;
+    let mut sink = match format {
+        OutFormat::Jsonl => {
+            let file = std::fs::File::create(&out)
+                .map_err(|e| format!("creating {}: {e}", out.display()))?;
+            ShardSink::Jsonl(std::io::BufWriter::new(file))
+        }
+        OutFormat::Columnar => ShardSink::Colsh(
+            crawler::ColshWriter::create(&out)
+                .map_err(|e| format!("creating {}: {e}", out.display()))?,
+        ),
+    };
+    let mut line = String::new();
+    let mut records = 0u64;
+    for record in stream {
+        let record = record.map_err(|e| format!("reading {}: {e}", input.display()))?;
+        sink.push(&record, &mut line)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        records += 1;
+    }
+    sink.finish()
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!(
+        "converted {records} records: {} -> {}",
+        input.display(),
+        out.display()
+    );
     Ok(())
 }
 

@@ -1,0 +1,1767 @@
+//! Binary columnar shard format (`.colsh`) — the storage-scale
+//! counterpart of the JSONL database.
+//!
+//! JSONL stays the interchange format; `.colsh` is the analysis-scale
+//! layout: records are batched into row groups, and within a group each
+//! schema region (frame tree, headers, invocations, scripts, …) lives in
+//! its own length-prefixed, CRC-checked block. An analysis pass that
+//! only folds over headers reads the META and HEADERS blocks and seeks
+//! past everything else — at top-1M scale that skip is the difference
+//! between re-parsing every script source and touching a few percent of
+//! the file.
+//!
+//! # File layout
+//!
+//! ```text
+//! magic    b"PCOLSH1\n"
+//! version  u32 LE (currently 1)
+//! FDICT    block: the closed feature-token vocabulary, in registry order
+//! group*   each: GROUP, DICT, then the 9 column blocks in id order
+//! END      block: varint total record count
+//! ```
+//!
+//! Every block is framed `[id: u8][len: u32 LE][crc32: u32 LE][payload]`
+//! with the CRC (IEEE, reflected) taken over the payload. Strings are
+//! interned into a file-level dictionary built incrementally: each group
+//! carries a DICT block listing only the entries first used in that
+//! group, so ids are assigned in first-use order and a valid prefix of
+//! the file always carries exactly the dictionary it references —
+//! the property truncate-and-append resumption depends on.
+//!
+//! The reader mirrors [`RecordStream`]'s three modes: **Strict** (any
+//! damage, including a missing END marker, is a loud error), **Lenient**
+//! (a corrupt column block skips the whole group, counted per record),
+//! and **Resume** (a torn tail — the signature of a crawl killed
+//! mid-append — ends the stream cleanly and `valid_len` marks the end of
+//! the last complete group, excluding END so an append overwrites it).
+//!
+//! [`RecordStream`]: crate::RecordStream
+
+use std::collections::{BTreeSet, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use browser::{
+    DegradationEvent, DegradationKind, FrameRecord, IframeAttrs, InvocationKind, InvocationRecord,
+    PageVisit, PromptRecord, ScriptOutcome, ScriptRecord, VisitOutcome,
+};
+use registry::{all_permissions, FeatureToken, Permission};
+
+use crate::db::{ResumeState, SkipReport, StreamMode};
+use crate::run::{CrawlDataset, SiteOutcome, SiteRecord};
+
+/// File magic: the first eight bytes of every `.colsh` database.
+pub const COLSH_MAGIC: [u8; 8] = *b"PCOLSH1\n";
+/// Format version written after the magic.
+pub const COLSH_VERSION: u32 = 1;
+/// Records per row group (the write-side default).
+pub const DEFAULT_GROUP_RECORDS: usize = 1024;
+
+/// Longest string the incremental dictionary will intern; longer values
+/// (script sources past this size, mostly) are stored inline.
+const DICT_MAX_STR: usize = 4096;
+/// Hard cap on dictionary entries; once full, new strings go inline.
+const DICT_MAX_ENTRIES: usize = 1 << 22;
+
+const BLOCK_GROUP: u8 = 0x01;
+const BLOCK_DICT: u8 = 0x02;
+const BLOCK_FDICT: u8 = 0x03;
+const BLOCK_END: u8 = 0xEE;
+/// Column block ids are `0x10 + column index`.
+const BLOCK_COLUMN_BASE: u8 = 0x10;
+
+const C_META: usize = 0;
+const C_FRAMES: usize = 1;
+const C_ATTRS: usize = 2;
+const C_HEADERS: usize = 3;
+const C_INVOCATIONS: usize = 4;
+const C_SCRIPTS: usize = 5;
+const C_FEATURES: usize = 6;
+const C_PROMPTS: usize = 7;
+const C_DEGRADATIONS: usize = 8;
+const COLUMNS: usize = 9;
+
+/// Which columns a projected read materializes. META (rank, origin,
+/// outcomes, timings, frame count) is always read; the other eight are
+/// opt-in. Requesting any per-frame column implies FRAMES, since the
+/// per-frame blocks are keyed by the frame sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSet(u16);
+
+impl ColumnSet {
+    /// META only: ranks, outcomes and funnel-level data.
+    pub const META_ONLY: ColumnSet = ColumnSet(0);
+    /// Frame-tree structure (ids, parents, origins, flags).
+    pub const FRAMES: ColumnSet = ColumnSet(1 << 0);
+    /// `<iframe>` attributes.
+    pub const ATTRS: ColumnSet = ColumnSet(1 << 1);
+    /// Policy-relevant response headers.
+    pub const HEADERS: ColumnSet = ColumnSet(1 << 2);
+    /// Recorded API invocations.
+    pub const INVOCATIONS: ColumnSet = ColumnSet(1 << 3);
+    /// Collected script sources and outcomes.
+    pub const SCRIPTS: ColumnSet = ColumnSet(1 << 4);
+    /// Per-document allowed-feature lists.
+    pub const FEATURES: ColumnSet = ColumnSet(1 << 5);
+    /// Permission prompts.
+    pub const PROMPTS: ColumnSet = ColumnSet(1 << 6);
+    /// Degradation events.
+    pub const DEGRADATIONS: ColumnSet = ColumnSet(1 << 7);
+    /// Everything — full-fidelity decode.
+    pub const ALL: ColumnSet = ColumnSet(0xFF);
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 | other.0)
+    }
+
+    /// Whether every column in `other` is in `self`.
+    pub fn contains(self, other: ColumnSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Closes the set over its structural dependencies: any per-frame
+    /// column requires the FRAMES sequence it is keyed by.
+    #[must_use]
+    pub fn normalized(self) -> ColumnSet {
+        let per_frame = ColumnSet::ATTRS
+            .union(ColumnSet::HEADERS)
+            .union(ColumnSet::INVOCATIONS)
+            .union(ColumnSet::SCRIPTS)
+            .union(ColumnSet::FEATURES);
+        if self.0 & per_frame.0 != 0 {
+            self.union(ColumnSet::FRAMES)
+        } else {
+            self
+        }
+    }
+
+    /// Whether column index `k` (META = 0) is materialized.
+    fn reads_column(self, k: usize) -> bool {
+        k == C_META || self.0 & (1 << (k - 1)) != 0
+    }
+}
+
+impl std::ops::BitOr for ColumnSet {
+    type Output = ColumnSet;
+    fn bitor(self, rhs: ColumnSet) -> ColumnSet {
+        self.union(rhs)
+    }
+}
+
+// --- CRC32 (IEEE 802.3, reflected) ---------------------------------------
+
+/// Slice-by-8 lookup tables: `t[0]` is the classic byte-at-a-time
+/// table, `t[k][i]` advances the CRC of byte `i` through `k` more zero
+/// bytes, letting the hot loop fold eight input bytes per iteration.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = (c >> 8) ^ t[0][((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+// --- primitive codecs -----------------------------------------------------
+
+/// Appends a LEB128 varint.
+fn wv(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn bad(detail: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail.to_string())
+}
+
+/// One column's buffered payload plus its read cursor.
+#[derive(Default)]
+struct ColBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ColBuf {
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn take(&mut self, n: usize) -> std::io::Result<&[u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(bad("column payload underrun"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> std::io::Result<u8> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(bad("column payload underrun")),
+        }
+    }
+
+    fn varint(&mut self) -> std::io::Result<u64> {
+        // Single-byte fast path: almost every varint in a column payload
+        // (ranks, counts, flags, dictionary ids) fits in seven bits.
+        if let Some(&b) = self.buf.get(self.pos) {
+            if b & 0x80 == 0 {
+                self.pos += 1;
+                return Ok(u64::from(b));
+            }
+        }
+        self.varint_slow()
+    }
+
+    fn varint_slow(&mut self) -> std::io::Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(bad("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn inline_str(&mut self) -> std::io::Result<String> {
+        let len = self.varint()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("inline string is not UTF-8"))
+    }
+
+    /// Required string: `0` = inline, `k >= 1` = dictionary id `k - 1`.
+    fn str(&mut self, dict: &ReaderDict) -> std::io::Result<String> {
+        match self.varint()? {
+            0 => self.inline_str(),
+            k => dict.get((k - 1) as usize).map(str::to_owned),
+        }
+    }
+
+    /// Optional string: `0` = None, `1` = inline, `k >= 2` = id `k - 2`.
+    fn opt_str(&mut self, dict: &ReaderDict) -> std::io::Result<Option<String>> {
+        match self.varint()? {
+            0 => Ok(None),
+            1 => self.inline_str().map(Some),
+            k => dict.get((k - 2) as usize).map(|s| Some(s.to_owned())),
+        }
+    }
+}
+
+/// The reader-side string dictionary. Each row group's delta payload is
+/// kept as a raw byte arena and entries index into it, so ingesting a
+/// group costs one varint walk — no per-string allocation, and no
+/// UTF-8 validation for strings a projected read never references.
+/// Entry bytes are already checksum-verified with their block; UTF-8 is
+/// checked when an entry is used (and once for everything by
+/// [`ReaderDict::materialize`] on the resume path).
+#[derive(Default)]
+struct ReaderDict {
+    arena: Vec<Vec<u8>>,
+    entries: Vec<DictEntry>,
+}
+
+/// `(arena segment, byte offset, byte length)` for one dictionary id.
+struct DictEntry {
+    seg: u32,
+    start: u32,
+    len: u32,
+}
+
+impl ReaderDict {
+    /// Indexes one group's delta payload (varint count, then
+    /// length-prefixed strings) without materializing the strings.
+    fn ingest(&mut self, payload: Vec<u8>) -> std::io::Result<()> {
+        let seg = self.arena.len() as u32;
+        let mut cursor = ColBuf {
+            buf: payload,
+            pos: 0,
+        };
+        let n = cursor.varint()? as usize;
+        if self.entries.len().saturating_add(n) > DICT_MAX_ENTRIES {
+            return Err(bad("string dictionary exceeds entry limit"));
+        }
+        self.entries.reserve(n);
+        for _ in 0..n {
+            let len = cursor.varint()? as usize;
+            let start = cursor.pos;
+            cursor.take(len)?;
+            self.entries.push(DictEntry {
+                seg,
+                start: start as u32,
+                len: len as u32,
+            });
+        }
+        self.arena.push(cursor.buf);
+        Ok(())
+    }
+
+    fn get(&self, id: usize) -> std::io::Result<&str> {
+        let entry = self
+            .entries
+            .get(id)
+            .ok_or_else(|| bad(format!("dictionary id {id} out of range")))?;
+        let (seg, start, len) = (entry.seg as usize, entry.start as usize, entry.len as usize);
+        let bytes = &self.arena[seg][start..start + len];
+        std::str::from_utf8(bytes).map_err(|_| bad("dictionary string is not UTF-8"))
+    }
+
+    /// Materializes every entry — what an appending writer needs to
+    /// rebuild its intern table.
+    fn materialize(&self) -> std::io::Result<Vec<String>> {
+        (0..self.entries.len())
+            .map(|i| self.get(i).map(str::to_owned))
+            .collect()
+    }
+}
+
+// --- enum ordinals --------------------------------------------------------
+
+fn site_outcome_ord(o: SiteOutcome) -> u8 {
+    match o {
+        SiteOutcome::Success => 0,
+        SiteOutcome::Unreachable => 1,
+        SiteOutcome::LoadTimeout => 2,
+        SiteOutcome::Ephemeral => 3,
+        SiteOutcome::CrawlerError => 4,
+        SiteOutcome::Excluded => 5,
+    }
+}
+
+fn site_outcome(b: u8) -> std::io::Result<SiteOutcome> {
+    Ok(match b {
+        0 => SiteOutcome::Success,
+        1 => SiteOutcome::Unreachable,
+        2 => SiteOutcome::LoadTimeout,
+        3 => SiteOutcome::Ephemeral,
+        4 => SiteOutcome::CrawlerError,
+        5 => SiteOutcome::Excluded,
+        _ => return Err(bad(format!("bad site outcome ordinal {b}"))),
+    })
+}
+
+fn visit_outcome_ord(o: VisitOutcome) -> u8 {
+    match o {
+        VisitOutcome::Success => 0,
+        VisitOutcome::EphemeralContext => 1,
+        VisitOutcome::PageTimeout => 2,
+        VisitOutcome::CrawlerCrash => 3,
+    }
+}
+
+fn visit_outcome(b: u8) -> std::io::Result<VisitOutcome> {
+    Ok(match b {
+        0 => VisitOutcome::Success,
+        1 => VisitOutcome::EphemeralContext,
+        2 => VisitOutcome::PageTimeout,
+        3 => VisitOutcome::CrawlerCrash,
+        _ => return Err(bad(format!("bad visit outcome ordinal {b}"))),
+    })
+}
+
+fn invocation_kind_ord(k: InvocationKind) -> u8 {
+    match k {
+        InvocationKind::Invocation => 0,
+        InvocationKind::StatusQuery => 1,
+        InvocationKind::General => 2,
+    }
+}
+
+fn invocation_kind(b: u8) -> std::io::Result<InvocationKind> {
+    Ok(match b {
+        0 => InvocationKind::Invocation,
+        1 => InvocationKind::StatusQuery,
+        2 => InvocationKind::General,
+        _ => return Err(bad(format!("bad invocation kind ordinal {b}"))),
+    })
+}
+
+fn script_outcome_ord(o: ScriptOutcome) -> u8 {
+    match o {
+        ScriptOutcome::Ok => 0,
+        ScriptOutcome::ParseError => 1,
+        ScriptOutcome::BudgetExceeded => 2,
+        ScriptOutcome::PoolExhausted => 3,
+        ScriptOutcome::FetchFailed => 4,
+        ScriptOutcome::BytesCapped => 5,
+    }
+}
+
+fn script_outcome(b: u8) -> std::io::Result<ScriptOutcome> {
+    Ok(match b {
+        0 => ScriptOutcome::Ok,
+        1 => ScriptOutcome::ParseError,
+        2 => ScriptOutcome::BudgetExceeded,
+        3 => ScriptOutcome::PoolExhausted,
+        4 => ScriptOutcome::FetchFailed,
+        5 => ScriptOutcome::BytesCapped,
+        _ => return Err(bad(format!("bad script outcome ordinal {b}"))),
+    })
+}
+
+fn degradation_kind_ord(k: DegradationKind) -> u8 {
+    match k {
+        DegradationKind::ScriptParseError => 0,
+        DegradationKind::ScriptBudgetExceeded => 1,
+        DegradationKind::ScriptPoolExhausted => 2,
+        DegradationKind::ScriptFetchFailed => 3,
+        DegradationKind::ScriptBytesCapped => 4,
+        DegradationKind::DocumentBytesCapped => 5,
+        DegradationKind::FetchCapReached => 6,
+        DegradationKind::RedirectHopsExceeded => 7,
+        DegradationKind::FrameCapReached => 8,
+        DegradationKind::FrameDepthTruncated => 9,
+        DegradationKind::HeaderBytesCapped => 10,
+    }
+}
+
+fn degradation_kind(b: u8) -> std::io::Result<DegradationKind> {
+    Ok(match b {
+        0 => DegradationKind::ScriptParseError,
+        1 => DegradationKind::ScriptBudgetExceeded,
+        2 => DegradationKind::ScriptPoolExhausted,
+        3 => DegradationKind::ScriptFetchFailed,
+        4 => DegradationKind::ScriptBytesCapped,
+        5 => DegradationKind::DocumentBytesCapped,
+        6 => DegradationKind::FetchCapReached,
+        7 => DegradationKind::RedirectHopsExceeded,
+        8 => DegradationKind::FrameCapReached,
+        9 => DegradationKind::FrameDepthTruncated,
+        10 => DegradationKind::HeaderBytesCapped,
+        _ => return Err(bad(format!("bad degradation kind ordinal {b}"))),
+    })
+}
+
+// --- writer ---------------------------------------------------------------
+
+/// The incremental string dictionary: ids in first-use order, one delta
+/// block of newly-seen strings per row group.
+#[derive(Default)]
+struct WriterDict {
+    ids: HashMap<String, u32>,
+    len: usize,
+    /// Entries first used in the current group, in id order.
+    pending: Vec<String>,
+}
+
+impl WriterDict {
+    /// The id for `s`, interning it if new; `None` if `s` is ineligible
+    /// (too long, or the dictionary is full) and must go inline.
+    fn intern(&mut self, s: &str) -> Option<u32> {
+        if let Some(&id) = self.ids.get(s) {
+            return Some(id);
+        }
+        if s.len() > DICT_MAX_STR || self.len >= DICT_MAX_ENTRIES {
+            return None;
+        }
+        let id = self.len as u32;
+        self.len += 1;
+        self.ids.insert(s.to_string(), id);
+        self.pending.push(s.to_string());
+        Some(id)
+    }
+}
+
+/// Dictionary state carried from [`resume_colsh`] into
+/// [`ColshWriter::append`], so appended groups assign exactly the ids an
+/// uninterrupted crawl would have.
+#[derive(Debug, Clone, Default)]
+pub struct ColshAppendState {
+    /// Every dictionary entry in the valid prefix, in id order.
+    pub dict: Vec<String>,
+    /// Records already on disk in the valid prefix.
+    pub records: u64,
+}
+
+/// Streaming `.colsh` writer: records accumulate into an in-memory row
+/// group that is framed, checksummed and flushed every
+/// [`DEFAULT_GROUP_RECORDS`] pushes; [`ColshWriter::finish`] flushes the
+/// tail group and writes the END marker.
+pub struct ColshWriter {
+    out: BufWriter<File>,
+    dict: WriterDict,
+    perm_index: HashMap<Permission, u32>,
+    cols: [Vec<u8>; 9],
+    group_records: usize,
+    in_group: usize,
+    total: u64,
+}
+
+fn perm_index() -> HashMap<Permission, u32> {
+    all_permissions()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect()
+}
+
+fn write_block(out: &mut impl Write, id: u8, payload: &[u8]) -> std::io::Result<()> {
+    out.write_all(&[id])?;
+    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+    out.write_all(&crc32(payload).to_le_bytes())?;
+    out.write_all(payload)
+}
+
+impl ColshWriter {
+    /// Creates a new database with the default row-group size.
+    pub fn create(path: &Path) -> std::io::Result<ColshWriter> {
+        ColshWriter::create_grouped(path, DEFAULT_GROUP_RECORDS)
+    }
+
+    /// Creates a new database flushing a row group every
+    /// `group_records` pushes (mostly for tests exercising group
+    /// boundaries; must be nonzero).
+    pub fn create_grouped(path: &Path, group_records: usize) -> std::io::Result<ColshWriter> {
+        assert!(group_records > 0, "row group size must be nonzero");
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&COLSH_MAGIC)?;
+        out.write_all(&COLSH_VERSION.to_le_bytes())?;
+        let mut fdict = Vec::new();
+        wv(&mut fdict, all_permissions().len() as u64);
+        for p in all_permissions() {
+            let token = p.token();
+            wv(&mut fdict, token.len() as u64);
+            fdict.extend_from_slice(token.as_bytes());
+        }
+        write_block(&mut out, BLOCK_FDICT, &fdict)?;
+        Ok(ColshWriter {
+            out,
+            dict: WriterDict::default(),
+            perm_index: perm_index(),
+            cols: Default::default(),
+            group_records,
+            in_group: 0,
+            total: 0,
+        })
+    }
+
+    /// Reopens an interrupted database for appending: truncates to the
+    /// valid prefix [`resume_colsh`] measured (discarding any torn tail
+    /// and the old END marker) and restores the dictionary state so new
+    /// groups continue the id sequence.
+    pub fn append(
+        path: &Path,
+        valid_len: u64,
+        state: ColshAppendState,
+    ) -> std::io::Result<ColshWriter> {
+        if valid_len == 0 {
+            // Nothing usable on disk (tear inside the header): start
+            // over, rewriting the magic and feature dictionary.
+            return ColshWriter::create(path);
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut out = BufWriter::new(file);
+        out.seek(SeekFrom::Start(valid_len))?;
+        let mut dict = WriterDict {
+            ids: HashMap::with_capacity(state.dict.len()),
+            len: state.dict.len(),
+            pending: Vec::new(),
+        };
+        for (i, s) in state.dict.into_iter().enumerate() {
+            dict.ids.insert(s, i as u32);
+        }
+        Ok(ColshWriter {
+            out,
+            dict,
+            perm_index: perm_index(),
+            cols: Default::default(),
+            group_records: DEFAULT_GROUP_RECORDS,
+            in_group: 0,
+            total: state.records,
+        })
+    }
+
+    /// Overrides the row-group size (mostly for tests exercising group
+    /// boundaries on appended tails).
+    pub fn with_group_records(mut self, group_records: usize) -> ColshWriter {
+        assert!(group_records > 0, "row group size must be nonzero");
+        self.group_records = group_records;
+        self
+    }
+
+    fn w_str(&mut self, col: usize, s: &str) {
+        match self.dict.intern(s) {
+            Some(id) => wv(&mut self.cols[col], u64::from(id) + 1),
+            None => {
+                wv(&mut self.cols[col], 0);
+                wv(&mut self.cols[col], s.len() as u64);
+                self.cols[col].extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    fn w_opt_str(&mut self, col: usize, s: Option<&str>) {
+        match s {
+            None => wv(&mut self.cols[col], 0),
+            Some(s) => match self.dict.intern(s) {
+                Some(id) => wv(&mut self.cols[col], u64::from(id) + 2),
+                None => {
+                    wv(&mut self.cols[col], 1);
+                    wv(&mut self.cols[col], s.len() as u64);
+                    self.cols[col].extend_from_slice(s.as_bytes());
+                }
+            },
+        }
+    }
+
+    fn w_perm(&mut self, col: usize, p: Permission) {
+        let idx = self.perm_index[&p];
+        wv(&mut self.cols[col], u64::from(idx));
+    }
+
+    /// Appends one record to the current row group, flushing the group
+    /// when it reaches the configured size.
+    pub fn push(&mut self, record: &SiteRecord) -> std::io::Result<()> {
+        self.encode_record(record);
+        self.in_group += 1;
+        self.total += 1;
+        if self.in_group >= self.group_records {
+            self.flush_group()?;
+        }
+        Ok(())
+    }
+
+    fn encode_record(&mut self, r: &SiteRecord) {
+        wv(&mut self.cols[C_META], r.rank);
+        self.w_str(C_META, &r.origin);
+        self.cols[C_META].push(site_outcome_ord(r.outcome));
+        wv(&mut self.cols[C_META], r.elapsed_ms);
+        wv(&mut self.cols[C_META], u64::from(r.attempts));
+        let Some(visit) = &r.visit else {
+            self.cols[C_META].push(0);
+            return;
+        };
+        self.cols[C_META].push(1);
+        self.w_str(C_META, &visit.requested_url);
+        self.cols[C_META].push(visit_outcome_ord(visit.outcome));
+        wv(&mut self.cols[C_META], visit.elapsed_ms);
+        wv(&mut self.cols[C_META], u64::from(visit.schema_version));
+        wv(&mut self.cols[C_META], visit.frames.len() as u64);
+
+        for f in &visit.frames {
+            wv(&mut self.cols[C_FRAMES], f.frame_id as u64);
+            wv(
+                &mut self.cols[C_FRAMES],
+                f.parent.map(|p| p as u64 + 1).unwrap_or(0),
+            );
+            wv(&mut self.cols[C_FRAMES], u64::from(f.depth));
+            self.w_opt_str(C_FRAMES, f.url.as_deref());
+            self.w_str(C_FRAMES, &f.origin);
+            self.w_opt_str(C_FRAMES, f.site.as_deref());
+            let flags = u8::from(f.is_top_level) | u8::from(f.is_local_document) << 1;
+            self.cols[C_FRAMES].push(flags);
+
+            match &f.iframe_attrs {
+                None => self.cols[C_ATTRS].push(0),
+                Some(a) => {
+                    self.cols[C_ATTRS].push(1);
+                    let fields = [
+                        &a.id, &a.name, &a.class, &a.src, &a.allow, &a.sandbox, &a.loading,
+                    ];
+                    let mut bitmap = u8::from(a.has_srcdoc) << 7;
+                    for (bit, field) in fields.iter().enumerate() {
+                        if field.is_some() {
+                            bitmap |= 1 << bit;
+                        }
+                    }
+                    self.cols[C_ATTRS].push(bitmap);
+                    for field in fields {
+                        if let Some(s) = field.as_deref() {
+                            self.w_str(C_ATTRS, s);
+                        }
+                    }
+                }
+            }
+
+            let headers = [
+                &f.permissions_policy_header,
+                &f.feature_policy_header,
+                &f.csp_header,
+            ];
+            let mut bitmap = 0u8;
+            for (bit, h) in headers.iter().enumerate() {
+                if h.is_some() {
+                    bitmap |= 1 << bit;
+                }
+            }
+            self.cols[C_HEADERS].push(bitmap);
+            for h in headers {
+                if let Some(s) = h.as_deref() {
+                    self.w_str(C_HEADERS, s);
+                }
+            }
+
+            wv(&mut self.cols[C_INVOCATIONS], f.invocations.len() as u64);
+            for inv in &f.invocations {
+                self.w_str(C_INVOCATIONS, &inv.api_path);
+                self.cols[C_INVOCATIONS].push(invocation_kind_ord(inv.kind));
+                wv(&mut self.cols[C_INVOCATIONS], inv.permissions.len() as u64);
+                for &p in &inv.permissions {
+                    self.w_perm(C_INVOCATIONS, p);
+                }
+                self.w_opt_str(C_INVOCATIONS, inv.script_url.as_deref());
+                let flags = u8::from(inv.constructed)
+                    | u8::from(inv.via_feature_policy_api) << 1
+                    | u8::from(inv.policy_blocked) << 2;
+                self.cols[C_INVOCATIONS].push(flags);
+            }
+
+            wv(&mut self.cols[C_SCRIPTS], f.scripts.len() as u64);
+            for s in &f.scripts {
+                self.w_opt_str(C_SCRIPTS, s.url.as_deref());
+                self.w_str(C_SCRIPTS, &s.source);
+                self.cols[C_SCRIPTS].push(script_outcome_ord(s.outcome));
+            }
+
+            wv(&mut self.cols[C_FEATURES], f.allowed_features.len() as u64);
+            for t in &f.allowed_features {
+                self.w_perm(C_FEATURES, t.0);
+            }
+        }
+
+        wv(&mut self.cols[C_PROMPTS], visit.prompts.len() as u64);
+        for p in &visit.prompts {
+            self.w_perm(C_PROMPTS, p.permission);
+            wv(&mut self.cols[C_PROMPTS], p.frame_id as u64);
+            self.cols[C_PROMPTS].push(u8::from(p.from_embedded));
+            self.w_str(C_PROMPTS, &p.attributed_origin);
+        }
+
+        wv(
+            &mut self.cols[C_DEGRADATIONS],
+            visit.degradations.len() as u64,
+        );
+        for d in &visit.degradations {
+            wv(&mut self.cols[C_DEGRADATIONS], d.frame_id as u64);
+            self.cols[C_DEGRADATIONS].push(degradation_kind_ord(d.kind));
+            self.w_opt_str(C_DEGRADATIONS, d.detail.as_deref());
+        }
+    }
+
+    fn flush_group(&mut self) -> std::io::Result<()> {
+        if self.in_group == 0 {
+            return Ok(());
+        }
+        let mut group = Vec::new();
+        wv(&mut group, self.in_group as u64);
+        write_block(&mut self.out, BLOCK_GROUP, &group)?;
+        let mut delta = Vec::new();
+        wv(&mut delta, self.dict.pending.len() as u64);
+        for s in self.dict.pending.drain(..) {
+            wv(&mut delta, s.len() as u64);
+            delta.extend_from_slice(s.as_bytes());
+        }
+        write_block(&mut self.out, BLOCK_DICT, &delta)?;
+        for (k, col) in self.cols.iter_mut().enumerate() {
+            write_block(&mut self.out, BLOCK_COLUMN_BASE + k as u8, col)?;
+            col.clear();
+        }
+        self.in_group = 0;
+        Ok(())
+    }
+
+    /// Flushes the tail group, writes the END marker, and syncs.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.flush_group()?;
+        let mut end = Vec::new();
+        wv(&mut end, self.total);
+        write_block(&mut self.out, BLOCK_END, &end)?;
+        self.out.flush()
+    }
+}
+
+/// Writes a whole dataset as a `.colsh` database.
+pub fn write_colsh(dataset: &CrawlDataset, path: &Path) -> std::io::Result<()> {
+    let mut writer = ColshWriter::create(path)?;
+    for record in &dataset.records {
+        writer.push(record)?;
+    }
+    writer.finish()
+}
+
+// --- reader ---------------------------------------------------------------
+
+/// Streaming `.colsh` reader: yields [`SiteRecord`]s group by group,
+/// materializing only the columns in its [`ColumnSet`] projection and
+/// seeking past the rest. Mirrors [`crate::RecordStream`]'s Strict /
+/// Lenient / Resume behaviour at row-group granularity.
+pub struct ColshStream {
+    reader: BufReader<File>,
+    mode: StreamMode,
+    columns: ColumnSet,
+    file_len: u64,
+    offset: u64,
+    valid_len: u64,
+    dict: ReaderDict,
+    perms: Vec<Permission>,
+    cols: [ColBuf; 9],
+    /// Records left to decode in the loaded group.
+    remaining: u64,
+    /// Records passed over so far (decoded + skipped) — the 1-based
+    /// record index the skip report uses, and what END must equal.
+    file_records: u64,
+    skip: SkipReport,
+    done: bool,
+}
+
+/// What one attempt to load the next row group produced.
+enum GroupLoad {
+    /// A group is buffered and ready to decode. `delta` is the raw
+    /// dictionary-delta payload, committed only once the whole group
+    /// loaded (so a torn group never pollutes the dictionary).
+    Ready { count: u64, delta: Vec<u8> },
+    /// The group's framing was intact but an enabled column block failed
+    /// its checksum; the group was consumed and its dictionary delta is
+    /// still valid.
+    Corrupt { count: u64, delta: Vec<u8> },
+    /// A valid END marker carrying the writer's total record count.
+    End { count: u64 },
+    /// Clean end of file with no END marker.
+    Eof,
+}
+
+impl ColshStream {
+    /// Opens a database reading every column.
+    pub fn open(path: &Path, mode: StreamMode) -> std::io::Result<ColshStream> {
+        ColshStream::open_projected(path, mode, ColumnSet::ALL)
+    }
+
+    /// Opens a database materializing only `columns` (plus META, always).
+    pub fn open_projected(
+        path: &Path,
+        mode: StreamMode,
+        columns: ColumnSet,
+    ) -> std::io::Result<ColshStream> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut stream = ColshStream {
+            reader: BufReader::new(file),
+            mode,
+            columns: columns.normalized(),
+            file_len,
+            offset: 0,
+            valid_len: 0,
+            dict: ReaderDict::default(),
+            perms: Vec::new(),
+            cols: Default::default(),
+            remaining: 0,
+            file_records: 0,
+            skip: SkipReport::default(),
+            done: false,
+        };
+        stream.read_header()?;
+        Ok(stream)
+    }
+
+    /// What a lenient stream skipped so far (counted in records).
+    pub fn skip_report(&self) -> &SkipReport {
+        &self.skip
+    }
+
+    /// Consumes the stream, returning its skip report.
+    pub fn into_skip_report(self) -> SkipReport {
+        self.skip
+    }
+
+    /// Byte length of the valid prefix: the end of the last fully loaded
+    /// row group (the END marker is deliberately excluded, so an append
+    /// at this offset overwrites it).
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// The file-level feature vocabulary, in dictionary order.
+    pub fn feature_dictionary(&self) -> &[Permission] {
+        &self.perms
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
+        self.reader.read_exact(buf)?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_header(&mut self) -> std::io::Result<()> {
+        let mut magic = [0u8; 8];
+        self.read_exact(&mut magic)?;
+        if magic != COLSH_MAGIC {
+            return Err(bad("not a columnar (.colsh) database"));
+        }
+        let mut version = [0u8; 4];
+        self.read_exact(&mut version)?;
+        let version = u32::from_le_bytes(version);
+        if version != COLSH_VERSION {
+            return Err(bad(format!(
+                "unsupported columnar format version {version} (reader supports {COLSH_VERSION})"
+            )));
+        }
+        let (id, payload) = self
+            .read_block()?
+            .ok_or_else(|| bad("missing feature dictionary"))?;
+        if id != BLOCK_FDICT {
+            return Err(bad("expected feature dictionary block"));
+        }
+        let mut cursor = ColBuf {
+            buf: payload,
+            pos: 0,
+        };
+        let n = cursor.varint()? as usize;
+        let mut perms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let token = cursor.inline_str()?;
+            let perm = Permission::from_token(&token)
+                .ok_or_else(|| bad(format!("unknown feature token `{token}` in dictionary")))?;
+            perms.push(perm);
+        }
+        self.perms = perms;
+        self.valid_len = self.offset;
+        Ok(())
+    }
+
+    /// Reads one block header + payload, verifying length bounds and the
+    /// checksum. `Ok(None)` is clean EOF at a block boundary.
+    fn read_block(&mut self) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+        let Some((id, len)) = self.read_block_frame()? else {
+            return Ok(None);
+        };
+        let mut crc = [0u8; 4];
+        self.read_exact(&mut crc)?;
+        let expected = u32::from_le_bytes(crc);
+        let mut payload = Vec::with_capacity(len);
+        let read = (&mut self.reader)
+            .take(len as u64)
+            .read_to_end(&mut payload)?;
+        self.offset += read as u64;
+        if read != len {
+            return Err(unexpected_eof());
+        }
+        if crc32(&payload) != expected {
+            return Err(bad("block checksum mismatch"));
+        }
+        Ok(Some((id, payload)))
+    }
+
+    /// Reads a block id + length, bounds-checking the length against the
+    /// bytes actually left in the file (a corrupt length must not read
+    /// as a clean skip or a giant allocation).
+    fn read_block_frame(&mut self) -> std::io::Result<Option<(u8, usize)>> {
+        let mut id = [0u8; 1];
+        match self.reader.read(&mut id)? {
+            0 => return Ok(None),
+            _ => self.offset += 1,
+        }
+        let mut len = [0u8; 4];
+        self.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as u64;
+        // 4 bytes of CRC still precede the payload. A length pointing
+        // past EOF means the payload bytes are simply not there — the
+        // tear signature, classified as such (and never allocated).
+        if len > self.file_len.saturating_sub(self.offset).saturating_sub(4) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "block length exceeds file size",
+            ));
+        }
+        Ok(Some((id[0], len as usize)))
+    }
+
+    /// Attempts to load the next row group with strict semantics; the
+    /// caller maps failures through the stream mode.
+    fn try_load_group(&mut self) -> std::io::Result<GroupLoad> {
+        let Some((id, payload)) = self.read_block()? else {
+            return Ok(GroupLoad::Eof);
+        };
+        match id {
+            BLOCK_END => {
+                let mut cursor = ColBuf {
+                    buf: payload,
+                    pos: 0,
+                };
+                let count = cursor.varint()?;
+                Ok(GroupLoad::End { count })
+            }
+            BLOCK_GROUP => {
+                let mut cursor = ColBuf {
+                    buf: payload,
+                    pos: 0,
+                };
+                let count = cursor.varint()?;
+                let (id, delta) = self.read_block()?.ok_or_else(unexpected_eof)?;
+                if id != BLOCK_DICT {
+                    return Err(bad("expected dictionary delta block"));
+                }
+                let mut corrupt = false;
+                for k in 0..COLUMNS {
+                    let expected_id = BLOCK_COLUMN_BASE + k as u8;
+                    if self.columns.reads_column(k) {
+                        match self.read_column_block(expected_id, k) {
+                            Ok(()) => {}
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::InvalidData
+                                    && e.to_string().contains("checksum") =>
+                            {
+                                corrupt = true;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    } else {
+                        self.skip_column_block(expected_id, k)?;
+                    }
+                }
+                if corrupt {
+                    Ok(GroupLoad::Corrupt { count, delta })
+                } else {
+                    Ok(GroupLoad::Ready { count, delta })
+                }
+            }
+            other => Err(bad(format!("unexpected block id {other:#x}"))),
+        }
+    }
+
+    /// Reads an enabled column block into its buffer (checksum
+    /// verified); a checksum failure is reported but the payload bytes
+    /// are consumed, so group framing survives.
+    fn read_column_block(&mut self, expected_id: u8, k: usize) -> std::io::Result<()> {
+        let Some((id, len)) = self.read_block_frame()? else {
+            return Err(unexpected_eof());
+        };
+        if id != expected_id {
+            return Err(bad(format!(
+                "expected column block {expected_id:#x}, found {id:#x}"
+            )));
+        }
+        let mut crc = [0u8; 4];
+        self.read_exact(&mut crc)?;
+        let expected = u32::from_le_bytes(crc);
+        self.cols[k].reset();
+        let mut buf = std::mem::take(&mut self.cols[k].buf);
+        // `take + read_to_end` appends exactly `len` bytes without the
+        // memset a `resize(len, 0)` would pay on every block.
+        let read = (&mut self.reader).take(len as u64).read_to_end(&mut buf);
+        self.cols[k].buf = buf;
+        let read = read?;
+        self.offset += read as u64;
+        if read != len {
+            return Err(unexpected_eof());
+        }
+        if crc32(&self.cols[k].buf) != expected {
+            return Err(bad("column block checksum mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Seeks past an unprojected column block without reading or
+    /// checksumming the payload — the point of projection.
+    fn skip_column_block(&mut self, expected_id: u8, k: usize) -> std::io::Result<()> {
+        let Some((id, len)) = self.read_block_frame()? else {
+            return Err(unexpected_eof());
+        };
+        if id != expected_id {
+            return Err(bad(format!(
+                "expected column block {expected_id:#x}, found {id:#x}"
+            )));
+        }
+        self.reader.seek_relative(len as i64 + 4)?;
+        self.offset += len as u64 + 4;
+        self.cols[k].reset();
+        Ok(())
+    }
+
+    /// Advances to the next decodable group. `Ok(true)` means records
+    /// are ready; `Ok(false)` means the stream ended (cleanly or via a
+    /// mode-tolerated failure).
+    fn advance_group(&mut self) -> std::io::Result<bool> {
+        loop {
+            let start_record = self.file_records + 1;
+            match self.try_load_group() {
+                Ok(GroupLoad::Ready { count, delta }) => {
+                    if let Err(e) = self.dict.ingest(delta) {
+                        self.done = true;
+                        if self.mode == StreamMode::Lenient {
+                            self.skip.record(start_record);
+                            return Ok(false);
+                        }
+                        return Err(e);
+                    }
+                    self.remaining = count;
+                    self.valid_len = self.offset;
+                    if count > 0 {
+                        return Ok(true);
+                    }
+                }
+                Ok(GroupLoad::Corrupt { count, delta }) => match self.mode {
+                    StreamMode::Strict | StreamMode::Resume => {
+                        self.done = true;
+                        return Err(bad("column block checksum mismatch"));
+                    }
+                    StreamMode::Lenient => {
+                        // Framing is intact: drop the group, keep its
+                        // dictionary delta (later groups reference it),
+                        // and keep streaming.
+                        if self.dict.ingest(delta).is_err() {
+                            self.done = true;
+                            self.skip.record(start_record);
+                            return Ok(false);
+                        }
+                        self.skip.record(start_record);
+                        self.skip.skipped += count.saturating_sub(1);
+                        self.file_records += count;
+                        self.valid_len = self.offset;
+                    }
+                },
+                Ok(GroupLoad::End { count }) => {
+                    self.done = true;
+                    if self.mode == StreamMode::Strict {
+                        if count != self.file_records {
+                            return Err(bad(format!(
+                                "end marker claims {count} records, read {}",
+                                self.file_records
+                            )));
+                        }
+                        if self.offset != self.file_len {
+                            return Err(bad("trailing data after end marker"));
+                        }
+                    }
+                    return Ok(false);
+                }
+                Ok(GroupLoad::Eof) => {
+                    self.done = true;
+                    match self.mode {
+                        StreamMode::Strict => {
+                            return Err(bad("truncated database: missing end marker"))
+                        }
+                        StreamMode::Lenient => {
+                            // Unknown loss past this point; one marker
+                            // records that the tail is gone.
+                            self.skip.record(start_record);
+                            return Ok(false);
+                        }
+                        StreamMode::Resume => return Ok(false),
+                    }
+                }
+                Err(e) => {
+                    self.done = true;
+                    let torn = e.kind() == std::io::ErrorKind::UnexpectedEof;
+                    match self.mode {
+                        StreamMode::Strict => return Err(e),
+                        StreamMode::Resume if torn => return Ok(false),
+                        StreamMode::Resume => return Err(e),
+                        StreamMode::Lenient => {
+                            self.skip.record(start_record);
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn rd_perm(cursor: &mut ColBuf, perms: &[Permission]) -> std::io::Result<Permission> {
+        let idx = cursor.varint()? as usize;
+        perms
+            .get(idx)
+            .copied()
+            .ok_or_else(|| bad(format!("feature dictionary id {idx} out of range")))
+    }
+
+    fn decode_record(&mut self) -> std::io::Result<SiteRecord> {
+        let columns = self.columns;
+        let cols = &mut self.cols;
+        let dict = &self.dict;
+        let perms = &self.perms;
+
+        let meta = &mut cols[C_META];
+        let rank = meta.varint()?;
+        let origin = meta.str(dict)?;
+        let outcome = site_outcome(meta.u8()?)?;
+        let elapsed_ms = meta.varint()?;
+        let attempts = meta.varint()? as u32;
+        let has_visit = meta.u8()?;
+        if has_visit == 0 {
+            return Ok(SiteRecord {
+                rank,
+                origin,
+                outcome,
+                visit: None,
+                elapsed_ms,
+                attempts,
+            });
+        }
+        let requested_url = meta.str(dict)?;
+        let visit_outcome = visit_outcome(meta.u8()?)?;
+        let visit_elapsed = meta.varint()?;
+        let schema_version = meta.varint()? as u32;
+        let frame_count = meta.varint()? as usize;
+
+        let mut frames = Vec::new();
+        if columns.contains(ColumnSet::FRAMES) {
+            frames.reserve(frame_count);
+            for _ in 0..frame_count {
+                let fr = &mut cols[C_FRAMES];
+                let frame_id = fr.varint()? as usize;
+                let parent = match fr.varint()? {
+                    0 => None,
+                    p => Some((p - 1) as usize),
+                };
+                let depth = fr.varint()? as u32;
+                let url = fr.opt_str(dict)?;
+                let origin = fr.str(dict)?;
+                let site = fr.opt_str(dict)?;
+                let flags = fr.u8()?;
+
+                let iframe_attrs = if columns.contains(ColumnSet::ATTRS) {
+                    let at = &mut cols[C_ATTRS];
+                    match at.u8()? {
+                        0 => None,
+                        _ => {
+                            let bitmap = at.u8()?;
+                            let mut fields: [Option<String>; 7] = Default::default();
+                            for (bit, slot) in fields.iter_mut().enumerate() {
+                                if bitmap & (1 << bit) != 0 {
+                                    *slot = Some(at.str(dict)?);
+                                }
+                            }
+                            let [id, name, class, src, allow, sandbox, loading] = fields;
+                            Some(IframeAttrs {
+                                id,
+                                name,
+                                class,
+                                src,
+                                allow,
+                                sandbox,
+                                has_srcdoc: bitmap & 0x80 != 0,
+                                loading,
+                            })
+                        }
+                    }
+                } else {
+                    None
+                };
+
+                let (pp, fp, csp) = if columns.contains(ColumnSet::HEADERS) {
+                    let hd = &mut cols[C_HEADERS];
+                    let bitmap = hd.u8()?;
+                    let mut headers: [Option<String>; 3] = Default::default();
+                    for (bit, slot) in headers.iter_mut().enumerate() {
+                        if bitmap & (1 << bit) != 0 {
+                            *slot = Some(hd.str(dict)?);
+                        }
+                    }
+                    let [pp, fp, csp] = headers;
+                    (pp, fp, csp)
+                } else {
+                    (None, None, None)
+                };
+
+                let mut invocations = Vec::new();
+                if columns.contains(ColumnSet::INVOCATIONS) {
+                    let iv = &mut cols[C_INVOCATIONS];
+                    let n = iv.varint()? as usize;
+                    invocations.reserve(n);
+                    for _ in 0..n {
+                        let api_path = iv.str(dict)?;
+                        let kind = invocation_kind(iv.u8()?)?;
+                        let np = iv.varint()? as usize;
+                        let mut permissions = Vec::with_capacity(np);
+                        for _ in 0..np {
+                            permissions.push(Self::rd_perm(iv, perms)?);
+                        }
+                        let script_url = iv.opt_str(dict)?;
+                        let flags = iv.u8()?;
+                        invocations.push(InvocationRecord {
+                            api_path,
+                            kind,
+                            permissions,
+                            script_url,
+                            constructed: flags & 1 != 0,
+                            via_feature_policy_api: flags & 2 != 0,
+                            policy_blocked: flags & 4 != 0,
+                        });
+                    }
+                }
+
+                let mut scripts = Vec::new();
+                if columns.contains(ColumnSet::SCRIPTS) {
+                    let sc = &mut cols[C_SCRIPTS];
+                    let n = sc.varint()? as usize;
+                    scripts.reserve(n);
+                    for _ in 0..n {
+                        let url = sc.opt_str(dict)?;
+                        let source = sc.str(dict)?;
+                        let outcome = script_outcome(sc.u8()?)?;
+                        scripts.push(ScriptRecord {
+                            url,
+                            source,
+                            outcome,
+                        });
+                    }
+                }
+
+                let mut allowed_features = Vec::new();
+                if columns.contains(ColumnSet::FEATURES) {
+                    let ft = &mut cols[C_FEATURES];
+                    let n = ft.varint()? as usize;
+                    allowed_features.reserve(n);
+                    for _ in 0..n {
+                        allowed_features.push(FeatureToken(Self::rd_perm(ft, perms)?));
+                    }
+                }
+
+                frames.push(FrameRecord {
+                    frame_id,
+                    parent,
+                    depth,
+                    url,
+                    origin,
+                    site,
+                    is_top_level: flags & 1 != 0,
+                    is_local_document: flags & 2 != 0,
+                    iframe_attrs,
+                    permissions_policy_header: pp,
+                    feature_policy_header: fp,
+                    csp_header: csp,
+                    invocations,
+                    scripts,
+                    allowed_features,
+                });
+            }
+        }
+
+        let mut prompts = Vec::new();
+        if columns.contains(ColumnSet::PROMPTS) {
+            let pr = &mut cols[C_PROMPTS];
+            let n = pr.varint()? as usize;
+            prompts.reserve(n);
+            for _ in 0..n {
+                let permission = Self::rd_perm(pr, perms)?;
+                let frame_id = pr.varint()? as usize;
+                let from_embedded = pr.u8()? != 0;
+                let attributed_origin = pr.str(dict)?;
+                prompts.push(PromptRecord {
+                    permission,
+                    frame_id,
+                    from_embedded,
+                    attributed_origin,
+                });
+            }
+        }
+
+        let mut degradations = Vec::new();
+        if columns.contains(ColumnSet::DEGRADATIONS) {
+            let dg = &mut cols[C_DEGRADATIONS];
+            let n = dg.varint()? as usize;
+            degradations.reserve(n);
+            for _ in 0..n {
+                let frame_id = dg.varint()? as usize;
+                let kind = degradation_kind(dg.u8()?)?;
+                let detail = dg.opt_str(dict)?;
+                degradations.push(DegradationEvent {
+                    frame_id,
+                    kind,
+                    detail,
+                });
+            }
+        }
+
+        Ok(SiteRecord {
+            rank,
+            origin,
+            outcome,
+            visit: Some(PageVisit {
+                requested_url,
+                frames,
+                prompts,
+                outcome: visit_outcome,
+                elapsed_ms: visit_elapsed,
+                schema_version,
+                degradations,
+            }),
+            elapsed_ms,
+            attempts,
+        })
+    }
+
+    fn next_record(&mut self) -> Option<std::io::Result<SiteRecord>> {
+        loop {
+            if self.remaining == 0 {
+                if self.done {
+                    return None;
+                }
+                match self.advance_group() {
+                    Ok(true) => {}
+                    Ok(false) => return None,
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            match self.decode_record() {
+                Ok(record) => {
+                    self.remaining -= 1;
+                    self.file_records += 1;
+                    return Some(Ok(record));
+                }
+                Err(e) => match self.mode {
+                    StreamMode::Strict | StreamMode::Resume => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    StreamMode::Lenient => {
+                        // A decode error desynchronizes the group's
+                        // cursors: drop the rest of the group, counted.
+                        self.skip.record(self.file_records + 1);
+                        self.skip.skipped += self.remaining.saturating_sub(1);
+                        self.file_records += self.remaining;
+                        self.remaining = 0;
+                    }
+                },
+            }
+        }
+    }
+}
+
+fn unexpected_eof() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "unexpected end of columnar database",
+    )
+}
+
+impl Iterator for ColshStream {
+    type Item = std::io::Result<SiteRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record()
+    }
+}
+
+/// Scans a possibly-interrupted `.colsh` database for resumption.
+///
+/// Tolerates exactly one kind of damage — a torn tail, the signature of
+/// a crawl killed mid-append. Returns the completed ranks + valid byte
+/// prefix, and the [`ColshAppendState`] (dictionary + record count) an
+/// appending [`ColshWriter`] needs so the resumed file is byte-identical
+/// to an uninterrupted crawl. Errors if the file's feature dictionary
+/// does not match the current registry (append would mis-index).
+pub fn resume_colsh(path: &Path) -> std::io::Result<(ResumeState, ColshAppendState)> {
+    let mut stream =
+        match ColshStream::open_projected(path, StreamMode::Resume, ColumnSet::META_ONLY) {
+            Ok(stream) => stream,
+            // A tear inside the header or feature dictionary: nothing on
+            // disk is usable. Report an empty prefix so the caller rewrites
+            // the file from scratch (mirrors JSONL resume on a torn first
+            // line).
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok((
+                    ResumeState {
+                        completed: BTreeSet::new(),
+                        valid_len: 0,
+                    },
+                    ColshAppendState {
+                        dict: Vec::new(),
+                        records: 0,
+                    },
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+    if stream.feature_dictionary() != all_permissions() {
+        return Err(bad(
+            "feature dictionary does not match the current registry; \
+             re-encode the database with `convert` before resuming",
+        ));
+    }
+    let mut completed = BTreeSet::new();
+    for record in &mut stream {
+        completed.insert(record?.rank);
+    }
+    let records = stream.file_records;
+    let valid_len = stream.valid_len();
+    Ok((
+        ResumeState {
+            completed,
+            valid_len,
+        },
+        ColshAppendState {
+            dict: stream.dict.materialize()?,
+            records,
+        },
+    ))
+}
+
+/// Reads a whole `.colsh` database strictly.
+pub fn read_colsh(path: &Path) -> std::io::Result<CrawlDataset> {
+    let mut records = Vec::new();
+    for record in ColshStream::open(path, StreamMode::Strict)? {
+        records.push(record?);
+    }
+    Ok(CrawlDataset { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{CrawlConfig, Crawler};
+    use webgen::{PopulationConfig, WebPopulation};
+
+    /// Pin the sliced CRC to the IEEE 802.3 check value: round-trip
+    /// tests alone would pass with any self-consistent polynomial.
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Cross lengths around the 8-byte slicing boundary against the
+        // byte-at-a-time recurrence.
+        let data: Vec<u8> = (0u16..=300).map(|i| (i % 251) as u8).collect();
+        for n in 0..data.len() {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in &data[..n] {
+                c = (c >> 8) ^ CRC32_TABLES[0][((c ^ b as u32) & 0xFF) as usize];
+            }
+            assert_eq!(crc32(&data[..n]), !c, "length {n}");
+        }
+    }
+
+    fn dataset(size: u64) -> CrawlDataset {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size });
+        Crawler::new(CrawlConfig::default()).crawl(&pop)
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("permodyssey-colsh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_a_crawl_exactly() {
+        let ds = dataset(40);
+        let path = scratch("roundtrip.colsh");
+        write_colsh(&ds, &path).unwrap();
+        let loaded = read_colsh(&path).unwrap();
+        assert_eq!(ds.records, loaded.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trips_across_group_boundaries() {
+        let ds = dataset(25);
+        let path = scratch("grouped.colsh");
+        let mut w = ColshWriter::create_grouped(&path, 7).unwrap();
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let loaded = read_colsh(&path).unwrap();
+        assert_eq!(ds.records, loaded.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meta_projection_sees_ranks_and_outcomes_only() {
+        let ds = dataset(30);
+        let path = scratch("projected.colsh");
+        write_colsh(&ds, &path).unwrap();
+        let stream =
+            ColshStream::open_projected(&path, StreamMode::Strict, ColumnSet::META_ONLY).unwrap();
+        let records: Vec<SiteRecord> = stream.map(|r| r.unwrap()).collect();
+        assert_eq!(records.len(), ds.records.len());
+        for (got, want) in records.iter().zip(&ds.records) {
+            assert_eq!(got.rank, want.rank);
+            assert_eq!(got.origin, want.origin);
+            assert_eq!(got.outcome, want.outcome);
+            assert_eq!(got.visit.is_some(), want.visit.is_some());
+            if let Some(v) = &got.visit {
+                assert!(v.frames.is_empty());
+                assert!(v.prompts.is_empty());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn per_frame_projection_implies_frames() {
+        let set = ColumnSet::HEADERS.normalized();
+        assert!(set.contains(ColumnSet::FRAMES));
+        assert!(set.contains(ColumnSet::HEADERS));
+        assert!(!set.contains(ColumnSet::SCRIPTS));
+    }
+
+    #[test]
+    fn strict_reader_rejects_missing_end_marker() {
+        let ds = dataset(10);
+        let path = scratch("no-end.colsh");
+        write_colsh(&ds, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Drop exactly the END block: id + len + crc + varint(10) payload.
+        let truncated = &bytes[..bytes.len() - 10];
+        std::fs::write(&path, truncated).unwrap();
+        let err = ColshStream::open(&path, StreamMode::Strict)
+            .unwrap()
+            .find_map(|r| r.err())
+            .expect("strict read errors");
+        assert!(err.to_string().contains("end marker"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_recovers_valid_prefix_and_append_matches_uninterrupted() {
+        let ds = dataset(30);
+        let path = scratch("resume.colsh");
+        let full = scratch("resume-full.colsh");
+
+        // The uninterrupted reference, grouped small so the tear lands
+        // between groups.
+        let mut w = ColshWriter::create_grouped(&full, 10).unwrap();
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        // Write 20 records (2 groups), then tear mid-third-group.
+        let mut w = ColshWriter::create_grouped(&path, 10).unwrap();
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let torn_at = bytes.len() * 3 / 4;
+        std::fs::write(&path, &bytes[..torn_at]).unwrap();
+
+        let (state, append) = resume_colsh(&path).unwrap();
+        assert!(state.valid_len <= torn_at as u64);
+        assert_eq!(append.records, state.completed.len() as u64);
+
+        // Append the missing records; the result must be byte-identical
+        // to the uninterrupted file.
+        let mut w = ColshWriter::append(&path, state.valid_len, append).unwrap();
+        w.group_records = 10;
+        for r in &ds.records {
+            if !state.completed.contains(&r.rank) {
+                w.push(r).unwrap();
+            }
+        }
+        w.finish().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&full).unwrap());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&full).ok();
+    }
+
+    #[test]
+    fn lenient_reader_skips_a_corrupt_group_and_counts_records() {
+        let ds = dataset(30);
+        let path = scratch("lenient.colsh");
+        let mut w = ColshWriter::create_grouped(&path, 10).unwrap();
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        // Flip one byte inside the second group's META column payload.
+        let bytes = std::fs::read(&path).unwrap();
+        let target = find_nth_column_payload(&bytes, BLOCK_COLUMN_BASE, 2);
+        let mut corrupt = bytes.clone();
+        corrupt[target] ^= 0xFF;
+        std::fs::write(&path, &corrupt).unwrap();
+
+        // Strict: loud checksum error.
+        let err = ColshStream::open(&path, StreamMode::Strict)
+            .unwrap()
+            .find_map(|r| r.err())
+            .expect("strict read errors");
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Lenient: the middle group's 10 records are skipped, the other
+        // 20 survive.
+        let mut stream = ColshStream::open(&path, StreamMode::Lenient).unwrap();
+        let survivors: Vec<u64> = (&mut stream).map(|r| r.unwrap().rank).collect();
+        assert_eq!(survivors.len(), 20);
+        let report = stream.into_skip_report();
+        assert_eq!(report.skipped, 10);
+        assert_eq!(report.lines, vec![11]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Byte offset of the first payload byte of the `n`-th block whose
+    /// id matches (1-based), walking the block framing.
+    fn find_nth_column_payload(bytes: &[u8], id: u8, n: usize) -> usize {
+        let mut offset = COLSH_MAGIC.len() + 4;
+        let mut seen = 0;
+        loop {
+            let block_id = bytes[offset];
+            let len =
+                u32::from_le_bytes(bytes[offset + 1..offset + 5].try_into().unwrap()) as usize;
+            if block_id == id {
+                seen += 1;
+                if seen == n {
+                    return offset + 9;
+                }
+            }
+            offset += 9 + len;
+        }
+    }
+}

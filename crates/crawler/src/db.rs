@@ -57,7 +57,7 @@ pub struct SkipReport {
 }
 
 impl SkipReport {
-    fn record(&mut self, line_no: u64) {
+    pub(crate) fn record(&mut self, line_no: u64) {
         self.skipped += 1;
         if self.lines.len() < SKIP_REPORT_LINES {
             self.lines.push(line_no);
@@ -302,6 +302,17 @@ pub fn resume_jsonl(path: &Path) -> std::io::Result<ResumeState> {
     })
 }
 
+/// The shard a record of `rank` is striped to on an `shards`-way write.
+///
+/// Ranks are 1-based, so rank *r* lands on shard `(r - 1) % shards` —
+/// with checked arithmetic: a rank-0 record (lenient-parsed or
+/// hand-crafted; real crawls never emit one) goes to shard 0 instead of
+/// underflowing, which used to panic in debug builds and stripe to an
+/// arbitrary shard in release.
+pub fn shard_index(rank: u64, shards: usize) -> usize {
+    (rank.saturating_sub(1) % shards.max(1) as u64) as usize
+}
+
 /// The path of shard `index` for a database rooted at `base`:
 /// `crawl.jsonl` → `crawl-000.jsonl`, `crawl-001.jsonl`, …
 pub fn shard_path(base: &Path, index: usize) -> PathBuf {
@@ -310,13 +321,84 @@ pub fn shard_path(base: &Path, index: usize) -> PathBuf {
     base.with_file_name(format!("{stem}-{index:03}.{ext}"))
 }
 
+/// Splits a file name of the shard shape `{prefix}-{digits}.{ext}` into
+/// its parts. `None` for anything else.
+fn shard_name_parts(name: &str) -> Option<(&str, u64, &str)> {
+    let (stem, ext) = name.rsplit_once('.')?;
+    let (prefix, digits) = stem.rsplit_once('-')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let index: u64 = digits.parse().ok()?;
+    Some((prefix, index, ext))
+}
+
+/// Sorts database paths into merge order: shard files (`prefix-NNN.ext`)
+/// numerically by index, everything else lexicographically. A plain
+/// name sort breaks byte-identity past 999 shards — `{index:03}` padding
+/// stops padding there, so `crawl-1000.jsonl` sorts before
+/// `crawl-999.jsonl` lexicographically and shard-order merge diverges
+/// from shard index order.
+fn sort_db_paths(paths: &mut [PathBuf]) {
+    paths.sort_by(|a, b| {
+        let key = |p: &PathBuf| -> (PathBuf, String, Option<u64>, String) {
+            let name = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let parent = p.parent().map(Path::to_path_buf).unwrap_or_default();
+            match shard_name_parts(&name) {
+                Some((prefix, index, _ext)) => (parent, prefix.to_string(), Some(index), name),
+                None => {
+                    let prefix = name.rsplit_once('.').map(|(s, _)| s).unwrap_or(&name);
+                    (parent, prefix.to_string(), None, name)
+                }
+            }
+        };
+        key(a).cmp(&key(b))
+    });
+}
+
+/// Rejects a database list that contains both an unsharded base file and
+/// its own shards (`crawl.jsonl` next to `crawl-NNN.jsonl`): analyzing
+/// such a directory would double-count every record in the base file.
+fn check_base_shard_conflict(paths: &[PathBuf], arg: &str) -> std::io::Result<()> {
+    let names: BTreeSet<&str> = paths
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+        .collect();
+    for name in &names {
+        if let Some((prefix, _, ext)) = shard_name_parts(name) {
+            let base = format!("{prefix}.{ext}");
+            if names.contains(base.as_str()) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "{arg} contains both {base} and its shards ({name}, …): \
+                         records in {base} would be double-counted; remove one"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extensions `expand_db_paths` treats as database files in a directory.
+const DB_EXTENSIONS: [&str; 2] = ["jsonl", "colsh"];
+
 /// Expands an `analyze --db` argument into the ordered list of database
 /// files it names:
 ///
-/// * a directory — every `*.jsonl` inside, sorted by name;
+/// * a directory — every `*.jsonl` / `*.colsh` inside, shards sorted
+///   numerically by index;
 /// * a pattern containing `*` — matching files in the parent directory,
-///   sorted by name;
+///   same order;
 /// * anything else — the single file.
+///
+/// Directory and pattern expansion refuse a base file coexisting with
+/// its own shards (see [`check_base_shard_conflict`]).
 pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
     let path = Path::new(arg);
     let not_found = |what: &str| {
@@ -328,12 +410,18 @@ pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
     if path.is_dir() {
         let mut paths: Vec<PathBuf> = std::fs::read_dir(path)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+            .filter(|p| {
+                p.is_file()
+                    && p.extension()
+                        .and_then(|e| e.to_str())
+                        .is_some_and(|e| DB_EXTENSIONS.contains(&e))
+            })
             .collect();
-        paths.sort();
+        sort_db_paths(&mut paths);
         if paths.is_empty() {
             return Err(not_found(&format!("directory {arg}")));
         }
+        check_base_shard_conflict(&paths, arg)?;
         return Ok(paths);
     }
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -351,13 +439,113 @@ pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
                         .is_some_and(|n| glob_match(name, n))
             })
             .collect();
-        paths.sort();
+        sort_db_paths(&mut paths);
         if paths.is_empty() {
             return Err(not_found(&format!("pattern {arg}")));
         }
+        check_base_shard_conflict(&paths, arg)?;
         return Ok(paths);
     }
     Ok(vec![path.to_path_buf()])
+}
+
+/// On-disk database formats a shard file can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbFormat {
+    /// One JSON object per line — the interchange format.
+    Jsonl,
+    /// Binary columnar row groups (`.colsh`) — the analysis-scale format.
+    Colsh,
+}
+
+/// Sniffs a database file's format from its magic bytes. Anything that
+/// does not start with the `.colsh` magic is treated as JSONL (whose
+/// own parser reports corruption with line numbers).
+pub fn detect_db_format(path: &Path) -> std::io::Result<DbFormat> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    let mut read = 0;
+    while read < magic.len() {
+        match std::io::Read::read(&mut file, &mut magic[read..])? {
+            0 => break,
+            n => read += n,
+        }
+    }
+    if read == magic.len() && magic == crate::colsh::COLSH_MAGIC {
+        Ok(DbFormat::Colsh)
+    } else {
+        Ok(DbFormat::Jsonl)
+    }
+}
+
+/// A [`RecordStream`]-shaped reader over either database format,
+/// selected per file by magic sniffing — what lets `analyze` fold a
+/// directory of mixed JSONL and columnar shards transparently.
+// One stream exists per shard file, so the size gap between the two
+// readers is irrelevant; boxing would tax every record decode instead.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyRecordStream {
+    /// Line-by-line JSONL (projection is a no-op: rows are monolithic).
+    Jsonl(RecordStream),
+    /// Columnar row groups honoring the projection.
+    Colsh(crate::colsh::ColshStream),
+}
+
+impl AnyRecordStream {
+    /// Opens a database file reading every column.
+    pub fn open(path: &Path, mode: StreamMode) -> std::io::Result<AnyRecordStream> {
+        AnyRecordStream::open_projected(path, mode, crate::colsh::ColumnSet::ALL)
+    }
+
+    /// Opens a database file materializing only `columns` where the
+    /// format supports projection (JSONL always decodes full records).
+    pub fn open_projected(
+        path: &Path,
+        mode: StreamMode,
+        columns: crate::colsh::ColumnSet,
+    ) -> std::io::Result<AnyRecordStream> {
+        match detect_db_format(path)? {
+            DbFormat::Jsonl => RecordStream::open(path, mode).map(AnyRecordStream::Jsonl),
+            DbFormat::Colsh => crate::colsh::ColshStream::open_projected(path, mode, columns)
+                .map(AnyRecordStream::Colsh),
+        }
+    }
+
+    /// What a lenient stream skipped so far (lines for JSONL, records
+    /// for columnar).
+    pub fn skip_report(&self) -> &SkipReport {
+        match self {
+            AnyRecordStream::Jsonl(s) => s.skip_report(),
+            AnyRecordStream::Colsh(s) => s.skip_report(),
+        }
+    }
+
+    /// Consumes the stream, returning its skip report.
+    pub fn into_skip_report(self) -> SkipReport {
+        match self {
+            AnyRecordStream::Jsonl(s) => s.into_skip_report(),
+            AnyRecordStream::Colsh(s) => s.into_skip_report(),
+        }
+    }
+
+    /// Byte length of the valid prefix read so far.
+    pub fn valid_len(&self) -> u64 {
+        match self {
+            AnyRecordStream::Jsonl(s) => s.valid_len(),
+            AnyRecordStream::Colsh(s) => s.valid_len(),
+        }
+    }
+}
+
+impl Iterator for AnyRecordStream {
+    type Item = std::io::Result<SiteRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            AnyRecordStream::Jsonl(s) => s.next(),
+            AnyRecordStream::Colsh(s) => s.next(),
+        }
+    }
 }
 
 /// Matches `pattern` (with `*` wildcards) against `name`.
@@ -639,6 +827,113 @@ mod tests {
         let base = Path::new("out/crawl.jsonl");
         assert_eq!(shard_path(base, 0), Path::new("out/crawl-000.jsonl"));
         assert_eq!(shard_path(base, 42), Path::new("out/crawl-042.jsonl"));
+    }
+
+    #[test]
+    fn rank_zero_records_stripe_to_shard_zero_without_underflow() {
+        // Rank 0 only appears on lenient-parsed or hand-crafted records,
+        // but `(rank - 1) % shards` used to panic on it in debug builds.
+        assert_eq!(shard_index(0, 4), 0);
+        assert_eq!(shard_index(1, 4), 0);
+        assert_eq!(shard_index(2, 4), 1);
+        assert_eq!(shard_index(5, 4), 0);
+        assert_eq!(shard_index(7, 1), 0);
+        // Degenerate shard count never divides by zero.
+        assert_eq!(shard_index(9, 0), 0);
+
+        // A rank-0 record flows through a sharded write end to end.
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 4 });
+        let mut dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        dataset.records[0].rank = 0;
+        let dir = std::env::temp_dir().join("permodyssey-test-rank0");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("crawl.jsonl");
+        let shards = 3usize;
+        let mut parts: Vec<CrawlDataset> = (0..shards).map(|_| CrawlDataset::default()).collect();
+        for record in &dataset.records {
+            parts[shard_index(record.rank, shards)]
+                .records
+                .push(record.clone());
+        }
+        let mut total = 0;
+        for (i, part) in parts.iter().enumerate() {
+            let path = shard_path(&base, i);
+            write_jsonl(part, &path).unwrap();
+            total += read_jsonl(&path).unwrap().records.len();
+        }
+        assert_eq!(total, dataset.records.len());
+        assert_eq!(parts[0].records[0].rank, 0, "rank 0 policy: shard 0");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_past_999_sort_numerically() {
+        // {index:03} stops padding at 999, so the 1001-shard layout
+        // `crawl-1000.jsonl` sorts lexicographically before
+        // `crawl-999.jsonl`; merge order must follow the shard index.
+        let dir = std::env::temp_dir().join("permodyssey-test-bigshards");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("crawl.jsonl");
+        let shards = 1001usize;
+        for i in 0..shards {
+            std::fs::write(shard_path(&base, i), "\n").unwrap();
+        }
+        let expanded = expand_db_paths(dir.to_str().unwrap()).unwrap();
+        let expected: Vec<PathBuf> = (0..shards).map(|i| shard_path(&base, i)).collect();
+        assert_eq!(expanded, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn base_file_next_to_its_shards_is_rejected() {
+        let dir = std::env::temp_dir().join("permodyssey-test-conflict");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["crawl.jsonl", "crawl-000.jsonl", "crawl-001.jsonl"] {
+            std::fs::write(dir.join(name), "\n").unwrap();
+        }
+        let err = expand_db_paths(dir.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("double-counted"), "{err}");
+        let glob_arg = dir.join("crawl*.jsonl");
+        assert!(expand_db_paths(glob_arg.to_str().unwrap()).is_err());
+
+        // A different base name does not conflict with the shards.
+        std::fs::remove_file(dir.join("crawl.jsonl")).unwrap();
+        std::fs::write(dir.join("other.jsonl"), "\n").unwrap();
+        assert_eq!(expand_db_paths(dir.to_str().unwrap()).unwrap().len(), 3);
+
+        // A single-file argument never triggers the check.
+        std::fs::write(dir.join("crawl.jsonl"), "\n").unwrap();
+        let single = dir.join("crawl.jsonl");
+        assert_eq!(
+            expand_db_paths(single.to_str().unwrap()).unwrap(),
+            vec![single]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_detection_and_any_stream_read_both_formats() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 12 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test-anystream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("crawl.jsonl");
+        let colsh = dir.join("crawl.colsh");
+        write_jsonl(&dataset, &jsonl).unwrap();
+        crate::colsh::write_colsh(&dataset, &colsh).unwrap();
+        assert_eq!(detect_db_format(&jsonl).unwrap(), DbFormat::Jsonl);
+        assert_eq!(detect_db_format(&colsh).unwrap(), DbFormat::Colsh);
+        for path in [&jsonl, &colsh] {
+            let records: Vec<SiteRecord> = AnyRecordStream::open(path, StreamMode::Strict)
+                .unwrap()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(records, dataset.records);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,14 +26,20 @@
 //! assert!(funnel.succeeded > 30);
 //! ```
 
+mod colsh;
 mod db;
 mod funnel;
 mod run;
 mod telemetry;
 
+pub use colsh::{
+    read_colsh, resume_colsh, write_colsh, ColshAppendState, ColshStream, ColshWriter, ColumnSet,
+    COLSH_MAGIC, COLSH_VERSION, DEFAULT_GROUP_RECORDS,
+};
 pub use db::{
-    expand_db_paths, read_jsonl, read_jsonl_lenient, resume_jsonl, shard_path, write_jsonl,
-    RecordStream, ResumeState, SkipReport, StreamMode, SKIP_REPORT_LINES,
+    detect_db_format, expand_db_paths, read_jsonl, read_jsonl_lenient, resume_jsonl, shard_index,
+    shard_path, write_jsonl, AnyRecordStream, DbFormat, RecordStream, ResumeState, SkipReport,
+    StreamMode, SKIP_REPORT_LINES,
 };
 pub use funnel::CrawlFunnel;
 pub use netsim::FaultSpec;

@@ -51,6 +51,37 @@ mkdir -p "$SMOKE/sharded"
 diff -u "$SMOKE/flat.out" "$SMOKE/sharded.out"
 echo "    sharded analyze output is byte-identical"
 
+echo "==> columnar format gate (20k sites, JSONL vs .colsh)"
+BIN=target/release/permissions-odyssey
+COL=$(mktemp -d)
+trap 'rm -rf "$COL"' EXIT
+"$BIN" crawl --size 20000 --seed 7 --out "$COL/crawl.jsonl" 2>/dev/null
+"$BIN" crawl --size 20000 --seed 7 --format columnar --out "$COL/crawl.colsh" 2>/dev/null
+"$BIN" convert --in "$COL/crawl.jsonl" --out "$COL/converted.colsh" 2>/dev/null
+cmp "$COL/crawl.colsh" "$COL/converted.colsh"
+"$BIN" convert --in "$COL/crawl.colsh" --out "$COL/back.jsonl" 2>/dev/null
+cmp "$COL/crawl.jsonl" "$COL/back.jsonl"
+echo "    direct columnar crawl, convert round-trip, and JSONL are byte-identical"
+for table in funnel census completeness t3 t4 t5 t6 summary t7 t8 directives \
+             f2 t9 misconfig t10 groups exposure; do
+    for workers in 1 4; do
+        "$BIN" analyze --db "$COL/crawl.jsonl" --table "$table" --workers "$workers" \
+            >"$COL/jsonl.out" 2>/dev/null
+        "$BIN" analyze --db "$COL/crawl.colsh" --table "$table" --workers "$workers" \
+            >"$COL/colsh.out" 2>/dev/null
+        diff -u "$COL/jsonl.out" "$COL/colsh.out"
+    done
+done
+echo "    every table renders byte-identically from columnar at 1 and 4 workers"
+mkdir -p "$COL/sharded"
+"$BIN" crawl --size 20000 --seed 7 --shards 4 --format columnar \
+    --out "$COL/sharded/crawl.colsh" 2>/dev/null
+"$BIN" analyze --db "$COL/crawl.jsonl" >"$COL/flat.out" 2>/dev/null
+"$BIN" analyze --db "$COL/sharded" --workers 4 >"$COL/shard.out" 2>/dev/null
+diff -u "$COL/flat.out" "$COL/shard.out"
+rm -rf "$COL"
+echo "    sharded columnar analyze output is byte-identical"
+
 echo "==> difftest: spec-oracle differential gate (>=10k seeded scenarios)"
 cargo test -q --release -p difftest
 cargo test -q --release -p difftest --test differential -- --ignored

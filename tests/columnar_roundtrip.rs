@@ -1,0 +1,178 @@
+//! Columnar (`.colsh`) codec round-trip and corruption properties.
+//!
+//! The binary columnar shard format must be a lossless re-encoding of
+//! the JSONL front door: for *arbitrary* records — multibyte text,
+//! control characters, nested frames, every degradation kind — the
+//! JSONL bytes of a record must equal the JSONL bytes of
+//! `decode(encode(record))`. Damage must never pass silently: any
+//! truncation is a strict error and a recoverable resume point, and a
+//! flipped payload byte trips a block checksum (strict error, lenient
+//! skip-with-count).
+
+use std::path::{Path, PathBuf};
+
+use crawler::{resume_colsh, ColshStream, ColshWriter, SiteRecord, StreamMode, COLSH_MAGIC};
+use proptest::prelude::*;
+
+#[path = "support/records.rs"]
+mod records;
+use records::arb_record;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("po-colsh-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}.colsh"))
+}
+
+fn encode(path: &Path, records: &[SiteRecord], group: usize) {
+    let mut w = ColshWriter::create_grouped(path, group).expect("create colsh");
+    for r in records {
+        w.push(r).expect("push record");
+    }
+    w.finish().expect("finish colsh");
+}
+
+fn jsonl(records: &[SiteRecord]) -> Vec<String> {
+    records
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("encode record"))
+        .collect()
+}
+
+proptest! {
+    /// JSONL bytes survive the columnar detour exactly, across group
+    /// boundaries and the file-level string dictionary.
+    #[test]
+    fn round_trip_is_byte_identical(
+        records in prop::collection::vec(arb_record(), 1..12),
+        group in 1usize..5,
+    ) {
+        let path = scratch("roundtrip");
+        encode(&path, &records, group);
+        let decoded: Vec<SiteRecord> = ColshStream::open(&path, StreamMode::Strict)
+            .expect("open strict")
+            .collect::<std::io::Result<_>>()
+            .expect("decode strict");
+        prop_assert_eq!(jsonl(&decoded), jsonl(&records));
+    }
+
+    /// Every proper truncation point is (a) a strict error, (b) a
+    /// lenient stream that never invents records and never panics, and
+    /// (c) a resume point from which appending the missing records
+    /// reproduces the uninterrupted file byte for byte.
+    #[test]
+    fn truncation_is_loud_and_resumable(
+        records in prop::collection::vec(arb_record(), 2..8),
+        group in 1usize..4,
+        cut in 0.0f64..1.0,
+    ) {
+        let full = scratch("tear-full");
+        encode(&full, &records, group);
+        let bytes = std::fs::read(&full).expect("read full file");
+        let cut_at = ((bytes.len() as u64 - 1) as f64 * cut) as usize;
+
+        let torn = scratch("tear-torn");
+        std::fs::write(&torn, &bytes[..cut_at]).expect("write torn file");
+
+        // (a) Strict: the END marker is clipped (or worse) — an error,
+        // whether open() itself chokes (tear inside the header) or the
+        // stream does.
+        let strict = ColshStream::open(&torn, StreamMode::Strict)
+            .and_then(|s| s.collect::<std::io::Result<Vec<SiteRecord>>>());
+        prop_assert!(strict.is_err(), "strict accepted a truncated file");
+
+        // (b) Lenient: no panic, no invented records, and the tear is
+        // counted (a torn tail gets one skip marker — the reader cannot
+        // know how many records the unreadable region held). A tear
+        // inside the header fails open() itself, which is just as loud.
+        if let Ok(mut lenient) = ColshStream::open(&torn, StreamMode::Lenient) {
+            let survivors = lenient.by_ref().filter_map(|r| r.ok()).count();
+            prop_assert!(survivors <= records.len());
+            let skip = lenient.into_skip_report();
+            prop_assert!(skip.skipped >= 1, "the tear is never silent");
+        }
+
+        // (c) Resume: truncate to the valid prefix, append the rest,
+        // and the file matches the uninterrupted encoding exactly.
+        let (state, append) = resume_colsh(&torn).expect("resume");
+        prop_assert!(append.records <= records.len() as u64);
+        let done = append.records as usize;
+        let mut w = ColshWriter::append(&torn, state.valid_len, append)
+            .expect("append")
+            .with_group_records(group);
+        for r in &records[done..] {
+            w.push(r).expect("push tail record");
+        }
+        w.finish().expect("finish tail");
+        let resumed = std::fs::read(&torn).expect("read resumed file");
+        prop_assert_eq!(resumed, bytes);
+    }
+}
+
+/// Walks the block framing (`[id u8][len u32 LE][crc u32 LE][payload]`)
+/// and returns the file offset of the first payload byte of the `n`th
+/// block with id `id`.
+fn nth_payload_offset(bytes: &[u8], id: u8, n: usize) -> usize {
+    assert_eq!(&bytes[..COLSH_MAGIC.len()], &COLSH_MAGIC);
+    let mut pos = COLSH_MAGIC.len() + 4;
+    let mut seen = 0;
+    while pos < bytes.len() {
+        let block_id = bytes[pos];
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        if block_id == id {
+            if seen == n {
+                assert!(len > 0, "need a nonempty payload to corrupt");
+                return pos + 9;
+            }
+            seen += 1;
+        }
+        pos += 9 + len;
+    }
+    panic!("block id {id:#x} occurrence {n} not found");
+}
+
+/// A flipped payload byte trips the block checksum: strict errors and
+/// names the checksum, lenient drops exactly that row group and counts
+/// its records.
+#[test]
+fn corrupt_payload_byte_trips_block_checksum() {
+    let records: Vec<SiteRecord> = (1..=30)
+        .map(|rank| SiteRecord {
+            rank,
+            origin: format!("https://site-{rank}.example"),
+            outcome: crawler::SiteOutcome::Unreachable,
+            visit: None,
+            elapsed_ms: rank * 3,
+            attempts: 1,
+        })
+        .collect();
+    let path = scratch("corrupt");
+    encode(&path, &records, 10);
+    let mut bytes = std::fs::read(&path).expect("read file");
+
+    // Flip a byte in the second group's META column payload (id 0x10).
+    let off = nth_payload_offset(&bytes, 0x10, 1);
+    bytes[off] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write corrupted file");
+
+    let strict: std::io::Result<Vec<SiteRecord>> = ColshStream::open(&path, StreamMode::Strict)
+        .expect("open strict")
+        .collect();
+    let err = strict.expect_err("strict accepts corrupt payload");
+    assert!(
+        err.to_string().contains("checksum"),
+        "strict error names the checksum: {err}"
+    );
+
+    let mut lenient = ColshStream::open(&path, StreamMode::Lenient).expect("open lenient");
+    let survivors: Vec<SiteRecord> = lenient
+        .by_ref()
+        .collect::<std::io::Result<_>>()
+        .expect("lenient never errors");
+    assert_eq!(survivors.len(), 20, "two intact groups survive");
+    let ranks: Vec<u64> = survivors.iter().map(|r| r.rank).collect();
+    let expected: Vec<u64> = (1..=10).chain(21..=30).collect();
+    assert_eq!(ranks, expected, "the corrupt middle group is dropped whole");
+    let skip = lenient.into_skip_report();
+    assert_eq!(skip.skipped, 10, "skips are counted in records");
+}

@@ -11,7 +11,9 @@ use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 use analysis::stream::{analyze_shards, TableSelection, Tables};
-use crawler::{shard_path, write_jsonl, CrawlConfig, CrawlDataset, Crawler, StreamMode};
+use crawler::{
+    shard_path, write_colsh, write_jsonl, CrawlConfig, CrawlDataset, Crawler, StreamMode,
+};
 use webgen::{PopulationConfig, WebPopulation};
 
 #[cfg(debug_assertions)]
@@ -153,7 +155,7 @@ fn write_shards(dir: &Path, shards: usize) -> Vec<PathBuf> {
     let base = dir.join("crawl.jsonl");
     let mut parts: Vec<CrawlDataset> = (0..shards).map(|_| CrawlDataset::default()).collect();
     for record in &ds.records {
-        parts[(record.rank - 1) as usize % shards]
+        parts[crawler::shard_index(record.rank, shards)]
             .records
             .push(record.clone());
     }
@@ -163,6 +165,32 @@ fn write_shards(dir: &Path, shards: usize) -> Vec<PathBuf> {
         .map(|(i, part)| {
             let path = shard_path(&base, i);
             write_jsonl(part, &path).expect("write shard");
+            path
+        })
+        .collect()
+}
+
+/// Rank-stripes the dataset into binary columnar (`.colsh`) shards.
+fn write_colsh_shards(dir: &Path, shards: usize) -> Vec<PathBuf> {
+    let ds = dataset();
+    if shards == 1 {
+        let path = dir.join("crawl.colsh");
+        write_colsh(ds, &path).expect("write single columnar shard");
+        return vec![path];
+    }
+    let base = dir.join("crawl.colsh");
+    let mut parts: Vec<CrawlDataset> = (0..shards).map(|_| CrawlDataset::default()).collect();
+    for record in &ds.records {
+        parts[crawler::shard_index(record.rank, shards)]
+            .records
+            .push(record.clone());
+    }
+    parts
+        .iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let path = shard_path(&base, i);
+            write_colsh(part, &path).expect("write columnar shard");
             path
         })
         .collect()
@@ -187,6 +215,62 @@ fn sharded_stream_is_byte_identical_for_any_worker_count() {
             analyze(&paths, workers),
             expected,
             "mismatch at {workers} worker(s)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn columnar_shards_are_byte_identical_for_any_worker_count() {
+    let dir = scratch_dir("columnar");
+    let paths = write_colsh_shards(&dir, 4);
+    let expected = in_memory_render(dataset());
+    for workers in [1usize, 4, 8] {
+        assert_eq!(
+            analyze(&paths, workers),
+            expected,
+            "columnar mismatch at {workers} worker(s)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every named table, analyzed selectively from columnar shards (which
+/// materialize only the columns that table folds over), must agree with
+/// the same selective analysis of the full JSONL — the referee for the
+/// [`TableSelection::columns`] projection map.
+#[test]
+fn selective_columnar_analysis_matches_jsonl_per_table() {
+    let dir = scratch_dir("selective");
+    let jsonl = write_shards(&dir, 1);
+    let colsh = write_colsh_shards(&dir, 1);
+    for table in [
+        "funnel",
+        "census",
+        "completeness",
+        "t3",
+        "t4",
+        "t5",
+        "t6",
+        "summary",
+        "t7",
+        "t8",
+        "f2",
+        "t9",
+        "misconfig",
+        "t10",
+        "groups",
+        "exposure",
+    ] {
+        let selection = TableSelection::named(table).expect("known table");
+        let (from_jsonl, _) = analyze_shards(&jsonl, StreamMode::Strict, 1, selection)
+            .expect("jsonl analysis succeeds");
+        let (from_colsh, _) = analyze_shards(&colsh, StreamMode::Strict, 1, selection)
+            .expect("columnar analysis succeeds");
+        assert_eq!(
+            format!("{from_colsh:?}"),
+            format!("{from_jsonl:?}"),
+            "table `{table}` diverges between columnar and JSONL"
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
