@@ -24,6 +24,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "crawl" => cmd_crawl(&args[1..]),
+        "crawl-job" => cmd_crawl_job(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -53,6 +54,16 @@ USAGE:
                                [--shards N] [--resume] [--retries R]
                                [--format jsonl|columnar] [--adversarial]
                                [--fault-panics PM] [--fault-transients PM]
+  permissions-odyssey crawl-job start  --dir DIR [--size N] [--seed S]
+                               [--shards N] [--format jsonl|columnar]
+                               [--workers W] [--lease N] [--retries R]
+                               [--adversarial] [--fault-panics PM]
+                               [--fault-transients PM] [--stop-file FILE]
+                               [--status-every N] [--max-rss-mb M]
+  permissions-odyssey crawl-job resume --dir DIR [--workers W] [--lease N]
+                               [--stop-file FILE] [--status-every N]
+                               [--max-rss-mb M]
+  permissions-odyssey crawl-job status --dir DIR
   permissions-odyssey analyze  --db FILE|DIR|GLOB [--table NAME] [--top N]
                                [--lenient] [--workers W]
   permissions-odyssey convert  --in FILE --out FILE [--format jsonl|columnar]
@@ -67,7 +78,14 @@ FORMATS: databases are JSONL (interchange) or columnar `.colsh` (fast
   is given.
 
 TABLES (analyze --table): funnel census completeness t3 t4 t5 t6 summary
-  t7 t8 directives f2 t9 misconfig t10 groups exposure all (default)";
+  t7 t8 directives f2 t9 misconfig t10 groups exposure all (default)
+
+JOBS: `crawl-job` runs a crawl as a resumable job — a directory holding
+  a checksummed manifest, rank-striped shards, and a live status.json.
+  Kill it at any point and `crawl-job resume` reproduces the
+  uninterrupted dataset byte for byte; touch the --stop-file for a
+  graceful checkpointed shutdown (exit 0). Prefer it over the older
+  `crawl --resume` flow for anything long-running.";
 
 /// The on-disk format a write-side command targets.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -301,6 +319,160 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Silences the default panic hook while injected visit faults are
+/// active — the crawler catches and classifies those panics on purpose,
+/// and a backtrace per simulated crash would drown the progress output.
+fn quiet_injected_panics() {
+    std::panic::set_hook(Box::new(|info| {
+        let detail = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("visit panicked");
+        eprintln!("caught: {detail}");
+    }));
+}
+
+/// Peak resident set size of this process in MiB, from Linux's
+/// `VmHWM` accounting. `None` where procfs is unavailable.
+fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
+}
+
+/// Run-time job options shared by `crawl-job start` and `resume`.
+fn job_options(args: &[String]) -> Result<crawler::JobOptions, String> {
+    let defaults = crawler::JobOptions::default();
+    Ok(crawler::JobOptions {
+        workers: parse_flag(args, "--workers", defaults.workers)?,
+        lease_records: parse_flag(args, "--lease", defaults.lease_records)?,
+        status_every: parse_flag(args, "--status-every", defaults.status_every)?,
+        stop_file: flag(args, "--stop-file").map(PathBuf::from),
+        abort_after_records: match flag(args, "--chaos-abort") {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|_| format!("invalid value for --chaos-abort: {n}"))?,
+            ),
+            None => None,
+        },
+        progress: true,
+        ..defaults
+    })
+}
+
+/// Renders a finished job run and enforces the optional RSS ceiling.
+fn finish_job_run(
+    args: &[String],
+    dir: &std::path::Path,
+    report: crawler::JobReport,
+) -> Result<(), String> {
+    eprintln!("{}", report.render());
+    if let Some(peak) = peak_rss_mb() {
+        eprintln!("peak rss: {peak} MiB");
+        let cap: u64 = parse_flag(args, "--max-rss-mb", 0)?;
+        if cap > 0 && peak > cap {
+            return Err(format!(
+                "peak rss {peak} MiB exceeded the --max-rss-mb {cap} ceiling"
+            ));
+        }
+    }
+    if report.state == crawler::JobState::Stopped {
+        eprintln!(
+            "stopped gracefully; continue with: permissions-odyssey crawl-job resume --dir {}",
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_crawl_job(args: &[String]) -> Result<(), String> {
+    let Some(verb) = args.first() else {
+        return Err(format!("crawl-job requires start|resume|status\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    let dir: PathBuf = flag(rest, "--dir")
+        .ok_or("crawl-job requires --dir DIR")?
+        .into();
+    match verb.as_str() {
+        "start" => {
+            let size: u64 = parse_flag(rest, "--size", 20_000)?;
+            let seed: u64 = parse_flag(rest, "--seed", 7)?;
+            let shards: usize = parse_flag(rest, "--shards", 1)?;
+            if shards == 0 || size == 0 {
+                return Err("--shards and --size must be at least 1".to_string());
+            }
+            let format = match flag(rest, "--format").as_deref() {
+                None | Some("jsonl") => crawler::DbFormat::Jsonl,
+                Some("columnar") | Some("colsh") => crawler::DbFormat::Colsh,
+                Some(other) => return Err(format!("unknown format `{other}` (jsonl|columnar)")),
+            };
+            let mut manifest = crawler::JobManifest::new(seed, size, shards, format);
+            manifest.adversarial = rest.iter().any(|a| a == "--adversarial");
+            manifest.max_retries = parse_flag(rest, "--retries", manifest.max_retries)?;
+            manifest.fault_panics_per_mille = parse_flag(rest, "--fault-panics", 0)?;
+            manifest.fault_transients_per_mille = parse_flag(rest, "--fault-transients", 0)?;
+            if manifest.fault_panics_per_mille > 0 {
+                quiet_injected_panics();
+            }
+            let opts = job_options(rest)?;
+            eprintln!(
+                "starting job in {}: {size} origins, {} shard(s), {} worker(s)…",
+                dir.display(),
+                shards,
+                opts.workers
+            );
+            let report = crawler::job_start(&dir, &manifest, &opts).map_err(|e| e.to_string())?;
+            finish_job_run(rest, &dir, report)
+        }
+        "resume" => {
+            let manifest = crawler::JobManifest::load(&dir).map_err(|e| e.to_string())?;
+            if manifest.fault_panics_per_mille > 0 {
+                quiet_injected_panics();
+            }
+            let opts = job_options(rest)?;
+            eprintln!(
+                "resuming job in {}: {} origins, {} worker(s)…",
+                dir.display(),
+                manifest.size,
+                opts.workers
+            );
+            let report = crawler::job_resume(&dir, &opts).map_err(|e| e.to_string())?;
+            finish_job_run(rest, &dir, report)
+        }
+        "status" => {
+            let status = crawler::read_status(&dir)
+                .map_err(|e| format!("no readable status for the job in {}: {e}", dir.display()))?;
+            println!(
+                "state:     {}\nprogress:  {}/{} written this run \
+                 ({} resumed, {} remaining)\nrate:      {:.0} records/sec, eta {:.0}s\n\
+                 queues:    {} leases pending, writer buffer {} (peak {})\n\
+                 leases:    {} retried, {} quarantined\n\
+                 visits:    {} retries, {} panics caught, {} degraded",
+                status.state,
+                status.written,
+                status.planned,
+                status.resumed_from,
+                status.remaining,
+                status.rate_per_sec,
+                status.eta_secs.min(86_400_000.0),
+                status.lease_queue_depth,
+                status.writer_pending,
+                status.writer_peak_pending,
+                status.leases_retried,
+                status.leases_quarantined,
+                status.retries,
+                status.panics_caught,
+                status.degraded_visits,
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown crawl-job verb `{other}`\n{USAGE}")),
+    }
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {

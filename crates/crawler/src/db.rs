@@ -450,7 +450,7 @@ pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
 }
 
 /// On-disk database formats a shard file can carry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum DbFormat {
     /// One JSON object per line — the interchange format.
     Jsonl,

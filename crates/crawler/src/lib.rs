@@ -29,6 +29,7 @@
 mod colsh;
 mod db;
 mod funnel;
+mod jobs;
 mod run;
 mod telemetry;
 
@@ -42,6 +43,10 @@ pub use db::{
     StreamMode, SKIP_REPORT_LINES,
 };
 pub use funnel::CrawlFunnel;
+pub use jobs::{
+    job_resume, job_start, read_status, JobError, JobManifest, JobOptions, JobReport, JobState,
+    JobStatus, DEFAULT_LEASE_RECORDS, MANIFEST_FILE, MANIFEST_VERSION, STATUS_FILE,
+};
 pub use netsim::FaultSpec;
 pub use run::{CrawlConfig, CrawlDataset, Crawler, SiteOutcome, SiteRecord};
 pub use telemetry::{CrawlTelemetry, TelemetrySnapshot, LATENCY_BOUNDS_MS};

@@ -151,14 +151,6 @@ impl CrawlDataset {
     }
 }
 
-/// Largest exponent applied to [`CrawlConfig::retry_backoff_ms`]; later
-/// retries reuse it, keeping the shift well inside u64 range.
-const MAX_BACKOFF_SHIFT: u32 = 16;
-
-/// Ceiling on a single backoff advance (one simulated hour) no matter
-/// how `retry_backoff_ms` and the retry count combine.
-const MAX_BACKOFF_MS: u64 = 3_600_000;
-
 /// What one isolated visit attempt produced.
 struct AttemptOutcome {
     outcome: SiteOutcome,
@@ -186,8 +178,9 @@ impl Crawler {
     }
 
     /// [`visit_one`](Crawler::visit_one), reporting to `telemetry` as
-    /// worker `worker` when given.
-    fn visit_observed(
+    /// worker `worker` when given. Shared with the job engine
+    /// ([`crate::jobs`]), whose lease workers drive it directly.
+    pub(crate) fn visit_observed(
         &self,
         population: &WebPopulation,
         rank: u64,
@@ -210,18 +203,13 @@ impl Crawler {
                 SiteOutcome::Unreachable | SiteOutcome::LoadTimeout
             );
             if transient && attempts <= self.config.max_retries {
-                // Exponential backoff, paid in simulated time. The
-                // exponent is user-controlled via --retries, so cap it
-                // (a shift ≥ 64 would overflow) and clamp the advance
-                // to a ceiling no real backoff schedule exceeds.
-                let shift = (attempts - 1).min(MAX_BACKOFF_SHIFT);
-                let backoff = self
-                    .config
-                    .retry_backoff_ms
-                    .checked_shl(shift)
-                    .unwrap_or(MAX_BACKOFF_MS)
-                    .min(MAX_BACKOFF_MS);
-                clock.advance(backoff);
+                // Exponential backoff, paid in simulated time; the
+                // shared schedule caps the user-controlled exponent and
+                // clamps the advance (see `netsim::capped_backoff_ms`).
+                clock.advance(netsim::capped_backoff_ms(
+                    self.config.retry_backoff_ms,
+                    attempts,
+                ));
                 continue;
             }
             break attempt;
@@ -654,7 +642,7 @@ mod tests {
         // Every backoff is clamped to MAX_BACKOFF_MS, so the total can't
         // have wrapped into nonsense.
         assert!(
-            record.elapsed_ms <= 65 * MAX_BACKOFF_MS,
+            record.elapsed_ms <= 65 * netsim::MAX_BACKOFF_MS,
             "{}",
             record.elapsed_ms
         );

@@ -176,16 +176,55 @@ impl TelemetrySnapshot {
         self.outcomes.iter().sum()
     }
 
-    /// One-line progress summary, for periodic printing.
+    /// One-line progress summary, for periodic printing. `attempted` is
+    /// the number of visits planned for this run; an empty plan renders
+    /// as 100% done rather than dividing by zero.
     pub fn progress_line(&self, attempted: u64) -> String {
         format!(
-            "crawled {}/{attempted} (ok {}, failed {}, retries {}, panics {})",
+            "crawled {}/{attempted} [{:.1}%] (ok {}, failed {}, retries {}, panics {})",
             self.completed(),
+            self.percent_done(attempted),
             self.outcomes[0],
             self.completed() - self.outcomes[0],
             self.retries,
             self.panics_caught,
         )
+    }
+
+    /// Share of `attempted` completed, in percent. 100 when nothing was
+    /// planned (an empty plan is trivially done — never a 0/0 NaN).
+    pub fn percent_done(&self, attempted: u64) -> f64 {
+        if attempted == 0 {
+            return 100.0;
+        }
+        100.0 * self.completed() as f64 / attempted as f64
+    }
+
+    /// Sustained completion rate over `wall_secs` of wall-clock time, in
+    /// visits per second. Zero elapsed time (a snapshot taken at start,
+    /// or a sub-resolution interval) reports 0 instead of dividing by
+    /// zero into infinity/NaN.
+    pub fn rate_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs.is_nan() || wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / wall_secs
+    }
+
+    /// Estimated seconds to finish `remaining` visits at the sustained
+    /// rate over `wall_secs`. Returns 0 when nothing remains and
+    /// [`f64::INFINITY`] when no rate is measurable yet (zero elapsed or
+    /// zero completed) — never NaN, so status surfaces can render it
+    /// unconditionally.
+    pub fn eta_secs(&self, remaining: u64, wall_secs: f64) -> f64 {
+        if remaining == 0 {
+            return 0.0;
+        }
+        let rate = self.rate_per_sec(wall_secs);
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        remaining as f64 / rate
     }
 
     /// Multi-line final report.
@@ -283,7 +322,34 @@ mod tests {
         t.record_visit(0, SiteOutcome::LoadTimeout, 1, 2);
         let line = t.snapshot().progress_line(10);
         assert!(line.contains("2/10"), "{line}");
+        assert!(line.contains("[20.0%]"), "{line}");
         assert!(line.contains("ok 1"), "{line}");
         assert!(line.contains("retries 1"), "{line}");
+    }
+
+    #[test]
+    fn rate_math_survives_zero_elapsed_and_zero_attempted() {
+        // Regression: a status poll in the first instant of a run (zero
+        // wall-clock) or a fully resumed job (zero planned visits) must
+        // not divide by zero into NaN/∞ percentages or panic.
+        let t = CrawlTelemetry::new(1);
+        let empty = t.snapshot();
+        assert_eq!(empty.percent_done(0), 100.0);
+        assert_eq!(empty.rate_per_sec(0.0), 0.0);
+        assert_eq!(empty.rate_per_sec(f64::NAN), 0.0);
+        assert_eq!(empty.eta_secs(0, 0.0), 0.0);
+        assert_eq!(empty.eta_secs(10, 0.0), f64::INFINITY);
+        let line = empty.progress_line(0);
+        assert!(line.contains("0/0"), "{line}");
+        assert!(line.contains("[100.0%]"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+
+        t.record_visit(0, SiteOutcome::Success, 1, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.rate_per_sec(0.0), 0.0, "zero elapsed stays finite");
+        assert_eq!(snap.rate_per_sec(2.0), 0.5);
+        assert_eq!(snap.eta_secs(5, 2.0), 10.0);
+        assert!(snap.eta_secs(5, 0.0).is_infinite());
+        assert!(!snap.eta_secs(5, 0.0).is_nan());
     }
 }

@@ -1,0 +1,362 @@
+//! The job engine's deterministic chaos harness.
+//!
+//! The crash-safety contract under test: a crawl job killed at *any*
+//! point mid-write — tearing a JSONL line, a `.colsh` row group, even
+//! the file headers or the job manifest — resumes to a dataset that is
+//! byte-identical to an uninterrupted run. Kills are simulated with the
+//! engine's deterministic chaos hooks (`abort_after_records` returns
+//! without draining or flushing anything) followed by seeded random
+//! truncation of every shard file: since shard files grow append-only,
+//! every state a real SIGKILL can leave behind is some byte prefix of
+//! the uninterrupted file, and random truncation explores exactly that
+//! space.
+
+use std::path::{Path, PathBuf};
+
+use crawler::{
+    job_resume, job_start, read_colsh, read_jsonl, read_status, ColshWriter, Crawler, DbFormat,
+    JobError, JobManifest, JobOptions, JobState, SiteOutcome,
+};
+
+const SEED: u64 = 7;
+const SIZE: u64 = 163;
+const SHARDS: usize = 3;
+const COLSH_GROUP: usize = 16;
+
+/// The panic hook is process-global; tests that silence it (injected
+/// lease faults unwind through `catch_unwind` on purpose, and the
+/// default hook would spam backtraces) must not interleave.
+static PANIC_HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_quiet_panics<R>(body: impl FnOnce() -> R) -> R {
+    let _guard = PANIC_HOOK_LOCK.lock().unwrap();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = body();
+    std::panic::set_hook(hook);
+    result
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("permodyssey-jobeng-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn manifest(format: DbFormat) -> JobManifest {
+    let mut manifest = JobManifest::new(SEED, SIZE, SHARDS, format);
+    // Exercise the per-visit retry/panic machinery inside the engine too.
+    manifest.fault_panics_per_mille = 20;
+    manifest.fault_transients_per_mille = 60;
+    manifest
+}
+
+fn options() -> JobOptions {
+    JobOptions {
+        workers: 4,
+        channel_capacity: 8,
+        lease_records: 16,
+        status_every: 10,
+        colsh_group_records: Some(COLSH_GROUP),
+        ..JobOptions::default()
+    }
+}
+
+/// Reads every shard file's bytes, in shard order.
+fn shard_bytes(manifest: &JobManifest, dir: &Path) -> Vec<Vec<u8>> {
+    manifest
+        .shard_files(dir)
+        .iter()
+        .map(|path| std::fs::read(path).unwrap())
+        .collect()
+}
+
+/// An uninterrupted engine run's shard bytes, used as the reference the
+/// chaos runs must reproduce exactly.
+fn reference_bytes(manifest: &JobManifest, tag: &str) -> Vec<Vec<u8>> {
+    let dir = temp_dir(tag);
+    let report = with_quiet_panics(|| job_start(&dir, manifest, &options()).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert_eq!(report.written, SIZE);
+    let bytes = shard_bytes(manifest, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    bytes
+}
+
+/// Tiny deterministic generator for truncation offsets.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 17
+}
+
+/// Truncates each shard file to a seeded random prefix — the header
+/// region included, so some iterations tear the `.colsh` magic itself.
+fn truncate_shards(manifest: &JobManifest, dir: &Path, rng: &mut u64) {
+    for path in manifest.shard_files(dir) {
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = next_rand(rng) % (len + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+    }
+}
+
+/// The core kill-at-random-offset loop shared by both formats: abort
+/// the engine mid-write at various points, shred the shard tails, and
+/// require resume (possibly through a second kill) to land on the
+/// reference bytes.
+fn kill_and_resume_round_trip(format: DbFormat, tag: &str) {
+    let manifest = manifest(format);
+    let reference = reference_bytes(&manifest, &format!("{tag}-ref"));
+    let mut rng = 0x00dd_5eed ^ SEED;
+    for (round, abort_at) in [1u64, 7, 23, 61, 97, 140].into_iter().enumerate() {
+        let dir = temp_dir(&format!("{tag}-kill{round}"));
+        let mut opts = options();
+        opts.abort_after_records = Some(abort_at);
+        let err = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap_err());
+        assert!(
+            matches!(err, JobError::Aborted { written } if written == abort_at),
+            "{err}"
+        );
+        truncate_shards(&manifest, &dir, &mut rng);
+
+        // Odd rounds die a second time mid-resume before recovering.
+        if round % 2 == 1 {
+            let mut again = options();
+            again.abort_after_records = Some(11);
+            let err = with_quiet_panics(|| job_resume(&dir, &again).unwrap_err());
+            assert!(matches!(err, JobError::Aborted { written: 11 }), "{err}");
+            truncate_shards(&manifest, &dir, &mut rng);
+        }
+
+        let report = with_quiet_panics(|| job_resume(&dir, &options()).unwrap());
+        assert_eq!(report.state, JobState::Complete);
+        assert_eq!(report.durable, SIZE);
+        assert_eq!(
+            shard_bytes(&manifest, &dir),
+            reference,
+            "round {round}: resumed shards diverge from the uninterrupted run"
+        );
+        // Resuming a complete job is a no-op that leaves the bytes alone.
+        let report = job_resume(&dir, &options()).unwrap();
+        assert_eq!(report.state, JobState::Complete);
+        assert_eq!(report.written, 0);
+        assert_eq!(shard_bytes(&manifest, &dir), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn uninterrupted_job_matches_hand_striped_crawl() {
+    // The engine's output must equal a single-threaded rank-order crawl
+    // striped by hand — workers, leases and reordering are invisible.
+    for format in [DbFormat::Jsonl, DbFormat::Colsh] {
+        let manifest = manifest(format);
+        let dir = temp_dir(&format!("handref-{format:?}"));
+        let population = manifest.population();
+        let crawler = Crawler::new(manifest.crawl_config(1));
+        let paths = manifest.shard_files(&dir);
+        match format {
+            DbFormat::Jsonl => {
+                let mut outs: Vec<String> = vec![String::new(); SHARDS];
+                for rank in 1..=SIZE {
+                    let record = with_quiet_panics(|| crawler.visit_one(&population, rank));
+                    let shard = (rank - 1) as usize % SHARDS;
+                    serde_json::to_string_into(&record, &mut outs[shard]);
+                    outs[shard].push('\n');
+                }
+                for (path, text) in paths.iter().zip(&outs) {
+                    std::fs::write(path, text).unwrap();
+                }
+            }
+            DbFormat::Colsh => {
+                let mut writers: Vec<ColshWriter> = paths
+                    .iter()
+                    .map(|p| ColshWriter::create_grouped(p, COLSH_GROUP).unwrap())
+                    .collect();
+                for rank in 1..=SIZE {
+                    let record = with_quiet_panics(|| crawler.visit_one(&population, rank));
+                    writers[(rank - 1) as usize % SHARDS].push(&record).unwrap();
+                }
+                for writer in writers {
+                    writer.finish().unwrap();
+                }
+            }
+        }
+        let hand = shard_bytes(&manifest, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            reference_bytes(&manifest, &format!("engine-{format:?}")),
+            hand,
+            "{format:?}: engine output diverges from a hand-striped crawl"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_jsonl() {
+    kill_and_resume_round_trip(DbFormat::Jsonl, "jsonl");
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_colsh() {
+    kill_and_resume_round_trip(DbFormat::Colsh, "colsh");
+}
+
+#[test]
+fn torn_manifest_is_loud_then_recoverable() {
+    let manifest = manifest(DbFormat::Colsh);
+    let reference = reference_bytes(&manifest, "tornman-ref");
+    let dir = temp_dir("tornman");
+    let mut opts = options();
+    opts.abort_after_records = Some(40);
+    let err = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap_err());
+    assert!(matches!(err, JobError::Aborted { .. }), "{err}");
+
+    // The kill also tore the manifest header: resume must fail loudly,
+    // naming the file, without touching the shard data.
+    let manifest_path = JobManifest::path(&dir);
+    let intact = std::fs::read(&manifest_path).unwrap();
+    std::fs::write(&manifest_path, &intact[..9]).unwrap();
+    let before = shard_bytes(&manifest, &dir);
+    let err = job_resume(&dir, &options()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("job.json") && msg.contains("torn or corrupt"),
+        "{msg}"
+    );
+    assert_eq!(shard_bytes(&manifest, &dir), before);
+
+    // Rewriting the manifest from the original parameters recovers the
+    // job; the resumed dataset still matches the uninterrupted run.
+    manifest.store(&dir).unwrap();
+    let report = with_quiet_panics(|| job_resume(&dir, &options()).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert_eq!(shard_bytes(&manifest, &dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lease_retries_leave_no_trace_in_the_dataset() {
+    let manifest = manifest(DbFormat::Jsonl);
+    let reference = reference_bytes(&manifest, "leasechaos-ref");
+    let dir = temp_dir("leasechaos");
+    let mut opts = options();
+    opts.lease_fault_per_mille = 200;
+    opts.max_lease_failures = 30;
+    let report = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert!(report.leases_retried > 0, "chaos rate should force retries");
+    assert_eq!(report.leases_quarantined, 0);
+    assert!(report.lease_backoff_ms > 0);
+    assert_eq!(shard_bytes(&manifest, &dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poison_leases_quarantine_without_losing_ranks() {
+    let manifest = manifest(DbFormat::Jsonl);
+    let dir = temp_dir("poison");
+    let mut opts = options();
+    // Every (rank, attempt) pair faults: no lease can ever make progress.
+    opts.lease_fault_per_mille = 1000;
+    opts.max_lease_failures = 2;
+    let report = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert!(report.leases_quarantined > 0);
+    let mut ranks = Vec::new();
+    for path in manifest.shard_files(&dir) {
+        for record in read_jsonl(&path).unwrap().records {
+            assert_eq!(
+                record.outcome,
+                SiteOutcome::CrawlerError,
+                "rank {}",
+                record.rank
+            );
+            assert_eq!(record.attempts, 0);
+            ranks.push(record.rank);
+        }
+    }
+    ranks.sort_unstable();
+    assert_eq!(ranks, (1..=SIZE).collect::<Vec<_>>(), "a rank went missing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn graceful_stop_checkpoints_cleanly_and_resumes_byte_identical() {
+    for format in [DbFormat::Jsonl, DbFormat::Colsh] {
+        let manifest = manifest(format);
+        let reference = reference_bytes(&manifest, &format!("stop-{format:?}-ref"));
+        let dir = temp_dir(&format!("stop-{format:?}"));
+        let mut opts = options();
+        opts.stop_after_records = Some(70);
+        let report = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap());
+        assert_eq!(report.state, JobState::Stopped);
+        assert!(report.durable < SIZE);
+        let status = read_status(&dir).unwrap();
+        assert_eq!(status.state, "stopped");
+
+        // Checkpointed shards are strictly readable — no torn tails.
+        for path in manifest.shard_files(&dir) {
+            match format {
+                DbFormat::Jsonl => {
+                    read_jsonl(&path).unwrap();
+                }
+                DbFormat::Colsh => {
+                    read_colsh(&path).unwrap();
+                }
+            }
+        }
+
+        let report = with_quiet_panics(|| job_resume(&dir, &options()).unwrap());
+        assert_eq!(report.state, JobState::Complete);
+        assert_eq!(
+            shard_bytes(&manifest, &dir),
+            reference,
+            "{format:?}: stop/resume diverges from the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn stop_file_halts_between_leases_and_clears_for_resume() {
+    let manifest = manifest(DbFormat::Jsonl);
+    let reference = reference_bytes(&manifest, "stopfile-ref");
+    let dir = temp_dir("stopfile");
+    let stop_file = dir.join("STOP");
+    std::fs::write(&stop_file, b"drain\n").unwrap();
+    let mut opts = options();
+    opts.stop_file = Some(stop_file.clone());
+    let report = job_start(&dir, &manifest, &opts).unwrap();
+    assert_eq!(report.state, JobState::Stopped);
+    assert_eq!(report.written, 0, "stop file was present before any lease");
+    assert_eq!(read_status(&dir).unwrap().state, "stopped");
+
+    std::fs::remove_file(&stop_file).unwrap();
+    let report = with_quiet_panics(|| job_resume(&dir, &opts).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert_eq!(shard_bytes(&manifest, &dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn status_surface_tracks_a_completed_run() {
+    let manifest = manifest(DbFormat::Jsonl);
+    let dir = temp_dir("statusfinal");
+    let report = with_quiet_panics(|| job_start(&dir, &manifest, &options()).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    let status = read_status(&dir).unwrap();
+    assert_eq!(status.state, "complete");
+    assert_eq!(status.size, SIZE);
+    assert_eq!(status.written, SIZE);
+    assert_eq!(status.remaining, 0);
+    assert_eq!(status.writer_pending, 0);
+    assert_eq!(status.worker_visits.len(), options().workers);
+    assert_eq!(status.outcomes.iter().sum::<u64>(), SIZE);
+    assert!(status.rate_per_sec > 0.0);
+    assert!(status.writer_peak_pending >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -35,6 +35,28 @@ impl SimClock {
     }
 }
 
+/// Largest exponent [`capped_backoff_ms`] applies to its base; later
+/// attempts reuse it, keeping the shift well inside u64 range.
+pub const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// Ceiling on a single backoff advance (one simulated hour) no matter
+/// how the base and the attempt count combine.
+pub const MAX_BACKOFF_MS: u64 = 3_600_000;
+
+/// The exponential-backoff schedule every retry loop shares: before
+/// re-attempt `attempt` (1-based), wait `base_ms << (attempt - 1)`
+/// simulated milliseconds, with the shift capped at
+/// [`MAX_BACKOFF_SHIFT`] and the advance clamped to [`MAX_BACKOFF_MS`]
+/// — so user-controlled retry budgets can never overflow the shift or
+/// wrap the clock.
+pub fn capped_backoff_ms(base_ms: u64, attempt: u32) -> u64 {
+    let shift = attempt.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+    base_ms
+        .checked_shl(shift)
+        .unwrap_or(MAX_BACKOFF_MS)
+        .min(MAX_BACKOFF_MS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +78,17 @@ mod tests {
         c.advance(u64::MAX);
         c.advance(10);
         assert_eq!(c.now_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn backoff_doubles_then_clamps() {
+        assert_eq!(capped_backoff_ms(500, 1), 500);
+        assert_eq!(capped_backoff_ms(500, 2), 1_000);
+        assert_eq!(capped_backoff_ms(500, 3), 2_000);
+        // A huge attempt count caps the shift and clamps the result.
+        assert_eq!(capped_backoff_ms(500, 64), MAX_BACKOFF_MS);
+        assert_eq!(capped_backoff_ms(u64::MAX, 2), MAX_BACKOFF_MS);
+        // Attempt 0 behaves like attempt 1 rather than underflowing.
+        assert_eq!(capped_backoff_ms(500, 0), 500);
     }
 }

@@ -27,7 +27,7 @@ mod network;
 mod response;
 
 pub use cache::CachingNetwork;
-pub use clock::SimClock;
+pub use clock::{capped_backoff_ms, SimClock, MAX_BACKOFF_MS, MAX_BACKOFF_SHIFT};
 pub use error::FetchError;
 pub use fault::{FaultSpec, FaultyNetwork};
 pub use network::{ContentProvider, Network, ProviderResult, SimNetwork};

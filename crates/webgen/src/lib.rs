@@ -66,3 +66,19 @@ impl Default for PopulationConfig {
         }
     }
 }
+
+/// The paper's full measurement scale: the CrUX top 1M origins.
+pub const PAPER_SCALE: u64 = 1_000_000;
+
+impl PopulationConfig {
+    /// A population at the paper's full 1M-origin scale. Sites are
+    /// generated lazily, so constructing this is free — it's meant for
+    /// streaming consumers (the resumable job engine's soak runs), not
+    /// for anything that materializes every site.
+    pub fn paper_scale(seed: u64) -> PopulationConfig {
+        PopulationConfig {
+            seed,
+            size: PAPER_SCALE,
+        }
+    }
+}

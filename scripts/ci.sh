@@ -82,6 +82,42 @@ diff -u "$COL/flat.out" "$COL/shard.out"
 rm -rf "$COL"
 echo "    sharded columnar analyze output is byte-identical"
 
+echo "==> job engine: deterministic kill-and-resume chaos harness (release)"
+cargo test -q --release -p crawler --test job_engine
+
+echo "==> job engine: CLI crash gate (chaos kill mid-write, resume, cmp)"
+BIN=target/release/permissions-odyssey
+JOB=$(mktemp -d)
+trap 'rm -rf "$JOB"' EXIT
+for format in jsonl columnar; do
+    ext=jsonl; [ "$format" = columnar ] && ext=colsh
+    "$BIN" crawl-job start --dir "$JOB/ref-$ext" --size 20000 --seed 7 --shards 3 \
+        --format "$format" --fault-transients 40 2>/dev/null
+    # The chaos hook aborts the engine mid-write without flushing — the
+    # start MUST fail — and the tails are shredded further by truncation
+    # (every SIGKILL state is some byte prefix of the uninterrupted file).
+    if "$BIN" crawl-job start --dir "$JOB/chaos-$ext" --size 20000 --seed 7 --shards 3 \
+        --format "$format" --fault-transients 40 --chaos-abort 7300 2>/dev/null; then
+        echo "chaos-abort run unexpectedly succeeded" >&2
+        exit 1
+    fi
+    truncate -s 41231 "$JOB/chaos-$ext/crawl-000.$ext"
+    truncate -s 5 "$JOB/chaos-$ext/crawl-001.$ext"
+    "$BIN" crawl-job resume --dir "$JOB/chaos-$ext" 2>/dev/null
+    for i in 0 1 2; do
+        cmp "$JOB/ref-$ext/crawl-00$i.$ext" "$JOB/chaos-$ext/crawl-00$i.$ext"
+    done
+    "$BIN" crawl-job status --dir "$JOB/chaos-$ext" | grep -q "state:     complete"
+done
+echo "    killed-and-resumed 20k jobs are byte-identical in both formats"
+
+echo "==> job engine: bounded-memory soak smoke (100k origins, RSS ceiling)"
+"$BIN" crawl-job start --dir "$JOB/soak" --size 100000 --shards 4 \
+    --status-every 20000 --max-rss-mb 192 2>/dev/null
+grep -q '"state":"complete"' "$JOB/soak/status.json"
+rm -rf "$JOB"
+echo "    100k-origin job stayed under the 192 MiB peak-RSS ceiling"
+
 echo "==> difftest: spec-oracle differential gate (>=10k seeded scenarios)"
 cargo test -q --release -p difftest
 cargo test -q --release -p difftest --test differential -- --ignored
