@@ -129,6 +129,80 @@ fn render_report(tables: crate::stream::Tables, config: &ReportConfig) -> String
     sections.join("\n")
 }
 
+/// Renders finished [`crate::stream::Tables`] in the CLI's `analyze`
+/// order: one section per selected table, each followed by a newline.
+///
+/// This is the *one* rendering of an analysis frontier — the batch
+/// `analyze` command and every live `crawl-job analyze` snapshot go
+/// through it, which is what makes "live snapshot vs from-scratch
+/// analyze at the same frontier" a byte-for-byte comparison instead of
+/// a semantic one. `table` is the CLI table name that selected the
+/// tables (Table 8 and the directive mix share an accumulator and are
+/// gated individually by it); `top` is the rows-per-ranked-table knob.
+pub fn render_tables(tables: &crate::stream::Tables, table: &str, top: usize) -> String {
+    let mut out = String::new();
+    let mut emit = |rendered: String| {
+        out.push_str(&rendered);
+        out.push('\n');
+    };
+    if let Some(funnel) = &tables.funnel {
+        emit(funnel.report());
+    }
+    if let Some(census) = &tables.census {
+        emit(census.table().render());
+    }
+    if let Some(completeness) = &tables.completeness {
+        emit(completeness.table().render());
+    }
+    if let Some(embeds) = &tables.embeds {
+        emit(embeds.table(top).render());
+    }
+    if let Some(invocations) = &tables.invocations {
+        emit(invocations.table(top).render());
+    }
+    if let Some(status_checks) = &tables.status_checks {
+        emit(status_checks.table(top).render());
+    }
+    if let Some(statics) = &tables.statics {
+        emit(statics.table(top).render());
+    }
+    if let Some(summary) = &tables.summary {
+        emit(summary.table().render());
+    }
+    if let Some(delegated_embeds) = &tables.delegated_embeds {
+        emit(delegated_embeds.table(top).render());
+    }
+    // Table 8 and the directive mix share one accumulator; emit the
+    // pieces the caller asked for.
+    if let Some(delegation) = &tables.delegated_permissions {
+        if table == "all" || table == "t8" {
+            emit(delegation.table(top).render());
+        }
+        if table == "all" || table == "directives" {
+            emit(delegation.directive_table().render());
+        }
+    }
+    if let Some(adoption) = &tables.adoption {
+        emit(adoption.table().render());
+    }
+    if let Some(directives) = &tables.top_level_directives {
+        emit(directives.table(top).render());
+    }
+    if let Some(misconfig) = &tables.misconfigurations {
+        emit(misconfig.table().render());
+    }
+    if let Some(overpermission) = &tables.overpermission {
+        emit(overpermission.table(top.max(30)).render());
+    }
+    if let Some(groups) = &tables.purpose_groups {
+        emit(groups.table().render());
+    }
+    if let Some(exposure) = &tables.exposure {
+        emit(exposure.table().render());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

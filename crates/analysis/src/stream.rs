@@ -335,7 +335,11 @@ pub struct Tables {
 
 /// One accumulator per selected table, composed so the whole analysis is
 /// a single pass over the records.
-#[derive(Debug, Default)]
+///
+/// `Clone` is part of the live-analysis contract: a snapshot clones the
+/// per-shard accumulators at a frontier and merges the clones, leaving
+/// the originals resident to keep folding the next delta.
+#[derive(Debug, Default, Clone)]
 pub struct TableSet {
     funnel: Option<CrawlFunnel>,
     census: Option<FrameCensus>,
@@ -503,11 +507,113 @@ where
         let (acc, records, skip) = slot.expect("every shard index was claimed")?;
         merged.merge(acc);
         telemetry.records += records;
-        if skip.skipped > 0 {
+        if skip.skipped > 0 || skip.torn_tail {
             telemetry.skipped.push((path.clone(), skip));
         }
     }
     Ok((merged, telemetry))
+}
+
+/// Live analysis over a set of possibly-still-growing shard files:
+/// one resident [`ShardFollower`] + [`TableSet`] pair per shard, so
+/// each [`LiveAnalysis::tick`] folds only the records appended since
+/// the last one, and each [`LiveAnalysis::snapshot`] is byte-identical
+/// to a from-scratch analysis over the same frontier.
+///
+/// Correctness leans on the two engine laws the equivalence suite pins:
+/// per-shard folds are sequential (record order within a shard is
+/// preserved), and snapshots merge the cloned per-shard accumulators in
+/// shard-index order — exactly what [`fold_shards`] does for a batch
+/// run. Combined with the writer's append-or-byte-identical-rewrite
+/// contract past the frontier, resident fold state never diverges from
+/// a cold re-read.
+pub struct LiveAnalysis {
+    shards: Vec<LiveShard>,
+}
+
+struct LiveShard {
+    follower: crawler::ShardFollower,
+    set: TableSet,
+}
+
+/// A job-wide consistent frontier: one [`crawler::ShardFrontier`] per
+/// shard, in shard order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobFrontier {
+    /// Per-shard frontiers, in shard-index order.
+    pub shards: Vec<crawler::ShardFrontier>,
+}
+
+impl JobFrontier {
+    /// Total records at the frontier, across all shards.
+    pub fn records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// Total valid-prefix bytes at the frontier, across all shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes).sum()
+    }
+}
+
+impl LiveAnalysis {
+    /// Followers + accumulators for `paths` (typically a job manifest's
+    /// shard files, which need not exist yet), folding the tables in
+    /// `selection`. Columnar shards are projected down to the columns
+    /// the selection reads, same as a batch run.
+    pub fn new(
+        paths: &[PathBuf],
+        format: crawler::DbFormat,
+        selection: TableSelection,
+    ) -> LiveAnalysis {
+        let columns = selection.columns();
+        LiveAnalysis {
+            shards: paths
+                .iter()
+                .map(|path| LiveShard {
+                    follower: crawler::ShardFollower::new(path, format, columns),
+                    set: TableSet::new(selection),
+                })
+                .collect(),
+        }
+    }
+
+    /// Polls every shard once, folding newly appended records into the
+    /// resident accumulators, and returns the frontier the fold state
+    /// now reflects.
+    pub fn tick(&mut self) -> io::Result<JobFrontier> {
+        let mut frontier = JobFrontier {
+            shards: Vec::with_capacity(self.shards.len()),
+        };
+        for LiveShard { follower, set } in &mut self.shards {
+            let shard_frontier = follower.poll(|record| set.fold(record)).map_err(|e| {
+                io::Error::new(e.kind(), format!("{}: {e}", follower.path().display()))
+            })?;
+            frontier.shards.push(shard_frontier);
+        }
+        Ok(frontier)
+    }
+
+    /// The frontier as of the last [`LiveAnalysis::tick`].
+    pub fn frontier(&self) -> JobFrontier {
+        JobFrontier {
+            shards: self.shards.iter().map(|s| s.follower.frontier()).collect(),
+        }
+    }
+
+    /// Finished tables at the current frontier: clones the per-shard
+    /// accumulators, merges the clones in shard order, and finishes the
+    /// merge — the resident state keeps folding future ticks.
+    pub fn snapshot(&self) -> Tables {
+        let mut merged: Option<TableSet> = None;
+        for shard in &self.shards {
+            match &mut merged {
+                None => merged = Some(shard.set.clone()),
+                Some(acc) => acc.merge(shard.set.clone()),
+            }
+        }
+        merged.unwrap_or_default().finish()
+    }
 }
 
 /// The CLI entry point: streams the selected tables out of a set of

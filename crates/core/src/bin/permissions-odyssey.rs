@@ -64,9 +64,12 @@ USAGE:
                                [--stop-file FILE] [--status-every N]
                                [--max-rss-mb M]
   permissions-odyssey crawl-job status --dir DIR
+  permissions-odyssey crawl-job analyze --dir DIR [--follow] [--table NAME]
+                               [--top N] [--interval-ms MS]
   permissions-odyssey analyze  --db FILE|DIR|GLOB [--table NAME] [--top N]
-                               [--lenient] [--workers W]
+                               [--lenient] [--workers W] [--follow]
   permissions-odyssey convert  --in FILE --out FILE [--format jsonl|columnar]
+                               [--group N] [--dict-epoch N]
   permissions-odyssey lint     <Permissions-Policy header value>
   permissions-odyssey generate [--preset disable-all|disable-powerful]
   permissions-odyssey matrix
@@ -85,7 +88,14 @@ JOBS: `crawl-job` runs a crawl as a resumable job — a directory holding
   Kill it at any point and `crawl-job resume` reproduces the
   uninterrupted dataset byte for byte; touch the --stop-file for a
   graceful checkpointed shutdown (exit 0). Prefer it over the older
-  `crawl --resume` flow for anything long-running.";
+  `crawl --resume` flow for anything long-running.
+
+LIVE ANALYSIS: `crawl-job analyze` folds the analysis tables over a
+  job's shards up to a consistent frontier (last complete line / row
+  group) without racing the writer — run it while the job crawls. With
+  --follow it keeps re-folding only the appended delta until the job
+  finishes, writing each snapshot under DIR/tables/. `analyze --follow
+  --db DIR` is the same thing spelled from the analyze side.";
 
 /// The on-disk format a write-side command targets.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -353,6 +363,13 @@ fn job_options(args: &[String]) -> Result<crawler::JobOptions, String> {
         lease_records: parse_flag(args, "--lease", defaults.lease_records)?,
         status_every: parse_flag(args, "--status-every", defaults.status_every)?,
         stop_file: flag(args, "--stop-file").map(PathBuf::from),
+        colsh_dict_epoch_groups: match flag(args, "--dict-epoch") {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|_| format!("invalid value for --dict-epoch: {n}"))?,
+            ),
+            None => None,
+        },
         abort_after_records: match flag(args, "--chaos-abort") {
             Some(n) => Some(
                 n.parse()
@@ -471,6 +488,13 @@ fn cmd_crawl_job(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "analyze" => {
+            let table = flag(rest, "--table").unwrap_or_else(|| "all".to_string());
+            let top: usize = parse_flag(rest, "--top", 10)?;
+            let follow = rest.iter().any(|a| a == "--follow");
+            let interval_ms: u64 = parse_flag(rest, "--interval-ms", 500)?;
+            run_live_analyze(&dir, &table, top, follow, interval_ms)
+        }
         other => Err(format!("unknown crawl-job verb `{other}`\n{USAGE}")),
     }
 }
@@ -480,6 +504,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let table = flag(args, "--table").unwrap_or_else(|| "all".to_string());
     let top: usize = parse_flag(args, "--top", 10)?;
     let lenient = args.iter().any(|a| a == "--lenient");
+
+    // `--follow` reads --db as a job directory and hands off to the
+    // live frontier loop (the same thing as `crawl-job analyze`).
+    if args.iter().any(|a| a == "--follow") {
+        let interval_ms: u64 = parse_flag(args, "--interval-ms", 500)?;
+        return run_live_analyze(std::path::Path::new(&db), &table, top, true, interval_ms);
+    }
 
     // One streaming pass per shard: the selected tables fold record by
     // record, so peak memory never depends on the dataset size.
@@ -496,12 +527,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let (tables, telemetry) = analysis::stream::analyze_shards(&paths, mode, workers, selection)
         .map_err(|e| format!("reading {e}"))?;
     for (path, skip) in &telemetry.skipped {
-        eprintln!(
-            "lenient: skipped {} corrupt line(s) in {} ({})",
-            skip.skipped,
-            path.display(),
-            skip.describe()
-        );
+        if skip.skipped > 0 {
+            eprintln!(
+                "lenient: skipped {} corrupt line(s) in {} ({})",
+                skip.skipped,
+                path.display(),
+                skip.describe()
+            );
+        }
+        if skip.torn_tail {
+            eprintln!(
+                "lenient: {} ends mid-record (torn live tail, treated as end of data)",
+                path.display()
+            );
+        }
     }
     eprintln!(
         "analyzed {} records from {} shard(s) in {:.1}s ({} worker(s))",
@@ -512,65 +551,132 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
 
     // Ignore write errors: piping into `head` must not panic the tool.
-    let emit = |rendered: String| {
-        let _ = writeln!(std::io::stdout(), "{rendered}");
-    };
-    if let Some(funnel) = &tables.funnel {
-        emit(funnel.report());
-    }
-    if let Some(census) = &tables.census {
-        emit(census.table().render());
-    }
-    if let Some(completeness) = &tables.completeness {
-        emit(completeness.table().render());
-    }
-    if let Some(embeds) = &tables.embeds {
-        emit(embeds.table(top).render());
-    }
-    if let Some(invocations) = &tables.invocations {
-        emit(invocations.table(top).render());
-    }
-    if let Some(status_checks) = &tables.status_checks {
-        emit(status_checks.table(top).render());
-    }
-    if let Some(statics) = &tables.statics {
-        emit(statics.table(top).render());
-    }
-    if let Some(summary) = &tables.summary {
-        emit(summary.table().render());
-    }
-    if let Some(delegated_embeds) = &tables.delegated_embeds {
-        emit(delegated_embeds.table(top).render());
-    }
-    // Table 8 and the directive mix share one accumulator; emit the
-    // pieces the caller asked for.
-    if let Some(delegation) = &tables.delegated_permissions {
-        if table == "all" || table == "t8" {
-            emit(delegation.table(top).render());
-        }
-        if table == "all" || table == "directives" {
-            emit(delegation.directive_table().render());
-        }
-    }
-    if let Some(adoption) = &tables.adoption {
-        emit(adoption.table().render());
-    }
-    if let Some(directives) = &tables.top_level_directives {
-        emit(directives.table(top).render());
-    }
-    if let Some(misconfig) = &tables.misconfigurations {
-        emit(misconfig.table().render());
-    }
-    if let Some(overpermission) = &tables.overpermission {
-        emit(overpermission.table(top.max(30)).render());
-    }
-    if let Some(groups) = &tables.purpose_groups {
-        emit(groups.table().render());
-    }
-    if let Some(exposure) = &tables.exposure {
-        emit(exposure.table().render());
-    }
+    let rendered = analysis::report::render_tables(&tables, &table, top);
+    let _ = write!(std::io::stdout(), "{rendered}");
     Ok(())
+}
+
+/// The live analysis loop behind `crawl-job analyze` and
+/// `analyze --follow`: folds the selected tables over a job's shards up
+/// to a consistent frontier, then (with `follow`) keeps re-folding only
+/// the appended delta until the job reaches a terminal state or the
+/// frontier covers the whole population.
+///
+/// Every snapshot is written under `DIR/tables/`:
+/// `frontier-<records>/tables.txt` plus a `frontier.json` tag, and
+/// `tables/latest.txt` (atomically replaced) always holds the newest
+/// snapshot — byte-identical to what a batch `analyze` at the same
+/// frontier prints, which is what the ci.sh gate `diff`s.
+fn run_live_analyze(
+    dir: &std::path::Path,
+    table: &str,
+    top: usize,
+    follow: bool,
+    interval_ms: u64,
+) -> Result<(), String> {
+    // With --follow the job may not have written its manifest yet —
+    // wait a bounded while for it instead of racing the starter.
+    let manifest = {
+        let mut attempt = 0;
+        loop {
+            match crawler::JobManifest::load(dir) {
+                Ok(manifest) => break manifest,
+                Err(_) if follow && attempt < 100 => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    };
+    let selection = analysis::stream::TableSelection::named(table)
+        .ok_or_else(|| format!("unknown table `{table}`\n{USAGE}"))?;
+    let shard_files = manifest.shard_files(dir);
+    let mut live = analysis::stream::LiveAnalysis::new(&shard_files, manifest.format, selection);
+    let tables_dir = dir.join("tables");
+    std::fs::create_dir_all(&tables_dir)
+        .map_err(|e| format!("creating {}: {e}", tables_dir.display()))?;
+    let started = std::time::Instant::now();
+    let mut last_records: Option<u64> = None;
+    loop {
+        // Read the job state *before* folding: a frontier taken after a
+        // terminal status is durable covers everything the job wrote,
+        // so this tick's snapshot is the final one.
+        let state = crawler::read_status(dir)
+            .map(|s| s.state)
+            .unwrap_or_else(|_| "unknown".to_string());
+        let terminal = matches!(state.as_str(), "complete" | "stopped" | "failed");
+        let frontier = live
+            .tick()
+            .map_err(|e| format!("following {}: {e}", dir.display()))?;
+        let records = frontier.records();
+        if last_records != Some(records) {
+            last_records = Some(records);
+            let tables = live.snapshot();
+            let rendered = analysis::report::render_tables(&tables, table, top);
+            write_snapshot(&tables_dir, &frontier, &rendered, table, top)
+                .map_err(|e| format!("writing snapshot under {}: {e}", tables_dir.display()))?;
+            eprintln!(
+                "[{:7.1}s] frontier: {} records, {} bytes, job {}",
+                started.elapsed().as_secs_f64(),
+                records,
+                frontier.bytes(),
+                state
+            );
+            if !follow {
+                let _ = write!(std::io::stdout(), "{rendered}");
+                return Ok(());
+            }
+        }
+        if !follow || terminal || records >= manifest.size {
+            eprintln!(
+                "final frontier: {} of {} records ({})",
+                records, manifest.size, state
+            );
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Persists one live snapshot: a per-frontier directory with the
+/// rendered tables and a frontier tag, plus `latest.txt` swapped in via
+/// a temp file + rename so concurrent readers never see a torn file.
+fn write_snapshot(
+    tables_dir: &std::path::Path,
+    frontier: &analysis::stream::JobFrontier,
+    rendered: &str,
+    table: &str,
+    top: usize,
+) -> std::io::Result<()> {
+    let snap_dir = tables_dir.join(format!("frontier-{:09}", frontier.records()));
+    std::fs::create_dir_all(&snap_dir)?;
+    std::fs::write(snap_dir.join("tables.txt"), rendered)?;
+    // The frontier tag lives next to the tables, not in them, so
+    // `tables.txt` / `latest.txt` stay byte-comparable to batch output.
+    let mut tag = String::new();
+    tag.push_str("{\n");
+    tag.push_str(&format!("  \"records\": {},\n", frontier.records()));
+    tag.push_str(&format!("  \"bytes\": {},\n", frontier.bytes()));
+    tag.push_str(&format!("  \"table\": \"{table}\",\n"));
+    tag.push_str(&format!("  \"top\": {top},\n"));
+    tag.push_str("  \"shards\": [\n");
+    for (i, shard) in frontier.shards.iter().enumerate() {
+        let comma = if i + 1 == frontier.shards.len() {
+            ""
+        } else {
+            ","
+        };
+        tag.push_str(&format!(
+            "    {{ \"records\": {}, \"bytes\": {} }}{comma}\n",
+            shard.records, shard.bytes
+        ));
+    }
+    tag.push_str("  ]\n}\n");
+    std::fs::write(snap_dir.join("frontier.json"), tag)?;
+    let tmp = tables_dir.join("latest.txt.tmp");
+    std::fs::write(&tmp, rendered)?;
+    std::fs::rename(&tmp, tables_dir.join("latest.txt"))
 }
 
 /// `convert --in FILE --out FILE [--format jsonl|columnar]`: re-encodes
@@ -587,6 +693,8 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         .ok_or("convert requires --out FILE")?
         .into();
     let format = out_format(args, &out)?;
+    let group: usize = parse_flag(args, "--group", crawler::DEFAULT_GROUP_RECORDS)?;
+    let epoch: u64 = parse_flag(args, "--dict-epoch", crawler::DEFAULT_DICT_EPOCH_GROUPS)?;
     let stream = crawler::AnyRecordStream::open(&input, crawler::StreamMode::Strict)
         .map_err(|e| format!("opening {}: {e}", input.display()))?;
     let mut sink = match format {
@@ -596,8 +704,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
             ShardSink::Jsonl(std::io::BufWriter::new(file))
         }
         OutFormat::Columnar => ShardSink::Colsh(
-            crawler::ColshWriter::create(&out)
-                .map_err(|e| format!("creating {}: {e}", out.display()))?,
+            crawler::ColshWriter::create_grouped(&out, group)
+                .map_err(|e| format!("creating {}: {e}", out.display()))?
+                .with_dict_epoch_groups(epoch),
         ),
     };
     let mut line = String::new();

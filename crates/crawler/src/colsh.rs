@@ -16,17 +16,23 @@
 //! magic    b"PCOLSH1\n"
 //! version  u32 LE (currently 1)
 //! FDICT    block: the closed feature-token vocabulary, in registry order
-//! group*   each: GROUP, DICT, then the 9 column blocks in id order
+//! group*   each: [EPOCH,] GROUP, DICT, then the 9 column blocks in id order
 //! END      block: varint total record count
 //! ```
 //!
 //! Every block is framed `[id: u8][len: u32 LE][crc32: u32 LE][payload]`
 //! with the CRC (IEEE, reflected) taken over the payload. Strings are
-//! interned into a file-level dictionary built incrementally: each group
-//! carries a DICT block listing only the entries first used in that
-//! group, so ids are assigned in first-use order and a valid prefix of
-//! the file always carries exactly the dictionary it references —
-//! the property truncate-and-append resumption depends on.
+//! interned into a dictionary built incrementally: each group carries a
+//! DICT block listing only the entries first used in that group, so ids
+//! are assigned in first-use order and a valid prefix of the file always
+//! carries exactly the dictionary it references — the property
+//! truncate-and-append resumption depends on. The dictionary is not
+//! file-level forever: every [`DEFAULT_DICT_EPOCH_GROUPS`] row groups an
+//! empty EPOCH marker block resets it, bounding writer and reader memory
+//! on arbitrarily long appends (origins are unique per record, so an
+//! unbounded dictionary grows linearly with the crawl). Readers rebuild
+//! the dictionary per epoch; files written before the marker existed
+//! simply never reset.
 //!
 //! The reader mirrors [`RecordStream`]'s three modes: **Strict** (any
 //! damage, including a missing END marker, is a loud error), **Lenient**
@@ -57,6 +63,11 @@ pub const COLSH_MAGIC: [u8; 8] = *b"PCOLSH1\n";
 pub const COLSH_VERSION: u32 = 1;
 /// Records per row group (the write-side default).
 pub const DEFAULT_GROUP_RECORDS: usize = 1024;
+/// Row groups per dictionary epoch (the write-side default): the string
+/// dictionary resets at every epoch boundary, so writer and reader
+/// memory is bounded by one epoch's unique strings instead of growing
+/// with the whole file. `0` disables epochs (pre-epoch file layout).
+pub const DEFAULT_DICT_EPOCH_GROUPS: u64 = 64;
 
 /// Longest string the incremental dictionary will intern; longer values
 /// (script sources past this size, mostly) are stored inline.
@@ -67,6 +78,8 @@ const DICT_MAX_ENTRIES: usize = 1 << 22;
 const BLOCK_GROUP: u8 = 0x01;
 const BLOCK_DICT: u8 = 0x02;
 const BLOCK_FDICT: u8 = 0x03;
+/// Empty marker: the string dictionary resets before the next group.
+const BLOCK_EPOCH: u8 = 0x05;
 const BLOCK_END: u8 = 0xEE;
 /// Column block ids are `0x10 + column index`.
 const BLOCK_COLUMN_BASE: u8 = 0x10;
@@ -532,10 +545,16 @@ impl WriterDict {
 /// uninterrupted crawl would have.
 #[derive(Debug, Clone, Default)]
 pub struct ColshAppendState {
-    /// Every dictionary entry in the valid prefix, in id order.
+    /// Every *current-epoch* dictionary entry in the valid prefix, in id
+    /// order (entries from earlier epochs are unreferenced by appended
+    /// groups and need not be carried).
     pub dict: Vec<String>,
     /// Records already on disk in the valid prefix.
     pub records: u64,
+    /// Row groups flushed since the last dictionary epoch boundary, so
+    /// an appending writer resets its dictionary exactly where an
+    /// uninterrupted one would have.
+    pub groups_in_epoch: u64,
 }
 
 /// Streaming `.colsh` writer: records accumulate into an in-memory row
@@ -550,6 +569,14 @@ pub struct ColshWriter {
     group_records: usize,
     in_group: usize,
     total: u64,
+    /// Row groups per dictionary epoch; `0` disables epoch resets.
+    dict_epoch_groups: u64,
+    /// Full groups flushed since the last epoch boundary.
+    groups_in_epoch: u64,
+    /// The next flushed group starts a new epoch: emit the EPOCH marker
+    /// before it. Set at push time (the dictionary resets before the
+    /// first record of the new epoch is encoded).
+    epoch_pending: bool,
 }
 
 fn perm_index() -> HashMap<Permission, u32> {
@@ -597,6 +624,9 @@ impl ColshWriter {
             group_records,
             in_group: 0,
             total: 0,
+            dict_epoch_groups: DEFAULT_DICT_EPOCH_GROUPS,
+            groups_in_epoch: 0,
+            epoch_pending: false,
         })
     }
 
@@ -634,6 +664,9 @@ impl ColshWriter {
             group_records: DEFAULT_GROUP_RECORDS,
             in_group: 0,
             total: state.records,
+            dict_epoch_groups: DEFAULT_DICT_EPOCH_GROUPS,
+            groups_in_epoch: state.groups_in_epoch,
+            epoch_pending: false,
         })
     }
 
@@ -642,6 +675,13 @@ impl ColshWriter {
     pub fn with_group_records(mut self, group_records: usize) -> ColshWriter {
         assert!(group_records > 0, "row group size must be nonzero");
         self.group_records = group_records;
+        self
+    }
+
+    /// Overrides how many row groups a dictionary epoch spans (`0`
+    /// disables epoch resets entirely — the pre-epoch file layout).
+    pub fn with_dict_epoch_groups(mut self, dict_epoch_groups: u64) -> ColshWriter {
+        self.dict_epoch_groups = dict_epoch_groups;
         self
     }
 
@@ -678,6 +718,16 @@ impl ColshWriter {
     /// Appends one record to the current row group, flushing the group
     /// when it reaches the configured size.
     pub fn push(&mut self, record: &SiteRecord) -> std::io::Result<()> {
+        // Epoch boundaries take effect at the *first push* of the new
+        // epoch, not at flush time: dictionary ids are assigned while
+        // encoding, so the reset must precede `encode_record`.
+        if self.dict_epoch_groups > 0
+            && self.in_group == 0
+            && self.groups_in_epoch >= self.dict_epoch_groups
+        {
+            self.dict = WriterDict::default();
+            self.epoch_pending = true;
+        }
         self.encode_record(record);
         self.in_group += 1;
         self.total += 1;
@@ -808,6 +858,12 @@ impl ColshWriter {
         if self.in_group == 0 {
             return Ok(());
         }
+        if self.epoch_pending {
+            write_block(&mut self.out, BLOCK_EPOCH, &[])?;
+            self.epoch_pending = false;
+            self.groups_in_epoch = 0;
+        }
+        self.groups_in_epoch += 1;
         let mut group = Vec::new();
         wv(&mut group, self.in_group as u64);
         write_block(&mut self.out, BLOCK_GROUP, &group)?;
@@ -885,6 +941,17 @@ pub struct ColshStream {
     /// Records passed over so far (decoded + skipped) — the 1-based
     /// record index the skip report uses, and what END must equal.
     file_records: u64,
+    /// Records contained in the valid prefix (`valid_len`), updated
+    /// whenever `valid_len` advances — the rewind point for `refresh`.
+    valid_records: u64,
+    /// Full groups committed since the last dictionary epoch boundary.
+    groups_in_epoch: u64,
+    /// An EPOCH marker was read but its epoch's first group has not
+    /// committed yet: the dictionary reset is deferred until it does, so
+    /// a tear between marker and group leaves the carried state (old
+    /// dictionary, old epoch counter) exactly what an appending writer
+    /// re-emitting the marker expects.
+    epoch_pending: bool,
     skip: SkipReport,
     done: bool,
 }
@@ -901,6 +968,8 @@ enum GroupLoad {
     Corrupt { count: u64, delta: Vec<u8> },
     /// A valid END marker carrying the writer's total record count.
     End { count: u64 },
+    /// A dictionary-epoch marker: the next group starts a fresh epoch.
+    Epoch,
     /// Clean end of file with no END marker.
     Eof,
 }
@@ -931,6 +1000,9 @@ impl ColshStream {
             cols: Default::default(),
             remaining: 0,
             file_records: 0,
+            valid_records: 0,
+            groups_in_epoch: 0,
+            epoch_pending: false,
             skip: SkipReport::default(),
             done: false,
         };
@@ -953,6 +1025,35 @@ impl ColshStream {
     /// at this offset overwrites it).
     pub fn valid_len(&self) -> u64 {
         self.valid_len
+    }
+
+    /// Records contained in the valid prefix.
+    pub fn valid_records(&self) -> u64 {
+        self.valid_records
+    }
+
+    /// Re-arms an exhausted stream against a file that may have grown
+    /// since: re-stats the length, seeks back to the end of the last
+    /// complete row group, and clears the terminal state so iteration
+    /// resumes with only newly appended groups. Dictionary state built
+    /// from the valid prefix is kept — appended groups extend it (the
+    /// live-follow contract: the writer only ever appends past, or
+    /// byte-identically rewrites up to, the frontier we stopped at).
+    ///
+    /// Must only be called once the stream has returned `None` (a
+    /// partially decoded group would otherwise be re-read).
+    pub fn refresh(&mut self) -> std::io::Result<()> {
+        self.file_len = self.reader.get_ref().metadata()?.len();
+        self.reader.seek(SeekFrom::Start(self.valid_len))?;
+        self.offset = self.valid_len;
+        self.file_records = self.valid_records;
+        self.remaining = 0;
+        self.epoch_pending = false;
+        self.done = false;
+        for col in &mut self.cols {
+            col.reset();
+        }
+        Ok(())
     }
 
     /// The file-level feature vocabulary, in dictionary order.
@@ -1065,6 +1166,7 @@ impl ColshStream {
                 let count = cursor.varint()?;
                 Ok(GroupLoad::End { count })
             }
+            BLOCK_EPOCH => Ok(GroupLoad::Epoch),
             BLOCK_GROUP => {
                 let mut cursor = ColBuf {
                     buf: payload,
@@ -1152,6 +1254,16 @@ impl ColshStream {
         Ok(())
     }
 
+    /// Applies a deferred dictionary-epoch reset now that the epoch's
+    /// first group is committing.
+    fn commit_epoch_boundary(&mut self) {
+        if self.epoch_pending {
+            self.dict = ReaderDict::default();
+            self.groups_in_epoch = 0;
+            self.epoch_pending = false;
+        }
+    }
+
     /// Advances to the next decodable group. `Ok(true)` means records
     /// are ready; `Ok(false)` means the stream ended (cleanly or via a
     /// mode-tolerated failure).
@@ -1160,6 +1272,7 @@ impl ColshStream {
             let start_record = self.file_records + 1;
             match self.try_load_group() {
                 Ok(GroupLoad::Ready { count, delta }) => {
+                    self.commit_epoch_boundary();
                     if let Err(e) = self.dict.ingest(delta) {
                         self.done = true;
                         if self.mode == StreamMode::Lenient {
@@ -1168,8 +1281,10 @@ impl ColshStream {
                         }
                         return Err(e);
                     }
+                    self.groups_in_epoch += 1;
                     self.remaining = count;
                     self.valid_len = self.offset;
+                    self.valid_records = self.file_records + count;
                     if count > 0 {
                         return Ok(true);
                     }
@@ -1183,17 +1298,28 @@ impl ColshStream {
                         // Framing is intact: drop the group, keep its
                         // dictionary delta (later groups reference it),
                         // and keep streaming.
+                        self.commit_epoch_boundary();
                         if self.dict.ingest(delta).is_err() {
                             self.done = true;
                             self.skip.record(start_record);
                             return Ok(false);
                         }
+                        self.groups_in_epoch += 1;
                         self.skip.record(start_record);
                         self.skip.skipped += count.saturating_sub(1);
                         self.file_records += count;
                         self.valid_len = self.offset;
+                        self.valid_records = self.file_records;
                     }
                 },
+                Ok(GroupLoad::Epoch) => {
+                    // Deferred: the reset applies when this epoch's
+                    // first group commits. The marker itself never
+                    // advances `valid_len` — if the group after it is
+                    // torn, the resume point stays *before* the marker
+                    // and the appending writer re-emits it.
+                    self.epoch_pending = true;
+                }
                 Ok(GroupLoad::End { count }) => {
                     self.done = true;
                     if self.mode == StreamMode::Strict {
@@ -1216,9 +1342,11 @@ impl ColshStream {
                             return Err(bad("truncated database: missing end marker"))
                         }
                         StreamMode::Lenient => {
-                            // Unknown loss past this point; one marker
-                            // records that the tail is gone.
-                            self.skip.record(start_record);
+                            // Clean EOF at a block boundary with no END
+                            // marker: the signature of a live file still
+                            // being appended, not of data loss. Flag it
+                            // without inventing a corrupt-skip.
+                            self.skip.torn_tail = true;
                             return Ok(false);
                         }
                         StreamMode::Resume => return Ok(false),
@@ -1231,6 +1359,13 @@ impl ColshStream {
                         StreamMode::Strict => return Err(e),
                         StreamMode::Resume if torn => return Ok(false),
                         StreamMode::Resume => return Err(e),
+                        StreamMode::Lenient if torn => {
+                            // A block clipped by EOF is a torn tail —
+                            // live-append in progress or a mid-write
+                            // kill — distinct from mid-file corruption.
+                            self.skip.torn_tail = true;
+                            return Ok(false);
+                        }
                         StreamMode::Lenient => {
                             self.skip.record(start_record);
                             return Ok(false);
@@ -1543,6 +1678,7 @@ pub fn resume_colsh(path: &Path) -> std::io::Result<(ResumeState, ColshAppendSta
                     ColshAppendState {
                         dict: Vec::new(),
                         records: 0,
+                        groups_in_epoch: 0,
                     },
                 ));
             }
@@ -1568,6 +1704,7 @@ pub fn resume_colsh(path: &Path) -> std::io::Result<(ResumeState, ColshAppendSta
         ColshAppendState {
             dict: stream.dict.materialize()?,
             records,
+            groups_in_epoch: stream.groups_in_epoch,
         },
     ))
 }
@@ -1763,6 +1900,196 @@ mod tests {
         assert_eq!(report.skipped, 10);
         assert_eq!(report.lines, vec![11]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dict_epochs_emit_markers_and_round_trip() {
+        let ds = dataset(30);
+        let path = scratch("epochs.colsh");
+        let mut w = ColshWriter::create_grouped(&path, 5)
+            .unwrap()
+            .with_dict_epoch_groups(2);
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        // 6 groups in 2-group epochs: markers precede groups 3 and 5.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(count_blocks(&bytes, BLOCK_EPOCH), 2);
+        let loaded = read_colsh(&path).unwrap();
+        assert_eq!(ds.records, loaded.records);
+        // Epoch-free files stay readable and marker-free.
+        let flat = scratch("epochs-off.colsh");
+        let mut w = ColshWriter::create_grouped(&flat, 5)
+            .unwrap()
+            .with_dict_epoch_groups(0);
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let flat_bytes = std::fs::read(&flat).unwrap();
+        assert_eq!(count_blocks(&flat_bytes, BLOCK_EPOCH), 0);
+        assert_eq!(read_colsh(&flat).unwrap().records, ds.records);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&flat).ok();
+    }
+
+    #[test]
+    fn dict_epochs_bound_writer_dictionary_growth() {
+        // Every record carries a unique origin, so an epoch-free
+        // dictionary grows with the record count while an epoch-bounded
+        // one is capped near one epoch's worth of strings.
+        let ds = dataset(200);
+        let unbounded_path = scratch("epoch-unbounded.colsh");
+        let bounded_path = scratch("epoch-bounded.colsh");
+        let peak_dict = |path: &std::path::Path, epoch: u64| {
+            let mut w = ColshWriter::create_grouped(path, 10)
+                .unwrap()
+                .with_dict_epoch_groups(epoch);
+            let mut peak = 0usize;
+            for r in &ds.records {
+                w.push(r).unwrap();
+                peak = peak.max(w.dict.len);
+            }
+            w.finish().unwrap();
+            peak
+        };
+        let unbounded = peak_dict(&unbounded_path, 0);
+        let bounded = peak_dict(&bounded_path, 1);
+        assert!(
+            bounded * 2 <= unbounded,
+            "epoch dictionary peaked at {bounded} entries vs {unbounded} unbounded"
+        );
+        // Both layouts decode to the same records.
+        assert_eq!(read_colsh(&unbounded_path).unwrap().records, ds.records);
+        assert_eq!(read_colsh(&bounded_path).unwrap().records, ds.records);
+        std::fs::remove_file(&unbounded_path).ok();
+        std::fs::remove_file(&bounded_path).ok();
+    }
+
+    #[test]
+    fn resume_across_a_torn_epoch_marker_is_byte_identical() {
+        let ds = dataset(30);
+        let full = scratch("epoch-full.colsh");
+        let mut w = ColshWriter::create_grouped(&full, 5)
+            .unwrap()
+            .with_dict_epoch_groups(2);
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        // Tear at every byte in a window spanning the first EPOCH marker
+        // (the 9-byte empty block before group 3) and into the group
+        // behind it; resuming and appending must reproduce the
+        // uninterrupted file exactly, marker included.
+        let marker = find_nth_column_payload(&bytes, BLOCK_EPOCH, 1) - 9;
+        let path = scratch("epoch-torn.colsh");
+        for cut in marker.saturating_sub(4)..(marker + 40).min(bytes.len()) {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let (state, append) = resume_colsh(&path).unwrap();
+            let mut w = ColshWriter::append(&path, state.valid_len, append)
+                .unwrap()
+                .with_group_records(5)
+                .with_dict_epoch_groups(2);
+            for r in &ds.records {
+                if !state.completed.contains(&r.rank) {
+                    w.push(r).unwrap();
+                }
+            }
+            w.finish().unwrap();
+            assert_eq!(std::fs::read(&path).unwrap(), bytes, "cut at {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&full).ok();
+    }
+
+    #[test]
+    fn lenient_live_tail_is_clean_eof_not_corruption() {
+        // A live appender's unfinished tail group must not be counted
+        // as a corrupt skip: the lenient reader stops cleanly at the
+        // last complete group and flags only `torn_tail`.
+        let ds = dataset(25);
+        let path = scratch("livetail.colsh");
+        let mut w = ColshWriter::create_grouped(&path, 10).unwrap();
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let group3 = find_nth_column_payload(&bytes, BLOCK_GROUP, 3) - 9;
+        // Cuts inside the third group's header and inside its column
+        // payloads, plus the exact group boundary (END marker missing).
+        for cut in [group3, group3 + 3, group3 + 40] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let mut stream = ColshStream::open(&path, StreamMode::Lenient).unwrap();
+            let survivors: Vec<u64> = (&mut stream).map(|r| r.unwrap().rank).collect();
+            assert_eq!(survivors.len(), 20, "cut at {cut}");
+            let report = stream.into_skip_report();
+            assert_eq!(report.skipped, 0, "cut at {cut}");
+            assert!(report.lines.is_empty(), "cut at {cut}");
+            assert!(report.torn_tail, "cut at {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refresh_resumes_a_growing_file_without_rereading() {
+        // The live follower keeps one stream open per shard and calls
+        // `refresh` after each tick; growing the file by rewriting
+        // successively longer prefixes of the finished file simulates a
+        // live appender (every kill state is some byte prefix).
+        let ds = dataset(30);
+        let full = scratch("refresh-full.colsh");
+        let mut w = ColshWriter::create_grouped(&full, 5)
+            .unwrap()
+            .with_dict_epoch_groups(2);
+        for r in &ds.records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        let cut_mid_g4 = find_nth_column_payload(&bytes, BLOCK_GROUP, 4) + 2;
+        let cut_mid_g6 = find_nth_column_payload(&bytes, BLOCK_GROUP, 6) + 2;
+
+        let live = scratch("refresh-live.colsh");
+        std::fs::write(&live, &bytes[..cut_mid_g4]).unwrap();
+        let mut stream = ColshStream::open(&live, StreamMode::Resume).unwrap();
+        let mut got: Vec<SiteRecord> = (&mut stream).map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 15);
+        assert_eq!(stream.valid_records(), 15);
+
+        std::fs::write(&live, &bytes[..cut_mid_g6]).unwrap();
+        stream.refresh().unwrap();
+        got.extend((&mut stream).map(|r| r.unwrap()));
+        assert_eq!(got.len(), 25);
+        assert_eq!(stream.valid_records(), 25);
+
+        std::fs::write(&live, &bytes).unwrap();
+        stream.refresh().unwrap();
+        got.extend((&mut stream).map(|r| r.unwrap()));
+        assert_eq!(got, ds.records);
+        // valid_len excludes the 10-byte END block (id + len + crc +
+        // varint(30)) so an appender can overwrite it in place.
+        assert_eq!(stream.valid_len(), bytes.len() as u64 - 10);
+        std::fs::remove_file(&live).ok();
+        std::fs::remove_file(&full).ok();
+    }
+
+    /// How many blocks with `id` the (complete) file holds.
+    fn count_blocks(bytes: &[u8], id: u8) -> usize {
+        let mut offset = COLSH_MAGIC.len() + 4;
+        let mut seen = 0;
+        while offset < bytes.len() {
+            let block_id = bytes[offset];
+            let len =
+                u32::from_le_bytes(bytes[offset + 1..offset + 5].try_into().unwrap()) as usize;
+            if block_id == id {
+                seen += 1;
+            }
+            offset += 9 + len;
+        }
+        seen
     }
 
     /// Byte offset of the first payload byte of the `n`-th block whose

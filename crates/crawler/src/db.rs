@@ -25,7 +25,7 @@
 
 use std::collections::BTreeSet;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::run::{CrawlDataset, SiteRecord};
@@ -54,6 +54,11 @@ pub struct SkipReport {
     pub skipped: u64,
     /// 1-based line numbers of the first [`SKIP_REPORT_LINES`] skips.
     pub lines: Vec<u64>,
+    /// The stream ended at a torn tail — the signature of a file still
+    /// being appended (or killed mid-append), *not* mid-file corruption.
+    /// Torn tails are flagged here instead of inflating `skipped`, so
+    /// analyzing a running job doesn't misreport live shards as damaged.
+    pub torn_tail: bool,
 }
 
 impl SkipReport {
@@ -88,6 +93,9 @@ pub struct RecordStream {
     /// Byte length of the valid prefix consumed so far (terminated
     /// blank or parsed lines only) — [`ResumeState::valid_len`].
     valid_len: u64,
+    /// Lines (blank or parsed) inside the valid prefix — the `line_no`
+    /// rewind point for [`RecordStream::refresh`].
+    valid_lines: u64,
     skip: SkipReport,
     buf: Vec<u8>,
     done: bool,
@@ -101,10 +109,25 @@ impl RecordStream {
             mode,
             line_no: 0,
             valid_len: 0,
+            valid_lines: 0,
             skip: SkipReport::default(),
             buf: Vec::new(),
             done: false,
         })
+    }
+
+    /// Re-arms an exhausted stream against a file that may have grown
+    /// since: seeks back to the end of the last valid line and clears
+    /// the terminal state so iteration resumes with newly appended
+    /// lines only (a previously torn final line is re-read — by then the
+    /// writer has completed it or a resume has rewritten it
+    /// byte-identically). Must only be called once the stream has
+    /// returned `None`.
+    pub fn refresh(&mut self) -> std::io::Result<()> {
+        self.reader.seek(SeekFrom::Start(self.valid_len))?;
+        self.line_no = self.valid_lines;
+        self.done = false;
+        Ok(())
     }
 
     /// What a lenient stream skipped so far.
@@ -175,11 +198,13 @@ impl RecordStream {
             if blank {
                 // Blank line: fine, still part of the valid prefix.
                 self.valid_len += n as u64;
+                self.valid_lines = self.line_no;
                 continue;
             }
             match serde_json::from_slice::<SiteRecord>(line) {
                 Ok(record) => {
                     self.valid_len += n as u64;
+                    self.valid_lines = self.line_no;
                     return Some(Ok(record));
                 }
                 Err(e) => match self.failed_line(terminated, &e.to_string()) {
@@ -200,7 +225,17 @@ impl RecordStream {
                 Some(self.corrupt(detail))
             }
             StreamMode::Lenient => {
-                self.skip.record(self.line_no);
+                // A torn *final* line — unterminated, or terminated but
+                // with nothing after it — is the live-append / mid-write
+                // kill signature, not mid-file damage: flag it without
+                // counting a corrupt skip (same test Resume applies).
+                let at_eof = matches!(self.reader.fill_buf(), Ok(rest) if rest.is_empty());
+                if !terminated || at_eof {
+                    self.skip.torn_tail = true;
+                    self.done = true;
+                } else {
+                    self.skip.record(self.line_no);
+                }
                 None
             }
             StreamMode::Resume => {
@@ -408,6 +443,24 @@ pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
         )
     };
     if path.is_dir() {
+        // A job directory owns exactly the shards its manifest declares.
+        // Globbing it loosely would also pick up non-shard artifacts a
+        // job can leave next to them (operator-converted copies, scratch
+        // exports) and double-count or mis-count records.
+        if path.join(crate::jobs::MANIFEST_FILE).exists() {
+            let manifest = crate::jobs::JobManifest::load(path)?;
+            let paths: Vec<PathBuf> = manifest
+                .shard_files(path)
+                .into_iter()
+                .filter(|p| p.is_file())
+                .collect();
+            if paths.is_empty() {
+                return Err(not_found(&format!(
+                    "job directory {arg} (no shards written yet)"
+                )));
+            }
+            return Ok(paths);
+        }
         let mut paths: Vec<PathBuf> = std::fs::read_dir(path)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| {
@@ -533,6 +586,16 @@ impl AnyRecordStream {
         match self {
             AnyRecordStream::Jsonl(s) => s.valid_len(),
             AnyRecordStream::Colsh(s) => s.valid_len(),
+        }
+    }
+
+    /// Re-arms an exhausted stream against a file that may have grown,
+    /// resuming at the end of the valid prefix (see
+    /// [`RecordStream::refresh`] / [`crate::ColshStream::refresh`]).
+    pub fn refresh(&mut self) -> std::io::Result<()> {
+        match self {
+            AnyRecordStream::Jsonl(s) => s.refresh(),
+            AnyRecordStream::Colsh(s) => s.refresh(),
         }
     }
 }
@@ -933,6 +996,99 @@ mod tests {
                 .collect();
             assert_eq!(records, dataset.records);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_live_tail_is_clean_eof_not_corruption() {
+        // The torn final line of a live-appended shard is the normal
+        // state of a running job, not data loss: the lenient reader
+        // must stop at the frontier without counting a corrupt skip.
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 6 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live-tail.jsonl");
+        write_jsonl(&dataset, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() - 20;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let mut stream = RecordStream::open(&path, StreamMode::Lenient).unwrap();
+        let survivors: Vec<u64> = (&mut stream).map(|r| r.unwrap().rank).collect();
+        assert_eq!(survivors, vec![1, 2, 3, 4, 5]);
+        let report = stream.into_skip_report();
+        assert_eq!(report.skipped, 0);
+        assert!(report.lines.is_empty());
+        assert!(report.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refresh_follows_a_growing_jsonl() {
+        let pop = WebPopulation::new(PopulationConfig { seed: 7, size: 9 });
+        let dataset = Crawler::new(CrawlConfig::default()).crawl(&pop);
+        let dir = std::env::temp_dir().join("permodyssey-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("grow-full.jsonl");
+        write_jsonl(&dataset, &full).unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        let newlines: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+
+        // Grow the live file in three stages, each ending mid-line
+        // (except the last), as a live appender's kill states would.
+        let live = dir.join("grow-live.jsonl");
+        std::fs::write(&live, &bytes[..newlines[2] + 5]).unwrap();
+        let mut stream = RecordStream::open(&live, StreamMode::Resume).unwrap();
+        let mut ranks: Vec<u64> = (&mut stream).map(|r| r.unwrap().rank).collect();
+        assert_eq!(ranks, vec![1, 2, 3]);
+        assert_eq!(stream.valid_len(), newlines[2] as u64 + 1);
+
+        std::fs::write(&live, &bytes[..newlines[6] + 1]).unwrap();
+        stream.refresh().unwrap();
+        ranks.extend((&mut stream).map(|r| r.unwrap().rank));
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5, 6, 7]);
+
+        std::fs::write(&live, &bytes).unwrap();
+        stream.refresh().unwrap();
+        ranks.extend((&mut stream).map(|r| r.unwrap().rank));
+        assert_eq!(ranks, (1..=9).collect::<Vec<u64>>());
+        assert_eq!(stream.valid_len(), bytes.len() as u64);
+        std::fs::remove_file(&live).ok();
+        std::fs::remove_file(&full).ok();
+    }
+
+    #[test]
+    fn expand_db_paths_over_a_job_dir_reads_only_manifest_shards() {
+        // A job directory accumulates non-shard artifacts (status.json,
+        // stop files, stray exports); analysis over the directory must
+        // read exactly the manifest-declared shards.
+        let dir =
+            std::env::temp_dir().join(format!("permodyssey-test-jobdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = crate::jobs::JobManifest::new(7, 40, 2, DbFormat::Jsonl);
+        manifest.store(&dir).unwrap();
+        let shards = manifest.shard_files(&dir);
+        for shard in &shards {
+            std::fs::write(shard, "\n").unwrap();
+        }
+        for stray in ["status.json", "stop", "export.jsonl", "quarantine.jsonl"] {
+            std::fs::write(dir.join(stray), "{}\n").unwrap();
+        }
+        assert_eq!(expand_db_paths(dir.to_str().unwrap()).unwrap(), shards);
+        // A manifest with nothing written yet is a loud error, not an
+        // empty analysis.
+        for shard in &shards {
+            std::fs::remove_file(shard).unwrap();
+        }
+        let err = expand_db_paths(dir.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("no shards"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

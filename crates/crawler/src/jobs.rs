@@ -266,6 +266,10 @@ pub struct JobOptions {
     /// `.colsh` row-group size override (tests exercise group
     /// boundaries on small datasets; `None` = the format default).
     pub colsh_group_records: Option<usize>,
+    /// `.colsh` dictionary-epoch length override, in row groups
+    /// (`None` = [`crate::colsh::DEFAULT_DICT_EPOCH_GROUPS`]; `Some(0)`
+    /// disables epochs, restoring the unbounded pre-epoch dictionary).
+    pub colsh_dict_epoch_groups: Option<u64>,
     /// Chaos hook: per-mille of (rank, lease-attempt) pairs whose lease
     /// processing panics *outside* the per-visit isolation, exercising
     /// lease retry and quarantine. Deterministic in the manifest seed.
@@ -290,6 +294,7 @@ impl Default for JobOptions {
             max_lease_failures: 3,
             progress: false,
             colsh_group_records: None,
+            colsh_dict_epoch_groups: None,
             lease_fault_per_mille: 0,
             abort_after_records: None,
             stop_after_records: None,
@@ -442,9 +447,40 @@ pub struct JobStatus {
 }
 
 /// Reads the job's `status.json`.
+///
+/// The writer replaces the file atomically (temp file + rename), but on
+/// some filesystems a concurrent reader can still observe the file
+/// absent or torn in the window around the rename. A status read races
+/// the writer by design — live followers poll it while the job runs —
+/// so transient `NotFound`/`InvalidData` results are retried briefly
+/// before the error is surfaced. A job directory that genuinely has no
+/// status still fails within ~100 ms.
 pub fn read_status(dir: &Path) -> std::io::Result<JobStatus> {
     let path = dir.join(STATUS_FILE);
-    let text = std::fs::read_to_string(&path)?;
+    let mut last_err = None;
+    for attempt in 0..50 {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        match try_read_status(&path) {
+            Ok(status) => return Ok(status),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound | std::io::ErrorKind::InvalidData
+                ) =>
+            {
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("at least one read attempt"))
+}
+
+/// One attempt at parsing `status.json`, no retries.
+fn try_read_status(path: &Path) -> std::io::Result<JobStatus> {
+    let text = std::fs::read_to_string(path)?;
     serde_json::from_str(&text).map_err(|e| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -568,13 +604,18 @@ fn scan_shard(
     let group = opts
         .colsh_group_records
         .unwrap_or(crate::colsh::DEFAULT_GROUP_RECORDS);
+    let epoch = opts
+        .colsh_dict_epoch_groups
+        .unwrap_or(crate::colsh::DEFAULT_DICT_EPOCH_GROUPS);
     if fresh {
         let sink = match manifest.format {
             DbFormat::Jsonl => Sink::Jsonl {
                 out: BufWriter::new(File::create(path)?),
                 records: 0,
             },
-            DbFormat::Colsh => Sink::Colsh(ColshWriter::create_grouped(path, group)?),
+            DbFormat::Colsh => {
+                Sink::Colsh(ColshWriter::create_grouped(path, group)?.with_dict_epoch_groups(epoch))
+            }
         };
         return Ok(ShardScan { sink, completed: 0 });
     }
@@ -594,8 +635,9 @@ fn scan_shard(
         }
         DbFormat::Colsh => {
             let (state, append) = crate::colsh::resume_colsh(path)?;
-            let writer =
-                ColshWriter::append(path, state.valid_len, append)?.with_group_records(group);
+            let writer = ColshWriter::append(path, state.valid_len, append)?
+                .with_group_records(group)
+                .with_dict_epoch_groups(epoch);
             (state, Sink::Colsh(writer))
         }
     };
@@ -1152,6 +1194,62 @@ mod tests {
         assert_eq!(back.written, 40);
         assert_eq!(back.outcomes, status.outcomes);
         assert_eq!(back.worker_visits, status.worker_visits);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_status_survives_a_hammering_writer() {
+        // The live follower polls status.json while the job rewrites it;
+        // the rename window can expose a missing or torn file to the
+        // reader on some filesystems. Hammer reads against a loop of
+        // rewrites (plus deliberate remove/recreate churn, which is
+        // strictly harsher than the rename) and require every read to
+        // return a fully parsed status.
+        let dir = temp_job_dir("status-hammer");
+        let mut status = JobStatus {
+            state: "running".to_string(),
+            size: 100,
+            resumed_from: 0,
+            planned: 100,
+            written: 0,
+            remaining: 100,
+            rate_per_sec: 0.0,
+            eta_secs: 0.0,
+            lease_queue_depth: 0,
+            writer_pending: 0,
+            writer_peak_pending: 0,
+            leases_retried: 0,
+            leases_quarantined: 0,
+            outcomes: vec![0; 6],
+            retries: 0,
+            panics_caught: 0,
+            degraded_visits: 0,
+            degradation_events: 0,
+            worker_visits: vec![0],
+            worker_sim_ms: vec![0],
+            wall_secs: 0.0,
+        };
+        write_status(&dir, &status).unwrap();
+        std::thread::scope(|scope| {
+            let writer_dir = dir.clone();
+            let writer = scope.spawn(move || {
+                for written in 1..=400u64 {
+                    status.written = written;
+                    // Make the absent-file window real, not just possible.
+                    if written.is_multiple_of(10) {
+                        let _ = std::fs::remove_file(writer_dir.join(STATUS_FILE));
+                    }
+                    write_status(&writer_dir, &status).unwrap();
+                }
+            });
+            for _ in 0..400 {
+                let back = read_status(&dir).expect("status must always be readable");
+                assert_eq!(back.state, "running");
+                assert_eq!(back.size, 100);
+                assert_eq!(back.outcomes.len(), 6);
+            }
+            writer.join().unwrap();
+        });
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,6 +28,7 @@
 
 mod colsh;
 mod db;
+mod follow;
 mod funnel;
 mod jobs;
 mod run;
@@ -35,13 +36,14 @@ mod telemetry;
 
 pub use colsh::{
     read_colsh, resume_colsh, write_colsh, ColshAppendState, ColshStream, ColshWriter, ColumnSet,
-    COLSH_MAGIC, COLSH_VERSION, DEFAULT_GROUP_RECORDS,
+    COLSH_MAGIC, COLSH_VERSION, DEFAULT_DICT_EPOCH_GROUPS, DEFAULT_GROUP_RECORDS,
 };
 pub use db::{
     detect_db_format, expand_db_paths, read_jsonl, read_jsonl_lenient, resume_jsonl, shard_index,
     shard_path, write_jsonl, AnyRecordStream, DbFormat, RecordStream, ResumeState, SkipReport,
     StreamMode, SKIP_REPORT_LINES,
 };
+pub use follow::{ShardFollower, ShardFrontier};
 pub use funnel::CrawlFunnel;
 pub use jobs::{
     job_resume, job_start, read_status, JobError, JobManifest, JobOptions, JobReport, JobState,

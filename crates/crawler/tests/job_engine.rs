@@ -12,10 +12,13 @@
 //! space.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crawler::{
-    job_resume, job_start, read_colsh, read_jsonl, read_status, ColshWriter, Crawler, DbFormat,
-    JobError, JobManifest, JobOptions, JobState, SiteOutcome,
+    job_resume, job_start, read_colsh, read_jsonl, read_status, AnyRecordStream, ColshWriter,
+    ColumnSet, Crawler, DbFormat, JobError, JobManifest, JobOptions, JobState, ShardFollower,
+    ShardFrontier, SiteOutcome, SiteRecord, StreamMode,
 };
 
 const SEED: u64 = 7;
@@ -103,16 +106,127 @@ fn truncate_shards(manifest: &JobManifest, dir: &Path, rng: &mut u64) {
     }
 }
 
+/// An order-sensitive chained hash over a record stream; the live
+/// follower and the post-hoc verifier must fold the same records in the
+/// same order to land on the same value.
+fn fold_digest(digest: u64, record: &SiteRecord) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    digest.hash(&mut hasher);
+    serde_json::to_string(record).unwrap().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One observation from the live-follower thread: each shard's frontier
+/// and the digest of everything folded up to it.
+#[derive(Clone, PartialEq, Eq)]
+struct FrontierObservation {
+    shards: Vec<(ShardFrontier, u64)>,
+}
+
+/// A background thread polling every shard of a job with persistent
+/// [`ShardFollower`]s while the harness kills, shreds and resumes the
+/// job around it. No monotonicity is asserted: the harness's random
+/// truncation legitimately cuts files below an already-observed
+/// frontier, and the follower simply holds position until the resume
+/// regrows the bytes (byte-identically, per the live-follow contract).
+struct LiveFollower {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<Vec<FrontierObservation>>>,
+}
+
+impl LiveFollower {
+    fn spawn(manifest: &JobManifest, dir: &Path) -> LiveFollower {
+        let stop = Arc::new(AtomicBool::new(false));
+        let paths = manifest.shard_files(dir);
+        let format = manifest.format;
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut followers: Vec<(ShardFollower, u64)> = paths
+                .iter()
+                .map(|p| (ShardFollower::new(p, format, ColumnSet::ALL), 0u64))
+                .collect();
+            let mut observations: Vec<FrontierObservation> = Vec::new();
+            loop {
+                // Read the flag *before* polling so the final poll runs
+                // after the job finished and covers the whole dataset.
+                let done = stop_flag.load(Ordering::SeqCst);
+                let mut shards = Vec::with_capacity(followers.len());
+                for (follower, digest) in &mut followers {
+                    let frontier = follower.poll(|r| *digest = fold_digest(*digest, r))?;
+                    shards.push((frontier, *digest));
+                }
+                let obs = FrontierObservation { shards };
+                if observations.last() != Some(&obs) {
+                    observations.push(obs);
+                }
+                if done {
+                    return Ok(observations);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        LiveFollower { stop, handle }
+    }
+
+    fn finish(self) -> Vec<FrontierObservation> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("follower thread")
+            .expect("live following a chaos job never errors")
+    }
+}
+
+/// Post-hoc check of every live observation: truncate byte copies of
+/// the *final* shards to each recorded frontier and fold from scratch —
+/// the record counts and digests must match what the live follower saw
+/// mid-chaos.
+fn verify_observations(reference: &[Vec<u8>], observations: &[FrontierObservation], tag: &str) {
+    let scratch = temp_dir(&format!("{tag}-posthoc"));
+    for (i, obs) in observations.iter().enumerate() {
+        assert_eq!(obs.shards.len(), reference.len());
+        for (s, ((frontier, digest), full)) in obs.shards.iter().zip(reference).enumerate() {
+            assert!(
+                frontier.bytes as usize <= full.len(),
+                "observation {i} shard {s}: frontier beyond the uninterrupted bytes"
+            );
+            let path = scratch.join(format!("obs{i}-s{s}"));
+            std::fs::write(&path, &full[..frontier.bytes as usize]).unwrap();
+            let mut post = 0u64;
+            let mut count = 0u64;
+            if frontier.bytes > 0 {
+                for record in AnyRecordStream::open(&path, StreamMode::Resume).unwrap() {
+                    post = fold_digest(post, &record.unwrap());
+                    count += 1;
+                }
+            }
+            assert_eq!(
+                count, frontier.records,
+                "observation {i} shard {s}: record count diverges at the frontier"
+            );
+            assert_eq!(
+                post, *digest,
+                "observation {i} shard {s}: post-hoc fold diverges from the live fold"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 /// The core kill-at-random-offset loop shared by both formats: abort
 /// the engine mid-write at various points, shred the shard tails, and
 /// require resume (possibly through a second kill) to land on the
-/// reference bytes.
+/// reference bytes — all while a live follower thread reads the shards
+/// and records frontiers that must verify post hoc.
 fn kill_and_resume_round_trip(format: DbFormat, tag: &str) {
     let manifest = manifest(format);
     let reference = reference_bytes(&manifest, &format!("{tag}-ref"));
     let mut rng = 0x00dd_5eed ^ SEED;
     for (round, abort_at) in [1u64, 7, 23, 61, 97, 140].into_iter().enumerate() {
         let dir = temp_dir(&format!("{tag}-kill{round}"));
+        let follower = LiveFollower::spawn(&manifest, &dir);
         let mut opts = options();
         opts.abort_after_records = Some(abort_at);
         let err = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap_err());
@@ -139,6 +253,14 @@ fn kill_and_resume_round_trip(format: DbFormat, tag: &str) {
             reference,
             "round {round}: resumed shards diverge from the uninterrupted run"
         );
+        let observations = follower.finish();
+        let last = observations.last().expect("at least one observation");
+        assert_eq!(
+            last.shards.iter().map(|(f, _)| f.records).sum::<u64>(),
+            SIZE,
+            "round {round}: the final observation covers the whole job"
+        );
+        verify_observations(&reference, &observations, &format!("{tag}-kill{round}"));
         // Resuming a complete job is a no-op that leaves the bytes alone.
         let report = job_resume(&dir, &options()).unwrap();
         assert_eq!(report.state, JobState::Complete);

@@ -62,6 +62,16 @@ cmp "$COL/crawl.colsh" "$COL/converted.colsh"
 "$BIN" convert --in "$COL/crawl.colsh" --out "$COL/back.jsonl" 2>/dev/null
 cmp "$COL/crawl.jsonl" "$COL/back.jsonl"
 echo "    direct columnar crawl, convert round-trip, and JSONL are byte-identical"
+# Dictionary epochs (bounded writer dictionaries) must be invisible to
+# readers: an epoched encoding converts back to the exact JSONL bytes
+# and analyzes identically.
+"$BIN" convert --in "$COL/crawl.jsonl" --out "$COL/epoch.colsh" --dict-epoch 4 2>/dev/null
+"$BIN" convert --in "$COL/epoch.colsh" --out "$COL/epoch-back.jsonl" 2>/dev/null
+cmp "$COL/crawl.jsonl" "$COL/epoch-back.jsonl"
+"$BIN" analyze --db "$COL/crawl.jsonl" >"$COL/epoch-ref.out" 2>/dev/null
+"$BIN" analyze --db "$COL/epoch.colsh" >"$COL/epoch.out" 2>/dev/null
+diff -u "$COL/epoch-ref.out" "$COL/epoch.out"
+echo "    dictionary-epoch encoding round-trips and analyzes byte-identically"
 for table in funnel census completeness t3 t4 t5 t6 summary t7 t8 directives \
              f2 t9 misconfig t10 groups exposure; do
     for workers in 1 4; do
@@ -107,9 +117,32 @@ for format in jsonl columnar; do
     for i in 0 1 2; do
         cmp "$JOB/ref-$ext/crawl-00$i.$ext" "$JOB/chaos-$ext/crawl-00$i.$ext"
     done
-    "$BIN" crawl-job status --dir "$JOB/chaos-$ext" | grep -q "state:     complete"
+    # Capture status before grepping: `status | grep -q` lets grep close
+    # the pipe at first match, which EPIPE-panics the still-printing
+    # binary and trips pipefail.
+    "$BIN" crawl-job status --dir "$JOB/chaos-$ext" >"$JOB/status-$ext.txt"
+    grep -q "state:     complete" "$JOB/status-$ext.txt"
 done
 echo "    killed-and-resumed 20k jobs are byte-identical in both formats"
+
+echo "==> live analysis gate (analyze-while-crawling, both formats)"
+LIVE=$(mktemp -d)
+trap 'rm -rf "$LIVE"' EXIT
+for format in jsonl columnar; do
+    ext=jsonl; [ "$format" = columnar ] && ext=colsh
+    "$BIN" crawl-job start --dir "$LIVE/job-$ext" --size 20000 --seed 7 --shards 3 \
+        --format "$format" 2>/dev/null &
+    crawl_pid=$!
+    # The follower starts before the manifest may even exist, folds the
+    # growing shards at each frontier, and exits when the job completes.
+    "$BIN" crawl-job analyze --dir "$LIVE/job-$ext" --follow --interval-ms 100 \
+        >/dev/null 2>"$LIVE/follow-$ext.log"
+    wait "$crawl_pid"
+    "$BIN" analyze --db "$LIVE/job-$ext" >"$LIVE/batch-$ext.out" 2>/dev/null
+    diff -u "$LIVE/job-$ext/tables/latest.txt" "$LIVE/batch-$ext.out"
+done
+rm -rf "$LIVE"
+echo "    final live snapshot is byte-identical to batch analyze in both formats"
 
 echo "==> job engine: bounded-memory soak smoke (100k origins, RSS ceiling)"
 "$BIN" crawl-job start --dir "$JOB/soak" --size 100000 --shards 4 \

@@ -24,8 +24,10 @@ fn scratch(tag: &str) -> PathBuf {
     dir.join(format!("{tag}.colsh"))
 }
 
-fn encode(path: &Path, records: &[SiteRecord], group: usize) {
-    let mut w = ColshWriter::create_grouped(path, group).expect("create colsh");
+fn encode(path: &Path, records: &[SiteRecord], group: usize, epoch: u64) {
+    let mut w = ColshWriter::create_grouped(path, group)
+        .expect("create colsh")
+        .with_dict_epoch_groups(epoch);
     for r in records {
         w.push(r).expect("push record");
     }
@@ -46,9 +48,10 @@ proptest! {
     fn round_trip_is_byte_identical(
         records in prop::collection::vec(arb_record(), 1..12),
         group in 1usize..5,
+        epoch in 0u64..4,
     ) {
         let path = scratch("roundtrip");
-        encode(&path, &records, group);
+        encode(&path, &records, group, epoch);
         let decoded: Vec<SiteRecord> = ColshStream::open(&path, StreamMode::Strict)
             .expect("open strict")
             .collect::<std::io::Result<_>>()
@@ -64,10 +67,11 @@ proptest! {
     fn truncation_is_loud_and_resumable(
         records in prop::collection::vec(arb_record(), 2..8),
         group in 1usize..4,
+        epoch in 0u64..3,
         cut in 0.0f64..1.0,
     ) {
         let full = scratch("tear-full");
-        encode(&full, &records, group);
+        encode(&full, &records, group, epoch);
         let bytes = std::fs::read(&full).expect("read full file");
         let cut_at = ((bytes.len() as u64 - 1) as f64 * cut) as usize;
 
@@ -82,14 +86,19 @@ proptest! {
         prop_assert!(strict.is_err(), "strict accepted a truncated file");
 
         // (b) Lenient: no panic, no invented records, and the tear is
-        // counted (a torn tail gets one skip marker — the reader cannot
-        // know how many records the unreadable region held). A tear
-        // inside the header fails open() itself, which is just as loud.
+        // reported — as a torn live tail (clean EOF at the frontier),
+        // not as corruption, so a follower can keep folding what came
+        // before it. A tear inside the header fails open() itself,
+        // which is just as loud.
         if let Ok(mut lenient) = ColshStream::open(&torn, StreamMode::Lenient) {
             let survivors = lenient.by_ref().filter_map(|r| r.ok()).count();
             prop_assert!(survivors <= records.len());
             let skip = lenient.into_skip_report();
-            prop_assert!(skip.skipped >= 1, "the tear is never silent");
+            prop_assert!(
+                skip.torn_tail || skip.skipped >= 1,
+                "the tear is never silent"
+            );
+            prop_assert_eq!(skip.skipped, 0, "a byte-prefix tear is not corruption");
         }
 
         // (c) Resume: truncate to the valid prefix, append the rest,
@@ -99,7 +108,8 @@ proptest! {
         let done = append.records as usize;
         let mut w = ColshWriter::append(&torn, state.valid_len, append)
             .expect("append")
-            .with_group_records(group);
+            .with_group_records(group)
+            .with_dict_epoch_groups(epoch);
         for r in &records[done..] {
             w.push(r).expect("push tail record");
         }
@@ -147,7 +157,7 @@ fn corrupt_payload_byte_trips_block_checksum() {
         })
         .collect();
     let path = scratch("corrupt");
-    encode(&path, &records, 10);
+    encode(&path, &records, 10, 0);
     let mut bytes = std::fs::read(&path).expect("read file");
 
     // Flip a byte in the second group's META column payload (id 0x10).

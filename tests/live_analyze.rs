@@ -1,0 +1,218 @@
+//! Analyze-while-crawling equivalence under chaos.
+//!
+//! The tentpole contract: every snapshot a live analyzer takes while a
+//! job is running (and being killed, shredded and resumed underneath
+//! it) is *byte-identical* to a from-scratch batch analysis of the same
+//! frontier — all seventeen tables, both database formats. The live
+//! side folds incrementally with per-shard resident state; the batch
+//! side re-reads truncated byte copies of the final shards; both render
+//! through [`analysis::report::render_tables`], so a single string
+//! comparison covers every table.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use analysis::report::render_tables;
+use analysis::stream::{analyze_shards, JobFrontier, LiveAnalysis, TableSelection};
+use crawler::{
+    job_resume, job_start, DbFormat, JobError, JobManifest, JobOptions, JobState, StreamMode,
+};
+
+const SEED: u64 = 7;
+const SIZE: u64 = 180;
+const SHARDS: usize = 3;
+const TOP: usize = 10;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("permodyssey-live-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn options(abort: Option<u64>) -> JobOptions {
+    JobOptions {
+        workers: 4,
+        lease_records: 16,
+        status_every: 10,
+        colsh_group_records: Some(8),
+        abort_after_records: abort,
+        ..JobOptions::default()
+    }
+}
+
+/// Tiny deterministic generator for truncation offsets.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 17
+}
+
+/// Truncates each shard file to a seeded random prefix — the same
+/// SIGKILL model the job-engine chaos harness uses.
+fn truncate_shards(manifest: &JobManifest, dir: &Path, rng: &mut u64) {
+    for path in manifest.shard_files(dir) {
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = next_rand(rng) % (len + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+    }
+}
+
+/// One live snapshot: the frontier it folded to and the full rendered
+/// table set at that frontier.
+struct Snapshot {
+    frontier: JobFrontier,
+    rendered: String,
+}
+
+/// Background live analyzer: persistent per-shard fold state, each tick
+/// reads only the appended delta. A tick that observes no change takes
+/// no snapshot; the final tick runs after the job finished.
+fn spawn_live(
+    manifest: &JobManifest,
+    dir: &Path,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<std::io::Result<Vec<Snapshot>>> {
+    let paths = manifest.shard_files(dir);
+    let format = manifest.format;
+    std::thread::spawn(move || {
+        let selection = TableSelection::named("all").expect("'all' is a table selection");
+        let mut live = LiveAnalysis::new(&paths, format, selection);
+        let mut snapshots: Vec<Snapshot> = Vec::new();
+        loop {
+            let done = stop.load(Ordering::SeqCst);
+            let frontier = live.tick()?;
+            if snapshots.last().map(|s| &s.frontier) != Some(&frontier) {
+                let rendered = render_tables(&live.snapshot(), "all", TOP);
+                snapshots.push(Snapshot { frontier, rendered });
+            }
+            if done {
+                return Ok(snapshots);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    })
+}
+
+/// Kills the job mid-write, shreds the shard tails below (possibly)
+/// already-observed frontiers, kills the resume too, completes the job
+/// — all with a live analyzer attached — then replays every recorded
+/// frontier from scratch and compares renderings byte for byte.
+fn live_snapshots_match_batch_analysis(format: DbFormat, tag: &str) {
+    let manifest = JobManifest::new(SEED, SIZE, SHARDS, format);
+    let dir = temp_dir(tag);
+    let stop = Arc::new(AtomicBool::new(false));
+    let live = spawn_live(&manifest, &dir, Arc::clone(&stop));
+
+    let mut rng = 0x5eed ^ SEED;
+    let err = job_start(&dir, &manifest, &options(Some(53))).unwrap_err();
+    assert!(matches!(err, JobError::Aborted { .. }), "{err}");
+    truncate_shards(&manifest, &dir, &mut rng);
+    let err = job_resume(&dir, &options(Some(31))).unwrap_err();
+    assert!(matches!(err, JobError::Aborted { .. }), "{err}");
+    truncate_shards(&manifest, &dir, &mut rng);
+    let report = job_resume(&dir, &options(None)).unwrap();
+    assert_eq!(report.state, JobState::Complete);
+
+    stop.store(true, Ordering::SeqCst);
+    let snapshots = live
+        .join()
+        .expect("live thread")
+        .expect("live analysis never errors under chaos");
+    let last = snapshots.last().expect("at least the final snapshot");
+    assert_eq!(last.frontier.records(), SIZE, "the final snapshot is total");
+
+    // Post-hoc: rematerialize each frontier from byte copies of the
+    // final shards. Chaos truncation may have cut below a frontier
+    // mid-run, but resume rewrites byte-identically, so every recorded
+    // frontier is a prefix of the final bytes.
+    let reference: Vec<Vec<u8>> = manifest
+        .shard_files(&dir)
+        .iter()
+        .map(|p| std::fs::read(p).unwrap())
+        .collect();
+    let scratch = temp_dir(&format!("{tag}-posthoc"));
+    let ext = match format {
+        DbFormat::Jsonl => "jsonl",
+        DbFormat::Colsh => "colsh",
+    };
+    for (i, snap) in snapshots.iter().enumerate() {
+        assert_eq!(snap.frontier.shards.len(), SHARDS);
+        let mut paths = Vec::with_capacity(SHARDS);
+        for (s, (shard, full)) in snap.frontier.shards.iter().zip(&reference).enumerate() {
+            assert!(
+                shard.bytes as usize <= full.len(),
+                "snapshot {i} shard {s}: frontier beyond the final bytes"
+            );
+            let path = scratch.join(format!("snap{i}-s{s}.{ext}"));
+            std::fs::write(&path, &full[..shard.bytes as usize]).unwrap();
+            paths.push(path);
+        }
+        let selection = TableSelection::named("all").unwrap();
+        let (tables, telemetry) =
+            analyze_shards(&paths, StreamMode::Resume, SHARDS, selection).unwrap();
+        assert_eq!(
+            telemetry.records,
+            snap.frontier.records(),
+            "snapshot {i}: batch record count diverges from the live frontier"
+        );
+        let batch = render_tables(&tables, "all", TOP);
+        assert_eq!(
+            batch,
+            snap.rendered,
+            "snapshot {i}: live and batch renderings diverge at {} records",
+            snap.frontier.records()
+        );
+        for path in paths {
+            std::fs::remove_file(&path).ok();
+        }
+    }
+    assert!(
+        snapshots.len() >= 2,
+        "the follower observed intermediate frontiers"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_snapshots_match_batch_analysis_jsonl() {
+    live_snapshots_match_batch_analysis(DbFormat::Jsonl, "jsonl");
+}
+
+#[test]
+fn live_snapshots_match_batch_analysis_colsh() {
+    live_snapshots_match_batch_analysis(DbFormat::Colsh, "colsh");
+}
+
+/// Dictionary epochs must be invisible to the analyze-at-a-frontier
+/// contract: a columnar job written with a tiny epoch interval still
+/// yields live snapshots identical to batch analysis.
+#[test]
+fn live_snapshots_survive_dictionary_epochs() {
+    let manifest = JobManifest::new(SEED, 120, 2, DbFormat::Colsh);
+    let dir = temp_dir("epochs");
+    let stop = Arc::new(AtomicBool::new(false));
+    let live = spawn_live(&manifest, &dir, Arc::clone(&stop));
+    let mut opts = options(None);
+    opts.colsh_dict_epoch_groups = Some(2);
+    let report = job_start(&dir, &manifest, &opts).unwrap();
+    assert_eq!(report.state, JobState::Complete);
+    stop.store(true, Ordering::SeqCst);
+    let snapshots = live.join().expect("live thread").expect("live analysis");
+    let last = snapshots.last().unwrap();
+    assert_eq!(last.frontier.records(), 120);
+
+    let paths = manifest.shard_files(&dir);
+    let selection = TableSelection::named("all").unwrap();
+    let (tables, _) = analyze_shards(&paths, StreamMode::Strict, 2, selection).unwrap();
+    assert_eq!(
+        render_tables(&tables, "all", TOP),
+        last.rendered,
+        "epoched columnar job: live final snapshot diverges from batch"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

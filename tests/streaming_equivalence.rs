@@ -292,10 +292,15 @@ fn lenient_stream_skips_corruption_and_analyzes_the_rest() {
     assert_eq!(telemetry.records, dataset().records.len() as u64);
     let (path, report) = &telemetry.skipped[0];
     assert_eq!(path, &paths[0]);
-    assert_eq!(report.skipped, 2);
-    // Line numbers are 1-based: the prepended garbage line, then the
-    // truncated trailing record.
+    // The prepended garbage line is corruption (1-based line number);
+    // the truncated record at EOF is a torn live tail, reported as
+    // such rather than counted as a skip.
+    assert_eq!(report.skipped, 1);
     assert_eq!(report.lines[0], 1);
+    assert!(
+        report.torn_tail,
+        "the unterminated final record is a torn tail"
+    );
     assert_eq!(streamed_render(tables), in_memory_render(dataset()));
     let _ = std::fs::remove_dir_all(&dir);
 }
