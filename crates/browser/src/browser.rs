@@ -1,6 +1,6 @@
 //! The engine: navigation, frame tree construction, script execution.
 
-use jsland::{Interpreter, RunError, ScriptSource, StepPool};
+use jsland::{ExecEngine, RunError, ScriptEngine, ScriptSource, StepPool};
 use netsim::{FetchError, Network, Response, SimClock};
 use policy::engine::{DocumentPolicy, FramingContext, LocalSchemeBehavior, PolicyEngine};
 use policy::header::{parse_permissions_policy, DeclaredPolicy};
@@ -35,6 +35,9 @@ pub struct BrowserConfig {
     pub interaction: bool,
     /// Local-scheme policy inheritance behaviour (the Table 11 switch).
     pub local_scheme_behavior: LocalSchemeBehavior,
+    /// Which script engine runs page JavaScript (`--js-engine`). Both
+    /// engines produce byte-identical crawl output; the VM is faster.
+    pub js_engine: ExecEngine,
     /// Per-visit resource caps (the governor).
     pub budget: VisitBudget,
 }
@@ -50,6 +53,7 @@ impl Default for BrowserConfig {
             scroll_lazy_iframes: true,
             interaction: false,
             local_scheme_behavior: LocalSchemeBehavior::FreshPolicy,
+            js_engine: ExecEngine::default(),
             budget: VisitBudget::default(),
         }
     }
@@ -177,6 +181,10 @@ fn classify_run_error(error: &RunError) -> (ScriptOutcome, DegradationKind) {
         RunError::PoolExhausted => (
             ScriptOutcome::PoolExhausted,
             DegradationKind::ScriptPoolExhausted,
+        ),
+        RunError::Compile(_) => (
+            ScriptOutcome::CompileError,
+            DegradationKind::ScriptCompileError,
         ),
     }
 }
@@ -450,7 +458,7 @@ impl<N: Network> Browser<N> {
         // nothing). Each run draws on the page-wide step pool; failures
         // are per-script, like a real page, but recorded.
         let mut hooks = BrowserHooks::new(&doc.policy);
-        let mut interp = Interpreter::new();
+        let mut interp = ScriptEngine::new(self.config.js_engine);
         if doc.scripts_enabled {
             for (index, url, source) in &executable {
                 let script_source = match url {
@@ -484,7 +492,7 @@ impl<N: Network> Browser<N> {
         // every inline handler attribute, whatever its event name.
         if self.config.interaction && doc.scripts_enabled {
             let events: Vec<String> = interp
-                .handlers
+                .handlers()
                 .iter()
                 .map(|h| h.event.clone())
                 .collect::<std::collections::BTreeSet<_>>()

@@ -59,6 +59,10 @@ pub enum ScriptOutcome {
     /// The response exceeded the per-script byte cap; `source` holds the
     /// truncated prefix and the script was not executed.
     BytesCapped,
+    /// The source parsed but the bytecode compiler rejected it (e.g. the
+    /// nesting-depth guard); nothing executed. Only the VM engine emits
+    /// this — it is never silently downgraded to an interpreter run.
+    CompileError,
 }
 
 /// A script collected from a frame (for static analysis).
@@ -246,6 +250,9 @@ pub enum DegradationKind {
     /// A policy-relevant response header exceeded the header byte cap
     /// and was treated as absent.
     HeaderBytesCapped,
+    /// A script parsed but the bytecode compiler rejected it; it did not
+    /// execute (and was *not* silently retried on the interpreter).
+    ScriptCompileError,
 }
 
 impl DegradationKind {
@@ -263,6 +270,7 @@ impl DegradationKind {
             DegradationKind::FrameCapReached => "frame-cap-reached",
             DegradationKind::FrameDepthTruncated => "frame-depth-truncated",
             DegradationKind::HeaderBytesCapped => "header-bytes-capped",
+            DegradationKind::ScriptCompileError => "script-compile-error",
         }
     }
 

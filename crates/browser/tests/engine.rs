@@ -312,3 +312,68 @@ fn client_hint_headers_dominate_embedded_docs() {
         .iter()
         .any(|r| r.api_path == "document.browsingTopics"));
 }
+
+/// A page whose script parses fine but trips the bytecode compiler's
+/// nesting-depth guard.
+struct DeepNestSite;
+
+impl ContentProvider for DeepNestSite {
+    fn resolve(&self, url: &Url) -> ProviderResult {
+        let soup = format!("<script>{}1;</script>", "1+".repeat(1100));
+        ProviderResult::Content {
+            response: Response::html(url.clone(), soup),
+            behavior: SiteBehavior::default(),
+        }
+    }
+}
+
+#[test]
+fn compile_failure_is_an_explicit_degradation_event() {
+    // Big stack: the compiler's depth guard sits at 1000 recursive
+    // frames, more than a default 2 MiB test thread holds in debug.
+    std::thread::Builder::new()
+        .stack_size(16 * 1024 * 1024)
+        .spawn(|| {
+            let mut b = Browser::new(SimNetwork::new(DeepNestSite), BrowserConfig::default());
+            let mut clock = SimClock::new();
+            let v = b
+                .visit(&Url::parse("https://deep.example/").unwrap(), &mut clock)
+                .unwrap();
+            // The failure is recorded, never silently retried elsewhere:
+            // the script ran on no engine and the visit carries the event.
+            assert_eq!(v.outcome, VisitOutcome::Success);
+            let top = v.top_frame().unwrap();
+            assert_eq!(top.scripts[0].outcome, browser::ScriptOutcome::CompileError);
+            assert!(top.invocations.is_empty());
+            let kinds: Vec<_> = v.degradations.iter().map(|d| d.kind).collect();
+            assert_eq!(kinds, vec![browser::DegradationKind::ScriptCompileError]);
+            assert_eq!(v.degradations[0].kind.label(), "script-compile-error");
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn interp_and_vm_visits_are_byte_identical() {
+    for url in [
+        "https://publisher.example/",
+        "https://attack.example/",
+        "https://ads.example/slot",
+    ] {
+        let interp_cfg = BrowserConfig {
+            interaction: true,
+            js_engine: browser::ExecEngine::Interp,
+            ..Default::default()
+        };
+        let mut vm_cfg = interp_cfg.clone();
+        vm_cfg.js_engine = browser::ExecEngine::Vm;
+        let a = visit_with(interp_cfg, url).unwrap();
+        let b = visit_with(vm_cfg, url).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "engines diverged on {url}"
+        );
+    }
+}

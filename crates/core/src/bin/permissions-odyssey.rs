@@ -54,12 +54,14 @@ USAGE:
                                [--shards N] [--resume] [--retries R]
                                [--format jsonl|columnar] [--adversarial]
                                [--fault-panics PM] [--fault-transients PM]
+                               [--js-engine vm|interp]
   permissions-odyssey crawl-job start  --dir DIR [--size N] [--seed S]
                                [--shards N] [--format jsonl|columnar]
                                [--workers W] [--lease N] [--retries R]
                                [--adversarial] [--fault-panics PM]
                                [--fault-transients PM] [--stop-file FILE]
                                [--status-every N] [--max-rss-mb M]
+                               [--js-engine vm|interp]
   permissions-odyssey crawl-job resume --dir DIR [--workers W] [--lease N]
                                [--stop-file FILE] [--status-every N]
                                [--max-rss-mb M]
@@ -183,6 +185,8 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     }
     let resume = args.iter().any(|a| a == "--resume");
     let adversarial = args.iter().any(|a| a == "--adversarial");
+    let js_engine: browser::ExecEngine =
+        parse_flag(args, "--js-engine", browser::ExecEngine::default())?;
     let out: PathBuf = match flag(args, "--out") {
         Some(out) => out.into(),
         // Default file name follows the requested format.
@@ -288,6 +292,10 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     let funnel = Crawler::new(CrawlConfig {
         workers,
         max_retries: retries,
+        browser: BrowserConfig {
+            js_engine,
+            ..BrowserConfig::default()
+        },
         faults,
         ..CrawlConfig::default()
     })
@@ -433,6 +441,7 @@ fn cmd_crawl_job(args: &[String]) -> Result<(), String> {
             manifest.max_retries = parse_flag(rest, "--retries", manifest.max_retries)?;
             manifest.fault_panics_per_mille = parse_flag(rest, "--fault-panics", 0)?;
             manifest.fault_transients_per_mille = parse_flag(rest, "--fault-transients", 0)?;
+            manifest.js_engine = parse_flag(rest, "--js-engine", manifest.js_engine)?;
             if manifest.fault_panics_per_mille > 0 {
                 quiet_injected_panics();
             }

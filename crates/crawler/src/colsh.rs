@@ -462,6 +462,7 @@ fn script_outcome_ord(o: ScriptOutcome) -> u8 {
         ScriptOutcome::PoolExhausted => 3,
         ScriptOutcome::FetchFailed => 4,
         ScriptOutcome::BytesCapped => 5,
+        ScriptOutcome::CompileError => 6,
     }
 }
 
@@ -473,6 +474,7 @@ fn script_outcome(b: u8) -> std::io::Result<ScriptOutcome> {
         3 => ScriptOutcome::PoolExhausted,
         4 => ScriptOutcome::FetchFailed,
         5 => ScriptOutcome::BytesCapped,
+        6 => ScriptOutcome::CompileError,
         _ => return Err(bad(format!("bad script outcome ordinal {b}"))),
     })
 }
@@ -490,6 +492,7 @@ fn degradation_kind_ord(k: DegradationKind) -> u8 {
         DegradationKind::FrameCapReached => 8,
         DegradationKind::FrameDepthTruncated => 9,
         DegradationKind::HeaderBytesCapped => 10,
+        DegradationKind::ScriptCompileError => 11,
     }
 }
 
@@ -506,6 +509,7 @@ fn degradation_kind(b: u8) -> std::io::Result<DegradationKind> {
         8 => DegradationKind::FrameCapReached,
         9 => DegradationKind::FrameDepthTruncated,
         10 => DegradationKind::HeaderBytesCapped,
+        11 => DegradationKind::ScriptCompileError,
         _ => return Err(bad(format!("bad degradation kind ordinal {b}"))),
     })
 }

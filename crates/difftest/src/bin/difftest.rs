@@ -7,6 +7,9 @@
 //!   divergence.
 //! * `browser --count N --seed S` — the same scenarios executed through
 //!   the full browser pipeline (HTML + simulated network).
+//! * `jsdiff --count N --seed S` — run N seeded scripts lockstep on the
+//!   `jsland` interpreter and bytecode VM; print shrunk counterexamples
+//!   and exit non-zero on any trace divergence.
 //! * `fuzz --target T --iterations N --seed S` — one coverage-guided
 //!   fuzzing session over the checked-in seed corpus; exit non-zero on
 //!   any finding (requires the default `coverage` feature).
@@ -71,6 +74,24 @@ fn cmd_differential(args: &Args) -> Result<ExitCode, String> {
         "differential: {} of {count} scenarios diverged",
         failures.len()
     );
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_jsdiff(args: &Args) -> Result<ExitCode, String> {
+    let count = args.u64_or("count", 1000)?;
+    let seed = args.u64_or("seed", 0)?;
+    let failures = difftest::jsdiff::run_range(count, seed);
+    if failures.is_empty() {
+        println!("jsdiff: {count} scripts (seed {seed}), interp and vm agree on every trace");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for (minimal, detail) in &failures {
+        eprintln!(
+            "JS ENGINE DIVERGENCE (shrunk):\n{}\n  {detail}",
+            difftest::jsdiff::describe(minimal)
+        );
+    }
+    eprintln!("jsdiff: {} of {count} scripts diverged", failures.len());
     Ok(ExitCode::FAILURE)
 }
 
@@ -183,12 +204,15 @@ fn cmd_replay_check(_args: &Args) -> Result<ExitCode, String> {
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
-        eprintln!("usage: difftest <differential|browser|fuzz|replay-check> [--flag value ...]");
+        eprintln!(
+            "usage: difftest <differential|browser|jsdiff|fuzz|replay-check> [--flag value ...]"
+        );
         return ExitCode::FAILURE;
     };
     let result = parse_args(rest).and_then(|args| match command.as_str() {
         "differential" => cmd_differential(&args),
         "browser" => cmd_browser(&args),
+        "jsdiff" => cmd_jsdiff(&args),
         "fuzz" => cmd_fuzz(&args),
         "replay-check" => cmd_replay_check(&args),
         other => Err(format!("unknown command {other:?}")),

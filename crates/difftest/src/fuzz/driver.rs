@@ -66,6 +66,10 @@ fn fails(target: &Target, input: &[u8]) -> bool {
 /// [`FuzzOutcome`] (corpus fingerprint, coverage signature, findings).
 pub fn run(target: &Target, seeds: &[Vec<u8>], iterations: u64, seed: u64) -> FuzzOutcome {
     let _session = covmap::session_guard();
+    // The VM's per-thread front-end cache suppresses compile-stage
+    // coverage on repeat sources; start every session cold so same-seed
+    // sessions observe identical coverage and grow identical corpora.
+    jsland::reset_frontend_cache();
     let mut rng = Rng::new(seed);
     let mut corpus = Corpus::default();
     let mut findings: Vec<Finding> = Vec::new();

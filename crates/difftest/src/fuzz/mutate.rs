@@ -16,6 +16,14 @@ pub const MAX_JS_LEN: usize = 1024;
 /// Cap on HTML inputs: keeps per-execution cost bounded.
 pub const MAX_HTML_LEN: usize = 65_536;
 
+/// Cap on engine-differential JS inputs (`jsvm` target). Tighter than
+/// [`MAX_JS_LEN`] because these inputs *execute* on both engines: the
+/// bytecode compiler's nesting-depth guard sits at 1000 and the densest
+/// nesting costs one byte per level (`!!!...`), so keeping inputs under
+/// 384 bytes makes a VM-only compile error — which the interpreter could
+/// never mirror — unreachable by construction.
+pub const MAX_JSVM_LEN: usize = 384;
+
 /// Interesting fragments spliced into header inputs.
 const HEADER_ATOMS: &[&str] = &[
     "camera",
@@ -104,6 +112,13 @@ const JS_ATOMS: &[&str] = &[
     "({a: 1, b: [2, 3]})",
     "while (x) { x = x - 1; }",
     "try { f(); } catch (e) { g(e); }",
+    "var add = (function (a) { return function (b) { return a + b; }; })(3);",
+    "class C { constructor(x) { this.x = x; } get() { return this.x; } }",
+    "async function m() { var st = await navigator.permissions.query({name: \"camera\"}); }",
+    "setTimeout(function () { navigator.getBattery(); }, 10);",
+    "window.addEventListener(\"click\", function () { f(); });",
+    "break;",
+    "continue;",
     "(",
     ")",
     "{",
@@ -278,6 +293,12 @@ pub fn mutate_html(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
 /// capped hard at [`MAX_JS_LEN`].
 pub fn mutate_js(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
     text_mutation(rng, input, other, &[';', '{', '}'], JS_ATOMS, MAX_JS_LEN)
+}
+
+/// Mutates a JS source for the interp-vs-VM execution target, capped at
+/// [`MAX_JSVM_LEN`].
+pub fn mutate_jsvm(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
+    text_mutation(rng, input, other, &[';', '{', '}'], JS_ATOMS, MAX_JSVM_LEN)
 }
 
 #[cfg(test)]

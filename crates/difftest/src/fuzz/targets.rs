@@ -15,7 +15,7 @@ use crate::oracle::process::{self, OracleDoc, OracleFraming, OracleLocalPolicy};
 use crate::oracle::semantics;
 use crate::rng::Rng;
 
-use super::mutate::{self, truncate_at_boundary, MAX_HTML_LEN, MAX_JS_LEN};
+use super::mutate::{self, truncate_at_boundary, MAX_HTML_LEN, MAX_JSVM_LEN, MAX_JS_LEN};
 
 /// One fuzz target.
 pub struct Target {
@@ -28,7 +28,7 @@ pub struct Target {
 }
 
 /// All targets, in CLI order.
-pub fn all() -> [Target; 4] {
+pub fn all() -> [Target; 5] {
     [
         Target {
             name: "header",
@@ -49,6 +49,11 @@ pub fn all() -> [Target; 4] {
             name: "js",
             mutate: mutate::mutate_js,
             check: check_js,
+        },
+        Target {
+            name: "jsvm",
+            mutate: mutate::mutate_jsvm,
+            check: check_jsvm,
         },
     ]
 }
@@ -186,13 +191,27 @@ fn check_js(input: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
+/// JS engine differential: every input the fuzzer invents must produce
+/// the same trace — run result, host calls, handlers, timers, exact
+/// step-pool accounting — on the tree-walking interpreter and the
+/// bytecode VM. The cap keeps the compiler's depth guard unreachable so
+/// a VM-only `Compile` error cannot appear as a spurious divergence.
+fn check_jsvm(input: &[u8]) -> Result<(), String> {
+    let text = String::from_utf8_lossy(input);
+    let text = truncate_at_boundary(&text, MAX_JSVM_LEN);
+    match crate::jsdiff::divergence(text) {
+        None => Ok(()),
+        Some(detail) => Err(format!("interp/vm diverged: {detail}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn targets_resolve_by_name() {
-        for name in ["header", "allow", "html", "js"] {
+        for name in ["header", "allow", "html", "js", "jsvm"] {
             assert!(by_name(name).is_some(), "{name}");
         }
         assert!(by_name("nope").is_none());
@@ -205,5 +224,10 @@ mod tests {
         assert_eq!(check_allow(b"camera *; geolocation 'self'"), Ok(()));
         assert_eq!(check_html(b"<html><iframe src=\"x\"></iframe>"), Ok(()));
         assert_eq!(check_js(b"var x = 1;"), Ok(()));
+        assert_eq!(check_jsvm(b"var x = 1; navigator.getBattery();"), Ok(()));
+        // Unparseable and runaway inputs are healthy as long as both
+        // engines agree on them.
+        assert_eq!(check_jsvm(b"var = = ;"), Ok(()));
+        assert_eq!(check_jsvm(b"while (true) { var x = 1; }"), Ok(()));
     }
 }

@@ -8,6 +8,9 @@
 //!   against the specs rather than against `policy`'s code;
 //! * [`scenario`] — deterministic frame-tree scenario generation, the
 //!   lockstep engine-vs-oracle executor, and a counterexample shrinker;
+//! * [`jsdiff`] — seeded script generation and lockstep interp-vs-VM
+//!   execution for `jsland`'s two engines, with statement-level
+//!   shrinking (the `--js-engine` byte-identity guarantee's test rig);
 //! * [`fuzz`] — a from-scratch coverage-guided, structure-aware fuzzer
 //!   for the `policy` / `html` / `jsland` parsers (requires the
 //!   `coverage` feature, which instruments those crates).
@@ -16,6 +19,7 @@
 //! crates but nothing in production depends on it.
 
 pub mod browser_exec;
+pub mod jsdiff;
 pub mod oracle;
 pub mod rng;
 pub mod scenario;

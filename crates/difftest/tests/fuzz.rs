@@ -54,11 +54,16 @@ fn js_fuzz_smoke() {
     smoke("js", 400, 1);
 }
 
+#[test]
+fn jsvm_fuzz_smoke() {
+    smoke("jsvm", 400, 1);
+}
+
 /// Same seed → same corpus (byte-identical, same order) and same
 /// combined coverage signature.
 #[test]
 fn replay_is_deterministic() {
-    for name in ["header", "allow", "html", "js"] {
+    for name in ["header", "allow", "html", "js", "jsvm"] {
         let a = smoke(name, 300, 77);
         let b = smoke(name, 300, 77);
         assert_eq!(
@@ -83,6 +88,7 @@ fn seed_corpus_reaches_every_region() {
         ("allow", covmap::POLICY_BASE, covmap::HTML_BASE),
         ("html", covmap::HTML_BASE, covmap::JSLAND_BASE),
         ("js", covmap::JSLAND_BASE, covmap::DIFFTEST_BASE),
+        ("jsvm", covmap::JSLAND_BASE, covmap::DIFFTEST_BASE),
     ];
     for (name, lo, hi) in regions {
         let outcome = smoke(name, 0, 0);
@@ -102,4 +108,7 @@ fn ci_fuzz_budget() {
     for name in ["header", "allow", "html", "js"] {
         smoke(name, 20_000, 11);
     }
+    // The engine-differential target executes every input twice; a
+    // smaller budget keeps the gate's wall-clock in line.
+    smoke("jsvm", 5_000, 11);
 }

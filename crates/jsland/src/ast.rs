@@ -73,6 +73,11 @@ pub struct Function {
     pub params: Vec<String>,
     /// Body statements.
     pub body: Vec<Stmt>,
+    /// `async function` / `async (..) =>`: the return value is wrapped in
+    /// a resolved promise (the sim-clock has no real event loop, so an
+    /// async body runs synchronously and `await` unwraps settled
+    /// promises in place).
+    pub is_async: bool,
 }
 
 /// An expression.

@@ -16,6 +16,10 @@ pub enum RunError {
     Lex(String),
     /// Parsing failed.
     Parse(String),
+    /// Bytecode compilation failed (VM engine only). Never silently
+    /// falls back to the interpreter: the failure is reported so the
+    /// degradation taxonomy records it.
+    Compile(String),
     /// The step budget was exhausted (runaway script).
     BudgetExceeded,
     /// The page-wide shared step pool ran dry (earlier scripts consumed
@@ -28,6 +32,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::Lex(e) => write!(f, "lex error: {e}"),
             RunError::Parse(e) => write!(f, "parse error: {e}"),
+            RunError::Compile(e) => write!(f, "compile error: {e}"),
             RunError::BudgetExceeded => write!(f, "script step budget exceeded"),
             RunError::PoolExhausted => write!(f, "page step pool exhausted"),
         }
@@ -74,7 +79,7 @@ impl StepPool {
         self.limited && self.remaining == 0
     }
 
-    fn grant(&self, per_run: u64) -> u64 {
+    pub(crate) fn grant(&self, per_run: u64) -> u64 {
         if self.limited {
             per_run.min(self.remaining)
         } else {
@@ -82,12 +87,18 @@ impl StepPool {
         }
     }
 
-    fn charge(&mut self, used: u64) {
+    pub(crate) fn charge(&mut self, used: u64) {
         if self.limited {
             self.remaining = self.remaining.saturating_sub(used);
         }
     }
 }
+
+/// Maximum script-function recursion depth (both engines): each JS frame
+/// costs native stack (the tree-walker recurses through `eval_*`, the VM
+/// through `run_proto`), so deep script recursion is cut off well before
+/// the host stack can overflow and treated like budget exhaustion.
+pub(crate) const MAX_CALL_DEPTH: usize = 64;
 
 /// Control-flow signal raised during evaluation.
 enum Signal {
@@ -407,15 +418,22 @@ impl Interpreter {
                 let callee_value = self.eval_expr(callee, env, hooks)?;
                 let arg_values = self.eval_args(args, env, hooks)?;
                 match callee_value {
-                    Value::Host(path) => Ok(hooks.api_call(ApiCall {
-                        path: host::normalize_path(&path),
-                        args: arg_values,
-                        constructed: true,
-                        source: self.current_source.clone(),
-                    })),
+                    Value::Host(path) => {
+                        self.host_boundary_guard()?;
+                        Ok(hooks.api_call(ApiCall {
+                            path: host::normalize_path(&path),
+                            args: arg_values,
+                            constructed: true,
+                            source: self.current_source.clone(),
+                        }))
+                    }
                     func @ Value::Func { .. } => {
-                        self.call_function(&func, arg_values, hooks)?;
-                        Ok(Value::object(vec![]))
+                        // `new` on a script function: fresh object bound as
+                        // `this`, method installs and constructor body run,
+                        // the object is the result.
+                        let this = Value::object(vec![]);
+                        self.call_function_with_this(&func, arg_values, Some(this.clone()), hooks)?;
+                        Ok(this)
                     }
                     _ => Ok(Value::object(vec![])),
                 }
@@ -456,7 +474,7 @@ impl Interpreter {
                 }
                 let l = self.eval_expr(left, env, hooks)?;
                 let r = self.eval_expr(right, env, hooks)?;
-                Ok(self.binary_op(op, &l, &r))
+                Ok(binary_op(op, &l, &r))
             }
             Expr::Unary { op, operand } => {
                 let v = self.eval_expr(operand, env, hooks)?;
@@ -467,6 +485,13 @@ impl Interpreter {
                         _ => Value::Num(f64::NAN),
                     },
                     "typeof" => Value::Str(v.type_of().to_string()),
+                    // `await` on a settled promise unwraps it in place
+                    // (the sim-clock has no microtask queue); any other
+                    // value passes through, like `await 1`.
+                    "await" => match v {
+                        Value::Promise(inner) => (*inner).clone(),
+                        other => other,
+                    },
                     _ => Value::Undefined,
                 })
             }
@@ -513,9 +538,21 @@ impl Interpreter {
             return v;
         }
         if host::is_host_root(name) {
-            return Value::Host(name.to_string());
+            return Value::host(name);
         }
         Value::Undefined
+    }
+
+    /// A script that has already exhausted its budget must not reach the
+    /// host boundary: without this check the dispatch (an API-call
+    /// record, a queued timer) could land even though the very next step
+    /// charge aborts the run, leaving a partially-applied side effect
+    /// that depends on *where* the pool ran dry inside an expression.
+    fn host_boundary_guard(&self) -> Result<(), Signal> {
+        if self.steps_left == 0 {
+            return Err(Signal::Budget);
+        }
+        Ok(())
     }
 
     fn property_name(
@@ -540,26 +577,29 @@ impl Interpreter {
                 "length" => Value::Num(items.borrow().len() as f64),
                 _ => match key.parse::<usize>() {
                     Ok(i) => items.borrow().get(i).cloned().unwrap_or(Value::Undefined),
-                    Err(_) => Value::Host(format!("__array.{key}")),
+                    Err(_) => Value::host(format!("__array.{key}")),
                 },
             },
             Value::Str(s) => match key {
                 "length" => Value::Num(s.chars().count() as f64),
-                _ => Value::Host(format!("__string.{key}")),
+                _ => Value::host(format!("__string.{key}")),
             },
             Value::Host(path) => {
                 // `window.x` is the global `x`.
-                if path == "window" {
+                if &**path == "window" {
                     if host::is_host_root(key) {
-                        return Value::Host(key.to_string());
+                        return Value::host(key);
                     }
                     return self.globals.get(key).unwrap_or(Value::Undefined);
                 }
                 let full = format!("{path}.{key}");
-                data_property(&full).unwrap_or(Value::Host(full))
+                match data_property(&full) {
+                    Some(v) => v,
+                    None => Value::host(full),
+                }
             }
-            Value::Promise(_) => Value::Host(format!("__promise.{key}")),
-            Value::Func { .. } => Value::Host(format!("__function.{key}")),
+            Value::Promise(_) => Value::host(format!("__promise.{key}")),
+            Value::Func { .. } => Value::host(format!("__function.{key}")),
             _ => Value::Undefined,
         }
     }
@@ -699,6 +739,7 @@ impl Interpreter {
             }
             (Value::Host(path), "addEventListener") => {
                 let arg_values = self.eval_args(args, env, hooks)?;
+                self.host_boundary_guard()?;
                 if let (Some(Value::Str(event)), Some(func)) =
                     (arg_values.first(), arg_values.get(1))
                 {
@@ -712,11 +753,18 @@ impl Interpreter {
                 let _ = path;
                 return Ok(Value::Undefined);
             }
-            // Object property that holds a function.
+            // Object property that holds a function: a method call binds
+            // the receiver as `this`.
             (Value::Object(map), _) => {
                 let f = map.borrow().get(key).cloned();
                 let arg_values = self.eval_args(args, env, hooks)?;
                 return match f {
+                    Some(func @ Value::Func { .. }) => self.call_function_with_this(
+                        &func,
+                        arg_values,
+                        Some(receiver.clone()),
+                        hooks,
+                    ),
                     Some(func) => self.call_value(func, arg_values, hooks),
                     None => Ok(Value::Undefined),
                 };
@@ -815,6 +863,7 @@ impl Interpreter {
         match callee {
             Value::Func { .. } => self.call_function(&callee, args, hooks),
             Value::Host(path) => {
+                self.host_boundary_guard()?;
                 let path = host::normalize_path(&path);
                 match path.as_str() {
                     "setTimeout" | "setInterval" => {
@@ -840,10 +889,23 @@ impl Interpreter {
     }
 
     /// Invokes a script function value with arguments.
+    #[inline(always)]
     fn call_function(
         &mut self,
         callee: &Value,
         args: Vec<Value>,
+        hooks: &mut dyn HostHooks,
+    ) -> Result<Value, Signal> {
+        self.call_function_with_this(callee, args, None, hooks)
+    }
+
+    /// [`Self::call_function`] with an explicit `this` binding (method
+    /// calls on plain objects, `new` on script functions).
+    fn call_function_with_this(
+        &mut self,
+        callee: &Value,
+        args: Vec<Value>,
+        this: Option<Value>,
         hooks: &mut dyn HostHooks,
     ) -> Result<Value, Signal> {
         let Value::Func { func, env, source } = callee else {
@@ -851,11 +913,14 @@ impl Interpreter {
         };
         // Native-stack guard: deep script recursion must not overflow the
         // host stack. Treat it like budget exhaustion (runaway script).
-        if self.depth >= 128 {
+        if self.depth >= MAX_CALL_DEPTH {
             return Err(Signal::Budget);
         }
         self.depth += 1;
         let frame = env.child();
+        if let Some(this) = this {
+            frame.declare("this", this);
+        }
         for (i, param) in func.params.iter().enumerate() {
             frame.declare(param, args.get(i).cloned().unwrap_or(Value::Undefined));
         }
@@ -863,11 +928,20 @@ impl Interpreter {
         let result = self.run_body(&func.body, &frame, hooks);
         self.current_source = prev_source;
         self.depth -= 1;
-        match result {
-            Ok(()) | Err(Signal::Break) | Err(Signal::Continue) => Ok(Value::Undefined),
-            Err(Signal::Return(v)) => Ok(v),
-            Err(other) => Err(other),
+        let value = match result {
+            Ok(()) | Err(Signal::Break) | Err(Signal::Continue) => Value::Undefined,
+            Err(Signal::Return(v)) => v,
+            Err(other) => return Err(other),
+        };
+        // An async function's result is always a promise (already-settled
+        // promises are not double-wrapped, matching `then` flattening).
+        if func.is_async {
+            return Ok(match value {
+                p @ Value::Promise(_) => p,
+                other => Value::promise(other),
+            });
         }
+        Ok(value)
     }
 
     fn run_body(
@@ -878,44 +952,46 @@ impl Interpreter {
     ) -> Result<(), Signal> {
         self.eval_block(body, env, hooks)
     }
+}
 
-    fn binary_op(&self, op: &str, l: &Value, r: &Value) -> Value {
-        match op {
-            "+" => match (l, r) {
-                (Value::Num(a), Value::Num(b)) => Value::Num(a + b),
-                _ => Value::Str(format!(
-                    "{}{}",
-                    l.to_display_string(),
-                    r.to_display_string()
-                )),
-            },
-            "-" | "*" | "/" => {
-                let (a, b) = (to_number(l), to_number(r));
-                Value::Num(match op {
-                    "-" => a - b,
-                    "*" => a * b,
-                    _ => a / b,
-                })
-            }
-            "==" => Value::Bool(l.loose_eq(r)),
-            "!=" => Value::Bool(!l.loose_eq(r)),
-            "===" => Value::Bool(l.strict_eq(r)),
-            "!==" => Value::Bool(!l.strict_eq(r)),
-            "<" | ">" | "<=" | ">=" => {
-                let (a, b) = (to_number(l), to_number(r));
-                Value::Bool(match op {
-                    "<" => a < b,
-                    ">" => a > b,
-                    "<=" => a <= b,
-                    _ => a >= b,
-                })
-            }
-            _ => Value::Undefined,
+/// Binary operators (shared by the tree-walker and the VM so semantics
+/// cannot drift).
+pub(crate) fn binary_op(op: &str, l: &Value, r: &Value) -> Value {
+    match op {
+        "+" => match (l, r) {
+            (Value::Num(a), Value::Num(b)) => Value::Num(a + b),
+            _ => Value::Str(format!(
+                "{}{}",
+                l.to_display_string(),
+                r.to_display_string()
+            )),
+        },
+        "-" | "*" | "/" => {
+            let (a, b) = (to_number(l), to_number(r));
+            Value::Num(match op {
+                "-" => a - b,
+                "*" => a * b,
+                _ => a / b,
+            })
         }
+        "==" => Value::Bool(l.loose_eq(r)),
+        "!=" => Value::Bool(!l.loose_eq(r)),
+        "===" => Value::Bool(l.strict_eq(r)),
+        "!==" => Value::Bool(!l.strict_eq(r)),
+        "<" | ">" | "<=" | ">=" => {
+            let (a, b) = (to_number(l), to_number(r));
+            Value::Bool(match op {
+                "<" => a < b,
+                ">" => a > b,
+                "<=" => a <= b,
+                _ => a >= b,
+            })
+        }
+        _ => Value::Undefined,
     }
 }
 
-fn to_number(v: &Value) -> f64 {
+pub(crate) fn to_number(v: &Value) -> f64 {
     match v {
         Value::Num(n) => *n,
         Value::Bool(true) => 1.0,
@@ -926,7 +1002,7 @@ fn to_number(v: &Value) -> f64 {
 }
 
 /// String builtin methods.
-fn string_method(s: &str, key: &str, args: &[Value]) -> Value {
+pub(crate) fn string_method(s: &str, key: &str, args: &[Value]) -> Value {
     match key {
         "includes" => Value::Bool(
             args.first()
@@ -970,7 +1046,7 @@ fn string_method(s: &str, key: &str, args: &[Value]) -> Value {
 }
 
 /// Read-only host data properties scripts probe.
-fn data_property(path: &str) -> Option<Value> {
+pub(crate) fn data_property(path: &str) -> Option<Value> {
     match path {
         "navigator.userAgent" => Some(Value::Str(
             "Mozilla/5.0 (X11; Linux x86_64) Chromium/127.0.6533.17".to_string(),

@@ -49,8 +49,8 @@
 //! ```
 
 // Coverage instrumentation point for the fuzzer (crates/difftest).  Sites
-// 0-29 belong to `lexer`, 30-69 to `parser`.  Expands to nothing unless
-// the `coverage` feature is enabled.
+// 0-29 belong to `lexer`, 30-69 to `parser`, 70-89 to `bytecode`, 90-99
+// to `vm`.  Expands to nothing unless the `coverage` feature is enabled.
 #[cfg(feature = "coverage")]
 macro_rules! cov {
     ($site:expr) => {
@@ -63,15 +63,20 @@ macro_rules! cov {
 }
 
 mod ast;
+mod bytecode;
+mod engine;
 pub mod host;
 mod interp;
 mod lexer;
 mod parser;
 mod value;
+mod vm;
 
+pub use engine::{ExecEngine, ScriptEngine};
 pub use host::{ApiCall, HostHooks, RecordingHooks, ScriptSource};
 pub use interp::{Interpreter, PendingHandler, RunError, StepPool};
 pub use value::Value;
+pub use vm::{reset_frontend_cache, Vm};
 
 /// Parses a script and reports the first syntax error, if any. Used by the
 /// crawler to tell "script failed to parse" apart from "script ran".

@@ -183,9 +183,21 @@ impl<'a> Parser<'a> {
                     cov!(33);
                     self.bump();
                     let name = self.expect_ident()?;
-                    let func = self.parse_function_rest()?;
+                    let func = self.parse_function_rest(false)?;
                     Ok(Stmt::FuncDecl { name, func })
                 }
+                "async"
+                    if matches!(self.peek2(), Some(Tok::Ident(w)) if w == "function")
+                        && matches!(self.tokens.get(self.pos + 2), Some(Tok::Ident(_))) =>
+                {
+                    cov!(51);
+                    self.bump();
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let func = self.parse_function_rest(true)?;
+                    Ok(Stmt::FuncDecl { name, func })
+                }
+                "class" if matches!(self.peek2(), Some(Tok::Ident(_))) => self.parse_class(),
                 "while" => {
                     cov!(34);
                     self.bump();
@@ -289,7 +301,7 @@ impl<'a> Parser<'a> {
 
     /// Parses `(params) { body }` after the `function` keyword (and
     /// optional name) have been consumed.
-    fn parse_function_rest(&mut self) -> Result<Rc<Function>, ParseError> {
+    fn parse_function_rest(&mut self, is_async: bool) -> Result<Rc<Function>, ParseError> {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
@@ -302,7 +314,67 @@ impl<'a> Parser<'a> {
             }
         }
         let body = self.parse_block()?;
-        Ok(Rc::new(Function { params, body }))
+        Ok(Rc::new(Function {
+            params,
+            body,
+            is_async,
+        }))
+    }
+
+    /// `class Name { constructor(..) {..} method(..) {..} }`, desugared to
+    /// a hoisted function declaration: the constructor body runs after
+    /// `this.method = function ..` installs, so `new Name(..)` yields an
+    /// object carrying its methods. `extends` is out of subset.
+    fn parse_class(&mut self) -> Result<Stmt, ParseError> {
+        cov!(52);
+        self.bump(); // class
+        let name = self.expect_ident()?;
+        if self.eat_ident("extends") {
+            return Err(self.err("class inheritance is not supported"));
+        }
+        self.expect_punct("{")?;
+        let mut installs: Vec<Stmt> = Vec::new();
+        let mut ctor: Option<Rc<Function>> = None;
+        while !self.eat_punct("}") {
+            if self.eat_punct(";") {
+                continue;
+            }
+            let mut method = self.expect_ident()?;
+            let mut is_async = false;
+            if method == "async" && matches!(self.peek(), Some(Tok::Ident(_))) {
+                is_async = true;
+                method = self.expect_ident()?;
+            }
+            let func = self.parse_function_rest(is_async)?;
+            if method == "constructor" {
+                if ctor.is_some() {
+                    return Err(self.err("duplicate constructor"));
+                }
+                ctor = Some(func);
+            } else {
+                installs.push(Stmt::Expr(Expr::Assign {
+                    target: Box::new(Expr::Member {
+                        object: Box::new(Expr::Ident("this".to_string())),
+                        property: PropertyKey::Fixed(method),
+                    }),
+                    value: Box::new(Expr::Func(func)),
+                }));
+            }
+        }
+        let (params, ctor_body) = match ctor {
+            Some(f) => (f.params.clone(), f.body.clone()),
+            None => (vec![], vec![]),
+        };
+        let mut body = installs;
+        body.extend(ctor_body);
+        Ok(Stmt::FuncDecl {
+            name,
+            func: Rc::new(Function {
+                params,
+                body,
+                is_async: false,
+            }),
+        })
     }
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
@@ -411,6 +483,22 @@ impl<'a> Parser<'a> {
             let operand = self.parse_unary()?;
             return Ok(Expr::Unary {
                 op: "typeof",
+                operand: Box::new(operand),
+            });
+        }
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == "await")
+            && !matches!(
+                self.peek2(),
+                None | Some(Tok::Punct(
+                    ";" | ")" | "]" | "}" | "," | "=" | "=>" | "." | ":"
+                ))
+            )
+        {
+            cov!(53);
+            self.bump();
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: "await",
                 operand: Box::new(operand),
             });
         }
@@ -560,8 +648,44 @@ impl<'a> Parser<'a> {
                     if matches!(self.peek(), Some(Tok::Ident(_))) {
                         self.bump();
                     }
-                    let func = self.parse_function_rest()?;
+                    let func = self.parse_function_rest(false)?;
                     Ok(Expr::Func(func))
+                }
+                "async" => {
+                    self.bump();
+                    // `async function [name] (..) {..}`.
+                    if self.eat_ident("function") {
+                        cov!(54);
+                        if matches!(self.peek(), Some(Tok::Ident(_))) {
+                            self.bump();
+                        }
+                        let func = self.parse_function_rest(true)?;
+                        return Ok(Expr::Func(func));
+                    }
+                    // `async (a, b) => ..`; a failed scan falls through so
+                    // `async(x)` stays a plain call of an `async` binding.
+                    if matches!(self.peek(), Some(Tok::Punct("("))) {
+                        if let Some(params) = self.try_parse_arrow_params() {
+                            cov!(55);
+                            return self.parse_arrow_body(params, true);
+                        }
+                    }
+                    // `async x => ..`.
+                    if let (Some(Tok::Ident(param)), Some(Tok::Punct("=>"))) =
+                        (self.peek(), self.peek2())
+                    {
+                        let param = param.clone();
+                        self.bump();
+                        self.bump();
+                        return self.parse_arrow_body(vec![param], true);
+                    }
+                    // Plain identifier named `async` (itself maybe an arrow
+                    // parameter: `async => ..`).
+                    if matches!(self.peek(), Some(Tok::Punct("=>"))) {
+                        self.bump();
+                        return self.parse_arrow_body(vec![word], false);
+                    }
+                    Ok(Expr::Ident(word))
                 }
                 _ => {
                     self.bump();
@@ -569,7 +693,7 @@ impl<'a> Parser<'a> {
                     if matches!(self.peek(), Some(Tok::Punct("=>"))) {
                         cov!(44);
                         self.bump();
-                        return self.parse_arrow_body(vec![word]);
+                        return self.parse_arrow_body(vec![word], false);
                     }
                     Ok(Expr::Ident(word))
                 }
@@ -579,7 +703,7 @@ impl<'a> Parser<'a> {
                 // list. Scan ahead for `) =>`.
                 if let Some(params) = self.try_parse_arrow_params() {
                     cov!(45);
-                    return self.parse_arrow_body(params);
+                    return self.parse_arrow_body(params, false);
                 }
                 self.bump();
                 let expr = self.parse_expr()?;
@@ -671,14 +795,22 @@ impl<'a> Parser<'a> {
         Some(params)
     }
 
-    fn parse_arrow_body(&mut self, params: Vec<String>) -> Result<Expr, ParseError> {
+    fn parse_arrow_body(
+        &mut self,
+        params: Vec<String>,
+        is_async: bool,
+    ) -> Result<Expr, ParseError> {
         let body = if matches!(self.peek(), Some(Tok::Punct("{"))) {
             self.parse_block()?
         } else {
             let expr = self.parse_assignment()?;
             vec![Stmt::Return(Some(expr))]
         };
-        Ok(Expr::Func(Rc::new(Function { params, body })))
+        Ok(Expr::Func(Rc::new(Function {
+            params,
+            body,
+            is_async,
+        })))
     }
 }
 

@@ -93,8 +93,12 @@ pub enum Value {
         /// The script the function came from (for stack-trace attribution).
         source: ScriptSource,
     },
-    /// A host object or function, identified by its dotted path.
-    Host(String),
+    /// A host object or function, identified by its dotted path. The
+    /// path is reference-counted so aliases, inline-cache entries and
+    /// member-chain results share one allocation (`Rc::ptr_eq` is the
+    /// VM's fast identity check before falling back to content
+    /// comparison).
+    Host(Rc<str>),
     /// A resolved promise wrapping a value.
     Promise(Rc<Value>),
 }
@@ -117,6 +121,11 @@ impl Value {
     /// A resolved promise.
     pub fn promise(value: Value) -> Value {
         Value::Promise(Rc::new(value))
+    }
+
+    /// A host object/function value for a dotted path.
+    pub fn host(path: impl Into<Rc<str>>) -> Value {
+        Value::Host(path.into())
     }
 
     /// JS truthiness.

@@ -1,6 +1,6 @@
-//! Property-based tests for the micro-JS interpreter.
+//! Property-based tests for the micro-JS interpreter and bytecode VM.
 
-use jsland::{Interpreter, RecordingHooks, ScriptSource, StepPool};
+use jsland::{Interpreter, RecordingHooks, ScriptSource, StepPool, Vm};
 use proptest::prelude::*;
 
 /// Arbitrary bytes lossily decoded to text — the hostile-input shape the
@@ -163,5 +163,120 @@ proptest! {
         let mid = pool.remaining();
         let _ = interp.run_pooled(&input, ScriptSource::inline(), &mut hooks, &mut pool);
         prop_assert!(pool.remaining() <= mid);
+    }
+}
+
+/// One engine's observable execution of `input` under a bounded pool:
+/// the run result's display form, the host-call trace, and the pool's
+/// exact remaining steps.
+fn observe(
+    run: impl FnOnce(&str, &mut RecordingHooks, &mut StepPool) -> Result<(), jsland::RunError>,
+    input: &str,
+    pool_steps: u64,
+) -> (Result<(), String>, Vec<(String, bool)>, u64) {
+    let mut hooks = RecordingHooks::default();
+    let mut pool = StepPool::limited(pool_steps);
+    let result = run(input, &mut hooks, &mut pool).map_err(|e| e.to_string());
+    let calls = hooks
+        .calls
+        .iter()
+        .map(|c| (c.path.clone(), c.constructed))
+        .collect();
+    (result, calls, pool.remaining())
+}
+
+proptest! {
+    /// Compiler + VM dispatch are total over arbitrary byte soup and the
+    /// VM's whole observable behaviour — result, host calls, step-pool
+    /// accounting — matches the tree-walking interpreter exactly.
+    /// Inputs stay short enough that the compiler's nesting-depth guard
+    /// is unreachable (densest nesting is one level per byte), so a
+    /// VM-only `Compile` error cannot produce a spurious mismatch.
+    #[test]
+    fn vm_is_lockstep_with_interpreter_on_byte_soup(
+        input in arb_bytes_as_text(300),
+        pool_steps in 0u64..5_000,
+    ) {
+        let interp = observe(
+            |src, hooks, pool| {
+                Interpreter::with_budget(2_000).run_pooled(src, ScriptSource::inline(), hooks, pool)
+            },
+            &input,
+            pool_steps,
+        );
+        let vm = observe(
+            |src, hooks, pool| {
+                Vm::with_budget(2_000).run_pooled(src, ScriptSource::inline(), hooks, pool)
+            },
+            &input,
+            pool_steps,
+        );
+        prop_assert_eq!(interp, vm);
+    }
+
+    /// Torn programs seeded with the widened-subset constructs (classes,
+    /// async, closures) never panic compiler or VM, and both engines
+    /// still agree.
+    #[test]
+    fn vm_survives_torn_widened_subset_programs(
+        prefix in prop_oneof![
+            Just("class C { constructor(x) { "),
+            Just("async function m() { var st = await "),
+            Just("var add = (function (a) { return function (b) { "),
+            Just("new C("),
+            Just("try { break; } catch (e) { "),
+        ],
+        soup in arb_bytes_as_text(120),
+    ) {
+        let program = format!("{prefix}{soup}");
+        let interp = observe(
+            |src, hooks, pool| {
+                Interpreter::with_budget(2_000).run_pooled(src, ScriptSource::inline(), hooks, pool)
+            },
+            &program,
+            3_000,
+        );
+        let vm = observe(
+            |src, hooks, pool| {
+                Vm::with_budget(2_000).run_pooled(src, ScriptSource::inline(), hooks, pool)
+            },
+            &program,
+            3_000,
+        );
+        prop_assert_eq!(interp, vm);
+    }
+
+    /// The VM under a bounded budget always terminates, timers included.
+    #[test]
+    fn bounded_vm_always_terminates(input in arb_bytes_as_text(300)) {
+        let mut hooks = RecordingHooks::default();
+        let mut vm = Vm::with_budget(2_000);
+        let _ = vm.run(&input, ScriptSource::inline(), &mut hooks);
+        vm.drain_timers(&mut hooks);
+    }
+}
+
+/// Parser regressions for the widened subset: these exact spellings must
+/// keep parsing (and the unsupported ones keep failing) as the grammar
+/// grows.
+#[test]
+fn widened_subset_parses() {
+    for src in [
+        "var add = function (a) { return function (b) { return a + b; }; };",
+        "class C { constructor(x) { this.x = x; } get() { return this.x; } }",
+        "class D { }",
+        "class E { async load() { return await navigator.getBattery(); } }",
+        "async function m() { var st = await navigator.permissions.query({name: \"camera\"}); }",
+        "var f = async function () { return 1; };",
+        "for (var i = 0; i < 3; i = i + 1) { if (i > 1) { break; } continue; }",
+    ] {
+        assert!(jsland::check_syntax(src).is_ok(), "should parse: {src}");
+    }
+    for src in [
+        "class C extends B { }",
+        "class C { constructor() { } constructor() { } }",
+        "var x = ;",
+    ] {
+        assert!(jsland::check_syntax(src).is_err(), "should reject: {src}");
     }
 }

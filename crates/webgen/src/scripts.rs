@@ -167,6 +167,46 @@ pub fn click_gated(inner: &str) -> String {
     format!("button.addEventListener('click', function () {{\n{inner}\n}});\n")
 }
 
+/// Modern SDK-style permission helper: a class wrapping the Permissions
+/// API behind an `async` method, the shape bundled consent SDKs ship.
+pub fn permission_helper_class(name: &str) -> String {
+    format!(
+        "class PermissionProbe {{\n\
+           constructor(name) {{ this.name = name; }}\n\
+           async check() {{\n\
+             var st = await navigator.permissions.query({{name: this.name}});\n\
+             return st.state;\n\
+           }}\n\
+         }}\n\
+         new PermissionProbe('{name}').check();\n"
+    )
+}
+
+/// Bundler-style closure factory around an obfuscated battery probe:
+/// the host root and the method name both travel through locals, so
+/// static string matching sees neither.
+pub fn closure_probe() -> String {
+    "var probe = (function (root) {\n\
+       var key = 'get' + 'Battery';\n\
+       return function () { return root[key](); };\n\
+     })(navigator);\n\
+     probe().then(function (b) { var level = b.level; });\n"
+        .to_string()
+}
+
+/// Async/await capture bootstrap (video-conference widgets): status
+/// query first, capture only when not denied.
+pub fn async_gum_flow() -> String {
+    "async function startCapture() {\n\
+       var st = await navigator.permissions.query({name: 'camera'});\n\
+       if (st.state !== 'denied') {\n\
+         var stream = await navigator.mediaDevices.getUserMedia({video: true, audio: true});\n\
+       }\n\
+     }\n\
+     startCapture();\n"
+        .to_string()
+}
+
 /// Messaging-only chat widget logic: no permission APIs at all (the
 /// LiveChat §5.2 finding — delegated permissions, zero related code).
 pub fn chat_widget_messaging() -> String {
@@ -217,6 +257,9 @@ mod tests {
             click_gated(&clipboard_share_handler()),
             chat_widget_messaging(),
             consent_banner(),
+            permission_helper_class("geolocation"),
+            closure_probe(),
+            async_gum_flow(),
         ];
         for s in &snippets {
             jsland::check_syntax(s).unwrap_or_else(|e| panic!("{e}\n---\n{s}"));

@@ -233,6 +233,13 @@ fn first_party_scripts(seed: u64, rank: u64) -> Vec<String> {
         scripts::permissions_query("notifications")
     });
     add("fp-q-push", 0.005, &|| scripts::permissions_query("push"));
+    // Modern bundle shapes (classes, closures, async/await) carrying the
+    // same permission probes — richer scenarios both engines must agree on.
+    add("fp-sdk-class", 0.004, &|| {
+        scripts::permission_helper_class("geolocation")
+    });
+    add("fp-closure-probe", 0.003, &|| scripts::closure_probe());
+    add("fp-async-gum", 0.004, &|| scripts::async_gum_flow());
     out
 }
 

@@ -39,6 +39,16 @@ cmp "$IDENT/streaming.jsonl" "$IDENT/value-tree.jsonl"
 rm -rf "$IDENT"
 echo "    crawl, streaming re-encode, and value-tree re-encode are byte-identical"
 
+echo "==> js-engine byte-identity gate (20k sites, interp vs vm)"
+BIN=target/release/permissions-odyssey
+ENG=$(mktemp -d)
+trap 'rm -rf "$ENG"' EXIT
+"$BIN" crawl --size 20000 --seed 7 --js-engine vm --out "$ENG/vm.jsonl" 2>/dev/null
+"$BIN" crawl --size 20000 --seed 7 --js-engine interp --out "$ENG/interp.jsonl" 2>/dev/null
+cmp "$ENG/vm.jsonl" "$ENG/interp.jsonl"
+rm -rf "$ENG"
+echo "    bytecode-VM and tree-walker crawls are byte-identical"
+
 echo "==> sharded round-trip smoke (crawl --shards 4 vs unsharded)"
 BIN=target/release/permissions-odyssey
 SMOKE=$(mktemp -d)
@@ -154,6 +164,10 @@ echo "    100k-origin job stayed under the 192 MiB peak-RSS ceiling"
 echo "==> difftest: spec-oracle differential gate (>=10k seeded scenarios)"
 cargo test -q --release -p difftest
 cargo test -q --release -p difftest --test differential -- --ignored
+
+echo "==> difftest: interp-vs-VM lockstep differential (>=10k seeded scenarios)"
+cargo test -q --release -p difftest --lib -- --ignored
+echo "    zero engine divergences"
 
 echo "==> difftest: coverage-guided fuzz smoke (fixed iteration budget)"
 cargo test -q --release -p difftest --test fuzz -- --ignored

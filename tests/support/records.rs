@@ -59,7 +59,7 @@ pub fn arb_invocation() -> impl Strategy<Value = InvocationRecord> {
 }
 
 pub fn arb_script() -> impl Strategy<Value = ScriptRecord> {
-    (prop::option::of(wild_string()), wild_string(), 0u8..6).prop_map(|(url, source, o)| {
+    (prop::option::of(wild_string()), wild_string(), 0u8..7).prop_map(|(url, source, o)| {
         ScriptRecord {
             url,
             source,
@@ -69,7 +69,8 @@ pub fn arb_script() -> impl Strategy<Value = ScriptRecord> {
                 2 => ScriptOutcome::BudgetExceeded,
                 3 => ScriptOutcome::PoolExhausted,
                 4 => ScriptOutcome::FetchFailed,
-                _ => ScriptOutcome::BytesCapped,
+                5 => ScriptOutcome::BytesCapped,
+                _ => ScriptOutcome::CompileError,
             },
         }
     })
@@ -146,7 +147,7 @@ pub fn arb_visit() -> impl Strategy<Value = PageVisit> {
         prop::collection::vec(arb_frame(), 1..4),
         (0u64..u64::MAX, 0u8..4),
         prop::collection::vec(
-            ((0usize..4, 0u8..11), prop::option::of(wild_string())),
+            ((0usize..4, 0u8..12), prop::option::of(wild_string())),
             0..3,
         ),
     )
@@ -167,7 +168,8 @@ pub fn arb_visit() -> impl Strategy<Value = PageVisit> {
                             7 => DegradationKind::RedirectHopsExceeded,
                             8 => DegradationKind::FrameCapReached,
                             9 => DegradationKind::FrameDepthTruncated,
-                            _ => DegradationKind::HeaderBytesCapped,
+                            10 => DegradationKind::HeaderBytesCapped,
+                            _ => DegradationKind::ScriptCompileError,
                         },
                         detail,
                     })
