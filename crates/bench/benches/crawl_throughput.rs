@@ -130,11 +130,90 @@ fn record_job_engine(_c: &mut Criterion) {
     );
 }
 
+/// Record/replay throughput: a 20k-site crawl captured into a
+/// content-addressed bundle store, then replayed from the store with
+/// the generator never consulted — best-of-three replay wall-clock and
+/// the store's dedup ratio appended to `BENCH_crawl.json` as the
+/// replay leg (after [`record_job_engine`] wrote the base object).
+fn record_replay(_c: &mut Criterion) {
+    const POPULATION: u64 = 20_000;
+    const WORKERS: usize = 8;
+    let dir = std::env::temp_dir().join(format!("permodyssey-bench-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CrawlConfig {
+        workers: WORKERS,
+        ..CrawlConfig::default()
+    };
+    let meta = crawler::BundleMeta::for_crawl(&config, 7, POPULATION, false);
+    let recorder = std::sync::Arc::new(
+        crawler::BundleRecorder::create(&dir, &meta).expect("create bundle store"),
+    );
+    let crawler = Crawler::new(config).with_recorder(std::sync::Arc::clone(&recorder));
+    let population = WebPopulation::new(PopulationConfig {
+        seed: 7,
+        size: POPULATION,
+    });
+    let start = std::time::Instant::now();
+    let mut recorded = 0u64;
+    crawler.crawl_streaming(&population, |_| recorded += 1);
+    assert_eq!(recorder.finish().expect("finish store"), POPULATION);
+    let record_secs = start.elapsed().as_secs_f64();
+    assert_eq!(recorded, POPULATION);
+
+    let bundle = crawler::ReplayBundle::load(&dir).expect("load bundle store");
+    let mut replay_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let crawler = Crawler::new(bundle.meta().replay_config(WORKERS));
+        let telemetry = crawler::CrawlTelemetry::new(WORKERS);
+        let start = std::time::Instant::now();
+        let mut replayed = 0u64;
+        crawler.replay_streaming_observed(
+            &bundle,
+            &std::collections::BTreeSet::new(),
+            &telemetry,
+            |_| replayed += 1,
+        );
+        assert_eq!(replayed, POPULATION);
+        replay_secs = replay_secs.min(start.elapsed().as_secs_f64());
+    }
+    let stat =
+        crawler::BundleStat::scan(&dir, crawler::StreamMode::Strict).expect("scan bundle store");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Append the replay leg to the object record_job_engine wrote (or
+    // start a fresh one under bench filtering).
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_crawl.json");
+    let base = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim_end().strip_suffix('}').map(str::to_string))
+        .unwrap_or_else(|| format!("{{\n  \"population\": {POPULATION}"));
+    let json = format!(
+        "{},\n  \"record_records_per_sec\": {:.0},\n  \
+         \"replay_records_per_sec\": {:.0},\n  \
+         \"bundle_dedup_ratio\": {:.2},\n  \"bundle_store_bytes\": {}\n}}\n",
+        base.trim_end().trim_end_matches(','),
+        POPULATION as f64 / record_secs,
+        POPULATION as f64 / replay_secs,
+        stat.dedup_ratio(),
+        stat.store_file_bytes,
+    );
+    std::fs::write(&path, &json).expect("write BENCH_crawl.json");
+    println!(
+        "record/replay: {POPULATION} records recorded in {:.0} ms, replayed in {:.0} ms \
+         ({:.0} records/sec), dedup ratio {:.2}",
+        record_secs * 1e3,
+        replay_secs * 1e3,
+        POPULATION as f64 / replay_secs,
+        stat.dedup_ratio(),
+    );
+}
+
 criterion_group!(
     crawl,
     single_visit,
     worker_scaling,
     interaction_overhead,
-    record_job_engine
+    record_job_engine,
+    record_replay
 );
 criterion_main!(crawl);

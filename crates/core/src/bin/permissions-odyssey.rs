@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "crawl" => cmd_crawl(&args[1..]),
         "crawl-job" => cmd_crawl_job(&args[1..]),
+        "bundle" => cmd_bundle(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -55,13 +56,15 @@ USAGE:
                                [--format jsonl|columnar] [--adversarial]
                                [--fault-panics PM] [--fault-transients PM]
                                [--js-engine vm|interp]
+                               [--record DIR | --replay DIR]
+  permissions-odyssey bundle stat DIR [--lenient]
   permissions-odyssey crawl-job start  --dir DIR [--size N] [--seed S]
                                [--shards N] [--format jsonl|columnar]
                                [--workers W] [--lease N] [--retries R]
                                [--adversarial] [--fault-panics PM]
                                [--fault-transients PM] [--stop-file FILE]
                                [--status-every N] [--max-rss-mb M]
-                               [--js-engine vm|interp]
+                               [--js-engine vm|interp] [--record]
   permissions-odyssey crawl-job resume --dir DIR [--workers W] [--lease N]
                                [--stop-file FILE] [--status-every N]
                                [--max-rss-mb M]
@@ -91,6 +94,14 @@ JOBS: `crawl-job` runs a crawl as a resumable job — a directory holding
   uninterrupted dataset byte for byte; touch the --stop-file for a
   graceful checkpointed shutdown (exit 0). Prefer it over the older
   `crawl --resume` flow for anything long-running.
+
+BUNDLES: `crawl --record DIR` captures every network exchange of the
+  crawl into a content-addressed bundle store (bodies and header
+  templates deduplicated by digest); `crawl --replay DIR` re-drives the
+  identical crawl from the store — byte-identical dataset, generator
+  never invoked, no other parameters needed. `crawl-job start --record`
+  does the same for resumable jobs (store at DIR/bundle, kill/resume
+  safe); `bundle stat` prints store accounting and the dedup ratio.
 
 LIVE ANALYSIS: `crawl-job analyze` folds the analysis tables over a
   job's shards up to a consistent frontier (last complete line / row
@@ -173,20 +184,41 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 }
 
 fn cmd_crawl(args: &[String]) -> Result<(), String> {
-    let size: u64 = parse_flag(args, "--size", 20_000)?;
-    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let record_dir = flag(args, "--record").map(PathBuf::from);
+    let replay_dir = flag(args, "--replay").map(PathBuf::from);
+    if record_dir.is_some() && replay_dir.is_some() {
+        return Err("--record and --replay are mutually exclusive".to_string());
+    }
     let workers: usize = parse_flag(args, "--workers", 8)?;
-    let retries: u32 = parse_flag(args, "--retries", CrawlConfig::default().max_retries)?;
-    let fault_panics: u32 = parse_flag(args, "--fault-panics", 0)?;
-    let fault_transients: u32 = parse_flag(args, "--fault-transients", 0)?;
     let shards: usize = parse_flag(args, "--shards", 1)?;
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
     let resume = args.iter().any(|a| a == "--resume");
+    if resume && record_dir.is_some() {
+        return Err("--record needs a fresh crawl \
+                    (use `crawl-job start --record` for a resumable recording)"
+            .to_string());
+    }
     let adversarial = args.iter().any(|a| a == "--adversarial");
-    let js_engine: browser::ExecEngine =
-        parse_flag(args, "--js-engine", browser::ExecEngine::default())?;
+
+    // A replay takes every dataset-determining parameter from the
+    // bundle store's metadata; a live crawl parses them from flags.
+    let replay = match &replay_dir {
+        Some(dir) => Some(crawler::ReplayBundle::load(dir).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let (size, seed, fault_panics) = match &replay {
+        Some(bundle) => {
+            let meta = bundle.meta();
+            (meta.size, meta.seed, meta.fault_panics_per_mille)
+        }
+        None => (
+            parse_flag(args, "--size", 20_000)?,
+            parse_flag(args, "--seed", 7)?,
+            parse_flag(args, "--fault-panics", 0)?,
+        ),
+    };
     let out: PathBuf = match flag(args, "--out") {
         Some(out) => out.into(),
         // Default file name follows the requested format.
@@ -197,9 +229,11 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     };
     let format = out_format(args, &out)?;
 
-    let population =
-        WebPopulation::new(PopulationConfig { seed, size }).with_adversarial(adversarial);
-    if adversarial {
+    // The generator is never invoked on the replay path.
+    let population = replay
+        .is_none()
+        .then(|| WebPopulation::new(PopulationConfig { seed, size }).with_adversarial(adversarial));
+    if adversarial && replay.is_none() {
         eprintln!("adversarial-site mode: hostile origins enabled");
     }
 
@@ -258,23 +292,59 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     }
     let remaining = (1..=size).filter(|r| !completed.contains(r)).count() as u64;
 
-    // Injected panics are caught and classified by the crawler; don't
-    // let the default hook print a backtrace for each simulated crash.
-    // (Without fault injection the hook stays untouched, so real bugs
-    // still report loudly.)
+    // Injected panics — live-injected or replayed from tape — are
+    // caught and classified by the crawler; don't let the default hook
+    // print a backtrace for each simulated crash. (Without fault
+    // injection the hook stays untouched, so real bugs still report
+    // loudly.)
     if fault_panics > 0 {
-        std::panic::set_hook(Box::new(|info| {
-            let detail = info
-                .payload()
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| info.payload().downcast_ref::<&str>().copied())
-                .unwrap_or("visit panicked");
-            eprintln!("caught: {detail}");
-        }));
+        quiet_injected_panics();
     }
 
-    eprintln!("crawling {remaining} origins (seed {seed}, {workers} workers)…");
+    let config = match &replay {
+        Some(bundle) => bundle.meta().replay_config(workers),
+        None => {
+            let retries: u32 = parse_flag(args, "--retries", CrawlConfig::default().max_retries)?;
+            let fault_transients: u32 = parse_flag(args, "--fault-transients", 0)?;
+            let js_engine: browser::ExecEngine =
+                parse_flag(args, "--js-engine", browser::ExecEngine::default())?;
+            CrawlConfig {
+                workers,
+                max_retries: retries,
+                browser: BrowserConfig {
+                    js_engine,
+                    ..BrowserConfig::default()
+                },
+                faults: netsim::FaultSpec {
+                    seed,
+                    panic_per_mille: fault_panics,
+                    transient_per_mille: fault_transients,
+                    transient_failures: 2,
+                },
+                ..CrawlConfig::default()
+            }
+        }
+    };
+    let mut crawler = Crawler::new(config.clone());
+    let recorder = match &record_dir {
+        Some(dir) => {
+            let meta = crawler::BundleMeta::for_crawl(&config, seed, size, adversarial);
+            let recorder = std::sync::Arc::new(
+                crawler::BundleRecorder::create(dir, &meta)
+                    .map_err(|e| format!("creating bundle store: {e}"))?,
+            );
+            crawler = crawler.with_recorder(std::sync::Arc::clone(&recorder));
+            Some(recorder)
+        }
+        None => None,
+    };
+
+    let doing = if replay.is_some() {
+        "replaying"
+    } else {
+        "crawling"
+    };
+    eprintln!("{doing} {remaining} origins (seed {seed}, {workers} workers)…");
     let started = std::time::Instant::now();
     let telemetry = crawler::CrawlTelemetry::new(workers);
     let progress_every = (remaining / 10).max(1);
@@ -283,23 +353,7 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     // persistence, Appendix A.2 C14).
     let mut write_error: Option<String> = None;
     let mut line = String::new();
-    let faults = netsim::FaultSpec {
-        seed,
-        panic_per_mille: fault_panics,
-        transient_per_mille: fault_transients,
-        transient_failures: 2,
-    };
-    let funnel = Crawler::new(CrawlConfig {
-        workers,
-        max_retries: retries,
-        browser: BrowserConfig {
-            js_engine,
-            ..BrowserConfig::default()
-        },
-        faults,
-        ..CrawlConfig::default()
-    })
-    .crawl_streaming_observed(&population, &completed, &telemetry, |record| {
+    let sink = |record: crawler::SiteRecord| {
         if write_error.is_some() {
             return;
         }
@@ -313,12 +367,30 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
             last_milestone = milestone;
             eprintln!("{}", snapshot.progress_line(remaining));
         }
-    });
+    };
+    let funnel = match (&replay, &population) {
+        (Some(bundle), _) => {
+            crawler.replay_streaming_observed(bundle, &completed, &telemetry, sink)
+        }
+        (None, Some(population)) => {
+            crawler.crawl_streaming_observed(population, &completed, &telemetry, sink)
+        }
+        (None, None) => unreachable!("a live crawl always has a population"),
+    };
     for writer in writers {
         writer.finish().map_err(|e| e.to_string())?;
     }
     if let Some(e) = write_error {
         return Err(format!("writing {e}"));
+    }
+    if let Some(recorder) = &recorder {
+        let sites = recorder
+            .finish()
+            .map_err(|e| format!("finishing bundle store: {e}"))?;
+        eprintln!(
+            "bundle store recorded to {} ({sites} sites)",
+            recorder.dir().display()
+        );
     }
     eprintln!(
         "{} in {:.1}s",
@@ -437,6 +509,7 @@ fn cmd_crawl_job(args: &[String]) -> Result<(), String> {
                 Some(other) => return Err(format!("unknown format `{other}` (jsonl|columnar)")),
             };
             let mut manifest = crawler::JobManifest::new(seed, size, shards, format);
+            manifest.record_bundle = rest.iter().any(|a| a == "--record");
             manifest.adversarial = rest.iter().any(|a| a == "--adversarial");
             manifest.max_retries = parse_flag(rest, "--retries", manifest.max_retries)?;
             manifest.fault_panics_per_mille = parse_flag(rest, "--fault-panics", 0)?;
@@ -505,6 +578,66 @@ fn cmd_crawl_job(args: &[String]) -> Result<(), String> {
             run_live_analyze(&dir, &table, top, follow, interval_ms)
         }
         other => Err(format!("unknown crawl-job verb `{other}`\n{USAGE}")),
+    }
+}
+
+/// `bundle stat DIR`: accounting for a record/replay bundle store —
+/// site/attempt/exchange counts, blob dedup, and on-disk size.
+fn cmd_bundle(args: &[String]) -> Result<(), String> {
+    let Some(verb) = args.first() else {
+        return Err(format!("bundle requires stat\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match verb.as_str() {
+        "stat" => {
+            let dir: PathBuf = match flag(rest, "--dir") {
+                Some(dir) => dir.into(),
+                None => rest
+                    .iter()
+                    .find(|a| !a.starts_with("--"))
+                    .cloned()
+                    .ok_or("bundle stat requires a store directory")?
+                    .into(),
+            };
+            if !crawler::is_bundle_store(&dir) {
+                return Err(format!("{} is not a bundle store", dir.display()));
+            }
+            let mode = if rest.iter().any(|a| a == "--lenient") {
+                crawler::StreamMode::Lenient
+            } else {
+                crawler::StreamMode::Strict
+            };
+            let stat = crawler::BundleStat::scan(&dir, mode).map_err(|e| e.to_string())?;
+            // Ignore write errors: piping into `head` must not panic.
+            let _ = writeln!(
+                std::io::stdout(),
+                "sites:       {} ({} synthesized)\n\
+                 attempts:    {}\n\
+                 exchanges:   {}\n\
+                 blobs:       {} unique, {} bytes stored\n\
+                 referenced:  {} bytes before dedup\n\
+                 dedup ratio: {:.2}\n\
+                 store size:  {} bytes on disk",
+                stat.sites,
+                stat.synthesized,
+                stat.attempts,
+                stat.exchanges,
+                stat.unique_blobs,
+                stat.stored_bytes,
+                stat.referenced_bytes,
+                stat.dedup_ratio(),
+                stat.store_file_bytes,
+            );
+            let _ = std::io::stdout().flush();
+            if stat.blob_skips.skipped > 0 || stat.manifest_skips.skipped > 0 {
+                eprintln!(
+                    "lenient: skipped {} blob record(s), {} manifest record(s)",
+                    stat.blob_skips.skipped, stat.manifest_skips.skipped
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown bundle verb `{other}`\n{USAGE}")),
     }
 }
 
@@ -702,6 +835,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         .ok_or("convert requires --out FILE")?
         .into();
     let format = out_format(args, &out)?;
+    // A directory mixing a bundle store with record shards is refused
+    // loudly rather than silently re-encoding only the shard half.
+    crawler::refuse_mixed_bundle_dir(&input).map_err(|e| e.to_string())?;
     let group: usize = parse_flag(args, "--group", crawler::DEFAULT_GROUP_RECORDS)?;
     let epoch: u64 = parse_flag(args, "--dict-epoch", crawler::DEFAULT_DICT_EPOCH_GROUPS)?;
     let stream = crawler::AnyRecordStream::open(&input, crawler::StreamMode::Strict)

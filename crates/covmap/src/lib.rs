@@ -41,6 +41,9 @@ pub const HTML_BASE: usize = 1024;
 pub const JSLAND_BASE: usize = 2048;
 /// Scratch region for difftest-local instrumentation.
 pub const DIFFTEST_BASE: usize = 3072;
+/// Region base for sites in `crates/crawler` (bundle-manifest decoder);
+/// carved from the upper half of the difftest scratch region.
+pub const CRAWLER_BASE: usize = 3584;
 
 static MAP: [AtomicU32; MAP_SIZE] = {
     #[allow(clippy::declare_interior_mutable_const)]

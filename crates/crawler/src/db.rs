@@ -423,6 +423,38 @@ fn check_base_shard_conflict(paths: &[PathBuf], arg: &str) -> std::io::Result<()
 /// Extensions `expand_db_paths` treats as database files in a directory.
 const DB_EXTENSIONS: [&str; 2] = ["jsonl", "colsh"];
 
+/// Refuses a directory that mixes a record/replay bundle store with
+/// record shards. The store's pack files are not `*.jsonl`/`*.colsh`,
+/// so shard-oriented readers would silently skip the recording half of
+/// the data — and re-encoders would drop new shards between the store's
+/// pack files. Every path that expands or re-encodes a shard directory
+/// calls this first; the error is loud and names the path.
+pub fn refuse_mixed_bundle_dir(dir: &Path) -> std::io::Result<()> {
+    if !dir.is_dir() || !crate::bundle::is_bundle_store(dir) {
+        return Ok(());
+    }
+    let has_shards = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .any(|p| {
+            p.is_file()
+                && p.extension()
+                    .and_then(|e| e.to_str())
+                    .is_some_and(|e| DB_EXTENSIONS.contains(&e))
+        });
+    if has_shards {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} mixes a record/replay bundle store with record shards; \
+                 keep the store in its own directory — replay it with \
+                 `crawl --replay`, or point at the shard files directly",
+                dir.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Expands an `analyze --db` argument into the ordered list of database
 /// files it names:
 ///
@@ -461,6 +493,7 @@ pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
             }
             return Ok(paths);
         }
+        refuse_mixed_bundle_dir(path)?;
         let mut paths: Vec<PathBuf> = std::fs::read_dir(path)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| {
@@ -483,6 +516,7 @@ pub fn expand_db_paths(arg: &str) -> std::io::Result<Vec<PathBuf>> {
             Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
             _ => PathBuf::from("."),
         };
+        refuse_mixed_bundle_dir(&dir)?;
         let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| {
@@ -662,6 +696,35 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_bundle_store_dir_is_refused() {
+        let dir =
+            std::env::temp_dir().join(format!("permodyssey-mixed-bundle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("crawl.jsonl"), "{}\n").unwrap();
+        // Shards alone: fine, both directly and via directory expansion.
+        refuse_mixed_bundle_dir(&dir).unwrap();
+        expand_db_paths(dir.to_str().unwrap()).unwrap();
+        // Drop a bundle-store file next to them: refused, naming the dir.
+        std::fs::write(dir.join(crate::bundle::BUNDLE_MANIFESTS_FILE), b"").unwrap();
+        let direct = refuse_mixed_bundle_dir(&dir).unwrap_err();
+        assert!(direct.to_string().contains("bundle store"), "{direct}");
+        assert!(
+            direct.to_string().contains(dir.to_str().unwrap()),
+            "error must name the path: {direct}"
+        );
+        let expanded = expand_db_paths(dir.to_str().unwrap()).unwrap_err();
+        assert!(expanded.to_string().contains("bundle store"), "{expanded}");
+        let pattern = format!("{}/*.jsonl", dir.display());
+        let globbed = expand_db_paths(&pattern).unwrap_err();
+        assert!(globbed.to_string().contains("bundle store"), "{globbed}");
+        // A pure bundle store (no shards) is not "mixed".
+        std::fs::remove_file(dir.join("crawl.jsonl")).unwrap();
+        refuse_mixed_bundle_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

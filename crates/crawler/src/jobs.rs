@@ -56,14 +56,15 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use webgen::{PopulationConfig, WebPopulation};
 
+use crate::bundle::{BundleMeta, BundleRecorder, SiteBundle};
 use crate::colsh::{crc32, ColshWriter};
-use crate::db::{shard_index, shard_path, DbFormat};
+use crate::db::{shard_index, shard_path, DbFormat, StreamMode};
 use crate::funnel::CrawlFunnel;
 use crate::run::{CrawlConfig, Crawler, SiteOutcome, SiteRecord};
 use crate::telemetry::{CrawlTelemetry, TelemetrySnapshot};
@@ -116,6 +117,14 @@ pub struct JobManifest {
     /// (also for pre-field manifests) to the VM.
     #[serde(default)]
     pub js_engine: browser::ExecEngine,
+    /// Record every network exchange into a content-addressed bundle
+    /// store (`bundle/` inside the job directory) alongside the
+    /// dataset, so the whole crawl can later be replayed byte-for-byte
+    /// with the generator never invoked. Affects the bundle store's
+    /// bytes, never the dataset's. Defaults (also for pre-field
+    /// manifests) to off.
+    #[serde(default)]
+    pub record_bundle: bool,
 }
 
 impl JobManifest {
@@ -135,7 +144,14 @@ impl JobManifest {
             fault_panics_per_mille: 0,
             fault_transients_per_mille: 0,
             js_engine: browser::ExecEngine::default(),
+            record_bundle: false,
         }
+    }
+
+    /// The bundle-store directory inside `dir` (used when
+    /// [`JobManifest::record_bundle`] is on).
+    pub fn bundle_dir(dir: &Path) -> PathBuf {
+        dir.join("bundle")
     }
 
     /// The manifest's path inside `dir`.
@@ -726,6 +742,47 @@ fn lease_fault_fires(per_mille: u32, seed: u64, rank: u64, attempt: u32) -> bool
     x % 1000 < u64::from(per_mille)
 }
 
+/// Re-captures bundle tapes for dataset-durable ranks the store lost to
+/// a kill (see the resume comment in [`run_job`]). Streams the shard
+/// files — already truncated to their durable prefixes by
+/// [`scan_shard`] — and submits, in rank order, a synthesized bundle
+/// for quarantine records (`attempts == 0`: no visit ever ran) or a
+/// deterministic re-visit's tape for everything else.
+fn backfill_bundle(
+    recorder: &BundleRecorder,
+    crawler: &Crawler,
+    population: &WebPopulation,
+    manifest: &JobManifest,
+    dir: &Path,
+    high_water: &HighWater,
+) -> std::io::Result<()> {
+    let prefix = recorder.durable_prefix();
+    let mut missing: BTreeMap<u64, SiteRecord> = BTreeMap::new();
+    for path in manifest.shard_files(dir) {
+        if !path.exists() {
+            continue;
+        }
+        // Resume mode: a mid-resume `.colsh` shard has already had its
+        // end marker stripped so the writer can append.
+        for record in crate::db::AnyRecordStream::open(&path, StreamMode::Resume)? {
+            let record = record?;
+            if record.rank > prefix && high_water.is_done(record.rank) {
+                missing.insert(record.rank, record);
+            }
+        }
+    }
+    for (rank, record) in missing {
+        if record.attempts == 0 {
+            recorder.submit(SiteBundle::synthesized(rank, record.origin))?;
+        } else {
+            // Submits the re-captured tape through the crawler's own
+            // recorder hook; the record itself is already durable.
+            crawler.visit_observed(population, rank, None);
+        }
+    }
+    Ok(())
+}
+
 /// The engine proper. `resume` selects fresh-create vs scan-and-append
 /// shard handling; everything else is identical for start and resume.
 fn run_job(
@@ -737,7 +794,27 @@ fn run_job(
     let started = Instant::now();
     let population = manifest.population();
     let workers = opts.workers.max(1);
-    let crawler = Crawler::new(manifest.crawl_config(workers));
+    let mut crawler = Crawler::new(manifest.crawl_config(workers));
+    let recorder = if manifest.record_bundle {
+        let meta = BundleMeta::for_crawl(
+            &manifest.crawl_config(workers),
+            manifest.seed,
+            manifest.size,
+            manifest.adversarial,
+        );
+        let bundle_dir = JobManifest::bundle_dir(dir);
+        let recorder = if resume {
+            BundleRecorder::resume(&bundle_dir, &meta)
+        } else {
+            BundleRecorder::create(&bundle_dir, &meta)
+        }
+        .map(Arc::new)
+        .map_err(JobError::Io)?;
+        crawler = crawler.with_recorder(Arc::clone(&recorder));
+        Some(recorder)
+    } else {
+        None
+    };
     let shard_files = manifest.shard_files(dir);
 
     let mut sinks = Vec::with_capacity(shard_files.len());
@@ -754,6 +831,19 @@ fn run_job(
     };
     let resumed_from = high_water.total();
     let planned = manifest.size - resumed_from;
+
+    // A resumed recording backfills captures for ranks already durable
+    // in the dataset but not yet in the bundle store (the shard writer
+    // and the recorder flush independently, so a kill can leave either
+    // side ahead). Visits are deterministic, so re-driving them
+    // reproduces the lost tapes exactly; quarantine records (no visit
+    // ever ran) are re-synthesized.
+    if resume {
+        if let Some(recorder) = &recorder {
+            backfill_bundle(recorder, &crawler, &population, manifest, dir, &high_water)
+                .map_err(JobError::Io)?;
+        }
+    }
 
     // The lease queue: contiguous rank batches with at least one
     // unvisited rank. Fully-durable batches never enter the queue.
@@ -934,6 +1024,16 @@ fn run_job(
                                         attempts: 0,
                                     };
                                     telemetry.record_visit(worker, SiteOutcome::CrawlerError, 0, 1);
+                                    if let Some(recorder) = crawler.recorder() {
+                                        if let Err(e) = recorder.submit(SiteBundle::synthesized(
+                                            rank,
+                                            record.origin.clone(),
+                                        )) {
+                                            panic!(
+                                                "bundle store write failed for rank {rank}: {e}"
+                                            );
+                                        }
+                                    }
                                     if sender.send((rank, record)).is_err() {
                                         writer_gone = true;
                                         break;
@@ -1049,6 +1149,17 @@ fn run_job(
     }
     if !stopped {
         durable = resumed_from + written;
+    }
+    if let Some(recorder) = &recorder {
+        // Complete runs must have captured every rank (a gap is a bug);
+        // graceful stops checkpoint whatever prefix is committed and
+        // leave the rest for the resume backfill.
+        if stopped {
+            recorder.checkpoint()
+        } else {
+            recorder.finish()
+        }
+        .map_err(JobError::Io)?;
     }
     let state = if stopped {
         JobState::Stopped

@@ -26,6 +26,20 @@
 //! assert!(funnel.succeeded > 30);
 //! ```
 
+/// Coverage instrumentation for the fuzzable bundle-manifest decoder:
+/// compiled away unless the `coverage` feature is on.
+#[cfg(feature = "coverage")]
+macro_rules! cov {
+    ($site:expr) => {
+        covmap::hit(covmap::CRAWLER_BASE, $site)
+    };
+}
+#[cfg(not(feature = "coverage"))]
+macro_rules! cov {
+    ($site:expr) => {};
+}
+
+mod bundle;
 mod colsh;
 mod db;
 mod follow;
@@ -34,14 +48,19 @@ mod jobs;
 mod run;
 mod telemetry;
 
+pub use bundle::{
+    digest128, is_bundle_store, AttemptRef, BundleMeta, BundleRecorder, BundleStat, ExchangeRef,
+    OutcomeRef, ReplayBundle, SiteBundle, SiteManifest, BLOB_MAGIC, BUNDLE_BLOBS_FILE,
+    BUNDLE_MANIFESTS_FILE, BUNDLE_META_FILE, BUNDLE_VERSION, MANIFEST_MAGIC,
+};
 pub use colsh::{
     read_colsh, resume_colsh, write_colsh, ColshAppendState, ColshStream, ColshWriter, ColumnSet,
     COLSH_MAGIC, COLSH_VERSION, DEFAULT_DICT_EPOCH_GROUPS, DEFAULT_GROUP_RECORDS,
 };
 pub use db::{
-    detect_db_format, expand_db_paths, read_jsonl, read_jsonl_lenient, resume_jsonl, shard_index,
-    shard_path, write_jsonl, AnyRecordStream, DbFormat, RecordStream, ResumeState, SkipReport,
-    StreamMode, SKIP_REPORT_LINES,
+    detect_db_format, expand_db_paths, read_jsonl, read_jsonl_lenient, refuse_mixed_bundle_dir,
+    resume_jsonl, shard_index, shard_path, write_jsonl, AnyRecordStream, DbFormat, RecordStream,
+    ResumeState, SkipReport, StreamMode, SKIP_REPORT_LINES,
 };
 pub use follow::{ShardFollower, ShardFrontier};
 pub use funnel::CrawlFunnel;

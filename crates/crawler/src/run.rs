@@ -24,13 +24,17 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use browser::{Browser, BrowserConfig, PageVisit, VisitError, VisitOutcome};
-use netsim::{CachingNetwork, FaultSpec, FaultyNetwork, SimClock, SimNetwork};
+use netsim::{
+    CachingNetwork, FaultSpec, FaultyNetwork, Network, RecordingNetwork, ReplayNetwork, SimClock,
+    SimNetwork, TapeHandle,
+};
 use serde::{Deserialize, Serialize};
 use webgen::WebPopulation;
 
+use crate::bundle::{BundleRecorder, ReplayBundle, SiteBundle};
 use crate::funnel::CrawlFunnel;
 use crate::telemetry::CrawlTelemetry;
 
@@ -163,12 +167,30 @@ struct AttemptOutcome {
 /// The crawler.
 pub struct Crawler {
     config: CrawlConfig,
+    /// When set, every visit's network exchanges are captured into this
+    /// bundle store (see [`crate::bundle`]).
+    recorder: Option<Arc<BundleRecorder>>,
 }
 
 impl Crawler {
     /// Creates a crawler.
     pub fn new(config: CrawlConfig) -> Crawler {
-        Crawler { config }
+        Crawler {
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Records every visit's network exchanges into `recorder`'s bundle
+    /// store while crawling normally.
+    pub fn with_recorder(mut self, recorder: Arc<BundleRecorder>) -> Crawler {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached bundle recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<BundleRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Visits one origin and classifies the result, retrying transient
@@ -187,10 +209,97 @@ impl Crawler {
         telemetry: Option<(&CrawlTelemetry, usize)>,
     ) -> SiteRecord {
         let origin = population.origin(rank);
+        let faulty = |attempt: u32| {
+            FaultyNetwork::new(
+                SimNetwork::new(population),
+                &self.config.faults,
+                rank,
+                attempt,
+            )
+        };
+        if let Some(recorder) = &self.recorder {
+            // Tape handles are created out here, outside the attempt's
+            // panic isolation, so exchanges recorded before an injected
+            // crash survive the unwind.
+            let mut handles: Vec<TapeHandle> = Vec::new();
+            let record = self.visit_loop(rank, &origin, telemetry, |attempt| {
+                let handle = TapeHandle::new();
+                handles.push(handle.clone());
+                RecordingNetwork::new(faulty(attempt), handle)
+            });
+            let bundle = SiteBundle {
+                rank,
+                origin: origin.to_string(),
+                synthesized: false,
+                attempts: handles.iter().map(TapeHandle::take).collect(),
+            };
+            if let Err(e) = recorder.submit(bundle) {
+                panic!("bundle store write failed for rank {rank}: {e}");
+            }
+            record
+        } else {
+            self.visit_loop(rank, &origin, telemetry, faulty)
+        }
+    }
+
+    /// Replays one recorded origin: the same retry loop and
+    /// classification as [`visit_one`](Crawler::visit_one), but every
+    /// attempt's network is served from the bundle's tapes — the page
+    /// generator is never consulted.
+    pub fn replay_one(&self, bundle: &ReplayBundle, rank: u64) -> SiteRecord {
+        self.replay_observed(bundle, rank, None)
+    }
+
+    /// [`replay_one`](Crawler::replay_one) with telemetry reporting.
+    pub(crate) fn replay_observed(
+        &self,
+        bundle: &ReplayBundle,
+        rank: u64,
+        telemetry: Option<(&CrawlTelemetry, usize)>,
+    ) -> SiteRecord {
+        let Some(manifest) = bundle.manifest(rank) else {
+            panic!("replay divergence: the bundle store has no manifest for rank {rank}");
+        };
+        if manifest.synthesized {
+            // The recording job quarantined this rank without visiting:
+            // reproduce the synthesized record it wrote.
+            let record = SiteRecord {
+                rank,
+                origin: manifest.origin.clone(),
+                outcome: SiteOutcome::CrawlerError,
+                visit: None,
+                elapsed_ms: 0,
+                attempts: 0,
+            };
+            if let Some((telemetry, worker)) = telemetry {
+                telemetry.record_visit(worker, record.outcome, 0, 0);
+            }
+            return record;
+        }
+        let origin = weburl::Url::parse(&manifest.origin)
+            .unwrap_or_else(|e| panic!("recorded origin {:?} unparseable: {e:?}", manifest.origin));
+        self.visit_loop(rank, &origin, telemetry, |attempt| {
+            ReplayNetwork::new(bundle.tape(rank, attempt as usize).unwrap_or_else(|| {
+                panic!("replay divergence: rank {rank} has no recorded attempt {attempt}")
+            }))
+        })
+    }
+
+    /// The shared retry loop: attempts visits over networks produced by
+    /// `network_for` (live, recording, or replay) until the outcome is
+    /// final, then classifies and reports.
+    fn visit_loop<N: Network>(
+        &self,
+        rank: u64,
+        origin: &weburl::Url,
+        telemetry: Option<(&CrawlTelemetry, usize)>,
+        mut network_for: impl FnMut(u32) -> N,
+    ) -> SiteRecord {
         let mut clock = SimClock::new();
         let mut attempts: u32 = 0;
         let outcome = loop {
-            let attempt = self.attempt_visit(population, rank, attempts, &mut clock);
+            let network = network_for(attempts);
+            let attempt = self.drive_attempt(network, origin, &mut clock);
             attempts += 1;
             if let Some((telemetry, _)) = telemetry {
                 telemetry.record_cache(attempt.cache_hits, attempt.cache_misses);
@@ -235,27 +344,19 @@ impl Crawler {
 
     /// Runs one visit attempt in panic isolation: a panicking visit
     /// (injected fault or real bug) classifies as `CrawlerError` instead
-    /// of unwinding into the worker pool.
-    fn attempt_visit(
+    /// of unwinding into the worker pool. The response cache is layered
+    /// on here so recording networks sit beneath it (tapes hold cache
+    /// misses only) and replay rebuilds identical hit/miss accounting.
+    fn drive_attempt<N: Network>(
         &self,
-        population: &WebPopulation,
-        rank: u64,
-        attempt: u32,
+        inner: N,
+        origin: &weburl::Url,
         clock: &mut SimClock,
     ) -> AttemptOutcome {
-        let origin = population.origin(rank);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let network = CachingNetwork::new(
-                FaultyNetwork::new(
-                    SimNetwork::new(population),
-                    &self.config.faults,
-                    rank,
-                    attempt,
-                ),
-                self.config.cache_capacity,
-            );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let network = CachingNetwork::new(inner, self.config.cache_capacity);
             let mut browser = Browser::new(network, self.config.browser.clone());
-            let (outcome, visit) = match browser.visit(&origin, clock) {
+            let (outcome, visit) = match browser.visit(origin, clock) {
                 Ok(mut visit) => {
                     // Interaction-mode navigation: follow same-origin links
                     // and merge their frames (Appendix A.3 manual protocol).
@@ -334,12 +435,50 @@ impl Crawler {
         population: &WebPopulation,
         completed: &BTreeSet<u64>,
         telemetry: &CrawlTelemetry,
-        mut sink: F,
+        sink: F,
     ) -> CrawlFunnel
     where
         F: FnMut(SiteRecord) + Send,
     {
-        let to = population.config().size;
+        self.stream_observed(
+            population.config().size,
+            completed,
+            sink,
+            &|rank, worker| self.visit_observed(population, rank, Some((telemetry, worker))),
+        )
+    }
+
+    /// Streams a recorded crawl back out of a bundle store: the same
+    /// worker pool, in-order delivery, and resume semantics as
+    /// [`crawl_streaming_observed`](Crawler::crawl_streaming_observed),
+    /// with every record replayed from tape instead of generated.
+    pub fn replay_streaming_observed<F>(
+        &self,
+        bundle: &ReplayBundle,
+        completed: &BTreeSet<u64>,
+        telemetry: &CrawlTelemetry,
+        sink: F,
+    ) -> CrawlFunnel
+    where
+        F: FnMut(SiteRecord) + Send,
+    {
+        self.stream_observed(bundle.sites(), completed, sink, &|rank, worker| {
+            self.replay_observed(bundle, rank, Some((telemetry, worker)))
+        })
+    }
+
+    /// The shared streaming pool: visits ranks `1..=to` via `visit`,
+    /// delivering records to `sink` in rank order.
+    fn stream_observed<F>(
+        &self,
+        to: u64,
+        completed: &BTreeSet<u64>,
+        mut sink: F,
+        visit: &(dyn Fn(u64, usize) -> SiteRecord + Sync),
+    ) -> CrawlFunnel
+    where
+        F: FnMut(SiteRecord) + Send,
+    {
         let workers = self.config.workers.max(1);
         let pending = Mutex::new(std::collections::BTreeMap::<u64, SiteRecord>::new());
         let next_rank = AtomicU64::new(1);
@@ -362,7 +501,7 @@ impl Crawler {
                     if completed.contains(&rank) {
                         continue;
                     }
-                    let record = self.visit_observed(population, rank, Some((telemetry, worker)));
+                    let record = visit(rank, worker);
                     let mut buffer = pending.lock().expect("pending lock");
                     buffer.insert(rank, record);
                     // Drain the in-order prefix (checkpointed ranks count

@@ -16,9 +16,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crawler::{
-    job_resume, job_start, read_colsh, read_jsonl, read_status, AnyRecordStream, ColshWriter,
-    ColumnSet, Crawler, DbFormat, JobError, JobManifest, JobOptions, JobState, ShardFollower,
-    ShardFrontier, SiteOutcome, SiteRecord, StreamMode,
+    job_resume, job_start, read_colsh, read_jsonl, read_status, AnyRecordStream, BundleStat,
+    ColshWriter, ColumnSet, CrawlTelemetry, Crawler, DbFormat, JobError, JobManifest, JobOptions,
+    JobState, ReplayBundle, ShardFollower, ShardFrontier, SiteOutcome, SiteRecord, StreamMode,
+    BUNDLE_BLOBS_FILE, BUNDLE_MANIFESTS_FILE, BUNDLE_META_FILE,
 };
 
 const SEED: u64 = 7;
@@ -461,6 +462,187 @@ fn stop_file_halts_between_leases_and_clears_for_resume() {
     let report = with_quiet_panics(|| job_resume(&dir, &opts).unwrap());
     assert_eq!(report.state, JobState::Complete);
     assert_eq!(shard_bytes(&manifest, &dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Reads the three bundle-store files' bytes (meta, blobs, manifests).
+fn bundle_bytes(dir: &Path) -> Vec<Vec<u8>> {
+    let bundle = JobManifest::bundle_dir(dir);
+    [BUNDLE_META_FILE, BUNDLE_BLOBS_FILE, BUNDLE_MANIFESTS_FILE]
+        .iter()
+        .map(|file| std::fs::read(bundle.join(file)).unwrap())
+        .collect()
+}
+
+/// Truncates both bundle pack files to seeded random prefixes — the
+/// same SIGKILL model as [`truncate_shards`]: the packs grow
+/// append-only, so every real crash state is some byte prefix,
+/// including a torn magic.
+fn truncate_bundle(dir: &Path, rng: &mut u64) {
+    let bundle = JobManifest::bundle_dir(dir);
+    for name in [BUNDLE_BLOBS_FILE, BUNDLE_MANIFESTS_FILE] {
+        let path = bundle.join(name);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = next_rand(rng) % (len + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+    }
+}
+
+/// Every dataset record of a job, in rank order.
+fn dataset_records(manifest: &JobManifest, dir: &Path) -> Vec<String> {
+    let mut records = Vec::new();
+    for path in manifest.shard_files(dir) {
+        for record in AnyRecordStream::open(&path, StreamMode::Strict).unwrap() {
+            records.push(record.unwrap());
+        }
+    }
+    records.sort_by_key(|r| r.rank);
+    records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect()
+}
+
+/// Replays a job's bundle store without the generator, returning the
+/// records serialized in rank order.
+fn replay_records(dir: &Path) -> Vec<String> {
+    let bundle = ReplayBundle::load(&JobManifest::bundle_dir(dir)).unwrap();
+    let crawler = Crawler::new(bundle.meta().replay_config(2));
+    let telemetry = CrawlTelemetry::new(2);
+    let mut replayed = Vec::new();
+    crawler.replay_streaming_observed(
+        &bundle,
+        &std::collections::BTreeSet::new(),
+        &telemetry,
+        |record| replayed.push(serde_json::to_string(&record).unwrap()),
+    );
+    replayed
+}
+
+/// The recording extension of the kill-and-resume contract: a job with
+/// `record_bundle` killed at any point — shards *and* bundle packs
+/// shredded to random prefixes — resumes to a bundle store
+/// byte-identical to an uninterrupted recording (so no blob is orphaned
+/// or duplicated: the reference commits in strict rank order and dedups
+/// on first reference), and replaying that store reproduces the dataset
+/// record for record with the generator never consulted.
+#[test]
+fn recording_job_kill_and_resume_reproduces_the_bundle_store() {
+    let mut manifest = manifest(DbFormat::Jsonl);
+    manifest.record_bundle = true;
+
+    let ref_dir = temp_dir("recjob-ref");
+    let report = with_quiet_panics(|| job_start(&ref_dir, &manifest, &options()).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    let ref_shards = shard_bytes(&manifest, &ref_dir);
+    let ref_bundle = bundle_bytes(&ref_dir);
+    let ref_records = dataset_records(&manifest, &ref_dir);
+    let stat = BundleStat::scan(&JobManifest::bundle_dir(&ref_dir), StreamMode::Strict).unwrap();
+    assert_eq!(stat.sites, SIZE);
+    std::fs::remove_dir_all(&ref_dir).ok();
+
+    let mut rng = 0xb0d1_5eed ^ SEED;
+    for (round, abort_at) in [3u64, 29, 83, 151].into_iter().enumerate() {
+        let dir = temp_dir(&format!("recjob-kill{round}"));
+        let mut opts = options();
+        opts.abort_after_records = Some(abort_at);
+        let err = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap_err());
+        assert!(
+            matches!(err, JobError::Aborted { written } if written == abort_at),
+            "{err}"
+        );
+        truncate_shards(&manifest, &dir, &mut rng);
+        truncate_bundle(&dir, &mut rng);
+
+        // Odd rounds die a second time mid-resume before recovering.
+        if round % 2 == 1 {
+            let mut again = options();
+            again.abort_after_records = Some(17);
+            let err = with_quiet_panics(|| job_resume(&dir, &again).unwrap_err());
+            assert!(matches!(err, JobError::Aborted { written: 17 }), "{err}");
+            truncate_shards(&manifest, &dir, &mut rng);
+            truncate_bundle(&dir, &mut rng);
+        }
+
+        let report = with_quiet_panics(|| job_resume(&dir, &options()).unwrap());
+        assert_eq!(report.state, JobState::Complete);
+        assert_eq!(
+            shard_bytes(&manifest, &dir),
+            ref_shards,
+            "round {round}: resumed shards diverge from the uninterrupted run"
+        );
+        assert_eq!(
+            bundle_bytes(&dir),
+            ref_bundle,
+            "round {round}: resumed bundle store diverges from the uninterrupted store"
+        );
+        let replayed = with_quiet_panics(|| replay_records(&dir));
+        assert_eq!(
+            replayed, ref_records,
+            "round {round}: replaying the resumed store diverges from the dataset"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A recording job stopped gracefully leaves a strictly scannable
+/// bundle store (the checkpoint flushes whole frames only) and resumes
+/// to the uninterrupted store byte for byte.
+#[test]
+fn recording_job_graceful_stop_resumes_to_the_reference_store() {
+    let mut manifest = manifest(DbFormat::Colsh);
+    manifest.record_bundle = true;
+
+    let ref_dir = temp_dir("recstop-ref");
+    let report = with_quiet_panics(|| job_start(&ref_dir, &manifest, &options()).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    let ref_shards = shard_bytes(&manifest, &ref_dir);
+    let ref_bundle = bundle_bytes(&ref_dir);
+    std::fs::remove_dir_all(&ref_dir).ok();
+
+    let dir = temp_dir("recstop");
+    let mut opts = options();
+    opts.stop_after_records = Some(70);
+    let report = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap());
+    assert_eq!(report.state, JobState::Stopped);
+    let stat = BundleStat::scan(&JobManifest::bundle_dir(&dir), StreamMode::Strict).unwrap();
+    assert!(stat.sites < SIZE, "a stopped job checkpointed a prefix");
+
+    let report = with_quiet_panics(|| job_resume(&dir, &options()).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert_eq!(shard_bytes(&manifest, &dir), ref_shards);
+    assert_eq!(
+        bundle_bytes(&dir),
+        ref_bundle,
+        "stop/resume diverges from the uninterrupted store"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Poison leases quarantine their ranks as synthesized bundles: the
+/// store captures that the rank was never visited, and replay
+/// reproduces the exact `CrawlerError` records the job wrote.
+#[test]
+fn quarantined_ranks_record_synthesized_bundles_that_replay() {
+    let mut manifest = manifest(DbFormat::Jsonl);
+    manifest.record_bundle = true;
+    let dir = temp_dir("recjob-poison");
+    let mut opts = options();
+    // Every (rank, attempt) pair faults: no lease ever makes progress.
+    opts.lease_fault_per_mille = 1000;
+    opts.max_lease_failures = 2;
+    let report = with_quiet_panics(|| job_start(&dir, &manifest, &opts).unwrap());
+    assert_eq!(report.state, JobState::Complete);
+    assert!(report.leases_quarantined > 0);
+    let stat = BundleStat::scan(&JobManifest::bundle_dir(&dir), StreamMode::Strict).unwrap();
+    assert_eq!(stat.sites, SIZE);
+    assert_eq!(stat.synthesized, SIZE, "every rank was quarantined");
+    assert_eq!(
+        replay_records(&dir),
+        dataset_records(&manifest, &dir),
+        "replaying synthesized bundles diverges from the quarantine records"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

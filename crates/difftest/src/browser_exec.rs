@@ -62,7 +62,7 @@ pub fn normalize(scenario: &Scenario) -> Scenario {
 }
 
 /// A static provider: exact-URL table plus optional redirects.
-struct TableProvider {
+pub(crate) struct TableProvider {
     entries: BTreeMap<String, ProviderResult>,
 }
 
@@ -296,10 +296,12 @@ fn compare_frame(
     }
 }
 
-/// Renders, loads and checks one (normalized) scenario. Returns every
-/// frame-level disagreement between the browser pipeline and the oracle.
-pub fn browser_divergences(scenario: &Scenario) -> Vec<BrowserDivergence> {
-    let scenario = normalize(scenario);
+/// Renders an already-normalized scenario to the top-level URL, the
+/// exact-URL content provider serving it, and the browser config it
+/// must load under. Deterministic per scenario — shared by the oracle
+/// comparison below and the record/replay gate in [`crate::replay`],
+/// which must rebuild the identical page twice.
+pub(crate) fn scenario_page(scenario: &Scenario) -> (Url, TableProvider, BrowserConfig) {
     let mut builder = PageBuilder {
         entries: BTreeMap::new(),
         next_path: 0,
@@ -316,7 +318,6 @@ pub fn browser_divergences(scenario: &Scenario) -> Vec<BrowserDivergence> {
     builder
         .entries
         .insert(top_url.to_string(), PageBuilder::content(response));
-
     let config = BrowserConfig {
         local_scheme_behavior: scenario.behavior,
         max_frames: 64,
@@ -325,6 +326,14 @@ pub fn browser_divergences(scenario: &Scenario) -> Vec<BrowserDivergence> {
     let provider = TableProvider {
         entries: builder.entries,
     };
+    (top_url, provider, config)
+}
+
+/// Renders, loads and checks one (normalized) scenario. Returns every
+/// frame-level disagreement between the browser pipeline and the oracle.
+pub fn browser_divergences(scenario: &Scenario) -> Vec<BrowserDivergence> {
+    let scenario = normalize(scenario);
+    let (top_url, provider, config) = scenario_page(&scenario);
     let mut browser = Browser::new(SimNetwork::new(provider), config);
     let mut clock = SimClock::new();
     let visit: PageVisit = match browser.visit(&top_url, &mut clock) {

@@ -130,6 +130,30 @@ const JS_ATOMS: &[&str] = &[
     "'unterminated",
 ];
 
+/// Interesting binary fragments for bundle-manifest inputs: tag bytes,
+/// length fields that over- or under-claim, digests, and little-endian
+/// integers sitting on the decoder's boundary checks.
+const BUNDLE_ATOMS: &[&[u8]] = &[
+    &[0],
+    &[1],
+    &[2],
+    &[3],
+    &[5],
+    &[6],
+    &[0xff],
+    &[0, 0, 0, 0],
+    &[1, 0, 0, 0],
+    &[2, 0, 0, 0],
+    &[0xff, 0xff, 0xff, 0xff],
+    &[0xff, 0xff, 0xff, 0x7f],
+    &[1, 0, 0, 0, 0, 0, 0, 0],
+    &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff],
+    b"https://a.example/",
+    b"\x04\x00\x00\x00http",
+    &[0xc8, 0x00], // status 200 LE
+    &[0xaa; 16],   // a digest-sized run
+];
+
 fn random_byte_edit(rng: &mut Rng, data: &mut Vec<u8>) {
     if data.is_empty() {
         data.push(rng.below(256) as u8);
@@ -299,6 +323,44 @@ pub fn mutate_js(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
 /// [`MAX_JSVM_LEN`].
 pub fn mutate_jsvm(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
     text_mutation(rng, input, other, &[';', '{', '}'], JS_ATOMS, MAX_JSVM_LEN)
+}
+
+/// Cap on bundle-manifest inputs: decode cost is linear, but oversized
+/// length fields make the decoder reject early anyway.
+pub const MAX_BUNDLE_LEN: usize = 16_384;
+
+/// Mutates a binary bundle-manifest payload: byte-level edits, binary
+/// crossover, and splices of decoder-boundary atoms (tags, LE lengths,
+/// digests). No text structure to respect — the decoder is the
+/// structure.
+pub fn mutate_bundle(rng: &mut Rng, input: &[u8], other: &[u8]) -> Vec<u8> {
+    let mut data = input.to_vec();
+    match rng.below(4) {
+        0 | 1 => random_byte_edit(rng, &mut data),
+        // Binary crossover: prefix of input + suffix of another entry.
+        2 => {
+            let cut_a = rng.below(data.len() + 1);
+            let cut_b = rng.below(other.len() + 1);
+            data.truncate(cut_a);
+            data.extend_from_slice(&other[cut_b..]);
+        }
+        // Splice a boundary atom at a random offset, or overwrite in
+        // place to retarget tags and length fields without shifting
+        // everything after them.
+        _ => {
+            let atom = *rng.pick(BUNDLE_ATOMS);
+            if !data.is_empty() && rng.below(2) == 0 {
+                let at = rng.below(data.len());
+                let n = atom.len().min(data.len() - at);
+                data[at..at + n].copy_from_slice(&atom[..n]);
+            } else {
+                let at = rng.below(data.len() + 1);
+                data.splice(at..at, atom.iter().copied());
+            }
+        }
+    }
+    data.truncate(MAX_BUNDLE_LEN);
+    data
 }
 
 #[cfg(test)]

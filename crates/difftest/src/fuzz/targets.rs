@@ -28,7 +28,7 @@ pub struct Target {
 }
 
 /// All targets, in CLI order.
-pub fn all() -> [Target; 5] {
+pub fn all() -> [Target; 6] {
     [
         Target {
             name: "header",
@@ -54,6 +54,11 @@ pub fn all() -> [Target; 5] {
             name: "jsvm",
             mutate: mutate::mutate_jsvm,
             check: check_jsvm,
+        },
+        Target {
+            name: "bundle",
+            mutate: mutate::mutate_bundle,
+            check: check_bundle,
         },
     ]
 }
@@ -205,13 +210,34 @@ fn check_jsvm(input: &[u8]) -> Result<(), String> {
     }
 }
 
+/// Bundle-store manifest codec: decode totality on arbitrary bytes
+/// (bounds-checked, never a panic) and canonical-form round-tripping —
+/// every accepted input must re-encode to exactly the bytes that were
+/// decoded, so no two byte strings alias one manifest.
+fn check_bundle(input: &[u8]) -> Result<(), String> {
+    let input = &input[..input.len().min(mutate::MAX_BUNDLE_LEN)];
+    let Ok(manifest) = crawler::SiteManifest::decode(input) else {
+        return Ok(());
+    };
+    let reencoded = manifest.encode();
+    if reencoded != input {
+        return Err(format!(
+            "manifest codec is not canonical: {} input bytes decoded but re-encoded to {} \
+             different bytes",
+            input.len(),
+            reencoded.len()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn targets_resolve_by_name() {
-        for name in ["header", "allow", "html", "js", "jsvm"] {
+        for name in ["header", "allow", "html", "js", "jsvm", "bundle"] {
             assert!(by_name(name).is_some(), "{name}");
         }
         assert!(by_name("nope").is_none());
@@ -229,5 +255,10 @@ mod tests {
         // engines agree on them.
         assert_eq!(check_jsvm(b"var = = ;"), Ok(()));
         assert_eq!(check_jsvm(b"while (true) { var x = 1; }"), Ok(()));
+        // A canonical encoded manifest round-trips; garbage is rejected
+        // without violating the property.
+        let manifest = crawler::SiteManifest::synthesized(3, "https://a.example/".to_string());
+        assert_eq!(check_bundle(&manifest.encode()), Ok(()));
+        assert_eq!(check_bundle(b"\xff\xff garbage"), Ok(()));
     }
 }

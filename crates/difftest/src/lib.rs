@@ -11,6 +11,9 @@
 //! * [`jsdiff`] — seeded script generation and lockstep interp-vs-VM
 //!   execution for `jsland`'s two engines, with statement-level
 //!   shrinking (the `--js-engine` byte-identity guarantee's test rig);
+//! * [`replay`] — record/replay determinism: every scenario loaded
+//!   through a recording network into a content-addressed bundle store
+//!   must replay from the store with an identical visit record;
 //! * [`fuzz`] — a from-scratch coverage-guided, structure-aware fuzzer
 //!   for the `policy` / `html` / `jsland` parsers (requires the
 //!   `coverage` feature, which instruments those crates).
@@ -21,6 +24,7 @@
 pub mod browser_exec;
 pub mod jsdiff;
 pub mod oracle;
+pub mod replay;
 pub mod rng;
 pub mod scenario;
 

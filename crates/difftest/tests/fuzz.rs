@@ -59,11 +59,123 @@ fn jsvm_fuzz_smoke() {
     smoke("jsvm", 400, 1);
 }
 
+#[test]
+fn bundle_fuzz_smoke() {
+    smoke("bundle", 400, 1);
+}
+
+/// The checked-in bundle seed corpus must be exactly the canonical
+/// encodings of manifests covering every decoder path (synthesized,
+/// content, error, panic, probes, multi-attempt) — a codec change that
+/// forgets to regenerate the corpus fails here. Regenerate with
+/// `REGEN_BUNDLE_CORPUS=1 cargo test -p difftest --test fuzz \
+/// bundle_corpus_is_canonical -- --ignored`.
+#[test]
+#[ignore = "CI-scale section; runs with --ignored"]
+fn bundle_corpus_is_canonical() {
+    use crawler::{AttemptRef, ExchangeRef, OutcomeRef, SiteManifest};
+    use netsim::{FetchError, PostFetchProbe};
+
+    let content = |url: &str| ExchangeRef {
+        url: url.to_string(),
+        advance_ms: 155,
+        outcome: OutcomeRef::Content {
+            status: 200,
+            headers: [0x11; 16],
+            body: [0x22; 16],
+            final_url: url.to_string(),
+            redirects: 0,
+        },
+    };
+    let seeds = [
+        SiteManifest::synthesized(1, "https://site0001.example/".to_string()),
+        SiteManifest {
+            rank: 2,
+            origin: "https://site0002.example/".to_string(),
+            synthesized: false,
+            attempts: vec![AttemptRef {
+                exchanges: vec![
+                    content("https://site0002.example/"),
+                    content("https://site0002.example/app.js"),
+                ],
+                probes: Vec::new(),
+            }],
+        },
+        SiteManifest {
+            rank: 3,
+            origin: "https://site0003.example/".to_string(),
+            synthesized: false,
+            attempts: vec![
+                AttemptRef {
+                    exchanges: vec![ExchangeRef {
+                        url: "https://site0003.example/".to_string(),
+                        advance_ms: 40,
+                        outcome: OutcomeRef::Error(FetchError::ResponseTimeout),
+                    }],
+                    probes: Vec::new(),
+                },
+                AttemptRef {
+                    exchanges: vec![content("https://site0003.example/")],
+                    probes: vec![
+                        PostFetchProbe {
+                            url: "https://site0003.example/beacon".to_string(),
+                            failure: None,
+                        },
+                        PostFetchProbe {
+                            url: "https://site0003.example/late".to_string(),
+                            failure: Some(FetchError::ConnectionFailure),
+                        },
+                    ],
+                },
+            ],
+        },
+        SiteManifest {
+            rank: 4,
+            origin: "https://site0004.example/".to_string(),
+            synthesized: false,
+            attempts: vec![AttemptRef {
+                exchanges: vec![ExchangeRef {
+                    url: "https://site0004.example/".to_string(),
+                    advance_ms: 0,
+                    outcome: OutcomeRef::Panic(
+                        "injected fault: simulated crawler crash fetching \
+                         https://site0004.example/"
+                            .to_string(),
+                    ),
+                }],
+                probes: Vec::new(),
+            }],
+        },
+    ];
+    let dir = std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/bundle"));
+    let regen = std::env::var("REGEN_BUNDLE_CORPUS").is_ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, manifest) in seeds.iter().enumerate() {
+        let encoded = manifest.encode();
+        assert_eq!(
+            SiteManifest::decode(&encoded).as_ref(),
+            Ok(manifest),
+            "seed {i} must round-trip"
+        );
+        let path = dir.join(format!("seed-{:03}.bin", i + 1));
+        if regen {
+            std::fs::write(&path, encoded).unwrap();
+        } else {
+            assert_eq!(
+                std::fs::read(&path).ok().as_deref(),
+                Some(encoded.as_slice()),
+                "{} is stale — regenerate with REGEN_BUNDLE_CORPUS=1",
+                path.display()
+            );
+        }
+    }
+}
+
 /// Same seed → same corpus (byte-identical, same order) and same
 /// combined coverage signature.
 #[test]
 fn replay_is_deterministic() {
-    for name in ["header", "allow", "html", "js", "jsvm"] {
+    for name in ["header", "allow", "html", "js", "jsvm", "bundle"] {
         let a = smoke(name, 300, 77);
         let b = smoke(name, 300, 77);
         assert_eq!(
@@ -89,6 +201,7 @@ fn seed_corpus_reaches_every_region() {
         ("html", covmap::HTML_BASE, covmap::JSLAND_BASE),
         ("js", covmap::JSLAND_BASE, covmap::DIFFTEST_BASE),
         ("jsvm", covmap::JSLAND_BASE, covmap::DIFFTEST_BASE),
+        ("bundle", covmap::CRAWLER_BASE, covmap::MAP_SIZE),
     ];
     for (name, lo, hi) in regions {
         let outcome = smoke(name, 0, 0);
@@ -105,7 +218,7 @@ fn seed_corpus_reaches_every_region() {
 #[test]
 #[ignore = "CI-scale; run with --ignored in release"]
 fn ci_fuzz_budget() {
-    for name in ["header", "allow", "html", "js"] {
+    for name in ["header", "allow", "html", "js", "bundle"] {
         smoke(name, 20_000, 11);
     }
     // The engine-differential target executes every input twice; a

@@ -25,6 +25,7 @@ mod error;
 mod fault;
 mod network;
 mod response;
+mod tape;
 
 pub use cache::CachingNetwork;
 pub use clock::{capped_backoff_ms, SimClock, MAX_BACKOFF_MS, MAX_BACKOFF_SHIFT};
@@ -32,6 +33,10 @@ pub use error::FetchError;
 pub use fault::{FaultSpec, FaultyNetwork};
 pub use network::{ContentProvider, Network, ProviderResult, SimNetwork};
 pub use response::{Response, SiteBehavior};
+pub use tape::{
+    Exchange, ExchangeOutcome, PostFetchProbe, RecordingNetwork, ReplayNetwork, TapeHandle,
+    VisitTape,
+};
 
 #[cfg(test)]
 mod tests {

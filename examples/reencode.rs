@@ -46,6 +46,13 @@ fn main() -> ExitCode {
     let (Some(db), Some(out), Some(codec)) = (db, out, codec) else {
         return usage();
     };
+    // A directory mixing a record/replay bundle store with record
+    // shards is refused loudly rather than silently re-encoding only
+    // the shard half.
+    if let Err(e) = crawler::refuse_mixed_bundle_dir(&db) {
+        eprintln!("reencode: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let result = match codec.as_str() {
         "streaming" => reencode_streaming(&db, &out),
